@@ -1,0 +1,61 @@
+// Ablation A5 — the logical-disk cleaner the paper left out.
+//
+// "Because our simulation does not include a cleaner, we run it for 262144
+// iterations." LogLayer completes the facility: this bench overwrites a
+// working set several times the paper's single pass and sweeps utilization
+// to show where cleaning erodes (but does not erase) the batching win —
+// the [ROSE91] trade-off the paper's Black Box graft feeds into.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/diskmod/disk_model.h"
+#include "src/ldisk/log_layer.h"
+#include "src/stats/harness.h"
+
+int main(int argc, char** argv) {
+  const auto options = bench::Options::Parse(argc, argv);
+  bench::PrintHeader("Ablation A5: logical disk with a segment cleaner", "paper §5.6 omission");
+
+  ldisk::Geometry geometry;
+  geometry.num_blocks = options.full ? 65536 : 16384;
+  geometry.blocks_per_segment = 16;
+  const std::uint64_t writes = geometry.num_blocks * 6;  // 6x device passes
+
+  std::printf("device %llu blocks, %llu writes (6 passes), paper-era disk, greedy cleaner,\n",
+              static_cast<unsigned long long>(geometry.num_blocks),
+              static_cast<unsigned long long>(writes));
+  std::printf("10%% segment reserve.\n\n");
+  std::printf("%12s %10s %12s %14s %12s %14s %12s\n", "working set", "cleanings",
+              "blocks moved", "write amp", "log I/O", "in-place I/O", "log wins by");
+
+  for (const double working_fraction : {0.25, 0.5, 0.75, 0.85}) {
+    ldisk::LogLayer layer(geometry, diskmod::PaperEraDisk(), /*cleaning_reserve=*/0.1);
+    ldisk::SkewedWorkload workload(geometry, /*seed=*/5);
+    const auto working_set =
+        static_cast<ldisk::BlockId>(working_fraction * static_cast<double>(geometry.num_blocks));
+
+    bool full = false;
+    for (std::uint64_t i = 0; i < writes && !full; ++i) {
+      try {
+        layer.Write(workload.Next() % working_set);
+      } catch (const ldisk::DiskFull&) {
+        full = true;
+      }
+    }
+    const auto& stats = layer.stats();
+    const double write_amp =
+        static_cast<double>(stats.user_writes + stats.blocks_copied) /
+        static_cast<double>(stats.user_writes);
+    std::printf("%11.0f%% %10llu %12llu %13.2fx %10.1fs %12.1fs %11.2fx%s\n",
+                working_fraction * 100.0, static_cast<unsigned long long>(stats.cleanings),
+                static_cast<unsigned long long>(stats.blocks_copied), write_amp,
+                stats.disk_time_us / 1e6, stats.baseline_disk_time_us / 1e6,
+                stats.baseline_disk_time_us / stats.disk_time_us, full ? "  (filled)" : "");
+  }
+
+  std::printf("\nThe batching win shrinks as utilization grows (the cleaner re-copies more\n");
+  std::printf("live data per reclaimed segment) — the classic LFS cleaning curve. The\n");
+  std::printf("paper's single-pass Table 6 sits at the zero-cleaning end of this sweep.\n");
+  return 0;
+}

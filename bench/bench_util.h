@@ -1,0 +1,47 @@
+// Shared helpers for the table/figure benchmark binaries.
+//
+// Every binary prints (a) the paper's original table for the quantity it
+// reproduces and (b) the reproduction measured on this host, using the same
+// row structure. Absolute times differ by ~2-3 orders of magnitude from the
+// 1995 hardware; the normalized columns and break-even shapes are the
+// comparison that matters (EXPERIMENTS.md discusses each).
+//
+// Flags: --full runs the paper's full iteration counts (slower, tighter
+// sigma); default is a reduced-but-representative configuration so the whole
+// bench suite finishes in a couple of minutes.
+
+#ifndef GRAFTLAB_BENCH_BENCH_UTIL_H_
+#define GRAFTLAB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace bench {
+
+struct Options {
+  bool full = false;
+
+  static Options Parse(int argc, char** argv) {
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        options.full = true;
+      }
+    }
+    return options;
+  }
+};
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n\n");
+}
+
+inline void PrintSection(const char* name) { std::printf("--- %s ---\n", name); }
+
+}  // namespace bench
+
+#endif  // GRAFTLAB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Black Box graft #2 — the ACL database the paper names as the canonical
+// example of the shape (§3.3): "accepts a triple containing a file access
+// request, a user ID, and a file ID, and responds 'yes' or 'no.'"
+//
+// The paper did not benchmark an ACL graft directly (the logical disk
+// carried Table 6); this bench completes the taxonomy by measuring the
+// per-check cost of the same ACL database under every technology, against
+// the natural denominator: the cost of the file operation the check guards.
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/acl.h"
+#include "src/core/technology.h"
+#include "src/diskmod/disk_model.h"
+#include "src/grafts/acl_grafts.h"
+#include "src/stats/harness.h"
+#include "src/stats/running_stats.h"
+
+namespace {
+
+using core::Technology;
+
+double MeasureCheckUs(Technology technology, std::size_t runs, double* stddev_pct) {
+  const double target_us = technology == Technology::kTcl ? 20000.0 : 5000.0;
+  stats::RunningStats per_check_us;
+  std::mt19937_64 rng(55);
+
+  for (std::size_t run = 0; run < runs; ++run) {
+    auto acl = grafts::CreateAclGraft(technology, 4096);
+    // Populate: 1000 entries over 64 users x 256 files.
+    for (int i = 0; i < 1000; ++i) {
+      acl->Grant(1 + rng() % 64, rng() % 256, core::kRead);
+    }
+    std::vector<std::pair<core::UserId, core::FileId>> queries(256);
+    for (auto& q : queries) {
+      q = {1 + rng() % 64, rng() % 256};
+    }
+    std::size_t cursor = 0;
+    const auto measurement = stats::MeasureAutoScaled(3, target_us, [&](std::size_t iters) {
+      bool sink = false;
+      for (std::size_t i = 0; i < iters; ++i) {
+        const auto& [user, file] = queries[cursor];
+        cursor = (cursor + 1) % queries.size();
+        sink ^= acl->Check(user, file, core::kRead);
+      }
+      stats::DoNotOptimize(sink);
+    });
+    per_check_us.Add(measurement.mean_us());
+  }
+  *stddev_pct = per_check_us.stddev_percent();
+  return per_check_us.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::Options::Parse(argc, argv);
+  bench::PrintHeader("Black Box #2: access-control-list checks", "paper §3.3 (taxonomy)");
+
+  const std::size_t runs = options.full ? 20 : 8;
+  const auto disk = diskmod::PaperEraDisk();
+  const double open_cost_us = disk.RandomAccessUs(4096);  // reading the file's first block
+
+  std::printf("1000-entry ACL, random (user,file,read) checks; overhead is relative to the\n");
+  std::printf("%.1fms file operation the check guards (paper-era 4KB random read).\n\n",
+              open_cost_us / 1000.0);
+  std::printf("%-18s %14s %10s %22s\n", "technology", "per check", "vs C", "% of guarded op");
+
+  double c_us = 0.0;
+  for (const Technology technology : core::kAllTechnologies) {
+    double stddev_pct = 0.0;
+    const double us = MeasureCheckUs(technology, runs, &stddev_pct);
+    if (technology == Technology::kC) {
+      c_us = us;
+    }
+    std::printf("%-18s %11.3fus %9.1fx %21.4f%%\n", core::TechnologyName(technology), us,
+                c_us > 0 ? us / c_us : 1.0, 100.0 * us / open_cost_us);
+  }
+
+  std::printf("\nEven interpreted ACL checks vanish against the I/O they gate — black box\n");
+  std::printf("grafts on coarse events tolerate any technology, exactly the paper's\n");
+  std::printf("Logical Disk conclusion extended to its other §3.3 example.\n");
+  return 0;
+}

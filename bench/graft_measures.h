@@ -1,0 +1,116 @@
+// Shared graft measurements used by the table and ablation benches.
+//
+// Each run constructs a FRESH graft instance: a 64-node pointer chase swings
+// 2-3x with allocation layout on modern cores, so per-instance layout must
+// be sampled into the mean (the paper's 30-runs methodology, applied to the
+// one source of variance 1995 didn't have to worry about).
+
+#ifndef GRAFTLAB_BENCH_GRAFT_MEASURES_H_
+#define GRAFTLAB_BENCH_GRAFT_MEASURES_H_
+
+#include <random>
+#include <vector>
+
+#include "src/core/technology.h"
+#include "src/grafts/factory.h"
+#include "src/ldisk/logical_disk.h"
+#include "src/md5/md5.h"
+#include "src/stats/harness.h"
+#include "src/stats/running_stats.h"
+#include "src/vmsim/frame.h"
+
+namespace bench {
+
+inline constexpr int kHotListSize = 64;  // the paper's average hot-list length
+
+// Mean time of one ChooseVictim call (the Table 2 operation: one full
+// hot-list search, cold candidate).
+inline double MeasureEvictionUs(core::Technology technology, std::size_t runs,
+                                double* stddev_pct = nullptr) {
+  std::vector<vmsim::Frame> frames(kHotListSize + 64);
+  vmsim::LruQueue queue;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    frames[i].page = 100000 + i;  // never hot
+    queue.PushMru(&frames[i]);
+  }
+
+  const double target_us = technology == core::Technology::kTcl ? 20000.0 : 5000.0;
+  stats::RunningStats per_call_us;
+  for (std::size_t run = 0; run < runs; ++run) {
+    auto graft = grafts::CreateEvictionGraft(technology);
+    for (int p = 1; p <= kHotListSize; ++p) {
+      graft->HotListAdd(static_cast<vmsim::PageId>(p));
+    }
+    const auto measurement = stats::MeasureAutoScaled(3, target_us, [&](std::size_t iters) {
+      vmsim::Frame* sink = nullptr;
+      for (std::size_t i = 0; i < iters; ++i) {
+        sink = graft->ChooseVictim(queue.head());
+      }
+      stats::DoNotOptimize(sink);
+    });
+    per_call_us.Add(measurement.mean_us());
+  }
+  if (stddev_pct != nullptr) {
+    *stddev_pct = per_call_us.stddev_percent();
+  }
+  return per_call_us.mean();
+}
+
+// Mean time to fingerprint `bytes` of data, delivered in 64KB chunks.
+inline double MeasureMd5Us(core::Technology technology, std::size_t runs, std::size_t bytes,
+                           double* stddev_pct = nullptr) {
+  constexpr std::size_t kChunk = 64u << 10;
+  std::vector<std::uint8_t> data(bytes);
+  std::mt19937_64 rng(1996);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+
+  stats::RunningStats per_pass_us;
+  for (std::size_t run = 0; run < runs; ++run) {
+    auto graft = grafts::CreateMd5Graft(technology);
+    stats::SpinWarmup();
+    // Warm pass, then measured pass, on this instance.
+    for (int pass = 0; pass < 2; ++pass) {
+      stats::Timer timer;
+      for (std::size_t off = 0; off < data.size(); off += kChunk) {
+        graft->Consume(data.data() + off, std::min(kChunk, data.size() - off));
+      }
+      md5::Digest digest = graft->Finish();
+      stats::DoNotOptimize(digest);
+      if (pass == 1) {
+        per_pass_us.Add(timer.ElapsedUs());
+      }
+    }
+  }
+  if (stddev_pct != nullptr) {
+    *stddev_pct = per_pass_us.stddev_percent();
+  }
+  return per_pass_us.mean();
+}
+
+// Mean time to replay `writes` skewed block writes through the bookkeeping
+// graft (fresh graft per run — the log starts empty, as in the paper).
+inline double MeasureLdiskUs(core::Technology technology, std::size_t runs,
+                             std::uint64_t writes, double* stddev_pct = nullptr) {
+  ldisk::Geometry geometry;
+  geometry.num_blocks = writes;
+  stats::RunningStats per_run_us;
+  for (std::size_t run = 0; run < runs; ++run) {
+    auto graft = grafts::CreateLogicalDiskGraft(technology, geometry);
+    stats::SpinWarmup();
+    stats::Timer timer;
+    const auto replay =
+        ldisk::ReplayWorkload(*graft, geometry, writes, /*seed=*/80204, /*validate=*/false);
+    stats::DoNotOptimize(replay.writes);
+    per_run_us.Add(timer.ElapsedUs());
+  }
+  if (stddev_pct != nullptr) {
+    *stddev_pct = per_run_us.stddev_percent();
+  }
+  return per_run_us.mean();
+}
+
+}  // namespace bench
+
+#endif  // GRAFTLAB_BENCH_GRAFT_MEASURES_H_

@@ -1,0 +1,124 @@
+// file_fingerprint: a stream-graft pipeline in the spirit of §3.2 — the
+// kernel transparently compresses and encrypts a file on its way to disk
+// while an MD5 graft fingerprints the plaintext for tamper detection.
+//
+//   $ ./file_fingerprint
+//
+// Builds the chain  [md5] -> [rle-compress] -> [xor-cipher]  for writes and
+// the inverse chain for reads, demonstrates round-tripping, then simulates
+// the paper's virus scenario: one flipped bit in the stored file, caught by
+// the fingerprint on the next load.
+
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "src/core/graft.h"
+#include "src/core/graft_host.h"
+#include "src/core/technology.h"
+#include "src/grafts/factory.h"
+#include "src/streamk/stream.h"
+
+namespace {
+
+// A fake executable: headers, code-like runs, and string tables compress
+// well enough to make the RLE stage worthwhile.
+std::vector<std::uint8_t> MakeExecutable(std::size_t size) {
+  std::vector<std::uint8_t> file;
+  std::mt19937 rng(1234);
+  file.insert(file.end(), 128, 0x7F);  // "header"
+  while (file.size() < size) {
+    if (rng() % 3 == 0) {
+      file.insert(file.end(), 16 + rng() % 200, static_cast<std::uint8_t>(rng() % 4));
+    } else {
+      for (int i = 0; i < 64; ++i) {
+        file.push_back(static_cast<std::uint8_t>(rng()));
+      }
+    }
+  }
+  file.resize(size);
+  return file;
+}
+
+const std::vector<std::uint8_t> kKey{0x6B, 0x65, 0x72, 0x6E, 0x65, 0x6C};
+
+// Writes: fingerprint the plaintext, then compress, then encrypt.
+std::string StoreFile(core::GraftHost& host, const std::vector<std::uint8_t>& plain,
+                      std::vector<std::uint8_t>& stored) {
+  streamk::Chain chain;
+  auto md5_filter =
+      std::make_unique<core::GraftFilter>(grafts::CreateMd5Graft(core::Technology::kSfi));
+  auto* md5_raw = md5_filter.get();
+  chain.Append(std::move(md5_filter));
+  chain.Append(std::make_unique<streamk::RleCompressFilter>());
+  chain.Append(std::make_unique<streamk::XorCipherFilter>(kKey));
+
+  streamk::MemorySink sink;
+  if (!host.RunStream(plain, 4096, chain, sink)) {
+    std::fprintf(stderr, "stream graft faulted during store\n");
+    return "";
+  }
+  stored = sink.bytes();
+  return md5::ToHex(md5_raw->digest());
+}
+
+// Reads: decrypt, decompress, re-fingerprint the recovered plaintext.
+std::string LoadFile(core::GraftHost& host, const std::vector<std::uint8_t>& stored,
+                     std::vector<std::uint8_t>& plain) {
+  streamk::Chain chain;
+  chain.Append(std::make_unique<streamk::XorCipherFilter>(kKey));
+  chain.Append(std::make_unique<streamk::RleDecompressFilter>());
+  auto md5_filter =
+      std::make_unique<core::GraftFilter>(grafts::CreateMd5Graft(core::Technology::kSfi));
+  auto* md5_raw = md5_filter.get();
+  chain.Append(std::move(md5_filter));
+
+  streamk::MemorySink sink;
+  if (!host.RunStream(stored, 4096, chain, sink)) {
+    return "";  // fault contained by the host (e.g. corrupt RLE stream)
+  }
+  plain = sink.bytes();
+  return md5::ToHex(md5_raw->digest());
+}
+
+}  // namespace
+
+int main() {
+  core::GraftHost host;
+  const auto original = MakeExecutable(256u << 10);
+
+  std::printf("storing a %zuKB executable through [md5]->[rle]->[xor]...\n",
+              original.size() >> 10);
+  std::vector<std::uint8_t> stored;
+  const std::string fingerprint = StoreFile(host, original, stored);
+  std::printf("  stored %zuKB (%.0f%% of original); fingerprint %s\n", stored.size() >> 10,
+              100.0 * static_cast<double>(stored.size()) / static_cast<double>(original.size()),
+              fingerprint.c_str());
+
+  std::printf("\nloading it back through the inverse chain...\n");
+  std::vector<std::uint8_t> recovered;
+  const std::string reloaded = LoadFile(host, stored, recovered);
+  std::printf("  recovered %zuKB; fingerprint %s -> %s\n", recovered.size() >> 10,
+              reloaded.c_str(),
+              (recovered == original && reloaded == fingerprint) ? "INTACT" : "MISMATCH");
+
+  std::printf("\na virus flips one bit of the stored file...\n");
+  auto infected = stored;
+  infected[infected.size() / 2] ^= 0x04;
+  std::vector<std::uint8_t> suspect;
+  const std::string suspect_fp = LoadFile(host, infected, suspect);
+  if (suspect_fp.empty()) {
+    std::printf("  load faulted in the decompressor — contained by the kernel "
+                "(contained_faults=%llu), file rejected\n",
+                static_cast<unsigned long long>(host.contained_faults()));
+  } else {
+    std::printf("  fingerprint now %s -> %s\n", suspect_fp.c_str(),
+                suspect_fp == fingerprint ? "UNDETECTED (!!)" : "TAMPERING DETECTED");
+  }
+
+  std::printf("\n\"If the fingerprint is kept separate from the file ... a change to the\n");
+  std::printf("file can be detected by computing its MD5 fingerprint and comparing it to\n");
+  std::printf("the saved fingerprint.\" — §3.2, demonstrated.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// log_disk: the paper's §3.3 Black Box scenario completed — a logical disk
+// turning random writes into sequential segment writes, with the cleaner
+// the paper left out.
+//
+//   $ ./log_disk
+//
+// Phase 1 replays the paper's exact Table 6 workload (262,144 skewed writes)
+// through the bookkeeping graft, timing the overhead the paper measured.
+// Phase 2 runs the full LogLayer with cleaning under sustained overwrite
+// and reports the end-to-end I/O win over in-place writes.
+
+#include <cstdio>
+
+#include "src/core/technology.h"
+#include "src/diskmod/disk_model.h"
+#include "src/grafts/factory.h"
+#include "src/ldisk/log_layer.h"
+#include "src/ldisk/logical_disk.h"
+#include "src/stats/harness.h"
+
+int main() {
+  ldisk::Geometry geometry;  // 1GB, 4KB blocks, 64KB segments
+  const auto disk = diskmod::PaperEraDisk();
+
+  std::printf("Phase 1: the paper's bookkeeping measurement (Table 6)\n");
+  std::printf("-------------------------------------------------------\n");
+  auto graft = grafts::CreateLogicalDiskGraft(core::Technology::kC, geometry);
+  stats::Timer timer;
+  const auto replay = ldisk::ReplayWorkload(*graft, geometry, geometry.num_blocks,
+                                            /*seed=*/80204, /*validate=*/true);
+  const double total_us = timer.ElapsedUs();
+  std::printf("262,144 skewed writes: %.1fms bookkeeping (%.3fus/write), answers %s\n",
+              total_us / 1000.0, total_us / static_cast<double>(replay.writes),
+              replay.answers_correct ? "validated" : "WRONG");
+  std::printf("%llu segments filled, %llu rewrites (the 80/20 skew at work)\n\n",
+              static_cast<unsigned long long>(replay.segments_filled),
+              static_cast<unsigned long long>(replay.rewrites));
+
+  std::printf("Phase 2: the complete log-structured layer, cleaner included\n");
+  std::printf("-------------------------------------------------------------\n");
+  ldisk::Geometry small;
+  small.num_blocks = 32768;  // 128MB device for a quick demonstration
+  ldisk::LogLayer layer(small, disk, /*cleaning_reserve=*/0.1);
+  ldisk::SkewedWorkload workload(small, /*seed=*/5);
+  const std::uint64_t writes = small.num_blocks * 4;  // four device passes
+  const auto working_set = static_cast<ldisk::BlockId>(small.num_blocks * 7 / 10);
+
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    layer.Write(workload.Next() % working_set);
+  }
+
+  const auto& stats = layer.stats();
+  std::printf("user writes            : %llu (4 passes over a 70%%-utilized device)\n",
+              static_cast<unsigned long long>(stats.user_writes));
+  std::printf("segments written       : %llu\n",
+              static_cast<unsigned long long>(stats.segments_written));
+  std::printf("cleaner passes         : %llu (%llu live blocks relocated)\n",
+              static_cast<unsigned long long>(stats.cleanings),
+              static_cast<unsigned long long>(stats.blocks_copied));
+  std::printf("write amplification    : %.2fx\n",
+              static_cast<double>(stats.user_writes + stats.blocks_copied) /
+                  static_cast<double>(stats.user_writes));
+  std::printf("modeled disk time      : %.1fs through the log\n", stats.disk_time_us / 1e6);
+  std::printf("                         %.1fs if written randomly in place\n",
+              stats.baseline_disk_time_us / 1e6);
+  std::printf("net win                : %.2fx less disk-arm time\n",
+              stats.baseline_disk_time_us / stats.disk_time_us);
+  std::printf("invariants             : %s\n", layer.CheckInvariants() ? "hold" : "VIOLATED");
+
+  std::printf("\nThe bookkeeping overhead from phase 1 (sub-microsecond per write) buys the\n");
+  std::printf("multi-x I/O win of phase 2 — the paper's Black Box break-even, realized.\n");
+  return 0;
+}

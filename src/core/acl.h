@@ -1,0 +1,54 @@
+// Access-control-list graft interface — the paper's §3.3 Black Box example.
+//
+// The kernel consults the graft on every file access with the triple
+// (user, file, requested access) and expects yes/no. Grant/Revoke are the
+// administrative surface the application (or a privileged daemon) drives.
+// Semantics shared by every technology's implementation:
+//
+//   * an access is allowed if the (user, file) entry covers every requested
+//     bit, OR the (kWorld, file) entry does;
+//   * Grant ORs bits into the entry (creating it if absent); it may fail
+//     (returns false) if the graft's fixed table is full — the kernel treats
+//     that as a resource error, never silently allows;
+//   * Revoke clears bits; an entry with no bits grants nothing.
+
+#ifndef GRAFTLAB_SRC_CORE_ACL_H_
+#define GRAFTLAB_SRC_CORE_ACL_H_
+
+#include <cstdint>
+
+namespace core {
+
+using UserId = std::uint64_t;
+using FileId = std::uint64_t;
+
+// World entries match any user.
+inline constexpr UserId kWorld = 0;
+
+enum Access : std::uint8_t {
+  kRead = 1,
+  kWrite = 2,
+  kExecute = 4,
+};
+
+constexpr Access operator|(Access a, Access b) {
+  return static_cast<Access>(static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b));
+}
+
+class AccessControlGraft {
+ public:
+  virtual ~AccessControlGraft() = default;
+
+  // The hot path: one yes/no per file access.
+  virtual bool Check(UserId user, FileId file, Access access) = 0;
+
+  // Administrative updates.
+  virtual bool Grant(UserId user, FileId file, Access access) = 0;
+  virtual void Revoke(UserId user, FileId file, Access access) = 0;
+
+  virtual const char* technology() const = 0;
+};
+
+}  // namespace core
+
+#endif  // GRAFTLAB_SRC_CORE_ACL_H_

@@ -1,0 +1,79 @@
+// The graft taxonomy (paper §3): the kernel-side interfaces every extension
+// technology implements.
+//
+//   * Prioritization grafts choose a victim from a candidate list —
+//     vmsim::EvictionGraft (defined with the VM system it hooks into).
+//   * Stream grafts filter a data stream — StreamGraft below, adaptable
+//     into a streamk::Chain via GraftFilter.
+//   * Black Box grafts map inputs to an output through private state —
+//     ldisk::LogicalDiskGraft (defined with the logical disk it serves).
+//
+// src/grafts provides every (interface x technology) implementation and the
+// factories that make them.
+
+#ifndef GRAFTLAB_SRC_CORE_GRAFT_H_
+#define GRAFTLAB_SRC_CORE_GRAFT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/technology.h"
+#include "src/ldisk/logical_disk.h"
+#include "src/md5/md5.h"
+#include "src/streamk/stream.h"
+#include "src/vmsim/page_cache.h"
+
+namespace core {
+
+// Stream graft: consumes the stream, yields a digest at end-of-stream. (The
+// paper's representative stream graft is MD5 fingerprinting; the interface
+// is digest-shaped for that reason, with the data passing through
+// untouched.)
+class StreamGraft {
+ public:
+  virtual ~StreamGraft() = default;
+
+  // Absorbs the next chunk. May throw an extension fault; the kernel
+  // contains it at the chain level.
+  virtual void Consume(const std::uint8_t* data, std::size_t len) = 0;
+
+  // Completes the digest and resets for reuse.
+  virtual md5::Digest Finish() = 0;
+
+  virtual const char* technology() const = 0;
+};
+
+// Adapts a StreamGraft into a streamk filter (passthrough + fingerprint).
+class GraftFilter : public streamk::Filter {
+ public:
+  explicit GraftFilter(std::unique_ptr<StreamGraft> graft) : graft_(std::move(graft)) {}
+
+  void Process(streamk::Bytes in, streamk::Sink& out) override {
+    graft_->Consume(in.data(), in.size());
+    out.Write(in);
+  }
+  void Flush(streamk::Sink& out) override {
+    (void)out;
+    digest_ = graft_->Finish();
+    have_digest_ = true;
+  }
+  const char* name() const override { return graft_->technology(); }
+
+  bool have_digest() const { return have_digest_; }
+  const md5::Digest& digest() const { return digest_; }
+
+ private:
+  std::unique_ptr<StreamGraft> graft_;
+  md5::Digest digest_{};
+  bool have_digest_ = false;
+};
+
+// Re-exported taxonomy aliases, so callers can name all three graft shapes
+// through one header.
+using PrioritizationGraft = vmsim::EvictionGraft;
+using BlackBoxGraft = ldisk::LogicalDiskGraft;
+
+}  // namespace core
+
+#endif  // GRAFTLAB_SRC_CORE_GRAFT_H_

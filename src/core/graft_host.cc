@@ -1,0 +1,64 @@
+#include "src/core/graft_host.h"
+
+#include <exception>
+
+#include "src/envs/fault.h"
+#include "src/minnow/diag.h"
+
+namespace core {
+
+GraftHost::GraftHost(const GraftHostOptions& options)
+    : options_(options), page_cache_(options.page_frames) {}
+
+bool GraftHost::RunStream(streamk::Bytes data, std::size_t chunk, streamk::Chain& chain,
+                          streamk::Sink& sink) {
+  try {
+    streamk::Pump(data, chunk, chain, sink);
+    return true;
+  } catch (const envs::EnvFault&) {
+    ++contained_faults_;
+  } catch (const minnow::Trap&) {
+    ++contained_faults_;
+  } catch (const std::runtime_error&) {
+    // Tclet and other script-level failures surface as runtime_error.
+    ++contained_faults_;
+  }
+  return false;
+}
+
+GraftHost::BlackBoxResult GraftHost::RunLogicalDisk(BlackBoxGraft& graft,
+                                                    std::uint64_t num_writes, bool validate) {
+  BlackBoxResult result;
+  try {
+    result.replay =
+        ldisk::ReplayWorkload(graft, options_.disk_geometry, num_writes, /*seed=*/80204, validate);
+  } catch (const std::exception& error) {
+    ++contained_faults_;
+    result.faulted = true;
+    result.fault_message = error.what();
+  }
+  return result;
+}
+
+bool GraftHost::RunWithBudget(std::chrono::microseconds budget,
+                              const std::function<void()>& body) {
+  preempt_token_.Reset();
+  bool preempted = false;
+  {
+    envs::Watchdog watchdog(preempt_token_, budget);
+    try {
+      body();
+    } catch (const envs::PreemptFault&) {
+      preempted = true;
+      ++contained_faults_;
+    } catch (const minnow::Trap&) {
+      // VM fuel exhaustion or trap inside the budgeted region.
+      preempted = true;
+      ++contained_faults_;
+    }
+  }
+  preempt_token_.Reset();
+  return !preempted;
+}
+
+}  // namespace core

@@ -1,0 +1,82 @@
+// GraftHost: the simulated extensible kernel.
+//
+// Owns the kernel subsystems grafts hook into (the VM page cache, the
+// stream layer, the logical disk) and enforces the two kernel-side
+// guarantees the paper demands of any extension technology:
+//
+//   * containment — a graft that faults (bounds, NIL, VM trap, script
+//     error) is detached and counted, never propagated into kernel state;
+//   * preemption — a graft invocation can be run under a CPU budget; if it
+//     exceeds the budget, the watchdog trips the safe environments' poll
+//     token (compiled technologies) while VMs use their own fuel.
+
+#ifndef GRAFTLAB_SRC_CORE_GRAFT_HOST_H_
+#define GRAFTLAB_SRC_CORE_GRAFT_HOST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/graft.h"
+#include "src/envs/preempt.h"
+#include "src/ldisk/logical_disk.h"
+#include "src/streamk/stream.h"
+#include "src/vmsim/page_cache.h"
+
+namespace core {
+
+struct GraftHostOptions {
+  std::size_t page_frames = 1024;
+  ldisk::Geometry disk_geometry;
+};
+
+class GraftHost {
+ public:
+  explicit GraftHost(const GraftHostOptions& options = GraftHostOptions{});
+
+  // --- Prioritization hook ---
+  vmsim::PageCache& page_cache() { return page_cache_; }
+  void AttachEvictionGraft(PrioritizationGraft* graft) { page_cache_.SetEvictionGraft(graft); }
+  void DetachEvictionGraft() { page_cache_.SetEvictionGraft(nullptr); }
+
+  // --- Stream hook ---
+  // Pumps `data` through `chain` into `sink` in `chunk` pieces, containing
+  // extension faults: on a fault the stream is aborted, the fault counted,
+  // and false returned. Kernel state stays intact.
+  bool RunStream(streamk::Bytes data, std::size_t chunk, streamk::Chain& chain,
+                 streamk::Sink& sink);
+
+  // --- Black Box hook ---
+  // Replays a skewed write workload through a logical-disk graft with
+  // validation; contains graft faults the same way.
+  struct BlackBoxResult {
+    ldisk::ReplayResult replay;
+    bool faulted = false;
+    std::string fault_message;
+  };
+  BlackBoxResult RunLogicalDisk(BlackBoxGraft& graft, std::uint64_t num_writes,
+                                bool validate = true);
+
+  // --- Preemption ---
+  // Token handed to compiled-technology grafts at construction.
+  envs::PreemptToken& preempt_token() { return preempt_token_; }
+
+  // Runs `body` under a wall-clock budget: arms a watchdog on the token,
+  // runs, disarms. Returns false if the body was preempted (PreemptFault).
+  bool RunWithBudget(std::chrono::microseconds budget, const std::function<void()>& body);
+
+  std::uint64_t contained_faults() const { return contained_faults_; }
+  const ldisk::Geometry& disk_geometry() const { return options_.disk_geometry; }
+
+ private:
+  GraftHostOptions options_;
+  vmsim::PageCache page_cache_;
+  envs::PreemptToken preempt_token_;
+  std::uint64_t contained_faults_ = 0;
+};
+
+}  // namespace core
+
+#endif  // GRAFTLAB_SRC_CORE_GRAFT_HOST_H_

@@ -1,0 +1,14 @@
+#include "src/core/technology.h"
+
+namespace core {
+
+std::optional<Technology> ParseTechnology(std::string_view name) {
+  for (const Technology technology : kAllTechnologies) {
+    if (name == TechnologyName(technology)) {
+      return technology;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace core

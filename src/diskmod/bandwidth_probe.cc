@@ -1,0 +1,57 @@
+#include "src/diskmod/bandwidth_probe.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/harness.h"
+#include "src/stats/running_stats.h"
+
+namespace diskmod {
+
+BandwidthResult MeasureWriteBandwidth(std::size_t bytes_per_run, std::size_t runs) {
+  BandwidthResult result;
+  result.bytes_per_run = bytes_per_run;
+
+  char path[] = "/tmp/graftlab_bwprobe_XXXXXX";
+  const int fd = ::mkstemp(path);
+  if (fd < 0) {
+    return result;
+  }
+  ::unlink(path);
+
+  constexpr std::size_t kBlock = 64 * 1024;  // the paper's 64KB transfer unit
+  std::vector<std::uint8_t> block(kBlock, 0xA5);
+
+  stats::RunningStats kb_per_s;
+  for (std::size_t run = 0; run < runs; ++run) {
+    if (::lseek(fd, 0, SEEK_SET) < 0) {
+      break;
+    }
+    stats::Timer timer;
+    std::size_t written = 0;
+    while (written < bytes_per_run) {
+      const ssize_t n = ::write(fd, block.data(), kBlock);
+      if (n <= 0) {
+        ::close(fd);
+        return result;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    ::fdatasync(fd);
+    const double seconds = timer.ElapsedUs() / 1e6;
+    kb_per_s.Add(static_cast<double>(written) / 1024.0 / seconds);
+  }
+  ::close(fd);
+
+  result.bandwidth_kb_s = kb_per_s.mean();
+  result.stddev_pct = kb_per_s.stddev_percent();
+  if (result.bandwidth_kb_s > 0.0) {
+    result.mb_access_time_us = 1024.0 / result.bandwidth_kb_s * 1e6;
+  }
+  return result;
+}
+
+}  // namespace diskmod

@@ -1,0 +1,28 @@
+// Measured disk write bandwidth (the paper's Table 4, lmbench lmdd
+// methodology): write a stream of blocks through the filesystem, sync, and
+// divide. The result feeds the MD5/disk ratio in Table 5 alongside the
+// modeled figure from disk_model.h.
+
+#ifndef GRAFTLAB_SRC_DISKMOD_BANDWIDTH_PROBE_H_
+#define GRAFTLAB_SRC_DISKMOD_BANDWIDTH_PROBE_H_
+
+#include <cstddef>
+
+namespace diskmod {
+
+struct BandwidthResult {
+  double bandwidth_kb_s = 0.0;    // mean across runs
+  double stddev_pct = 0.0;
+  double mb_access_time_us = 0.0; // derived: time to move 1MB
+  std::size_t bytes_per_run = 0;
+};
+
+// Writes `bytes_per_run` bytes (64KB blocks) to a scratch file `runs` times,
+// fdatasync'ing each run, and reports the achieved bandwidth. Returns a
+// zeroed result if the scratch directory is not writable.
+BandwidthResult MeasureWriteBandwidth(std::size_t bytes_per_run = 32u << 20,
+                                      std::size_t runs = 5);
+
+}  // namespace diskmod
+
+#endif  // GRAFTLAB_SRC_DISKMOD_BANDWIDTH_PROBE_H_

@@ -1,0 +1,74 @@
+// Parameterized disk model.
+//
+// The paper's break-even arithmetic needs three disk quantities: the time to
+// read/write a stream (Table 4's bandwidth and "1MB access time"), the cost
+// of a seek (Table 6's "1% of a typical disk seek"), and the cost of a
+// demand-paging fault that goes to disk (Table 2/3's break-even
+// denominator). Host hardware no longer resembles a 1995 SCSI disk, so the
+// benchmarks compute break-evens against *both* a measured host figure
+// (bandwidth_probe.h) and this model, whose default parameters are chosen to
+// match the paper's Table 3/4 measurements; EXPERIMENTS.md reports the two
+// side by side.
+
+#ifndef GRAFTLAB_SRC_DISKMOD_DISK_MODEL_H_
+#define GRAFTLAB_SRC_DISKMOD_DISK_MODEL_H_
+
+#include <cstddef>
+
+namespace diskmod {
+
+struct DiskModel {
+  double seek_ms = 8.0;             // average seek
+  double rotational_ms = 4.2;       // half-rotation at 7200 RPM
+  double bandwidth_kb_s = 3126.0;   // sustained transfer (paper's Solaris row)
+
+  // Pure transfer time for `bytes` at the sustained rate.
+  double TransferUs(std::size_t bytes) const {
+    return static_cast<double>(bytes) / 1024.0 / bandwidth_kb_s * 1e6;
+  }
+
+  // One random access: seek + rotational delay + transfer.
+  double RandomAccessUs(std::size_t bytes) const {
+    return (seek_ms + rotational_ms) * 1000.0 + TransferUs(bytes);
+  }
+
+  // Sequential streaming time for `bytes` (no per-block seeks).
+  double SequentialUs(std::size_t bytes) const { return TransferUs(bytes); }
+
+  // Time to service a page fault that reads `pages_per_fault` disk pages of
+  // `page_bytes` each in one random access.
+  double PageFaultUs(int pages_per_fault, std::size_t page_bytes = 4096) const {
+    return RandomAccessUs(static_cast<std::size_t>(pages_per_fault) * page_bytes);
+  }
+};
+
+// The four platform rows from the paper's Tables 3 and 4, for replaying the
+// paper's own break-even arithmetic against our measured graft times.
+struct PaperPlatform {
+  const char* name;
+  double fault_time_us;     // Table 3
+  int pages_per_fault;      // Table 3
+  double bandwidth_kb_s;    // Table 4
+  double mb_access_time_us; // Table 4 (1MB)
+};
+
+inline constexpr PaperPlatform kPaperPlatforms[] = {
+    {"Alpha", 25100.0, 16, 4364.0, 235000.0},
+    {"HP-UX", 17900.0, 4, 1855.0, 552000.0},
+    {"Linux", 4700.0, 1, 1694.0, 604000.0},
+    {"Solaris", 6900.0, 1, 3126.0, 320000.0},
+};
+
+// A disk with the paper's Solaris-row characteristics (break-evens computed
+// against it land in the paper's reported ranges).
+inline DiskModel PaperEraDisk() { return DiskModel{}; }
+
+// A modern NVMe-class device, for the "does the conclusion still hold in
+// 2026" variant the EXPERIMENTS.md discussion uses.
+inline DiskModel ModernNvme() {
+  return DiskModel{.seek_ms = 0.02, .rotational_ms = 0.0, .bandwidth_kb_s = 3.0e6};
+}
+
+}  // namespace diskmod
+
+#endif  // GRAFTLAB_SRC_DISKMOD_DISK_MODEL_H_

@@ -1,0 +1,75 @@
+// Plain bump arena used by the unsafe and safe-language environments.
+//
+// All three compiled environments place graft data in an arena that is
+// reclaimed wholesale between graft instantiations, so that the *only*
+// difference between them is access instrumentation, never allocator
+// behavior. (The SFI environment uses sfi::Sandbox, which has the same bump
+// interface over an aligned region.)
+
+#ifndef GRAFTLAB_SRC_ENVS_ARENA_H_
+#define GRAFTLAB_SRC_ENVS_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "src/envs/fault.h"
+
+namespace envs {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 1 << 20) : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(std::size_t bytes, std::size_t align) {
+    if (align > alignof(std::max_align_t)) {
+      throw AllocFault("arena alignment beyond max_align_t");
+    }
+    std::size_t offset = (bump_ + align - 1) & ~(align - 1);
+    if (blocks_.empty() || offset + bytes > current_block_bytes_) {
+      // Oversized requests get a dedicated block of exactly the right size.
+      current_block_bytes_ = bytes > block_bytes_ ? bytes : block_bytes_;
+      blocks_.push_back(std::make_unique<std::byte[]>(current_block_bytes_));
+      offset = 0;
+    }
+    bump_ = offset + bytes;
+    return blocks_.back().get() + offset;
+  }
+
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>, "arena objects are reclaimed wholesale");
+    return ::new (Allocate(sizeof(T), alignof(T))) T(static_cast<Args&&>(args)...);
+  }
+
+  template <typename T>
+  T* NewArray(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>, "arena objects are reclaimed wholesale");
+    return ::new (Allocate(sizeof(T) * n, alignof(T))) T[n]();
+  }
+
+  // Drops every allocation.
+  void Reset() {
+    blocks_.clear();
+    current_block_bytes_ = 0;
+    bump_ = 0;
+  }
+
+  std::size_t blocks_in_use() const { return blocks_.size(); }
+
+ private:
+  std::size_t block_bytes_;
+  std::size_t current_block_bytes_ = 0;
+  std::size_t bump_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+};
+
+}  // namespace envs
+
+#endif  // GRAFTLAB_SRC_ENVS_ARENA_H_

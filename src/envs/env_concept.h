@@ -1,0 +1,58 @@
+// The execution-environment concept shared by the compiled technologies.
+//
+// The paper's compiled technologies — unsafe C, Modula-3, and Omniware-style
+// SFI — run the *same algorithms* under different safety instrumentation.
+// GraftLab makes that literal: each compiled graft is written once as a C++
+// template over an environment policy `Env`, and the three policies differ
+// only in what every data access costs:
+//
+//   UnsafeEnv     raw loads/stores, no checks, no preemption polls   ("C")
+//   SafeLangEnv   bounds check per subscript, NIL check per deref    ("Modula-3")
+//   SfiEnv<P>     address masking per store (and per load when P is
+//                 Protection::kFull), masked host calls              ("Omniware")
+//
+// An environment provides:
+//
+//   template <typename T> class Array;  // fixed-size typed array handle
+//     T Get(std::size_t i) const;
+//     void Set(std::size_t i, T v);
+//     std::size_t size() const;
+//
+//   template <typename T> class Ref;    // nullable typed reference
+//     F Get(F T::*field) const;
+//     void Set(F T::*field, F v);
+//     bool IsNull() const;              // never faults
+//
+//   Array<T> NewArray<T>(std::size_t n);          // arena allocation
+//   Ref<T>   New<T>(args...);
+//   void Poll();                        // preemption poll at loop back edges
+//   void ResetHeap();                   // reclaim all graft allocations
+//   static constexpr const char* kName;
+//
+// T must be trivially destructible (arena reclamation is wholesale), and
+// struct fields accessed through Ref must be members of standard-layout
+// types. Default-constructed Ref is NIL; Array and Ref are cheap values.
+//
+// The EnvLike concept below lets graft templates state their requirement.
+
+#ifndef GRAFTLAB_SRC_ENVS_ENV_CONCEPT_H_
+#define GRAFTLAB_SRC_ENVS_ENV_CONCEPT_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace envs {
+
+template <typename E>
+concept EnvLike = requires(E env, std::size_t n) {
+  { env.template NewArray<std::uint32_t>(n) };
+  { env.template New<std::uint64_t>() };
+  { env.Poll() };
+  { env.ResetHeap() };
+  { E::kName } -> std::convertible_to<const char*>;
+};
+
+}  // namespace envs
+
+#endif  // GRAFTLAB_SRC_ENVS_ENV_CONCEPT_H_

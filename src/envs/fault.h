@@ -1,0 +1,53 @@
+// Runtime faults raised by safe execution environments.
+//
+// A Modula-3-style environment turns bounds violations and NIL dereferences
+// into runtime errors instead of memory corruption; a preemption guard turns
+// runaway grafts into aborts. These exception types are how those events
+// surface to the GraftHost, which converts them into a failed graft
+// invocation rather than a dead kernel.
+
+#ifndef GRAFTLAB_SRC_ENVS_FAULT_H_
+#define GRAFTLAB_SRC_ENVS_FAULT_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace envs {
+
+// Base class for all extension-environment faults.
+class EnvFault : public std::runtime_error {
+ public:
+  explicit EnvFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Array access outside [0, size) — the check Modula-3 compiles into every
+// subscript.
+class BoundsFault : public EnvFault {
+ public:
+  BoundsFault(std::size_t index, std::size_t size)
+      : EnvFault("array index " + std::to_string(index) + " out of bounds [0, " +
+                 std::to_string(size) + ")") {}
+};
+
+// Dereference of a NIL reference.
+class NilFault : public EnvFault {
+ public:
+  NilFault() : EnvFault("NIL dereference") {}
+};
+
+// The preemption guard fired: the graft exceeded its CPU allowance.
+class PreemptFault : public EnvFault {
+ public:
+  PreemptFault() : EnvFault("graft preempted: CPU allowance exceeded") {}
+};
+
+// Arena exhausted or allocation failed inside an environment.
+class AllocFault : public EnvFault {
+ public:
+  explicit AllocFault(const std::string& what) : EnvFault(what) {}
+};
+
+}  // namespace envs
+
+#endif  // GRAFTLAB_SRC_ENVS_FAULT_H_

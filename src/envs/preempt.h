@@ -1,0 +1,77 @@
+// Preemption of runaway grafts.
+//
+// The paper (§4): "we need a mechanism to ensure that extension code not
+// monopolize the CPU; we must be able to preempt an extension that runs too
+// long." Interpreted technologies use a fuel counter inside the VM; compiled
+// safe technologies poll a shared flag at loop back-edges (one relaxed
+// atomic load per iteration — the cost shows up in the ablation benches).
+// Unsafe C polls nothing: it is unsafe, which is the point.
+
+#ifndef GRAFTLAB_SRC_ENVS_PREEMPT_H_
+#define GRAFTLAB_SRC_ENVS_PREEMPT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/envs/fault.h"
+
+namespace envs {
+
+// Shared abort flag between the kernel (or its watchdog) and a graft.
+class PreemptToken {
+ public:
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  void Reset() { stop_.store(false, std::memory_order_relaxed); }
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+  // Called by safe environments at back edges; throws when stop requested.
+  void Poll() const {
+    if (stop_requested()) {
+      throw PreemptFault();
+    }
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+// Arms a deadline on construction; if the guarded scope is still running
+// when the deadline passes, the token is tripped and the next Poll() in the
+// graft throws PreemptFault. Disarms (joins) on destruction.
+class Watchdog {
+ public:
+  Watchdog(PreemptToken& token, std::chrono::microseconds deadline) : token_(token) {
+    thread_ = std::thread([this, deadline] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, deadline, [this] { return cancelled_; })) {
+        token_.RequestStop();
+      }
+    });
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  PreemptToken& token_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+  std::thread thread_;
+};
+
+}  // namespace envs
+
+#endif  // GRAFTLAB_SRC_ENVS_PREEMPT_H_

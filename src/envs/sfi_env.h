@@ -1,0 +1,148 @@
+// SfiEnv — the paper's "Omniware" technology (software fault isolation).
+//
+// Graft data lives inside an aligned sfi::Sandbox; every store runs through
+// the two-ALU-op sandboxing transformation (addr & mask | base), so a wild
+// store can at worst clobber the graft's own data. The Omniware release the
+// paper measured protected writes and jumps only — reads ran unmasked — so
+// SfiEnv defaults to Protection::kWriteJump and offers Protection::kFull
+// (masked loads too), the configuration the paper's conclusion calls a
+// "compelling candidate" that was "not available today". The delta between
+// the two is measured by bench/ablate_sfi_protection.
+//
+// Note the containment semantics: SFI never *detects* a bad access the way
+// SafeLangEnv does — a NIL or out-of-bounds address is silently redirected
+// into the sandbox. Property tests in tests/sfi_env_test.cc fuzz stores at
+// wild addresses and assert nothing outside the region changes.
+
+#ifndef GRAFTLAB_SRC_ENVS_SFI_ENV_H_
+#define GRAFTLAB_SRC_ENVS_SFI_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "src/envs/preempt.h"
+#include "src/sfi/sandbox.h"
+
+namespace envs {
+
+template <sfi::Protection kProtection = sfi::Protection::kWriteJump>
+class SfiEnvT {
+ public:
+  static constexpr const char* kName =
+      kProtection == sfi::Protection::kWriteJump ? "SFI" : "SFI/full";
+
+  template <typename T>
+  class Array {
+   public:
+    Array() = default;
+    Array(std::uintptr_t addr, std::size_t n, const sfi::Sandbox* sandbox)
+        : addr_(addr), n_(n), sandbox_(sandbox) {}
+
+    T Get(std::size_t i) const {
+      std::uintptr_t a = addr_ + i * sizeof(T);
+      if constexpr (kProtection == sfi::Protection::kFull) {
+        a = sandbox_->MaskAddress(a);
+      }
+      return *reinterpret_cast<const T*>(a);
+    }
+    void Set(std::size_t i, T v) {
+      const std::uintptr_t a = sandbox_->MaskAddress(addr_ + i * sizeof(T));
+      *reinterpret_cast<T*>(a) = v;
+    }
+    std::size_t size() const { return n_; }
+
+   private:
+    std::uintptr_t addr_ = 0;
+    std::size_t n_ = 0;
+    const sfi::Sandbox* sandbox_ = nullptr;
+  };
+
+  template <typename T>
+  class Ref {
+   public:
+    Ref() = default;
+    Ref(std::uintptr_t addr, const sfi::Sandbox* sandbox) : addr_(addr), sandbox_(sandbox) {}
+
+    template <typename F, typename U = T>
+    F Get(F U::*field) const {
+      std::uintptr_t a = FieldAddress(field);
+      if constexpr (kProtection == sfi::Protection::kFull) {
+        a = sandbox_->MaskAddress(a);
+      }
+      return *reinterpret_cast<const F*>(a);
+    }
+    template <typename F, typename U = T>
+    void Set(F U::*field, F v) {
+      const std::uintptr_t a = sandbox_->MaskAddress(FieldAddress(field));
+      *reinterpret_cast<F*>(a) = v;
+    }
+    bool IsNull() const { return addr_ == 0; }
+    friend bool operator==(const Ref& a, const Ref& b) { return a.addr_ == b.addr_; }
+
+    // Unwraps at the kernel boundary (e.g. to return a chosen frame).
+    T* KernelPointer() const { return reinterpret_cast<T*>(addr_); }
+
+   private:
+    template <typename F, typename U>
+    std::uintptr_t FieldAddress(F U::*field) const {
+      // Compute the member offset without dereferencing: standard-layout
+      // member offsets are position-independent.
+      const T* probe = reinterpret_cast<const T*>(addr_);
+      return reinterpret_cast<std::uintptr_t>(&(probe->*field));
+    }
+
+    std::uintptr_t addr_ = 0;
+    const sfi::Sandbox* sandbox_ = nullptr;
+  };
+
+  // `sandbox_bytes` must be a power of two large enough for the graft's data.
+  explicit SfiEnvT(std::size_t sandbox_bytes = 1 << 24, PreemptToken* preempt = nullptr)
+      : sandbox_(sandbox_bytes), preempt_(preempt) {}
+
+  template <typename T>
+  Array<T> NewArray(std::size_t n) {
+    T* p = sandbox_.NewArray<T>(n);
+    return Array<T>(reinterpret_cast<std::uintptr_t>(p), n, &sandbox_);
+  }
+
+  template <typename T, typename... Args>
+  Ref<T> New(Args&&... args) {
+    T* p = sandbox_.New<T>(std::forward<Args>(args)...);
+    return Ref<T>(reinterpret_cast<std::uintptr_t>(p), &sandbox_);
+  }
+
+  // Wraps a kernel object for graft traversal. Under write+jump protection
+  // reads of kernel memory run unmasked (the Omniware configuration the
+  // paper measured); stores through the ref would be redirected into the
+  // sandbox, so the graft cannot corrupt the kernel structure. Under
+  // Protection::kFull this wrapper is unusable for kernel data (loads are
+  // masked too) — full-protection grafts use the marshaled adapters instead.
+  template <typename T>
+  Ref<T> AdoptKernel(T* p) {
+    static_assert(kProtection == sfi::Protection::kWriteJump,
+                  "full-protection SFI cannot read kernel memory directly; marshal instead");
+    return Ref<T>(reinterpret_cast<std::uintptr_t>(p), &sandbox_);
+  }
+
+  void Poll() {
+    if (preempt_ != nullptr) {
+      preempt_->Poll();
+    }
+  }
+
+  void ResetHeap() { sandbox_.Reset(); }
+
+  const sfi::Sandbox& sandbox() const { return sandbox_; }
+
+ private:
+  sfi::Sandbox sandbox_;
+  PreemptToken* preempt_ = nullptr;
+};
+
+using SfiEnv = SfiEnvT<sfi::Protection::kWriteJump>;
+using SfiFullEnv = SfiEnvT<sfi::Protection::kFull>;
+
+}  // namespace envs
+
+#endif  // GRAFTLAB_SRC_ENVS_SFI_ENV_H_

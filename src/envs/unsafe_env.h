@@ -1,0 +1,91 @@
+// UnsafeEnv — the paper's "C" technology.
+//
+// Code compiled and linked straight into the kernel: raw loads and stores,
+// no bounds checks, no NIL checks, no preemption polls. This is the baseline
+// every other technology is normalized against, and it is exactly as safe as
+// it sounds.
+
+#ifndef GRAFTLAB_SRC_ENVS_UNSAFE_ENV_H_
+#define GRAFTLAB_SRC_ENVS_UNSAFE_ENV_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "src/envs/arena.h"
+
+namespace envs {
+
+class UnsafeEnv {
+ public:
+  static constexpr const char* kName = "C";
+
+  template <typename T>
+  class Array {
+   public:
+    Array() = default;
+    Array(T* data, std::size_t n) : data_(data), n_(n) {}
+
+    T Get(std::size_t i) const { return data_[i]; }
+    void Set(std::size_t i, T v) { data_[i] = v; }
+    std::size_t size() const { return n_; }
+
+   private:
+    T* data_ = nullptr;
+    std::size_t n_ = 0;
+  };
+
+  template <typename T>
+  class Ref {
+   public:
+    Ref() = default;
+    explicit Ref(T* p) : p_(p) {}
+
+    template <typename F, typename U = T>
+    F Get(F U::*field) const {
+      return p_->*field;
+    }
+    template <typename F, typename U = T>
+    void Set(F U::*field, F v) {
+      p_->*field = v;
+    }
+    bool IsNull() const { return p_ == nullptr; }
+    friend bool operator==(const Ref& a, const Ref& b) { return a.p_ == b.p_; }
+
+    // Unwraps at the kernel boundary (e.g. to return a chosen frame).
+    T* KernelPointer() const { return p_; }
+
+   private:
+    T* p_ = nullptr;
+  };
+
+  UnsafeEnv() = default;
+
+  // Wraps a kernel object (e.g. an LRU frame) for traversal by the graft.
+  // Unsafe C reads kernel memory directly, at full speed.
+  template <typename T>
+  Ref<T> AdoptKernel(T* p) {
+    return Ref<T>(p);
+  }
+
+  template <typename T>
+  Array<T> NewArray(std::size_t n) {
+    return Array<T>(arena_.NewArray<T>(n), n);
+  }
+
+  template <typename T, typename... Args>
+  Ref<T> New(Args&&... args) {
+    return Ref<T>(arena_.New<T>(std::forward<Args>(args)...));
+  }
+
+  // Unsafe code admits no preemption point: nothing stops a runaway C graft.
+  void Poll() {}
+
+  void ResetHeap() { arena_.Reset(); }
+
+ private:
+  Arena arena_;
+};
+
+}  // namespace envs
+
+#endif  // GRAFTLAB_SRC_ENVS_UNSAFE_ENV_H_

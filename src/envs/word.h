@@ -1,0 +1,60 @@
+// Modula-3 `Word` module analog: machine-word modular arithmetic.
+//
+// MD5 depends on arithmetic modulo 2^32. C gets this by "silently ignoring
+// numeric overflow"; Modula-3 provides it through the Word interface, which
+// computes modulo the *native* word size. On the 64-bit Alpha that meant
+// modulo 2^64 — wrong for MD5 — and the paper measured both a fast/incorrect
+// 64-bit variant and a slow/correct 32-bit-emulated variant (§5.5). Word32
+// is the natural 32-bit module; Word32On64 reproduces the Alpha emulation
+// (64-bit registers with explicit truncation after every operation), used by
+// the md5 module's "Alpha" variant.
+
+#ifndef GRAFTLAB_SRC_ENVS_WORD_H_
+#define GRAFTLAB_SRC_ENVS_WORD_H_
+
+#include <cstdint>
+
+namespace envs {
+
+// Arithmetic modulo 2^32 on native 32-bit values.
+struct Word32 {
+  using T = std::uint32_t;
+  static constexpr T Plus(T a, T b) { return a + b; }
+  static constexpr T Minus(T a, T b) { return a - b; }
+  static constexpr T Times(T a, T b) { return a * b; }
+  static constexpr T And(T a, T b) { return a & b; }
+  static constexpr T Or(T a, T b) { return a | b; }
+  static constexpr T Xor(T a, T b) { return a ^ b; }
+  static constexpr T Not(T a) { return ~a; }
+  static constexpr T LeftShift(T a, unsigned n) { return a << n; }
+  static constexpr T RightShift(T a, unsigned n) { return a >> n; }
+  static constexpr T Rotate(T a, unsigned n) { return (a << n) | (a >> (32u - n)); }
+};
+
+// 32-bit arithmetic emulated in 64-bit registers: every result is truncated
+// back to 32 bits with an explicit mask, the extra work the paper's §5.5
+// attributes the ~10x slowdown of the "correct checksum" Alpha variant to
+// (amplified there by a compiler artifact; here the mask ops alone are
+// measured by bench/micro_primitives).
+struct Word32On64 {
+  using T = std::uint64_t;
+  static constexpr T kMask = 0xFFFFFFFFull;
+  static constexpr T Trunc(T a) { return a & kMask; }
+  static constexpr T Plus(T a, T b) { return Trunc(a + b); }
+  static constexpr T Minus(T a, T b) { return Trunc(a - b); }
+  static constexpr T Times(T a, T b) { return Trunc(a * b); }
+  static constexpr T And(T a, T b) { return a & b; }
+  static constexpr T Or(T a, T b) { return Trunc(a | b); }
+  static constexpr T Xor(T a, T b) { return Trunc(a ^ b); }
+  static constexpr T Not(T a) { return Trunc(~a); }
+  static constexpr T LeftShift(T a, unsigned n) { return Trunc(a << n); }
+  static constexpr T RightShift(T a, unsigned n) { return Trunc(a) >> n; }
+  static constexpr T Rotate(T a, unsigned n) {
+    const T t = Trunc(a);
+    return Trunc((t << n) | (t >> (32u - n)));
+  }
+};
+
+}  // namespace envs
+
+#endif  // GRAFTLAB_SRC_ENVS_WORD_H_

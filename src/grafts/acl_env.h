@@ -1,0 +1,128 @@
+// Access-control-list graft — the paper's canonical Black Box example
+// (§3.3): "at the center of the code that implements Access Control Lists
+// is a small database that (at an abstract level) accepts a triple
+// containing a file access request, a user ID, and a file ID, and responds
+// 'yes' or 'no.'"
+//
+// The database is an open-addressing hash table keyed by (file, user) with
+// a permission mask per entry, plus per-file world entries (user id 0).
+// The env-templated version stores the table in environment arrays, so the
+// per-lookup probe sequence pays each technology's safety tax; Minnow,
+// Tclet and upcall implementations live in acl_grafts.{h,cc}.
+
+#ifndef GRAFTLAB_SRC_GRAFTS_ACL_ENV_H_
+#define GRAFTLAB_SRC_GRAFTS_ACL_ENV_H_
+
+#include <cstdint>
+
+#include "src/core/acl.h"
+
+namespace grafts {
+
+template <typename Env>
+class EnvAclGraft : public core::AccessControlGraft {
+ public:
+  // `capacity` must be a power of two, comfortably above the expected entry
+  // count (the table rejects inserts beyond 3/4 load).
+  template <typename... EnvArgs>
+  explicit EnvAclGraft(std::size_t capacity, EnvArgs&&... env_args)
+      : env_(static_cast<EnvArgs&&>(env_args)...),
+        mask_(capacity - 1),
+        keys_(env_.template NewArray<std::int64_t>(capacity)),
+        masks_(env_.template NewArray<std::int64_t>(capacity)) {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      keys_.Set(i, kEmpty);
+    }
+  }
+
+  bool Check(core::UserId user, core::FileId file, core::Access access) override {
+    env_.Poll();
+    const auto want = static_cast<std::int64_t>(access);
+    const std::int64_t direct = Find(Key(user, file));
+    if (direct >= 0 && (masks_.Get(static_cast<std::size_t>(direct)) & want) == want) {
+      return true;
+    }
+    const std::int64_t world = Find(Key(core::kWorld, file));
+    return world >= 0 && (masks_.Get(static_cast<std::size_t>(world)) & want) == want;
+  }
+
+  bool Grant(core::UserId user, core::FileId file, core::Access access) override {
+    const std::int64_t key = Key(user, file);
+    std::int64_t slot = Find(key);
+    if (slot < 0) {
+      if (entries_ * 4 >= (mask_ + 1) * 3) {
+        return false;  // table full (kernel policy: reject, never grow)
+      }
+      slot = FindFree(key);
+      keys_.Set(static_cast<std::size_t>(slot), key);
+      masks_.Set(static_cast<std::size_t>(slot), std::int64_t{0});
+      ++entries_;
+    }
+    masks_.Set(static_cast<std::size_t>(slot),
+               masks_.Get(static_cast<std::size_t>(slot)) | static_cast<std::int64_t>(access));
+    return true;
+  }
+
+  void Revoke(core::UserId user, core::FileId file, core::Access access) override {
+    const std::int64_t slot = Find(Key(user, file));
+    if (slot < 0) {
+      return;
+    }
+    const std::int64_t remaining = masks_.Get(static_cast<std::size_t>(slot)) &
+                                   ~static_cast<std::int64_t>(access);
+    // Entries stay occupied with an empty mask (tombstone-free open
+    // addressing: deletion by mask clearing keeps probe chains intact).
+    masks_.Set(static_cast<std::size_t>(slot), remaining);
+  }
+
+  const char* technology() const override { return Env::kName; }
+
+ private:
+  static constexpr std::int64_t kEmpty = -1;
+
+  static std::int64_t Key(core::UserId user, core::FileId file) {
+    return static_cast<std::int64_t>((file << 20) | (user & 0xFFFFF));
+  }
+
+  std::size_t Hash(std::int64_t key) const {
+    auto h = static_cast<std::uint64_t>(key);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  // Returns the slot holding `key`, or -1.
+  std::int64_t Find(std::int64_t key) {
+    std::size_t slot = Hash(key);
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      const std::int64_t occupant = keys_.Get(slot);
+      if (occupant == key) {
+        return static_cast<std::int64_t>(slot);
+      }
+      if (occupant == kEmpty) {
+        return -1;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return -1;
+  }
+
+  std::int64_t FindFree(std::int64_t key) {
+    std::size_t slot = Hash(key);
+    while (keys_.Get(slot) != kEmpty) {
+      slot = (slot + 1) & mask_;
+    }
+    return static_cast<std::int64_t>(slot);
+  }
+
+  Env env_;
+  std::size_t mask_;
+  std::size_t entries_ = 0;
+  typename Env::template Array<std::int64_t> keys_;
+  typename Env::template Array<std::int64_t> masks_;
+};
+
+}  // namespace grafts
+
+#endif  // GRAFTLAB_SRC_GRAFTS_ACL_ENV_H_

@@ -1,0 +1,78 @@
+// Logical-disk bookkeeping graft for compiled technologies (paper §3.3,
+// §5.6).
+//
+// Per write: retire the block's previous physical location (reverse map +
+// per-segment live count), allocate the next log slot, and record the new
+// mapping — five or six instrumented array accesses, the working set of a
+// [DEJON93]-style logical disk. All state lives in the environment's heap,
+// so every access pays the technology's safety tax.
+
+#ifndef GRAFTLAB_SRC_GRAFTS_LDISK_ENV_H_
+#define GRAFTLAB_SRC_GRAFTS_LDISK_ENV_H_
+
+#include <cstdint>
+
+#include "src/core/graft.h"
+#include "src/ldisk/logical_disk.h"
+
+namespace grafts {
+
+template <typename Env>
+class EnvLogicalDiskGraft : public core::BlackBoxGraft {
+ public:
+  template <typename... EnvArgs>
+  explicit EnvLogicalDiskGraft(const ldisk::Geometry& geometry, EnvArgs&&... env_args)
+      : env_(static_cast<EnvArgs&&>(env_args)...),
+        geometry_(geometry),
+        map_(env_.template NewArray<std::int64_t>(geometry.num_blocks)),
+        reverse_(env_.template NewArray<std::int64_t>(geometry.num_blocks)),
+        segment_live_(env_.template NewArray<std::int64_t>(geometry.num_segments())),
+        cursor_(env_.template NewArray<std::int64_t>(1)) {
+    for (std::uint64_t i = 0; i < geometry.num_blocks; ++i) {
+      map_.Set(i, -1);
+      reverse_.Set(i, -1);
+    }
+  }
+
+  ldisk::BlockId OnWrite(ldisk::BlockId logical) override {
+    env_.Poll();
+    const std::int64_t next = cursor_.Get(0);
+    if (next >= static_cast<std::int64_t>(geometry_.num_blocks)) {
+      throw ldisk::DiskFull();
+    }
+
+    const std::int64_t old = map_.Get(logical);
+    if (old >= 0) {
+      reverse_.Set(static_cast<std::size_t>(old), std::int64_t{-1});
+      const std::size_t old_segment =
+          static_cast<std::size_t>(old) / geometry_.blocks_per_segment;
+      segment_live_.Set(old_segment, segment_live_.Get(old_segment) - 1);
+    }
+
+    cursor_.Set(0, next + 1);
+    map_.Set(logical, next);
+    reverse_.Set(static_cast<std::size_t>(next), static_cast<std::int64_t>(logical));
+    const std::size_t segment = static_cast<std::size_t>(next) / geometry_.blocks_per_segment;
+    segment_live_.Set(segment, segment_live_.Get(segment) + 1);
+    return static_cast<ldisk::BlockId>(next);
+  }
+
+  ldisk::BlockId Translate(ldisk::BlockId logical) override {
+    const std::int64_t physical = map_.Get(logical);
+    return physical < 0 ? ldisk::kUnmapped : static_cast<ldisk::BlockId>(physical);
+  }
+
+  const char* technology() const override { return Env::kName; }
+
+ private:
+  Env env_;
+  ldisk::Geometry geometry_;
+  typename Env::template Array<std::int64_t> map_;
+  typename Env::template Array<std::int64_t> reverse_;
+  typename Env::template Array<std::int64_t> segment_live_;
+  typename Env::template Array<std::int64_t> cursor_;
+};
+
+}  // namespace grafts
+
+#endif  // GRAFTLAB_SRC_GRAFTS_LDISK_ENV_H_

@@ -1,0 +1,37 @@
+// MD5 stream graft for compiled technologies: the policy-templated RFC 1321
+// implementation behind the StreamGraft interface (paper §3.2, §5.5).
+
+#ifndef GRAFTLAB_SRC_GRAFTS_MD5_GRAFT_ENV_H_
+#define GRAFTLAB_SRC_GRAFTS_MD5_GRAFT_ENV_H_
+
+#include "src/core/graft.h"
+#include "src/envs/word.h"
+#include "src/md5/md5_env.h"
+
+namespace grafts {
+
+template <typename Env, typename Word = envs::Word32>
+class EnvMd5Graft : public core::StreamGraft {
+ public:
+  template <typename... EnvArgs>
+  explicit EnvMd5Graft(EnvArgs&&... env_args)
+      : env_(static_cast<EnvArgs&&>(env_args)...), md5_(env_) {}
+
+  void Consume(const std::uint8_t* data, std::size_t len) override { md5_.Update(data, len); }
+
+  md5::Digest Finish() override {
+    const md5::Digest digest = md5_.Final();
+    md5_.Reset();
+    return digest;
+  }
+
+  const char* technology() const override { return Env::kName; }
+
+ private:
+  Env env_;
+  md5::EnvMd5<Env, Word> md5_;
+};
+
+}  // namespace grafts
+
+#endif  // GRAFTLAB_SRC_GRAFTS_MD5_GRAFT_ENV_H_

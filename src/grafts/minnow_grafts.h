@@ -1,0 +1,119 @@
+// The three paper grafts written in Minnow ("Java") and the kernel-side
+// adapters that run them on the bytecode interpreter or the translated
+// executor (core::Technology::kJava / kJavaTranslated).
+//
+// The grafts are genuine Minnow programs: the eviction graft keeps its hot
+// list as a linked list of VM objects and walks the kernel's LRU chain
+// through a host call; the MD5 graft implements all of RFC 1321 (buffering,
+// rounds, padding) over VM arrays; the logical-disk graft keeps the block
+// map, reverse map and segment live counts as VM arrays. The adapters do
+// only what a real kernel/VM boundary does: marshal arguments, pin shared
+// buffers, translate traps into extension faults.
+
+#ifndef GRAFTLAB_SRC_GRAFTS_MINNOW_GRAFTS_H_
+#define GRAFTLAB_SRC_GRAFTS_MINNOW_GRAFTS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/graft.h"
+#include "src/minnow/regir.h"
+#include "src/minnow/vm.h"
+
+namespace grafts {
+
+// Which execution engine runs the bytecode.
+enum class MinnowEngine {
+  kInterpreter,  // Technology::kJava
+  kTranslated,   // Technology::kJavaTranslated
+};
+
+// Per-graft VM configuration. `optimize` runs the bytecode optimizer
+// (minnow/optimizer.h) at load time — off by default so the Technology
+// rows model a plain 1995-style javac pipeline; the ablation benches turn
+// it on explicitly.
+struct MinnowConfig {
+  MinnowEngine engine = MinnowEngine::kInterpreter;
+  bool optimize = false;
+};
+
+// --- Prioritization ---
+
+class MinnowEvictionGraft : public core::PrioritizationGraft {
+ public:
+  explicit MinnowEvictionGraft(MinnowEngine engine = MinnowEngine::kInterpreter)
+      : MinnowEvictionGraft(MinnowConfig{engine, false}) {}
+  explicit MinnowEvictionGraft(MinnowConfig config);
+
+  vmsim::Frame* ChooseVictim(vmsim::Frame* lru_head) override;
+  void HotListAdd(vmsim::PageId page) override;
+  void HotListRemove(vmsim::PageId page) override;
+  void HotListClear() override;
+  const char* technology() const override;
+
+  minnow::VM& vm() { return *vm_; }
+
+ private:
+  minnow::Value Invoke(const std::string& fn, std::span<const minnow::Value> args);
+
+  MinnowEngine engine_;
+  std::unique_ptr<minnow::VM> vm_;
+  std::unique_ptr<minnow::RegExecutor> executor_;
+
+  // Walk context for the lru_page host call (valid during ChooseVictim).
+  vmsim::Frame* walk_head_ = nullptr;
+  vmsim::Frame* walk_cursor_ = nullptr;
+  std::int64_t walk_pos_ = 0;
+};
+
+// --- Stream (MD5) ---
+
+class MinnowMd5Graft : public core::StreamGraft {
+ public:
+  explicit MinnowMd5Graft(MinnowEngine engine = MinnowEngine::kInterpreter)
+      : MinnowMd5Graft(MinnowConfig{engine, false}) {}
+  explicit MinnowMd5Graft(MinnowConfig config);
+
+  void Consume(const std::uint8_t* data, std::size_t len) override;
+  md5::Digest Finish() override;
+  const char* technology() const override;
+
+ private:
+  minnow::Value Invoke(const std::string& fn, std::span<const minnow::Value> args);
+  void EnsureBuffer(std::size_t len);
+
+  MinnowEngine engine_;
+  std::unique_ptr<minnow::VM> vm_;
+  std::unique_ptr<minnow::RegExecutor> executor_;
+  minnow::Object* buffer_ = nullptr;  // pinned shared byte[] for chunks
+};
+
+// --- Black Box (logical disk) ---
+
+class MinnowLogicalDiskGraft : public core::BlackBoxGraft {
+ public:
+  MinnowLogicalDiskGraft(const ldisk::Geometry& geometry,
+                         MinnowEngine engine = MinnowEngine::kInterpreter)
+      : MinnowLogicalDiskGraft(geometry, MinnowConfig{engine, false}) {}
+  MinnowLogicalDiskGraft(const ldisk::Geometry& geometry, MinnowConfig config);
+
+  ldisk::BlockId OnWrite(ldisk::BlockId logical) override;
+  ldisk::BlockId Translate(ldisk::BlockId logical) override;
+  const char* technology() const override;
+
+ private:
+  minnow::Value Invoke(const std::string& fn, std::span<const minnow::Value> args);
+
+  MinnowEngine engine_;
+  std::unique_ptr<minnow::VM> vm_;
+  std::unique_ptr<minnow::RegExecutor> executor_;
+};
+
+// Exposed for tests: the graft sources.
+const char* MinnowEvictionSource();
+const char* MinnowMd5Source();
+const char* MinnowLogicalDiskSource();
+
+}  // namespace grafts
+
+#endif  // GRAFTLAB_SRC_GRAFTS_MINNOW_GRAFTS_H_

@@ -1,0 +1,67 @@
+// Read-ahead policy grafts (§5.4's "obvious candidate for grafting") for
+// every technology: the same adaptive policy — double the window on
+// sequential streaks, snap to 1 on random faults — with its two words of
+// state held in each technology's own storage.
+
+#ifndef GRAFTLAB_SRC_GRAFTS_READAHEAD_GRAFTS_H_
+#define GRAFTLAB_SRC_GRAFTS_READAHEAD_GRAFTS_H_
+
+#include <memory>
+
+#include "src/core/technology.h"
+#include "src/envs/preempt.h"
+#include "src/vmsim/read_ahead.h"
+
+namespace grafts {
+
+// Env-templated adaptive policy: state in environment storage so the
+// per-fault decision pays the technology's access costs.
+template <typename Env>
+class EnvReadAheadGraft : public vmsim::ReadAheadGraft {
+ public:
+  template <typename... EnvArgs>
+  explicit EnvReadAheadGraft(EnvArgs&&... env_args)
+      : env_(static_cast<EnvArgs&&>(env_args)...),
+        state_(env_.template NewArray<std::int64_t>(3)) {
+    state_.Set(kExpected, -1);
+    state_.Set(kWindow, 1);
+    state_.Set(kHaveLast, 0);
+  }
+
+  int Window(vmsim::PageId page) override {
+    env_.Poll();
+    const auto p = static_cast<std::int64_t>(page);
+    std::int64_t window = state_.Get(kWindow);
+    if (state_.Get(kHaveLast) != 0 && p == state_.Get(kExpected)) {
+      window *= 2;
+      if (window > vmsim::kMaxReadAheadWindow) {
+        window = vmsim::kMaxReadAheadWindow;
+      }
+    } else {
+      window = 1;
+    }
+    state_.Set(kWindow, window);
+    state_.Set(kExpected, p + window);
+    state_.Set(kHaveLast, std::int64_t{1});
+    return static_cast<int>(window);
+  }
+
+  const char* technology() const override { return Env::kName; }
+
+ private:
+  enum : std::size_t { kExpected = 0, kWindow = 1, kHaveLast = 2 };
+  Env env_;
+  typename Env::template Array<std::int64_t> state_;
+};
+
+// Factory across all technologies (Minnow/Tclet/upcall variants in the .cc).
+std::unique_ptr<vmsim::ReadAheadGraft> CreateReadAheadGraft(
+    core::Technology technology, envs::PreemptToken* preempt = nullptr);
+
+// Exposed for tests.
+const char* MinnowReadAheadSource();
+const char* TcletReadAheadSource();
+
+}  // namespace grafts
+
+#endif  // GRAFTLAB_SRC_GRAFTS_READAHEAD_GRAFTS_H_

@@ -1,0 +1,32 @@
+// Scheduling-policy grafts: the paper's client-server policy (§3.1) as a
+// downloadable extension, across technologies.
+//
+// The compiled variants walk the kernel's task vector directly; the Minnow
+// and Tclet variants inspect it through host calls (task_kind/task_runnable/
+// task_pending), the same kernel-call surface mChoices-style systems would
+// expose. Every implementation must make the identical decision for the
+// identical state — conformance-tested in tests/sched_test.cc.
+
+#ifndef GRAFTLAB_SRC_GRAFTS_SCHED_GRAFTS_H_
+#define GRAFTLAB_SRC_GRAFTS_SCHED_GRAFTS_H_
+
+#include <memory>
+
+#include "src/core/technology.h"
+#include "src/sched/scheduler.h"
+
+namespace grafts {
+
+// Creates the client-server scheduling graft for `technology`. Supported:
+// kC (native), kJava, kJavaTranslated, kTcl, kUpcall; other technologies
+// return the native policy (the decision logic has no memory accesses worth
+// instrumenting — its cost is the traversal, measured via the host calls).
+std::unique_ptr<sched::SchedulerGraft> CreateSchedulerGraft(core::Technology technology);
+
+// Exposed for tests.
+const char* MinnowSchedulerSource();
+const char* TcletSchedulerSource();
+
+}  // namespace grafts
+
+#endif  // GRAFTLAB_SRC_GRAFTS_SCHED_GRAFTS_H_

@@ -1,0 +1,82 @@
+// The paper grafts written in Tclet ("Tcl") plus their kernel adapters
+// (core::Technology::kTcl).
+//
+// The eviction graft keeps its hot list as a Tcl list in a global variable
+// and walks the kernel's LRU chain through a registered host command; the
+// MD5 graft does all the arithmetic (decode, 64 rounds, state folding) in
+// Tcl with `expr`, reading input bytes through a host command — the adapter
+// only shuttles bytes and performs the RFC's mechanical padding layout. The
+// paper did not measure Tcl on the logical-disk test ("Because of
+// performance of Tcl on the first two tests, we did not take Tcl
+// measurements for this test"); a graft is provided anyway for completeness
+// and small-scale testing.
+
+#ifndef GRAFTLAB_SRC_GRAFTS_TCLET_GRAFTS_H_
+#define GRAFTLAB_SRC_GRAFTS_TCLET_GRAFTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/graft.h"
+#include "src/tclet/interp.h"
+
+namespace grafts {
+
+class TcletEvictionGraft : public core::PrioritizationGraft {
+ public:
+  TcletEvictionGraft();
+
+  vmsim::Frame* ChooseVictim(vmsim::Frame* lru_head) override;
+  void HotListAdd(vmsim::PageId page) override;
+  void HotListRemove(vmsim::PageId page) override;
+  void HotListClear() override;
+  const char* technology() const override { return "Tcl"; }
+
+  tclet::Interp& interp() { return interp_; }
+
+ private:
+  tclet::Interp interp_;
+  vmsim::Frame* walk_head_ = nullptr;
+  vmsim::Frame* walk_cursor_ = nullptr;
+  std::int64_t walk_pos_ = 0;
+};
+
+class TcletMd5Graft : public core::StreamGraft {
+ public:
+  TcletMd5Graft();
+
+  void Consume(const std::uint8_t* data, std::size_t len) override;
+  md5::Digest Finish() override;
+  const char* technology() const override { return "Tcl"; }
+
+ private:
+  void ProcessBlock(const std::uint8_t block[64]);
+
+  tclet::Interp interp_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+  const std::uint8_t* current_block_ = nullptr;  // host-command input window
+};
+
+class TcletLogicalDiskGraft : public core::BlackBoxGraft {
+ public:
+  explicit TcletLogicalDiskGraft(const ldisk::Geometry& geometry);
+
+  ldisk::BlockId OnWrite(ldisk::BlockId logical) override;
+  ldisk::BlockId Translate(ldisk::BlockId logical) override;
+  const char* technology() const override { return "Tcl"; }
+
+ private:
+  tclet::Interp interp_;
+};
+
+// Exposed for tests.
+const char* TcletEvictionSource();
+const char* TcletMd5Source();
+const char* TcletLogicalDiskSource();
+
+}  // namespace grafts
+
+#endif  // GRAFTLAB_SRC_GRAFTS_TCLET_GRAFTS_H_

@@ -1,0 +1,163 @@
+// Grafts served from a user-level server (core::Technology::kUpcall).
+//
+// The extension logic is plain compiled code (the UnsafeEnv graft), but it
+// lives behind a protection boundary: every kernel->graft interaction is a
+// synchronous upcall through upcall::UpcallEngine (a server thread standing
+// in for a separate protection domain). This is the paper's
+// hardware-protection column: per-invocation cost = upcall round trip +
+// the work itself.
+
+#ifndef GRAFTLAB_SRC_GRAFTS_UPCALL_GRAFTS_H_
+#define GRAFTLAB_SRC_GRAFTS_UPCALL_GRAFTS_H_
+
+#include <memory>
+
+#include "src/core/graft.h"
+#include "src/envs/safe_env.h"
+#include "src/envs/sfi_env.h"
+#include "src/envs/unsafe_env.h"
+#include "src/grafts/eviction_env.h"
+#include "src/grafts/ldisk_env.h"
+#include "src/grafts/md5_graft_env.h"
+#include "src/upcall/upcall_engine.h"
+
+namespace grafts {
+
+class UpcallEvictionGraft : public core::PrioritizationGraft {
+ public:
+  UpcallEvictionGraft()
+      : server_graft_(),
+        engine_([this](std::uint64_t arg) { return Dispatch(arg); }) {}
+
+  vmsim::Frame* ChooseVictim(vmsim::Frame* lru_head) override {
+    op_ = Op::kChoose;
+    return reinterpret_cast<vmsim::Frame*>(
+        engine_.Upcall(reinterpret_cast<std::uint64_t>(lru_head)));
+  }
+  void HotListAdd(vmsim::PageId page) override {
+    op_ = Op::kAdd;
+    engine_.Upcall(page);
+  }
+  void HotListRemove(vmsim::PageId page) override {
+    op_ = Op::kRemove;
+    engine_.Upcall(page);
+  }
+  void HotListClear() override {
+    op_ = Op::kClear;
+    engine_.Upcall(0);
+  }
+  const char* technology() const override { return "Upcall"; }
+
+  std::uint64_t upcalls() const { return engine_.upcalls(); }
+
+ private:
+  enum class Op { kChoose, kAdd, kRemove, kClear };
+
+  std::uint64_t Dispatch(std::uint64_t arg) {
+    switch (op_) {
+      case Op::kChoose:
+        return reinterpret_cast<std::uint64_t>(
+            server_graft_.ChooseVictim(reinterpret_cast<vmsim::Frame*>(arg)));
+      case Op::kAdd:
+        server_graft_.HotListAdd(arg);
+        return 0;
+      case Op::kRemove:
+        server_graft_.HotListRemove(arg);
+        return 0;
+      case Op::kClear:
+        server_graft_.HotListClear();
+        return 0;
+    }
+    return 0;
+  }
+
+  EnvEvictionGraft<envs::UnsafeEnv> server_graft_;
+  Op op_ = Op::kChoose;
+  upcall::UpcallEngine engine_;  // must construct after op_/server_graft_
+};
+
+class UpcallMd5Graft : public core::StreamGraft {
+ public:
+  UpcallMd5Graft()
+      : server_graft_(), engine_([this](std::uint64_t arg) { return Dispatch(arg); }) {}
+
+  // One upcall per chunk — the paper assumes one per 64KB disk transfer.
+  void Consume(const std::uint8_t* data, std::size_t len) override {
+    op_ = Op::kConsume;
+    data_ = data;
+    len_ = len;
+    engine_.Upcall(0);
+  }
+
+  md5::Digest Finish() override {
+    op_ = Op::kFinish;
+    engine_.Upcall(0);
+    return digest_;
+  }
+
+  const char* technology() const override { return "Upcall"; }
+  std::uint64_t upcalls() const { return engine_.upcalls(); }
+
+ private:
+  enum class Op { kConsume, kFinish };
+
+  std::uint64_t Dispatch(std::uint64_t) {
+    if (op_ == Op::kConsume) {
+      server_graft_.Consume(data_, len_);
+    } else {
+      digest_ = server_graft_.Finish();
+    }
+    return 0;
+  }
+
+  EnvMd5Graft<envs::UnsafeEnv> server_graft_;
+  Op op_ = Op::kConsume;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t len_ = 0;
+  md5::Digest digest_{};
+  upcall::UpcallEngine engine_;
+};
+
+class UpcallLogicalDiskGraft : public core::BlackBoxGraft {
+ public:
+  explicit UpcallLogicalDiskGraft(const ldisk::Geometry& geometry)
+      : server_graft_(geometry),
+        engine_([this](std::uint64_t arg) { return Dispatch(arg); }) {}
+
+  ldisk::BlockId OnWrite(ldisk::BlockId logical) override {
+    op_ = Op::kWrite;
+    const std::uint64_t reply = engine_.Upcall(logical);
+    if (reply == ldisk::kUnmapped) {
+      throw ldisk::DiskFull();
+    }
+    return reply;
+  }
+  ldisk::BlockId Translate(ldisk::BlockId logical) override {
+    op_ = Op::kTranslate;
+    return engine_.Upcall(logical);
+  }
+  const char* technology() const override { return "Upcall"; }
+  std::uint64_t upcalls() const { return engine_.upcalls(); }
+
+ private:
+  enum class Op { kWrite, kTranslate };
+
+  std::uint64_t Dispatch(std::uint64_t arg) {
+    if (op_ == Op::kWrite) {
+      try {
+        return server_graft_.OnWrite(arg);
+      } catch (const ldisk::DiskFull&) {
+        return ldisk::kUnmapped;  // marshaled back across the boundary
+      }
+    }
+    return server_graft_.Translate(arg);
+  }
+
+  EnvLogicalDiskGraft<envs::UnsafeEnv> server_graft_;
+  Op op_ = Op::kWrite;
+  upcall::UpcallEngine engine_;
+};
+
+}  // namespace grafts
+
+#endif  // GRAFTLAB_SRC_GRAFTS_UPCALL_GRAFTS_H_

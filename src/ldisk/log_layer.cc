@@ -1,0 +1,177 @@
+#include "src/ldisk/log_layer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ldisk {
+
+LogLayer::LogLayer(const Geometry& geometry, const diskmod::DiskModel& disk,
+                   double cleaning_reserve)
+    : geometry_(geometry),
+      disk_(disk),
+      reserve_segments_(
+          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                         cleaning_reserve *
+                                         static_cast<double>(geometry.num_segments())))),
+      map_(geometry.num_blocks, kUnmapped),
+      reverse_(geometry.num_blocks, kUnmapped),
+      live_(geometry.num_segments(), 0),
+      segment_free_(geometry.num_segments(), true),
+      segment_open_(geometry.num_segments(), false) {
+  if (reserve_segments_ + 1 >= geometry.num_segments()) {
+    throw std::invalid_argument("LogLayer: reserve leaves no writable segments");
+  }
+  // All segments start free; allocation takes from the back.
+  free_segments_.reserve(geometry.num_segments());
+  for (std::uint64_t s = geometry.num_segments(); s > 0; --s) {
+    free_segments_.push_back(s - 1);
+  }
+  open_segment_ = AllocateSegment();
+  segment_open_[open_segment_] = true;
+}
+
+std::uint64_t LogLayer::AllocateSegment() {
+  if (free_segments_.empty()) {
+    throw DiskFull();
+  }
+  const std::uint64_t segment = free_segments_.back();
+  free_segments_.pop_back();
+  segment_free_[segment] = false;
+  return segment;
+}
+
+void LogLayer::Write(BlockId logical) {
+  if (logical >= geometry_.num_blocks) {
+    throw std::out_of_range("LogLayer: logical block beyond device");
+  }
+  ++stats_.user_writes;
+  // Baseline cost: an in-place filesystem would pay one random 4KB access.
+  stats_.baseline_disk_time_us += disk_.RandomAccessUs(4096);
+  Append(logical, /*user_write=*/true);
+}
+
+void LogLayer::Append(BlockId logical, bool user_write) {
+  (void)user_write;
+  // The cleaner's relocations may fill the very segment a flush just opened,
+  // so re-check rather than assume one flush suffices. A single append can
+  // never legitimately need more flushes than there are segments: hitting
+  // that bound means the device is fully live and cleaning is just rotating
+  // data without creating space.
+  std::uint64_t flushes = 0;
+  while (open_fill_ == geometry_.blocks_per_segment) {
+    if (++flushes > geometry_.num_segments()) {
+      throw DiskFull();
+    }
+    FlushOpenSegment();
+  }
+
+  // Retire the previous copy of this block.
+  const BlockId old = map_[logical];
+  if (old != kUnmapped) {
+    reverse_[old] = kUnmapped;
+    --live_[geometry_.SegmentOf(old)];
+  }
+
+  const BlockId physical = open_segment_ * geometry_.blocks_per_segment + open_fill_;
+  map_[logical] = physical;
+  reverse_[physical] = logical;
+  ++live_[open_segment_];
+  ++open_fill_;
+}
+
+void LogLayer::FlushOpenSegment() {
+  // One sequential access writes the whole 64KB segment.
+  stats_.disk_time_us +=
+      disk_.RandomAccessUs(geometry_.blocks_per_segment * 4096);
+  ++stats_.segments_written;
+  segment_open_[open_segment_] = false;
+
+  // Open the replacement before cleaning: the cleaner's relocations append
+  // into it. The reentrancy guard keeps a relocation-triggered flush from
+  // starting a nested cleaning loop.
+  open_segment_ = AllocateSegment();
+  segment_open_[open_segment_] = true;
+  open_fill_ = 0;
+
+  if (!cleaning_) {
+    cleaning_ = true;
+    while (free_segments_.size() < reserve_segments_) {
+      CleanOne();
+    }
+    cleaning_ = false;
+  }
+}
+
+void LogLayer::CleanOne() {
+  // Greedy policy: clean the closed segment with the fewest live blocks.
+  std::uint64_t victim = geometry_.num_segments();
+  std::uint32_t best_live = static_cast<std::uint32_t>(geometry_.blocks_per_segment) + 1;
+  for (std::uint64_t s = 0; s < geometry_.num_segments(); ++s) {
+    if (segment_open_[s] || segment_free_[s] || live_[s] >= best_live) {
+      continue;
+    }
+    victim = s;
+    best_live = live_[s];
+  }
+  if (victim == geometry_.num_segments()) {
+    throw DiskFull();  // everything live: the device is genuinely full
+  }
+
+  ++stats_.cleanings;
+  // Read the victim segment (one sequential access)...
+  stats_.disk_time_us += disk_.RandomAccessUs(geometry_.blocks_per_segment * 4096);
+  // ...and relocate its live blocks into the open segment.
+  const BlockId first = victim * geometry_.blocks_per_segment;
+  for (std::uint64_t b = 0; b < geometry_.blocks_per_segment; ++b) {
+    const BlockId logical = reverse_[first + b];
+    if (logical != kUnmapped) {
+      ++stats_.blocks_copied;
+      Append(logical, /*user_write=*/false);
+    }
+  }
+  assert(live_[victim] == 0);
+  free_segments_.push_back(victim);
+  segment_free_[victim] = true;
+}
+
+double LogLayer::Utilization() const {
+  std::uint64_t live = 0;
+  std::uint64_t capacity = 0;
+  for (std::uint64_t s = 0; s < geometry_.num_segments(); ++s) {
+    if (segment_free_[s]) {
+      continue;
+    }
+    live += live_[s];
+    capacity += geometry_.blocks_per_segment;
+  }
+  return capacity == 0 ? 0.0 : static_cast<double>(live) / static_cast<double>(capacity);
+}
+
+bool LogLayer::CheckInvariants() const {
+  std::vector<std::uint32_t> counted(geometry_.num_segments(), 0);
+  for (BlockId logical = 0; logical < geometry_.num_blocks; ++logical) {
+    const BlockId physical = map_[logical];
+    if (physical == kUnmapped) {
+      continue;
+    }
+    if (physical >= geometry_.num_blocks || reverse_[physical] != logical) {
+      return false;
+    }
+    ++counted[geometry_.SegmentOf(physical)];
+  }
+  for (BlockId physical = 0; physical < geometry_.num_blocks; ++physical) {
+    const BlockId logical = reverse_[physical];
+    if (logical != kUnmapped && map_[logical] != physical) {
+      return false;
+    }
+  }
+  for (std::uint64_t s = 0; s < geometry_.num_segments(); ++s) {
+    if (counted[s] != live_[s]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ldisk

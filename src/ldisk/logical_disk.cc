@@ -1,0 +1,39 @@
+#include "src/ldisk/logical_disk.h"
+
+namespace ldisk {
+
+ReplayResult ReplayWorkload(LogicalDiskGraft& graft, const Geometry& geometry,
+                            std::uint64_t num_writes, std::uint64_t seed, bool validate) {
+  ReplayResult result;
+  SkewedWorkload workload(geometry, seed);
+
+  // Oracle: log-structured allocation is deterministic, so the kernel can
+  // shadow the graft's bookkeeping exactly.
+  std::vector<BlockId> oracle;
+  if (validate) {
+    oracle.assign(geometry.num_blocks, kUnmapped);
+  }
+  BlockId next_physical = 0;
+
+  for (std::uint64_t i = 0; i < num_writes; ++i) {
+    const BlockId logical = workload.Next();
+    const BlockId physical = graft.OnWrite(logical);
+    ++result.writes;
+    if ((physical + 1) % geometry.blocks_per_segment == 0) {
+      ++result.segments_filled;
+    }
+    if (validate) {
+      if (oracle[logical] != kUnmapped) {
+        ++result.rewrites;
+      }
+      if (physical != next_physical || graft.Translate(logical) != physical) {
+        result.answers_correct = false;
+      }
+      oracle[logical] = physical;
+    }
+    ++next_physical;
+  }
+  return result;
+}
+
+}  // namespace ldisk

@@ -1,0 +1,102 @@
+// Logical disk — the paper's Black Box graft workload (§3.3, §5.6).
+//
+// A logical disk (de Jonge et al. [DEJON93]) sits between the filesystem
+// and the physical disk, converting random block writes into sequential
+// segment writes and maintaining the logical-to-physical mapping. The paper
+// simulates "a 1GB physical disk with 4KB blocks and 64KB (16 block)
+// segments", drives it with 262,144 skewed writes (80% of requests to 20%
+// of blocks), runs no cleaner, and measures only the bookkeeping time.
+//
+// This header defines the kernel-side pieces: the graft interface, the
+// geometry, the skewed workload generator, and the accounting driver that
+// replays a workload through a graft while validating its answers against
+// an oracle. The per-technology bookkeeping grafts live in src/grafts.
+
+#ifndef GRAFTLAB_SRC_LDISK_LOGICAL_DISK_H_
+#define GRAFTLAB_SRC_LDISK_LOGICAL_DISK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace ldisk {
+
+using BlockId = std::uint64_t;
+inline constexpr BlockId kUnmapped = ~BlockId{0};
+
+// The paper's geometry: 1GB disk, 4KB blocks, 16-block (64KB) segments.
+struct Geometry {
+  std::uint64_t num_blocks = 262144;
+  std::uint64_t blocks_per_segment = 16;
+
+  std::uint64_t num_segments() const { return num_blocks / blocks_per_segment; }
+  std::uint64_t SegmentOf(BlockId physical) const { return physical / blocks_per_segment; }
+};
+
+// Thrown by a graft when the log reaches the end of the disk (no cleaner).
+class DiskFull : public std::runtime_error {
+ public:
+  DiskFull() : std::runtime_error("logical disk: log reached end of device") {}
+};
+
+// Kernel-side interface of a Black Box (logical disk bookkeeping) graft.
+class LogicalDiskGraft {
+ public:
+  virtual ~LogicalDiskGraft() = default;
+
+  // Records a write of `logical` and returns the physical block assigned to
+  // it (the next slot in the current segment). Throws DiskFull when the log
+  // is exhausted.
+  virtual BlockId OnWrite(BlockId logical) = 0;
+
+  // Read-path translation; kUnmapped if the block was never written.
+  virtual BlockId Translate(BlockId logical) = 0;
+
+  virtual const char* technology() const = 0;
+};
+
+// The paper's skewed request stream: 80% of writes hit the first 20% of the
+// logical blocks.
+class SkewedWorkload {
+ public:
+  SkewedWorkload(const Geometry& geometry, std::uint64_t seed = 80204,
+                 double hot_fraction = 0.2, double hot_probability = 0.8)
+      : rng_(seed),
+        hot_blocks_(static_cast<BlockId>(hot_fraction * static_cast<double>(geometry.num_blocks))),
+        total_blocks_(geometry.num_blocks),
+        hot_probability_(hot_probability) {}
+
+  BlockId Next() {
+    const double coin = std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+    if (coin < hot_probability_ && hot_blocks_ > 0) {
+      return rng_() % hot_blocks_;
+    }
+    const BlockId cold_span = total_blocks_ - hot_blocks_;
+    return hot_blocks_ + rng_() % cold_span;
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  BlockId hot_blocks_;
+  BlockId total_blocks_;
+  double hot_probability_;
+};
+
+// Replays `num_writes` workload requests through a graft, cross-checking
+// every answer against an in-kernel oracle map (sequential allocation).
+struct ReplayResult {
+  std::uint64_t writes = 0;
+  std::uint64_t segments_filled = 0;
+  std::uint64_t rewrites = 0;  // writes to already-mapped blocks
+  bool answers_correct = true;
+};
+
+ReplayResult ReplayWorkload(LogicalDiskGraft& graft, const Geometry& geometry,
+                            std::uint64_t num_writes, std::uint64_t seed = 80204,
+                            bool validate = true);
+
+}  // namespace ldisk
+
+#endif  // GRAFTLAB_SRC_LDISK_LOGICAL_DISK_H_

@@ -1,0 +1,54 @@
+// MD5 Message-Digest Algorithm (RFC 1321), implemented from scratch.
+//
+// This is the paper's Stream graft workload (§3.2, §5.5): an expensive,
+// array- and 32-bit-arithmetic-heavy filter whose only job is to keep up
+// with the disk. This header is the native ("C") implementation used as the
+// baseline and as the correctness oracle for every other technology's MD5;
+// md5_env.h holds the policy-templated variant, and the grafts module ships
+// Minnow and Tclet MD5 sources that must produce bit-identical digests.
+
+#ifndef GRAFTLAB_SRC_MD5_MD5_H_
+#define GRAFTLAB_SRC_MD5_MD5_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace md5 {
+
+using Digest = std::array<std::uint8_t, 16>;
+
+// Incremental MD5 context: Reset() -> Update()* -> Final().
+class Context {
+ public:
+  Context() { Reset(); }
+
+  void Reset();
+
+  // Absorbs `data`; may be called any number of times with any chunking.
+  void Update(std::span<const std::uint8_t> data);
+
+  // Pads, appends the length, and returns the digest. The context must be
+  // Reset() before reuse.
+  Digest Final();
+
+ private:
+  void Transform(const std::uint8_t block[64]);
+
+  std::uint32_t state_[4];
+  std::uint64_t bit_count_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+// One-shot digest.
+Digest Sum(std::span<const std::uint8_t> data);
+
+// Lower-case hex rendering ("d41d8cd98f00b204e9800998ecf8427e").
+std::string ToHex(const Digest& digest);
+
+}  // namespace md5
+
+#endif  // GRAFTLAB_SRC_MD5_MD5_H_

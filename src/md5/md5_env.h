@@ -1,0 +1,203 @@
+// Policy-templated MD5 — the same RFC 1321 algorithm under each compiled
+// extension technology.
+//
+// All graft-owned mutable state (chaining state, decoded message words,
+// partial-block buffer) lives in Env arrays, so every subscript pays the
+// environment's instrumentation: nothing for UnsafeEnv, a bounds check for
+// SafeLangEnv, address masking for SfiEnv. Round constants and shift tables
+// compile to immediates (registers and code constants are never
+// instrumented, in GraftLab as in the real systems), and the a/b/c/d working
+// variables stay in locals across a block exactly as the RFC reference code
+// keeps them in registers.
+//
+// Input bytes are read straight from the kernel's buffer. That is faithful
+// for every mode the paper measured (Omniware had no read protection); under
+// SfiEnvT<Protection::kFull> it models the kernel delivering the stream into
+// a sandbox-mapped window, which costs the graft nothing extra.
+//
+// The Word module parameter reproduces the paper's Alpha story (§5.5): with
+// envs::Word32 arithmetic is native 32-bit; with envs::Word32On64 every
+// operation runs in 64-bit registers with explicit truncation — the
+// "correct checksum on a 64-bit machine" variant. Both produce RFC-correct
+// digests here; bench/micro_primitives measures the truncation tax.
+
+#ifndef GRAFTLAB_SRC_MD5_MD5_ENV_H_
+#define GRAFTLAB_SRC_MD5_MD5_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/envs/word.h"
+#include "src/md5/md5.h"
+
+namespace md5 {
+
+template <typename Env, typename W = envs::Word32>
+class EnvMd5 {
+ public:
+  using Word = typename W::T;
+
+  explicit EnvMd5(Env& env)
+      : env_(env),
+        state_(env.template NewArray<Word>(4)),
+        x_(env.template NewArray<Word>(16)),
+        buffer_(env.template NewArray<std::uint8_t>(64)) {
+    Reset();
+  }
+
+  void Reset() {
+    state_.Set(0, Word{0x67452301});
+    state_.Set(1, Word{0xefcdab89});
+    state_.Set(2, Word{0x98badcfe});
+    state_.Set(3, Word{0x10325476});
+    bit_count_ = 0;
+    buffered_ = 0;
+  }
+
+  void Update(const std::uint8_t* data, std::size_t len) {
+    bit_count_ += static_cast<std::uint64_t>(len) * 8;
+
+    std::size_t offset = 0;
+    if (buffered_ > 0) {
+      const std::size_t need = 64 - buffered_;
+      const std::size_t take = len < need ? len : need;
+      for (std::size_t i = 0; i < take; ++i) {
+        buffer_.Set(buffered_ + i, data[i]);
+      }
+      buffered_ += take;
+      offset = take;
+      if (buffered_ == 64) {
+        DecodeBuffered();
+        StepRounds();
+        buffered_ = 0;
+      }
+    }
+    while (offset + 64 <= len) {
+      DecodeRaw(data + offset);
+      StepRounds();
+      offset += 64;
+      env_.Poll();
+    }
+    for (std::size_t i = offset; i < len; ++i) {
+      buffer_.Set(buffered_++, data[i]);
+    }
+  }
+
+  Digest Final() {
+    const std::uint64_t bits = bit_count_;
+
+    static constexpr std::uint8_t kPad[64] = {0x80};
+    const std::size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+    Update(kPad, pad_len);
+
+    std::uint8_t length_le[8];
+    for (std::size_t i = 0; i < 8; ++i) {
+      length_le[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+    }
+    Update(length_le, 8);
+
+    Digest digest;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const Word s = state_.Get(i);
+      digest[i * 4] = static_cast<std::uint8_t>(s);
+      digest[i * 4 + 1] = static_cast<std::uint8_t>(s >> 8);
+      digest[i * 4 + 2] = static_cast<std::uint8_t>(s >> 16);
+      digest[i * 4 + 3] = static_cast<std::uint8_t>(s >> 24);
+    }
+    return digest;
+  }
+
+ private:
+  static constexpr unsigned kShift[64] = {
+      7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+      5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+      4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+      6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+  static constexpr std::uint32_t kT[64] = {
+      0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+      0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+      0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+      0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+      0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+      0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+      0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+      0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+      0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+      0xeb86d391};
+
+  static constexpr std::size_t WordIndex(std::size_t i) {
+    if (i < 16) {
+      return i;
+    }
+    if (i < 32) {
+      return (5 * i + 1) % 16;
+    }
+    if (i < 48) {
+      return (3 * i + 5) % 16;
+    }
+    return (7 * i) % 16;
+  }
+
+  void DecodeRaw(const std::uint8_t* block) {
+    for (std::size_t k = 0; k < 16; ++k) {
+      x_.Set(k, static_cast<Word>(static_cast<std::uint32_t>(block[k * 4]) |
+                                  (static_cast<std::uint32_t>(block[k * 4 + 1]) << 8) |
+                                  (static_cast<std::uint32_t>(block[k * 4 + 2]) << 16) |
+                                  (static_cast<std::uint32_t>(block[k * 4 + 3]) << 24)));
+    }
+  }
+
+  void DecodeBuffered() {
+    for (std::size_t k = 0; k < 16; ++k) {
+      x_.Set(k, static_cast<Word>(
+                    static_cast<std::uint32_t>(buffer_.Get(k * 4)) |
+                    (static_cast<std::uint32_t>(buffer_.Get(k * 4 + 1)) << 8) |
+                    (static_cast<std::uint32_t>(buffer_.Get(k * 4 + 2)) << 16) |
+                    (static_cast<std::uint32_t>(buffer_.Get(k * 4 + 3)) << 24)));
+    }
+  }
+
+  void StepRounds() {
+    Word a = state_.Get(0);
+    Word b = state_.Get(1);
+    Word c = state_.Get(2);
+    Word d = state_.Get(3);
+
+    for (std::size_t i = 0; i < 64; ++i) {
+      Word f;
+      if (i < 16) {
+        f = W::Or(W::And(b, c), W::And(W::Not(b), d));
+      } else if (i < 32) {
+        f = W::Or(W::And(d, b), W::And(W::Not(d), c));
+      } else if (i < 48) {
+        f = W::Xor(W::Xor(b, c), d);
+      } else {
+        f = W::Xor(c, W::Or(b, W::Not(d)));
+      }
+      const Word temp = d;
+      d = c;
+      c = b;
+      const Word sum =
+          W::Plus(W::Plus(W::Plus(a, f), x_.Get(WordIndex(i))), static_cast<Word>(kT[i]));
+      b = W::Plus(b, W::Rotate(sum, kShift[i]));
+      a = temp;
+    }
+
+    state_.Set(0, W::Plus(state_.Get(0), a));
+    state_.Set(1, W::Plus(state_.Get(1), b));
+    state_.Set(2, W::Plus(state_.Get(2), c));
+    state_.Set(3, W::Plus(state_.Get(3), d));
+  }
+
+  Env& env_;
+  typename Env::template Array<Word> state_;
+  typename Env::template Array<Word> x_;
+  typename Env::template Array<std::uint8_t> buffer_;
+  std::uint64_t bit_count_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace md5
+
+#endif  // GRAFTLAB_SRC_MD5_MD5_ENV_H_

@@ -1,0 +1,170 @@
+// Minnow abstract syntax tree.
+//
+// Produced by the parser, annotated in place by the type checker (each
+// expression's `type` field), consumed by the bytecode compiler.
+
+#ifndef GRAFTLAB_SRC_MINNOW_AST_H_
+#define GRAFTLAB_SRC_MINNOW_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/minnow/token.h"
+#include "src/minnow/types.h"
+
+namespace minnow {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// Source-level type spelling: a base name ("int", "u32", "bool", "byte", or
+// a struct name), optionally suffixed with [] for an array. Resolved to a
+// Type by the type checker.
+struct TypeSpec {
+  std::string base;
+  bool is_array = false;
+  int line = 0;
+  int column = 0;
+};
+
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kBoolLit,
+  kNullLit,
+  kVarRef,      // local, parameter, or global
+  kBinary,
+  kUnary,
+  kCall,        // user function or host function
+  kCast,        // int(x), u32(x), byte(x)
+  kField,       // expr.field
+  kIndex,       // expr[expr]
+  kNewStruct,   // new Name()
+  kNewArray,    // new int[expr] / new u32[n] / new byte[n]
+  kArrayLen,    // expr.len
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  int column = 0;
+
+  // Filled by the type checker.
+  Type type;
+
+  // kIntLit / kBoolLit
+  std::uint64_t int_value = 0;
+  bool bool_value = false;
+
+  // kVarRef: name; resolution filled by sema.
+  std::string name;
+  enum class Binding : std::uint8_t { kUnresolved, kLocal, kGlobal } binding = Binding::kUnresolved;
+  int slot = -1;  // local slot or global index
+
+  // kBinary / kUnary: op is the source token.
+  Tok op = Tok::kEof;
+  ExprPtr lhs;
+  ExprPtr rhs;  // also: kIndex index, kNewArray length
+
+  // kCall: name + args; sema fills callee indices.
+  std::vector<ExprPtr> args;
+  int fn_index = -1;    // user function
+  int host_index = -1;  // host function (exclusive with fn_index)
+
+  // kCast: target type named by `name` ("int"/"u32"/"byte").
+
+  // kField / kArrayLen: lhs is the object; field resolution by sema.
+  int field_index = -1;
+
+  // kNewStruct: name = struct name; kNewArray: name = element type name.
+};
+
+enum class StmtKind : std::uint8_t {
+  kExpr,
+  kVarDecl,   // var name: type = init;
+  kAssign,    // target = value;  (target: VarRef, Field, or Index expr)
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  int column = 0;
+
+  ExprPtr expr;    // kExpr value; kIf/kWhile/kFor condition; kReturn value
+  ExprPtr target;  // kAssign destination
+  ExprPtr value;   // kAssign source
+
+  // kVarDecl
+  std::string var_name;
+  TypeSpec var_spec;
+  Type declared_type;  // resolved
+  int slot = -1;       // filled by sema
+
+  // kIf
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+
+  // kWhile / kFor / kBlock share `body`; kFor adds init/step.
+  std::vector<StmtPtr> body;
+  StmtPtr init;
+  StmtPtr step;
+};
+
+struct Param {
+  std::string name;
+  TypeSpec spec;
+  Type type;  // resolved
+};
+
+struct FnDecl {
+  std::string name;
+  std::vector<Param> params;
+  TypeSpec return_spec;  // base empty = void
+  Type return_type;      // resolved
+  std::vector<StmtPtr> body;
+  int line = 0;
+
+  // Filled by sema.
+  int num_locals = 0;  // params + locals
+};
+
+struct FieldDecl {
+  std::string name;
+  TypeSpec spec;
+  Type type;  // resolved
+};
+
+struct StructDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  int line = 0;
+};
+
+struct GlobalDecl {
+  std::string name;
+  TypeSpec spec;
+  Type type;     // resolved
+  ExprPtr init;  // may be null (zero/null-initialized)
+  int line = 0;
+};
+
+struct Module {
+  std::vector<StructDecl> structs;
+  std::vector<GlobalDecl> globals;
+  std::vector<FnDecl> functions;
+};
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_AST_H_

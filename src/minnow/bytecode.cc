@@ -1,0 +1,106 @@
+#include "src/minnow/bytecode.h"
+
+#include <sstream>
+
+namespace minnow {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kConstInt: return "const.i";
+    case Op::kConstNull: return "const.null";
+    case Op::kLoadLocal: return "load.local";
+    case Op::kStoreLocal: return "store.local";
+    case Op::kLoadGlobal: return "load.global";
+    case Op::kStoreGlobal: return "store.global";
+    case Op::kPop: return "pop";
+    case Op::kDup: return "dup";
+    case Op::kAddI: return "add.i";
+    case Op::kSubI: return "sub.i";
+    case Op::kMulI: return "mul.i";
+    case Op::kDivI: return "div.i";
+    case Op::kModI: return "mod.i";
+    case Op::kNegI: return "neg.i";
+    case Op::kAndI: return "and.i";
+    case Op::kOrI: return "or.i";
+    case Op::kXorI: return "xor.i";
+    case Op::kShlI: return "shl.i";
+    case Op::kShrI: return "shr.i";
+    case Op::kNotI: return "not.i";
+    case Op::kAddU: return "add.u";
+    case Op::kSubU: return "sub.u";
+    case Op::kMulU: return "mul.u";
+    case Op::kDivU: return "div.u";
+    case Op::kModU: return "mod.u";
+    case Op::kShlU: return "shl.u";
+    case Op::kShrU: return "shr.u";
+    case Op::kNotU: return "not.u";
+    case Op::kEqI: return "eq.i";
+    case Op::kNeI: return "ne.i";
+    case Op::kLtI: return "lt.i";
+    case Op::kLeI: return "le.i";
+    case Op::kGtI: return "gt.i";
+    case Op::kGeI: return "ge.i";
+    case Op::kLtU: return "lt.u";
+    case Op::kLeU: return "le.u";
+    case Op::kGtU: return "gt.u";
+    case Op::kGeU: return "ge.u";
+    case Op::kEqRef: return "eq.ref";
+    case Op::kNeRef: return "ne.ref";
+    case Op::kNotB: return "not.b";
+    case Op::kCastU32: return "cast.u32";
+    case Op::kCastByte: return "cast.byte";
+    case Op::kJmp: return "jmp";
+    case Op::kJmpIfFalse: return "jmp.false";
+    case Op::kJmpIfTrue: return "jmp.true";
+    case Op::kCall: return "call";
+    case Op::kCallHost: return "call.host";
+    case Op::kRet: return "ret";
+    case Op::kRetVoid: return "ret.void";
+    case Op::kNewStruct: return "new.struct";
+    case Op::kNewArray: return "new.array";
+    case Op::kLoadField: return "load.field";
+    case Op::kStoreField: return "store.field";
+    case Op::kLoadElem: return "load.elem";
+    case Op::kStoreElem: return "store.elem";
+    case Op::kArrayLen: return "array.len";
+    case Op::kTrap: return "trap";
+  }
+  return "?";
+}
+
+std::string Disassemble(const FunctionCode& fn) {
+  std::ostringstream out;
+  out << "fn " << fn.name << " params=" << fn.num_params << " locals=" << fn.num_locals
+      << " max_stack=" << fn.max_stack << "\n";
+  for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+    out << "  " << pc << ": " << OpName(fn.code[pc].op);
+    switch (fn.code[pc].op) {
+      case Op::kConstInt:
+      case Op::kLoadLocal:
+      case Op::kStoreLocal:
+      case Op::kLoadGlobal:
+      case Op::kStoreGlobal:
+      case Op::kJmp:
+      case Op::kJmpIfFalse:
+      case Op::kJmpIfTrue:
+      case Op::kCall:
+      case Op::kCallHost:
+      case Op::kNewStruct:
+      case Op::kNewArray:
+      case Op::kLoadField:
+      case Op::kStoreField:
+      case Op::kLoadElem:
+      case Op::kStoreElem:
+      case Op::kTrap:
+        out << " " << fn.code[pc].operand;
+        break;
+      default:
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace minnow

@@ -1,0 +1,157 @@
+// Minnow bytecode: the machine-independent format grafts are shipped in.
+//
+// A compact stack machine, in the mold of the JVM bytecode the paper's Java
+// numbers come from. Every instruction is an opcode plus one signed 64-bit
+// operand. The compiler guarantees type soundness; the load-time verifier
+// (verifier.h) independently re-checks the structural properties the kernel
+// must not take on faith (jump targets, stack discipline, slot and pool
+// indices), mirroring how a kernel would treat downloaded code.
+
+#ifndef GRAFTLAB_SRC_MINNOW_BYTECODE_H_
+#define GRAFTLAB_SRC_MINNOW_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/minnow/types.h"
+
+namespace minnow {
+
+enum class Op : std::uint8_t {
+  kNop,
+
+  // Stack and slots.
+  kConstInt,     // push operand
+  kConstNull,    // push null reference
+  kLoadLocal,    // push locals[operand]
+  kStoreLocal,   // locals[operand] = pop
+  kLoadGlobal,   // push globals[operand]
+  kStoreGlobal,  // globals[operand] = pop
+  kPop,
+  kDup,
+
+  // Signed 64-bit integer arithmetic (b = pop, a = pop, push a OP b).
+  kAddI,
+  kSubI,
+  kMulI,
+  kDivI,  // traps on divide by zero / INT64_MIN / -1
+  kModI,
+  kNegI,
+  kAndI,
+  kOrI,
+  kXorI,
+  kShlI,  // count masked to 63
+  kShrI,  // arithmetic shift
+  kNotI,  // bitwise complement
+
+  // u32 arithmetic: same stack discipline, result truncated modulo 2^32.
+  kAddU,
+  kSubU,
+  kMulU,
+  kDivU,
+  kModU,
+  kShlU,  // count masked to 31
+  kShrU,  // logical shift
+  kNotU,
+
+  // Comparisons (push bool).
+  kEqI,
+  kNeI,
+  kLtI,
+  kLeI,
+  kGtI,
+  kGeI,
+  kLtU,
+  kLeU,
+  kGtU,
+  kGeU,
+  kEqRef,
+  kNeRef,
+  kNotB,  // logical not
+
+  // Narrowing casts.
+  kCastU32,
+  kCastByte,
+
+  // Control flow. Branch operands are absolute instruction indices.
+  kJmp,
+  kJmpIfFalse,
+  kJmpIfTrue,
+  kCall,      // operand = function index; args on stack left-to-right
+  kCallHost,  // operand = host import index
+  kRet,       // return top of stack
+  kRetVoid,
+
+  // Heap.
+  kNewStruct,   // operand = struct id
+  kNewArray,    // operand = element TypeKind; length popped from stack
+  kLoadField,   // operand = field index; object popped
+  kStoreField,  // value = pop, object = pop
+  kLoadElem,    // index = pop, array = pop
+  kStoreElem,   // value = pop, index = pop, array = pop
+  kArrayLen,    // array popped
+
+  kTrap,  // unconditional trap; operand selects the message (fell-off-end)
+};
+
+struct Insn {
+  Op op = Op::kNop;
+  std::int64_t operand = 0;
+};
+
+struct FunctionCode {
+  std::string name;
+  int num_params = 0;
+  int num_locals = 0;  // including params
+  bool returns_value = false;
+  std::vector<Insn> code;
+  int max_stack = 0;  // filled by the verifier
+};
+
+// A struct's runtime layout: slot count plus which slots hold references
+// (the GC's field map).
+struct StructLayout {
+  std::string name;
+  int num_fields = 0;
+  std::vector<bool> field_is_ref;
+};
+
+// One imported host function.
+struct HostImport {
+  std::string name;
+  int arity = 0;
+  bool returns_value = false;
+};
+
+struct GlobalSlot {
+  std::string name;
+  bool is_ref = false;
+};
+
+// A compiled, shippable Minnow module.
+struct Program {
+  std::vector<StructLayout> structs;
+  std::vector<GlobalSlot> globals;
+  std::vector<FunctionCode> functions;
+  std::vector<HostImport> host_imports;
+
+  // Index of a function by name, -1 if absent.
+  int FindFunction(const std::string& name) const {
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+      if (functions[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+const char* OpName(Op op);
+
+// Human-readable disassembly, for tests and debugging.
+std::string Disassemble(const FunctionCode& fn);
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_BYTECODE_H_

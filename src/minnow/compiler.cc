@@ -1,0 +1,393 @@
+#include "src/minnow/compiler.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/minnow/diag.h"
+#include "src/minnow/parser.h"
+#include "src/minnow/verifier.h"
+
+namespace minnow {
+
+namespace {
+
+class FnCompiler {
+ public:
+  FnCompiler(const ProgramInfo& info, FunctionCode& out) : info_(info), out_(out) {}
+
+  void CompileBody(const std::vector<StmtPtr>& body) {
+    for (const auto& stmt : body) {
+      EmitStmt(*stmt);
+    }
+  }
+
+  void EmitStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kExpr:
+        EmitExpr(*stmt.expr);
+        if (stmt.expr->type.kind != TypeKind::kVoid) {
+          Emit(Op::kPop);
+        }
+        break;
+      case StmtKind::kVarDecl:
+        if (stmt.expr != nullptr) {
+          EmitExpr(*stmt.expr);
+        } else {
+          // Zero/null default.
+          if (stmt.declared_type.IsReference()) {
+            Emit(Op::kConstNull);
+          } else {
+            Emit(Op::kConstInt, 0);
+          }
+        }
+        Emit(Op::kStoreLocal, stmt.slot);
+        break;
+      case StmtKind::kAssign:
+        EmitAssign(*stmt.target, *stmt.value);
+        break;
+      case StmtKind::kIf: {
+        EmitExpr(*stmt.expr);
+        const std::size_t jump_else = EmitPatchable(Op::kJmpIfFalse);
+        for (const auto& s : stmt.then_body) {
+          EmitStmt(*s);
+        }
+        if (stmt.else_body.empty()) {
+          Patch(jump_else, Here());
+        } else {
+          const std::size_t jump_end = EmitPatchable(Op::kJmp);
+          Patch(jump_else, Here());
+          for (const auto& s : stmt.else_body) {
+            EmitStmt(*s);
+          }
+          Patch(jump_end, Here());
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        const std::size_t top = Here();
+        EmitExpr(*stmt.expr);
+        const std::size_t jump_out = EmitPatchable(Op::kJmpIfFalse);
+        loops_.push_back({top, {}, {}});
+        for (const auto& s : stmt.body) {
+          EmitStmt(*s);
+        }
+        Emit(Op::kJmp, static_cast<std::int64_t>(top));
+        Patch(jump_out, Here());
+        FinishLoop();
+        break;
+      }
+      case StmtKind::kFor: {
+        if (stmt.init != nullptr) {
+          EmitStmt(*stmt.init);
+        }
+        const std::size_t top = Here();
+        std::size_t jump_out = static_cast<std::size_t>(-1);
+        if (stmt.expr != nullptr) {
+          EmitExpr(*stmt.expr);
+          jump_out = EmitPatchable(Op::kJmpIfFalse);
+        }
+        loops_.push_back({static_cast<std::size_t>(-1), {}, {}});  // continue target patched below
+        for (const auto& s : stmt.body) {
+          EmitStmt(*s);
+        }
+        const std::size_t step_at = Here();
+        loops_.back().continue_target = step_at;
+        if (stmt.step != nullptr) {
+          EmitStmt(*stmt.step);
+        }
+        Emit(Op::kJmp, static_cast<std::int64_t>(top));
+        if (jump_out != static_cast<std::size_t>(-1)) {
+          Patch(jump_out, Here());
+        }
+        FinishLoop();
+        break;
+      }
+      case StmtKind::kReturn:
+        if (stmt.expr != nullptr) {
+          EmitExpr(*stmt.expr);
+          Emit(Op::kRet);
+        } else {
+          Emit(Op::kRetVoid);
+        }
+        break;
+      case StmtKind::kBreak:
+        loops_.back().break_patches.push_back(EmitPatchable(Op::kJmp));
+        break;
+      case StmtKind::kContinue:
+        loops_.back().continue_patches.push_back(EmitPatchable(Op::kJmp));
+        break;
+      case StmtKind::kBlock:
+        for (const auto& s : stmt.body) {
+          EmitStmt(*s);
+        }
+        break;
+    }
+  }
+
+ private:
+  struct LoopCtx {
+    std::size_t continue_target;
+    std::vector<std::size_t> break_patches;
+    std::vector<std::size_t> continue_patches;
+  };
+
+  std::size_t Here() const { return out_.code.size(); }
+
+  void Emit(Op op, std::int64_t operand = 0) { out_.code.push_back({op, operand}); }
+
+  std::size_t EmitPatchable(Op op) {
+    out_.code.push_back({op, -1});
+    return out_.code.size() - 1;
+  }
+
+  void Patch(std::size_t at, std::size_t target) {
+    out_.code[at].operand = static_cast<std::int64_t>(target);
+  }
+
+  void FinishLoop() {
+    LoopCtx loop = std::move(loops_.back());
+    loops_.pop_back();
+    for (const std::size_t at : loop.break_patches) {
+      Patch(at, Here());
+    }
+    for (const std::size_t at : loop.continue_patches) {
+      Patch(at, loop.continue_target);
+    }
+  }
+
+  void EmitAssign(const Expr& target, const Expr& value) {
+    switch (target.kind) {
+      case ExprKind::kVarRef:
+        EmitExpr(value);
+        Emit(target.binding == Expr::Binding::kLocal ? Op::kStoreLocal : Op::kStoreGlobal,
+             target.slot);
+        break;
+      case ExprKind::kField:
+        EmitExpr(*target.lhs);
+        EmitExpr(value);
+        Emit(Op::kStoreField, target.field_index);
+        break;
+      case ExprKind::kIndex: {
+        EmitExpr(*target.lhs);
+        EmitExpr(*target.rhs);
+        EmitExpr(value);
+        Emit(Op::kStoreElem, static_cast<std::int64_t>(target.lhs->type.elem));
+        break;
+      }
+      default:
+        assert(false && "sema admits only assignable targets");
+    }
+  }
+
+  void EmitExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        Emit(Op::kConstInt, static_cast<std::int64_t>(expr.int_value));
+        break;
+      case ExprKind::kBoolLit:
+        Emit(Op::kConstInt, expr.bool_value ? 1 : 0);
+        break;
+      case ExprKind::kNullLit:
+        Emit(Op::kConstNull);
+        break;
+      case ExprKind::kVarRef:
+        Emit(expr.binding == Expr::Binding::kLocal ? Op::kLoadLocal : Op::kLoadGlobal, expr.slot);
+        break;
+      case ExprKind::kBinary:
+        EmitBinary(expr);
+        break;
+      case ExprKind::kUnary:
+        EmitExpr(*expr.lhs);
+        if (expr.op == Tok::kMinus) {
+          Emit(Op::kNegI);
+          if (expr.type.kind == TypeKind::kU32) {
+            Emit(Op::kCastU32);
+          }
+        } else if (expr.op == Tok::kTilde) {
+          Emit(expr.type.kind == TypeKind::kU32 ? Op::kNotU : Op::kNotI);
+        } else {
+          Emit(Op::kNotB);
+        }
+        break;
+      case ExprKind::kCall:
+        for (const auto& arg : expr.args) {
+          EmitExpr(*arg);
+        }
+        if (expr.fn_index >= 0) {
+          Emit(Op::kCall, expr.fn_index);
+        } else {
+          Emit(Op::kCallHost, expr.host_index);
+        }
+        break;
+      case ExprKind::kCast:
+        EmitExpr(*expr.lhs);
+        if (expr.name == "u32") {
+          Emit(Op::kCastU32);
+        } else if (expr.name == "byte") {
+          Emit(Op::kCastByte);
+        }
+        // int(x) from u32 is value-preserving (u32 slots are zero-extended).
+        break;
+      case ExprKind::kField:
+        EmitExpr(*expr.lhs);
+        Emit(Op::kLoadField, expr.field_index);
+        break;
+      case ExprKind::kIndex:
+        EmitExpr(*expr.lhs);
+        EmitExpr(*expr.rhs);
+        Emit(Op::kLoadElem, static_cast<std::int64_t>(expr.lhs->type.elem));
+        break;
+      case ExprKind::kNewStruct:
+        Emit(Op::kNewStruct, expr.type.struct_id);
+        break;
+      case ExprKind::kNewArray:
+        EmitExpr(*expr.rhs);
+        Emit(Op::kNewArray, static_cast<std::int64_t>(expr.type.elem));
+        break;
+      case ExprKind::kArrayLen:
+        EmitExpr(*expr.lhs);
+        Emit(Op::kArrayLen);
+        break;
+    }
+  }
+
+  void EmitBinary(const Expr& expr) {
+    // Short-circuit forms first.
+    if (expr.op == Tok::kAndAnd) {
+      EmitExpr(*expr.lhs);
+      Emit(Op::kDup);
+      const std::size_t skip = EmitPatchable(Op::kJmpIfFalse);
+      Emit(Op::kPop);
+      EmitExpr(*expr.rhs);
+      Patch(skip, Here());
+      return;
+    }
+    if (expr.op == Tok::kOrOr) {
+      EmitExpr(*expr.lhs);
+      Emit(Op::kDup);
+      const std::size_t skip = EmitPatchable(Op::kJmpIfTrue);
+      Emit(Op::kPop);
+      EmitExpr(*expr.rhs);
+      Patch(skip, Here());
+      return;
+    }
+
+    EmitExpr(*expr.lhs);
+    EmitExpr(*expr.rhs);
+    const TypeKind operand_kind = expr.lhs->type.kind;
+    const bool is_u32 = operand_kind == TypeKind::kU32;
+    switch (expr.op) {
+      case Tok::kPlus: Emit(is_u32 ? Op::kAddU : Op::kAddI); break;
+      case Tok::kMinus: Emit(is_u32 ? Op::kSubU : Op::kSubI); break;
+      case Tok::kStar: Emit(is_u32 ? Op::kMulU : Op::kMulI); break;
+      case Tok::kSlash: Emit(is_u32 ? Op::kDivU : Op::kDivI); break;
+      case Tok::kPercent: Emit(is_u32 ? Op::kModU : Op::kModI); break;
+      case Tok::kAmp: Emit(Op::kAndI); break;  // u32 inputs stay masked
+      case Tok::kPipe: Emit(Op::kOrI); break;
+      case Tok::kCaret: Emit(Op::kXorI); break;
+      case Tok::kShl: Emit(is_u32 ? Op::kShlU : Op::kShlI); break;
+      case Tok::kShr: Emit(is_u32 ? Op::kShrU : Op::kShrI); break;
+      case Tok::kEq:
+        Emit(expr.lhs->type.IsReference() ? Op::kEqRef : Op::kEqI);
+        break;
+      case Tok::kNe:
+        Emit(expr.lhs->type.IsReference() ? Op::kNeRef : Op::kNeI);
+        break;
+      case Tok::kLt: Emit(is_u32 ? Op::kLtU : Op::kLtI); break;
+      case Tok::kLe: Emit(is_u32 ? Op::kLeU : Op::kLeI); break;
+      case Tok::kGt: Emit(is_u32 ? Op::kGtU : Op::kGtI); break;
+      case Tok::kGe: Emit(is_u32 ? Op::kGeU : Op::kGeI); break;
+      default:
+        assert(false && "unexpected binary operator");
+    }
+  }
+
+  const ProgramInfo& info_;
+  FunctionCode& out_;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+Program CodeGen(Module& module, const ProgramInfo& info) {
+  Program program;
+
+  for (const auto& s : info.structs) {
+    StructLayout layout;
+    layout.name = s.name;
+    layout.num_fields = static_cast<int>(s.field_types.size());
+    for (const auto& t : s.field_types) {
+      layout.field_is_ref.push_back(t.IsReference());
+    }
+    program.structs.push_back(std::move(layout));
+  }
+  for (const auto& g : info.globals) {
+    program.globals.push_back({g.name, g.type.IsReference()});
+  }
+  for (const auto& h : info.hosts) {
+    program.host_imports.push_back(
+        {h.name, static_cast<int>(h.params.size()), h.ret.kind != TypeKind::kVoid});
+  }
+
+  for (const auto& fn : module.functions) {
+    FunctionCode code;
+    code.name = fn.name;
+    code.num_params = static_cast<int>(fn.params.size());
+    code.num_locals = fn.num_locals;
+    code.returns_value = fn.return_type.kind != TypeKind::kVoid;
+    FnCompiler compiler(info, code);
+    compiler.CompileBody(fn.body);
+    if (code.returns_value) {
+      code.code.push_back({Op::kTrap, 0});  // fell off the end of a valued fn
+    } else {
+      code.code.push_back({Op::kRetVoid, 0});
+    }
+    program.functions.push_back(std::move(code));
+  }
+
+  // Synthesize @init for global initializers.
+  {
+    FunctionCode init;
+    init.name = "@init";
+    init.num_params = 0;
+    init.num_locals = 0;
+    init.returns_value = false;
+    FnCompiler compiler(info, init);
+    for (std::size_t g = 0; g < module.globals.size(); ++g) {
+      const auto& decl = module.globals[g];
+      if (decl.init != nullptr) {
+        Stmt assign;
+        assign.kind = StmtKind::kAssign;
+        auto target = std::make_unique<Expr>();
+        target->kind = ExprKind::kVarRef;
+        target->binding = Expr::Binding::kGlobal;
+        target->slot = static_cast<int>(g);
+        target->type = decl.type;
+        // EmitAssign reads target + value from the statement fields.
+        assign.target = std::move(target);
+        // The value expression is borrowed from the AST; clone not needed as
+        // we only read it.
+        assign.value = std::move(const_cast<GlobalDecl&>(decl).init);
+        compiler.EmitStmt(assign);
+        const_cast<GlobalDecl&>(decl).init = std::move(assign.value);
+      }
+    }
+    init.code.push_back({Op::kRetVoid, 0});
+    program.functions.push_back(std::move(init));
+  }
+
+  return program;
+}
+
+Program Compile(std::string_view source, const std::vector<HostDecl>& hosts) {
+  Module module = Parse(source);
+  const ProgramInfo info = Analyze(module, hosts);
+  Program program = CodeGen(module, info);
+  const VerifyReport report = VerifyProgram(program);
+  if (!report.ok) {
+    throw VerifyError("compiler produced unverifiable code: " + report.message);
+  }
+  return program;
+}
+
+}  // namespace minnow

@@ -1,0 +1,24 @@
+// Minnow code generation and the one-call compile pipeline.
+
+#ifndef GRAFTLAB_SRC_MINNOW_COMPILER_H_
+#define GRAFTLAB_SRC_MINNOW_COMPILER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/minnow/bytecode.h"
+#include "src/minnow/sema.h"
+
+namespace minnow {
+
+// Lowers a checked module to bytecode. Global initializers are gathered into
+// a synthesized "@init" function the VM runs at load time.
+Program CodeGen(Module& module, const ProgramInfo& info);
+
+// Full pipeline: lex -> parse -> analyze -> codegen -> verify. Throws
+// CompileError or VerifyError. The returned Program is ready to load.
+Program Compile(std::string_view source, const std::vector<HostDecl>& hosts = {});
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_COMPILER_H_

@@ -1,0 +1,100 @@
+#include "src/minnow/heap.h"
+
+#include <algorithm>
+
+namespace minnow {
+
+Object* Heap::NewStruct(const StructLayout& layout, int struct_id) {
+  auto object = std::make_unique<Object>();
+  object->kind = Object::Kind::kStruct;
+  object->struct_id = struct_id;
+  object->fields.resize(static_cast<std::size_t>(layout.num_fields));
+  Object* raw = object.get();
+  Register(std::move(object));
+  return raw;
+}
+
+Object* Heap::NewArray(TypeKind elem, std::size_t length) {
+  auto object = std::make_unique<Object>();
+  object->kind = Object::Kind::kArray;
+  object->elem = elem;
+  switch (elem) {
+    case TypeKind::kInt:
+      object->longs.resize(length);
+      break;
+    case TypeKind::kU32:
+      object->words.resize(length);
+      break;
+    case TypeKind::kByte:
+    case TypeKind::kBool:
+      object->bytes.resize(length);
+      break;
+    default:
+      throw Trap("new array of unsupported element type");
+  }
+  Object* raw = object.get();
+  Register(std::move(object));
+  return raw;
+}
+
+void Heap::Register(std::unique_ptr<Object> object) {
+  allocated_bytes_ += object->heap_bytes();
+  if (allocated_bytes_ > limit_bytes_) {
+    throw Trap("extension heap limit exceeded");
+  }
+  objects_set_.insert(object.get());
+  objects_.push_back(std::move(object));
+}
+
+void Heap::Mark(Object* object) {
+  if (object == nullptr || object->marked) {
+    return;
+  }
+  object->marked = true;
+  mark_stack_.push_back(object);
+  while (!mark_stack_.empty()) {
+    Object* current = mark_stack_.back();
+    mark_stack_.pop_back();
+    if (current->kind == Object::Kind::kStruct) {
+      // Struct fields may hold references; the conservative test against the
+      // live-object set makes the field map unnecessary during marking (the
+      // layout's map is still used for precise global roots).
+      for (const Value& field : current->fields) {
+        void* candidate = reinterpret_cast<void*>(field.bits);
+        if (candidate != nullptr && IsObject(candidate)) {
+          Object* child = static_cast<Object*>(candidate);
+          if (!child->marked) {
+            child->marked = true;
+            mark_stack_.push_back(child);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Heap::Collect(RootProvider& roots) {
+  ++collections_;
+  for (const auto& object : objects_) {
+    object->marked = false;
+  }
+  roots.EnumerateRoots(*this);
+
+  std::size_t surviving = 0;
+  std::vector<std::unique_ptr<Object>> live;
+  live.reserve(objects_.size());
+  for (auto& object : objects_) {
+    if (object->marked) {
+      surviving += object->heap_bytes();
+      live.push_back(std::move(object));
+    } else {
+      objects_set_.erase(object.get());
+    }
+  }
+  objects_ = std::move(live);
+  allocated_bytes_ = surviving;
+  // Next collection when the heap doubles, with a floor.
+  gc_threshold_ = std::max<std::size_t>(surviving * 2, 1u << 20);
+}
+
+}  // namespace minnow

@@ -1,0 +1,119 @@
+// Minnow's garbage-collected heap.
+//
+// Two object shapes: structs (64-bit slots with a per-class reference map)
+// and scalar arrays (int/u32/bool/byte element storage). Collection is
+// mark-and-sweep, triggered by allocation volume: roots are the globals'
+// reference slots (precise), the VM's operand/local stack (scanned
+// conservatively against the live-object set, as several real collectors of
+// the paper's era did), and host-pinned handles.
+//
+// Modula-3's safety story in the paper leans on exactly this: no dangling
+// pointers, no pointer forging. The heap enforces the first by never freeing
+// a reachable object; the verifier and typed opcodes enforce the second.
+
+#ifndef GRAFTLAB_SRC_MINNOW_HEAP_H_
+#define GRAFTLAB_SRC_MINNOW_HEAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/minnow/bytecode.h"
+#include "src/minnow/diag.h"
+#include "src/minnow/types.h"
+
+namespace minnow {
+
+// One VM value: a 64-bit slot. References hold an Object*.
+struct Value {
+  std::uint64_t bits = 0;
+
+  static Value Int(std::int64_t v) { return {static_cast<std::uint64_t>(v)}; }
+  static Value Ref(void* p) { return {reinterpret_cast<std::uint64_t>(p)}; }
+  static Value Null() { return {0}; }
+
+  std::int64_t AsInt() const { return static_cast<std::int64_t>(bits); }
+  std::uint32_t AsU32() const { return static_cast<std::uint32_t>(bits); }
+  bool AsBool() const { return bits != 0; }
+};
+
+class Object {
+ public:
+  enum class Kind : std::uint8_t { kStruct, kArray };
+
+  Kind kind;
+  bool marked = false;
+
+  // kStruct
+  int struct_id = -1;
+  std::vector<Value> fields;
+
+  // kArray
+  TypeKind elem = TypeKind::kVoid;
+  std::vector<std::uint8_t> bytes;    // kByte / kBool
+  std::vector<std::uint32_t> words;   // kU32
+  std::vector<std::int64_t> longs;    // kInt
+
+  std::size_t array_length() const {
+    switch (elem) {
+      case TypeKind::kInt: return longs.size();
+      case TypeKind::kU32: return words.size();
+      default: return bytes.size();
+    }
+  }
+
+  std::size_t heap_bytes() const {
+    return sizeof(Object) + fields.size() * sizeof(Value) + bytes.size() +
+           words.size() * sizeof(std::uint32_t) + longs.size() * sizeof(std::int64_t);
+  }
+};
+
+class Heap {
+ public:
+  // `limit_bytes` bounds total live+garbage heap; exceeding it after a
+  // collection traps (the kernel caps extension memory).
+  explicit Heap(std::size_t limit_bytes = 64u << 20) : limit_bytes_(limit_bytes) {}
+
+  Object* NewStruct(const StructLayout& layout, int struct_id);
+  Object* NewArray(TypeKind elem, std::size_t length);
+
+  // True if `candidate` is a live object pointer (conservative root test).
+  bool IsObject(const void* candidate) const {
+    return objects_set_.contains(const_cast<void*>(candidate));
+  }
+
+  // Mark phase entry points.
+  void Mark(Object* object);
+
+  // Collects garbage. Root sets are supplied by the VM.
+  struct RootProvider {
+    virtual ~RootProvider() = default;
+    virtual void EnumerateRoots(Heap& heap) = 0;
+  };
+  void Collect(RootProvider& roots);
+
+  // Returns true if an allocation of `incoming` bytes should trigger GC.
+  bool ShouldCollect(std::size_t incoming) const {
+    return allocated_bytes_ + incoming > gc_threshold_;
+  }
+
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
+  std::size_t num_objects() const { return objects_.size(); }
+  std::uint64_t collections() const { return collections_; }
+
+ private:
+  void Register(std::unique_ptr<Object> object);
+
+  std::size_t limit_bytes_;
+  std::size_t gc_threshold_ = 1u << 20;
+  std::size_t allocated_bytes_ = 0;
+  std::uint64_t collections_ = 0;
+  std::vector<std::unique_ptr<Object>> objects_;
+  std::unordered_set<void*> objects_set_;
+  std::vector<Object*> mark_stack_;
+};
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_HEAP_H_

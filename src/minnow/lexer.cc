@@ -1,0 +1,233 @@
+#include "src/minnow/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "src/minnow/diag.h"
+
+namespace minnow {
+
+const char* TokName(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "end of input";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFn: return "'fn'";
+    case Tok::kVar: return "'var'";
+    case Tok::kStruct: return "'struct'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kBreak: return "'break'";
+    case Tok::kContinue: return "'continue'";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kNull: return "'null'";
+    case Tok::kNew: return "'new'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kColon: return "':'";
+    case Tok::kArrow: return "'->'";
+    case Tok::kDot: return "'.'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kBang: return "'!'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& Keywords() {
+  static const auto* keywords = new std::unordered_map<std::string_view, Tok>{
+      {"fn", Tok::kFn},           {"var", Tok::kVar},       {"struct", Tok::kStruct},
+      {"if", Tok::kIf},           {"else", Tok::kElse},     {"while", Tok::kWhile},
+      {"for", Tok::kFor},         {"return", Tok::kReturn}, {"break", Tok::kBreak},
+      {"continue", Tok::kContinue}, {"true", Tok::kTrue},   {"false", Tok::kFalse},
+      {"null", Tok::kNull},       {"new", Tok::kNew},
+  };
+  return *keywords;
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  int column = 1;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  auto make = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') {
+        advance();
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t = make(Tok::kIntLit);
+      std::uint64_t value = 0;
+      if (c == '0' && i + 1 < source.size() && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        advance(2);
+        if (i >= source.size() || !std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          throw CompileError("malformed hex literal", line, column);
+        }
+        while (i < source.size() && std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          const char d = source[i];
+          const std::uint64_t digit =
+              std::isdigit(static_cast<unsigned char>(d))
+                  ? static_cast<std::uint64_t>(d - '0')
+                  : static_cast<std::uint64_t>(std::tolower(d) - 'a' + 10);
+          value = value * 16 + digit;
+          advance();
+        }
+      } else {
+        while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          value = value * 10 + static_cast<std::uint64_t>(source[i] - '0');
+          advance();
+        }
+      }
+      if (i < source.size() &&
+          (std::isalpha(static_cast<unsigned char>(source[i])) || source[i] == '_')) {
+        throw CompileError("identifier may not start with a digit", line, column);
+      }
+      t.int_value = value;
+      tokens.push_back(t);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t = make(Tok::kIdent);
+      const std::size_t start = i;
+      while (i < source.size() && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                                   source[i] == '_')) {
+        advance();
+      }
+      t.text = std::string(source.substr(start, i - start));
+      if (const auto it = Keywords().find(t.text); it != Keywords().end()) {
+        t.kind = it->second;
+      }
+      tokens.push_back(t);
+      continue;
+    }
+
+    // Punctuation and operators (longest match first).
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < source.size() && source[i + 1] == b;
+    };
+    Token t = make(Tok::kEof);
+    if (two('-', '>')) {
+      t.kind = Tok::kArrow;
+      advance(2);
+    } else if (two('<', '<')) {
+      t.kind = Tok::kShl;
+      advance(2);
+    } else if (two('>', '>')) {
+      t.kind = Tok::kShr;
+      advance(2);
+    } else if (two('<', '=')) {
+      t.kind = Tok::kLe;
+      advance(2);
+    } else if (two('>', '=')) {
+      t.kind = Tok::kGe;
+      advance(2);
+    } else if (two('=', '=')) {
+      t.kind = Tok::kEq;
+      advance(2);
+    } else if (two('!', '=')) {
+      t.kind = Tok::kNe;
+      advance(2);
+    } else if (two('&', '&')) {
+      t.kind = Tok::kAndAnd;
+      advance(2);
+    } else if (two('|', '|')) {
+      t.kind = Tok::kOrOr;
+      advance(2);
+    } else {
+      switch (c) {
+        case '(': t.kind = Tok::kLParen; break;
+        case ')': t.kind = Tok::kRParen; break;
+        case '{': t.kind = Tok::kLBrace; break;
+        case '}': t.kind = Tok::kRBrace; break;
+        case '[': t.kind = Tok::kLBracket; break;
+        case ']': t.kind = Tok::kRBracket; break;
+        case ',': t.kind = Tok::kComma; break;
+        case ';': t.kind = Tok::kSemi; break;
+        case ':': t.kind = Tok::kColon; break;
+        case '.': t.kind = Tok::kDot; break;
+        case '=': t.kind = Tok::kAssign; break;
+        case '+': t.kind = Tok::kPlus; break;
+        case '-': t.kind = Tok::kMinus; break;
+        case '*': t.kind = Tok::kStar; break;
+        case '/': t.kind = Tok::kSlash; break;
+        case '%': t.kind = Tok::kPercent; break;
+        case '&': t.kind = Tok::kAmp; break;
+        case '|': t.kind = Tok::kPipe; break;
+        case '^': t.kind = Tok::kCaret; break;
+        case '~': t.kind = Tok::kTilde; break;
+        case '<': t.kind = Tok::kLt; break;
+        case '>': t.kind = Tok::kGt; break;
+        case '!': t.kind = Tok::kBang; break;
+        default:
+          throw CompileError(std::string("unexpected character '") + c + "'", line, column);
+      }
+      advance();
+    }
+    tokens.push_back(t);
+  }
+
+  tokens.push_back(make(Tok::kEof));
+  return tokens;
+}
+
+}  // namespace minnow

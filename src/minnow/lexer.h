@@ -1,0 +1,20 @@
+// Minnow lexer: source text to token stream.
+
+#ifndef GRAFTLAB_SRC_MINNOW_LEXER_H_
+#define GRAFTLAB_SRC_MINNOW_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/minnow/token.h"
+
+namespace minnow {
+
+// Tokenizes the whole source. Throws CompileError on malformed input.
+// Supports // line comments, decimal and 0x hex integer literals.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_LEXER_H_

@@ -1,0 +1,456 @@
+#include "src/minnow/parser.h"
+
+#include <utility>
+
+#include "src/minnow/diag.h"
+#include "src/minnow/lexer.h"
+
+namespace minnow {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Module ParseModule() {
+    Module module;
+    while (!At(Tok::kEof)) {
+      if (At(Tok::kStruct)) {
+        module.structs.push_back(ParseStruct());
+      } else if (At(Tok::kVar)) {
+        module.globals.push_back(ParseGlobal());
+      } else if (At(Tok::kFn)) {
+        module.functions.push_back(ParseFn());
+      } else {
+        Fail("expected 'struct', 'var', or 'fn' at top level");
+      }
+    }
+    return module;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(Tok kind) const { return Peek().kind == kind; }
+
+  Token Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Token Expect(Tok kind) {
+    if (!At(kind)) {
+      Fail(std::string("expected ") + TokName(kind) + ", found " + TokName(Peek().kind));
+    }
+    return Take();
+  }
+
+  bool Accept(Tok kind) {
+    if (At(kind)) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw CompileError(message, Peek().line, Peek().column);
+  }
+
+  TypeSpec ParseTypeSpec() {
+    const Token name = Expect(Tok::kIdent);
+    TypeSpec spec;
+    spec.base = name.text;
+    spec.line = name.line;
+    spec.column = name.column;
+    if (Accept(Tok::kLBracket)) {
+      Expect(Tok::kRBracket);
+      spec.is_array = true;
+    }
+    return spec;
+  }
+
+  StructDecl ParseStruct() {
+    StructDecl decl;
+    decl.line = Expect(Tok::kStruct).line;
+    decl.name = Expect(Tok::kIdent).text;
+    Expect(Tok::kLBrace);
+    while (!Accept(Tok::kRBrace)) {
+      FieldDecl field;
+      field.name = Expect(Tok::kIdent).text;
+      Expect(Tok::kColon);
+      field.spec = ParseTypeSpec();
+      Expect(Tok::kSemi);
+      decl.fields.push_back(std::move(field));
+    }
+    return decl;
+  }
+
+  GlobalDecl ParseGlobal() {
+    GlobalDecl decl;
+    decl.line = Expect(Tok::kVar).line;
+    decl.name = Expect(Tok::kIdent).text;
+    Expect(Tok::kColon);
+    decl.spec = ParseTypeSpec();
+    if (Accept(Tok::kAssign)) {
+      decl.init = ParseExpr();
+    }
+    Expect(Tok::kSemi);
+    return decl;
+  }
+
+  FnDecl ParseFn() {
+    FnDecl fn;
+    fn.line = Expect(Tok::kFn).line;
+    fn.name = Expect(Tok::kIdent).text;
+    Expect(Tok::kLParen);
+    if (!At(Tok::kRParen)) {
+      do {
+        Param param;
+        param.name = Expect(Tok::kIdent).text;
+        Expect(Tok::kColon);
+        param.spec = ParseTypeSpec();
+        fn.params.push_back(std::move(param));
+      } while (Accept(Tok::kComma));
+    }
+    Expect(Tok::kRParen);
+    if (Accept(Tok::kArrow)) {
+      fn.return_spec = ParseTypeSpec();
+    }
+    fn.body = ParseBlock();
+    return fn;
+  }
+
+  std::vector<StmtPtr> ParseBlock() {
+    Expect(Tok::kLBrace);
+    std::vector<StmtPtr> body;
+    while (!Accept(Tok::kRBrace)) {
+      body.push_back(ParseStmt());
+    }
+    return body;
+  }
+
+  StmtPtr MakeStmt(StmtKind kind) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->line = Peek().line;
+    stmt->column = Peek().column;
+    return stmt;
+  }
+
+  StmtPtr ParseStmt() {
+    if (At(Tok::kVar)) {
+      return ParseVarDecl(/*consume_semi=*/true);
+    }
+    if (At(Tok::kIf)) {
+      return ParseIf();
+    }
+    if (At(Tok::kWhile)) {
+      auto stmt = MakeStmt(StmtKind::kWhile);
+      Take();
+      Expect(Tok::kLParen);
+      stmt->expr = ParseExpr();
+      Expect(Tok::kRParen);
+      stmt->body = ParseBlock();
+      return stmt;
+    }
+    if (At(Tok::kFor)) {
+      return ParseFor();
+    }
+    if (At(Tok::kReturn)) {
+      auto stmt = MakeStmt(StmtKind::kReturn);
+      Take();
+      if (!At(Tok::kSemi)) {
+        stmt->expr = ParseExpr();
+      }
+      Expect(Tok::kSemi);
+      return stmt;
+    }
+    if (At(Tok::kBreak)) {
+      auto stmt = MakeStmt(StmtKind::kBreak);
+      Take();
+      Expect(Tok::kSemi);
+      return stmt;
+    }
+    if (At(Tok::kContinue)) {
+      auto stmt = MakeStmt(StmtKind::kContinue);
+      Take();
+      Expect(Tok::kSemi);
+      return stmt;
+    }
+    if (At(Tok::kLBrace)) {
+      auto stmt = MakeStmt(StmtKind::kBlock);
+      stmt->body = ParseBlock();
+      return stmt;
+    }
+    return ParseExprOrAssign(/*consume_semi=*/true);
+  }
+
+  StmtPtr ParseVarDecl(bool consume_semi) {
+    auto stmt = MakeStmt(StmtKind::kVarDecl);
+    Expect(Tok::kVar);
+    stmt->var_name = Expect(Tok::kIdent).text;
+    Expect(Tok::kColon);
+    stmt->var_spec = ParseTypeSpec();
+    if (Accept(Tok::kAssign)) {
+      stmt->expr = ParseExpr();
+    }
+    if (consume_semi) {
+      Expect(Tok::kSemi);
+    }
+    return stmt;
+  }
+
+  StmtPtr ParseIf() {
+    auto stmt = MakeStmt(StmtKind::kIf);
+    Expect(Tok::kIf);
+    Expect(Tok::kLParen);
+    stmt->expr = ParseExpr();
+    Expect(Tok::kRParen);
+    stmt->then_body = ParseBlock();
+    if (Accept(Tok::kElse)) {
+      if (At(Tok::kIf)) {
+        stmt->else_body.push_back(ParseIf());
+      } else {
+        stmt->else_body = ParseBlock();
+      }
+    }
+    return stmt;
+  }
+
+  StmtPtr ParseFor() {
+    auto stmt = MakeStmt(StmtKind::kFor);
+    Expect(Tok::kFor);
+    Expect(Tok::kLParen);
+    if (!At(Tok::kSemi)) {
+      stmt->init = At(Tok::kVar) ? ParseVarDecl(/*consume_semi=*/false)
+                                 : ParseExprOrAssign(/*consume_semi=*/false);
+    }
+    Expect(Tok::kSemi);
+    if (!At(Tok::kSemi)) {
+      stmt->expr = ParseExpr();
+    }
+    Expect(Tok::kSemi);
+    if (!At(Tok::kRParen)) {
+      stmt->step = ParseExprOrAssign(/*consume_semi=*/false);
+    }
+    Expect(Tok::kRParen);
+    stmt->body = ParseBlock();
+    return stmt;
+  }
+
+  StmtPtr ParseExprOrAssign(bool consume_semi) {
+    auto stmt = MakeStmt(StmtKind::kExpr);
+    ExprPtr first = ParseExpr();
+    if (Accept(Tok::kAssign)) {
+      stmt->kind = StmtKind::kAssign;
+      stmt->target = std::move(first);
+      stmt->value = ParseExpr();
+    } else {
+      stmt->expr = std::move(first);
+    }
+    if (consume_semi) {
+      Expect(Tok::kSemi);
+    }
+    return stmt;
+  }
+
+  // --- Expressions (precedence climbing) ---
+
+  ExprPtr MakeExpr(ExprKind kind) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = kind;
+    expr->line = Peek().line;
+    expr->column = Peek().column;
+    return expr;
+  }
+
+  static int Precedence(Tok op) {
+    switch (op) {
+      case Tok::kOrOr: return 1;
+      case Tok::kAndAnd: return 2;
+      case Tok::kPipe: return 3;
+      case Tok::kCaret: return 4;
+      case Tok::kAmp: return 5;
+      case Tok::kEq:
+      case Tok::kNe: return 6;
+      case Tok::kLt:
+      case Tok::kLe:
+      case Tok::kGt:
+      case Tok::kGe: return 7;
+      case Tok::kShl:
+      case Tok::kShr: return 8;
+      case Tok::kPlus:
+      case Tok::kMinus: return 9;
+      case Tok::kStar:
+      case Tok::kSlash:
+      case Tok::kPercent: return 10;
+      default: return -1;
+    }
+  }
+
+  ExprPtr ParseExpr() { return ParseBinary(1); }
+
+  ExprPtr ParseBinary(int min_prec) {
+    ExprPtr lhs = ParseUnary();
+    for (;;) {
+      const Tok op = Peek().kind;
+      const int prec = Precedence(op);
+      if (prec < min_prec) {
+        return lhs;
+      }
+      Take();
+      ExprPtr rhs = ParseBinary(prec + 1);  // all binary ops left-associative
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->line = lhs->line;
+      node->column = lhs->column;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    if (At(Tok::kMinus) || At(Tok::kBang) || At(Tok::kTilde)) {
+      auto node = MakeExpr(ExprKind::kUnary);
+      node->op = Take().kind;
+      node->lhs = ParseUnary();
+      return node;
+    }
+    return ParsePostfix();
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr expr = ParsePrimary();
+    for (;;) {
+      if (Accept(Tok::kDot)) {
+        const Token field = Expect(Tok::kIdent);
+        if (field.text == "len") {
+          auto node = std::make_unique<Expr>();
+          node->kind = ExprKind::kArrayLen;
+          node->line = field.line;
+          node->column = field.column;
+          node->lhs = std::move(expr);
+          expr = std::move(node);
+        } else {
+          auto node = std::make_unique<Expr>();
+          node->kind = ExprKind::kField;
+          node->line = field.line;
+          node->column = field.column;
+          node->name = field.text;
+          node->lhs = std::move(expr);
+          expr = std::move(node);
+        }
+      } else if (Accept(Tok::kLBracket)) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kIndex;
+        node->line = expr->line;
+        node->column = expr->column;
+        node->lhs = std::move(expr);
+        node->rhs = ParseExpr();
+        Expect(Tok::kRBracket);
+        expr = std::move(node);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    if (At(Tok::kIntLit)) {
+      auto node = MakeExpr(ExprKind::kIntLit);
+      node->int_value = Take().int_value;
+      return node;
+    }
+    if (At(Tok::kTrue) || At(Tok::kFalse)) {
+      auto node = MakeExpr(ExprKind::kBoolLit);
+      node->bool_value = Take().kind == Tok::kTrue;
+      return node;
+    }
+    if (Accept(Tok::kNull)) {
+      return MakeExpr(ExprKind::kNullLit);
+    }
+    if (Accept(Tok::kLParen)) {
+      ExprPtr inner = ParseExpr();
+      Expect(Tok::kRParen);
+      return inner;
+    }
+    if (At(Tok::kNew)) {
+      return ParseNew();
+    }
+    if (At(Tok::kIdent)) {
+      const Token name = Take();
+      if (At(Tok::kLParen)) {
+        // Call or cast: int(x), u32(x), byte(x) are casts.
+        if (name.text == "int" || name.text == "u32" || name.text == "byte") {
+          auto node = std::make_unique<Expr>();
+          node->kind = ExprKind::kCast;
+          node->line = name.line;
+          node->column = name.column;
+          node->name = name.text;
+          Expect(Tok::kLParen);
+          node->lhs = ParseExpr();
+          Expect(Tok::kRParen);
+          return node;
+        }
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kCall;
+        node->line = name.line;
+        node->column = name.column;
+        node->name = name.text;
+        Expect(Tok::kLParen);
+        if (!At(Tok::kRParen)) {
+          do {
+            node->args.push_back(ParseExpr());
+          } while (Accept(Tok::kComma));
+        }
+        Expect(Tok::kRParen);
+        return node;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kVarRef;
+      node->line = name.line;
+      node->column = name.column;
+      node->name = name.text;
+      return node;
+    }
+    Fail(std::string("expected expression, found ") + TokName(Peek().kind));
+  }
+
+  ExprPtr ParseNew() {
+    const Token kw = Expect(Tok::kNew);
+    const Token name = Expect(Tok::kIdent);
+    if (Accept(Tok::kLBracket)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNewArray;
+      node->line = kw.line;
+      node->column = kw.column;
+      node->name = name.text;  // element type name
+      node->rhs = ParseExpr();
+      Expect(Tok::kRBracket);
+      return node;
+    }
+    Expect(Tok::kLParen);
+    Expect(Tok::kRParen);
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kNewStruct;
+    node->line = kw.line;
+    node->column = kw.column;
+    node->name = name.text;
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Module Parse(std::string_view source) {
+  Parser parser(Lex(source));
+  return parser.ParseModule();
+}
+
+}  // namespace minnow

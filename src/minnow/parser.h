@@ -1,0 +1,17 @@
+// Minnow recursive-descent parser: tokens to AST.
+
+#ifndef GRAFTLAB_SRC_MINNOW_PARSER_H_
+#define GRAFTLAB_SRC_MINNOW_PARSER_H_
+
+#include <string_view>
+
+#include "src/minnow/ast.h"
+
+namespace minnow {
+
+// Parses a whole module. Throws CompileError on syntax errors.
+Module Parse(std::string_view source);
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_PARSER_H_

@@ -1,0 +1,1045 @@
+#include "src/minnow/regir.h"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+namespace minnow {
+
+namespace {
+
+constexpr std::uint64_t kU32Mask = 0xFFFFFFFFull;
+
+// What a (stack) register currently holds, for in-block propagation.
+struct Alias {
+  enum class Kind : std::uint8_t { kSelf, kReg, kImm } kind = Kind::kSelf;
+  std::int32_t reg = -1;
+  std::int64_t imm = 0;
+};
+
+struct Translator {
+  const Program& program;
+  const FunctionCode& fn;
+  RFunction out;
+
+  int num_locals;
+  std::vector<bool> is_target;          // bytecode pcs that are jump targets
+  std::vector<std::int32_t> pc2ir;      // bytecode pc -> IR index
+  std::vector<Alias> alias;             // per register
+  std::vector<std::size_t> branch_fixups;  // IR indices whose imm is a bytecode pc
+
+  explicit Translator(const Program& p, const FunctionCode& f) : program(p), fn(f) {
+    num_locals = fn.num_locals;
+    out.name = fn.name;
+    out.num_params = fn.num_params;
+    out.returns_value = fn.returns_value;
+    out.num_regs = fn.num_locals + fn.max_stack;
+    is_target.assign(fn.code.size() + 1, false);
+    pc2ir.assign(fn.code.size() + 1, -1);
+    alias.assign(static_cast<std::size_t>(out.num_regs), Alias{});
+    for (const auto& insn : fn.code) {
+      if (insn.op == Op::kJmp || insn.op == Op::kJmpIfFalse || insn.op == Op::kJmpIfTrue) {
+        is_target[static_cast<std::size_t>(insn.operand)] = true;
+      }
+    }
+  }
+
+  void Emit(ROp op, std::int32_t dst = -1, std::int32_t a = -1, std::int32_t b = -1,
+            std::int64_t imm = 0) {
+    out.code.push_back({op, dst, a, b, imm});
+  }
+
+  // --- alias management ---
+
+  Alias& At(std::int32_t reg) { return alias[static_cast<std::size_t>(reg)]; }
+
+  void ForgetAliasesOf(std::int32_t reg) {
+    // `reg` is being redefined: any register aliased to it must be
+    // materialized first.
+    for (std::int32_t r = 0; r < out.num_regs; ++r) {
+      Alias& entry = At(r);
+      if (entry.kind == Alias::Kind::kReg && entry.reg == reg && r != reg) {
+        Emit(ROp::kMov, r, reg);
+        entry = Alias{};
+      }
+    }
+  }
+
+  void Define(std::int32_t reg) {
+    ForgetAliasesOf(reg);
+    At(reg) = Alias{};
+  }
+
+  // Resolves a consumed register to its physical source register,
+  // materializing immediates.
+  std::int32_t Use(std::int32_t reg) {
+    Alias& entry = At(reg);
+    switch (entry.kind) {
+      case Alias::Kind::kSelf:
+        return reg;
+      case Alias::Kind::kReg:
+        return entry.reg;
+      case Alias::Kind::kImm:
+        Emit(ROp::kMovImm, reg, -1, -1, entry.imm);
+        entry = Alias{};
+        return reg;
+    }
+    return reg;
+  }
+
+  // Returns true (and the value) if the register holds a known constant.
+  bool UseImm(std::int32_t reg, std::int64_t& imm_out) {
+    const Alias& entry = At(reg);
+    if (entry.kind == Alias::Kind::kImm) {
+      imm_out = entry.imm;
+      return true;
+    }
+    return false;
+  }
+
+  // Forces `reg` to physically hold its value (for branch joins and calls).
+  void Materialize(std::int32_t reg) {
+    Alias& entry = At(reg);
+    switch (entry.kind) {
+      case Alias::Kind::kSelf:
+        return;
+      case Alias::Kind::kReg:
+        if (entry.reg != reg) {
+          Emit(ROp::kMov, reg, entry.reg);
+        }
+        break;
+      case Alias::Kind::kImm:
+        Emit(ROp::kMovImm, reg, -1, -1, entry.imm);
+        break;
+    }
+    entry = Alias{};
+  }
+
+  void MaterializeAll(int depth) {
+    for (int d = 0; d < depth; ++d) {
+      Materialize(num_locals + d);
+    }
+  }
+
+  void ResetAliases() {
+    for (auto& entry : alias) {
+      entry = Alias{};
+    }
+  }
+
+  void EmitBranch(ROp op, std::int32_t a, std::int32_t b, std::int64_t target_pc) {
+    Emit(op, -1, a, b, target_pc);
+    branch_fixups.push_back(out.code.size() - 1);
+  }
+
+  // --- fusion table ---
+
+  struct Fused {
+    ROp on_true;   // branch taken when comparison holds
+    ROp on_false;  // branch taken when comparison fails
+    ROp imm_true = ROp::kTrap;   // immediate-rhs forms (int only)
+    ROp imm_false = ROp::kTrap;
+    bool has_imm = false;
+  };
+
+  static bool FusedFor(Op op, Fused& fused) {
+    switch (op) {
+      case Op::kEqI:
+        fused = {ROp::kBrEqI, ROp::kBrNeI, ROp::kBrEqImmI, ROp::kBrNeImmI, true};
+        return true;
+      case Op::kNeI:
+        fused = {ROp::kBrNeI, ROp::kBrEqI, ROp::kBrNeImmI, ROp::kBrEqImmI, true};
+        return true;
+      case Op::kLtI:
+        fused = {ROp::kBrLtI, ROp::kBrGeI, ROp::kBrLtImmI, ROp::kBrGeImmI, true};
+        return true;
+      case Op::kLeI:
+        fused = {ROp::kBrLeI, ROp::kBrGtI, ROp::kBrLeImmI, ROp::kBrGtImmI, true};
+        return true;
+      case Op::kGtI:
+        fused = {ROp::kBrGtI, ROp::kBrLeI, ROp::kBrGtImmI, ROp::kBrLeImmI, true};
+        return true;
+      case Op::kGeI:
+        fused = {ROp::kBrGeI, ROp::kBrLtI, ROp::kBrGeImmI, ROp::kBrLtImmI, true};
+        return true;
+      case Op::kLtU:
+        fused = {ROp::kBrLtU, ROp::kBrGeU};
+        return true;
+      case Op::kLeU:
+        fused = {ROp::kBrLeU, ROp::kBrGtU};
+        return true;
+      case Op::kGtU:
+        fused = {ROp::kBrGtU, ROp::kBrLeU};
+        return true;
+      case Op::kGeU:
+        fused = {ROp::kBrGeU, ROp::kBrLtU};
+        return true;
+      case Op::kEqRef:
+        fused = {ROp::kBrEqRef, ROp::kBrNeRef};
+        return true;
+      case Op::kNeRef:
+        fused = {ROp::kBrNeRef, ROp::kBrEqRef};
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  RFunction Run() {
+    // The verifier already ran, so depths are consistent; recompute them with
+    // a forward pass identical to the verifier's (cheap and local).
+    std::vector<int> depth_at(fn.code.size(), -1);
+    {
+      std::vector<std::size_t> worklist{0};
+      depth_at[0] = 0;
+      while (!worklist.empty()) {
+        const std::size_t pc = worklist.back();
+        worklist.pop_back();
+        const Insn& insn = fn.code[pc];
+        int pops = 0;
+        int pushes = 0;
+        bool terminal = false;
+        bool branch = false;
+        switch (insn.op) {
+          case Op::kConstInt:
+          case Op::kConstNull:
+          case Op::kLoadLocal:
+          case Op::kLoadGlobal:
+          case Op::kNewStruct:
+            pushes = 1;
+            break;
+          case Op::kStoreLocal:
+          case Op::kStoreGlobal:
+          case Op::kPop:
+            pops = 1;
+            break;
+          case Op::kDup:
+            pops = 1;
+            pushes = 2;
+            break;
+          case Op::kNegI:
+          case Op::kNotI:
+          case Op::kNotU:
+          case Op::kNotB:
+          case Op::kCastU32:
+          case Op::kCastByte:
+          case Op::kArrayLen:
+          case Op::kNewArray:
+            pops = 1;
+            pushes = 1;
+            break;
+          case Op::kJmp:
+            branch = true;
+            terminal = true;
+            break;
+          case Op::kJmpIfFalse:
+          case Op::kJmpIfTrue:
+            pops = 1;
+            branch = true;
+            break;
+          case Op::kCall: {
+            const auto& callee = program.functions[static_cast<std::size_t>(insn.operand)];
+            pops = callee.num_params;
+            pushes = callee.returns_value ? 1 : 0;
+            break;
+          }
+          case Op::kCallHost: {
+            const auto& host = program.host_imports[static_cast<std::size_t>(insn.operand)];
+            pops = host.arity;
+            pushes = host.returns_value ? 1 : 0;
+            break;
+          }
+          case Op::kRet:
+            pops = 1;
+            terminal = true;
+            break;
+          case Op::kRetVoid:
+          case Op::kTrap:
+            terminal = true;
+            break;
+          case Op::kLoadField:
+            pops = 1;
+            pushes = 1;
+            break;
+          case Op::kStoreField:
+            pops = 2;
+            break;
+          case Op::kLoadElem:
+            pops = 2;
+            pushes = 1;
+            break;
+          case Op::kStoreElem:
+            pops = 3;
+            break;
+          case Op::kNop:
+            break;
+          default:
+            pops = 2;
+            pushes = 1;  // binary ALU/compares
+            break;
+        }
+        const int after = depth_at[pc] - pops + pushes;
+        if (branch) {
+          const auto target = static_cast<std::size_t>(insn.operand);
+          if (depth_at[target] == -1) {
+            depth_at[target] = after;
+            worklist.push_back(target);
+          }
+        }
+        if (!terminal && pc + 1 < fn.code.size()) {
+          if (depth_at[pc + 1] == -1) {
+            depth_at[pc + 1] = after;
+            worklist.push_back(pc + 1);
+          }
+        }
+      }
+    }
+
+    for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+      if (depth_at[pc] == -1) {
+        // Unreachable instruction: keep the pc mapping valid for branches.
+        pc2ir[pc] = static_cast<std::int32_t>(out.code.size());
+        continue;
+      }
+      if (is_target[pc]) {
+        // Entering a join point: canonicalize and forget block-local facts.
+        MaterializeAll(depth_at[pc]);
+        ResetAliases();
+      }
+      pc2ir[pc] = static_cast<std::int32_t>(out.code.size());
+      TranslateInsn(pc, depth_at);
+      if (fused_with_next_) {
+        // The branch at pc+1 was folded into this instruction.
+        pc2ir[pc + 1] = static_cast<std::int32_t>(out.code.size());
+        ++pc;
+        fused_with_next_ = false;
+      }
+    }
+    pc2ir[fn.code.size()] = static_cast<std::int32_t>(out.code.size());
+
+    for (const std::size_t at : branch_fixups) {
+      out.code[at].imm = pc2ir[static_cast<std::size_t>(out.code[at].imm)];
+    }
+    return std::move(out);
+  }
+
+  bool fused_with_next_ = false;
+
+  std::int32_t StackReg(int depth, int offset_from_top) {
+    return num_locals + depth - 1 - offset_from_top;
+  }
+
+  void TranslateInsn(std::size_t pc, const std::vector<int>& depth_at) {
+    const Insn& insn = fn.code[pc];
+    const int depth = depth_at[pc];
+
+    auto bin = [&](ROp op, ROp imm_op = ROp::kTrap) {
+      const std::int32_t rb = StackReg(depth, 0);
+      const std::int32_t ra = StackReg(depth, 1);
+      std::int64_t imm;
+      if (imm_op != ROp::kTrap && UseImm(rb, imm)) {
+        const std::int32_t a = Use(ra);
+        Define(ra);
+        Emit(imm_op, ra, a, -1, imm);
+      } else {
+        const std::int32_t b = Use(rb);
+        const std::int32_t a = Use(ra);
+        Define(ra);
+        Emit(op, ra, a, b);
+      }
+    };
+
+    auto unary = [&](ROp op) {
+      const std::int32_t r = StackReg(depth, 0);
+      const std::int32_t a = Use(r);
+      Define(r);
+      Emit(op, r, a);
+    };
+
+    switch (insn.op) {
+      case Op::kNop:
+        break;
+      case Op::kConstInt: {
+        const std::int32_t r = num_locals + depth;
+        Define(r);
+        At(r) = Alias{Alias::Kind::kImm, -1, insn.operand};
+        break;
+      }
+      case Op::kConstNull: {
+        const std::int32_t r = num_locals + depth;
+        Define(r);
+        At(r) = Alias{Alias::Kind::kImm, -1, 0};
+        break;
+      }
+      case Op::kLoadLocal: {
+        const std::int32_t r = num_locals + depth;
+        Define(r);
+        At(r) = Alias{Alias::Kind::kReg, static_cast<std::int32_t>(insn.operand), 0};
+        break;
+      }
+      case Op::kStoreLocal: {
+        const std::int32_t src = StackReg(depth, 0);
+        const std::int32_t local = static_cast<std::int32_t>(insn.operand);
+        const Alias entry = At(src);
+        ForgetAliasesOf(local);
+        if (entry.kind == Alias::Kind::kImm) {
+          Emit(ROp::kMovImm, local, -1, -1, entry.imm);
+        } else {
+          const std::int32_t s = entry.kind == Alias::Kind::kReg ? entry.reg : src;
+          if (s != local) {
+            Emit(ROp::kMov, local, s);
+          }
+        }
+        At(src) = Alias{};
+        break;
+      }
+      case Op::kLoadGlobal: {
+        const std::int32_t r = num_locals + depth;
+        Define(r);
+        Emit(ROp::kLoadGlobalR, r, -1, -1, insn.operand);
+        break;
+      }
+      case Op::kStoreGlobal: {
+        const std::int32_t src = Use(StackReg(depth, 0));
+        Emit(ROp::kStoreGlobalR, -1, src, -1, insn.operand);
+        At(StackReg(depth, 0)) = Alias{};
+        break;
+      }
+      case Op::kPop:
+        At(StackReg(depth, 0)) = Alias{};
+        break;
+      case Op::kDup: {
+        const std::int32_t src = StackReg(depth, 0);
+        const std::int32_t dst = num_locals + depth;
+        Define(dst);
+        const Alias entry = At(src);
+        if (entry.kind == Alias::Kind::kSelf) {
+          At(dst) = Alias{Alias::Kind::kReg, src, 0};
+        } else {
+          At(dst) = entry;
+        }
+        break;
+      }
+
+      case Op::kAddI: bin(ROp::kAddI, ROp::kAddImmI); break;
+      case Op::kSubI: bin(ROp::kSubI, ROp::kSubImmI); break;
+      case Op::kMulI: bin(ROp::kMulI); break;
+      case Op::kDivI: bin(ROp::kDivI); break;
+      case Op::kModI: bin(ROp::kModI); break;
+      case Op::kAndI: bin(ROp::kAndI); break;
+      case Op::kOrI: bin(ROp::kOrI); break;
+      case Op::kXorI: bin(ROp::kXorI); break;
+      case Op::kShlI: bin(ROp::kShlI); break;
+      case Op::kShrI: bin(ROp::kShrI); break;
+      case Op::kNegI: unary(ROp::kNegI); break;
+      case Op::kNotI: unary(ROp::kNotI); break;
+      case Op::kNotB: unary(ROp::kNotB); break;
+      case Op::kAddU: bin(ROp::kAddU, ROp::kAddImmU); break;
+      case Op::kSubU: bin(ROp::kSubU); break;
+      case Op::kMulU: bin(ROp::kMulU); break;
+      case Op::kDivU: bin(ROp::kDivU); break;
+      case Op::kModU: bin(ROp::kModU); break;
+      case Op::kShlU: bin(ROp::kShlU, ROp::kShlImmU); break;
+      case Op::kShrU: bin(ROp::kShrU, ROp::kShrImmU); break;
+      case Op::kNotU: unary(ROp::kNotU); break;
+      case Op::kCastU32: unary(ROp::kCastU32); break;
+      case Op::kCastByte: unary(ROp::kCastByte); break;
+
+      case Op::kEqI: case Op::kNeI: case Op::kLtI: case Op::kLeI: case Op::kGtI:
+      case Op::kGeI: case Op::kLtU: case Op::kLeU: case Op::kGtU: case Op::kGeU:
+      case Op::kEqRef: case Op::kNeRef: {
+        // Try to fuse with a following conditional branch.
+        Fused fused;
+        FusedFor(insn.op, fused);
+        const bool next_is_branch =
+            pc + 1 < fn.code.size() && !is_target[pc + 1] &&
+            (fn.code[pc + 1].op == Op::kJmpIfFalse || fn.code[pc + 1].op == Op::kJmpIfTrue);
+        if (next_is_branch) {
+          const bool on_true = fn.code[pc + 1].op == Op::kJmpIfTrue;
+          const std::int64_t target = fn.code[pc + 1].operand;
+          const std::int32_t rb = StackReg(depth, 0);
+          const std::int32_t ra = StackReg(depth, 1);
+          std::int64_t imm;
+          // The branch leaves depth-2; canonicalize survivors then branch.
+          if (fused.has_imm && UseImm(rb, imm) &&
+              imm >= std::numeric_limits<std::int32_t>::min() &&
+              imm <= std::numeric_limits<std::int32_t>::max()) {
+            const std::int32_t a = Use(ra);
+            At(ra) = Alias{};
+            At(rb) = Alias{};
+            MaterializeAll(depth - 2);
+            EmitBranch(on_true ? fused.imm_true : fused.imm_false, a,
+                       static_cast<std::int32_t>(imm), target);
+          } else {
+            const std::int32_t b = Use(rb);
+            const std::int32_t a = Use(ra);
+            At(ra) = Alias{};
+            At(rb) = Alias{};
+            MaterializeAll(depth - 2);
+            EmitBranch(on_true ? fused.on_true : fused.on_false, a, b, target);
+          }
+          fused_with_next_ = true;
+          break;
+        }
+        // Unfused compare into a register.
+        static const std::unordered_map<Op, ROp> kCmp{
+            {Op::kEqI, ROp::kCmpEqI}, {Op::kNeI, ROp::kCmpNeI}, {Op::kLtI, ROp::kCmpLtI},
+            {Op::kLeI, ROp::kCmpLeI}, {Op::kGtI, ROp::kCmpGtI}, {Op::kGeI, ROp::kCmpGeI},
+            {Op::kLtU, ROp::kCmpLtU}, {Op::kLeU, ROp::kCmpLeU}, {Op::kGtU, ROp::kCmpGtU},
+            {Op::kGeU, ROp::kCmpGeU}, {Op::kEqRef, ROp::kCmpEqRef}, {Op::kNeRef, ROp::kCmpNeRef}};
+        bin(kCmp.at(insn.op));
+        break;
+      }
+
+      case Op::kJmp:
+        MaterializeAll(depth);
+        EmitBranch(ROp::kBr, -1, -1, insn.operand);
+        ResetAliases();
+        break;
+      case Op::kJmpIfFalse:
+      case Op::kJmpIfTrue: {
+        const std::int32_t r = StackReg(depth, 0);
+        const std::int32_t a = Use(r);
+        At(r) = Alias{};
+        MaterializeAll(depth - 1);
+        EmitBranch(insn.op == Op::kJmpIfTrue ? ROp::kBrTrue : ROp::kBrFalse, a, -1,
+                   insn.operand);
+        break;
+      }
+
+      case Op::kCall:
+      case Op::kCallHost: {
+        int argc;
+        bool returns;
+        if (insn.op == Op::kCall) {
+          const auto& callee = program.functions[static_cast<std::size_t>(insn.operand)];
+          argc = callee.num_params;
+          returns = callee.returns_value;
+        } else {
+          const auto& host = program.host_imports[static_cast<std::size_t>(insn.operand)];
+          argc = host.arity;
+          returns = host.returns_value;
+        }
+        // Args must physically sit at their canonical stack registers.
+        for (int k = 0; k < argc; ++k) {
+          Materialize(num_locals + depth - argc + k);
+        }
+        const std::int32_t first_arg = num_locals + depth - argc;
+        const std::int32_t dst = returns ? first_arg : -1;
+        if (dst >= 0) {
+          Define(dst);
+        }
+        Emit(insn.op == Op::kCall ? ROp::kCall : ROp::kCallHost, dst, first_arg, argc,
+             insn.operand);
+        break;
+      }
+
+      case Op::kRet: {
+        const std::int32_t a = Use(StackReg(depth, 0));
+        Emit(ROp::kRet, -1, a);
+        ResetAliases();
+        break;
+      }
+      case Op::kRetVoid:
+        Emit(ROp::kRetVoid);
+        ResetAliases();
+        break;
+
+      case Op::kNewStruct: {
+        const std::int32_t dst = num_locals + depth;
+        Define(dst);
+        Emit(ROp::kNewStruct, dst, -1, -1, insn.operand);
+        break;
+      }
+      case Op::kNewArray: {
+        const std::int32_t r = StackReg(depth, 0);
+        const std::int32_t a = Use(r);
+        Define(r);
+        Emit(ROp::kNewArray, r, a, -1, insn.operand);
+        break;
+      }
+      case Op::kLoadField: {
+        const std::int32_t r = StackReg(depth, 0);
+        const std::int32_t a = Use(r);
+        Define(r);
+        Emit(ROp::kLoadField, r, a, -1, insn.operand);
+        break;
+      }
+      case Op::kStoreField: {
+        const std::int32_t value = Use(StackReg(depth, 0));
+        const std::int32_t object = Use(StackReg(depth, 1));
+        Emit(ROp::kStoreField, -1, object, value, insn.operand);
+        At(StackReg(depth, 0)) = Alias{};
+        At(StackReg(depth, 1)) = Alias{};
+        break;
+      }
+      case Op::kLoadElem: {
+        const std::int32_t index = Use(StackReg(depth, 0));
+        const std::int32_t array = Use(StackReg(depth, 1));
+        const std::int32_t dst = StackReg(depth, 1);
+        Define(dst);
+        Emit(ROp::kLoadElem, dst, array, index, insn.operand);
+        break;
+      }
+      case Op::kStoreElem: {
+        const std::int32_t value = Use(StackReg(depth, 0));
+        const std::int32_t index = Use(StackReg(depth, 1));
+        const std::int32_t array = Use(StackReg(depth, 2));
+        Emit(ROp::kStoreElem, value, array, index, insn.operand);
+        At(StackReg(depth, 0)) = Alias{};
+        At(StackReg(depth, 1)) = Alias{};
+        At(StackReg(depth, 2)) = Alias{};
+        break;
+      }
+      case Op::kArrayLen: {
+        const std::int32_t r = StackReg(depth, 0);
+        const std::int32_t a = Use(r);
+        Define(r);
+        Emit(ROp::kArrayLen, r, a);
+        break;
+      }
+      case Op::kTrap:
+        Emit(ROp::kTrap, -1, -1, -1, insn.operand);
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+RFunction TranslateFunction(const Program& program, const FunctionCode& fn) {
+  Translator translator(program, fn);
+  return translator.Run();
+}
+
+// (RegExecutor implementation follows in this file.)
+
+RegExecutor::RegExecutor(VM& vm) : vm_(vm) {
+  functions_.reserve(vm.program().functions.size());
+  for (const auto& fn : vm.program().functions) {
+    functions_.push_back(TranslateFunction(vm.program(), fn));
+  }
+}
+
+double RegExecutor::CompressionRatio() const {
+  std::size_t bytecode = 0;
+  std::size_t ir = 0;
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    bytecode += vm_.program().functions[i].code.size();
+    ir += functions_[i].code.size();
+  }
+  return bytecode == 0 ? 1.0 : static_cast<double>(ir) / static_cast<double>(bytecode);
+}
+
+Value RegExecutor::Call(const std::string& name, std::span<const Value> args) {
+  const int index = vm_.program().FindFunction(name);
+  if (index < 0) {
+    throw std::invalid_argument("no function named '" + name + "'");
+  }
+  return CallIndex(index, args);
+}
+
+Value RegExecutor::CallIndex(int fn_index, std::span<const Value> args) {
+  if (fn_index < 0 || static_cast<std::size_t>(fn_index) >= functions_.size()) {
+    throw std::invalid_argument("function index out of range");
+  }
+  if (static_cast<int>(args.size()) != functions_[static_cast<std::size_t>(fn_index)].num_params) {
+    throw std::invalid_argument("arity mismatch");
+  }
+  return Execute(fn_index, args, 0);
+}
+
+Value RegExecutor::Execute(int fn_index, std::span<const Value> args, int depth) {
+  if (depth > static_cast<int>(vm_.options_.max_call_depth)) {
+    throw Trap("call depth limit exceeded");
+  }
+  const RFunction& fn = functions_[static_cast<std::size_t>(fn_index)];
+
+  // Registers live in the VM stack so the conservative GC sees them.
+  const std::size_t base = vm_.sp_;
+  if (base + static_cast<std::size_t>(fn.num_regs) > vm_.stack_.size()) {
+    throw Trap("VM stack overflow");
+  }
+  vm_.sp_ = base + static_cast<std::size_t>(fn.num_regs);
+  Value* regs = vm_.stack_.data() + base;
+  for (int i = 0; i < fn.num_regs; ++i) {
+    regs[i] = Value::Null();
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    regs[i] = args[i];
+  }
+
+  struct SpRestore {
+    VM& vm;
+    std::size_t sp;
+    ~SpRestore() { vm.sp_ = sp; }
+  } restore{vm_, base};
+
+  const RInsn* code = fn.code.data();
+  std::size_t pc = 0;
+
+  auto object_of = [](Value v, const char* what) {
+    Object* object = reinterpret_cast<Object*>(v.bits);
+    if (object == nullptr) {
+      throw Trap(std::string("null dereference in ") + what);
+    }
+    return object;
+  };
+
+  for (;;) {
+    const RInsn& insn = code[pc];
+    ++pc;
+    ++instructions_retired_;
+    if (vm_.fuel_ >= 0 && vm_.fuel_-- == 0) {
+      throw Trap("fuel exhausted: graft preempted");
+    }
+
+    switch (insn.op) {
+      case ROp::kMov: regs[insn.dst] = regs[insn.a]; break;
+      case ROp::kMovImm: regs[insn.dst] = Value::Int(insn.imm); break;
+
+      case ROp::kAddI:
+        regs[insn.dst].bits = regs[insn.a].bits + regs[insn.b].bits;
+        break;
+      case ROp::kAddImmI:
+        regs[insn.dst].bits = regs[insn.a].bits + static_cast<std::uint64_t>(insn.imm);
+        break;
+      case ROp::kSubI:
+        regs[insn.dst].bits = regs[insn.a].bits - regs[insn.b].bits;
+        break;
+      case ROp::kSubImmI:
+        regs[insn.dst].bits = regs[insn.a].bits - static_cast<std::uint64_t>(insn.imm);
+        break;
+      case ROp::kMulI:
+        regs[insn.dst].bits = regs[insn.a].bits * regs[insn.b].bits;
+        break;
+      case ROp::kDivI: {
+        const std::int64_t b = regs[insn.b].AsInt();
+        const std::int64_t a = regs[insn.a].AsInt();
+        if (b == 0) {
+          throw Trap("integer division by zero");
+        }
+        if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+          throw Trap("integer division overflow");
+        }
+        regs[insn.dst] = Value::Int(a / b);
+        break;
+      }
+      case ROp::kModI: {
+        const std::int64_t b = regs[insn.b].AsInt();
+        const std::int64_t a = regs[insn.a].AsInt();
+        if (b == 0) {
+          throw Trap("integer modulo by zero");
+        }
+        if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+          throw Trap("integer modulo overflow");
+        }
+        regs[insn.dst] = Value::Int(a % b);
+        break;
+      }
+      case ROp::kAndI:
+        regs[insn.dst].bits = regs[insn.a].bits & regs[insn.b].bits;
+        break;
+      case ROp::kOrI:
+        regs[insn.dst].bits = regs[insn.a].bits | regs[insn.b].bits;
+        break;
+      case ROp::kXorI:
+        regs[insn.dst].bits = regs[insn.a].bits ^ regs[insn.b].bits;
+        break;
+      case ROp::kShlI:
+        regs[insn.dst].bits = regs[insn.a].bits << (regs[insn.b].bits & 63);
+        break;
+      case ROp::kShrI:
+        regs[insn.dst] = Value::Int(regs[insn.a].AsInt() >> (regs[insn.b].bits & 63));
+        break;
+      case ROp::kNegI:
+        regs[insn.dst].bits = 0 - regs[insn.a].bits;
+        break;
+      case ROp::kNotI:
+        regs[insn.dst].bits = ~regs[insn.a].bits;
+        break;
+      case ROp::kNotB:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits == 0 ? 1 : 0);
+        break;
+
+      case ROp::kAddU:
+        regs[insn.dst].bits = (regs[insn.a].bits + regs[insn.b].bits) & kU32Mask;
+        break;
+      case ROp::kAddImmU:
+        regs[insn.dst].bits =
+            (regs[insn.a].bits + static_cast<std::uint64_t>(insn.imm)) & kU32Mask;
+        break;
+      case ROp::kSubU:
+        regs[insn.dst].bits = (regs[insn.a].bits - regs[insn.b].bits) & kU32Mask;
+        break;
+      case ROp::kMulU:
+        regs[insn.dst].bits =
+            ((regs[insn.a].bits & kU32Mask) * (regs[insn.b].bits & kU32Mask)) & kU32Mask;
+        break;
+      case ROp::kDivU: {
+        const std::uint64_t b = regs[insn.b].bits & kU32Mask;
+        if (b == 0) {
+          throw Trap("u32 division by zero");
+        }
+        regs[insn.dst].bits = (regs[insn.a].bits & kU32Mask) / b;
+        break;
+      }
+      case ROp::kModU: {
+        const std::uint64_t b = regs[insn.b].bits & kU32Mask;
+        if (b == 0) {
+          throw Trap("u32 modulo by zero");
+        }
+        regs[insn.dst].bits = (regs[insn.a].bits & kU32Mask) % b;
+        break;
+      }
+      case ROp::kShlU:
+        regs[insn.dst].bits = (regs[insn.a].bits << (regs[insn.b].bits & 31)) & kU32Mask;
+        break;
+      case ROp::kShlImmU:
+        regs[insn.dst].bits =
+            (regs[insn.a].bits << (static_cast<std::uint64_t>(insn.imm) & 31)) & kU32Mask;
+        break;
+      case ROp::kShrU:
+        regs[insn.dst].bits = (regs[insn.a].bits & kU32Mask) >> (regs[insn.b].bits & 31);
+        break;
+      case ROp::kShrImmU:
+        regs[insn.dst].bits =
+            (regs[insn.a].bits & kU32Mask) >> (static_cast<std::uint64_t>(insn.imm) & 31);
+        break;
+      case ROp::kNotU:
+        regs[insn.dst].bits = (~regs[insn.a].bits) & kU32Mask;
+        break;
+      case ROp::kCastU32:
+        regs[insn.dst].bits = regs[insn.a].bits & kU32Mask;
+        break;
+      case ROp::kCastByte:
+        regs[insn.dst].bits = regs[insn.a].bits & 0xFF;
+        break;
+
+      case ROp::kCmpEqI:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits == regs[insn.b].bits ? 1 : 0);
+        break;
+      case ROp::kCmpNeI:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits != regs[insn.b].bits ? 1 : 0);
+        break;
+      case ROp::kCmpLtI:
+        regs[insn.dst] = Value::Int(regs[insn.a].AsInt() < regs[insn.b].AsInt() ? 1 : 0);
+        break;
+      case ROp::kCmpLeI:
+        regs[insn.dst] = Value::Int(regs[insn.a].AsInt() <= regs[insn.b].AsInt() ? 1 : 0);
+        break;
+      case ROp::kCmpGtI:
+        regs[insn.dst] = Value::Int(regs[insn.a].AsInt() > regs[insn.b].AsInt() ? 1 : 0);
+        break;
+      case ROp::kCmpGeI:
+        regs[insn.dst] = Value::Int(regs[insn.a].AsInt() >= regs[insn.b].AsInt() ? 1 : 0);
+        break;
+      case ROp::kCmpLtU:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits < regs[insn.b].bits ? 1 : 0);
+        break;
+      case ROp::kCmpLeU:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits <= regs[insn.b].bits ? 1 : 0);
+        break;
+      case ROp::kCmpGtU:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits > regs[insn.b].bits ? 1 : 0);
+        break;
+      case ROp::kCmpGeU:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits >= regs[insn.b].bits ? 1 : 0);
+        break;
+      case ROp::kCmpEqRef:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits == regs[insn.b].bits ? 1 : 0);
+        break;
+      case ROp::kCmpNeRef:
+        regs[insn.dst] = Value::Int(regs[insn.a].bits != regs[insn.b].bits ? 1 : 0);
+        break;
+
+      case ROp::kBr:
+        pc = static_cast<std::size_t>(insn.imm);
+        break;
+      case ROp::kBrTrue:
+        if (regs[insn.a].bits != 0) {
+          pc = static_cast<std::size_t>(insn.imm);
+        }
+        break;
+      case ROp::kBrFalse:
+        if (regs[insn.a].bits == 0) {
+          pc = static_cast<std::size_t>(insn.imm);
+        }
+        break;
+
+#define GRAFTLAB_RBR(COND)                    \
+  if (COND) {                                 \
+    pc = static_cast<std::size_t>(insn.imm);  \
+  }                                           \
+  break
+
+      case ROp::kBrEqI: GRAFTLAB_RBR(regs[insn.a].bits == regs[insn.b].bits);
+      case ROp::kBrNeI: GRAFTLAB_RBR(regs[insn.a].bits != regs[insn.b].bits);
+      case ROp::kBrLtI: GRAFTLAB_RBR(regs[insn.a].AsInt() < regs[insn.b].AsInt());
+      case ROp::kBrLeI: GRAFTLAB_RBR(regs[insn.a].AsInt() <= regs[insn.b].AsInt());
+      case ROp::kBrGtI: GRAFTLAB_RBR(regs[insn.a].AsInt() > regs[insn.b].AsInt());
+      case ROp::kBrGeI: GRAFTLAB_RBR(regs[insn.a].AsInt() >= regs[insn.b].AsInt());
+      case ROp::kBrLtU: GRAFTLAB_RBR(regs[insn.a].bits < regs[insn.b].bits);
+      case ROp::kBrLeU: GRAFTLAB_RBR(regs[insn.a].bits <= regs[insn.b].bits);
+      case ROp::kBrGtU: GRAFTLAB_RBR(regs[insn.a].bits > regs[insn.b].bits);
+      case ROp::kBrGeU: GRAFTLAB_RBR(regs[insn.a].bits >= regs[insn.b].bits);
+      case ROp::kBrEqRef: GRAFTLAB_RBR(regs[insn.a].bits == regs[insn.b].bits);
+      case ROp::kBrNeRef: GRAFTLAB_RBR(regs[insn.a].bits != regs[insn.b].bits);
+
+      case ROp::kBrEqImmI:
+        GRAFTLAB_RBR(regs[insn.a].AsInt() == insn.b);
+      case ROp::kBrNeImmI:
+        GRAFTLAB_RBR(regs[insn.a].AsInt() != insn.b);
+      case ROp::kBrLtImmI:
+        GRAFTLAB_RBR(regs[insn.a].AsInt() < insn.b);
+      case ROp::kBrLeImmI:
+        GRAFTLAB_RBR(regs[insn.a].AsInt() <= insn.b);
+      case ROp::kBrGtImmI:
+        GRAFTLAB_RBR(regs[insn.a].AsInt() > insn.b);
+      case ROp::kBrGeImmI:
+        GRAFTLAB_RBR(regs[insn.a].AsInt() >= insn.b);
+
+#undef GRAFTLAB_RBR
+
+      case ROp::kCall: {
+        const Value result = Execute(static_cast<int>(insn.imm),
+                                     std::span<const Value>(regs + insn.a,
+                                                            static_cast<std::size_t>(insn.b)),
+                                     depth + 1);
+        if (insn.dst >= 0) {
+          regs[insn.dst] = result;
+        }
+        break;
+      }
+      case ROp::kCallHost: {
+        const auto& host = vm_.hosts_[static_cast<std::size_t>(insn.imm)];
+        if (!host) {
+          throw Trap("unbound host import");
+        }
+        const Value result =
+            host(vm_, std::span<const Value>(regs + insn.a, static_cast<std::size_t>(insn.b)));
+        if (insn.dst >= 0) {
+          regs[insn.dst] = result;
+        }
+        break;
+      }
+      case ROp::kRet:
+        return regs[insn.a];
+      case ROp::kRetVoid:
+        return Value::Null();
+
+      case ROp::kNewStruct: {
+        const auto& layout = vm_.program_.structs[static_cast<std::size_t>(insn.imm)];
+        vm_.MaybeCollect(static_cast<std::size_t>(layout.num_fields) * 8 + 64);
+        regs[insn.dst] =
+            Value::Ref(vm_.heap_.NewStruct(layout, static_cast<int>(insn.imm)));
+        break;
+      }
+      case ROp::kNewArray: {
+        const std::int64_t length = regs[insn.a].AsInt();
+        if (length < 0 || length > (1 << 28)) {
+          throw Trap("bad array length " + std::to_string(length));
+        }
+        vm_.MaybeCollect(static_cast<std::size_t>(length) * 8 + 64);
+        regs[insn.dst] = Value::Ref(vm_.heap_.NewArray(static_cast<TypeKind>(insn.imm),
+                                                       static_cast<std::size_t>(length)));
+        break;
+      }
+      case ROp::kLoadField: {
+        Object* object = object_of(regs[insn.a], "field load");
+        const std::size_t index = static_cast<std::size_t>(insn.imm);
+        if (object->kind != Object::Kind::kStruct || index >= object->fields.size()) {
+          throw Trap("bad field access");
+        }
+        regs[insn.dst] = object->fields[index];
+        break;
+      }
+      case ROp::kStoreField: {
+        Object* object = object_of(regs[insn.a], "field store");
+        const std::size_t index = static_cast<std::size_t>(insn.imm);
+        if (object->kind != Object::Kind::kStruct || index >= object->fields.size()) {
+          throw Trap("bad field access");
+        }
+        object->fields[index] = regs[insn.b];
+        break;
+      }
+      case ROp::kLoadElem: {
+        Object* array = object_of(regs[insn.a], "array load");
+        const std::int64_t raw = regs[insn.b].AsInt();
+        if (array->kind != Object::Kind::kArray || raw < 0 ||
+            static_cast<std::size_t>(raw) >= array->array_length()) {
+          throw Trap("array index out of bounds");
+        }
+        const std::size_t index = static_cast<std::size_t>(raw);
+        switch (array->elem) {
+          case TypeKind::kInt:
+            regs[insn.dst] = Value::Int(array->longs[index]);
+            break;
+          case TypeKind::kU32:
+            regs[insn.dst].bits = array->words[index];
+            break;
+          default:
+            regs[insn.dst] = Value::Int(array->bytes[index]);
+            break;
+        }
+        break;
+      }
+      case ROp::kStoreElem: {
+        Object* array = object_of(regs[insn.a], "array store");
+        const std::int64_t raw = regs[insn.b].AsInt();
+        if (array->kind != Object::Kind::kArray || raw < 0 ||
+            static_cast<std::size_t>(raw) >= array->array_length()) {
+          throw Trap("array index out of bounds");
+        }
+        const std::size_t index = static_cast<std::size_t>(raw);
+        const Value value = regs[insn.dst];  // value register packed in dst
+        switch (array->elem) {
+          case TypeKind::kInt:
+            array->longs[index] = value.AsInt();
+            break;
+          case TypeKind::kU32:
+            array->words[index] = value.AsU32();
+            break;
+          case TypeKind::kBool:
+            array->bytes[index] = value.bits != 0 ? 1 : 0;
+            break;
+          default:
+            array->bytes[index] = static_cast<std::uint8_t>(value.bits);
+            break;
+        }
+        break;
+      }
+      case ROp::kArrayLen: {
+        Object* array = object_of(regs[insn.a], "array length");
+        if (array->kind != Object::Kind::kArray) {
+          throw Trap("length of non-array");
+        }
+        regs[insn.dst] = Value::Int(static_cast<std::int64_t>(array->array_length()));
+        break;
+      }
+      case ROp::kLoadGlobalR:
+        regs[insn.dst] = vm_.globals_[static_cast<std::size_t>(insn.imm)];
+        break;
+      case ROp::kStoreGlobalR:
+        vm_.globals_[static_cast<std::size_t>(insn.imm)] = regs[insn.a];
+        break;
+
+      case ROp::kTrap:
+        throw Trap("function fell off the end without returning a value");
+    }
+  }
+}
+
+std::string DisassembleR(const RFunction& fn) {
+  std::ostringstream out;
+  out << "rfn " << fn.name << " regs=" << fn.num_regs << "\n";
+  for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+    const RInsn& insn = fn.code[pc];
+    out << "  " << pc << ": op=" << static_cast<int>(insn.op) << " dst=" << insn.dst
+        << " a=" << insn.a << " b=" << insn.b << " imm=" << insn.imm << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace minnow

@@ -1,0 +1,134 @@
+// Register-IR translation — Minnow's "runtime code generation" executor.
+//
+// The paper (§4.3) notes the flexible line between interpretation and
+// load-time code generation, and its conclusion names "compiled Java" as a
+// compelling future candidate. RegTranslator is that candidate built for
+// Minnow: at load time each verified stack-bytecode function is rewritten
+// into a register IR and executed by a much leaner dispatch loop.
+//
+// The translation exploits the verifier's guarantee that the operand-stack
+// depth at every pc is fixed: stack slot d simply becomes virtual register
+// num_locals + d, which turns push/pop traffic into register moves. Within a
+// basic block the translator then runs copy- and constant-propagation so
+// most moves disappear, folds constants into immediate-form instructions,
+// and fuses compare+branch pairs into conditional-branch instructions. The
+// result executes the same programs with roughly 2-5x fewer dispatches —
+// partway from the interpreter toward compiled code, exactly the trajectory
+// the paper predicted for Java. bench/ablate_minnow_exec measures the gap.
+//
+// Safety is unchanged: the IR performs the same null/bounds/div checks and
+// burns the same fuel discipline (one unit per IR instruction).
+
+#ifndef GRAFTLAB_SRC_MINNOW_REGIR_H_
+#define GRAFTLAB_SRC_MINNOW_REGIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/minnow/vm.h"
+
+namespace minnow {
+
+enum class ROp : std::uint8_t {
+  kMov,      // r[dst] = r[a]
+  kMovImm,   // r[dst] = imm
+
+  // Integer ALU: r[dst] = r[a] OP r[b]; *Imm forms use imm as the rhs.
+  kAddI, kAddImmI, kSubI, kSubImmI, kMulI, kDivI, kModI,
+  kAndI, kOrI, kXorI, kShlI, kShrI,
+  kNegI, kNotI, kNotB,
+
+  // u32 ALU (results truncated).
+  kAddU, kAddImmU, kSubU, kMulU, kDivU, kModU, kShlU, kShlImmU, kShrU, kShrImmU, kNotU,
+  kCastU32, kCastByte,
+
+  // Compares into a register (unfused fallback).
+  kCmpEqI, kCmpNeI, kCmpLtI, kCmpLeI, kCmpGtI, kCmpGeI,
+  kCmpLtU, kCmpLeU, kCmpGtU, kCmpGeU, kCmpEqRef, kCmpNeRef,
+
+  // Globals.
+  kLoadGlobalR,   // r[dst] = globals[imm]
+  kStoreGlobalR,  // globals[imm] = r[a]
+
+  // Control flow. Every branch stores its target IR index in imm.
+  kBr,          // goto imm
+  kBrTrue,      // if r[a] goto imm
+  kBrFalse,     // if !r[a] goto imm
+  // Fused compare+branch: if (r[a] OP r[b]) goto imm. The *ImmI forms
+  // compare r[a] against the 32-bit constant packed in the b field.
+  kBrEqI, kBrNeI, kBrLtI, kBrLeI, kBrGtI, kBrGeI,
+  kBrEqImmI, kBrNeImmI, kBrLtImmI, kBrLeImmI, kBrGtImmI, kBrGeImmI,
+  kBrLtU, kBrLeU, kBrGtU, kBrGeU,
+  kBrEqRef, kBrNeRef,
+
+  kCall,      // imm = fn index; a = first arg register, b = argc; dst = result
+  kCallHost,  // imm = host index; same convention
+  kRet,       // return r[a]
+  kRetVoid,
+
+  // Heap.
+  kNewStruct,   // r[dst] = new struct imm
+  kNewArray,    // r[dst] = new array (elem kind imm) of length r[a]
+  kLoadField,   // r[dst] = r[a].field[imm]
+  kStoreField,  // r[a].field[imm] = r[b]
+  kLoadElem,    // r[dst] = r[a][r[b]]   (elem kind in imm)
+  kStoreElem,   // r[a][r[b]] = r[c]     (c packed in dst)
+  kArrayLen,    // r[dst] = r[a].len
+
+  kTrap,
+};
+
+struct RInsn {
+  ROp op = ROp::kTrap;
+  std::int32_t dst = -1;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int64_t imm = 0;
+};
+
+struct RFunction {
+  std::string name;
+  int num_params = 0;
+  int num_regs = 0;  // locals + max stack depth
+  bool returns_value = false;
+  std::vector<RInsn> code;
+};
+
+// Executes translated functions against a VM's heap/globals/hosts. The VM is
+// used for its state; its bytecode interpreter is bypassed.
+class RegExecutor {
+ public:
+  // Translates every function of vm.program() at construction.
+  explicit RegExecutor(VM& vm);
+
+  Value Call(const std::string& name, std::span<const Value> args);
+  Value Call(const std::string& name, std::initializer_list<Value> args) {
+    return Call(name, std::span<const Value>(args.begin(), args.size()));
+  }
+  Value CallIndex(int fn_index, std::span<const Value> args);
+
+  const RFunction& function(int index) const {
+    return functions_[static_cast<std::size_t>(index)];
+  }
+  std::uint64_t instructions_retired() const { return instructions_retired_; }
+
+  // For tests: total IR instructions vs original bytecode instructions.
+  double CompressionRatio() const;
+
+ private:
+  Value Execute(int fn_index, std::span<const Value> args, int depth);
+
+  VM& vm_;
+  std::vector<RFunction> functions_;
+  std::uint64_t instructions_retired_ = 0;
+};
+
+// Translates one verified function (exposed for tests).
+RFunction TranslateFunction(const Program& program, const FunctionCode& fn);
+
+std::string DisassembleR(const RFunction& fn);
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_REGIR_H_

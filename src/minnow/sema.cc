@@ -1,0 +1,587 @@
+#include "src/minnow/sema.h"
+
+#include <utility>
+
+#include "src/minnow/diag.h"
+
+namespace minnow {
+
+std::string TypeName(const Type& type, const std::vector<std::string>& struct_names) {
+  switch (type.kind) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kU32: return "u32";
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kByte: return "byte";
+    case TypeKind::kNull: return "null";
+    case TypeKind::kStruct:
+      return type.struct_id >= 0 && static_cast<std::size_t>(type.struct_id) < struct_names.size()
+                 ? struct_names[static_cast<std::size_t>(type.struct_id)]
+                 : "<struct>";
+    case TypeKind::kArray:
+      switch (type.elem) {
+        case TypeKind::kInt: return "int[]";
+        case TypeKind::kU32: return "u32[]";
+        case TypeKind::kBool: return "bool[]";
+        case TypeKind::kByte: return "byte[]";
+        default: return "<array>";
+      }
+  }
+  return "?";
+}
+
+namespace {
+
+class Analyzer {
+ public:
+  Analyzer(Module& module, const std::vector<HostDecl>& hosts) : module_(module) {
+    info_.hosts = hosts;
+  }
+
+  ProgramInfo Run() {
+    CollectStructs();
+    ResolveStructFields();
+    CollectGlobals();
+    CollectFunctions();
+    for (auto& fn : module_.functions) {
+      CheckFunction(fn);
+    }
+    CheckGlobalInits();
+    return std::move(info_);
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message, int line, int column = 0) const {
+    throw CompileError(message, line, column);
+  }
+
+  std::string Name(const Type& type) const { return TypeName(type, info_.struct_names()); }
+
+  // --- Type resolution ---
+
+  Type ResolveSpec(const TypeSpec& spec) const {
+    TypeKind base;
+    if (spec.base == "int") {
+      base = TypeKind::kInt;
+    } else if (spec.base == "u32") {
+      base = TypeKind::kU32;
+    } else if (spec.base == "bool") {
+      base = TypeKind::kBool;
+    } else if (spec.base == "byte") {
+      base = TypeKind::kByte;
+    } else {
+      const auto it = struct_ids_.find(spec.base);
+      if (it == struct_ids_.end()) {
+        Fail("unknown type '" + spec.base + "'", spec.line, spec.column);
+      }
+      if (spec.is_array) {
+        Fail("arrays of structs are not supported; use parallel scalar arrays or a linked list",
+             spec.line, spec.column);
+      }
+      return Type::Struct(it->second);
+    }
+    if (spec.is_array) {
+      return Type::Array(base);
+    }
+    if (base == TypeKind::kByte) {
+      Fail("'byte' is only usable as an array element or cast; use int", spec.line, spec.column);
+    }
+    return Type{base, -1, TypeKind::kVoid};
+  }
+
+  // --- Declaration collection ---
+
+  void CollectStructs() {
+    for (std::size_t i = 0; i < module_.structs.size(); ++i) {
+      const auto& decl = module_.structs[i];
+      if (!struct_ids_.emplace(decl.name, static_cast<int>(i)).second) {
+        Fail("duplicate struct '" + decl.name + "'", decl.line);
+      }
+      ProgramInfo::StructInfo info;
+      info.name = decl.name;
+      info_.structs.push_back(std::move(info));
+    }
+  }
+
+  void ResolveStructFields() {
+    for (std::size_t i = 0; i < module_.structs.size(); ++i) {
+      auto& decl = module_.structs[i];
+      auto& info = info_.structs[i];
+      for (auto& field : decl.fields) {
+        for (const auto& existing : info.field_names) {
+          if (existing == field.name) {
+            Fail("duplicate field '" + field.name + "' in struct " + decl.name, decl.line);
+          }
+        }
+        field.type = ResolveSpec(field.spec);
+        info.field_names.push_back(field.name);
+        info.field_types.push_back(field.type);
+      }
+    }
+  }
+
+  void CollectGlobals() {
+    for (auto& decl : module_.globals) {
+      if (global_ids_.contains(decl.name)) {
+        Fail("duplicate global '" + decl.name + "'", decl.line);
+      }
+      decl.type = ResolveSpec(decl.spec);
+      global_ids_.emplace(decl.name, static_cast<int>(info_.globals.size()));
+      info_.globals.push_back({decl.name, decl.type});
+    }
+  }
+
+  void CollectFunctions() {
+    for (std::size_t h = 0; h < info_.hosts.size(); ++h) {
+      host_ids_.emplace(info_.hosts[h].name, static_cast<int>(h));
+    }
+    for (auto& fn : module_.functions) {
+      if (fn_ids_.contains(fn.name)) {
+        Fail("duplicate function '" + fn.name + "'", fn.line);
+      }
+      if (host_ids_.contains(fn.name)) {
+        Fail("function '" + fn.name + "' shadows a host function", fn.line);
+      }
+      ProgramInfo::FnInfo info;
+      info.name = fn.name;
+      for (auto& param : fn.params) {
+        param.type = ResolveSpec(param.spec);
+        info.params.push_back(param.type);
+      }
+      fn.return_type = fn.return_spec.base.empty() ? Type::Void() : ResolveSpec(fn.return_spec);
+      info.ret = fn.return_type;
+      fn_ids_.emplace(fn.name, static_cast<int>(info_.functions.size()));
+      info_.functions.push_back(std::move(info));
+    }
+  }
+
+  void CheckGlobalInits() {
+    // Global initializers run in the synthesized @init function with no
+    // locals in scope; they may reference earlier globals and call functions.
+    scopes_.clear();
+    current_fn_ = nullptr;
+    for (auto& decl : module_.globals) {
+      if (decl.init != nullptr) {
+        const Type t = CheckExpr(*decl.init);
+        if (!Assignable(decl.type, t)) {
+          Fail("initializer of '" + decl.name + "' has type " + Name(t) + ", expected " +
+                   Name(decl.type),
+               decl.line);
+        }
+      }
+    }
+  }
+
+  // --- Function body checking ---
+
+  struct LocalVar {
+    std::string name;
+    Type type;
+    int slot;
+  };
+
+  void CheckFunction(FnDecl& fn) {
+    current_fn_ = &fn;
+    scopes_.clear();
+    next_slot_ = 0;
+    max_slot_ = 0;
+    loop_depth_ = 0;
+
+    PushScope();
+    for (const auto& param : fn.params) {
+      DeclareLocal(param.name, param.type, fn.line);
+    }
+    for (auto& stmt : fn.body) {
+      CheckStmt(*stmt);
+    }
+    PopScope();
+    fn.num_locals = max_slot_;
+    current_fn_ = nullptr;
+  }
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() {
+    next_slot_ -= static_cast<int>(scopes_.back().size());
+    scopes_.pop_back();
+  }
+
+  int DeclareLocal(const std::string& name, const Type& type, int line) {
+    for (const auto& var : scopes_.back()) {
+      if (var.name == name) {
+        Fail("duplicate variable '" + name + "' in scope", line);
+      }
+    }
+    const int slot = next_slot_++;
+    if (next_slot_ > max_slot_) {
+      max_slot_ = next_slot_;
+    }
+    scopes_.back().push_back({name, type, slot});
+    return slot;
+  }
+
+  const LocalVar* FindLocal(const std::string& name) const {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      for (const auto& var : *scope) {
+        if (var.name == name) {
+          return &var;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  void CheckStmt(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kExpr:
+        CheckExpr(*stmt.expr);
+        break;
+      case StmtKind::kVarDecl: {
+        stmt.declared_type = ResolveSpec(stmt.var_spec);
+        if (stmt.expr != nullptr) {
+          const Type t = CheckExpr(*stmt.expr);
+          if (!Assignable(stmt.declared_type, t)) {
+            Fail("cannot initialize " + Name(stmt.declared_type) + " variable '" + stmt.var_name +
+                     "' with " + Name(t),
+                 stmt.line, stmt.column);
+          }
+        }
+        stmt.slot = DeclareLocal(stmt.var_name, stmt.declared_type, stmt.line);
+        break;
+      }
+      case StmtKind::kAssign: {
+        const Type target = CheckAssignTarget(*stmt.target);
+        const Type value = CheckExpr(*stmt.value);
+        if (!Assignable(target, value)) {
+          Fail("cannot assign " + Name(value) + " to " + Name(target), stmt.line, stmt.column);
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        RequireBool(*stmt.expr, "if condition");
+        PushScope();
+        for (auto& s : stmt.then_body) {
+          CheckStmt(*s);
+        }
+        PopScope();
+        PushScope();
+        for (auto& s : stmt.else_body) {
+          CheckStmt(*s);
+        }
+        PopScope();
+        break;
+      }
+      case StmtKind::kWhile: {
+        RequireBool(*stmt.expr, "while condition");
+        ++loop_depth_;
+        PushScope();
+        for (auto& s : stmt.body) {
+          CheckStmt(*s);
+        }
+        PopScope();
+        --loop_depth_;
+        break;
+      }
+      case StmtKind::kFor: {
+        PushScope();  // the for-init variable scopes over the whole loop
+        if (stmt.init != nullptr) {
+          CheckStmt(*stmt.init);
+        }
+        if (stmt.expr != nullptr) {
+          RequireBool(*stmt.expr, "for condition");
+        }
+        ++loop_depth_;
+        PushScope();
+        for (auto& s : stmt.body) {
+          CheckStmt(*s);
+        }
+        PopScope();
+        --loop_depth_;
+        if (stmt.step != nullptr) {
+          CheckStmt(*stmt.step);
+        }
+        PopScope();
+        break;
+      }
+      case StmtKind::kReturn: {
+        const Type expected = current_fn_->return_type;
+        if (stmt.expr == nullptr) {
+          if (expected.kind != TypeKind::kVoid) {
+            Fail("missing return value in '" + current_fn_->name + "'", stmt.line, stmt.column);
+          }
+        } else {
+          const Type t = CheckExpr(*stmt.expr);
+          if (expected.kind == TypeKind::kVoid) {
+            Fail("void function '" + current_fn_->name + "' returns a value", stmt.line,
+                 stmt.column);
+          }
+          if (!Assignable(expected, t)) {
+            Fail("return type mismatch: " + Name(t) + " vs " + Name(expected), stmt.line,
+                 stmt.column);
+          }
+        }
+        break;
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          Fail("break/continue outside a loop", stmt.line, stmt.column);
+        }
+        break;
+      case StmtKind::kBlock:
+        PushScope();
+        for (auto& s : stmt.body) {
+          CheckStmt(*s);
+        }
+        PopScope();
+        break;
+    }
+  }
+
+  void RequireBool(Expr& expr, const char* what) {
+    const Type t = CheckExpr(expr);
+    if (t.kind != TypeKind::kBool) {
+      Fail(std::string(what) + " must be bool, found " + Name(t), expr.line, expr.column);
+    }
+  }
+
+  Type CheckAssignTarget(Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kVarRef:
+      case ExprKind::kField:
+      case ExprKind::kIndex:
+        return CheckExpr(expr);
+      default:
+        Fail("expression is not assignable", expr.line, expr.column);
+    }
+  }
+
+  Type CheckExpr(Expr& expr) {
+    expr.type = CheckExprInner(expr);
+    return expr.type;
+  }
+
+  Type CheckExprInner(Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        return Type::Int();
+      case ExprKind::kBoolLit:
+        return Type::Bool();
+      case ExprKind::kNullLit:
+        return Type::Null();
+      case ExprKind::kVarRef: {
+        if (const LocalVar* local = FindLocal(expr.name)) {
+          expr.binding = Expr::Binding::kLocal;
+          expr.slot = local->slot;
+          return local->type;
+        }
+        if (const auto it = global_ids_.find(expr.name); it != global_ids_.end()) {
+          expr.binding = Expr::Binding::kGlobal;
+          expr.slot = it->second;
+          return info_.globals[static_cast<std::size_t>(it->second)].type;
+        }
+        Fail("unknown variable '" + expr.name + "'", expr.line, expr.column);
+      }
+      case ExprKind::kBinary:
+        return CheckBinary(expr);
+      case ExprKind::kUnary: {
+        const Type t = CheckExpr(*expr.lhs);
+        if (expr.op == Tok::kBang) {
+          if (t.kind != TypeKind::kBool) {
+            Fail("'!' needs bool, found " + Name(t), expr.line, expr.column);
+          }
+          return Type::Bool();
+        }
+        if (t.kind != TypeKind::kInt && t.kind != TypeKind::kU32) {
+          Fail("unary operator needs int or u32, found " + Name(t), expr.line, expr.column);
+        }
+        return t;
+      }
+      case ExprKind::kCall:
+        return CheckCall(expr);
+      case ExprKind::kCast: {
+        const Type t = CheckExpr(*expr.lhs);
+        if (t.kind != TypeKind::kInt && t.kind != TypeKind::kU32) {
+          Fail("cast needs a numeric operand, found " + Name(t), expr.line, expr.column);
+        }
+        if (expr.name == "int") {
+          return Type::Int();
+        }
+        if (expr.name == "u32") {
+          return Type::U32();
+        }
+        return Type::Int();  // byte(x): masked to 8 bits, typed int
+      }
+      case ExprKind::kField: {
+        const Type base = CheckExpr(*expr.lhs);
+        if (base.kind != TypeKind::kStruct) {
+          Fail("field access on non-struct " + Name(base), expr.line, expr.column);
+        }
+        const auto& info = info_.structs[static_cast<std::size_t>(base.struct_id)];
+        for (std::size_t i = 0; i < info.field_names.size(); ++i) {
+          if (info.field_names[i] == expr.name) {
+            expr.field_index = static_cast<int>(i);
+            return info.field_types[i];
+          }
+        }
+        Fail("struct " + info.name + " has no field '" + expr.name + "'", expr.line, expr.column);
+      }
+      case ExprKind::kIndex: {
+        const Type base = CheckExpr(*expr.lhs);
+        if (base.kind != TypeKind::kArray) {
+          Fail("indexing non-array " + Name(base), expr.line, expr.column);
+        }
+        const Type index = CheckExpr(*expr.rhs);
+        if (index.kind != TypeKind::kInt) {
+          Fail("array index must be int, found " + Name(index), expr.line, expr.column);
+        }
+        switch (base.elem) {
+          case TypeKind::kInt:
+          case TypeKind::kByte:
+            return Type::Int();  // byte elements read as int
+          case TypeKind::kU32:
+            return Type::U32();
+          case TypeKind::kBool:
+            return Type::Bool();
+          default:
+            Fail("bad array element type", expr.line, expr.column);
+        }
+      }
+      case ExprKind::kNewStruct: {
+        const auto it = struct_ids_.find(expr.name);
+        if (it == struct_ids_.end()) {
+          Fail("unknown struct '" + expr.name + "'", expr.line, expr.column);
+        }
+        return Type::Struct(it->second);
+      }
+      case ExprKind::kNewArray: {
+        TypeKind elem;
+        if (expr.name == "int") {
+          elem = TypeKind::kInt;
+        } else if (expr.name == "u32") {
+          elem = TypeKind::kU32;
+        } else if (expr.name == "byte") {
+          elem = TypeKind::kByte;
+        } else if (expr.name == "bool") {
+          elem = TypeKind::kBool;
+        } else {
+          Fail("arrays hold int, u32, byte, or bool; found '" + expr.name + "'", expr.line,
+               expr.column);
+        }
+        const Type len = CheckExpr(*expr.rhs);
+        if (len.kind != TypeKind::kInt) {
+          Fail("array length must be int", expr.line, expr.column);
+        }
+        return Type::Array(elem);
+      }
+      case ExprKind::kArrayLen: {
+        const Type base = CheckExpr(*expr.lhs);
+        if (base.kind != TypeKind::kArray) {
+          Fail("'.len' on non-array " + Name(base), expr.line, expr.column);
+        }
+        return Type::Int();
+      }
+    }
+    Fail("unhandled expression", expr.line, expr.column);
+  }
+
+  Type CheckBinary(Expr& expr) {
+    const Type lhs = CheckExpr(*expr.lhs);
+    const Type rhs = CheckExpr(*expr.rhs);
+    switch (expr.op) {
+      case Tok::kAndAnd:
+      case Tok::kOrOr:
+        if (lhs.kind != TypeKind::kBool || rhs.kind != TypeKind::kBool) {
+          Fail("logical operator needs bool operands", expr.line, expr.column);
+        }
+        return Type::Bool();
+      case Tok::kEq:
+      case Tok::kNe:
+        if (lhs.IsReference() && rhs.IsReference()) {
+          return Type::Bool();
+        }
+        if (lhs.kind == rhs.kind && lhs.IsScalar()) {
+          return Type::Bool();
+        }
+        Fail("cannot compare " + Name(lhs) + " with " + Name(rhs), expr.line, expr.column);
+      case Tok::kLt:
+      case Tok::kLe:
+      case Tok::kGt:
+      case Tok::kGe:
+        if (lhs.kind != rhs.kind ||
+            (lhs.kind != TypeKind::kInt && lhs.kind != TypeKind::kU32)) {
+          Fail("cannot order " + Name(lhs) + " with " + Name(rhs), expr.line, expr.column);
+        }
+        return Type::Bool();
+      case Tok::kShl:
+      case Tok::kShr:
+        if (lhs.kind != TypeKind::kInt && lhs.kind != TypeKind::kU32) {
+          Fail("shift needs int or u32, found " + Name(lhs), expr.line, expr.column);
+        }
+        if (rhs.kind != TypeKind::kInt) {
+          Fail("shift count must be int", expr.line, expr.column);
+        }
+        return lhs;
+      default:
+        // +, -, *, /, %, &, |, ^
+        if (lhs.kind != rhs.kind ||
+            (lhs.kind != TypeKind::kInt && lhs.kind != TypeKind::kU32)) {
+          Fail("arithmetic needs matching int or u32 operands, found " + Name(lhs) + " and " +
+                   Name(rhs),
+               expr.line, expr.column);
+        }
+        return lhs;
+    }
+  }
+
+  Type CheckCall(Expr& expr) {
+    const std::vector<Type>* params = nullptr;
+    Type ret;
+    if (const auto it = fn_ids_.find(expr.name); it != fn_ids_.end()) {
+      expr.fn_index = it->second;
+      params = &info_.functions[static_cast<std::size_t>(it->second)].params;
+      ret = info_.functions[static_cast<std::size_t>(it->second)].ret;
+    } else if (const auto hit = host_ids_.find(expr.name); hit != host_ids_.end()) {
+      expr.host_index = hit->second;
+      params = &info_.hosts[static_cast<std::size_t>(hit->second)].params;
+      ret = info_.hosts[static_cast<std::size_t>(hit->second)].ret;
+    } else {
+      Fail("unknown function '" + expr.name + "'", expr.line, expr.column);
+    }
+    if (expr.args.size() != params->size()) {
+      Fail("'" + expr.name + "' expects " + std::to_string(params->size()) + " arguments, got " +
+               std::to_string(expr.args.size()),
+           expr.line, expr.column);
+    }
+    for (std::size_t i = 0; i < expr.args.size(); ++i) {
+      const Type arg = CheckExpr(*expr.args[i]);
+      if (!Assignable((*params)[i], arg)) {
+        Fail("argument " + std::to_string(i + 1) + " of '" + expr.name + "' has type " +
+                 Name(arg) + ", expected " + Name((*params)[i]),
+             expr.line, expr.column);
+      }
+    }
+    return ret;
+  }
+
+  Module& module_;
+  ProgramInfo info_;
+  std::unordered_map<std::string, int> struct_ids_;
+  std::unordered_map<std::string, int> global_ids_;
+  std::unordered_map<std::string, int> fn_ids_;
+  std::unordered_map<std::string, int> host_ids_;
+
+  FnDecl* current_fn_ = nullptr;
+  std::vector<std::vector<LocalVar>> scopes_;
+  int next_slot_ = 0;
+  int max_slot_ = 0;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+ProgramInfo Analyze(Module& module, const std::vector<HostDecl>& hosts) {
+  Analyzer analyzer(module, hosts);
+  return analyzer.Run();
+}
+
+}  // namespace minnow

@@ -1,0 +1,75 @@
+// Minnow semantic analysis: name resolution and type checking.
+//
+// Annotates the AST in place (bindings, slots, resolved types, call
+// targets) and produces the symbol tables the code generator needs. All
+// type errors are CompileErrors with source positions.
+//
+// Typing rules (kept deliberately Java-flavoured):
+//   * int is signed 64-bit; u32 wraps modulo 2^32; they never mix without
+//     an explicit cast (int(x) / u32(x)).
+//   * `byte` exists only as an array element and cast target; loading a
+//     byte element yields int (0..255), storing masks to 8 bits.
+//   * bool comes from literals and comparisons; conditions must be bool;
+//     && and || short-circuit.
+//   * struct and array types are nullable references; null compares with
+//     == / != and assigns into any reference slot.
+//   * shifts take an int count; u32 shifts are logical, int shifts
+//     arithmetic.
+
+#ifndef GRAFTLAB_SRC_MINNOW_SEMA_H_
+#define GRAFTLAB_SRC_MINNOW_SEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/minnow/ast.h"
+#include "src/minnow/types.h"
+
+namespace minnow {
+
+// A host (kernel) function visible to extension code.
+struct HostDecl {
+  std::string name;
+  std::vector<Type> params;
+  Type ret = Type::Void();
+};
+
+// Symbol tables produced by analysis, consumed by the code generator.
+struct ProgramInfo {
+  struct StructInfo {
+    std::string name;
+    std::vector<std::string> field_names;
+    std::vector<Type> field_types;
+  };
+  struct GlobalInfo {
+    std::string name;
+    Type type;
+  };
+  struct FnInfo {
+    std::string name;
+    std::vector<Type> params;
+    Type ret;
+  };
+
+  std::vector<StructInfo> structs;
+  std::vector<GlobalInfo> globals;
+  std::vector<FnInfo> functions;
+  std::vector<HostDecl> hosts;
+
+  std::vector<std::string> struct_names() const {
+    std::vector<std::string> names;
+    names.reserve(structs.size());
+    for (const auto& s : structs) {
+      names.push_back(s.name);
+    }
+    return names;
+  }
+};
+
+// Checks `module`, annotating it. Throws CompileError on any violation.
+ProgramInfo Analyze(Module& module, const std::vector<HostDecl>& hosts);
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_SEMA_H_

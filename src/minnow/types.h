@@ -1,0 +1,72 @@
+// Minnow's type system.
+//
+// Scalars: int (i64), u32 (wraps modulo 2^32 — MD5's arithmetic), bool,
+// byte (u8). Reference types: named structs (nullable, heap-allocated,
+// garbage collected) and typed arrays of scalars. Everything fits in one
+// 64-bit VM slot at runtime; the static types exist so the compiler can
+// pick the right opcodes and reject unsafe programs.
+
+#ifndef GRAFTLAB_SRC_MINNOW_TYPES_H_
+#define GRAFTLAB_SRC_MINNOW_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace minnow {
+
+enum class TypeKind : std::uint8_t {
+  kVoid,
+  kInt,    // signed 64-bit
+  kU32,    // unsigned, wraps modulo 2^32
+  kBool,
+  kByte,   // unsigned 8-bit
+  kStruct, // reference to a named struct (nullable)
+  kArray,  // reference to an array of a scalar element kind (nullable)
+  kNull,   // the type of the literal `null` (assignable to any reference)
+};
+
+struct Type {
+  TypeKind kind = TypeKind::kVoid;
+  int struct_id = -1;             // kStruct: index into Program::structs
+  TypeKind elem = TypeKind::kVoid;  // kArray: element kind (scalar only)
+
+  static Type Void() { return {}; }
+  static Type Int() { return {TypeKind::kInt, -1, TypeKind::kVoid}; }
+  static Type U32() { return {TypeKind::kU32, -1, TypeKind::kVoid}; }
+  static Type Bool() { return {TypeKind::kBool, -1, TypeKind::kVoid}; }
+  static Type Byte() { return {TypeKind::kByte, -1, TypeKind::kVoid}; }
+  static Type Null() { return {TypeKind::kNull, -1, TypeKind::kVoid}; }
+  static Type Struct(int id) { return {TypeKind::kStruct, id, TypeKind::kVoid}; }
+  static Type Array(TypeKind element) { return {TypeKind::kArray, -1, element}; }
+
+  bool IsReference() const {
+    return kind == TypeKind::kStruct || kind == TypeKind::kArray || kind == TypeKind::kNull;
+  }
+  bool IsScalar() const {
+    return kind == TypeKind::kInt || kind == TypeKind::kU32 || kind == TypeKind::kBool ||
+           kind == TypeKind::kByte;
+  }
+  bool IsNumeric() const {
+    return kind == TypeKind::kInt || kind == TypeKind::kU32 || kind == TypeKind::kByte;
+  }
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.kind == b.kind && a.struct_id == b.struct_id && a.elem == b.elem;
+  }
+};
+
+// `from` may be stored where `to` is expected: exact match, or null into any
+// reference slot.
+inline bool Assignable(const Type& to, const Type& from) {
+  if (to == from) {
+    return true;
+  }
+  return from.kind == TypeKind::kNull && to.IsReference() && to.kind != TypeKind::kNull;
+}
+
+std::string TypeName(const Type& type, const std::vector<std::string>& struct_names);
+
+}  // namespace minnow
+
+#endif  // GRAFTLAB_SRC_MINNOW_TYPES_H_

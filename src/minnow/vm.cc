@@ -1,0 +1,524 @@
+#include "src/minnow/vm.h"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace minnow {
+
+namespace {
+
+constexpr std::uint64_t kU32Mask = 0xFFFFFFFFull;
+
+Object* AsObject(Value v) { return reinterpret_cast<Object*>(v.bits); }
+
+Object* RequireObject(Value v, const char* what) {
+  Object* object = AsObject(v);
+  if (object == nullptr) {
+    throw Trap(std::string("null dereference in ") + what);
+  }
+  return object;
+}
+
+std::size_t CheckIndex(const Object* array, std::int64_t index) {
+  const std::size_t length = array->array_length();
+  if (index < 0 || static_cast<std::size_t>(index) >= length) {
+    throw Trap("array index " + std::to_string(index) + " out of bounds [0, " +
+               std::to_string(length) + ")");
+  }
+  return static_cast<std::size_t>(index);
+}
+
+}  // namespace
+
+VM::VM(Program program, const VmOptions& options)
+    : program_(std::move(program)),
+      options_(options),
+      heap_(options.heap_limit),
+      stack_(options.stack_slots),
+      hosts_(program_.host_imports.size()),
+      globals_(program_.globals.size()),
+      fuel_(options.fuel) {}
+
+void VM::BindHost(const std::string& name, HostFn fn) {
+  for (std::size_t i = 0; i < program_.host_imports.size(); ++i) {
+    if (program_.host_imports[i].name == name) {
+      hosts_[i] = std::move(fn);
+      return;
+    }
+  }
+  throw std::invalid_argument("no host import named '" + name + "'");
+}
+
+void VM::RunInit() {
+  const int init = program_.FindFunction("@init");
+  if (init >= 0) {
+    Execute(init, {});
+  }
+  init_ran_ = true;
+}
+
+Value VM::Call(const std::string& name, std::span<const Value> args) {
+  const int index = program_.FindFunction(name);
+  if (index < 0) {
+    throw std::invalid_argument("no function named '" + name + "'");
+  }
+  return CallIndex(index, args);
+}
+
+Value VM::CallIndex(int fn_index, std::span<const Value> args) {
+  if (fn_index < 0 || static_cast<std::size_t>(fn_index) >= program_.functions.size()) {
+    throw std::invalid_argument("function index out of range");
+  }
+  const auto& fn = program_.functions[static_cast<std::size_t>(fn_index)];
+  if (static_cast<int>(args.size()) != fn.num_params) {
+    throw std::invalid_argument("'" + fn.name + "' expects " + std::to_string(fn.num_params) +
+                                " arguments");
+  }
+  return Execute(fn_index, args);
+}
+
+void VM::MaybeCollect(std::size_t incoming_bytes) {
+  if (heap_.ShouldCollect(incoming_bytes)) {
+    heap_.Collect(*this);
+  }
+}
+
+void VM::EnumerateRoots(Heap& heap) {
+  // Precise: reference globals.
+  for (std::size_t g = 0; g < globals_.size(); ++g) {
+    if (program_.globals[g].is_ref) {
+      void* candidate = reinterpret_cast<void*>(globals_[g].bits);
+      if (candidate != nullptr && heap.IsObject(candidate)) {
+        heap.Mark(static_cast<Object*>(candidate));
+      }
+    }
+  }
+  // Conservative: every live stack slot.
+  for (std::size_t i = 0; i < sp_; ++i) {
+    void* candidate = reinterpret_cast<void*>(stack_[i].bits);
+    if (candidate != nullptr && heap.IsObject(candidate)) {
+      heap.Mark(static_cast<Object*>(candidate));
+    }
+  }
+  // Host pins.
+  for (Object* object : pinned_) {
+    heap.Mark(object);
+  }
+}
+
+Object* VM::NewByteArray(std::span<const std::uint8_t> data) {
+  MaybeCollect(data.size());
+  Object* array = heap_.NewArray(TypeKind::kByte, data.size());
+  std::memcpy(array->bytes.data(), data.data(), data.size());
+  return array;
+}
+
+Object* VM::NewIntArray(std::span<const std::int64_t> data) {
+  MaybeCollect(data.size() * 8);
+  Object* array = heap_.NewArray(TypeKind::kInt, data.size());
+  std::memcpy(array->longs.data(), data.data(), data.size() * sizeof(std::int64_t));
+  return array;
+}
+
+Object* VM::NewU32Array(std::size_t length) {
+  MaybeCollect(length * 4);
+  return heap_.NewArray(TypeKind::kU32, length);
+}
+
+Value VM::GetGlobal(const std::string& name) const {
+  for (std::size_t g = 0; g < globals_.size(); ++g) {
+    if (program_.globals[g].name == name) {
+      return globals_[g];
+    }
+  }
+  throw std::invalid_argument("no global named '" + name + "'");
+}
+
+void VM::SetGlobal(const std::string& name, Value value) {
+  for (std::size_t g = 0; g < globals_.size(); ++g) {
+    if (program_.globals[g].name == name) {
+      globals_[g] = value;
+      return;
+    }
+  }
+  throw std::invalid_argument("no global named '" + name + "'");
+}
+
+Value VM::Execute(int fn_index, std::span<const Value> args) {
+  const std::size_t entry_sp = sp_;
+  const std::size_t entry_frames = frames_.size();
+
+  auto push_frame = [&](int index, std::span<const Value> call_args) {
+    const auto& fn = program_.functions[static_cast<std::size_t>(index)];
+    if (frames_.size() - entry_frames >= options_.max_call_depth) {
+      throw Trap("call depth limit exceeded");
+    }
+    const std::size_t base = sp_;
+    const std::size_t needed =
+        static_cast<std::size_t>(fn.num_locals) + static_cast<std::size_t>(fn.max_stack);
+    if (base + needed > stack_.size()) {
+      throw Trap("VM stack overflow");
+    }
+    for (std::size_t i = 0; i < call_args.size(); ++i) {
+      stack_[base + i] = call_args[i];
+    }
+    for (std::size_t i = call_args.size(); i < static_cast<std::size_t>(fn.num_locals); ++i) {
+      stack_[base + i] = Value::Null();
+    }
+    sp_ = base + static_cast<std::size_t>(fn.num_locals);
+    frames_.push_back({&fn, 0, base});
+  };
+
+  try {
+    push_frame(fn_index, args);
+
+    Value result = Value::Null();
+    while (frames_.size() > entry_frames) {
+      Frame& frame = frames_.back();
+      const Insn insn = frame.fn->code[frame.pc];
+      ++frame.pc;
+      ++instructions_retired_;
+      if (fuel_ >= 0 && fuel_-- == 0) {
+        throw Trap("fuel exhausted: graft preempted");
+      }
+
+      switch (insn.op) {
+        case Op::kNop:
+          break;
+        case Op::kConstInt:
+          stack_[sp_++] = Value::Int(insn.operand);
+          break;
+        case Op::kConstNull:
+          stack_[sp_++] = Value::Null();
+          break;
+        case Op::kLoadLocal:
+          stack_[sp_++] = stack_[frame.base + static_cast<std::size_t>(insn.operand)];
+          break;
+        case Op::kStoreLocal:
+          stack_[frame.base + static_cast<std::size_t>(insn.operand)] = stack_[--sp_];
+          break;
+        case Op::kLoadGlobal:
+          stack_[sp_++] = globals_[static_cast<std::size_t>(insn.operand)];
+          break;
+        case Op::kStoreGlobal:
+          globals_[static_cast<std::size_t>(insn.operand)] = stack_[--sp_];
+          break;
+        case Op::kPop:
+          --sp_;
+          break;
+        case Op::kDup:
+          stack_[sp_] = stack_[sp_ - 1];
+          ++sp_;
+          break;
+
+#define GRAFTLAB_BIN_I(OP)                                                       \
+  {                                                                              \
+    const std::int64_t b = stack_[--sp_].AsInt();                                \
+    const std::int64_t a = stack_[sp_ - 1].AsInt();                              \
+    stack_[sp_ - 1] = Value::Int(OP);                                            \
+  }                                                                              \
+  break
+
+        case Op::kAddI:
+          GRAFTLAB_BIN_I(static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                                   static_cast<std::uint64_t>(b)));
+        case Op::kSubI:
+          GRAFTLAB_BIN_I(static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                                   static_cast<std::uint64_t>(b)));
+        case Op::kMulI:
+          GRAFTLAB_BIN_I(static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                                   static_cast<std::uint64_t>(b)));
+        case Op::kDivI: {
+          const std::int64_t b = stack_[--sp_].AsInt();
+          const std::int64_t a = stack_[sp_ - 1].AsInt();
+          if (b == 0) {
+            throw Trap("integer division by zero");
+          }
+          if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+            throw Trap("integer division overflow");
+          }
+          stack_[sp_ - 1] = Value::Int(a / b);
+          break;
+        }
+        case Op::kModI: {
+          const std::int64_t b = stack_[--sp_].AsInt();
+          const std::int64_t a = stack_[sp_ - 1].AsInt();
+          if (b == 0) {
+            throw Trap("integer modulo by zero");
+          }
+          if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+            throw Trap("integer modulo overflow");
+          }
+          stack_[sp_ - 1] = Value::Int(a % b);
+          break;
+        }
+        case Op::kNegI:
+          stack_[sp_ - 1] =
+              Value::Int(static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(
+                                                           stack_[sp_ - 1].AsInt())));
+          break;
+        case Op::kAndI:
+          GRAFTLAB_BIN_I(a & b);
+        case Op::kOrI:
+          GRAFTLAB_BIN_I(a | b);
+        case Op::kXorI:
+          GRAFTLAB_BIN_I(a ^ b);
+        case Op::kShlI:
+          GRAFTLAB_BIN_I(static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                                   << (static_cast<std::uint64_t>(b) & 63)));
+        case Op::kShrI:
+          GRAFTLAB_BIN_I(a >> (static_cast<std::uint64_t>(b) & 63));
+        case Op::kNotI:
+          stack_[sp_ - 1] = Value::Int(~stack_[sp_ - 1].AsInt());
+          break;
+
+#define GRAFTLAB_BIN_U(EXPR)                                  \
+  {                                                           \
+    const std::uint64_t b = stack_[--sp_].bits & kU32Mask;    \
+    const std::uint64_t a = stack_[sp_ - 1].bits & kU32Mask;  \
+    stack_[sp_ - 1].bits = (EXPR) & kU32Mask;                 \
+  }                                                           \
+  break
+
+        case Op::kAddU:
+          GRAFTLAB_BIN_U(a + b);
+        case Op::kSubU:
+          GRAFTLAB_BIN_U(a - b);
+        case Op::kMulU:
+          GRAFTLAB_BIN_U(a * b);
+        case Op::kDivU: {
+          const std::uint64_t b = stack_[--sp_].bits & kU32Mask;
+          const std::uint64_t a = stack_[sp_ - 1].bits & kU32Mask;
+          if (b == 0) {
+            throw Trap("u32 division by zero");
+          }
+          stack_[sp_ - 1].bits = a / b;
+          break;
+        }
+        case Op::kModU: {
+          const std::uint64_t b = stack_[--sp_].bits & kU32Mask;
+          const std::uint64_t a = stack_[sp_ - 1].bits & kU32Mask;
+          if (b == 0) {
+            throw Trap("u32 modulo by zero");
+          }
+          stack_[sp_ - 1].bits = a % b;
+          break;
+        }
+        case Op::kShlU:
+          GRAFTLAB_BIN_U(a << (b & 31));
+        case Op::kShrU:
+          GRAFTLAB_BIN_U(a >> (b & 31));
+        case Op::kNotU:
+          stack_[sp_ - 1].bits = (~stack_[sp_ - 1].bits) & kU32Mask;
+          break;
+
+#define GRAFTLAB_CMP(TYPE, EXPR)                   \
+  {                                                \
+    const TYPE b = static_cast<TYPE>(stack_[--sp_].bits); \
+    const TYPE a = static_cast<TYPE>(stack_[sp_ - 1].bits); \
+    stack_[sp_ - 1] = Value::Int((EXPR) ? 1 : 0);  \
+  }                                                \
+  break
+
+        case Op::kEqI:
+          GRAFTLAB_CMP(std::int64_t, a == b);
+        case Op::kNeI:
+          GRAFTLAB_CMP(std::int64_t, a != b);
+        case Op::kLtI:
+          GRAFTLAB_CMP(std::int64_t, a < b);
+        case Op::kLeI:
+          GRAFTLAB_CMP(std::int64_t, a <= b);
+        case Op::kGtI:
+          GRAFTLAB_CMP(std::int64_t, a > b);
+        case Op::kGeI:
+          GRAFTLAB_CMP(std::int64_t, a >= b);
+        case Op::kLtU:
+          GRAFTLAB_CMP(std::uint64_t, a < b);
+        case Op::kLeU:
+          GRAFTLAB_CMP(std::uint64_t, a <= b);
+        case Op::kGtU:
+          GRAFTLAB_CMP(std::uint64_t, a > b);
+        case Op::kGeU:
+          GRAFTLAB_CMP(std::uint64_t, a >= b);
+        case Op::kEqRef:
+          GRAFTLAB_CMP(std::uint64_t, a == b);
+        case Op::kNeRef:
+          GRAFTLAB_CMP(std::uint64_t, a != b);
+        case Op::kNotB:
+          stack_[sp_ - 1] = Value::Int(stack_[sp_ - 1].bits == 0 ? 1 : 0);
+          break;
+
+        case Op::kCastU32:
+          stack_[sp_ - 1].bits &= kU32Mask;
+          break;
+        case Op::kCastByte:
+          stack_[sp_ - 1].bits &= 0xFF;
+          break;
+
+        case Op::kJmp:
+          frame.pc = static_cast<std::size_t>(insn.operand);
+          break;
+        case Op::kJmpIfFalse: {
+          const Value v = stack_[--sp_];
+          if (v.bits == 0) {
+            frame.pc = static_cast<std::size_t>(insn.operand);
+          }
+          break;
+        }
+        case Op::kJmpIfTrue: {
+          const Value v = stack_[--sp_];
+          if (v.bits != 0) {
+            frame.pc = static_cast<std::size_t>(insn.operand);
+          }
+          break;
+        }
+
+        case Op::kCall: {
+          const auto& callee = program_.functions[static_cast<std::size_t>(insn.operand)];
+          const std::size_t argc = static_cast<std::size_t>(callee.num_params);
+          sp_ -= argc;
+          // Args are copied into the callee frame from the current stack top.
+          push_frame(static_cast<int>(insn.operand),
+                     std::span<const Value>(&stack_[sp_], argc));
+          break;
+        }
+        case Op::kCallHost: {
+          const auto& import = program_.host_imports[static_cast<std::size_t>(insn.operand)];
+          const auto& host = hosts_[static_cast<std::size_t>(insn.operand)];
+          if (!host) {
+            throw Trap("unbound host import '" + import.name + "'");
+          }
+          const std::size_t argc = static_cast<std::size_t>(import.arity);
+          sp_ -= argc;
+          const Value ret = host(*this, std::span<const Value>(&stack_[sp_], argc));
+          if (import.returns_value) {
+            stack_[sp_++] = ret;
+          }
+          break;
+        }
+        case Op::kRet: {
+          const Value ret = stack_[--sp_];
+          sp_ = frame.base;
+          frames_.pop_back();
+          if (frames_.size() > entry_frames) {
+            stack_[sp_++] = ret;
+          } else {
+            result = ret;
+          }
+          break;
+        }
+        case Op::kRetVoid:
+          sp_ = frame.base;
+          frames_.pop_back();
+          break;
+
+        case Op::kNewStruct: {
+          const auto& layout = program_.structs[static_cast<std::size_t>(insn.operand)];
+          MaybeCollect(static_cast<std::size_t>(layout.num_fields) * 8 + 64);
+          stack_[sp_++] = Value::Ref(heap_.NewStruct(layout, static_cast<int>(insn.operand)));
+          break;
+        }
+        case Op::kNewArray: {
+          const std::int64_t length = stack_[--sp_].AsInt();
+          if (length < 0 || length > (1 << 28)) {
+            throw Trap("bad array length " + std::to_string(length));
+          }
+          MaybeCollect(static_cast<std::size_t>(length) * 8 + 64);
+          stack_[sp_++] = Value::Ref(
+              heap_.NewArray(static_cast<TypeKind>(insn.operand),
+                             static_cast<std::size_t>(length)));
+          break;
+        }
+        case Op::kLoadField: {
+          Object* object = RequireObject(stack_[sp_ - 1], "field load");
+          const std::size_t index = static_cast<std::size_t>(insn.operand);
+          if (object->kind != Object::Kind::kStruct || index >= object->fields.size()) {
+            throw Trap("bad field access");
+          }
+          stack_[sp_ - 1] = object->fields[index];
+          break;
+        }
+        case Op::kStoreField: {
+          const Value value = stack_[--sp_];
+          Object* object = RequireObject(stack_[--sp_], "field store");
+          const std::size_t index = static_cast<std::size_t>(insn.operand);
+          if (object->kind != Object::Kind::kStruct || index >= object->fields.size()) {
+            throw Trap("bad field access");
+          }
+          object->fields[index] = value;
+          break;
+        }
+        case Op::kLoadElem: {
+          const std::int64_t raw_index = stack_[--sp_].AsInt();
+          Object* array = RequireObject(stack_[sp_ - 1], "array load");
+          if (array->kind != Object::Kind::kArray) {
+            throw Trap("element load from non-array");
+          }
+          const std::size_t index = CheckIndex(array, raw_index);
+          Value out;
+          switch (array->elem) {
+            case TypeKind::kInt:
+              out = Value::Int(array->longs[index]);
+              break;
+            case TypeKind::kU32:
+              out.bits = array->words[index];
+              break;
+            default:
+              out = Value::Int(array->bytes[index]);
+              break;
+          }
+          stack_[sp_ - 1] = out;
+          break;
+        }
+        case Op::kStoreElem: {
+          const Value value = stack_[--sp_];
+          const std::int64_t raw_index = stack_[--sp_].AsInt();
+          Object* array = RequireObject(stack_[--sp_], "array store");
+          if (array->kind != Object::Kind::kArray) {
+            throw Trap("element store to non-array");
+          }
+          const std::size_t index = CheckIndex(array, raw_index);
+          switch (array->elem) {
+            case TypeKind::kInt:
+              array->longs[index] = value.AsInt();
+              break;
+            case TypeKind::kU32:
+              array->words[index] = value.AsU32();
+              break;
+            case TypeKind::kBool:
+              array->bytes[index] = value.bits != 0 ? 1 : 0;
+              break;
+            default:
+              array->bytes[index] = static_cast<std::uint8_t>(value.bits);
+              break;
+          }
+          break;
+        }
+        case Op::kArrayLen: {
+          Object* array = RequireObject(stack_[sp_ - 1], "array length");
+          if (array->kind != Object::Kind::kArray) {
+            throw Trap("length of non-array");
+          }
+          stack_[sp_ - 1] = Value::Int(static_cast<std::int64_t>(array->array_length()));
+          break;
+        }
+        case Op::kTrap:
+          throw Trap("function fell off the end without returning a value");
+      }
+    }
+
+#undef GRAFTLAB_BIN_I
+#undef GRAFTLAB_BIN_U
+#undef GRAFTLAB_CMP
+
+    return result;
+  } catch (...) {
+    // Unwind to the caller's state so the VM stays usable after a trap.
+    frames_.resize(entry_frames);
+    sp_ = entry_sp;
+    throw;
+  }
+}
+
+}  // namespace minnow

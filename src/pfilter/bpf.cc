@@ -1,0 +1,145 @@
+#include "src/pfilter/bpf.h"
+
+#include <stdexcept>
+
+namespace pfilter {
+
+BpfVerifyResult VerifyFilter(const std::vector<BpfInsn>& code) {
+  auto fail = [](std::size_t index, std::string message) {
+    return BpfVerifyResult{false, index, std::move(message)};
+  };
+  if (code.empty()) {
+    return fail(0, "empty filter");
+  }
+  const std::size_t n = code.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const BpfInsn& insn = code[i];
+    switch (insn.op) {
+      case BpfOp::kJmp:
+        // Forward only (termination), and the target must be a real
+        // instruction — landing at n would run off the end.
+        if (insn.k == 0 || i + 1 + insn.k >= n) {
+          return fail(i, "jump out of bounds or non-forward");
+        }
+        break;
+      case BpfOp::kJeq:
+      case BpfOp::kJgt:
+      case BpfOp::kJge:
+      case BpfOp::kJset:
+        // Offsets are relative to the *next* instruction; jt/jf of 0 simply
+        // falls through, which is fine as long as the fall-through exists.
+        if (i + 1 + insn.jt >= n || i + 1 + insn.jf >= n) {
+          return fail(i, "branch target out of bounds");
+        }
+        break;
+      case BpfOp::kLdAbsByte:
+      case BpfOp::kLdAbsHalf:
+      case BpfOp::kLdAbsWord:
+      case BpfOp::kLdIndByte:
+      case BpfOp::kLdxConst:
+      case BpfOp::kLdxA:
+      case BpfOp::kAddConst:
+      case BpfOp::kAndConst:
+      case BpfOp::kRshConst:
+      case BpfOp::kRetConst:
+      case BpfOp::kRetA:
+        break;
+      default:
+        return fail(i, "unknown opcode");
+    }
+    // Non-branching, non-returning instructions must have a successor.
+    const bool returns = insn.op == BpfOp::kRetConst || insn.op == BpfOp::kRetA;
+    const bool branches = insn.op == BpfOp::kJmp;
+    if (!returns && !branches && i + 1 >= n) {
+      return fail(i, "control falls off the end of the filter");
+    }
+  }
+  return BpfVerifyResult{true, 0, ""};
+}
+
+BpfFilter::BpfFilter(std::vector<BpfInsn> code) : code_(std::move(code)) {
+  const BpfVerifyResult result = VerifyFilter(code_);
+  if (!result.ok) {
+    throw std::invalid_argument("bpf filter rejected: " + result.message + " at " +
+                                std::to_string(result.fault_index));
+  }
+}
+
+std::uint32_t BpfFilter::Run(std::span<const std::uint8_t> packet) const {
+  std::uint32_t a = 0;
+  std::uint32_t x = 0;
+  const std::size_t len = packet.size();
+  std::size_t pc = 0;
+
+  // The verifier guarantees forward progress and in-bounds pcs.
+  for (;;) {
+    const BpfInsn& insn = code_[pc];
+    ++pc;
+    switch (insn.op) {
+      case BpfOp::kLdAbsByte:
+        if (insn.k >= len) {
+          return 0;
+        }
+        a = packet[insn.k];
+        break;
+      case BpfOp::kLdAbsHalf:
+        if (insn.k + 2 > len) {
+          return 0;
+        }
+        a = (static_cast<std::uint32_t>(packet[insn.k]) << 8) | packet[insn.k + 1];
+        break;
+      case BpfOp::kLdAbsWord:
+        if (insn.k + 4 > len) {
+          return 0;
+        }
+        a = (static_cast<std::uint32_t>(packet[insn.k]) << 24) |
+            (static_cast<std::uint32_t>(packet[insn.k + 1]) << 16) |
+            (static_cast<std::uint32_t>(packet[insn.k + 2]) << 8) | packet[insn.k + 3];
+        break;
+      case BpfOp::kLdIndByte: {
+        const std::size_t index = static_cast<std::size_t>(x) + insn.k;
+        if (index >= len) {
+          return 0;
+        }
+        a = packet[index];
+        break;
+      }
+      case BpfOp::kLdxConst:
+        x = insn.k;
+        break;
+      case BpfOp::kLdxA:
+        x = a;
+        break;
+      case BpfOp::kAddConst:
+        a += insn.k;
+        break;
+      case BpfOp::kAndConst:
+        a &= insn.k;
+        break;
+      case BpfOp::kRshConst:
+        a >>= (insn.k & 31);
+        break;
+      case BpfOp::kJmp:
+        pc += insn.k;
+        break;
+      case BpfOp::kJeq:
+        pc += (a == insn.k) ? insn.jt : insn.jf;
+        break;
+      case BpfOp::kJgt:
+        pc += (a > insn.k) ? insn.jt : insn.jf;
+        break;
+      case BpfOp::kJge:
+        pc += (a >= insn.k) ? insn.jt : insn.jf;
+        break;
+      case BpfOp::kJset:
+        pc += ((a & insn.k) != 0) ? insn.jt : insn.jf;
+        break;
+      case BpfOp::kRetConst:
+        return insn.k;
+      case BpfOp::kRetA:
+        return a;
+    }
+  }
+}
+
+}  // namespace pfilter

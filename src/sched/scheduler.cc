@@ -1,0 +1,119 @@
+#include "src/sched/scheduler.h"
+
+namespace sched {
+
+TaskId Scheduler::AddTask(TaskKind kind) {
+  Task task;
+  task.id = static_cast<TaskId>(tasks_.size());
+  task.kind = kind;
+  tasks_.push_back(task);
+  return task.id;
+}
+
+TaskId Scheduler::DefaultPick() const {
+  // Round-robin: first runnable task after the cursor.
+  const std::size_t n = tasks_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const TaskId id = static_cast<TaskId>((rr_cursor_ + 1 + step) % n);
+    if (tasks_[id].runnable) {
+      return id;
+    }
+  }
+  return kNoTask;
+}
+
+bool Scheduler::Validate(TaskId id) const {
+  return id < tasks_.size() && tasks_[id].runnable;
+}
+
+void Scheduler::Tick() {
+  ++stats_.ticks;
+
+  const TaskId fallback = DefaultPick();
+  TaskId chosen = fallback;
+  if (graft_ != nullptr) {
+    const TaskId proposed = graft_->PickNext(tasks_);
+    if (proposed == kNoTask || !Validate(proposed)) {
+      if (proposed != kNoTask) {
+        ++stats_.graft_rejections;
+      }
+    } else {
+      if (proposed != fallback) {
+        ++stats_.graft_overrides;
+      }
+      chosen = proposed;
+    }
+  }
+
+  if (chosen == kNoTask) {
+    ++stats_.idle_ticks;
+    return;
+  }
+  rr_cursor_ = chosen;
+
+  // Account waiting for everyone else who was runnable.
+  for (Task& task : tasks_) {
+    if (task.runnable && task.id != chosen) {
+      ++task.ticks_waited;
+    }
+    if (task.kind == TaskKind::kClient && task.waiting_on_server) {
+      ++stats_.request_latency_ticks;
+    }
+  }
+
+  Task& task = tasks_[chosen];
+  ++task.ticks_run;
+
+  switch (task.kind) {
+    case TaskKind::kClient:
+      // With probability 1/4, issue a request and block on the server.
+      lcg_ = lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+      if ((lcg_ >> 33) % 4 == 0) {
+        task.runnable = false;
+        task.waiting_on_server = true;
+        waiting_clients_.push_back(task.id);
+        for (Task& maybe_server : tasks_) {
+          if (maybe_server.kind == TaskKind::kServer) {
+            ++maybe_server.pending_requests;
+            break;  // single-server model
+          }
+        }
+      }
+      break;
+    case TaskKind::kServer:
+      if (task.pending_requests > 0) {
+        --task.pending_requests;
+        ++stats_.requests_completed;
+        if (!waiting_clients_.empty()) {
+          Task& client = tasks_[waiting_clients_.front()];
+          waiting_clients_.erase(waiting_clients_.begin());
+          client.runnable = true;
+          client.waiting_on_server = false;
+        }
+      }
+      break;
+    case TaskKind::kBatch:
+      break;
+  }
+}
+
+TaskId ClientServerPolicy::PickNext(const std::vector<Task>& tasks) {
+  // Server first, iff it has outstanding requests.
+  for (const Task& task : tasks) {
+    if (task.kind == TaskKind::kServer && task.runnable && task.pending_requests > 0) {
+      return task.id;
+    }
+  }
+  // Otherwise round-robin among runnable non-servers.
+  const std::size_t n = tasks.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (cursor_ + 1 + step) % n;
+    if (tasks[i].runnable && tasks[i].kind != TaskKind::kServer) {
+      cursor_ = i;
+      return tasks[i].id;
+    }
+  }
+  return kNoTask;  // defer to the kernel (e.g. only the idle server remains)
+}
+
+}  // namespace sched

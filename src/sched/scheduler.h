@@ -1,0 +1,122 @@
+// Process-scheduler substrate — the paper's third Prioritization example
+// (§3.1): "Process scheduling is another example of a prioritization
+// policy. At each scheduling point the kernel has a list of candidates, and
+// chooses one to run. No scheduling algorithm is appropriate for all
+// application mixes ... a client-server application may not want the server
+// to be scheduled unless there is an outstanding client request, in which
+// case it should be scheduled ahead of any client."
+//
+// A small tick-driven scheduler: tasks are runnable or blocked, each tick
+// the kernel asks the policy for the next task, runs it for a quantum, and
+// accounts waiting times. The default policy is round-robin; a
+// SchedulerGraft replaces the choice, and the kernel validates every answer
+// (the chosen task must be a runnable member of the queue) exactly as the
+// page cache validates eviction proposals.
+
+#ifndef GRAFTLAB_SRC_SCHED_SCHEDULER_H_
+#define GRAFTLAB_SRC_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sched {
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kNoTask = ~TaskId{0};
+
+enum class TaskKind : std::uint8_t {
+  kClient,
+  kServer,
+  kBatch,
+};
+
+struct Task {
+  TaskId id = kNoTask;
+  TaskKind kind = TaskKind::kBatch;
+  bool runnable = true;
+
+  // Client-server bookkeeping: a client with an outstanding request is
+  // waiting on the server; the server has work iff pending_requests > 0.
+  std::uint32_t pending_requests = 0;  // meaningful for servers
+  bool waiting_on_server = false;      // meaningful for clients
+
+  // Accounting.
+  std::uint64_t ticks_run = 0;
+  std::uint64_t ticks_waited = 0;  // runnable but not chosen
+};
+
+// A scheduling-policy graft: given the run queue, return the id of the task
+// to run next (kNoTask = defer to the kernel's default).
+class SchedulerGraft {
+ public:
+  virtual ~SchedulerGraft() = default;
+  virtual TaskId PickNext(const std::vector<Task>& tasks) = 0;
+  virtual const char* technology() const = 0;
+};
+
+struct SchedStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t idle_ticks = 0;
+  std::uint64_t graft_overrides = 0;   // graft chose != round-robin default
+  std::uint64_t graft_rejections = 0;  // graft answer failed validation
+  std::uint64_t requests_completed = 0;
+  std::uint64_t request_latency_ticks = 0;  // summed client wait per request
+};
+
+class Scheduler {
+ public:
+  TaskId AddTask(TaskKind kind);
+
+  Task& task(TaskId id) { return tasks_[id]; }
+  const Task& task(TaskId id) const { return tasks_[id]; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  void SetGraft(SchedulerGraft* graft) { graft_ = graft; }
+
+  // Runs one scheduling decision + quantum. The workload model:
+  //   * a running client issues a request to the server (blocking itself)
+  //     with probability ~1/4 (deterministic LCG, reproducible);
+  //   * a running server completes one pending request per quantum,
+  //     unblocking its client;
+  //   * batch tasks just burn their quantum.
+  void Tick();
+
+  // Convenience: run many ticks.
+  void Run(std::uint64_t ticks) {
+    for (std::uint64_t i = 0; i < ticks; ++i) {
+      Tick();
+    }
+  }
+
+  const SchedStats& stats() const { return stats_; }
+
+  // The kernel's default policy: round-robin over runnable tasks.
+  TaskId DefaultPick() const;
+
+ private:
+  bool Validate(TaskId id) const;
+
+  std::vector<Task> tasks_;
+  std::vector<TaskId> waiting_clients_;  // FIFO of clients awaiting replies
+  SchedulerGraft* graft_ = nullptr;
+  SchedStats stats_;
+  TaskId rr_cursor_ = 0;
+  std::uint64_t lcg_ = 88172645463325252ull;
+};
+
+// The paper's client-server policy, natively: run the server ahead of any
+// client whenever it has outstanding requests; otherwise round-robin among
+// runnable non-server tasks (the server is not scheduled without work).
+class ClientServerPolicy : public SchedulerGraft {
+ public:
+  TaskId PickNext(const std::vector<Task>& tasks) override;
+  const char* technology() const override { return "C"; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sched
+
+#endif  // GRAFTLAB_SRC_SCHED_SCHEDULER_H_

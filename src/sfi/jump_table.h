@@ -1,0 +1,58 @@
+// Masked indirect-jump table.
+//
+// SFI must prevent a graft from jumping to arbitrary kernel code. Direct
+// calls are checked at load time; indirect calls go through a table whose
+// index is masked to the (power-of-two) table size, so any index lands on
+// *some* registered entry point — the control-flow analog of store masking.
+
+#ifndef GRAFTLAB_SRC_SFI_JUMP_TABLE_H_
+#define GRAFTLAB_SRC_SFI_JUMP_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace sfi {
+
+// Table of uniform-signature entry points. R(*)(Args...) only; grafts with
+// richer interfaces register trampolines.
+template <typename R, typename... Args>
+class JumpTable {
+ public:
+  using Fn = R (*)(Args...);
+
+  // `capacity` must be a power of two. Unregistered slots point at a trap
+  // function supplied by the host.
+  JumpTable(std::size_t capacity, Fn trap) : mask_(capacity - 1), slots_(capacity, trap) {
+    if (capacity == 0 || (capacity & (capacity - 1)) != 0) {
+      throw std::invalid_argument("jump table capacity must be a power of two");
+    }
+  }
+
+  // Registers `fn` and returns its index.
+  std::size_t Register(Fn fn) {
+    if (next_ > mask_) {
+      throw std::length_error("jump table full");
+    }
+    slots_[next_] = fn;
+    return next_++;
+  }
+
+  // The masked indirect call: any 64-bit index is forced onto a valid slot.
+  R Call(std::size_t index, Args... args) const {
+    return slots_[index & mask_](static_cast<Args&&>(args)...);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::size_t registered() const { return next_; }
+
+ private:
+  std::size_t mask_;
+  std::size_t next_ = 0;
+  std::vector<Fn> slots_;
+};
+
+}  // namespace sfi
+
+#endif  // GRAFTLAB_SRC_SFI_JUMP_TABLE_H_

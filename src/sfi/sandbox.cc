@@ -1,0 +1,62 @@
+#include "src/sfi/sandbox.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+namespace sfi {
+
+namespace {
+
+bool IsPowerOfTwo(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Maps a `size`-byte region aligned to `size` bytes by over-mapping and
+// trimming. mmap gives page alignment only; sandbox masking requires the
+// base to be a multiple of the region size.
+void* MapAligned(std::size_t size) {
+  const std::size_t span = size * 2;
+  void* raw = ::mmap(nullptr, span, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) {
+    throw std::bad_alloc();
+  }
+  const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(raw);
+  const std::uintptr_t aligned = (addr + size - 1) & ~(static_cast<std::uintptr_t>(size) - 1);
+  const std::size_t head = aligned - addr;
+  if (head != 0) {
+    ::munmap(raw, head);
+  }
+  const std::size_t tail = span - head - size;
+  if (tail != 0) {
+    ::munmap(reinterpret_cast<void*>(aligned + size), tail);
+  }
+  return reinterpret_cast<void*>(aligned);
+}
+
+}  // namespace
+
+void Sandbox::Unmapper::operator()(void* p) const {
+  if (p != nullptr) {
+    ::munmap(p, size);
+  }
+}
+
+Sandbox::Sandbox(std::size_t size) {
+  if (!IsPowerOfTwo(size) || size < 4096) {
+    throw std::invalid_argument("sandbox size must be a power of two >= 4096");
+  }
+  region_ = std::unique_ptr<void, Unmapper>(MapAligned(size), Unmapper{size});
+  base_ = reinterpret_cast<std::uintptr_t>(region_.get());
+  size_ = size;
+  offset_mask_ = size - 1;
+}
+
+void* Sandbox::Allocate(std::size_t bytes, std::size_t align) {
+  std::size_t offset = (bump_ + align - 1) & ~(align - 1);
+  if (offset + bytes > size_) {
+    throw std::bad_alloc();
+  }
+  bump_ = offset + bytes;
+  return reinterpret_cast<void*>(base_ + offset);
+}
+
+}  // namespace sfi

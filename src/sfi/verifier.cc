@@ -1,0 +1,144 @@
+#include "src/sfi/verifier.h"
+
+#include <stdexcept>
+
+namespace sfi {
+
+namespace {
+
+bool WritesRegister(const Insn& insn) {
+  switch (insn.kind) {
+    case OpKind::kMask:
+    case OpKind::kArith:
+    case OpKind::kLoad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+VerifyResult Fail(std::size_t index, std::string message) {
+  return VerifyResult{false, index, std::move(message)};
+}
+
+}  // namespace
+
+VerifyResult Verifier::Verify(const std::vector<Insn>& code) const {
+  // Pass 1: the dedicated set is every register used as a protected address.
+  // (The host initializes dedicated registers to the sandbox base, so a
+  // dedicated register holds an in-sandbox address even before its first
+  // mask; see header.)
+  std::vector<bool> dedicated(static_cast<std::size_t>(num_registers_), false);
+  const bool full = protection_ == Protection::kFull;
+
+  auto reg_ok = [&](int r) { return r >= 0 && r < num_registers_; };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Insn& insn = code[i];
+    switch (insn.kind) {
+      case OpKind::kStore:
+      case OpKind::kJumpIndirect:
+        if (!reg_ok(insn.ra)) {
+          return Fail(i, "address register out of range");
+        }
+        dedicated[static_cast<std::size_t>(insn.ra)] = true;
+        break;
+      case OpKind::kLoad:
+        if (!reg_ok(insn.ra)) {
+          return Fail(i, "address register out of range");
+        }
+        if (full) {
+          dedicated[static_cast<std::size_t>(insn.ra)] = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Pass 2: only kMask may write a dedicated register; branch targets and
+  // host-call indices must be in range.
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Insn& insn = code[i];
+    if (WritesRegister(insn)) {
+      if (!reg_ok(insn.rd)) {
+        return Fail(i, "destination register out of range");
+      }
+      if (insn.kind != OpKind::kMask && dedicated[static_cast<std::size_t>(insn.rd)]) {
+        return Fail(i, "non-mask instruction writes a dedicated register");
+      }
+    }
+    switch (insn.kind) {
+      case OpKind::kJumpDirect:
+        if (insn.target < 0 || static_cast<std::size_t>(insn.target) >= code.size()) {
+          return Fail(i, "direct jump target outside code unit");
+        }
+        break;
+      case OpKind::kCallHost:
+        if (insn.target < 0 || insn.target >= num_host_entries_) {
+          return Fail(i, "host call index outside jump table");
+        }
+        break;
+      case OpKind::kMask:
+      case OpKind::kArith:
+        if (insn.kind == OpKind::kMask && !reg_ok(insn.rs)) {
+          return Fail(i, "mask source register out of range");
+        }
+        break;
+      case OpKind::kStore:
+        if (!reg_ok(insn.rs)) {
+          return Fail(i, "store source register out of range");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  return VerifyResult{true, 0, ""};
+}
+
+std::vector<Insn> RewriteWithMasks(const std::vector<Insn>& code, Protection protection,
+                                   int scratch_register) {
+  // The rewriter owns `scratch_register`: input code must not mention it.
+  for (const Insn& insn : code) {
+    if (insn.rd == scratch_register || insn.ra == scratch_register ||
+        insn.rs == scratch_register) {
+      throw std::invalid_argument("scratch register already used by input code");
+    }
+  }
+
+  const bool full = protection == Protection::kFull;
+
+  // Direct-jump targets shift as masks are inserted; record the mapping from
+  // old instruction index to new.
+  std::vector<int> new_index(code.size() + 1, 0);
+  std::vector<Insn> out;
+  out.reserve(code.size() * 2);
+
+  auto needs_mask = [&](const Insn& insn) {
+    return insn.kind == OpKind::kStore || insn.kind == OpKind::kJumpIndirect ||
+           (full && insn.kind == OpKind::kLoad);
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    new_index[i] = static_cast<int>(out.size());
+    Insn insn = code[i];
+    if (needs_mask(insn)) {
+      out.push_back(Insn{OpKind::kMask, scratch_register, -1, insn.ra, -1});
+      insn.ra = scratch_register;
+    }
+    out.push_back(insn);
+  }
+  new_index[code.size()] = static_cast<int>(out.size());
+
+  for (Insn& insn : out) {
+    if (insn.kind == OpKind::kJumpDirect && insn.target >= 0 &&
+        static_cast<std::size_t>(insn.target) <= code.size()) {
+      insn.target = new_index[static_cast<std::size_t>(insn.target)];
+    }
+  }
+  return out;
+}
+
+}  // namespace sfi

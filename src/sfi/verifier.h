@@ -1,0 +1,88 @@
+// Load-time SFI verifier.
+//
+// Wahbe et al. separate the *rewriter* (inserts masking) from the *loader*,
+// which re-checks the rewritten object code so the kernel need not trust the
+// compiler: "at load time, a linear-time algorithm can be used to guarantee
+// that all memory references in a piece of object code have been correctly
+// sandboxed". This verifier implements that linear-time check over an
+// abstract object-code stream with the classic dedicated-register
+// discipline:
+//
+//   * a MASK instruction is the only producer of a *dedicated* register;
+//   * every store's address register must be dedicated;
+//   * every indirect jump's target register must be dedicated;
+//   * under Protection::kFull, every load's address register must be
+//     dedicated as well;
+//   * ordinary arithmetic must not write a dedicated register (that would
+//     let a graft forge an "already masked" address);
+//   * direct branch targets must stay inside the code unit.
+//
+// The stream uses instruction-array indices as code addresses, so any
+// in-range direct target is a valid instruction boundary.
+
+#ifndef GRAFTLAB_SRC_SFI_VERIFIER_H_
+#define GRAFTLAB_SRC_SFI_VERIFIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sfi/sandbox.h"
+
+namespace sfi {
+
+// Abstract object-code operations — the subset the safety argument needs.
+enum class OpKind : std::uint8_t {
+  kMask,          // rd <- sandbox_mask(rs)        (rd becomes dedicated)
+  kArith,         // rd <- f(rs1, rs2)             (rd becomes general)
+  kLoad,          // rd <- mem[ra]
+  kStore,         // mem[ra] <- rs
+  kJumpDirect,    // goto target (instruction index)
+  kJumpIndirect,  // goto ra
+  kCallHost,      // call registered host entry point #target
+  kRet,           // return from the graft
+};
+
+struct Insn {
+  OpKind kind = OpKind::kArith;
+  int rd = -1;      // destination register (kMask, kArith, kLoad)
+  int ra = -1;      // address/target register (kLoad, kStore, kJumpIndirect)
+  int rs = -1;      // source register (kStore, kMask, kArith)
+  int target = -1;  // kJumpDirect insn index / kCallHost entry index
+};
+
+struct VerifyResult {
+  bool ok = false;
+  std::size_t fault_index = 0;  // offending instruction when !ok
+  std::string message;
+};
+
+class Verifier {
+ public:
+  // `num_registers` bounds the register file; `num_host_entries` bounds
+  // kCallHost targets (the masked jump table size).
+  Verifier(int num_registers, int num_host_entries, Protection protection)
+      : num_registers_(num_registers),
+        num_host_entries_(num_host_entries),
+        protection_(protection) {}
+
+  // Single linear pass; O(#insns).
+  VerifyResult Verify(const std::vector<Insn>& code) const;
+
+ private:
+  int num_registers_;
+  int num_host_entries_;
+  Protection protection_;
+};
+
+// Reference rewriter: takes a stream where stores/jumps may use general
+// registers and inserts kMask instructions so the result verifies. This is
+// the "compiler side" of the Omniware pipeline; tests pair it with the
+// Verifier (rewritten code must always verify).
+std::vector<Insn> RewriteWithMasks(const std::vector<Insn>& code, Protection protection,
+                                   int scratch_register);
+
+}  // namespace sfi
+
+#endif  // GRAFTLAB_SRC_SFI_VERIFIER_H_

@@ -1,0 +1,39 @@
+#include "src/stats/break_even.h"
+
+#include <limits>
+
+namespace stats {
+
+double EvictionBreakEven(double fault_time_us, double graft_time_us) {
+  if (graft_time_us <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return fault_time_us / graft_time_us;
+}
+
+double UpcallBreakEven(double fault_time_us, double upcall_time_us, double server_work_us) {
+  return EvictionBreakEven(fault_time_us, upcall_time_us + server_work_us);
+}
+
+double Md5DiskRatio(double md5_time_us, double disk_read_time_us) {
+  if (disk_read_time_us <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return md5_time_us / disk_read_time_us;
+}
+
+double PerBlockOverheadUs(double total_time_us, double num_blocks) {
+  if (num_blocks <= 0.0) {
+    return 0.0;
+  }
+  return total_time_us / num_blocks;
+}
+
+double ExpectedInvocationsPerSave(double data_pages, double hot_pages) {
+  if (hot_pages <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return data_pages / hot_pages;
+}
+
+}  // namespace stats

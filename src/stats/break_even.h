@@ -1,0 +1,37 @@
+// Break-even arithmetic from the paper's §5.
+//
+// A graft pays a per-invocation cost and occasionally saves a much larger
+// kernel cost (a page fault, a disk read, a seek). The paper condenses each
+// comparison into a single "break-even" figure; these helpers compute every
+// variant used in Tables 2, 5, 6 and Figure 1.
+
+#ifndef GRAFTLAB_SRC_STATS_BREAK_EVEN_H_
+#define GRAFTLAB_SRC_STATS_BREAK_EVEN_H_
+
+namespace stats {
+
+// Table 2: how many times the graft can run in the time one page fault
+// takes. If this is below the workload's save rate (once per 781
+// invocations for the paper's TPC-B model), the graft loses.
+double EvictionBreakEven(double fault_time_us, double graft_time_us);
+
+// Figure 1: break-even for a user-level server, where each invocation costs
+// an upcall plus the server-side work.
+double UpcallBreakEven(double fault_time_us, double upcall_time_us, double server_work_us);
+
+// Table 5: ratio of fingerprint-computation time to disk-read time for the
+// same data. Below 1.0 the computation hides behind I/O; above 1.0 it
+// throttles the stream.
+double Md5DiskRatio(double md5_time_us, double disk_read_time_us);
+
+// Table 6: bookkeeping overhead per block write, in microseconds — the time
+// that batching must save per write for the logical disk to break even.
+double PerBlockOverheadUs(double total_time_us, double num_blocks);
+
+// Paper §3.1: expected invocations per saved eviction for the TPC-B model
+// (hot-list hits arrive once every data_pages / hot_pages invocations).
+double ExpectedInvocationsPerSave(double data_pages, double hot_pages);
+
+}  // namespace stats
+
+#endif  // GRAFTLAB_SRC_STATS_BREAK_EVEN_H_

@@ -1,0 +1,80 @@
+#include "src/stats/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stats {
+
+Measurement Measure(const MeasureOptions& options, const std::function<void(std::size_t)>& body) {
+  Measurement result;
+  result.runs = options.runs;
+  result.iters_per_run = options.iters_per_run;
+
+  for (std::size_t i = 0; i < options.warmup_runs; ++i) {
+    body(options.iters_per_run);
+  }
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    Timer timer;
+    body(options.iters_per_run);
+    const double run_us = timer.ElapsedUs();
+    result.per_iter_us.Add(run_us / static_cast<double>(options.iters_per_run));
+  }
+  return result;
+}
+
+void SpinWarmup(double us) {
+  Timer warm;
+  volatile std::uint64_t sink = 0;
+  while (warm.ElapsedUs() < us) {
+    for (int i = 0; i < 4096; ++i) {
+      sink = sink + 1;
+    }
+  }
+}
+
+Measurement MeasureAutoScaled(std::size_t runs, double target_run_us,
+                              const std::function<void(std::size_t)>& body) {
+  // Spin briefly so frequency scaling settles before the probe calibrates;
+  // otherwise early runs measure a different clock than later ones.
+  SpinWarmup();
+  // Probe with geometrically growing iteration counts until one run takes at
+  // least 1/8 of the target, then scale linearly.
+  std::size_t iters = 1;
+  double probe_us = 0.0;
+  for (;;) {
+    Timer timer;
+    body(iters);
+    probe_us = timer.ElapsedUs();
+    if (probe_us >= target_run_us / 8.0 || iters >= (1u << 24)) {
+      break;
+    }
+    iters *= 4;
+  }
+  double per_iter = probe_us / static_cast<double>(iters);
+  if (per_iter <= 0.0) {
+    per_iter = 0.001;  // sub-ns op; avoid a divide by zero below
+  }
+  std::size_t scaled = static_cast<std::size_t>(target_run_us / per_iter);
+  scaled = std::clamp<std::size_t>(scaled, 1, 1u << 26);
+
+  MeasureOptions options;
+  options.runs = runs;
+  options.iters_per_run = scaled;
+  return Measure(options, body);
+}
+
+std::string FormatTimeUs(double us, double stddev_pct) {
+  char buf[64];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gs(%.1f%%)", us / 1e6, stddev_pct);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3gms(%.1f%%)", us / 1e3, stddev_pct);
+  } else if (us >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3gus(%.1f%%)", us, stddev_pct);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gns(%.1f%%)", us * 1e3, stddev_pct);
+  }
+  return buf;
+}
+
+}  // namespace stats

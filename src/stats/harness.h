@@ -1,0 +1,90 @@
+// Measurement harness reproducing the paper's methodology.
+//
+// Every benchmark in the paper is "the mean of R runs of N iterations each
+// (standard deviations in parenthesis)". Measure() times R runs of a
+// callable that performs N iterations internally, and reports per-iteration
+// statistics. A DoNotOptimize escape hatch keeps the compiler from deleting
+// the measured work.
+
+#ifndef GRAFTLAB_SRC_STATS_HARNESS_H_
+#define GRAFTLAB_SRC_STATS_HARNESS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/stats/running_stats.h"
+
+namespace stats {
+
+// Prevents the value from being optimized away without costing a store.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+// Busy-spins for roughly `us` microseconds so CPU frequency scaling settles
+// before a timed region starts.
+void SpinWarmup(double us = 10000.0);
+
+// Monotonic wall-clock timer with nanosecond reads.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Nanoseconds since construction or the last Reset().
+  std::int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count();
+  }
+
+  double ElapsedUs() const { return static_cast<double>(ElapsedNs()) / 1e3; }
+  double ElapsedMs() const { return static_cast<double>(ElapsedNs()) / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Result of a Measure() call. All times are per *iteration*, matching the
+// per-operation numbers in the paper's tables.
+struct Measurement {
+  RunningStats per_iter_us;  // per-iteration time in microseconds, one sample per run
+  std::size_t runs = 0;
+  std::size_t iters_per_run = 0;
+
+  double mean_us() const { return per_iter_us.mean(); }
+  double stddev_pct() const { return per_iter_us.stddev_percent(); }
+  double total_us() const {
+    return per_iter_us.mean() * static_cast<double>(iters_per_run);  // mean time of one run
+  }
+};
+
+struct MeasureOptions {
+  std::size_t runs = 30;           // the paper's 30 runs
+  std::size_t iters_per_run = 1;   // iterations timed together inside one run
+  std::size_t warmup_runs = 2;     // untimed runs before measuring
+};
+
+// Times `body(iters_per_run)` options.runs times; `body` must perform the
+// requested number of iterations and is responsible for keeping its work
+// observable (use DoNotOptimize on results).
+Measurement Measure(const MeasureOptions& options, const std::function<void(std::size_t)>& body);
+
+// Convenience wrapper: picks iters_per_run so that one run of `body` takes
+// roughly `target_run_us` microseconds, then measures with `runs` runs.
+// Useful because host hardware is ~10^2-10^3 times faster than the paper's.
+Measurement MeasureAutoScaled(std::size_t runs, double target_run_us,
+                              const std::function<void(std::size_t)>& body);
+
+// Formats "12.3us(1.4%)" in the paper's style.
+std::string FormatTimeUs(double us, double stddev_pct);
+
+}  // namespace stats
+
+#endif  // GRAFTLAB_SRC_STATS_HARNESS_H_

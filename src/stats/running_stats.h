@@ -1,0 +1,91 @@
+// Streaming summary statistics (Welford's algorithm).
+//
+// The paper reports every measurement as "mean of 30 runs (standard
+// deviation in parenthesis)"; RunningStats is the accumulator behind all of
+// those numbers. Welford's update is used so that long runs of small
+// magnitudes do not lose precision to catastrophic cancellation.
+
+#ifndef GRAFTLAB_SRC_STATS_RUNNING_STATS_H_
+#define GRAFTLAB_SRC_STATS_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace stats {
+
+// Accumulates count / mean / variance / min / max of a stream of doubles.
+class RunningStats {
+ public:
+  // Adds one observation.
+  void Add(double x) {
+    count_ += 1;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+  }
+
+  // Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const double n = static_cast<double>(count_);
+    const double m = static_cast<double>(other.count_);
+    mean_ += delta * m / (n + m);
+    m2_ += other.m2_ + delta * delta * n * m / (n + m);
+    count_ += other.count_;
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const {
+    if (count_ < 2) {
+      return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  // Standard deviation as a percentage of the mean — the "(1.4%)" figures in
+  // the paper's tables. Returns 0 when the mean is 0.
+  double stddev_percent() const {
+    if (mean_ == 0.0) {
+      return 0.0;
+    }
+    return 100.0 * stddev() / std::abs(mean_);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace stats
+
+#endif  // GRAFTLAB_SRC_STATS_RUNNING_STATS_H_

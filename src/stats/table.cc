@@ -1,0 +1,106 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/stats/harness.h"
+
+namespace stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string FormatSig3(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+std::string RenderTechnologyTable(const std::string& title, const std::string& platform,
+                                  const std::vector<TechnologyResult>& results,
+                                  const std::string& baseline, const std::string& extra_label) {
+  double baseline_us = 0.0;
+  for (const auto& r : results) {
+    if (r.name == baseline && !r.not_run) {
+      baseline_us = r.raw_us;
+    }
+  }
+
+  std::vector<std::string> headers{"Platform", "row"};
+  for (const auto& r : results) {
+    headers.push_back(r.name);
+  }
+  Table table(std::move(headers));
+
+  std::vector<std::string> raw_row{platform, "raw"};
+  std::vector<std::string> norm_row{"", "normalized"};
+  std::vector<std::string> extra_row{"", extra_label};
+  for (const auto& r : results) {
+    if (r.not_run) {
+      raw_row.push_back("N.A.");
+      norm_row.push_back("N.A.");
+      extra_row.push_back("N.A.");
+      continue;
+    }
+    raw_row.push_back(FormatTimeUs(r.raw_us, r.stddev_pct));
+    norm_row.push_back(baseline_us > 0.0 ? FormatSig3(r.raw_us / baseline_us) : "-");
+    if (r.break_even.has_value()) {
+      extra_row.push_back(FormatSig3(*r.break_even));
+    } else if (r.ratio.has_value()) {
+      extra_row.push_back(FormatSig3(*r.ratio));
+    } else if (r.per_block_us.has_value()) {
+      extra_row.push_back(FormatSig3(*r.per_block_us) + "us");
+    } else {
+      extra_row.push_back("-");
+    }
+  }
+
+  table.AddRow(std::move(raw_row));
+  table.AddRow(std::move(norm_row));
+  if (!extra_label.empty()) {
+    table.AddRow(std::move(extra_row));
+  }
+
+  std::ostringstream out;
+  out << title << '\n' << table.ToString();
+  return out.str();
+}
+
+}  // namespace stats

@@ -1,0 +1,56 @@
+// Paper-style table rendering.
+//
+// The benchmark binaries print tables with the same row structure as the
+// paper's Tables 1-6 (raw time with stddev%, time normalized to unsafe C,
+// and a break-even / ratio row). Table is a small column-aligned text table
+// builder; TechnologyTable adds the raw/normalized/break-even row triple.
+
+#ifndef GRAFTLAB_SRC_STATS_TABLE_H_
+#define GRAFTLAB_SRC_STATS_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stats {
+
+// Column-aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule and two-space column gaps.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// One technology column of a paper-style comparison table.
+struct TechnologyResult {
+  std::string name;                       // "C", "Modula-3", "SFI", ...
+  double raw_us = 0.0;                    // per-op or per-run time
+  double stddev_pct = 0.0;                // sigma as % of mean
+  std::optional<double> break_even;       // Table 2 style
+  std::optional<double> ratio;            // Table 5 "MD5/disk" style
+  std::optional<double> per_block_us;     // Table 6 style
+  bool not_run = false;                   // renders as "N.A."
+};
+
+// Renders the paper's row triple: raw / normalized / extra, with the
+// baseline technology (the one named `baseline`) used for normalization.
+// `extra_label` names the third row ("break-even", "MD5/disk", "per block");
+// pass an empty string to omit it.
+std::string RenderTechnologyTable(const std::string& title, const std::string& platform,
+                                  const std::vector<TechnologyResult>& results,
+                                  const std::string& baseline, const std::string& extra_label);
+
+// Formats a double with 3 significant digits ("1.4", "113", "0.67").
+std::string FormatSig3(double v);
+
+}  // namespace stats
+
+#endif  // GRAFTLAB_SRC_STATS_TABLE_H_

@@ -1,0 +1,248 @@
+#include "src/streamk/stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/md5/md5.h"
+
+namespace streamk {
+
+namespace {
+
+// Adapter that routes a filter's output into the next chain stage.
+class StageSink : public Sink {
+ public:
+  using Relay = void (*)(void* ctx, std::size_t index, Bytes data, Sink& sink);
+
+  StageSink(void* ctx, Relay relay, std::size_t next_index, Sink& final_sink)
+      : ctx_(ctx), relay_(relay), next_index_(next_index), final_sink_(final_sink) {}
+
+  void Write(Bytes data) override { relay_(ctx_, next_index_, data, final_sink_); }
+
+ private:
+  void* ctx_;
+  Relay relay_;
+  std::size_t next_index_;
+  Sink& final_sink_;
+};
+
+}  // namespace
+
+void Chain::Write(Bytes data, Sink& sink) { WriteFrom(0, data, sink); }
+
+void Chain::WriteFrom(std::size_t index, Bytes data, Sink& sink) {
+  if (index == filters_.size()) {
+    sink.Write(data);
+    return;
+  }
+  StageSink next(
+      this,
+      [](void* ctx, std::size_t i, Bytes d, Sink& s) {
+        static_cast<Chain*>(ctx)->WriteFrom(i, d, s);
+      },
+      index + 1, sink);
+  filters_[index]->Process(data, next);
+}
+
+void Chain::End(Sink& sink) { FlushFrom(0, sink); }
+
+void Chain::FlushFrom(std::size_t index, Sink& sink) {
+  if (index == filters_.size()) {
+    sink.End();
+    return;
+  }
+  // A filter's flush output must still traverse the rest of the chain.
+  StageSink next(
+      this,
+      [](void* ctx, std::size_t i, Bytes d, Sink& s) {
+        static_cast<Chain*>(ctx)->WriteFrom(i, d, s);
+      },
+      index + 1, sink);
+  filters_[index]->Flush(next);
+  FlushFrom(index + 1, sink);
+}
+
+void Pump(Bytes data, std::size_t chunk_bytes, Chain& chain, Sink& sink) {
+  for (std::size_t off = 0; off < data.size(); off += chunk_bytes) {
+    const std::size_t n = std::min(chunk_bytes, data.size() - off);
+    chain.Write(data.subspan(off, n), sink);
+  }
+  chain.End(sink);
+}
+
+// --- XorCipherFilter ---
+
+XorCipherFilter::XorCipherFilter(std::vector<std::uint8_t> key) : key_(std::move(key)) {
+  if (key_.empty()) {
+    key_.push_back(0);  // degenerate key: identity cipher
+  }
+}
+
+void XorCipherFilter::Process(Bytes in, Sink& out) {
+  scratch_.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    scratch_[i] = in[i] ^ key_[phase_];
+    phase_ = (phase_ + 1) % key_.size();
+  }
+  out.Write(scratch_);
+}
+
+// --- RLE ---
+//
+// Header byte h: h < 128 encodes a literal run of h+1 bytes (which follow);
+// h >= 128 encodes h-128+4 repetitions (4..131) of the single byte that
+// follows.
+
+namespace {
+constexpr std::size_t kMinRepeat = 4;
+constexpr std::size_t kMaxRepeat = 131;
+constexpr std::size_t kMaxLiteral = 128;
+
+// Encodes `data` completely into `out_buf`.
+void RleEncode(Bytes data, std::vector<std::uint8_t>& out_buf) {
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // Measure the run at i.
+    std::size_t run = 1;
+    while (i + run < data.size() && run < kMaxRepeat && data[i + run] == data[i]) {
+      ++run;
+    }
+    if (run >= kMinRepeat) {
+      out_buf.push_back(static_cast<std::uint8_t>(128 + run - kMinRepeat));
+      out_buf.push_back(data[i]);
+      i += run;
+      continue;
+    }
+    // Literal: extend until the next >=kMinRepeat run or the size cap.
+    std::size_t lit_start = i;
+    std::size_t lit_len = 0;
+    while (i < data.size() && lit_len < kMaxLiteral) {
+      std::size_t next_run = 1;
+      while (i + next_run < data.size() && next_run < kMinRepeat &&
+             data[i + next_run] == data[i]) {
+        ++next_run;
+      }
+      if (next_run >= kMinRepeat) {
+        break;
+      }
+      ++i;
+      ++lit_len;
+    }
+    out_buf.push_back(static_cast<std::uint8_t>(lit_len - 1));
+    out_buf.insert(out_buf.end(), data.begin() + static_cast<std::ptrdiff_t>(lit_start),
+                   data.begin() + static_cast<std::ptrdiff_t>(lit_start + lit_len));
+  }
+}
+}  // namespace
+
+void RleCompressFilter::Process(Bytes in, Sink& out) {
+  pending_.insert(pending_.end(), in.begin(), in.end());
+  Emit(out);
+}
+
+void RleCompressFilter::Emit(Sink& out) {
+  if (pending_.empty()) {
+    return;
+  }
+  // Hold back the trailing run of equal bytes — it may extend into the next
+  // chunk. Everything before it can be encoded now.
+  std::size_t tail = pending_.size() - 1;
+  while (tail > 0 && pending_[tail - 1] == pending_.back()) {
+    --tail;
+  }
+  // Also hold back a short non-run tail that could become the head of a run.
+  if (tail > 0 && pending_.size() - tail < kMinRepeat) {
+    // keep the tail run pending
+  } else if (pending_.size() - tail >= kMaxRepeat) {
+    // The pending run is already at maximum length; safe to encode all of it.
+    tail = pending_.size();
+  }
+  if (tail == 0) {
+    return;  // whole buffer is one (possibly growing) run
+  }
+  std::vector<std::uint8_t> encoded;
+  RleEncode(Bytes(pending_.data(), tail), encoded);
+  out.Write(encoded);
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(tail));
+}
+
+void RleCompressFilter::Flush(Sink& out) {
+  if (!pending_.empty()) {
+    std::vector<std::uint8_t> encoded;
+    RleEncode(pending_, encoded);
+    out.Write(encoded);
+    pending_.clear();
+  }
+}
+
+void RleDecompressFilter::Process(Bytes in, Sink& out) {
+  std::size_t i = 0;
+  std::vector<std::uint8_t> decoded;
+  while (i < in.size()) {
+    switch (state_) {
+      case State::kHeader: {
+        const std::uint8_t h = in[i++];
+        if (h < 128) {
+          remaining_ = static_cast<std::size_t>(h) + 1;
+          state_ = State::kLiteral;
+        } else {
+          remaining_ = static_cast<std::size_t>(h) - 128 + kMinRepeat;
+          state_ = State::kRepeat;
+        }
+        break;
+      }
+      case State::kLiteral: {
+        const std::size_t take = std::min(remaining_, in.size() - i);
+        decoded.insert(decoded.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                       in.begin() + static_cast<std::ptrdiff_t>(i + take));
+        i += take;
+        remaining_ -= take;
+        if (remaining_ == 0) {
+          state_ = State::kHeader;
+        }
+        break;
+      }
+      case State::kRepeat: {
+        const std::uint8_t value = in[i++];
+        decoded.insert(decoded.end(), remaining_, value);
+        remaining_ = 0;
+        state_ = State::kHeader;
+        break;
+      }
+    }
+  }
+  if (!decoded.empty()) {
+    out.Write(decoded);
+  }
+}
+
+void RleDecompressFilter::Flush(Sink& out) {
+  (void)out;
+  // A well-formed stream ends on a header boundary; anything else is a
+  // truncated input, which we surface loudly.
+  if (state_ != State::kHeader) {
+    throw std::runtime_error("rle-decompress: truncated stream");
+  }
+}
+
+// --- Md5Filter ---
+
+struct Md5Filter::Impl {
+  md5::Context ctx;
+};
+
+Md5Filter::Md5Filter() : impl_(std::make_unique<Impl>()) {}
+Md5Filter::~Md5Filter() = default;
+
+void Md5Filter::Process(Bytes in, Sink& out) {
+  impl_->ctx.Update(in);
+  out.Write(in);
+}
+
+void Md5Filter::Flush(Sink& out) {
+  (void)out;
+  hex_digest_ = md5::ToHex(impl_->ctx.Final());
+  impl_->ctx.Reset();
+}
+
+}  // namespace streamk

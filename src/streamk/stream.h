@@ -1,0 +1,178 @@
+// Stream/filter framework — the substrate for Stream grafts (§3.2).
+//
+// Modeled on the UNIX Stream I/O system [RITCH84] the paper cites: data
+// flows from a Source through a chain of Filters to a Sink. Filters may
+// transform the data (compression, encryption), pass it through while
+// computing something (MD5 fingerprint, byte count), or both. A Stream
+// graft is a filter inserted into such a chain; src/grafts wraps each
+// technology's MD5 behind the StreamGraft interface and adapts it as a
+// Filter via GraftFilter.
+
+#ifndef GRAFTLAB_SRC_STREAMK_STREAM_H_
+#define GRAFTLAB_SRC_STREAMK_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace streamk {
+
+using Bytes = std::span<const std::uint8_t>;
+
+// Downstream write target.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void Write(Bytes data) = 0;
+  // End-of-stream notification; default is a no-op.
+  virtual void End() {}
+};
+
+// A processing element. Process() may write any amount of data downstream
+// (0..n bytes per input chunk); Flush() drains buffered state at
+// end-of-stream before the downstream End() is delivered.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+  virtual void Process(Bytes in, Sink& out) = 0;
+  virtual void Flush(Sink& out) { (void)out; }
+  virtual const char* name() const = 0;
+};
+
+// A chain of filters terminating in a caller-supplied sink.
+class Chain {
+ public:
+  // Filters run in append order: the first appended sees the raw input.
+  void Append(std::unique_ptr<Filter> filter) { filters_.push_back(std::move(filter)); }
+
+  std::size_t size() const { return filters_.size(); }
+  Filter& at(std::size_t i) { return *filters_.at(i); }
+
+  // Pushes one chunk through every filter into `sink`.
+  void Write(Bytes data, Sink& sink);
+
+  // Flushes all filters in order and delivers End() to `sink`.
+  void End(Sink& sink);
+
+ private:
+  void WriteFrom(std::size_t index, Bytes data, Sink& sink);
+  void FlushFrom(std::size_t index, Sink& sink);
+
+  std::vector<std::unique_ptr<Filter>> filters_;
+};
+
+// Pulls chunks of `chunk_bytes` from `data` through the chain — the shape of
+// the paper's "read 1MB from disk in 64KB transfers" experiment.
+void Pump(Bytes data, std::size_t chunk_bytes, Chain& chain, Sink& sink);
+
+// --- Stock sinks ---
+
+class MemorySink : public Sink {
+ public:
+  void Write(Bytes data) override { bytes_.insert(bytes_.end(), data.begin(), data.end()); }
+  void End() override { ended_ = true; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  bool ended() const { return ended_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  bool ended_ = false;
+};
+
+class NullSink : public Sink {
+ public:
+  void Write(Bytes data) override { count_ += data.size(); }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+// --- Stock filters ---
+
+// Passes data through unchanged (chain plumbing baseline).
+class NullFilter : public Filter {
+ public:
+  void Process(Bytes in, Sink& out) override { out.Write(in); }
+  const char* name() const override { return "null"; }
+};
+
+// Counts bytes while passing them through.
+class CountFilter : public Filter {
+ public:
+  void Process(Bytes in, Sink& out) override {
+    count_ += in.size();
+    out.Write(in);
+  }
+  std::uint64_t count() const { return count_; }
+  const char* name() const override { return "count"; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+// Symmetric XOR stream cipher (its own inverse) keyed by a repeating key.
+class XorCipherFilter : public Filter {
+ public:
+  explicit XorCipherFilter(std::vector<std::uint8_t> key);
+  void Process(Bytes in, Sink& out) override;
+  const char* name() const override { return "xor-cipher"; }
+
+ private:
+  std::vector<std::uint8_t> key_;
+  std::size_t phase_ = 0;
+  std::vector<std::uint8_t> scratch_;
+};
+
+// Byte-oriented run-length encoder: literal runs and repeat runs with a
+// one-byte header. kRepeat runs encode 4..130 copies; literals 1..128 bytes.
+class RleCompressFilter : public Filter {
+ public:
+  void Process(Bytes in, Sink& out) override;
+  void Flush(Sink& out) override;
+  const char* name() const override { return "rle-compress"; }
+
+ private:
+  std::vector<std::uint8_t> pending_;
+  void Emit(Sink& out);
+};
+
+class RleDecompressFilter : public Filter {
+ public:
+  void Process(Bytes in, Sink& out) override;
+  void Flush(Sink& out) override;
+  const char* name() const override { return "rle-decompress"; }
+
+ private:
+  // Decoder state machine across chunk boundaries.
+  enum class State { kHeader, kLiteral, kRepeat };
+  State state_ = State::kHeader;
+  std::size_t remaining_ = 0;
+  std::vector<std::uint8_t> literal_buf_;
+};
+
+// MD5 fingerprint filter over the native implementation: passes data through
+// and can be queried for the digest after End().
+class Md5Filter : public Filter {
+ public:
+  Md5Filter();
+  ~Md5Filter() override;
+  void Process(Bytes in, Sink& out) override;
+  void Flush(Sink& out) override;
+  const char* name() const override { return "md5"; }
+
+  // Valid after Flush(); hex digest of everything processed.
+  std::string hex_digest() const { return hex_digest_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::string hex_digest_;
+};
+
+}  // namespace streamk
+
+#endif  // GRAFTLAB_SRC_STREAMK_STREAM_H_

@@ -1,0 +1,387 @@
+// Tclet's `expr` engine: a recursive-descent parser over the substituted
+// expression string, evaluated on every call — Tcl's structural cost.
+//
+// Supports 64-bit integer arithmetic (+ - * / %), bitwise (& | ^ ~ << >>),
+// comparison (== != < <= > >=), logical (&& || !) with short-circuit, unary
+// +/-, parentheses, and decimal/hex literals. $variables and [commands] in
+// the text are substituted before parsing, as Tcl does for braced
+// expressions.
+
+#include <cctype>
+
+#include "src/tclet/interp.h"
+
+namespace tclet {
+
+namespace {
+
+class ExprParser {
+ public:
+  ExprParser(Interp& interp, std::string_view text) : interp_(interp), text_(text) {}
+
+  Code Parse(std::int64_t& out) {
+    const Code code = ParseLogicalOr(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return interp_.Error("syntax error in expression \"" + std::string(text_) + "\"");
+    }
+    return Code::kOk;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Match(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_).starts_with(token)) {
+      // Avoid matching "<" when the text has "<<" or "<=".
+      if (token.size() == 1 && pos_ + 1 < text_.size()) {
+        const char a = token[0];
+        const char b = text_[pos_ + 1];
+        if ((a == '<' || a == '>') && (b == a || b == '=')) {
+          return false;
+        }
+        if ((a == '=' || a == '!') && b == '=') {
+          return false;
+        }
+        if ((a == '&' || a == '|') && b == a) {
+          return false;
+        }
+      }
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Code ParseLogicalOr(std::int64_t& out) {
+    Code code = ParseLogicalAnd(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!Match("||")) {
+        return Code::kOk;
+      }
+      // Tcl short-circuits, but the right side still must parse.
+      std::int64_t rhs;
+      code = ParseLogicalAnd(rhs);
+      if (code != Code::kOk) {
+        return code;
+      }
+      out = (out != 0 || rhs != 0) ? 1 : 0;
+    }
+  }
+
+  Code ParseLogicalAnd(std::int64_t& out) {
+    Code code = ParseBitOr(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!Match("&&")) {
+        return Code::kOk;
+      }
+      std::int64_t rhs;
+      code = ParseBitOr(rhs);
+      if (code != Code::kOk) {
+        return code;
+      }
+      out = (out != 0 && rhs != 0) ? 1 : 0;
+    }
+  }
+
+  Code ParseBitOr(std::int64_t& out) {
+    Code code = ParseBitXor(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    while (Match("|")) {
+      std::int64_t rhs;
+      code = ParseBitXor(rhs);
+      if (code != Code::kOk) {
+        return code;
+      }
+      out |= rhs;
+    }
+    return Code::kOk;
+  }
+
+  Code ParseBitXor(std::int64_t& out) {
+    Code code = ParseBitAnd(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    while (Match("^")) {
+      std::int64_t rhs;
+      code = ParseBitAnd(rhs);
+      if (code != Code::kOk) {
+        return code;
+      }
+      out ^= rhs;
+    }
+    return Code::kOk;
+  }
+
+  Code ParseBitAnd(std::int64_t& out) {
+    Code code = ParseEquality(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    while (Match("&")) {
+      std::int64_t rhs;
+      code = ParseEquality(rhs);
+      if (code != Code::kOk) {
+        return code;
+      }
+      out &= rhs;
+    }
+    return Code::kOk;
+  }
+
+  Code ParseEquality(std::int64_t& out) {
+    Code code = ParseRelational(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    for (;;) {
+      if (Match("==")) {
+        std::int64_t rhs;
+        code = ParseRelational(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = out == rhs ? 1 : 0;
+      } else if (Match("!=")) {
+        std::int64_t rhs;
+        code = ParseRelational(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = out != rhs ? 1 : 0;
+      } else {
+        return Code::kOk;
+      }
+    }
+  }
+
+  Code ParseRelational(std::int64_t& out) {
+    Code code = ParseShift(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    for (;;) {
+      if (Match("<=")) {
+        std::int64_t rhs;
+        code = ParseShift(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = out <= rhs ? 1 : 0;
+      } else if (Match(">=")) {
+        std::int64_t rhs;
+        code = ParseShift(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = out >= rhs ? 1 : 0;
+      } else if (Match("<")) {
+        std::int64_t rhs;
+        code = ParseShift(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = out < rhs ? 1 : 0;
+      } else if (Match(">")) {
+        std::int64_t rhs;
+        code = ParseShift(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = out > rhs ? 1 : 0;
+      } else {
+        return Code::kOk;
+      }
+    }
+  }
+
+  Code ParseShift(std::int64_t& out) {
+    Code code = ParseAdditive(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    for (;;) {
+      if (Match("<<")) {
+        std::int64_t rhs;
+        code = ParseAdditive(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = static_cast<std::int64_t>(static_cast<std::uint64_t>(out)
+                                        << (static_cast<std::uint64_t>(rhs) & 63));
+      } else if (Match(">>")) {
+        std::int64_t rhs;
+        code = ParseAdditive(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out >>= (static_cast<std::uint64_t>(rhs) & 63);
+      } else {
+        return Code::kOk;
+      }
+    }
+  }
+
+  Code ParseAdditive(std::int64_t& out) {
+    Code code = ParseMultiplicative(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    for (;;) {
+      if (Match("+")) {
+        std::int64_t rhs;
+        code = ParseMultiplicative(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = static_cast<std::int64_t>(static_cast<std::uint64_t>(out) +
+                                        static_cast<std::uint64_t>(rhs));
+      } else if (Match("-")) {
+        std::int64_t rhs;
+        code = ParseMultiplicative(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = static_cast<std::int64_t>(static_cast<std::uint64_t>(out) -
+                                        static_cast<std::uint64_t>(rhs));
+      } else {
+        return Code::kOk;
+      }
+    }
+  }
+
+  Code ParseMultiplicative(std::int64_t& out) {
+    Code code = ParseUnary(out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    for (;;) {
+      if (Match("*")) {
+        std::int64_t rhs;
+        code = ParseUnary(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        out = static_cast<std::int64_t>(static_cast<std::uint64_t>(out) *
+                                        static_cast<std::uint64_t>(rhs));
+      } else if (Match("/")) {
+        std::int64_t rhs;
+        code = ParseUnary(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        if (rhs == 0) {
+          return interp_.Error("divide by zero");
+        }
+        out /= rhs;
+      } else if (Match("%")) {
+        std::int64_t rhs;
+        code = ParseUnary(rhs);
+        if (code != Code::kOk) {
+          return code;
+        }
+        if (rhs == 0) {
+          return interp_.Error("divide by zero");
+        }
+        out %= rhs;
+      } else {
+        return Code::kOk;
+      }
+    }
+  }
+
+  Code ParseUnary(std::int64_t& out) {
+    SkipSpace();
+    if (Match("-")) {
+      const Code code = ParseUnary(out);
+      out = static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(out));
+      return code;
+    }
+    if (Match("+")) {
+      return ParseUnary(out);
+    }
+    if (Match("~")) {
+      const Code code = ParseUnary(out);
+      out = ~out;
+      return code;
+    }
+    if (Match("!")) {
+      const Code code = ParseUnary(out);
+      out = out == 0 ? 1 : 0;
+      return code;
+    }
+    return ParsePrimary(out);
+  }
+
+  Code ParsePrimary(std::int64_t& out) {
+    SkipSpace();
+    if (Match("(")) {
+      const Code code = ParseLogicalOr(out);
+      if (code != Code::kOk) {
+        return code;
+      }
+      SkipSpace();
+      if (!Match(")")) {
+        return interp_.Error("missing close-paren in expression");
+      }
+      return Code::kOk;
+    }
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+          (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        while (pos_ < text_.size() && std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+      } else {
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+      }
+      if (!ParseInt(text_.substr(start, pos_ - start), out)) {
+        return interp_.Error("bad number in expression");
+      }
+      return Code::kOk;
+    }
+    return interp_.Error("syntax error in expression \"" + std::string(text_) + "\"");
+  }
+
+  Interp& interp_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Code Interp::EvalExpr(std::string_view text, std::int64_t& out) {
+  // Substitution first (Tcl's braced-expression behavior), then parse.
+  std::string substituted;
+  const Code code = Substitute(text, substituted);
+  if (code != Code::kOk) {
+    return code;
+  }
+  ExprParser parser(*this, substituted);
+  return parser.Parse(out);
+}
+
+}  // namespace tclet

@@ -1,0 +1,144 @@
+#include "src/tclet/value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tclet {
+
+bool ParseInt(std::string_view text, std::int64_t& out) {
+  // Trim surrounding whitespace (Tcl accepts " 42 ").
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  if (begin == end) {
+    return false;
+  }
+
+  bool negative = false;
+  std::size_t i = begin;
+  if (text[i] == '+' || text[i] == '-') {
+    negative = text[i] == '-';
+    ++i;
+  }
+  if (i == end) {
+    return false;
+  }
+
+  std::uint64_t magnitude = 0;
+  if (end - i > 2 && text[i] == '0' && (text[i + 1] == 'x' || text[i + 1] == 'X')) {
+    for (i += 2; i < end; ++i) {
+      const char c = text[i];
+      std::uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint64_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      magnitude = magnitude * 16 + digit;
+    }
+  } else {
+    for (; i < end; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') {
+        return false;
+      }
+      magnitude = magnitude * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+  }
+  out = negative ? static_cast<std::int64_t>(0 - magnitude) : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+std::string IntToString(std::int64_t value) { return std::to_string(value); }
+
+bool SplitList(std::string_view list, std::vector<std::string>& out) {
+  out.clear();
+  std::size_t i = 0;
+  const std::size_t n = list.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(list[i]))) {
+      ++i;
+    }
+    if (i >= n) {
+      break;
+    }
+    std::string element;
+    if (list[i] == '{') {
+      int depth = 1;
+      ++i;
+      const std::size_t start = i;
+      while (i < n && depth > 0) {
+        if (list[i] == '{') {
+          ++depth;
+        } else if (list[i] == '}') {
+          --depth;
+        }
+        ++i;
+      }
+      if (depth != 0) {
+        return false;
+      }
+      element.assign(list.substr(start, i - start - 1));
+    } else if (list[i] == '"') {
+      ++i;
+      const std::size_t start = i;
+      while (i < n && list[i] != '"') {
+        ++i;
+      }
+      if (i >= n) {
+        return false;
+      }
+      element.assign(list.substr(start, i - start));
+      ++i;
+    } else {
+      const std::size_t start = i;
+      while (i < n && !std::isspace(static_cast<unsigned char>(list[i]))) {
+        ++i;
+      }
+      element.assign(list.substr(start, i - start));
+    }
+    out.push_back(std::move(element));
+  }
+  return true;
+}
+
+std::string QuoteElement(const std::string& element) {
+  if (element.empty()) {
+    return "{}";
+  }
+  bool needs_quote = false;
+  for (const char c : element) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '{' || c == '}' || c == '"' ||
+        c == '[' || c == ']' || c == '$' || c == '\\') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) {
+    return element;
+  }
+  // Brace-quote; assumes balanced braces inside (sufficient for our use).
+  return "{" + element + "}";
+}
+
+std::string JoinList(const std::vector<std::string>& elements) {
+  std::string out;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) {
+      out.push_back(' ');
+    }
+    out += QuoteElement(elements[i]);
+  }
+  return out;
+}
+
+}  // namespace tclet

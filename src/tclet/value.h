@@ -1,0 +1,40 @@
+// Tclet values: everything is a string.
+//
+// Tclet reproduces the Tcl 7.x execution model the paper measured ("another
+// technique ... is not to transform the source to an intermediate format,
+// but rather to interpret it directly"): numbers are parsed out of strings
+// at every use and results rendered back, and lists are strings with
+// whitespace-separated, brace-quoted elements. That model is precisely why
+// the paper finds Tcl four orders of magnitude slower than compiled code —
+// the cost is structural, so we keep the structure.
+
+#ifndef GRAFTLAB_SRC_TCLET_VALUE_H_
+#define GRAFTLAB_SRC_TCLET_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tclet {
+
+// Parses a Tcl integer (decimal or 0x hex, optional sign). Returns false on
+// malformed input.
+bool ParseInt(std::string_view text, std::int64_t& out);
+
+// Renders an integer as its decimal string.
+std::string IntToString(std::int64_t value);
+
+// Splits a Tcl list into elements, honoring {braces} and "quotes".
+// Returns false on unbalanced input.
+bool SplitList(std::string_view list, std::vector<std::string>& out);
+
+// Joins elements into a Tcl list, brace-quoting where needed.
+std::string JoinList(const std::vector<std::string>& elements);
+
+// Quotes one element for inclusion in a list.
+std::string QuoteElement(const std::string& element);
+
+}  // namespace tclet
+
+#endif  // GRAFTLAB_SRC_TCLET_VALUE_H_

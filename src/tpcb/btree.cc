@@ -1,0 +1,151 @@
+#include "src/tpcb/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tpcb {
+
+BTree::BTree(const BTreeConfig& config) : config_(config) {
+  if (config_.num_records <= 0 || config_.records_per_leaf == 0 ||
+      config_.leaves_per_level3 == 0 || config_.level3_per_level2 == 0) {
+    throw std::invalid_argument("BTree: degenerate configuration");
+  }
+
+  // Build leaves: records keyed 0..num_records-1 in order.
+  const auto num_leaves = static_cast<std::size_t>(
+      (config_.num_records + static_cast<std::int64_t>(config_.records_per_leaf) - 1) /
+      static_cast<std::int64_t>(config_.records_per_leaf));
+  leaves_.resize(num_leaves);
+  std::int64_t key = 0;
+  for (std::size_t i = 0; i < num_leaves; ++i) {
+    LeafNode& leaf = leaves_[i];
+    const std::int64_t remaining = config_.num_records - key;
+    const std::size_t count =
+        std::min<std::int64_t>(static_cast<std::int64_t>(config_.records_per_leaf), remaining);
+    leaf.records.resize(count);
+    for (std::size_t r = 0; r < count; ++r) {
+      leaf.records[r].key = key;
+      leaf.records[r].balance = 1000;  // TPC-B initial account balance
+      ++key;
+    }
+  }
+
+  // Build level 3 over leaves.
+  auto build_level = [](std::size_t num_children, std::size_t fanout) {
+    return (num_children + fanout - 1) / fanout;
+  };
+
+  const std::size_t n3 = build_level(num_leaves, config_.leaves_per_level3);
+  level3_.resize(n3);
+  level3_children_.resize(n3);
+  for (std::size_t i = 0; i < n3; ++i) {
+    InternalNode& node = level3_[i];
+    const std::size_t first = i * config_.leaves_per_level3;
+    const std::size_t last = std::min(first + config_.leaves_per_level3, num_leaves);
+    for (std::size_t c = first; c < last; ++c) {
+      node.first_key.push_back(leaves_[c].records.front().key);
+      node.child.push_back(static_cast<std::uint32_t>(c));
+      level3_children_[i].push_back(LeafPageId(c));
+    }
+  }
+
+  // Build level 2 over level 3.
+  const std::size_t n2 = build_level(n3, config_.level3_per_level2);
+  level2_.resize(n2);
+  for (std::size_t i = 0; i < n2; ++i) {
+    InternalNode& node = level2_[i];
+    const std::size_t first = i * config_.level3_per_level2;
+    const std::size_t last = std::min(first + config_.level3_per_level2, n3);
+    for (std::size_t c = first; c < last; ++c) {
+      node.first_key.push_back(level3_[c].first_key.front());
+      node.child.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+
+  // Root over level 2.
+  if (n2 > config_.level2_per_root) {
+    throw std::invalid_argument("BTree: root fanout exceeded; tree would need 5 levels");
+  }
+  for (std::size_t c = 0; c < n2; ++c) {
+    root_.first_key.push_back(level2_[c].first_key.front());
+    root_.child.push_back(static_cast<std::uint32_t>(c));
+  }
+}
+
+PageId BTree::root_page() const { return 0; }
+
+std::size_t BTree::FindChild(const InternalNode& node, std::int64_t key) {
+  // Last child whose first_key <= key (keys below the first child's
+  // separator also route to child 0, matching standard B-tree search).
+  const auto it = std::upper_bound(node.first_key.begin(), node.first_key.end(), key);
+  const std::size_t idx = static_cast<std::size_t>(it - node.first_key.begin());
+  return idx == 0 ? 0 : idx - 1;
+}
+
+const BTree::LeafNode* BTree::FindLeaf(std::int64_t key, std::vector<PageId>* path) const {
+  if (path != nullptr) {
+    path->push_back(root_page());
+  }
+  const std::size_t i2 = FindChild(root_, key);
+  const InternalNode& n2 = level2_[root_.child[i2]];
+  if (path != nullptr) {
+    path->push_back(Level2PageId(root_.child[i2]));
+  }
+  const std::size_t i3 = FindChild(n2, key);
+  const InternalNode& n3 = level3_[n2.child[i3]];
+  if (path != nullptr) {
+    path->push_back(Level3PageId(n2.child[i3]));
+  }
+  const std::size_t il = FindChild(n3, key);
+  if (path != nullptr) {
+    path->push_back(LeafPageId(n3.child[il]));
+  }
+  return &leaves_[n3.child[il]];
+}
+
+LookupResult BTree::Lookup(std::int64_t key) const {
+  LookupResult result;
+  const LeafNode* leaf = FindLeaf(key, &result.path);
+  const auto it = std::lower_bound(
+      leaf->records.begin(), leaf->records.end(), key,
+      [](const AccountRecord& r, std::int64_t k) { return r.key < k; });
+  if (it != leaf->records.end() && it->key == key) {
+    result.found = true;
+    result.balance = it->balance;
+  }
+  return result;
+}
+
+bool BTree::UpdateBalance(std::int64_t key, std::int64_t delta, std::vector<PageId>* path) {
+  LeafNode* leaf = const_cast<LeafNode*>(FindLeaf(key, path));
+  const auto it =
+      std::lower_bound(leaf->records.begin(), leaf->records.end(), key,
+                       [](const AccountRecord& r, std::int64_t k) { return r.key < k; });
+  if (it == leaf->records.end() || it->key != key) {
+    return false;
+  }
+  it->balance += delta;
+  return true;
+}
+
+void BTree::Scan(ScanVisitor& visitor) const {
+  // Depth-first, which for this key-ordered build is left-to-right over the
+  // level-3 pages and their leaves.
+  for (std::size_t c2 = 0; c2 < root_.child.size(); ++c2) {
+    const InternalNode& n2 = level2_[root_.child[c2]];
+    for (std::size_t c3 = 0; c3 < n2.child.size(); ++c3) {
+      const std::size_t l3 = n2.child[c3];
+      visitor.EnterLevel3(Level3PageId(l3), level3_children_[l3]);
+      for (const std::uint32_t leaf : level3_[l3].child) {
+        visitor.VisitLeaf(LeafPageId(leaf));
+      }
+    }
+  }
+}
+
+std::span<const PageId> BTree::Level3Children(std::size_t level3_index) const {
+  return level3_children_.at(level3_index);
+}
+
+}  // namespace tpcb

@@ -1,0 +1,124 @@
+// Page-based B-tree modeling the paper's TPC-B database (§3.1).
+//
+// "The database holds 1,000,000 records in a four-level b-tree; [...] The
+// b-tree is 50% full, and has one root page, four pages at the second
+// level, 391 pages at the third level, and approximately 50,000 pages at
+// the fourth level; each third-level page points to up to 128 fourth level
+// pages."
+//
+// The tree is built bottom-up over 4KB pages at a configurable fill factor.
+// With the paper's parameters (1M records, 100-byte records, 50% fill) the
+// default geometry reproduces the paper's page counts exactly: 20 records
+// per leaf -> 50,000 leaves; 128 children per third-level page -> 391
+// third-level pages; 98 per second-level page -> 4; one root.
+//
+// Two access patterns matter to the reproduction:
+//   * Lookup(key): the TPC-B transaction path, root to leaf — it reports the
+//     PageIds visited so a vmsim::PageCache can replay the paging behavior.
+//   * Scan(visitor): the "non-keyed lookup" depth-first traversal; on
+//     entering a third-level page the visitor receives that page's children
+//     as the application's new hot list, exactly the event that loads the
+//     eviction graft's hot list in the paper's model.
+
+#ifndef GRAFTLAB_SRC_TPCB_BTREE_H_
+#define GRAFTLAB_SRC_TPCB_BTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/vmsim/frame.h"
+
+namespace tpcb {
+
+using vmsim::PageId;
+
+// ~100-byte account record (104 with alignment padding; 20 per 4KB leaf at
+// 50% fill, reproducing the paper's 50,000 data pages for 1M records).
+struct AccountRecord {
+  std::int64_t key = 0;
+  std::int64_t balance = 0;
+  std::uint8_t filler[84] = {};
+};
+static_assert(sizeof(AccountRecord) == 104);
+
+struct BTreeConfig {
+  std::int64_t num_records = 1000000;
+  std::size_t records_per_leaf = 20;       // 4096B / 100B at 50% fill
+  std::size_t leaves_per_level3 = 128;     // the paper's "up to 128"
+  std::size_t level3_per_level2 = 98;      // yields 4 second-level pages
+  std::size_t level2_per_root = 256;       // root always fits
+};
+
+struct LookupResult {
+  bool found = false;
+  std::int64_t balance = 0;
+  // Pages visited, root first; size() == tree height for a 4-level tree.
+  std::vector<PageId> path;
+};
+
+// Scan callback. EnterLevel3 delivers the hot list; VisitLeaf is called for
+// every data page in key order.
+class ScanVisitor {
+ public:
+  virtual ~ScanVisitor() = default;
+  virtual void EnterLevel3(PageId page, std::span<const PageId> leaf_children) = 0;
+  virtual void VisitLeaf(PageId page) = 0;
+};
+
+class BTree {
+ public:
+  explicit BTree(const BTreeConfig& config = BTreeConfig{});
+
+  LookupResult Lookup(std::int64_t key) const;
+
+  // Updates a record balance in place (the TPC-B write); returns false for a
+  // missing key. The page path is appended to `path` if non-null.
+  bool UpdateBalance(std::int64_t key, std::int64_t delta, std::vector<PageId>* path = nullptr);
+
+  // Depth-first traversal of the whole tree.
+  void Scan(ScanVisitor& visitor) const;
+
+  // Geometry introspection.
+  int height() const { return 4; }
+  PageId root_page() const;
+  std::size_t num_leaf_pages() const { return leaves_.size(); }
+  std::size_t num_level3_pages() const { return level3_.size(); }
+  std::size_t num_level2_pages() const { return level2_.size(); }
+  std::size_t num_internal_pages() const { return 1 + level2_.size() + level3_.size(); }
+  std::size_t num_pages() const { return num_internal_pages() + leaves_.size(); }
+  std::int64_t num_records() const { return config_.num_records; }
+
+  // Children of a level-3 page (for tests and hot-list assertions).
+  std::span<const PageId> Level3Children(std::size_t level3_index) const;
+
+ private:
+  struct InternalNode {
+    // children[i] covers keys in [first_key[i], first_key[i+1]).
+    std::vector<std::int64_t> first_key;
+    std::vector<std::uint32_t> child;  // index into the next level down
+  };
+  struct LeafNode {
+    std::vector<AccountRecord> records;  // sorted by key
+  };
+
+  // PageId layout: root = 0, level2 pages follow, then level3, then leaves.
+  PageId Level2PageId(std::size_t i) const { return 1 + i; }
+  PageId Level3PageId(std::size_t i) const { return 1 + level2_.size() + i; }
+  PageId LeafPageId(std::size_t i) const { return 1 + level2_.size() + level3_.size() + i; }
+
+  static std::size_t FindChild(const InternalNode& node, std::int64_t key);
+  const LeafNode* FindLeaf(std::int64_t key, std::vector<PageId>* path) const;
+
+  BTreeConfig config_;
+  InternalNode root_;
+  std::vector<InternalNode> level2_;
+  std::vector<InternalNode> level3_;
+  std::vector<LeafNode> leaves_;
+  std::vector<std::vector<PageId>> level3_children_;  // precomputed hot lists
+};
+
+}  // namespace tpcb
+
+#endif  // GRAFTLAB_SRC_TPCB_BTREE_H_

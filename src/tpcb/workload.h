@@ -1,0 +1,46 @@
+// TPC-B-style transaction workload over the B-tree.
+//
+// The paper's model server alternates keyed transactions with non-keyed
+// scans; the paging side effect is what matters here, so each transaction
+// yields the page path it touched for replay against a vmsim::PageCache.
+
+#ifndef GRAFTLAB_SRC_TPCB_WORKLOAD_H_
+#define GRAFTLAB_SRC_TPCB_WORKLOAD_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/tpcb/btree.h"
+
+namespace tpcb {
+
+class TpcbWorkload {
+ public:
+  TpcbWorkload(BTree& tree, std::uint64_t seed = 1996)
+      : tree_(tree), rng_(seed), key_dist_(0, tree.num_records() - 1) {}
+
+  // Runs one transaction (random account debit/credit) and returns the pages
+  // it touched, root first. The reference stays valid until the next call.
+  const std::vector<PageId>& NextTransaction() {
+    path_.clear();
+    const std::int64_t key = key_dist_(rng_);
+    const std::int64_t delta = static_cast<std::int64_t>(rng_() % 1999) - 999;
+    tree_.UpdateBalance(key, delta, &path_);
+    ++transactions_;
+    return path_;
+  }
+
+  std::uint64_t transactions() const { return transactions_; }
+
+ private:
+  BTree& tree_;
+  std::mt19937_64 rng_;
+  std::uniform_int_distribution<std::int64_t> key_dist_;
+  std::vector<PageId> path_;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace tpcb
+
+#endif  // GRAFTLAB_SRC_TPCB_WORKLOAD_H_

@@ -1,0 +1,115 @@
+#include "src/upcall/process_upcall.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/stats/harness.h"
+#include "src/stats/running_stats.h"
+
+namespace upcall {
+
+namespace {
+
+bool ReadAll(int fd, void* buffer, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buffer);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* buffer, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buffer);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n <= 0) {
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ProcessUpcallEngine::ProcessUpcallEngine(Handler handler) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error("ProcessUpcallEngine: socketpair failed");
+  }
+  child_ = ::fork();
+  if (child_ < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::runtime_error("ProcessUpcallEngine: fork failed");
+  }
+  if (child_ == 0) {
+    // Server process: serve until the client end closes.
+    ::close(fds[0]);
+    std::uint64_t arg = 0;
+    while (ReadAll(fds[1], &arg, sizeof(arg))) {
+      const std::uint64_t reply = handler ? handler(arg) : arg;
+      if (!WriteAll(fds[1], &reply, sizeof(reply))) {
+        break;
+      }
+    }
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  fd_ = fds[0];
+}
+
+ProcessUpcallEngine::~ProcessUpcallEngine() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // server sees EOF and exits
+  }
+  if (child_ > 0) {
+    int status = 0;
+    if (::waitpid(child_, &status, WNOHANG) == 0) {
+      // Give it a moment, then insist.
+      ::usleep(10000);
+      if (::waitpid(child_, &status, WNOHANG) == 0) {
+        ::kill(child_, SIGKILL);
+        ::waitpid(child_, &status, 0);
+      }
+    }
+  }
+}
+
+std::uint64_t ProcessUpcallEngine::Upcall(std::uint64_t arg) {
+  std::uint64_t reply = 0;
+  if (!WriteAll(fd_, &arg, sizeof(arg)) || !ReadAll(fd_, &reply, sizeof(reply))) {
+    throw std::runtime_error("ProcessUpcallEngine: server gone");
+  }
+  ++upcalls_;
+  return reply;
+}
+
+ProcessUpcallEngine::RoundTrip ProcessUpcallEngine::MeasureRoundTrip(std::size_t runs,
+                                                                     std::size_t iters_per_run) {
+  stats::RunningStats per_call_us;
+  for (int i = 0; i < 50; ++i) {
+    Upcall(0);  // warmup
+  }
+  for (std::size_t run = 0; run < runs; ++run) {
+    stats::Timer timer;
+    for (std::size_t i = 0; i < iters_per_run; ++i) {
+      Upcall(i);
+    }
+    per_call_us.Add(timer.ElapsedUs() / static_cast<double>(iters_per_run));
+  }
+  return RoundTrip{per_call_us.mean(), per_call_us.stddev_percent()};
+}
+
+}  // namespace upcall

@@ -1,0 +1,65 @@
+// Page-fault latency measurement (the paper's Table 3).
+//
+// The paper used lmbench's lat_pagefault: map a file, touch its pages in
+// random order, and time the faults; it also reports how many disk pages
+// each fault brings in (read-ahead). FaultProbe reproduces both
+// measurements against the host kernel: a backing file is mapped privately,
+// its PTEs are dropped with madvise(MADV_DONTNEED) between runs, and pages
+// are touched in a random order. Read-ahead is detected directly with
+// mincore(): fault one page in the middle of a cold window and count which
+// neighbors became resident.
+//
+// Host faults are soft (the data stays in the page cache), so absolute
+// times are far below the paper's disk-inclusive 4.7-25 ms; Table 2's
+// break-even column therefore also reports the figure computed against a
+// modeled disk fault (diskmod::DiskModel), which restores the paper's
+// magnitudes. Both numbers are printed by bench/table3_pagefault.
+
+#ifndef GRAFTLAB_SRC_VMSIM_FAULT_PROBE_H_
+#define GRAFTLAB_SRC_VMSIM_FAULT_PROBE_H_
+
+#include <cstddef>
+
+#include "src/stats/running_stats.h"
+
+namespace vmsim {
+
+struct FaultProbeResult {
+  double fault_time_us = 0.0;   // mean time to handle one page fault
+  double stddev_pct = 0.0;      // across runs
+  int pages_per_fault = 1;      // read-ahead window observed via mincore
+  std::size_t pages_touched = 0;
+};
+
+class FaultProbe {
+ public:
+  // Creates (and on destruction removes) a backing file of `pages` pages in
+  // the system temp directory.
+  explicit FaultProbe(std::size_t pages = 4096);
+  ~FaultProbe();
+
+  FaultProbe(const FaultProbe&) = delete;
+  FaultProbe& operator=(const FaultProbe&) = delete;
+
+  // Times `runs` passes of random-order first touches.
+  FaultProbeResult Measure(std::size_t runs = 10);
+
+  // Faults one page inside a cold window and returns how many pages of the
+  // window the kernel made resident (>= 1; > 1 means read-ahead/fault-around).
+  int EstimatePagesPerFault();
+
+  std::size_t page_size() const { return page_size_; }
+
+ private:
+  void DropResidency();
+
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::size_t pages_ = 0;
+  std::size_t page_size_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace vmsim
+
+#endif  // GRAFTLAB_SRC_VMSIM_FAULT_PROBE_H_

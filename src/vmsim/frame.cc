@@ -1,0 +1,61 @@
+#include "src/vmsim/frame.h"
+
+#include <cassert>
+
+namespace vmsim {
+
+void LruQueue::PushMru(Frame* frame) {
+  assert(!frame->in_queue);
+  frame->lru_prev = tail_;
+  frame->lru_next = nullptr;
+  if (tail_ != nullptr) {
+    tail_->lru_next = frame;
+  } else {
+    head_ = frame;
+  }
+  tail_ = frame;
+  frame->in_queue = true;
+  ++size_;
+}
+
+void LruQueue::Remove(Frame* frame) {
+  assert(frame->in_queue);
+  if (frame->lru_prev != nullptr) {
+    frame->lru_prev->lru_next = frame->lru_next;
+  } else {
+    head_ = frame->lru_next;
+  }
+  if (frame->lru_next != nullptr) {
+    frame->lru_next->lru_prev = frame->lru_prev;
+  } else {
+    tail_ = frame->lru_prev;
+  }
+  frame->lru_prev = nullptr;
+  frame->lru_next = nullptr;
+  frame->in_queue = false;
+  --size_;
+}
+
+void LruQueue::Touch(Frame* frame) {
+  if (frame == tail_) {
+    return;
+  }
+  Remove(frame);
+  PushMru(frame);
+}
+
+bool LruQueue::Contains(const Frame* frame) const {
+  if (!frame->in_queue) {
+    return false;
+  }
+  // Validate linkage: either an interior node with consistent neighbors, or
+  // one of our endpoints. A graft cannot fabricate a frame that passes this
+  // without actually being linked into this queue.
+  const bool linked_prev =
+      frame->lru_prev != nullptr ? frame->lru_prev->lru_next == frame : head_ == frame;
+  const bool linked_next =
+      frame->lru_next != nullptr ? frame->lru_next->lru_prev == frame : tail_ == frame;
+  return linked_prev && linked_next;
+}
+
+}  // namespace vmsim

@@ -1,0 +1,61 @@
+// Page frames and the kernel's LRU queue.
+//
+// The paper's Prioritization graft (§3.1) is handed "a pointer to the head
+// of the LRU queue" and walks it looking for an acceptable eviction victim.
+// Frame is that queue's node: an intrusive doubly-linked element naming the
+// resident page. The queue keeps its least-recently-used frame at the head
+// (the kernel's default candidate) and promotes frames to the tail on touch.
+
+#ifndef GRAFTLAB_SRC_VMSIM_FRAME_H_
+#define GRAFTLAB_SRC_VMSIM_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vmsim {
+
+using PageId = std::uint64_t;
+inline constexpr PageId kInvalidPage = ~PageId{0};
+
+// One physical page frame. Grafts traverse these via lru_next, which is why
+// the links are plain pointers: this is the kernel data structure the
+// extension technologies must be able to walk cheaply.
+struct Frame {
+  PageId page = kInvalidPage;
+  std::uint64_t owner = 0;  // owning process, for per-process eviction policy
+  Frame* lru_next = nullptr;
+  Frame* lru_prev = nullptr;
+  bool in_queue = false;
+};
+
+// Intrusive LRU list: head = least recently used (default eviction
+// candidate), tail = most recently used.
+class LruQueue {
+ public:
+  Frame* head() const { return head_; }
+  Frame* tail() const { return tail_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Appends at the MRU end. The frame must not already be queued.
+  void PushMru(Frame* frame);
+
+  // Unlinks `frame`; it must currently be queued.
+  void Remove(Frame* frame);
+
+  // Marks a touch: moves the frame to the MRU end.
+  void Touch(Frame* frame);
+
+  // True if `frame` is linked into *this* queue (O(1) flag check plus a
+  // defensive link validation used by the kernel to vet graft answers).
+  bool Contains(const Frame* frame) const;
+
+ private:
+  Frame* head_ = nullptr;
+  Frame* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vmsim
+
+#endif  // GRAFTLAB_SRC_VMSIM_FRAME_H_

@@ -1,0 +1,110 @@
+#include "src/vmsim/page_cache.h"
+
+#include "src/envs/fault.h"
+
+namespace vmsim {
+
+PageCache::PageCache(std::size_t num_frames) : frames_(num_frames) {
+  free_frames_.reserve(num_frames);
+  // Hand out frames from the back so frame 0 is used first.
+  for (std::size_t i = num_frames; i > 0; --i) {
+    free_frames_.push_back(&frames_[i - 1]);
+  }
+}
+
+bool PageCache::Touch(PageId page, std::uint64_t owner) {
+  if (auto it = resident_.find(page); it != resident_.end()) {
+    ++stats_.hits;
+    lru_.Touch(it->second);
+    return false;
+  }
+
+  ++stats_.faults;
+  LoadPage(page, owner);
+
+  // Read-ahead: the graft names the window; neighbors ride in on the same
+  // (modeled) disk access. They are loaded coldest-first so the faulting
+  // page stays the most recently used of the group.
+  if (readahead_ != nullptr) {
+    int window = 1;
+    try {
+      window = readahead_->Window(page);
+    } catch (const envs::EnvFault&) {
+      ++stats_.graft_faults;
+    }
+    if (window > kMaxReadAheadWindow) {
+      window = kMaxReadAheadWindow;
+    }
+    for (int n = window - 1; n >= 1; --n) {
+      const PageId neighbor = page + static_cast<PageId>(n);
+      if (!resident_.contains(neighbor)) {
+        LoadPage(neighbor, owner);
+        ++stats_.readahead_pages;
+      }
+    }
+    if (window > 1) {
+      lru_.Touch(resident_.at(page));  // faulting page ends up MRU
+    }
+  }
+  return true;
+}
+
+void PageCache::LoadPage(PageId page, std::uint64_t owner) {
+  Frame* frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    frame = SelectVictim();
+    if (hot_.contains(frame->page)) {
+      ++stats_.hot_evictions;
+    }
+    resident_.erase(frame->page);
+    lru_.Remove(frame);
+    ++stats_.evictions;
+  }
+
+  frame->page = page;
+  frame->owner = owner;
+  lru_.PushMru(frame);
+  resident_.emplace(page, frame);
+}
+
+Frame* PageCache::SelectVictim() {
+  Frame* candidate = lru_.head();
+  if (graft_ == nullptr) {
+    return candidate;
+  }
+
+  Frame* proposed = nullptr;
+  try {
+    proposed = graft_->ChooseVictim(candidate);
+  } catch (const envs::EnvFault&) {
+    // A faulting extension must not take the kernel down: log and fall back.
+    ++stats_.graft_faults;
+    return candidate;
+  }
+
+  // Cao-style validation: the proposal must be a real member of our queue.
+  if (proposed == nullptr || !lru_.Contains(proposed)) {
+    ++stats_.graft_rejections;
+    return candidate;
+  }
+  if (proposed != candidate) {
+    ++stats_.graft_overrides;
+  }
+  return proposed;
+}
+
+void PageCache::Flush() {
+  while (lru_.head() != nullptr) {
+    Frame* frame = lru_.head();
+    resident_.erase(frame->page);
+    lru_.Remove(frame);
+    frame->page = kInvalidPage;
+    free_frames_.push_back(frame);
+  }
+  resident_.clear();
+}
+
+}  // namespace vmsim

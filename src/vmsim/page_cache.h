@@ -1,0 +1,106 @@
+// The simulated VM system: a fixed set of page frames, an LRU queue, and a
+// fault engine with the paper's eviction-graft hook.
+//
+// Default policy evicts the LRU head. With a graft attached, the kernel
+// instead hands the graft the chain head and lets it propose a victim
+// (§3.1). Following Cao et al. [CAO94], the kernel does not trust the
+// answer: a proposal that is not actually a linked member of the queue is
+// rejected and the default candidate is used, and the rejection is counted.
+// A graft that throws (bounds fault, NIL fault, preemption) is likewise
+// contained: the kernel logs the fault and falls back to the default
+// policy — extension failure must not become kernel failure.
+
+#ifndef GRAFTLAB_SRC_VMSIM_PAGE_CACHE_H_
+#define GRAFTLAB_SRC_VMSIM_PAGE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/vmsim/frame.h"
+#include "src/vmsim/read_ahead.h"
+
+namespace vmsim {
+
+// Kernel-side interface of a Prioritization (page eviction) graft.
+class EvictionGraft {
+ public:
+  virtual ~EvictionGraft() = default;
+
+  // Given the LRU chain head (the kernel's default candidate), returns the
+  // frame to evict. May throw envs::EnvFault; the kernel falls back to the
+  // default policy. Must not modify the chain.
+  virtual Frame* ChooseVictim(Frame* lru_head) = 0;
+
+  // Application-driven hot-list maintenance (the model application adds the
+  // 128 level-three children and removes each page as it is processed).
+  virtual void HotListAdd(PageId page) = 0;
+  virtual void HotListRemove(PageId page) = 0;
+  virtual void HotListClear() = 0;
+
+  // Technology name for reports ("C", "Modula-3", "Java", ...).
+  virtual const char* technology() const = 0;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t readahead_pages = 0;  // extra pages brought in by read-ahead
+  std::uint64_t evictions = 0;
+  std::uint64_t graft_overrides = 0;   // graft picked a non-default victim
+  std::uint64_t graft_rejections = 0;  // graft answer failed validation
+  std::uint64_t graft_faults = 0;      // graft threw; default policy used
+  std::uint64_t hot_evictions = 0;     // evicted a page the app had marked hot
+};
+
+class PageCache {
+ public:
+  explicit PageCache(std::size_t num_frames);
+
+  // Attaches (or detaches, with nullptr) the eviction graft. Not owned.
+  void SetEvictionGraft(EvictionGraft* graft) { graft_ = graft; }
+
+  // Attaches (or detaches) the read-ahead graft: consulted per fault for a
+  // window size; pages [page, page+window) are brought in together. Not
+  // owned. A graft fault falls back to window 1.
+  void SetReadAheadGraft(ReadAheadGraft* graft) { readahead_ = graft; }
+
+  // References `page`; returns true when the reference faulted (page was not
+  // resident). Faulting into a full cache evicts a victim first.
+  bool Touch(PageId page, std::uint64_t owner = 0);
+
+  bool IsResident(PageId page) const { return resident_.contains(page); }
+  std::size_t num_frames() const { return frames_.size(); }
+  std::size_t resident_pages() const { return resident_.size(); }
+
+  // Marks a page hot/cold for accounting purposes (mirrors what the graft's
+  // private hot list believes, so hot_evictions can be audited).
+  void MarkHot(PageId page) { hot_.insert(page); }
+  void MarkCold(PageId page) { hot_.erase(page); }
+  void ClearHot() { hot_.clear(); }
+
+  const CacheStats& stats() const { return stats_; }
+  const LruQueue& lru() const { return lru_; }
+
+  // Drops every resident page (for test setup).
+  void Flush();
+
+ private:
+  Frame* SelectVictim();
+  void LoadPage(PageId page, std::uint64_t owner);
+
+  std::vector<Frame> frames_;
+  std::vector<Frame*> free_frames_;
+  LruQueue lru_;
+  std::unordered_map<PageId, Frame*> resident_;
+  std::unordered_set<PageId> hot_;
+  EvictionGraft* graft_ = nullptr;
+  ReadAheadGraft* readahead_ = nullptr;
+  CacheStats stats_;
+};
+
+}  // namespace vmsim
+
+#endif  // GRAFTLAB_SRC_VMSIM_PAGE_CACHE_H_

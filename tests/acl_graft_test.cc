@@ -1,0 +1,129 @@
+// Cross-technology conformance for the ACL Black Box graft (§3.3's
+// "accepts a triple ... and responds yes or no"), including a differential
+// fuzz against a model map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "src/core/acl.h"
+#include "src/core/technology.h"
+#include "src/grafts/acl_grafts.h"
+
+namespace {
+
+using core::Access;
+using core::kExecute;
+using core::kRead;
+using core::kWorld;
+using core::kWrite;
+using core::Technology;
+
+class AclConformance : public ::testing::TestWithParam<Technology> {};
+
+TEST_P(AclConformance, GrantCheckRevoke) {
+  auto acl = grafts::CreateAclGraft(GetParam(), 256);
+
+  EXPECT_FALSE(acl->Check(7, 100, kRead));
+  EXPECT_TRUE(acl->Grant(7, 100, kRead));
+  EXPECT_TRUE(acl->Check(7, 100, kRead));
+  EXPECT_FALSE(acl->Check(7, 100, kWrite));
+  EXPECT_FALSE(acl->Check(8, 100, kRead));  // different user
+  EXPECT_FALSE(acl->Check(7, 101, kRead));  // different file
+
+  EXPECT_TRUE(acl->Grant(7, 100, kWrite));
+  EXPECT_TRUE(acl->Check(7, 100, static_cast<Access>(kRead | kWrite)));
+
+  acl->Revoke(7, 100, kRead);
+  EXPECT_FALSE(acl->Check(7, 100, kRead));
+  EXPECT_TRUE(acl->Check(7, 100, kWrite));
+
+  acl->Revoke(7, 100, kWrite);
+  EXPECT_FALSE(acl->Check(7, 100, kWrite));
+}
+
+TEST_P(AclConformance, WorldEntriesCoverEveryUser) {
+  auto acl = grafts::CreateAclGraft(GetParam(), 256);
+  EXPECT_TRUE(acl->Grant(kWorld, 42, kExecute));
+  EXPECT_TRUE(acl->Check(1, 42, kExecute));
+  EXPECT_TRUE(acl->Check(999, 42, kExecute));
+  EXPECT_FALSE(acl->Check(1, 42, kWrite));
+  EXPECT_FALSE(acl->Check(1, 43, kExecute));
+
+  // A specific denial does not override world access (union semantics).
+  EXPECT_TRUE(acl->Grant(1, 42, kRead));
+  acl->Revoke(1, 42, kRead);
+  EXPECT_TRUE(acl->Check(1, 42, kExecute));  // still via world
+}
+
+TEST_P(AclConformance, RevokingMissingEntryIsHarmless) {
+  auto acl = grafts::CreateAclGraft(GetParam(), 256);
+  acl->Revoke(5, 5, kRead);  // never granted
+  EXPECT_FALSE(acl->Check(5, 5, kRead));
+}
+
+TEST_P(AclConformance, DifferentialFuzzAgainstModelMap) {
+  auto acl = grafts::CreateAclGraft(GetParam(), 1024);
+  std::map<std::pair<core::UserId, core::FileId>, int> model;
+
+  const bool slow = GetParam() == Technology::kTcl;
+  const int ops = slow ? 150 : 1500;
+  std::mt19937_64 rng(GetParam() == Technology::kTcl ? 1 : 33);
+
+  for (int op = 0; op < ops; ++op) {
+    const core::UserId user = 1 + rng() % 8;  // never kWorld here
+    const core::FileId file = rng() % 16;
+    const auto access = static_cast<Access>(1 << (rng() % 3));
+    switch (rng() % 3) {
+      case 0:
+        if (acl->Grant(user, file, access)) {
+          model[{user, file}] |= access;
+        }
+        break;
+      case 1:
+        acl->Revoke(user, file, access);
+        if (const auto it = model.find({user, file}); it != model.end()) {
+          it->second &= ~access;
+        }
+        break;
+      default: {
+        const auto it = model.find({user, file});
+        const bool expect = it != model.end() && (it->second & access) == access;
+        ASSERT_EQ(acl->Check(user, file, access), expect)
+            << "op " << op << " user " << user << " file " << file;
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(AclConformance, TableFullIsReportedNotSilent) {
+  if (GetParam() == Technology::kTcl) {
+    GTEST_SKIP() << "the Tcl table is an associative array (unbounded)";
+  }
+  auto acl = grafts::CreateAclGraft(GetParam(), 16);  // 3/4 load = 12 entries
+  int granted = 0;
+  for (core::UserId user = 1; user <= 16; ++user) {
+    if (acl->Grant(user, user * 100, kRead)) {
+      ++granted;
+    }
+  }
+  EXPECT_EQ(granted, 12);
+  // Entries granted before the table filled still answer correctly.
+  EXPECT_TRUE(acl->Check(1, 100, kRead));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechnologies, AclConformance,
+                         ::testing::ValuesIn(core::kAllTechnologies),
+                         [](const ::testing::TestParamInfo<Technology>& info) {
+                           std::string name = core::TechnologyName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace

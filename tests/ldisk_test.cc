@@ -1,0 +1,212 @@
+// Tests for the logical-disk substrate: geometry, skewed workload shape,
+// replay validation, and the log layer with its cleaner.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "src/diskmod/disk_model.h"
+#include "src/ldisk/log_layer.h"
+#include "src/ldisk/logical_disk.h"
+
+namespace {
+
+using ldisk::BlockId;
+using ldisk::Geometry;
+using ldisk::kUnmapped;
+using ldisk::LogLayer;
+
+TEST(Geometry, PaperParameters) {
+  Geometry g;
+  EXPECT_EQ(g.num_blocks, 262144u);        // 1GB / 4KB
+  EXPECT_EQ(g.blocks_per_segment, 16u);    // 64KB segments
+  EXPECT_EQ(g.num_segments(), 16384u);
+  EXPECT_EQ(g.SegmentOf(0), 0u);
+  EXPECT_EQ(g.SegmentOf(15), 0u);
+  EXPECT_EQ(g.SegmentOf(16), 1u);
+}
+
+TEST(SkewedWorkload, EightyTwentyShape) {
+  Geometry g;
+  ldisk::SkewedWorkload workload(g, /*seed=*/1);
+  const BlockId hot_limit = g.num_blocks / 5;
+  std::uint64_t hot = 0;
+  constexpr std::uint64_t kN = 200000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    if (workload.Next() < hot_limit) {
+      ++hot;
+    }
+  }
+  const double hot_fraction = static_cast<double>(hot) / kN;
+  EXPECT_NEAR(hot_fraction, 0.8, 0.01);
+}
+
+TEST(SkewedWorkload, CoversColdRegionToo) {
+  Geometry g;
+  ldisk::SkewedWorkload workload(g);
+  bool saw_cold = false;
+  for (int i = 0; i < 1000; ++i) {
+    if (workload.Next() >= g.num_blocks / 5) {
+      saw_cold = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_cold);
+}
+
+// Minimal native graft used to exercise the replay driver.
+class MapGraft : public ldisk::LogicalDiskGraft {
+ public:
+  explicit MapGraft(const Geometry& g) : geometry_(g), map_(g.num_blocks, kUnmapped) {}
+
+  BlockId OnWrite(BlockId logical) override {
+    if (next_ >= geometry_.num_blocks) {
+      throw ldisk::DiskFull();
+    }
+    const BlockId physical = next_++;
+    map_[logical] = physical;
+    return physical;
+  }
+  BlockId Translate(BlockId logical) override { return map_[logical]; }
+  const char* technology() const override { return "test"; }
+
+ private:
+  Geometry geometry_;
+  std::vector<BlockId> map_;
+  BlockId next_ = 0;
+};
+
+TEST(Replay, ValidatesCorrectGraft) {
+  Geometry g;
+  g.num_blocks = 4096;  // small run
+  MapGraft graft(g);
+  const auto result = ldisk::ReplayWorkload(graft, g, /*num_writes=*/4096);
+  EXPECT_TRUE(result.answers_correct);
+  EXPECT_EQ(result.writes, 4096u);
+  EXPECT_EQ(result.segments_filled, 4096u / 16u);
+  EXPECT_GT(result.rewrites, 0u);  // 80/20 skew guarantees overwrites
+}
+
+// A graft that maps everything to block 0 — must be flagged.
+class BrokenGraft : public ldisk::LogicalDiskGraft {
+ public:
+  BlockId OnWrite(BlockId) override { return 0; }
+  BlockId Translate(BlockId) override { return 0; }
+  const char* technology() const override { return "broken"; }
+};
+
+TEST(Replay, FlagsWrongAnswers) {
+  Geometry g;
+  g.num_blocks = 1024;
+  BrokenGraft graft;
+  const auto result = ldisk::ReplayWorkload(graft, g, 100);
+  EXPECT_FALSE(result.answers_correct);
+}
+
+TEST(Replay, GraftThrowsWhenDiskFull) {
+  Geometry g;
+  g.num_blocks = 256;
+  MapGraft graft(g);
+  EXPECT_THROW(ldisk::ReplayWorkload(graft, g, g.num_blocks + 1), ldisk::DiskFull);
+}
+
+// --- LogLayer (the cleaner-complete facility) ---
+
+Geometry TinyGeometry() {
+  Geometry g;
+  g.num_blocks = 1024;  // 64 segments
+  g.blocks_per_segment = 16;
+  return g;
+}
+
+TEST(LogLayer, ReadsSeeLatestWrite) {
+  LogLayer layer(TinyGeometry(), diskmod::PaperEraDisk());
+  layer.Write(5);
+  const BlockId first = layer.Read(5);
+  EXPECT_NE(first, kUnmapped);
+  layer.Write(5);
+  const BlockId second = layer.Read(5);
+  EXPECT_NE(second, first);  // log-structured: rewrite relocates
+  EXPECT_TRUE(layer.CheckInvariants());
+}
+
+TEST(LogLayer, UnwrittenBlocksAreUnmapped) {
+  LogLayer layer(TinyGeometry(), diskmod::PaperEraDisk());
+  EXPECT_EQ(layer.Read(9), kUnmapped);
+  EXPECT_THROW(layer.Write(TinyGeometry().num_blocks), std::out_of_range);
+}
+
+TEST(LogLayer, BatchingBeatsRandomWrites) {
+  // The break-even argument of §3.3: segment batching must save I/O time.
+  LogLayer layer(TinyGeometry(), diskmod::PaperEraDisk());
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 800; ++i) {
+    layer.Write(rng() % TinyGeometry().num_blocks);
+  }
+  const auto& stats = layer.stats();
+  EXPECT_GT(stats.baseline_disk_time_us, stats.disk_time_us);
+  EXPECT_GT(stats.segments_written, 0u);
+}
+
+TEST(LogLayer, CleanerKeepsDiskWritableUnderOverwrite) {
+  // Write 20x the device size to a hot subset: without a cleaner this dies
+  // at num_blocks writes; with the cleaner it keeps going.
+  const Geometry g = TinyGeometry();
+  LogLayer layer(g, diskmod::PaperEraDisk(), /*cleaning_reserve=*/0.15);
+  std::mt19937_64 rng(9);
+  const BlockId working_set = g.num_blocks / 2;
+  for (std::uint64_t i = 0; i < 20 * g.num_blocks; ++i) {
+    layer.Write(rng() % working_set);
+  }
+  const auto& stats = layer.stats();
+  EXPECT_GT(stats.cleanings, 0u);
+  EXPECT_GT(stats.blocks_copied, 0u);
+  EXPECT_TRUE(layer.CheckInvariants());
+  EXPECT_LE(layer.Utilization(), 1.0);
+}
+
+TEST(LogLayer, InvariantsHoldUnderRandomTraffic) {
+  const Geometry g = TinyGeometry();
+  LogLayer layer(g, diskmod::ModernNvme(), 0.2);
+  std::mt19937_64 rng(13);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      layer.Write(rng() % (g.num_blocks / 4));
+    }
+    ASSERT_TRUE(layer.CheckInvariants()) << "round " << round;
+  }
+}
+
+TEST(LogLayer, GenuinelyFullDiskThrows) {
+  Geometry g;
+  g.num_blocks = 64;  // 4 segments
+  g.blocks_per_segment = 16;
+  LogLayer layer(g, diskmod::PaperEraDisk(), /*cleaning_reserve=*/0.26);
+  // Fill every distinct block: all data is live, cleaning cannot free space.
+  EXPECT_THROW(
+      {
+        for (BlockId b = 0; b < g.num_blocks * 2; ++b) {
+          layer.Write(b % g.num_blocks);
+        }
+      },
+      ldisk::DiskFull);
+}
+
+TEST(LogLayer, RejectsAllReserveConfig) {
+  Geometry g = TinyGeometry();
+  EXPECT_THROW(LogLayer(g, diskmod::PaperEraDisk(), 1.0), std::invalid_argument);
+}
+
+TEST(DiskModel, TimesScaleWithGeometry) {
+  const auto disk = diskmod::PaperEraDisk();
+  EXPECT_GT(disk.RandomAccessUs(4096), disk.TransferUs(4096));
+  EXPECT_GT(disk.TransferUs(1 << 20), disk.TransferUs(4096));
+  // Paper Table 4 Solaris row: 1MB ~ 320ms on the model minus seek overhead.
+  EXPECT_NEAR(disk.SequentialUs(1 << 20) / 1000.0, 327.0, 10.0);
+  // One 64KB segment write is much cheaper than 16 random 4KB writes.
+  EXPECT_LT(disk.RandomAccessUs(16 * 4096), 16 * disk.RandomAccessUs(4096) / 4);
+}
+
+}  // namespace

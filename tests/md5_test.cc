@@ -1,0 +1,172 @@
+// MD5 conformance and property tests.
+//
+// The RFC 1321 appendix test suite pins the native implementation; the
+// cross-technology tests then require every environment (and both Word
+// modules, including the Alpha-style 64-bit emulation) to produce
+// bit-identical digests — the paper's correctness bar for a Stream graft.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/envs/safe_env.h"
+#include "src/envs/sfi_env.h"
+#include "src/envs/unsafe_env.h"
+#include "src/envs/word.h"
+#include "src/md5/md5.h"
+#include "src/md5/md5_env.h"
+
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::string HexOf(const std::string& s) {
+  const auto b = Bytes(s);
+  return md5::ToHex(md5::Sum(b));
+}
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321TestSuite) {
+  EXPECT_EQ(HexOf(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(HexOf("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(HexOf("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(HexOf("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(HexOf("abcdefghijklmnopqrstuvwxyz"), "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(HexOf("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(HexOf("1234567890123456789012345678901234567890"
+                  "1234567890123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalEqualsOneShot) {
+  std::mt19937 rng(5);
+  std::vector<std::uint8_t> data(100000);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  const md5::Digest oneshot = md5::Sum(data);
+
+  // Property: any chunking of Update() calls yields the same digest.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{63}, std::size_t{64},
+                                  std::size_t{65}, std::size_t{1000}, std::size_t{99999}}) {
+    md5::Context ctx;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, data.size() - off);
+      ctx.Update(std::span<const std::uint8_t>(data.data() + off, n));
+    }
+    EXPECT_EQ(ctx.Final(), oneshot) << "chunk=" << chunk;
+  }
+}
+
+TEST(Md5, AllMessageLengthsAroundBlockBoundary) {
+  // Lengths 0..130 cover every padding branch (<56, ==56, >56, multi-block).
+  for (std::size_t len = 0; len <= 130; ++len) {
+    std::vector<std::uint8_t> data(len, 'x');
+    md5::Context a;
+    a.Update(data);
+    const md5::Digest expect = a.Final();
+
+    md5::Context b;
+    for (std::size_t i = 0; i < len; ++i) {
+      b.Update(std::span<const std::uint8_t>(&data[i], 1));
+    }
+    EXPECT_EQ(b.Final(), expect) << "len=" << len;
+  }
+}
+
+TEST(Md5, ResetReusesContext) {
+  md5::Context ctx;
+  ctx.Update(Bytes("garbage"));
+  (void)ctx.Final();
+  ctx.Reset();
+  ctx.Update(Bytes("abc"));
+  EXPECT_EQ(md5::ToHex(ctx.Final()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, SingleBitChangesDigest) {
+  // Fingerprinting property from §3.2: any tamper changes the digest.
+  std::vector<std::uint8_t> data(4096, 0);
+  const md5::Digest base = md5::Sum(data);
+  std::mt19937 rng(17);
+  for (int trial = 0; trial < 64; ++trial) {
+    auto tampered = data;
+    tampered[rng() % tampered.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    EXPECT_NE(md5::Sum(tampered), base);
+  }
+}
+
+// --- Cross-technology conformance ---
+
+template <typename Env, typename W>
+md5::Digest EnvDigest(const std::vector<std::uint8_t>& data, std::size_t chunk) {
+  Env env;
+  md5::EnvMd5<Env, W> ctx(env);
+  for (std::size_t off = 0; off < data.size(); off += chunk) {
+    ctx.Update(data.data() + off, std::min(chunk, data.size() - off));
+  }
+  return ctx.Final();
+}
+
+template <typename Env>
+class EnvMd5Conformance : public ::testing::Test {};
+
+using AllEnvs = ::testing::Types<envs::UnsafeEnv, envs::SafeLangEnv, envs::SfiEnv,
+                                 envs::SfiFullEnv>;
+TYPED_TEST_SUITE(EnvMd5Conformance, AllEnvs);
+
+TYPED_TEST(EnvMd5Conformance, MatchesNativeOnRandomData) {
+  std::mt19937 rng(31);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{55}, std::size_t{56}, std::size_t{64},
+        std::size_t{65}, std::size_t{1000}, std::size_t{64 * 1024}}) {
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng());
+    }
+    const md5::Digest expect = md5::Sum(data);
+    EXPECT_EQ((EnvDigest<TypeParam, envs::Word32>(data, 4096)), expect) << "len=" << len;
+    // The Alpha-style 64-bit Word emulation must also be bit-exact.
+    EXPECT_EQ((EnvDigest<TypeParam, envs::Word32On64>(data, 4096)), expect) << "len=" << len;
+  }
+}
+
+TYPED_TEST(EnvMd5Conformance, ChunkingInvariance) {
+  std::vector<std::uint8_t> data(10000);
+  std::mt19937 rng(77);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  const md5::Digest expect = md5::Sum(data);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                  std::size_t{100}, std::size_t{10000}}) {
+    EXPECT_EQ((EnvDigest<TypeParam, envs::Word32>(data, chunk)), expect) << "chunk=" << chunk;
+  }
+}
+
+TEST(EnvMd5, RfcVectorsUnderSafeLang) {
+  envs::SafeLangEnv env;
+  md5::EnvMd5<envs::SafeLangEnv> ctx(env);
+  const auto abc = Bytes("abc");
+  ctx.Update(abc.data(), abc.size());
+  EXPECT_EQ(md5::ToHex(ctx.Final()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(EnvMd5, ResetSupportsReuse) {
+  envs::SfiEnv env;
+  md5::EnvMd5<envs::SfiEnv> ctx(env);
+  const auto junk = Bytes("junk");
+  ctx.Update(junk.data(), junk.size());
+  (void)ctx.Final();
+  ctx.Reset();
+  const auto abc = Bytes("abc");
+  ctx.Update(abc.data(), abc.size());
+  EXPECT_EQ(md5::ToHex(ctx.Final()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+}  // namespace

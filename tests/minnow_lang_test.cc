@@ -1,0 +1,195 @@
+// Minnow front-end tests: lexer, parser, and type checker diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/minnow/compiler.h"
+#include "src/minnow/diag.h"
+#include "src/minnow/lexer.h"
+#include "src/minnow/parser.h"
+#include "src/minnow/sema.h"
+
+namespace {
+
+using minnow::CompileError;
+using minnow::Lex;
+using minnow::Tok;
+
+TEST(Lexer, TokenizesOperatorsLongestMatch) {
+  const auto tokens = Lex("a <= b << c < d -> e - > f");
+  std::vector<Tok> kinds;
+  for (const auto& t : tokens) {
+    kinds.push_back(t.kind);
+  }
+  const std::vector<Tok> expect{Tok::kIdent, Tok::kLe,    Tok::kIdent, Tok::kShl,
+                                Tok::kIdent, Tok::kLt,    Tok::kIdent, Tok::kArrow,
+                                Tok::kIdent, Tok::kMinus, Tok::kGt,    Tok::kIdent,
+                                Tok::kEof};
+  EXPECT_EQ(kinds, expect);
+}
+
+TEST(Lexer, ParsesDecimalAndHexLiterals) {
+  const auto tokens = Lex("123 0xff 0xD76AA478 0");
+  EXPECT_EQ(tokens[0].int_value, 123u);
+  EXPECT_EQ(tokens[1].int_value, 255u);
+  EXPECT_EQ(tokens[2].int_value, 0xD76AA478u);
+  EXPECT_EQ(tokens[3].int_value, 0u);
+}
+
+TEST(Lexer, SkipsCommentsAndTracksLines) {
+  const auto tokens = Lex("// a comment\n  x");
+  EXPECT_EQ(tokens[0].kind, Tok::kIdent);
+  EXPECT_EQ(tokens[0].line, 2);
+  EXPECT_EQ(tokens[0].column, 3);
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(Lex("a @ b"), CompileError);
+  EXPECT_THROW(Lex("0x"), CompileError);
+  EXPECT_THROW(Lex("12abc"), CompileError);
+}
+
+TEST(Lexer, RecognizesKeywords) {
+  const auto tokens = Lex("fn var struct if else while for return break continue true false null new");
+  const std::vector<Tok> expect{Tok::kFn,    Tok::kVar,      Tok::kStruct, Tok::kIf,
+                                Tok::kElse,  Tok::kWhile,    Tok::kFor,    Tok::kReturn,
+                                Tok::kBreak, Tok::kContinue, Tok::kTrue,   Tok::kFalse,
+                                Tok::kNull,  Tok::kNew,      Tok::kEof};
+  std::vector<Tok> kinds;
+  for (const auto& t : tokens) {
+    kinds.push_back(t.kind);
+  }
+  EXPECT_EQ(kinds, expect);
+}
+
+TEST(Parser, AcceptsRepresentativeModule) {
+  const char* source = R"(
+    struct Node { page: int; next: Node; }
+    var head: Node;
+    var count: int = 0;
+    fn push(page: int) {
+      var n: Node = new Node();
+      n.page = page;
+      n.next = head;
+      head = n;
+      count = count + 1;
+    }
+    fn sum() -> int {
+      var total: int = 0;
+      var cur: Node = head;
+      while (cur != null) {
+        total = total + cur.page;
+        cur = cur.next;
+      }
+      return total;
+    }
+  )";
+  const auto module = minnow::Parse(source);
+  EXPECT_EQ(module.structs.size(), 1u);
+  EXPECT_EQ(module.globals.size(), 2u);
+  EXPECT_EQ(module.functions.size(), 2u);
+}
+
+TEST(Parser, RejectsSyntaxErrors) {
+  EXPECT_THROW(minnow::Parse("fn f( { }"), CompileError);
+  EXPECT_THROW(minnow::Parse("fn f() { return }"), CompileError);  // missing ;
+  EXPECT_THROW(minnow::Parse("struct S { x int; }"), CompileError);
+  EXPECT_THROW(minnow::Parse("var x = 3;"), CompileError);  // missing type
+  EXPECT_THROW(minnow::Parse("fn f() { if x { } }"), CompileError);
+  EXPECT_THROW(minnow::Parse("42"), CompileError);
+}
+
+// Compiles expecting success.
+void Ok(const std::string& source) {
+  EXPECT_NO_THROW(minnow::Compile(source)) << source;
+}
+
+// Compiles expecting a CompileError.
+void Bad(const std::string& source) {
+  EXPECT_THROW(minnow::Compile(source), CompileError) << source;
+}
+
+TEST(Sema, TypeRules) {
+  Ok("fn f() -> int { return 1 + 2 * 3; }");
+  Ok("fn f() -> u32 { return u32(1) + u32(2); }");
+  Ok("fn f() -> bool { return 1 < 2 && true; }");
+  Ok("fn f(a: int[]) -> int { return a[0] + a.len; }");
+  Ok("fn f() -> int { var b: byte[] = new byte[4]; b[0] = 255; return b[0]; }");
+
+  Bad("fn f() -> int { return 1 + u32(2); }");          // int + u32
+  Bad("fn f() -> bool { return 1 && true; }");          // int && bool
+  Bad("fn f() -> int { return true + false; }");        // bool arithmetic
+  Bad("fn f() -> u32 { return 5; }");                   // literal is int
+  Bad("fn f() -> int { if (1) { } return 0; }");        // non-bool condition
+  Bad("fn f(a: int[]) -> int { return a[true]; }");     // bool index
+  Bad("fn f() { var x: byte = 3; }");                   // byte scalar var
+}
+
+TEST(Sema, NameResolution) {
+  Bad("fn f() -> int { return y; }");
+  Bad("fn f() -> int { return g(); }");
+  Bad("fn f() { var x: int = 1; var x: int = 2; }");
+  Ok("fn f() { var x: int = 1; if (x > 0) { var x: int = 2; x = 3; } }");  // shadowing in block
+  Bad("fn f() { } fn f() { }");
+  Bad("struct S { } struct S { }");
+  Bad("var g: int; var g: int;");
+  Bad("fn f() { x = 1; }");
+}
+
+TEST(Sema, StructAndFieldRules) {
+  Ok("struct S { a: int; b: S; } fn f(s: S) -> int { return s.a; }");
+  Bad("struct S { a: int; a: int; }");
+  Bad("struct S { a: int; } fn f(s: S) -> int { return s.b; }");
+  Bad("fn f(x: int) -> int { return x.a; }");
+  Bad("fn f() { var s: T = null; }");
+  Bad("struct S { x: int; } fn f() { var a: S[] = null; }");  // struct arrays unsupported
+}
+
+TEST(Sema, NullAndReferenceRules) {
+  Ok("struct S { x: int; } fn f() -> bool { var s: S = null; return s == null; }");
+  Ok("struct S { x: int; } fn f(a: S, b: S) -> bool { return a != b; }");
+  Bad("fn f() -> int { var x: int = null; return x; }");
+  Bad("struct S { x: int; } fn f(s: S) -> bool { return s < null; }");
+}
+
+TEST(Sema, ControlFlowRules) {
+  Ok("fn f() { for (var i: int = 0; i < 10; i = i + 1) { if (i == 5) { break; } } }");
+  Bad("fn f() { break; }");
+  Bad("fn f() { continue; }");
+  Bad("fn f() -> int { return; }");
+  Bad("fn f() { return 3; }");
+  Bad("fn f() -> int { return null; }");
+}
+
+TEST(Sema, CallRules) {
+  Ok("fn g(a: int, b: int) -> int { return a + b; } fn f() -> int { return g(1, 2); }");
+  Bad("fn g(a: int) -> int { return a; } fn f() -> int { return g(); }");
+  Bad("fn g(a: int) -> int { return a; } fn f() -> int { return g(true); }");
+  Bad("fn g() { } fn f() -> int { return g(); }");  // void in value position
+
+  // Host functions participate in resolution.
+  minnow::HostDecl host;
+  host.name = "k_get";
+  host.params = {minnow::Type::Int()};
+  host.ret = minnow::Type::Int();
+  EXPECT_NO_THROW(minnow::Compile("fn f() -> int { return k_get(3); }", {host}));
+  EXPECT_THROW(minnow::Compile("fn k_get() { }", {host}), CompileError);  // shadows host
+}
+
+TEST(Sema, AssignmentTargets) {
+  Ok("struct S { a: int; } fn f(s: S) { s.a = 3; }");
+  Ok("fn f(a: int[]) { a[2] = 3; }");
+  Bad("fn f() { 3 = 4; }");
+  Bad("fn f(a: int) { (a + 1) = 2; }");
+  Bad("fn f(a: int[]) { a.len = 3; }");
+}
+
+TEST(Sema, GlobalInitializers) {
+  Ok("var g: int = 40 + 2; fn f() -> int { return g; }");
+  Ok("var t: u32[] = new u32[64];");
+  Bad("var g: int = true;");
+  Bad("var g: u32 = 5;");
+}
+
+}  // namespace

@@ -1,0 +1,291 @@
+// Register-IR executor tests: differential testing against the interpreter
+// (same programs, same inputs, identical results and traps), translation
+// quality, and safety parity.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/minnow/compiler.h"
+#include "src/minnow/diag.h"
+#include "src/minnow/regir.h"
+#include "src/minnow/vm.h"
+
+namespace {
+
+using minnow::Compile;
+using minnow::RegExecutor;
+using minnow::Trap;
+using minnow::Value;
+using minnow::VM;
+
+// Runs `fn` under both executors and requires identical outcomes.
+void Differential(const std::string& source, const std::string& fn,
+                  const std::vector<std::int64_t>& args) {
+  VM vm(Compile(source));
+  vm.RunInit();
+  RegExecutor executor(vm);
+
+  std::vector<Value> values;
+  for (const std::int64_t a : args) {
+    values.push_back(Value::Int(a));
+  }
+
+  bool interp_trapped = false;
+  std::int64_t interp_result = 0;
+  try {
+    interp_result = vm.Call(fn, values).AsInt();
+  } catch (const Trap&) {
+    interp_trapped = true;
+  }
+
+  bool reg_trapped = false;
+  std::int64_t reg_result = 0;
+  try {
+    reg_result = executor.Call(fn, values).AsInt();
+  } catch (const Trap&) {
+    reg_trapped = true;
+  }
+
+  ASSERT_EQ(interp_trapped, reg_trapped) << source;
+  if (!interp_trapped) {
+    ASSERT_EQ(interp_result, reg_result) << source;
+  }
+}
+
+TEST(RegIr, ArithmeticParity) {
+  const char* source = R"(
+    fn f(a: int, b: int) -> int {
+      var x: int = a * 3 + b - (a / (b + 1000000)) % 7;
+      x = x ^ (a << 3) | (b >> 2) & 0xFF;
+      return x + -a + ~b;
+    })";
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Differential(source, "f",
+                 {static_cast<std::int64_t>(rng() % 100000),
+                  static_cast<std::int64_t>(rng() % 100000)});
+  }
+}
+
+TEST(RegIr, U32Parity) {
+  const char* source = R"(
+    fn rot(x: u32, n: int) -> u32 {
+      return (x << n) | (x >> (32 - n));
+    }
+    fn f(a: int, n: int) -> int {
+      var x: u32 = u32(a);
+      x = rot(x + u32(0x9E3779B9), n % 31 + 1);
+      x = x * u32(2654435761);
+      return int(x);
+    })";
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 50; ++i) {
+    Differential(source, "f",
+                 {static_cast<std::int64_t>(rng()), static_cast<std::int64_t>(rng() % 100)});
+  }
+}
+
+TEST(RegIr, ControlFlowParity) {
+  const char* source = R"(
+    fn collatz(n: int) -> int {
+      var steps: int = 0;
+      while (n != 1 && steps < 1000) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+      }
+      return steps;
+    })";
+  for (std::int64_t n = 1; n <= 60; ++n) {
+    Differential(source, "collatz", {n});
+  }
+}
+
+TEST(RegIr, ShortCircuitParity) {
+  const char* source = R"(
+    fn f(a: int, b: int) -> int {
+      var hits: int = 0;
+      if (a > 0 && b / a > 2) { hits = hits + 1; }
+      if (a == 0 || b / a > 1) { hits = hits + 10; }
+      if (!(a > b) && (a < b || a == b)) { hits = hits + 100; }
+      return hits;
+    })";
+  for (std::int64_t a = -3; a <= 3; ++a) {
+    for (std::int64_t b = -3; b <= 3; ++b) {
+      Differential(source, "f", {a, b});
+    }
+  }
+}
+
+TEST(RegIr, DataStructureParity) {
+  const char* source = R"(
+    struct Node { value: int; next: Node; }
+    fn f(n: int, probe: int) -> int {
+      var head: Node = null;
+      for (var i: int = 0; i < n; i = i + 1) {
+        var node: Node = new Node();
+        node.value = i * i;
+        node.next = head;
+        head = node;
+      }
+      var a: int[] = new int[16];
+      var cur: Node = head;
+      while (cur != null) {
+        a[cur.value % 16] = a[cur.value % 16] + 1;
+        cur = cur.next;
+      }
+      return a[probe % 16];
+    })";
+  for (std::int64_t probe = 0; probe < 16; ++probe) {
+    Differential(source, "f", {100, probe});
+  }
+}
+
+TEST(RegIr, TrapParity) {
+  Differential("fn f(x: int) -> int { return 10 / x; }", "f", {0});
+  Differential("fn f(i: int) -> int { var a: int[] = new int[4]; return a[i]; }", "f", {9});
+  Differential("fn f(i: int) -> int { var a: int[] = new int[4]; return a[i]; }", "f", {-1});
+  Differential("struct S { x: int; } fn f() -> int { var s: S = null; return s.x; }", "f", {});
+  Differential("fn f(x: int) -> int { if (x > 0) { return 1; } }", "f", {-5});
+}
+
+TEST(RegIr, RecursionParity) {
+  const char* source = R"(
+    fn ack(m: int, n: int) -> int {
+      if (m == 0) { return n + 1; }
+      if (n == 0) { return ack(m - 1, 1); }
+      return ack(m - 1, ack(m, n - 1));
+    })";
+  Differential(source, "ack", {2, 3});
+}
+
+TEST(RegIr, HostCallParity) {
+  minnow::HostDecl host;
+  host.name = "k_mul";
+  host.params = {minnow::Type::Int(), minnow::Type::Int()};
+  host.ret = minnow::Type::Int();
+
+  VM vm(Compile("fn f(a: int) -> int { return k_mul(a, a + 1) + k_mul(2, 3); }", {host}));
+  vm.BindHost("k_mul", [](VM&, std::span<const Value> args) {
+    return Value::Int(args[0].AsInt() * args[1].AsInt());
+  });
+  vm.RunInit();
+  RegExecutor executor(vm);
+  EXPECT_EQ(vm.Call("f", {Value::Int(7)}).AsInt(), 62);
+  EXPECT_EQ(executor.Call("f", {Value::Int(7)}).AsInt(), 62);
+}
+
+TEST(RegIr, GlobalsShareStateWithVm) {
+  VM vm(Compile("var g: int = 5; fn bump() -> int { g = g + 1; return g; }"));
+  vm.RunInit();
+  RegExecutor executor(vm);
+  EXPECT_EQ(vm.Call("bump", {}).AsInt(), 6);
+  EXPECT_EQ(executor.Call("bump", {}).AsInt(), 7);  // same global storage
+  EXPECT_EQ(vm.Call("bump", {}).AsInt(), 8);
+}
+
+TEST(RegIr, TranslationShrinksCode) {
+  VM vm(Compile(R"(
+    fn f(n: int) -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < n; i = i + 1) {
+        total = total + i * 2 - 1;
+      }
+      return total;
+    })"));
+  RegExecutor executor(vm);
+  // Copy/const propagation and branch fusion must reduce instruction count.
+  EXPECT_LT(executor.CompressionRatio(), 0.9);
+}
+
+TEST(RegIr, ExecutesFewerDispatchesThanInterpreter) {
+  const char* source = R"(
+    fn work() -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < 10000; i = i + 1) {
+        total = total + (i ^ 3) % 17;
+      }
+      return total;
+    })";
+  VM vm(Compile(source));
+  vm.RunInit();
+  const std::uint64_t before_interp = vm.instructions_retired();
+  const std::int64_t expect = vm.Call("work", {}).AsInt();
+  const std::uint64_t interp_insns = vm.instructions_retired() - before_interp;
+
+  RegExecutor executor(vm);
+  const std::int64_t got = executor.Call("work", {}).AsInt();
+  EXPECT_EQ(got, expect);
+  EXPECT_LT(executor.instructions_retired(), interp_insns * 3 / 4)
+      << "translated code should retire meaningfully fewer dispatches";
+}
+
+TEST(RegIr, FuelParity) {
+  VM vm(Compile("fn spin() { while (true) { } }"));
+  vm.RunInit();
+  RegExecutor executor(vm);
+  vm.SetFuel(50000);
+  EXPECT_THROW(executor.Call("spin", {}), Trap);
+}
+
+TEST(RegIr, GcSeesRegisterRoots) {
+  // Allocation churn inside translated code: live objects referenced only
+  // from IR registers must survive collections.
+  const char* source = R"(
+    struct Pair { a: int[]; b: int[]; }
+    fn f(rounds: int) -> int {
+      var keep: Pair = new Pair();
+      keep.a = new int[500];
+      keep.a[7] = 77;
+      for (var i: int = 0; i < rounds; i = i + 1) {
+        var junk: Pair = new Pair();
+        junk.a = new int[1000];
+        junk.b = new int[1000];
+      }
+      return keep.a[7];
+    })";
+  VM vm(Compile(source));
+  vm.RunInit();
+  RegExecutor executor(vm);
+  EXPECT_EQ(executor.Call("f", {Value::Int(3000)}).AsInt(), 77);
+  EXPECT_GT(vm.heap().collections(), 0u);
+}
+
+TEST(RegIr, RandomProgramDifferentialSweep) {
+  // A parameterized family of programs stressing mixed features.
+  const char* source = R"(
+    struct Acc { total: int; count: int; next: Acc; }
+    fn f(seed: int, n: int) -> int {
+      var accs: Acc = null;
+      var a: int[] = new int[32];
+      var x: int = seed;
+      for (var i: int = 0; i < n; i = i + 1) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        a[x % 32] = a[x % 32] + 1;
+        if (x % 7 == 0) {
+          var acc: Acc = new Acc();
+          acc.total = x;
+          acc.count = i;
+          acc.next = accs;
+          accs = acc;
+        }
+      }
+      var result: int = 0;
+      var cur: Acc = accs;
+      while (cur != null) {
+        result = result + cur.total % 1000 - cur.count;
+        cur = cur.next;
+      }
+      for (var i: int = 0; i < 32; i = i + 1) { result = result + a[i] * i; }
+      return result;
+    })";
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    Differential(source, "f",
+                 {static_cast<std::int64_t>(rng() % 1000000), 200 + trial * 37});
+  }
+}
+
+}  // namespace

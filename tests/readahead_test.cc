@@ -1,0 +1,126 @@
+// Read-ahead graft tests: the adaptive policy's behavior, cross-technology
+// conformance, and the PageCache integration.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/technology.h"
+#include "src/grafts/readahead_grafts.h"
+#include "src/vmsim/page_cache.h"
+#include "src/vmsim/read_ahead.h"
+
+namespace {
+
+using core::Technology;
+
+TEST(AdaptiveReadAhead, OpensOnSequentialSnapsOnRandom) {
+  // Sequential faults land at the end of the previous window (that's what a
+  // forward scan looks like from the fault handler's vantage point).
+  vmsim::AdaptiveReadAhead policy;
+  EXPECT_EQ(policy.Window(100), 1);  // first fault: no history; next expected 101
+  EXPECT_EQ(policy.Window(101), 2);  // sequential: double; brings 101-102, expect 103
+  EXPECT_EQ(policy.Window(103), 4);  // expect 107
+  EXPECT_EQ(policy.Window(107), 8);  // expect 115
+  EXPECT_EQ(policy.Window(115), 16); // expect 131
+  EXPECT_EQ(policy.Window(131), 16); // capped; expect 147
+  EXPECT_EQ(policy.Window(500), 1);  // random: snap shut
+  EXPECT_EQ(policy.Window(501), 2);
+}
+
+class ReadAheadConformance : public ::testing::TestWithParam<Technology> {};
+
+TEST_P(ReadAheadConformance, MatchesNativePolicyExactly) {
+  vmsim::AdaptiveReadAhead reference;
+  auto graft = grafts::CreateReadAheadGraft(GetParam());
+
+  std::mt19937_64 rng(12);
+  vmsim::PageId page = 0;
+  const int steps = GetParam() == Technology::kTcl ? 60 : 500;
+  for (int i = 0; i < steps; ++i) {
+    // Mix sequential streaks and random jumps.
+    page = (rng() % 4 == 0) ? rng() % 100000 : page + 1;
+    ASSERT_EQ(graft->Window(page), reference.Window(page)) << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechnologies, ReadAheadConformance,
+                         ::testing::ValuesIn(core::kAllTechnologies),
+                         [](const ::testing::TestParamInfo<Technology>& info) {
+                           std::string name = core::TechnologyName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(PageCacheReadAhead, SequentialScanPrefetches) {
+  vmsim::PageCache cache(64);
+  vmsim::AdaptiveReadAhead policy;
+  cache.SetReadAheadGraft(&policy);
+
+  // A sequential scan: after the window opens, later touches hit.
+  for (vmsim::PageId p = 0; p < 32; ++p) {
+    cache.Touch(p);
+  }
+  const auto& stats = cache.stats();
+  EXPECT_GT(stats.readahead_pages, 0u);
+  EXPECT_GT(stats.hits, 20u);              // most touches hit prefetched pages
+  EXPECT_LT(stats.faults, 10u);            // log-many faults for a linear scan
+  EXPECT_EQ(stats.faults + stats.hits, 32u);
+}
+
+TEST(PageCacheReadAhead, RandomAccessStaysAtWindowOne) {
+  vmsim::PageCache cache(64);
+  vmsim::AdaptiveReadAhead policy;
+  cache.SetReadAheadGraft(&policy);
+
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    cache.Touch(rng() % 1000000);  // scattered: sequential pairs ~ never
+  }
+  EXPECT_LE(cache.stats().readahead_pages, 8u);  // window almost never opens
+}
+
+TEST(PageCacheReadAhead, WindowIsClampedToKernelMaximum) {
+  class HugeWindow : public vmsim::ReadAheadGraft {
+   public:
+    int Window(vmsim::PageId) override { return 1 << 20; }
+    const char* technology() const override { return "test"; }
+  };
+  vmsim::PageCache cache(64);
+  HugeWindow policy;
+  cache.SetReadAheadGraft(&policy);
+  cache.Touch(0);
+  EXPECT_LE(cache.stats().readahead_pages,
+            static_cast<std::uint64_t>(vmsim::kMaxReadAheadWindow - 1));
+}
+
+TEST(PageCacheReadAhead, FaultingGraftFallsBackToWindowOne) {
+  class FaultyPolicy : public vmsim::ReadAheadGraft {
+   public:
+    int Window(vmsim::PageId) override { throw envs::NilFault(); }
+    const char* technology() const override { return "faulty"; }
+  };
+  vmsim::PageCache cache(16);
+  FaultyPolicy policy;
+  cache.SetReadAheadGraft(&policy);
+  EXPECT_NO_THROW(cache.Touch(5));
+  EXPECT_TRUE(cache.IsResident(5));
+  EXPECT_EQ(cache.stats().readahead_pages, 0u);
+  EXPECT_GT(cache.stats().graft_faults, 0u);
+}
+
+TEST(PageCacheReadAhead, FaultingPageEndsUpMostRecentlyUsed) {
+  vmsim::PageCache cache(64);
+  vmsim::AdaptiveReadAhead policy;
+  cache.SetReadAheadGraft(&policy);
+  cache.Touch(10);
+  cache.Touch(11);  // window 2: brings 12 along
+  EXPECT_TRUE(cache.IsResident(12));
+  EXPECT_EQ(cache.lru().tail()->page, 11u);  // the faulting page is MRU
+}
+
+}  // namespace

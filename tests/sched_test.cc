@@ -1,0 +1,152 @@
+// Scheduler substrate and scheduling-graft tests: default round-robin
+// behavior, validation/containment, the client-server policy's latency win
+// (the paper's §3.1 motivation), and cross-technology conformance.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/technology.h"
+#include "src/grafts/sched_grafts.h"
+#include "src/sched/scheduler.h"
+
+namespace {
+
+using core::Technology;
+using sched::Scheduler;
+using sched::TaskId;
+using sched::TaskKind;
+
+Scheduler MakeMix(int clients, int batch) {
+  Scheduler scheduler;
+  scheduler.AddTask(TaskKind::kServer);  // task 0: the server
+  for (int i = 0; i < clients; ++i) {
+    scheduler.AddTask(TaskKind::kClient);
+  }
+  for (int i = 0; i < batch; ++i) {
+    scheduler.AddTask(TaskKind::kBatch);
+  }
+  return scheduler;
+}
+
+TEST(Scheduler, RoundRobinSharesCpuEvenly) {
+  Scheduler scheduler;
+  scheduler.AddTask(TaskKind::kBatch);
+  scheduler.AddTask(TaskKind::kBatch);
+  scheduler.AddTask(TaskKind::kBatch);
+  scheduler.Run(3000);
+  for (const auto& task : scheduler.tasks()) {
+    EXPECT_EQ(task.ticks_run, 1000u) << task.id;
+  }
+}
+
+TEST(Scheduler, BlockedTasksAreNeverRun) {
+  Scheduler scheduler;
+  const TaskId a = scheduler.AddTask(TaskKind::kBatch);
+  const TaskId b = scheduler.AddTask(TaskKind::kBatch);
+  scheduler.task(b).runnable = false;
+  scheduler.Run(100);
+  EXPECT_EQ(scheduler.task(a).ticks_run, 100u);
+  EXPECT_EQ(scheduler.task(b).ticks_run, 0u);
+}
+
+TEST(Scheduler, AllBlockedMeansIdle) {
+  Scheduler scheduler;
+  const TaskId a = scheduler.AddTask(TaskKind::kBatch);
+  scheduler.task(a).runnable = false;
+  scheduler.Run(10);
+  EXPECT_EQ(scheduler.stats().idle_ticks, 10u);
+}
+
+TEST(Scheduler, ClientServerWorkloadMakesProgress) {
+  Scheduler scheduler = MakeMix(3, 2);
+  scheduler.Run(5000);
+  EXPECT_GT(scheduler.stats().requests_completed, 100u);
+  // Every blocked client eventually returns (no permanent starvation).
+  for (const auto& task : scheduler.tasks()) {
+    EXPECT_GT(task.ticks_run, 0u) << task.id;
+  }
+}
+
+// A graft that returns garbage: kernel must validate and fall back.
+class ForgingSchedGraft : public sched::SchedulerGraft {
+ public:
+  TaskId PickNext(const std::vector<sched::Task>&) override { return 9999; }
+  const char* technology() const override { return "forger"; }
+};
+
+TEST(Scheduler, InvalidProposalsAreRejected) {
+  Scheduler scheduler = MakeMix(2, 1);
+  ForgingSchedGraft graft;
+  scheduler.SetGraft(&graft);
+  scheduler.Run(100);
+  EXPECT_EQ(scheduler.stats().graft_rejections, 100u);
+  EXPECT_GT(scheduler.stats().requests_completed, 0u);  // default kept working
+}
+
+TEST(Scheduler, ClientServerPolicyCutsRequestLatency) {
+  // The §3.1 claim: scheduling the server ahead of clients when it has work
+  // shortens request latency vs plain round-robin. Same workload, same
+  // ticks, measure summed client-waiting time per completed request.
+  Scheduler baseline = MakeMix(4, 4);
+  baseline.Run(20000);
+  const double rr_latency =
+      static_cast<double>(baseline.stats().request_latency_ticks) /
+      static_cast<double>(baseline.stats().requests_completed);
+
+  Scheduler grafted = MakeMix(4, 4);
+  sched::ClientServerPolicy policy;
+  grafted.SetGraft(&policy);
+  grafted.Run(20000);
+  const double graft_latency =
+      static_cast<double>(grafted.stats().request_latency_ticks) /
+      static_cast<double>(grafted.stats().requests_completed);
+
+  EXPECT_LT(graft_latency, rr_latency * 0.8)
+      << "client-server policy should cut per-request latency";
+  EXPECT_GT(grafted.stats().graft_overrides, 0u);
+  // And the server is never scheduled idle under the policy.
+  EXPECT_GE(grafted.stats().requests_completed, grafted.task(0).ticks_run);
+}
+
+class SchedConformance : public ::testing::TestWithParam<Technology> {};
+
+TEST_P(SchedConformance, MatchesNativePolicyDecisionForDecision) {
+  // Drive two identical simulations, one with the native policy and one
+  // with the technology under test; every statistic must match exactly
+  // (identical decisions => identical trajectories).
+  Scheduler reference = MakeMix(3, 2);
+  sched::ClientServerPolicy native;
+  reference.SetGraft(&native);
+
+  Scheduler subject = MakeMix(3, 2);
+  auto graft = grafts::CreateSchedulerGraft(GetParam());
+  subject.SetGraft(graft.get());
+
+  const std::uint64_t ticks = GetParam() == Technology::kTcl ? 400 : 4000;
+  reference.Run(ticks);
+  subject.Run(ticks);
+
+  EXPECT_EQ(subject.stats().requests_completed, reference.stats().requests_completed);
+  EXPECT_EQ(subject.stats().request_latency_ticks, reference.stats().request_latency_ticks);
+  EXPECT_EQ(subject.stats().graft_rejections, 0u);
+  for (std::size_t i = 0; i < subject.tasks().size(); ++i) {
+    EXPECT_EQ(subject.tasks()[i].ticks_run, reference.tasks()[i].ticks_run) << "task " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Technologies, SchedConformance,
+                         ::testing::Values(Technology::kC, Technology::kJava,
+                                           Technology::kJavaTranslated, Technology::kTcl,
+                                           Technology::kUpcall),
+                         [](const ::testing::TestParamInfo<Technology>& info) {
+                           std::string name = core::TechnologyName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace

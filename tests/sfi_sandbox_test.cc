@@ -1,0 +1,131 @@
+// Unit and property tests for the SFI sandbox arena and jump table.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/sfi/jump_table.h"
+#include "src/sfi/sandbox.h"
+
+namespace {
+
+TEST(Sandbox, RejectsBadSizes) {
+  EXPECT_THROW(sfi::Sandbox(0), std::invalid_argument);
+  EXPECT_THROW(sfi::Sandbox(3000), std::invalid_argument);     // not a power of two
+  EXPECT_THROW(sfi::Sandbox(1 << 10), std::invalid_argument);  // below one page
+}
+
+TEST(Sandbox, BaseIsAlignedToSize) {
+  for (std::size_t size : {std::size_t{4096}, std::size_t{1} << 16, std::size_t{1} << 20}) {
+    sfi::Sandbox sb(size);
+    EXPECT_EQ(sb.base() % size, 0u) << "size=" << size;
+    EXPECT_EQ(sb.size(), size);
+    EXPECT_EQ(sb.offset_mask(), size - 1);
+  }
+}
+
+TEST(Sandbox, MaskIsIdentityInsideRegion) {
+  sfi::Sandbox sb(1 << 16);
+  for (std::size_t off : {std::size_t{0}, std::size_t{1}, std::size_t{0xFFFF}}) {
+    EXPECT_EQ(sb.MaskAddress(sb.base() + off), sb.base() + off);
+  }
+}
+
+TEST(SandboxProperty, MaskAlwaysLandsInRegion) {
+  sfi::Sandbox sb(1 << 16);
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uintptr_t wild = rng();
+    const std::uintptr_t masked = sb.MaskAddress(wild);
+    ASSERT_GE(masked, sb.base());
+    ASSERT_LT(masked, sb.base() + sb.size());
+    ASSERT_FALSE(sb.WouldEscape(masked, 1));
+  }
+}
+
+TEST(SandboxProperty, WildStoresNeverTouchOutsideMemory) {
+  // Canary buffers on the heap must be unaffected by masked stores aimed at
+  // arbitrary addresses (including the canaries' own addresses).
+  sfi::Sandbox sb(1 << 16);
+  std::vector<std::uint8_t> canary(4096, 0xAB);
+
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    std::uintptr_t target;
+    if (i % 3 == 0) {
+      target = reinterpret_cast<std::uintptr_t>(canary.data()) + (rng() % canary.size());
+    } else {
+      target = rng();
+    }
+    *reinterpret_cast<std::uint8_t*>(sb.MaskAddress(target)) = 0xCD;
+  }
+  for (const std::uint8_t byte : canary) {
+    ASSERT_EQ(byte, 0xAB);
+  }
+}
+
+TEST(Sandbox, WouldEscapeDetectsBoundaries) {
+  sfi::Sandbox sb(4096);
+  EXPECT_FALSE(sb.WouldEscape(sb.base(), 1));
+  EXPECT_FALSE(sb.WouldEscape(sb.base(), 4096));
+  EXPECT_TRUE(sb.WouldEscape(sb.base(), 4097));
+  EXPECT_TRUE(sb.WouldEscape(sb.base() - 1, 1));
+  EXPECT_TRUE(sb.WouldEscape(sb.base() + 4096, 1));
+}
+
+TEST(Sandbox, AllocateRespectsAlignment) {
+  sfi::Sandbox sb(1 << 16);
+  void* a = sb.Allocate(3, 1);
+  void* b = sb.Allocate(8, 8);
+  void* c = sb.Allocate(1, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Sandbox, AllocateExhaustionThrows) {
+  sfi::Sandbox sb(4096);
+  (void)sb.Allocate(4000, 1);
+  EXPECT_THROW(sb.Allocate(1000, 1), std::bad_alloc);
+  sb.Reset();
+  EXPECT_NO_THROW(sb.Allocate(1000, 1));
+}
+
+TEST(Sandbox, NewArrayZeroInitializes) {
+  sfi::Sandbox sb(1 << 16);
+  std::uint64_t* a = sb.NewArray<std::uint64_t>(16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a[i], 0u);
+  }
+}
+
+int TrapFn(int) { return -1; }
+int AddOne(int x) { return x + 1; }
+int Dbl(int x) { return x * 2; }
+
+TEST(JumpTable, MasksWildIndicesOntoSlots) {
+  sfi::JumpTable<int, int> table(4, &TrapFn);
+  const std::size_t add_idx = table.Register(&AddOne);
+  const std::size_t dbl_idx = table.Register(&Dbl);
+  EXPECT_EQ(table.Call(add_idx, 10), 11);
+  EXPECT_EQ(table.Call(dbl_idx, 10), 20);
+  // Unregistered and wild indices hit the trap, never arbitrary code.
+  EXPECT_EQ(table.Call(3, 10), -1);
+  EXPECT_EQ(table.Call(0xDEADBEEF7, 10), -1);  // masks to slot 3
+  EXPECT_EQ(table.Call(add_idx + 4, 10), 11);  // wraps onto the real slot
+}
+
+TEST(JumpTable, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW((sfi::JumpTable<int, int>(3, &TrapFn)), std::invalid_argument);
+}
+
+TEST(JumpTable, RegisterOverflowThrows) {
+  sfi::JumpTable<int, int> table(2, &TrapFn);
+  table.Register(&AddOne);
+  table.Register(&Dbl);
+  EXPECT_THROW(table.Register(&AddOne), std::length_error);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Unit tests for the stats module: Welford statistics, the measurement
+// harness, break-even arithmetic and table rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/stats/break_even.h"
+#include "src/stats/harness.h"
+#include "src/stats/running_stats.h"
+#include "src/stats/table.h"
+
+namespace {
+
+TEST(RunningStats, EmptyIsZeroed) {
+  stats::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  stats::RunningStats s;
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  // Values 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population sigma 2,
+  // sample variance 32/7.
+  stats::RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, StddevPercentMatchesDefinition) {
+  stats::RunningStats s;
+  s.Add(90.0);
+  s.Add(110.0);
+  // mean 100, sample stddev sqrt(200) ~= 14.142
+  EXPECT_NEAR(s.stddev_percent(), 100.0 * std::sqrt(200.0) / 100.0, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  stats::RunningStats all;
+  stats::RunningStats a;
+  stats::RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10 + i * 0.1;
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  stats::RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  stats::RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  stats::RunningStats target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(Harness, MeasureRunsRequestedShape) {
+  std::size_t calls = 0;
+  std::size_t iters_seen = 0;
+  stats::MeasureOptions options;
+  options.runs = 5;
+  options.iters_per_run = 7;
+  options.warmup_runs = 2;
+  const stats::Measurement m = stats::Measure(options, [&](std::size_t iters) {
+    ++calls;
+    iters_seen = iters;
+  });
+  EXPECT_EQ(calls, 7u);  // 2 warmup + 5 measured
+  EXPECT_EQ(iters_seen, 7u);
+  EXPECT_EQ(m.runs, 5u);
+  EXPECT_EQ(m.iters_per_run, 7u);
+  EXPECT_EQ(m.per_iter_us.count(), 5u);
+  EXPECT_GE(m.mean_us(), 0.0);
+}
+
+TEST(Harness, MeasureAutoScaledPicksReasonableIters) {
+  const stats::Measurement m = stats::MeasureAutoScaled(3, 1000.0, [](std::size_t iters) {
+    volatile std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < iters; ++i) {
+      sink = sink + i;
+    }
+  });
+  EXPECT_EQ(m.runs, 3u);
+  EXPECT_GE(m.iters_per_run, 1u);
+  // One run should be within an order of magnitude of the 1ms target.
+  EXPECT_GT(m.total_us(), 50.0);
+}
+
+TEST(Harness, TimerMeasuresElapsed) {
+  stats::Timer t;
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) {
+    x = x * 1.0000001;
+  }
+  const std::int64_t first = t.ElapsedNs();
+  EXPECT_GT(first, 0);
+  EXPECT_GE(t.ElapsedNs(), first);  // monotonic
+  t.Reset();
+  EXPECT_LT(t.ElapsedNs(), first + 1000000);  // reset restarts the clock
+}
+
+TEST(Harness, FormatTimeUsPicksUnits) {
+  EXPECT_EQ(stats::FormatTimeUs(2.9, 0.2), "2.9us(0.2%)");
+  EXPECT_EQ(stats::FormatTimeUs(159000.0, 1.8), "159ms(1.8%)");
+  EXPECT_EQ(stats::FormatTimeUs(0.5, 1.0), "500ns(1.0%)");
+  EXPECT_EQ(stats::FormatTimeUs(1.3e6, 2.0), "1.3s(2.0%)");
+}
+
+TEST(BreakEven, EvictionMatchesPaperExamples) {
+  // Paper Table 2, Solaris row: 6.9us fault time / 4.5us C graft = 1533.
+  EXPECT_NEAR(stats::EvictionBreakEven(6900.0, 4.5), 1533.0, 1.0);
+  // HP-UX Java row: 17.9ms / 159us = 113.
+  EXPECT_NEAR(stats::EvictionBreakEven(17900.0, 159.0), 112.6, 0.1);
+}
+
+TEST(BreakEven, ZeroGraftTimeIsInfinite) {
+  EXPECT_TRUE(std::isinf(stats::EvictionBreakEven(100.0, 0.0)));
+}
+
+TEST(BreakEven, UpcallAddsServerWork) {
+  EXPECT_DOUBLE_EQ(stats::UpcallBreakEven(1000.0, 40.0, 10.0),
+                   stats::EvictionBreakEven(1000.0, 50.0));
+}
+
+TEST(BreakEven, Md5DiskRatioMatchesPaper) {
+  // Paper Table 5, Solaris C row: 146ms MD5 vs 320ms disk = 0.46.
+  EXPECT_NEAR(stats::Md5DiskRatio(146000.0, 320000.0), 0.456, 0.01);
+}
+
+TEST(BreakEven, PerBlockOverheadMatchesPaper) {
+  // Paper Table 6, Solaris C row: 1.9s / 262144 writes = 7.2us.
+  EXPECT_NEAR(stats::PerBlockOverheadUs(1.9e6, 262144.0), 7.2, 0.1);
+}
+
+TEST(BreakEven, ExpectedInvocationsPerSave) {
+  // Paper §3.1: 50,000 data pages, 64-entry hot list -> once every 781.
+  EXPECT_NEAR(stats::ExpectedInvocationsPerSave(50000.0, 64.0), 781.25, 0.01);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  stats::Table t({"Platform", "C", "Java"});
+  t.AddRow({"Host", "2.9us", "141us"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Platform"), std::string::npos);
+  EXPECT_NE(s.find("Host"), std::string::npos);
+  EXPECT_NE(s.find("141us"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, TechnologyTableNormalizesAgainstBaseline) {
+  std::vector<stats::TechnologyResult> results;
+  stats::TechnologyResult c;
+  c.name = "C";
+  c.raw_us = 2.0;
+  c.stddev_pct = 0.1;
+  c.break_even = 500.0;
+  results.push_back(c);
+  stats::TechnologyResult m3;
+  m3.name = "Modula-3";
+  m3.raw_us = 3.0;
+  m3.stddev_pct = 0.2;
+  m3.break_even = 333.0;
+  results.push_back(m3);
+  stats::TechnologyResult na;
+  na.name = "Omniware";
+  na.not_run = true;
+  results.push_back(na);
+
+  const std::string s =
+      stats::RenderTechnologyTable("Table 2", "Host", results, "C", "break-even");
+  EXPECT_NE(s.find("Table 2"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);   // 3.0 / 2.0 normalized
+  EXPECT_NE(s.find("N.A."), std::string::npos);  // not_run column
+  EXPECT_NE(s.find("break-even"), std::string::npos);
+}
+
+TEST(Table, FormatSig3) {
+  EXPECT_EQ(stats::FormatSig3(1.449), "1.45");
+  EXPECT_EQ(stats::FormatSig3(113.2), "113");
+  EXPECT_EQ(stats::FormatSig3(0.671), "0.671");
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Tests for the stream/filter framework: chain plumbing, each stock filter,
+// round-trip properties, and arbitrary chunking invariance.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/md5/md5.h"
+#include "src/streamk/stream.h"
+
+namespace {
+
+using streamk::Bytes;
+using streamk::Chain;
+using streamk::MemorySink;
+
+std::vector<std::uint8_t> RandomBytes(std::size_t n, unsigned seed) {
+  std::vector<std::uint8_t> data(n);
+  std::mt19937 rng(seed);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> RunnyBytes(std::size_t n, unsigned seed) {
+  // Data with long runs (compresses) interleaved with noise.
+  std::vector<std::uint8_t> data;
+  std::mt19937 rng(seed);
+  while (data.size() < n) {
+    if (rng() % 2 == 0) {
+      const std::uint8_t v = static_cast<std::uint8_t>(rng());
+      const std::size_t run = 1 + rng() % 300;
+      data.insert(data.end(), run, v);
+    } else {
+      const std::size_t lit = 1 + rng() % 40;
+      for (std::size_t i = 0; i < lit; ++i) {
+        data.push_back(static_cast<std::uint8_t>(rng()));
+      }
+    }
+  }
+  data.resize(n);
+  return data;
+}
+
+TEST(Chain, EmptyChainPassesThrough) {
+  Chain chain;
+  MemorySink sink;
+  const auto data = RandomBytes(1000, 1);
+  streamk::Pump(data, 128, chain, sink);
+  EXPECT_EQ(sink.bytes(), data);
+  EXPECT_TRUE(sink.ended());
+}
+
+TEST(Chain, NullAndCountFiltersPreserveData) {
+  Chain chain;
+  chain.Append(std::make_unique<streamk::NullFilter>());
+  auto counter = std::make_unique<streamk::CountFilter>();
+  auto* counter_raw = counter.get();
+  chain.Append(std::move(counter));
+
+  MemorySink sink;
+  const auto data = RandomBytes(5000, 2);
+  streamk::Pump(data, 512, chain, sink);
+  EXPECT_EQ(sink.bytes(), data);
+  EXPECT_EQ(counter_raw->count(), data.size());
+}
+
+TEST(XorCipher, IsItsOwnInverse) {
+  const auto data = RandomBytes(10000, 3);
+  const std::vector<std::uint8_t> key{0x13, 0x57, 0x9B, 0xDF, 0x42};
+
+  Chain chain;
+  chain.Append(std::make_unique<streamk::XorCipherFilter>(key));
+  chain.Append(std::make_unique<streamk::XorCipherFilter>(key));
+  MemorySink sink;
+  streamk::Pump(data, 777, chain, sink);  // chunk size coprime to key length
+  EXPECT_EQ(sink.bytes(), data);
+}
+
+TEST(XorCipher, ActuallyChangesBytes) {
+  const auto data = RandomBytes(1000, 4);
+  Chain chain;
+  chain.Append(std::make_unique<streamk::XorCipherFilter>(std::vector<std::uint8_t>{0xFF}));
+  MemorySink sink;
+  streamk::Pump(data, 100, chain, sink);
+  EXPECT_NE(sink.bytes(), data);
+  EXPECT_EQ(sink.bytes().size(), data.size());
+}
+
+TEST(XorCipher, EmptyKeyIsIdentity) {
+  const auto data = RandomBytes(100, 5);
+  Chain chain;
+  chain.Append(std::make_unique<streamk::XorCipherFilter>(std::vector<std::uint8_t>{}));
+  MemorySink sink;
+  streamk::Pump(data, 10, chain, sink);
+  EXPECT_EQ(sink.bytes(), data);
+}
+
+TEST(Rle, RoundTripsRunnyData) {
+  const auto data = RunnyBytes(50000, 6);
+  Chain chain;
+  chain.Append(std::make_unique<streamk::RleCompressFilter>());
+  chain.Append(std::make_unique<streamk::RleDecompressFilter>());
+  MemorySink sink;
+  streamk::Pump(data, 1024, chain, sink);
+  EXPECT_EQ(sink.bytes(), data);
+}
+
+TEST(Rle, CompressesRuns) {
+  const std::vector<std::uint8_t> data(10000, 0x55);
+  Chain chain;
+  chain.Append(std::make_unique<streamk::RleCompressFilter>());
+  MemorySink sink;
+  streamk::Pump(data, 512, chain, sink);
+  EXPECT_LT(sink.bytes().size(), data.size() / 20);
+}
+
+TEST(Rle, HandlesIncompressibleData) {
+  // Strictly alternating bytes: worst case, mild expansion allowed.
+  std::vector<std::uint8_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i & 1 ? 0xAA : 0x55);
+  }
+  Chain chain;
+  chain.Append(std::make_unique<streamk::RleCompressFilter>());
+  chain.Append(std::make_unique<streamk::RleDecompressFilter>());
+  MemorySink sink;
+  streamk::Pump(data, 100, chain, sink);
+  EXPECT_EQ(sink.bytes(), data);
+}
+
+class RleChunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RleChunking, RoundTripInvariantUnderChunking) {
+  // Property: compress|decompress is the identity no matter how the stream
+  // is chunked — runs crossing chunk boundaries are the hard case.
+  const auto data = RunnyBytes(20000, 7);
+  Chain chain;
+  chain.Append(std::make_unique<streamk::RleCompressFilter>());
+  chain.Append(std::make_unique<streamk::RleDecompressFilter>());
+  MemorySink sink;
+  streamk::Pump(data, GetParam(), chain, sink);
+  EXPECT_EQ(sink.bytes(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, RleChunking,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 131, 132, 1000, 19999, 20000));
+
+TEST(Rle, TruncatedStreamThrowsOnFlush) {
+  streamk::RleDecompressFilter decomp;
+  streamk::NullSink sink;
+  const std::vector<std::uint8_t> truncated{0x05, 'a', 'b'};  // literal of 6, only 2 given
+  decomp.Process(truncated, sink);
+  EXPECT_THROW(decomp.Flush(sink), std::runtime_error);
+}
+
+TEST(Md5Filter, DigestMatchesDirectComputation) {
+  const auto data = RandomBytes(100000, 8);
+  Chain chain;
+  auto md5_filter = std::make_unique<streamk::Md5Filter>();
+  auto* md5_raw = md5_filter.get();
+  chain.Append(std::move(md5_filter));
+  MemorySink sink;
+  streamk::Pump(data, 4096, chain, sink);
+  EXPECT_EQ(sink.bytes(), data);  // fingerprinting is passthrough
+  EXPECT_EQ(md5_raw->hex_digest(), md5::ToHex(md5::Sum(data)));
+}
+
+TEST(Md5Filter, DetectsTamperingAcrossChain) {
+  // The §3.2 virus-detection scenario: same pipeline, one flipped bit in the
+  // source, different fingerprint.
+  auto data = RandomBytes(8192, 9);
+  auto fingerprint = [](Bytes input) {
+    Chain chain;
+    auto f = std::make_unique<streamk::Md5Filter>();
+    auto* raw = f.get();
+    chain.Append(std::move(f));
+    streamk::NullSink sink;
+    streamk::Pump(input, 512, chain, sink);
+    return raw->hex_digest();
+  };
+  const std::string clean = fingerprint(data);
+  data[4000] ^= 0x01;
+  EXPECT_NE(fingerprint(data), clean);
+}
+
+TEST(Chain, ComposedPipelineRoundTrips) {
+  // compress -> encrypt -> decrypt -> decompress with MD5 taps at both ends.
+  const auto data = RunnyBytes(30000, 10);
+  const std::vector<std::uint8_t> key{1, 2, 3};
+
+  Chain chain;
+  auto in_md5 = std::make_unique<streamk::Md5Filter>();
+  auto* in_raw = in_md5.get();
+  chain.Append(std::move(in_md5));
+  chain.Append(std::make_unique<streamk::RleCompressFilter>());
+  chain.Append(std::make_unique<streamk::XorCipherFilter>(key));
+  chain.Append(std::make_unique<streamk::XorCipherFilter>(key));
+  chain.Append(std::make_unique<streamk::RleDecompressFilter>());
+  auto out_md5 = std::make_unique<streamk::Md5Filter>();
+  auto* out_raw = out_md5.get();
+  chain.Append(std::move(out_md5));
+
+  MemorySink sink;
+  streamk::Pump(data, 900, chain, sink);
+  EXPECT_EQ(sink.bytes(), data);
+  EXPECT_EQ(in_raw->hex_digest(), out_raw->hex_digest());
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Differential fuzzing of Tclet's expr engine against a C++ model evaluator:
+// random expression trees, identical 64-bit results (including error cases).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <string>
+
+#include "src/tclet/interp.h"
+#include "src/tclet/value.h"
+
+namespace {
+
+// Expression tree with the subset Tclet's expr supports. Evaluation mirrors
+// expr.cc's semantics: int64 wrap-around, shift counts masked to 63,
+// division by zero = error (nullopt).
+struct Node {
+  enum class Kind { kConst, kUnary, kBinary } kind;
+  std::int64_t value = 0;
+  char unary_op = 0;
+  std::string binary_op;
+  std::unique_ptr<Node> lhs;
+  std::unique_ptr<Node> rhs;
+};
+
+std::unique_ptr<Node> RandomTree(std::mt19937_64& rng, int depth) {
+  auto node = std::make_unique<Node>();
+  if (depth == 0 || rng() % 3 == 0) {
+    node->kind = Node::Kind::kConst;
+    node->value = static_cast<std::int64_t>(rng() % 200) - 100;
+    return node;
+  }
+  if (rng() % 4 == 0) {
+    node->kind = Node::Kind::kUnary;
+    static constexpr char kOps[] = {'-', '~', '!'};
+    node->unary_op = kOps[rng() % 3];
+    node->lhs = RandomTree(rng, depth - 1);
+    return node;
+  }
+  node->kind = Node::Kind::kBinary;
+  static const char* kOps[] = {"+", "-", "*",  "/",  "%",  "&",  "|",  "^",
+                               "<<", ">>", "<", "<=", ">", ">=", "==", "!=",
+                               "&&", "||"};
+  node->binary_op = kOps[rng() % (sizeof(kOps) / sizeof(kOps[0]))];
+  node->lhs = RandomTree(rng, depth - 1);
+  node->rhs = RandomTree(rng, depth - 1);
+  return node;
+}
+
+std::string Render(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kConst:
+      // Negative constants render via unary minus, as a user would write.
+      return node.value < 0 ? "(-" + std::to_string(-node.value) + ")"
+                            : std::to_string(node.value);
+    case Node::Kind::kUnary:
+      return std::string("(") + node.unary_op + Render(*node.lhs) + ")";
+    case Node::Kind::kBinary:
+      return "(" + Render(*node.lhs) + " " + node.binary_op + " " + Render(*node.rhs) + ")";
+  }
+  return "0";
+}
+
+std::optional<std::int64_t> Eval(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kConst:
+      return node.value;
+    case Node::Kind::kUnary: {
+      const auto v = Eval(*node.lhs);
+      if (!v.has_value()) {
+        return std::nullopt;
+      }
+      switch (node.unary_op) {
+        case '-': return static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(*v));
+        case '~': return ~*v;
+        default: return *v == 0 ? 1 : 0;
+      }
+    }
+    case Node::Kind::kBinary: {
+      const auto a = Eval(*node.lhs);
+      const auto b = Eval(*node.rhs);
+      if (!a.has_value() || !b.has_value()) {
+        return std::nullopt;
+      }
+      const auto ua = static_cast<std::uint64_t>(*a);
+      const auto ub = static_cast<std::uint64_t>(*b);
+      const std::string& op = node.binary_op;
+      if (op == "+") return static_cast<std::int64_t>(ua + ub);
+      if (op == "-") return static_cast<std::int64_t>(ua - ub);
+      if (op == "*") return static_cast<std::int64_t>(ua * ub);
+      if (op == "/") {
+        if (*b == 0) return std::nullopt;
+        return *a / *b;
+      }
+      if (op == "%") {
+        if (*b == 0) return std::nullopt;
+        return *a % *b;
+      }
+      if (op == "&") return *a & *b;
+      if (op == "|") return *a | *b;
+      if (op == "^") return *a ^ *b;
+      if (op == "<<") return static_cast<std::int64_t>(ua << (ub & 63));
+      if (op == ">>") return *a >> (ub & 63);
+      if (op == "<") return *a < *b ? 1 : 0;
+      if (op == "<=") return *a <= *b ? 1 : 0;
+      if (op == ">") return *a > *b ? 1 : 0;
+      if (op == ">=") return *a >= *b ? 1 : 0;
+      if (op == "==") return *a == *b ? 1 : 0;
+      if (op == "!=") return *a != *b ? 1 : 0;
+      if (op == "&&") return (*a != 0 && *b != 0) ? 1 : 0;
+      if (op == "||") return (*a != 0 || *b != 0) ? 1 : 0;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(TcletExprFuzz, MatchesModelEvaluatorOnRandomTrees) {
+  tclet::Interp interp;
+  std::mt19937_64 rng(20260707);
+
+  int errors_seen = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto tree = RandomTree(rng, 4);
+    const std::string text = Render(*tree);
+    const auto expect = Eval(*tree);
+
+    const tclet::Code code = interp.Eval("expr {" + text + "}");
+    if (!expect.has_value()) {
+      ASSERT_EQ(code, tclet::Code::kError) << text;
+      ++errors_seen;
+      continue;
+    }
+    ASSERT_EQ(code, tclet::Code::kOk) << text << " -> " << interp.result();
+    std::int64_t got = 0;
+    ASSERT_TRUE(tclet::ParseInt(interp.result(), got)) << text;
+    ASSERT_EQ(got, *expect) << text;
+  }
+  // The generator should have produced some division-by-zero cases.
+  EXPECT_GT(errors_seen, 0);
+}
+
+TEST(TcletExprFuzz, DeepNestingParses) {
+  tclet::Interp interp;
+  std::string expr = "1";
+  for (int i = 0; i < 60; ++i) {
+    expr = "(" + expr + " + 1)";
+  }
+  ASSERT_EQ(interp.Eval("expr {" + expr + "}"), tclet::Code::kOk);
+  EXPECT_EQ(interp.result(), "61");
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// Tests for the VM simulation: LRU queue invariants, fault engine behavior,
+// graft validation/containment, and the fault probe.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/envs/fault.h"
+#include "src/vmsim/fault_probe.h"
+#include "src/vmsim/frame.h"
+#include "src/vmsim/page_cache.h"
+
+namespace {
+
+using vmsim::Frame;
+using vmsim::LruQueue;
+using vmsim::PageCache;
+using vmsim::PageId;
+
+TEST(LruQueue, PushRemoveMaintainsOrder) {
+  LruQueue q;
+  std::vector<Frame> frames(4);
+  for (auto& f : frames) {
+    q.PushMru(&f);
+  }
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.head(), &frames[0]);  // oldest
+  EXPECT_EQ(q.tail(), &frames[3]);  // newest
+
+  q.Remove(&frames[0]);
+  EXPECT_EQ(q.head(), &frames[1]);
+  q.Remove(&frames[3]);
+  EXPECT_EQ(q.tail(), &frames[2]);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(LruQueue, TouchMovesToMru) {
+  LruQueue q;
+  std::vector<Frame> frames(3);
+  for (auto& f : frames) {
+    q.PushMru(&f);
+  }
+  q.Touch(&frames[0]);
+  EXPECT_EQ(q.head(), &frames[1]);
+  EXPECT_EQ(q.tail(), &frames[0]);
+  // Touching the tail is a no-op.
+  q.Touch(&frames[0]);
+  EXPECT_EQ(q.tail(), &frames[0]);
+}
+
+TEST(LruQueue, ContainsValidatesLinkage) {
+  LruQueue q;
+  Frame in_queue;
+  Frame outsider;
+  q.PushMru(&in_queue);
+  EXPECT_TRUE(q.Contains(&in_queue));
+  EXPECT_FALSE(q.Contains(&outsider));
+
+  // A frame forged to *look* queued (flag set, links dangling) is rejected.
+  Frame forged;
+  forged.in_queue = true;
+  EXPECT_FALSE(q.Contains(&forged));
+}
+
+TEST(LruQueueProperty, RandomOpsPreserveInvariants) {
+  LruQueue q;
+  std::vector<Frame> frames(64);
+  std::vector<bool> queued(64, false);
+  std::mt19937 rng(11);
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::size_t i = rng() % frames.size();
+    if (!queued[i]) {
+      q.PushMru(&frames[i]);
+      queued[i] = true;
+    } else if (rng() % 2 == 0) {
+      q.Remove(&frames[i]);
+      queued[i] = false;
+    } else {
+      q.Touch(&frames[i]);
+    }
+
+    // Walk forward and backward; counts and linkage must agree.
+    std::size_t forward = 0;
+    for (Frame* f = q.head(); f != nullptr; f = f->lru_next) {
+      ASSERT_TRUE(q.Contains(f));
+      ++forward;
+    }
+    std::size_t backward = 0;
+    for (Frame* f = q.tail(); f != nullptr; f = f->lru_prev) {
+      ++backward;
+    }
+    ASSERT_EQ(forward, q.size());
+    ASSERT_EQ(backward, q.size());
+  }
+}
+
+TEST(PageCache, HitsAndFaults) {
+  PageCache cache(4);
+  EXPECT_TRUE(cache.Touch(1));   // cold fault
+  EXPECT_TRUE(cache.Touch(2));
+  EXPECT_FALSE(cache.Touch(1));  // hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().faults, 2u);
+  EXPECT_TRUE(cache.IsResident(1));
+  EXPECT_FALSE(cache.IsResident(3));
+}
+
+TEST(PageCache, EvictsLruByDefault) {
+  PageCache cache(3);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(3);
+  cache.Touch(1);  // promote 1; LRU order now 2,3,1
+  cache.Touch(4);  // evicts 2
+  EXPECT_FALSE(cache.IsResident(2));
+  EXPECT_TRUE(cache.IsResident(1));
+  EXPECT_TRUE(cache.IsResident(3));
+  EXPECT_TRUE(cache.IsResident(4));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// A graft that always proposes the second element of the chain.
+class SecondChoiceGraft : public vmsim::EvictionGraft {
+ public:
+  Frame* ChooseVictim(Frame* lru_head) override {
+    return lru_head->lru_next != nullptr ? lru_head->lru_next : lru_head;
+  }
+  void HotListAdd(PageId) override {}
+  void HotListRemove(PageId) override {}
+  void HotListClear() override {}
+  const char* technology() const override { return "test"; }
+};
+
+TEST(PageCache, GraftOverridesDefaultChoice) {
+  PageCache cache(3);
+  SecondChoiceGraft graft;
+  cache.SetEvictionGraft(&graft);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(3);
+  cache.Touch(4);  // default victim would be 1; graft proposes 2
+  EXPECT_TRUE(cache.IsResident(1));
+  EXPECT_FALSE(cache.IsResident(2));
+  EXPECT_EQ(cache.stats().graft_overrides, 1u);
+}
+
+// A graft that returns a frame the kernel never handed out.
+class ForgingGraft : public vmsim::EvictionGraft {
+ public:
+  Frame* ChooseVictim(Frame*) override { return &forged_; }
+  void HotListAdd(PageId) override {}
+  void HotListRemove(PageId) override {}
+  void HotListClear() override {}
+  const char* technology() const override { return "forger"; }
+
+ private:
+  Frame forged_;
+};
+
+TEST(PageCache, ForgedProposalIsRejected) {
+  PageCache cache(2);
+  ForgingGraft graft;
+  cache.SetEvictionGraft(&graft);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(3);  // graft's forged frame fails validation; default used
+  EXPECT_EQ(cache.stats().graft_rejections, 1u);
+  EXPECT_FALSE(cache.IsResident(1));  // default LRU victim was evicted
+}
+
+// A graft that throws, as a buggy safe-language extension would.
+class FaultingGraft : public vmsim::EvictionGraft {
+ public:
+  Frame* ChooseVictim(Frame*) override { throw envs::NilFault(); }
+  void HotListAdd(PageId) override {}
+  void HotListRemove(PageId) override {}
+  void HotListClear() override {}
+  const char* technology() const override { return "faulty"; }
+};
+
+TEST(PageCache, FaultingGraftIsContained) {
+  PageCache cache(2);
+  FaultingGraft graft;
+  cache.SetEvictionGraft(&graft);
+  cache.Touch(1);
+  cache.Touch(2);
+  EXPECT_NO_THROW(cache.Touch(3));  // kernel survives, falls back to LRU
+  EXPECT_EQ(cache.stats().graft_faults, 1u);
+  EXPECT_TRUE(cache.IsResident(3));
+}
+
+TEST(PageCache, HotEvictionAccounting) {
+  PageCache cache(2);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.MarkHot(1);
+  cache.Touch(3);  // evicts hot page 1 under default policy
+  EXPECT_EQ(cache.stats().hot_evictions, 1u);
+}
+
+TEST(PageCache, FlushEmptiesCache) {
+  PageCache cache(4);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Flush();
+  EXPECT_EQ(cache.resident_pages(), 0u);
+  EXPECT_FALSE(cache.IsResident(1));
+  EXPECT_TRUE(cache.Touch(1));  // faults again
+}
+
+TEST(FaultProbe, MeasuresPositiveFaultTime) {
+  vmsim::FaultProbe probe(/*pages=*/512);
+  const auto result = probe.Measure(/*runs=*/3);
+  EXPECT_GT(result.fault_time_us, 0.0);
+  EXPECT_GE(result.pages_per_fault, 1);
+  EXPECT_EQ(result.pages_touched, 512u * 3u);
+}
+
+}  // namespace
