@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ldisk_cleaner.dir/ablate_ldisk_cleaner.cc.o"
+  "CMakeFiles/ablate_ldisk_cleaner.dir/ablate_ldisk_cleaner.cc.o.d"
+  "ablate_ldisk_cleaner"
+  "ablate_ldisk_cleaner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ldisk_cleaner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

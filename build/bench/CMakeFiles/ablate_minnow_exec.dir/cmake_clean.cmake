@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_minnow_exec.dir/ablate_minnow_exec.cc.o"
+  "CMakeFiles/ablate_minnow_exec.dir/ablate_minnow_exec.cc.o.d"
+  "ablate_minnow_exec"
+  "ablate_minnow_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_minnow_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

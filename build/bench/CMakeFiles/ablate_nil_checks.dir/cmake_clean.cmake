@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_nil_checks.dir/ablate_nil_checks.cc.o"
+  "CMakeFiles/ablate_nil_checks.dir/ablate_nil_checks.cc.o.d"
+  "ablate_nil_checks"
+  "ablate_nil_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_nil_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_packet_filter.dir/ablate_packet_filter.cc.o"
+  "CMakeFiles/ablate_packet_filter.dir/ablate_packet_filter.cc.o.d"
+  "ablate_packet_filter"
+  "ablate_packet_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_packet_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sfi_protection.dir/ablate_sfi_protection.cc.o"
+  "CMakeFiles/ablate_sfi_protection.dir/ablate_sfi_protection.cc.o.d"
+  "ablate_sfi_protection"
+  "ablate_sfi_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sfi_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

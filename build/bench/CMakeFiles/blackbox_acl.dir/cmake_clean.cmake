@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_acl.dir/blackbox_acl.cc.o"
+  "CMakeFiles/blackbox_acl.dir/blackbox_acl.cc.o.d"
+  "blackbox_acl"
+  "blackbox_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

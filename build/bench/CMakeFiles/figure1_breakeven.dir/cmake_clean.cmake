@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_breakeven.dir/figure1_breakeven.cc.o"
+  "CMakeFiles/figure1_breakeven.dir/figure1_breakeven.cc.o.d"
+  "figure1_breakeven"
+  "figure1_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

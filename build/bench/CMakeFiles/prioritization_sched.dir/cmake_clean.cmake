@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prioritization_sched.dir/prioritization_sched.cc.o"
+  "CMakeFiles/prioritization_sched.dir/prioritization_sched.cc.o.d"
+  "prioritization_sched"
+  "prioritization_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prioritization_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

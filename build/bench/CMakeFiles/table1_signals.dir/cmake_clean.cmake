@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_signals.dir/table1_signals.cc.o"
+  "CMakeFiles/table1_signals.dir/table1_signals.cc.o.d"
+  "table1_signals"
+  "table1_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_eviction.dir/table2_eviction.cc.o"
+  "CMakeFiles/table2_eviction.dir/table2_eviction.cc.o.d"
+  "table2_eviction"
+  "table2_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pagefault.dir/table3_pagefault.cc.o"
+  "CMakeFiles/table3_pagefault.dir/table3_pagefault.cc.o.d"
+  "table3_pagefault"
+  "table3_pagefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pagefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

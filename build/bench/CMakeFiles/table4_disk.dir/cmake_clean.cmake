@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_disk.dir/table4_disk.cc.o"
+  "CMakeFiles/table4_disk.dir/table4_disk.cc.o.d"
+  "table4_disk"
+  "table4_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

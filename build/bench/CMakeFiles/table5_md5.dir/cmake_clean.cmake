@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_md5.dir/table5_md5.cc.o"
+  "CMakeFiles/table5_md5.dir/table5_md5.cc.o.d"
+  "table5_md5"
+  "table5_md5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_md5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ldisk.dir/table6_ldisk.cc.o"
+  "CMakeFiles/table6_ldisk.dir/table6_ldisk.cc.o.d"
+  "table6_ldisk"
+  "table6_ldisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ldisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_fingerprint.dir/file_fingerprint.cpp.o"
+  "CMakeFiles/file_fingerprint.dir/file_fingerprint.cpp.o.d"
+  "file_fingerprint"
+  "file_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

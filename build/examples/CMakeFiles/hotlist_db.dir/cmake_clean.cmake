@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlist_db.dir/hotlist_db.cpp.o"
+  "CMakeFiles/hotlist_db.dir/hotlist_db.cpp.o.d"
+  "hotlist_db"
+  "hotlist_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlist_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

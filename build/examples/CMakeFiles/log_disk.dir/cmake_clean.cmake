@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_disk.dir/log_disk.cpp.o"
+  "CMakeFiles/log_disk.dir/log_disk.cpp.o.d"
+  "log_disk"
+  "log_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("sfi")
+subdirs("envs")
+subdirs("md5")
+subdirs("diskmod")
+subdirs("vmsim")
+subdirs("tpcb")
+subdirs("ldisk")
+subdirs("streamk")
+subdirs("minnow")
+subdirs("tclet")
+subdirs("upcall")
+subdirs("pfilter")
+subdirs("sched")
+subdirs("core")
+subdirs("grafts")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_core.dir/graft_host.cc.o"
+  "CMakeFiles/graftlab_core.dir/graft_host.cc.o.d"
+  "CMakeFiles/graftlab_core.dir/technology.cc.o"
+  "CMakeFiles/graftlab_core.dir/technology.cc.o.d"
+  "libgraftlab_core.a"
+  "libgraftlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_diskmod.dir/bandwidth_probe.cc.o"
+  "CMakeFiles/graftlab_diskmod.dir/bandwidth_probe.cc.o.d"
+  "libgraftlab_diskmod.a"
+  "libgraftlab_diskmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_diskmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

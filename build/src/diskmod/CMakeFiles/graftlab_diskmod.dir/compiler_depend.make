@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graftlab_diskmod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_grafts.dir/acl_grafts.cc.o"
+  "CMakeFiles/graftlab_grafts.dir/acl_grafts.cc.o.d"
+  "CMakeFiles/graftlab_grafts.dir/factory.cc.o"
+  "CMakeFiles/graftlab_grafts.dir/factory.cc.o.d"
+  "CMakeFiles/graftlab_grafts.dir/minnow_grafts.cc.o"
+  "CMakeFiles/graftlab_grafts.dir/minnow_grafts.cc.o.d"
+  "CMakeFiles/graftlab_grafts.dir/readahead_grafts.cc.o"
+  "CMakeFiles/graftlab_grafts.dir/readahead_grafts.cc.o.d"
+  "CMakeFiles/graftlab_grafts.dir/sched_grafts.cc.o"
+  "CMakeFiles/graftlab_grafts.dir/sched_grafts.cc.o.d"
+  "CMakeFiles/graftlab_grafts.dir/tclet_grafts.cc.o"
+  "CMakeFiles/graftlab_grafts.dir/tclet_grafts.cc.o.d"
+  "libgraftlab_grafts.a"
+  "libgraftlab_grafts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_grafts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_ldisk.dir/log_layer.cc.o"
+  "CMakeFiles/graftlab_ldisk.dir/log_layer.cc.o.d"
+  "CMakeFiles/graftlab_ldisk.dir/logical_disk.cc.o"
+  "CMakeFiles/graftlab_ldisk.dir/logical_disk.cc.o.d"
+  "libgraftlab_ldisk.a"
+  "libgraftlab_ldisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_ldisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

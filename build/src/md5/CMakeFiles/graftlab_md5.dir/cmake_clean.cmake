@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_md5.dir/md5.cc.o"
+  "CMakeFiles/graftlab_md5.dir/md5.cc.o.d"
+  "libgraftlab_md5.a"
+  "libgraftlab_md5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_md5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

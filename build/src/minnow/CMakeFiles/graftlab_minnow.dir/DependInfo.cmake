@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minnow/bytecode.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/bytecode.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/bytecode.cc.o.d"
+  "/root/repo/src/minnow/compiler.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/compiler.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/compiler.cc.o.d"
+  "/root/repo/src/minnow/heap.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/heap.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/heap.cc.o.d"
+  "/root/repo/src/minnow/lexer.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/lexer.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/lexer.cc.o.d"
+  "/root/repo/src/minnow/optimizer.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/optimizer.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/optimizer.cc.o.d"
+  "/root/repo/src/minnow/parser.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/parser.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/parser.cc.o.d"
+  "/root/repo/src/minnow/regir.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/regir.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/regir.cc.o.d"
+  "/root/repo/src/minnow/sema.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/sema.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/sema.cc.o.d"
+  "/root/repo/src/minnow/verifier.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/verifier.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/verifier.cc.o.d"
+  "/root/repo/src/minnow/vm.cc" "src/minnow/CMakeFiles/graftlab_minnow.dir/vm.cc.o" "gcc" "src/minnow/CMakeFiles/graftlab_minnow.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

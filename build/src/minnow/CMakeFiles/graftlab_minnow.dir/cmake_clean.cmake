@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_minnow.dir/bytecode.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/bytecode.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/compiler.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/compiler.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/heap.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/heap.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/lexer.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/lexer.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/optimizer.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/optimizer.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/parser.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/parser.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/regir.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/regir.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/sema.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/sema.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/verifier.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/verifier.cc.o.d"
+  "CMakeFiles/graftlab_minnow.dir/vm.cc.o"
+  "CMakeFiles/graftlab_minnow.dir/vm.cc.o.d"
+  "libgraftlab_minnow.a"
+  "libgraftlab_minnow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_minnow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

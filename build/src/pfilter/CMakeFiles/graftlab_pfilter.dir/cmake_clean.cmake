@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_pfilter.dir/bpf.cc.o"
+  "CMakeFiles/graftlab_pfilter.dir/bpf.cc.o.d"
+  "libgraftlab_pfilter.a"
+  "libgraftlab_pfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_pfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_sched.dir/scheduler.cc.o"
+  "CMakeFiles/graftlab_sched.dir/scheduler.cc.o.d"
+  "libgraftlab_sched.a"
+  "libgraftlab_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_sfi.dir/sandbox.cc.o"
+  "CMakeFiles/graftlab_sfi.dir/sandbox.cc.o.d"
+  "CMakeFiles/graftlab_sfi.dir/verifier.cc.o"
+  "CMakeFiles/graftlab_sfi.dir/verifier.cc.o.d"
+  "libgraftlab_sfi.a"
+  "libgraftlab_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

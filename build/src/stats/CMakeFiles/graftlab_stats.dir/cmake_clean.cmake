@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_stats.dir/break_even.cc.o"
+  "CMakeFiles/graftlab_stats.dir/break_even.cc.o.d"
+  "CMakeFiles/graftlab_stats.dir/harness.cc.o"
+  "CMakeFiles/graftlab_stats.dir/harness.cc.o.d"
+  "CMakeFiles/graftlab_stats.dir/table.cc.o"
+  "CMakeFiles/graftlab_stats.dir/table.cc.o.d"
+  "libgraftlab_stats.a"
+  "libgraftlab_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

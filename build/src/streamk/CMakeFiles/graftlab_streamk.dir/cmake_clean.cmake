@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_streamk.dir/stream.cc.o"
+  "CMakeFiles/graftlab_streamk.dir/stream.cc.o.d"
+  "libgraftlab_streamk.a"
+  "libgraftlab_streamk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_streamk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

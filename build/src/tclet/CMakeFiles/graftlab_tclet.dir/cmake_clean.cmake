@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_tclet.dir/expr.cc.o"
+  "CMakeFiles/graftlab_tclet.dir/expr.cc.o.d"
+  "CMakeFiles/graftlab_tclet.dir/interp.cc.o"
+  "CMakeFiles/graftlab_tclet.dir/interp.cc.o.d"
+  "CMakeFiles/graftlab_tclet.dir/value.cc.o"
+  "CMakeFiles/graftlab_tclet.dir/value.cc.o.d"
+  "libgraftlab_tclet.a"
+  "libgraftlab_tclet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_tclet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

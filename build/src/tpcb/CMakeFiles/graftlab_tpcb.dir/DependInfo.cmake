@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcb/btree.cc" "src/tpcb/CMakeFiles/graftlab_tpcb.dir/btree.cc.o" "gcc" "src/tpcb/CMakeFiles/graftlab_tpcb.dir/btree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmsim/CMakeFiles/graftlab_vmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfi/CMakeFiles/graftlab_sfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/graftlab_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

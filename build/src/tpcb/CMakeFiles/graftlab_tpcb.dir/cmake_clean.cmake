@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_tpcb.dir/btree.cc.o"
+  "CMakeFiles/graftlab_tpcb.dir/btree.cc.o.d"
+  "libgraftlab_tpcb.a"
+  "libgraftlab_tpcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_tpcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for graftlab_tpcb.
+# This may be replaced when dependencies are built.

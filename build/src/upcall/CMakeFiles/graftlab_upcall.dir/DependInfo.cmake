@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upcall/process_upcall.cc" "src/upcall/CMakeFiles/graftlab_upcall.dir/process_upcall.cc.o" "gcc" "src/upcall/CMakeFiles/graftlab_upcall.dir/process_upcall.cc.o.d"
+  "/root/repo/src/upcall/signal_bench.cc" "src/upcall/CMakeFiles/graftlab_upcall.dir/signal_bench.cc.o" "gcc" "src/upcall/CMakeFiles/graftlab_upcall.dir/signal_bench.cc.o.d"
+  "/root/repo/src/upcall/upcall_engine.cc" "src/upcall/CMakeFiles/graftlab_upcall.dir/upcall_engine.cc.o" "gcc" "src/upcall/CMakeFiles/graftlab_upcall.dir/upcall_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/graftlab_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

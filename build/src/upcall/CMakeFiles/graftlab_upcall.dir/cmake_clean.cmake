@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_upcall.dir/process_upcall.cc.o"
+  "CMakeFiles/graftlab_upcall.dir/process_upcall.cc.o.d"
+  "CMakeFiles/graftlab_upcall.dir/signal_bench.cc.o"
+  "CMakeFiles/graftlab_upcall.dir/signal_bench.cc.o.d"
+  "CMakeFiles/graftlab_upcall.dir/upcall_engine.cc.o"
+  "CMakeFiles/graftlab_upcall.dir/upcall_engine.cc.o.d"
+  "libgraftlab_upcall.a"
+  "libgraftlab_upcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_upcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

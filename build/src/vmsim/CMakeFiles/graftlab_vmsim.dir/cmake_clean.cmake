@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftlab_vmsim.dir/fault_probe.cc.o"
+  "CMakeFiles/graftlab_vmsim.dir/fault_probe.cc.o.d"
+  "CMakeFiles/graftlab_vmsim.dir/frame.cc.o"
+  "CMakeFiles/graftlab_vmsim.dir/frame.cc.o.d"
+  "CMakeFiles/graftlab_vmsim.dir/page_cache.cc.o"
+  "CMakeFiles/graftlab_vmsim.dir/page_cache.cc.o.d"
+  "libgraftlab_vmsim.a"
+  "libgraftlab_vmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftlab_vmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_graft_test.dir/acl_graft_test.cc.o"
+  "CMakeFiles/acl_graft_test.dir/acl_graft_test.cc.o.d"
+  "acl_graft_test"
+  "acl_graft_test.pdb"
+  "acl_graft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_graft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

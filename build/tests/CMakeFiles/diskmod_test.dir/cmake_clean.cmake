@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskmod_test.dir/diskmod_test.cc.o"
+  "CMakeFiles/diskmod_test.dir/diskmod_test.cc.o.d"
+  "diskmod_test"
+  "diskmod_test.pdb"
+  "diskmod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskmod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

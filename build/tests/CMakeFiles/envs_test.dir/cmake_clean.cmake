@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envs_test.dir/envs_test.cc.o"
+  "CMakeFiles/envs_test.dir/envs_test.cc.o.d"
+  "envs_test"
+  "envs_test.pdb"
+  "envs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grafts_test.cc" "tests/CMakeFiles/grafts_test.dir/grafts_test.cc.o" "gcc" "tests/CMakeFiles/grafts_test.dir/grafts_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grafts/CMakeFiles/graftlab_grafts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/graftlab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmsim/CMakeFiles/graftlab_vmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamk/CMakeFiles/graftlab_streamk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldisk/CMakeFiles/graftlab_ldisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/diskmod/CMakeFiles/graftlab_diskmod.dir/DependInfo.cmake"
+  "/root/repo/build/src/md5/CMakeFiles/graftlab_md5.dir/DependInfo.cmake"
+  "/root/repo/build/src/minnow/CMakeFiles/graftlab_minnow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfi/CMakeFiles/graftlab_sfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tclet/CMakeFiles/graftlab_tclet.dir/DependInfo.cmake"
+  "/root/repo/build/src/upcall/CMakeFiles/graftlab_upcall.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/graftlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/graftlab_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grafts_test.dir/grafts_test.cc.o"
+  "CMakeFiles/grafts_test.dir/grafts_test.cc.o.d"
+  "grafts_test"
+  "grafts_test.pdb"
+  "grafts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grafts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_paging_test.dir/integration_paging_test.cc.o"
+  "CMakeFiles/integration_paging_test.dir/integration_paging_test.cc.o.d"
+  "integration_paging_test"
+  "integration_paging_test.pdb"
+  "integration_paging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

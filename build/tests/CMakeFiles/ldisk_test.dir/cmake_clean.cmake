@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldisk_test.dir/ldisk_test.cc.o"
+  "CMakeFiles/ldisk_test.dir/ldisk_test.cc.o.d"
+  "ldisk_test"
+  "ldisk_test.pdb"
+  "ldisk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldisk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnow_heap_test.dir/minnow_heap_test.cc.o"
+  "CMakeFiles/minnow_heap_test.dir/minnow_heap_test.cc.o.d"
+  "minnow_heap_test"
+  "minnow_heap_test.pdb"
+  "minnow_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnow_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

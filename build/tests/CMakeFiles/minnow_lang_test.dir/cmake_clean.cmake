@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnow_lang_test.dir/minnow_lang_test.cc.o"
+  "CMakeFiles/minnow_lang_test.dir/minnow_lang_test.cc.o.d"
+  "minnow_lang_test"
+  "minnow_lang_test.pdb"
+  "minnow_lang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnow_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

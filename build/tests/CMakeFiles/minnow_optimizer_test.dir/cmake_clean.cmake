@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnow_optimizer_test.dir/minnow_optimizer_test.cc.o"
+  "CMakeFiles/minnow_optimizer_test.dir/minnow_optimizer_test.cc.o.d"
+  "minnow_optimizer_test"
+  "minnow_optimizer_test.pdb"
+  "minnow_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnow_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

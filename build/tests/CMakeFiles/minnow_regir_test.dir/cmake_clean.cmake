@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnow_regir_test.dir/minnow_regir_test.cc.o"
+  "CMakeFiles/minnow_regir_test.dir/minnow_regir_test.cc.o.d"
+  "minnow_regir_test"
+  "minnow_regir_test.pdb"
+  "minnow_regir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnow_regir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnow_vm_test.dir/minnow_vm_test.cc.o"
+  "CMakeFiles/minnow_vm_test.dir/minnow_vm_test.cc.o.d"
+  "minnow_vm_test"
+  "minnow_vm_test.pdb"
+  "minnow_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnow_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

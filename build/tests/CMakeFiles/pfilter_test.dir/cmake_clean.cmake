@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfilter_test.dir/pfilter_test.cc.o"
+  "CMakeFiles/pfilter_test.dir/pfilter_test.cc.o.d"
+  "pfilter_test"
+  "pfilter_test.pdb"
+  "pfilter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfilter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_sandbox_test.dir/sfi_sandbox_test.cc.o"
+  "CMakeFiles/sfi_sandbox_test.dir/sfi_sandbox_test.cc.o.d"
+  "sfi_sandbox_test"
+  "sfi_sandbox_test.pdb"
+  "sfi_sandbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_sandbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_verifier_test.dir/sfi_verifier_test.cc.o"
+  "CMakeFiles/sfi_verifier_test.dir/sfi_verifier_test.cc.o.d"
+  "sfi_verifier_test"
+  "sfi_verifier_test.pdb"
+  "sfi_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamk_test.dir/streamk_test.cc.o"
+  "CMakeFiles/streamk_test.dir/streamk_test.cc.o.d"
+  "streamk_test"
+  "streamk_test.pdb"
+  "streamk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tclet_expr_fuzz_test.dir/tclet_expr_fuzz_test.cc.o"
+  "CMakeFiles/tclet_expr_fuzz_test.dir/tclet_expr_fuzz_test.cc.o.d"
+  "tclet_expr_fuzz_test"
+  "tclet_expr_fuzz_test.pdb"
+  "tclet_expr_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tclet_expr_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tclet_expr_fuzz_test.
+# This may be replaced when dependencies are built.

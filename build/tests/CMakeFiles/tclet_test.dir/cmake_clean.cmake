@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tclet_test.dir/tclet_test.cc.o"
+  "CMakeFiles/tclet_test.dir/tclet_test.cc.o.d"
+  "tclet_test"
+  "tclet_test.pdb"
+  "tclet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tclet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

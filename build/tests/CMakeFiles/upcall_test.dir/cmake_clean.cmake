@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upcall_test.dir/upcall_test.cc.o"
+  "CMakeFiles/upcall_test.dir/upcall_test.cc.o.d"
+  "upcall_test"
+  "upcall_test.pdb"
+  "upcall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upcall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

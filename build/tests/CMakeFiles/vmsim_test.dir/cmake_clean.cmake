@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmsim_test.dir/vmsim_test.cc.o"
+  "CMakeFiles/vmsim_test.dir/vmsim_test.cc.o.d"
+  "vmsim_test"
+  "vmsim_test.pdb"
+  "vmsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sfi_sandbox_test[1]_include.cmake")
+include("/root/repo/build/tests/sfi_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/envs_test[1]_include.cmake")
+include("/root/repo/build/tests/md5_test[1]_include.cmake")
+include("/root/repo/build/tests/vmsim_test[1]_include.cmake")
+include("/root/repo/build/tests/tpcb_test[1]_include.cmake")
+include("/root/repo/build/tests/ldisk_test[1]_include.cmake")
+include("/root/repo/build/tests/streamk_test[1]_include.cmake")
+include("/root/repo/build/tests/minnow_lang_test[1]_include.cmake")
+include("/root/repo/build/tests/minnow_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/minnow_regir_test[1]_include.cmake")
+include("/root/repo/build/tests/tclet_test[1]_include.cmake")
+include("/root/repo/build/tests/grafts_test[1]_include.cmake")
+include("/root/repo/build/tests/upcall_test[1]_include.cmake")
+include("/root/repo/build/tests/diskmod_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_paging_test[1]_include.cmake")
+include("/root/repo/build/tests/minnow_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/acl_graft_test[1]_include.cmake")
+include("/root/repo/build/tests/readahead_test[1]_include.cmake")
+include("/root/repo/build/tests/tclet_expr_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/pfilter_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/minnow_heap_test[1]_include.cmake")
