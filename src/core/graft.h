@@ -42,6 +42,15 @@ class StreamGraft {
   virtual md5::Digest Finish() = 0;
 
   virtual const char* technology() const = 0;
+
+  // --- Fuel metering seam (graftd supervisor) ---
+  // Interpreted technologies (Minnow VM, Tclet) meter execution in fuel
+  // units; a supervisor sets a per-invocation budget and reads what is left
+  // afterwards to account the spend. Compiled technologies are not metered:
+  // SetFuel is a no-op and FuelRemaining returns -1 (wall-clock budgets via
+  // PreemptToken cover them instead).
+  virtual void SetFuel(std::int64_t fuel) { (void)fuel; }
+  virtual std::int64_t FuelRemaining() const { return -1; }
 };
 
 // Adapts a StreamGraft into a streamk filter (passthrough + fingerprint).

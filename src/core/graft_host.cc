@@ -1,11 +1,27 @@
 #include "src/core/graft_host.h"
 
+#include <algorithm>
 #include <exception>
+#include <optional>
+#include <string_view>
 
 #include "src/envs/fault.h"
 #include "src/minnow/diag.h"
 
 namespace core {
+
+namespace {
+
+// Interpreted technologies surface an exhausted fuel budget as a script
+// error whose message says "preempted" (minnow: "fuel exhausted: graft
+// preempted"; tclet: "command budget exhausted: script preempted"). The
+// host classifies those as preemptions, not faults, so the supervisor sees
+// one consistent preemption signal across compiled and interpreted grafts.
+bool IsFuelPreemption(std::string_view what) {
+  return what.find("preempted") != std::string_view::npos;
+}
+
+}  // namespace
 
 GraftHost::GraftHost(const GraftHostOptions& options)
     : options_(options), page_cache_(options.page_frames) {}
@@ -16,12 +32,12 @@ bool GraftHost::RunStream(streamk::Bytes data, std::size_t chunk, streamk::Chain
     streamk::Pump(data, chunk, chain, sink);
     return true;
   } catch (const envs::EnvFault&) {
-    ++contained_faults_;
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
   } catch (const minnow::Trap&) {
-    ++contained_faults_;
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
   } catch (const std::runtime_error&) {
     // Tclet and other script-level failures surface as runtime_error.
-    ++contained_faults_;
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
   }
   return false;
 }
@@ -33,9 +49,52 @@ GraftHost::BlackBoxResult GraftHost::RunLogicalDisk(BlackBoxGraft& graft,
     result.replay =
         ldisk::ReplayWorkload(graft, options_.disk_geometry, num_writes, /*seed=*/80204, validate);
   } catch (const std::exception& error) {
-    ++contained_faults_;
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
     result.faulted = true;
     result.fault_message = error.what();
+  }
+  return result;
+}
+
+GraftHost::StreamRunResult GraftHost::RunStreamGraft(StreamGraft& graft, streamk::Bytes data,
+                                                     std::size_t chunk,
+                                                     std::chrono::microseconds budget) {
+  StreamRunResult result;
+  preempt_token_.Reset();
+  // Reset on every exit path; destroyed after the deadline guards below, so
+  // the order on unwind is disarm-then-reset and a late trip cannot leak.
+  envs::TokenResetGuard reset_guard(preempt_token_);
+  std::optional<envs::ArmGuard> shared_deadline;
+  std::optional<envs::Watchdog> watchdog;
+  if (budget.count() > 0) {
+    if (deadline_timer_ != nullptr) {
+      shared_deadline.emplace(*deadline_timer_, preempt_token_, budget);
+    } else {
+      watchdog.emplace(preempt_token_, budget);
+    }
+  }
+  try {
+    const std::size_t step = chunk == 0 ? data.size() : chunk;
+    for (std::size_t off = 0; off < data.size(); off += step) {
+      graft.Consume(data.data() + off, std::min(step, data.size() - off));
+    }
+    result.digest = graft.Finish();
+    result.ok = true;
+  } catch (const envs::PreemptFault&) {
+    result.preempted = true;
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const minnow::Trap& trap) {
+    result.preempted = IsFuelPreemption(trap.what());
+    if (!result.preempted) {
+      result.fault_message = trap.what();
+    }
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::runtime_error& error) {
+    result.preempted = IsFuelPreemption(error.what());
+    if (!result.preempted) {
+      result.fault_message = error.what();
+    }
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
 }
@@ -43,21 +102,27 @@ GraftHost::BlackBoxResult GraftHost::RunLogicalDisk(BlackBoxGraft& graft,
 bool GraftHost::RunWithBudget(std::chrono::microseconds budget,
                               const std::function<void()>& body) {
   preempt_token_.Reset();
+  envs::TokenResetGuard reset_guard(preempt_token_);
   bool preempted = false;
   {
-    envs::Watchdog watchdog(preempt_token_, budget);
+    std::optional<envs::ArmGuard> shared_deadline;
+    std::optional<envs::Watchdog> watchdog;
+    if (deadline_timer_ != nullptr) {
+      shared_deadline.emplace(*deadline_timer_, preempt_token_, budget);
+    } else {
+      watchdog.emplace(preempt_token_, budget);
+    }
     try {
       body();
     } catch (const envs::PreemptFault&) {
       preempted = true;
-      ++contained_faults_;
+      contained_faults_.fetch_add(1, std::memory_order_relaxed);
     } catch (const minnow::Trap&) {
       // VM fuel exhaustion or trap inside the budgeted region.
       preempted = true;
-      ++contained_faults_;
+      contained_faults_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  preempt_token_.Reset();
   return !preempted;
 }
 

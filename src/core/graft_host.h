@@ -13,6 +13,7 @@
 #ifndef GRAFTLAB_SRC_CORE_GRAFT_HOST_H_
 #define GRAFTLAB_SRC_CORE_GRAFT_HOST_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -59,22 +60,52 @@ class GraftHost {
   BlackBoxResult RunLogicalDisk(BlackBoxGraft& graft, std::uint64_t num_writes,
                                 bool validate = true);
 
+  // --- Stream hook, reusable-graft form ---
+  // Runs one stream-graft invocation (consume `data` in `chunk` pieces,
+  // finish the digest) directly against a caller-owned graft instance,
+  // containing faults like RunStream and optionally enforcing a wall-clock
+  // budget. This is the graftd worker entry point: unlike RunStream it does
+  // not consume a filter chain, so one graft instance serves many
+  // invocations.
+  struct StreamRunResult {
+    bool ok = false;
+    bool preempted = false;  // budget or fuel exhausted
+    md5::Digest digest{};
+    std::string fault_message;  // set when !ok && !preempted
+  };
+  StreamRunResult RunStreamGraft(StreamGraft& graft, streamk::Bytes data, std::size_t chunk,
+                                 std::chrono::microseconds budget = std::chrono::microseconds{0});
+
   // --- Preemption ---
   // Token handed to compiled-technology grafts at construction.
   envs::PreemptToken& preempt_token() { return preempt_token_; }
 
-  // Runs `body` under a wall-clock budget: arms a watchdog on the token,
-  // runs, disarms. Returns false if the body was preempted (PreemptFault).
+  // Installs a shared deadline service used by budgeted runs in place of the
+  // default thread-per-call Watchdog. The timer must outlive the host.
+  // Pass nullptr to restore the per-call watchdog.
+  void set_deadline_timer(envs::DeadlineTimer* timer) { deadline_timer_ = timer; }
+  envs::DeadlineTimer* deadline_timer() const { return deadline_timer_; }
+
+  // Runs `body` under a wall-clock budget: arms a deadline on the token
+  // (shared timer if installed, else a per-call watchdog), runs, disarms.
+  // Returns false if the body was preempted (PreemptFault). The token is
+  // reset on every exit path, including when `body` throws a non-preempt
+  // fault through this frame.
   bool RunWithBudget(std::chrono::microseconds budget, const std::function<void()>& body);
 
-  std::uint64_t contained_faults() const { return contained_faults_; }
+  std::uint64_t contained_faults() const {
+    return contained_faults_.load(std::memory_order_relaxed);
+  }
   const ldisk::Geometry& disk_geometry() const { return options_.disk_geometry; }
 
  private:
   GraftHostOptions options_;
   vmsim::PageCache page_cache_;
   envs::PreemptToken preempt_token_;
-  std::uint64_t contained_faults_ = 0;
+  envs::DeadlineTimer* deadline_timer_ = nullptr;
+  // Atomic so sibling host shards' supervisors may read any host's count
+  // while it runs (graftd snapshots race with workers by design).
+  std::atomic<std::uint64_t> contained_faults_{0};
 };
 
 }  // namespace core

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 
@@ -36,6 +37,53 @@ class PreemptToken {
 
  private:
   std::atomic<bool> stop_{false};
+};
+
+// Resets the token when the scope exits — including by exception — so a
+// token tripped during an invocation can never leak into the next one and
+// make an innocent graft's Poll() throw spuriously.
+class TokenResetGuard {
+ public:
+  explicit TokenResetGuard(PreemptToken& token) : token_(token) {}
+  TokenResetGuard(const TokenResetGuard&) = delete;
+  TokenResetGuard& operator=(const TokenResetGuard&) = delete;
+  ~TokenResetGuard() { token_.Reset(); }
+
+ private:
+  PreemptToken& token_;
+};
+
+// Deadline service: arms "trip this token after `deadline`" without
+// prescribing the mechanism. The kernel's default is a thread-per-call
+// Watchdog (below); graftd installs a shared deadline wheel so N concurrent
+// budgeted invocations cost one timer thread total instead of N.
+class DeadlineTimer {
+ public:
+  using Ticket = std::uint64_t;
+
+  virtual ~DeadlineTimer() = default;
+
+  // Arms a deadline on `token`; the token outlives the ticket or is
+  // cancelled first. Returns a ticket for Cancel().
+  virtual Ticket Arm(PreemptToken& token, std::chrono::microseconds deadline) = 0;
+
+  // Disarms. After Cancel returns the timer will not touch the token again
+  // (it may already have tripped it; pair with TokenResetGuard).
+  virtual void Cancel(Ticket ticket) = 0;
+};
+
+// RAII arm/cancel over a DeadlineTimer.
+class ArmGuard {
+ public:
+  ArmGuard(DeadlineTimer& timer, PreemptToken& token, std::chrono::microseconds deadline)
+      : timer_(timer), ticket_(timer.Arm(token, deadline)) {}
+  ArmGuard(const ArmGuard&) = delete;
+  ArmGuard& operator=(const ArmGuard&) = delete;
+  ~ArmGuard() { timer_.Cancel(ticket_); }
+
+ private:
+  DeadlineTimer& timer_;
+  DeadlineTimer::Ticket ticket_;
 };
 
 // Arms a deadline on construction; if the guarded scope is still running

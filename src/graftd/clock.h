@@ -1,0 +1,58 @@
+// Injectable time source for the graftd supervisor.
+//
+// Quarantine backoff and readmission are time-based policies; testing them
+// against the real clock means real sleeps and flaky thresholds. Policy code
+// therefore reads time only through this interface: production uses
+// RealClock (steady_clock), tests use FakeClock and advance time by hand, so
+// "readmitted after backoff" is a deterministic assertion, not a race.
+
+#ifndef GRAFTLAB_SRC_GRAFTD_CLOCK_H_
+#define GRAFTLAB_SRC_GRAFTD_CLOCK_H_
+
+#include <chrono>
+#include <mutex>
+
+namespace graftd {
+
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+
+  // Shared instance for the common "no clock injected" default.
+  static const RealClock* Instance() {
+    static const RealClock clock;
+    return &clock;
+  }
+};
+
+// Manually advanced clock. Thread-safe so a test can advance time while
+// dispatch workers consult the supervisor.
+class FakeClock final : public Clock {
+ public:
+  TimePoint Now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  void Advance(Duration d) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += d;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  TimePoint now_{};  // starts at the epoch; only differences matter
+};
+
+}  // namespace graftd
+
+#endif  // GRAFTLAB_SRC_GRAFTD_CLOCK_H_

@@ -1,0 +1,236 @@
+#include "src/graftd/dispatcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/stats/harness.h"
+
+namespace graftd {
+
+Dispatcher::Dispatcher(DispatcherOptions options, const Clock* clock)
+    : options_(options),
+      supervisor_(options.policy, clock),
+      wheel_(DeadlineWheel::Options{options.wheel_tick, 256}) {
+  const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+  shards_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    shards_.push_back(std::make_unique<WorkerShard>(options_));
+    shards_.back()->host.set_deadline_timer(&wheel_);
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, raw = shard.get()] { WorkerLoop(*raw); });
+  }
+}
+
+Dispatcher::~Dispatcher() { Shutdown(); }
+
+GraftId Dispatcher::RegisterStreamGraft(std::string name, StreamGraftFactory factory) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const GraftId id = supervisor_.Register(name);
+  registry_.push_back(Registration{std::move(name), std::move(factory), nullptr});
+  return id;
+}
+
+GraftId Dispatcher::RegisterBlackBoxGraft(std::string name, BlackBoxGraftFactory factory) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const GraftId id = supervisor_.Register(name);
+  registry_.push_back(Registration{std::move(name), nullptr, std::move(factory)});
+  return id;
+}
+
+bool Dispatcher::Submit(Invocation invocation) {
+  const std::size_t shard =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shards_[shard]->queue.Push(std::move(invocation))) {
+    return true;
+  }
+  submitted_.fetch_sub(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool Dispatcher::TrySubmit(Invocation invocation) {
+  const std::size_t shard =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shards_[shard]->queue.TryPush(std::move(invocation))) {
+    return true;
+  }
+  submitted_.fetch_sub(1, std::memory_order_relaxed);
+  return false;
+}
+
+void Dispatcher::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return completed_.load(std::memory_order_acquire) ==
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void Dispatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (shut_down_) {
+      return;
+    }
+    shut_down_ = true;
+  }
+  for (auto& shard : shards_) {
+    shard->queue.Close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
+  }
+}
+
+void Dispatcher::WorkerLoop(WorkerShard& shard) {
+  std::vector<Invocation> batch;
+  batch.reserve(options_.max_batch);
+  for (;;) {
+    batch.clear();
+    if (shard.queue.PopBatch(batch, options_.max_batch) == 0) {
+      return;  // closed and drained
+    }
+    for (const Invocation& invocation : batch) {
+      RunOne(shard, invocation);
+      completed_.fetch_add(1, std::memory_order_release);
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+GraftCounters& Dispatcher::StatsFor(WorkerShard& shard, GraftId id) {
+  // Caller holds shard.stats_mu.
+  if (shard.stats.size() <= id) {
+    shard.stats.resize(id + 1);
+  }
+  return shard.stats[id];
+}
+
+void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
+  const GraftId id = invocation.graft;
+
+  switch (supervisor_.Admit(id)) {
+    case AdmitDecision::kRejectDetached: {
+      std::lock_guard<std::mutex> lock(shard.stats_mu);
+      ++StatsFor(shard, id).rejected_detached;
+      return;
+    }
+    case AdmitDecision::kRejectQuarantined: {
+      std::lock_guard<std::mutex> lock(shard.stats_mu);
+      ++StatsFor(shard, id).rejected_quarantined;
+      return;
+    }
+    case AdmitDecision::kRun:
+      break;
+  }
+
+  // Worker-private instance, built on first use on this worker's thread.
+  Registration registration;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    registration = registry_.at(id);
+  }
+  const bool is_stream = registration.stream_factory != nullptr;
+  std::unique_ptr<core::BlackBoxGraft> blackbox;
+  if (is_stream) {
+    if (shard.stream_instances.size() <= id) {
+      shard.stream_instances.resize(id + 1);
+    }
+    if (!shard.stream_instances[id]) {
+      shard.stream_instances[id] = registration.stream_factory(&shard.host.preempt_token());
+    }
+  } else {
+    // Fresh per invocation: the logical disk runs no cleaner (paper §5.6),
+    // so each replay must start with an empty log or the device fills up.
+    blackbox =
+        registration.blackbox_factory(shard.host.disk_geometry(), &shard.host.preempt_token());
+  }
+
+  // The modeled disk feed: this worker is "waiting for the transfer", so
+  // siblings overlap their own transfers and compute meanwhile.
+  if (invocation.simulated_io.count() > 0) {
+    std::this_thread::sleep_for(invocation.simulated_io);
+  }
+
+  const SupervisorPolicy& policy = supervisor_.policy();
+  const std::chrono::microseconds budget =
+      invocation.budget.count() > 0 ? invocation.budget : policy.default_budget;
+
+  Outcome outcome = Outcome::kOk;
+  std::uint64_t fuel_used = 0;
+  stats::Timer timer;
+  if (is_stream) {
+    core::StreamGraft& graft = *shard.stream_instances[id];
+    if (policy.fuel_budget >= 0) {
+      graft.SetFuel(policy.fuel_budget);
+    }
+    const core::GraftHost::StreamRunResult result =
+        shard.host.RunStreamGraft(graft, invocation.data, invocation.chunk, budget);
+    if (policy.fuel_budget >= 0) {
+      const std::int64_t remaining = graft.FuelRemaining();
+      if (remaining >= 0 && remaining <= policy.fuel_budget) {
+        fuel_used = static_cast<std::uint64_t>(policy.fuel_budget - remaining);
+      } else if (remaining < 0) {
+        // Exhaustion leaves the counter below zero: the whole budget burned.
+        fuel_used = static_cast<std::uint64_t>(policy.fuel_budget);
+      }
+      graft.SetFuel(-1);  // do not meter the graft outside supervised runs
+    }
+    outcome = result.ok ? Outcome::kOk : (result.preempted ? Outcome::kPreempt : Outcome::kFault);
+    if (invocation.on_stream_result) {
+      invocation.on_stream_result(result);
+    }
+  } else {
+    const core::GraftHost::BlackBoxResult result =
+        shard.host.RunLogicalDisk(*blackbox, invocation.ldisk_writes, /*validate=*/false);
+    outcome = result.faulted ? Outcome::kFault : Outcome::kOk;
+  }
+  const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(timer.ElapsedNs());
+
+  supervisor_.OnOutcome(id, outcome);
+
+  std::lock_guard<std::mutex> lock(shard.stats_mu);
+  GraftCounters& stats = StatsFor(shard, id);
+  ++stats.invocations;
+  switch (outcome) {
+    case Outcome::kOk: ++stats.ok; break;
+    case Outcome::kFault: ++stats.faults; break;
+    case Outcome::kPreempt: ++stats.preempts; break;
+  }
+  stats.fuel_used += fuel_used;
+  stats.latency.Record(elapsed_ns);
+}
+
+TelemetrySnapshot Dispatcher::Snapshot() const {
+  TelemetrySnapshot snapshot;
+  const std::vector<Supervisor::GraftStatus> supervision = supervisor_.StatusAll();
+  snapshot.grafts.resize(supervision.size());
+  for (std::size_t id = 0; id < supervision.size(); ++id) {
+    snapshot.grafts[id].name = supervision[id].name;
+    snapshot.grafts[id].supervision = supervision[id];
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->stats_mu);
+    for (std::size_t id = 0; id < shard->stats.size() && id < snapshot.grafts.size(); ++id) {
+      snapshot.grafts[id].counters.Merge(shard->stats[id]);
+    }
+  }
+  return snapshot;
+}
+
+std::uint64_t Dispatcher::contained_faults() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->host.contained_faults();
+  }
+  return total;
+}
+
+}  // namespace graftd

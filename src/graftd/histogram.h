@@ -1,0 +1,97 @@
+// Log-bucketed latency histogram.
+//
+// Each graftd worker records invocation latencies into its own histogram
+// (no synchronization on the hot path beyond the worker's stats lock);
+// Snapshot() merges the per-worker histograms bucket-wise, which is exact —
+// unlike merging means or percentiles. Buckets are powers of two in
+// nanoseconds: bucket i counts latencies in [2^(i-1), 2^i), i.e. ~2x
+// resolution, which is plenty for a runtime whose per-technology spreads
+// span four orders of magnitude (paper Table 5).
+
+#ifndef GRAFTLAB_SRC_GRAFTD_HISTOGRAM_H_
+#define GRAFTLAB_SRC_GRAFTD_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace graftd {
+
+class LatencyHistogram {
+ public:
+  // 2^47 ns ~ 39 hours; everything slower clamps into the last bucket.
+  static constexpr std::size_t kBuckets = 48;
+
+  void Record(std::uint64_t ns) {
+    ++counts_[BucketFor(ns)];
+    ++count_;
+    sum_ns_ += ns;
+    if (ns > max_ns_) {
+      max_ns_ = ns;
+    }
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+    if (other.max_ns_ > max_ns_) {
+      max_ns_ = other.max_ns_;
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_ns() const { return max_ns_; }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+  double mean_us() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_ns_) / static_cast<double>(count_) / 1e3;
+  }
+
+  // Upper bound of the bucket holding the p-th percentile sample (p in
+  // [0, 100]). A bucket estimate — within 2x of the true value by design.
+  double PercentileUs(double p) const {
+    if (count_ == 0) {
+      return 0.0;
+    }
+    std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_));
+    if (rank >= count_) {
+      rank = count_ - 1;
+    }
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > rank) {
+        return static_cast<double>(BucketUpperNs(i)) / 1e3;
+      }
+    }
+    return static_cast<double>(max_ns_) / 1e3;
+  }
+
+  // "p50<=82us p90<=164us p99<=328us" — upper-bound markers, compact enough
+  // for one table cell.
+  std::string Summary() const;
+
+  static std::size_t BucketFor(std::uint64_t ns) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(ns));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  // Largest ns value bucket i can hold (bucket i = values of bit width i).
+  static std::uint64_t BucketUpperNs(std::size_t i) {
+    return i >= 64 ? ~0ull : (1ull << i) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace graftd
+
+#endif  // GRAFTLAB_SRC_GRAFTD_HISTOGRAM_H_

@@ -1,0 +1,91 @@
+#include "src/graftd/supervisor.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace graftd {
+
+GraftId Supervisor::Register(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GraftStatus status;
+  status.name = std::move(name);
+  grafts_.push_back(std::move(status));
+  return static_cast<GraftId>(grafts_.size() - 1);
+}
+
+AdmitDecision Supervisor::Admit(GraftId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GraftStatus& graft = grafts_.at(id);
+  switch (graft.state) {
+    case GraftState::kHealthy:
+      return AdmitDecision::kRun;
+    case GraftState::kDetached:
+      return AdmitDecision::kRejectDetached;
+    case GraftState::kQuarantined:
+      if (clock_->Now() < graft.readmit_at) {
+        return AdmitDecision::kRejectQuarantined;
+      }
+      // Backoff elapsed: readmit on probation — the failure streak restarts
+      // from zero but the quarantine history is remembered.
+      graft.state = GraftState::kHealthy;
+      graft.consecutive_failures = 0;
+      ++graft.readmissions;
+      return AdmitDecision::kRun;
+  }
+  throw std::logic_error("unreachable graft state");
+}
+
+void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GraftStatus& graft = grafts_.at(id);
+  if (graft.state == GraftState::kDetached) {
+    return;  // a straggler invocation finished after the detach decision
+  }
+  if (outcome == Outcome::kOk) {
+    graft.consecutive_failures = 0;
+    return;
+  }
+  ++graft.consecutive_failures;
+  if (graft.consecutive_failures < policy_.fault_threshold) {
+    return;
+  }
+  // Threshold crossed: quarantine, or detach once the chances are used up.
+  if (graft.quarantines >= policy_.max_quarantines) {
+    graft.state = GraftState::kDetached;
+    return;
+  }
+  ++graft.quarantines;
+  graft.state = GraftState::kQuarantined;
+  graft.readmit_at = clock_->Now() + BackoffFor(graft.quarantines);
+}
+
+std::chrono::microseconds Supervisor::BackoffFor(std::uint32_t quarantines) const {
+  // base * multiplier^(quarantines-1), saturating at max_backoff.
+  std::chrono::microseconds backoff = policy_.base_backoff;
+  for (std::uint32_t i = 1; i < quarantines && backoff < policy_.max_backoff; ++i) {
+    backoff *= policy_.backoff_multiplier;
+  }
+  return backoff < policy_.max_backoff ? backoff : policy_.max_backoff;
+}
+
+GraftState Supervisor::state(GraftId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grafts_.at(id).state;
+}
+
+Supervisor::GraftStatus Supervisor::Status(GraftId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grafts_.at(id);
+}
+
+std::vector<Supervisor::GraftStatus> Supervisor::StatusAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grafts_;
+}
+
+std::size_t Supervisor::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grafts_.size();
+}
+
+}  // namespace graftd

@@ -1,0 +1,123 @@
+// Per-graft supervision policy: quarantine, backoff readmission, detach.
+//
+// The paper's containment story stops at "the fault is counted"; a runtime
+// serving many grafts needs a policy for the graft that keeps faulting.
+// Following the supervisor designs in Rex (arXiv:2502.18832) and MOAT
+// (arXiv:2301.13421), graftd escalates per graft:
+//
+//   healthy --(fault_threshold consecutive failures)--> quarantined
+//   quarantined --(backoff elapses; next Admit)-------> healthy (readmitted)
+//   quarantined x (max_quarantines+1) ----------------> detached, permanently
+//
+// Each quarantine doubles (policy.backoff_multiplier) the readmission
+// backoff, capped at max_backoff. A successful invocation resets the
+// consecutive-failure streak but not the quarantine history. All time is
+// read through the injected Clock, so every transition is testable without
+// sleeping.
+//
+// Thread safety: one Supervisor is shared by all dispatch workers; state is
+// guarded by a single mutex. Admission is a few loads and branches under
+// the lock — invisible next to even the cheapest (unsafe C) invocation.
+
+#ifndef GRAFTLAB_SRC_GRAFTD_SUPERVISOR_H_
+#define GRAFTLAB_SRC_GRAFTD_SUPERVISOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/graftd/clock.h"
+
+namespace graftd {
+
+using GraftId = std::uint32_t;
+
+enum class GraftState : std::uint8_t { kHealthy, kQuarantined, kDetached };
+
+constexpr const char* GraftStateName(GraftState state) {
+  switch (state) {
+    case GraftState::kHealthy: return "healthy";
+    case GraftState::kQuarantined: return "quarantined";
+    case GraftState::kDetached: return "detached";
+  }
+  return "?";
+}
+
+// What one invocation did, as the supervisor scores it.
+enum class Outcome : std::uint8_t {
+  kOk,
+  kFault,    // contained extension fault
+  kPreempt,  // wall-clock budget or fuel exhausted
+};
+
+enum class AdmitDecision : std::uint8_t {
+  kRun,
+  kRejectQuarantined,
+  kRejectDetached,
+};
+
+struct SupervisorPolicy {
+  // Consecutive failures (faults or preempts) before quarantine.
+  std::uint32_t fault_threshold = 3;
+  // Readmission backoff after the first quarantine; doubles per quarantine.
+  std::chrono::microseconds base_backoff{1000};
+  std::uint32_t backoff_multiplier = 2;
+  std::chrono::microseconds max_backoff{std::chrono::seconds(1)};
+  // Readmission chances: after max_quarantines quarantines, the next
+  // threshold crossing detaches the graft permanently.
+  std::uint32_t max_quarantines = 3;
+  // Default wall-clock budget applied to invocations that do not carry
+  // their own (0 = unbudgeted).
+  std::chrono::microseconds default_budget{0};
+  // Fuel budget set on metered (interpreted) grafts per invocation
+  // (-1 = unlimited).
+  std::int64_t fuel_budget = -1;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorPolicy policy = SupervisorPolicy{},
+                      const Clock* clock = RealClock::Instance())
+      : policy_(policy), clock_(clock) {}
+
+  // Registers a graft under supervision; ids are dense and start at 0.
+  GraftId Register(std::string name);
+
+  // Gate before dispatch. May transition quarantined -> healthy when the
+  // backoff has elapsed (readmission happens here, on demand, so no timer
+  // is needed to un-quarantine).
+  AdmitDecision Admit(GraftId id);
+
+  // Scorekeeping after a completed invocation.
+  void OnOutcome(GraftId id, Outcome outcome);
+
+  GraftState state(GraftId id) const;
+
+  struct GraftStatus {
+    std::string name;
+    GraftState state = GraftState::kHealthy;
+    std::uint32_t consecutive_failures = 0;
+    std::uint32_t quarantines = 0;    // times quarantined so far
+    std::uint32_t readmissions = 0;   // times readmitted so far
+    Clock::TimePoint readmit_at{};    // valid while quarantined
+  };
+  GraftStatus Status(GraftId id) const;
+  std::vector<GraftStatus> StatusAll() const;
+
+  const SupervisorPolicy& policy() const { return policy_; }
+  std::size_t size() const;
+
+ private:
+  std::chrono::microseconds BackoffFor(std::uint32_t quarantines) const;
+
+  const SupervisorPolicy policy_;
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<GraftStatus> grafts_;
+};
+
+}  // namespace graftd
+
+#endif  // GRAFTLAB_SRC_GRAFTD_SUPERVISOR_H_

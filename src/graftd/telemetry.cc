@@ -1,0 +1,95 @@
+#include "src/graftd/telemetry.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/stats/table.h"
+
+namespace graftd {
+
+namespace {
+
+std::string FormatUs(double us) {
+  char buf[32];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", us / 1e6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", us);
+  }
+  return buf;
+}
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string LatencyHistogram::Summary() const {
+  if (count_ == 0) {
+    return "-";
+  }
+  return "p50<=" + FormatUs(PercentileUs(50)) + " p90<=" + FormatUs(PercentileUs(90)) +
+         " p99<=" + FormatUs(PercentileUs(99)) + " max=" +
+         FormatUs(static_cast<double>(max_ns_) / 1e3);
+}
+
+std::string TelemetrySnapshot::ToText() const {
+  stats::Table table({"graft", "state", "inv", "ok", "fault", "preempt", "q-rej", "d-rej",
+                      "quar", "readm", "fuel", "mean", "latency"});
+  for (const Row& row : grafts) {
+    const GraftCounters& c = row.counters;
+    table.AddRow({row.name, GraftStateName(row.supervision.state), std::to_string(c.invocations),
+                  std::to_string(c.ok), std::to_string(c.faults), std::to_string(c.preempts),
+                  std::to_string(c.rejected_quarantined), std::to_string(c.rejected_detached),
+                  std::to_string(row.supervision.quarantines),
+                  std::to_string(row.supervision.readmissions),
+                  c.fuel_used == 0 ? "-" : std::to_string(c.fuel_used),
+                  c.latency.count() == 0 ? "-" : FormatUs(c.latency.mean_us()),
+                  c.latency.Summary()});
+  }
+  return table.ToString();
+}
+
+std::string TelemetrySnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const Row& row : grafts) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    const GraftCounters& c = row.counters;
+    AppendJsonString(out, row.name);
+    out << ":{\"state\":";
+    AppendJsonString(out, GraftStateName(row.supervision.state));
+    out << ",\"invocations\":" << c.invocations << ",\"ok\":" << c.ok
+        << ",\"faults\":" << c.faults << ",\"preempts\":" << c.preempts
+        << ",\"rejected_quarantined\":" << c.rejected_quarantined
+        << ",\"rejected_detached\":" << c.rejected_detached
+        << ",\"quarantines\":" << row.supervision.quarantines
+        << ",\"readmissions\":" << row.supervision.readmissions
+        << ",\"fuel_used\":" << c.fuel_used << ",\"latency\":{\"count\":" << c.latency.count()
+        << ",\"mean_us\":" << c.latency.mean_us()
+        << ",\"p50_us\":" << c.latency.PercentileUs(50)
+        << ",\"p90_us\":" << c.latency.PercentileUs(90)
+        << ",\"p99_us\":" << c.latency.PercentileUs(99)
+        << ",\"max_us\":" << static_cast<double>(c.latency.max_ns()) / 1e3 << "}}";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace graftd

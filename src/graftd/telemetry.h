@@ -1,0 +1,61 @@
+// Per-graft telemetry: counters + latency histograms, merged at snapshot.
+//
+// Workers keep graft counters worker-locally (one short mutex per update so
+// a snapshot can read mid-run without tearing) and Dispatcher::Snapshot()
+// merges the shards. Rendering goes through src/stats/ Table for the text
+// form the benches print, plus a machine-readable JSON dump.
+
+#ifndef GRAFTLAB_SRC_GRAFTD_TELEMETRY_H_
+#define GRAFTLAB_SRC_GRAFTD_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graftd/histogram.h"
+#include "src/graftd/supervisor.h"
+
+namespace graftd {
+
+struct GraftCounters {
+  std::uint64_t invocations = 0;  // attempts that reached a worker
+  std::uint64_t ok = 0;
+  std::uint64_t faults = 0;    // contained extension faults
+  std::uint64_t preempts = 0;  // budget/fuel exhaustion
+  std::uint64_t rejected_quarantined = 0;
+  std::uint64_t rejected_detached = 0;
+  std::uint64_t fuel_used = 0;  // summed over metered invocations
+  LatencyHistogram latency;     // service latency of executed invocations
+
+  void Merge(const GraftCounters& other) {
+    invocations += other.invocations;
+    ok += other.ok;
+    faults += other.faults;
+    preempts += other.preempts;
+    rejected_quarantined += other.rejected_quarantined;
+    rejected_detached += other.rejected_detached;
+    fuel_used += other.fuel_used;
+    latency.Merge(other.latency);
+  }
+};
+
+// Point-in-time, cross-worker view of every supervised graft.
+struct TelemetrySnapshot {
+  struct Row {
+    std::string name;
+    Supervisor::GraftStatus supervision;
+    GraftCounters counters;
+  };
+  std::vector<Row> grafts;
+
+  // Column-aligned table (src/stats/table.h) with one row per graft:
+  // state, invocation outcomes, quarantine history, latency summary.
+  std::string ToText() const;
+
+  // The same data as a JSON object keyed by graft name.
+  std::string ToJson() const;
+};
+
+}  // namespace graftd
+
+#endif  // GRAFTLAB_SRC_GRAFTD_TELEMETRY_H_

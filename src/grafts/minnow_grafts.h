@@ -78,6 +78,10 @@ class MinnowMd5Graft : public core::StreamGraft {
   md5::Digest Finish() override;
   const char* technology() const override;
 
+  // Supervisor fuel seam: one fuel unit per VM instruction.
+  void SetFuel(std::int64_t fuel) override { vm_->SetFuel(fuel); }
+  std::int64_t FuelRemaining() const override { return vm_->fuel(); }
+
  private:
   minnow::Value Invoke(const std::string& fn, std::span<const minnow::Value> args);
   void EnsureBuffer(std::size_t len);

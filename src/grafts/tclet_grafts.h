@@ -50,6 +50,10 @@ class TcletMd5Graft : public core::StreamGraft {
   md5::Digest Finish() override;
   const char* technology() const override { return "Tcl"; }
 
+  // Supervisor fuel seam: one fuel unit per Tcl command evaluation.
+  void SetFuel(std::int64_t fuel) override { interp_.SetFuel(fuel); }
+  std::int64_t FuelRemaining() const override { return interp_.fuel(); }
+
  private:
   void ProcessBlock(const std::uint8_t block[64]);
 

@@ -215,6 +215,52 @@ TEST(Preempt, WatchdogTripsLongRunningGraft) {
   EXPECT_TRUE(preempted);
 }
 
+TEST(Preempt, BackToBackBudgetedRunsDoNotLeakTrip) {
+  // Regression: a token tripped during one budgeted invocation must be
+  // reset before the next one, or an innocent graft's first Poll() throws.
+  // TokenResetGuard is the kernel-side idiom (GraftHost uses it on every
+  // exit path, including exceptional ones).
+  envs::PreemptToken token;
+  envs::SafeLangEnv env(&token);
+
+  bool first_preempted = false;
+  {
+    envs::TokenResetGuard reset(token);
+    envs::Watchdog watchdog(token, std::chrono::microseconds(1000));
+    try {
+      for (;;) {
+        env.Poll();
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    } catch (const PreemptFault&) {
+      first_preempted = true;
+    }
+  }
+  EXPECT_TRUE(first_preempted);
+  EXPECT_FALSE(token.stop_requested());
+
+  // Second budgeted run on the same token: generous budget, quick body. It
+  // must run to completion without a spurious PreemptFault.
+  {
+    envs::TokenResetGuard reset(token);
+    envs::Watchdog watchdog(token, std::chrono::seconds(30));
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_NO_THROW(env.Poll());
+    }
+  }
+}
+
+TEST(Preempt, TokenResetGuardResetsOnExceptionPath) {
+  envs::PreemptToken token;
+  try {
+    envs::TokenResetGuard reset(token);
+    token.RequestStop();
+    throw envs::NilFault();  // unwinds through the guard
+  } catch (const NilFault&) {
+  }
+  EXPECT_FALSE(token.stop_requested());
+}
+
 TEST(Preempt, WatchdogCancelsCleanly) {
   envs::PreemptToken token;
   {
