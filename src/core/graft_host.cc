@@ -1,11 +1,11 @@
 #include "src/core/graft_host.h"
 
 #include <algorithm>
-#include <exception>
 #include <optional>
 #include <string_view>
 
 #include "src/envs/fault.h"
+#include "src/faultlab/fault.h"
 #include "src/minnow/diag.h"
 
 namespace core {
@@ -35,6 +35,12 @@ bool GraftHost::RunStream(streamk::Bytes data, std::size_t chunk, streamk::Chain
     contained_faults_.fetch_add(1, std::memory_order_relaxed);
   } catch (const minnow::Trap&) {
     contained_faults_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const faultlab::FaultError&) {
+    throw;  // injected infrastructure failure, not an extension fault
+  } catch (const ldisk::DiskFull&) {
+    throw;  // device state, not extension misbehavior
+  } catch (const ldisk::DiskHardError&) {
+    throw;
   } catch (const std::runtime_error&) {
     // Tclet and other script-level failures surface as runtime_error.
     contained_faults_.fetch_add(1, std::memory_order_relaxed);
@@ -45,13 +51,36 @@ bool GraftHost::RunStream(streamk::Bytes data, std::size_t chunk, streamk::Chain
 GraftHost::BlackBoxResult GraftHost::RunLogicalDisk(BlackBoxGraft& graft,
                                                     std::uint64_t num_writes, bool validate) {
   BlackBoxResult result;
+  const auto record = [&result](FaultClass fault_class, const char* what) {
+    result.faulted = true;
+    result.fault_class = fault_class;
+    result.fault_message = what;
+  };
+  // Most-derived handlers first: DiskFull/DiskHardError/faultlab derive
+  // from runtime_error but are device failures, not extension faults.
+  // Anything that is not a runtime_error (logic errors, allocation
+  // failures) is a host bug and propagates.
   try {
     result.replay =
         ldisk::ReplayWorkload(graft, options_.disk_geometry, num_writes, /*seed=*/80204, validate);
-  } catch (const std::exception& error) {
+  } catch (const ldisk::DiskFull& error) {
+    disk_faults_.fetch_add(1, std::memory_order_relaxed);
+    record(FaultClass::kDiskFull, error.what());
+  } catch (const ldisk::DiskHardError& error) {
+    disk_faults_.fetch_add(1, std::memory_order_relaxed);
+    record(FaultClass::kDisk, error.what());
+  } catch (const faultlab::FaultError& error) {
+    disk_faults_.fetch_add(1, std::memory_order_relaxed);
+    record(FaultClass::kDisk, error.what());
+  } catch (const envs::EnvFault& error) {
     contained_faults_.fetch_add(1, std::memory_order_relaxed);
-    result.faulted = true;
-    result.fault_message = error.what();
+    record(FaultClass::kExtension, error.what());
+  } catch (const minnow::Trap& error) {
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
+    record(FaultClass::kExtension, error.what());
+  } catch (const std::runtime_error& error) {
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
+    record(FaultClass::kExtension, error.what());
   }
   return result;
 }
@@ -89,6 +118,12 @@ GraftHost::StreamRunResult GraftHost::RunStreamGraft(StreamGraft& graft, streamk
       result.fault_message = trap.what();
     }
     contained_faults_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const faultlab::FaultError&) {
+    throw;  // injected infrastructure failure, not an extension fault
+  } catch (const ldisk::DiskFull&) {
+    throw;  // device state, not extension misbehavior
+  } catch (const ldisk::DiskHardError&) {
+    throw;
   } catch (const std::runtime_error& error) {
     result.preempted = IsFuelPreemption(error.what());
     if (!result.preempted) {

@@ -51,10 +51,22 @@ class GraftHost {
 
   // --- Black Box hook ---
   // Replays a skewed write workload through a logical-disk graft with
-  // validation; contains graft faults the same way.
+  // validation; contains graft faults the same way. Faults are classified:
+  // the paper's containment story only covers extension misbehavior, so
+  // device-state failures (DiskFull), persistent/injected disk errors
+  // (DiskHardError, faultlab), and genuine extension faults are distinct
+  // outcomes, and host-internal logic errors propagate instead of being
+  // silently counted against the graft.
+  enum class FaultClass : std::uint8_t {
+    kNone,
+    kExtension,  // contained graft fault (bounds, NIL, trap, script error)
+    kDiskFull,   // device genuinely out of space
+    kDisk,       // persistent or injected disk failure
+  };
   struct BlackBoxResult {
     ldisk::ReplayResult replay;
     bool faulted = false;
+    FaultClass fault_class = FaultClass::kNone;
     std::string fault_message;
   };
   BlackBoxResult RunLogicalDisk(BlackBoxGraft& graft, std::uint64_t num_writes,
@@ -96,6 +108,10 @@ class GraftHost {
   std::uint64_t contained_faults() const {
     return contained_faults_.load(std::memory_order_relaxed);
   }
+  // Disk-level failures (DiskFull, DiskHardError, injected faults) observed
+  // by black-box runs. Counted apart from contained_faults: the disk, not
+  // the extension, misbehaved.
+  std::uint64_t disk_faults() const { return disk_faults_.load(std::memory_order_relaxed); }
   const ldisk::Geometry& disk_geometry() const { return options_.disk_geometry; }
 
  private:
@@ -106,6 +122,7 @@ class GraftHost {
   // Atomic so sibling host shards' supervisors may read any host's count
   // while it runs (graftd snapshots race with workers by design).
   std::atomic<std::uint64_t> contained_faults_{0};
+  std::atomic<std::uint64_t> disk_faults_{0};
 };
 
 }  // namespace core

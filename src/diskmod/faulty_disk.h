@@ -1,0 +1,113 @@
+// DiskIo: the device seam faults are injected through.
+//
+// DiskModel is a pure cost model; subsystems that must *survive* device
+// misbehavior need an operation boundary where an access can fail, stall,
+// or tear. DiskIo is that boundary: ModelDiskIo is the well-behaved device
+// (every access succeeds and costs what the model says), and FaultyDisk
+// wraps any DiskIo to inject faultlab's schedule at the sites
+// "<prefix>.read" / "<prefix>.write":
+//
+//   * kTransientError — the access throws faultlab::TransientError; the
+//     caller's retry policy decides whether the device "recovers";
+//   * kLatencySpike   — the access succeeds but costs `param` extra us;
+//   * kTornWrite      — a write persists only floor(param * bytes) bytes
+//     (reads treat it as a transient short read);
+//   * kCrash          — the machine dies mid-access (CrashFault); durable
+//     state is whatever previous completed writes left behind.
+
+#ifndef GRAFTLAB_SRC_DISKMOD_FAULTY_DISK_H_
+#define GRAFTLAB_SRC_DISKMOD_FAULTY_DISK_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/diskmod/disk_model.h"
+#include "src/faultlab/injector.h"
+
+namespace diskmod {
+
+// Outcome of one modeled access. durable_bytes < the requested size means
+// the write tore: only a prefix reached the platter.
+struct IoResult {
+  double time_us = 0.0;
+  std::size_t durable_bytes = 0;
+};
+
+class DiskIo {
+ public:
+  virtual ~DiskIo() = default;
+
+  // One random access of `bytes`. May throw faultlab::TransientError (retry
+  // may succeed) or faultlab::CrashFault (simulation of a machine crash).
+  virtual IoResult Read(std::size_t bytes) = 0;
+  virtual IoResult Write(std::size_t bytes) = 0;
+};
+
+// The well-behaved device: charges the cost model, never fails.
+class ModelDiskIo : public DiskIo {
+ public:
+  explicit ModelDiskIo(DiskModel model = DiskModel{}) : model_(model) {}
+
+  IoResult Read(std::size_t bytes) override {
+    return IoResult{model_.RandomAccessUs(bytes), bytes};
+  }
+  IoResult Write(std::size_t bytes) override {
+    return IoResult{model_.RandomAccessUs(bytes), bytes};
+  }
+
+  const DiskModel& model() const { return model_; }
+
+ private:
+  DiskModel model_;
+};
+
+// Fault-injecting wrapper around any DiskIo.
+class FaultyDisk : public DiskIo {
+ public:
+  FaultyDisk(DiskIo& base, faultlab::Injector& injector, std::string site_prefix = "disk")
+      : base_(base),
+        injector_(injector),
+        read_site_(site_prefix + ".read"),
+        write_site_(site_prefix + ".write") {}
+
+  IoResult Read(std::size_t bytes) override { return Access(read_site_, bytes, false); }
+  IoResult Write(std::size_t bytes) override { return Access(write_site_, bytes, true); }
+
+ private:
+  IoResult Access(const std::string& site, std::size_t bytes, bool is_write) {
+    const auto fault = injector_.Hit(site);
+    if (!fault) {
+      return is_write ? base_.Write(bytes) : base_.Read(bytes);
+    }
+    switch (fault->kind) {
+      case faultlab::FaultKind::kCrash:
+        throw faultlab::CrashFault(site);
+      case faultlab::FaultKind::kTransientError:
+        throw faultlab::TransientError(site);
+      case faultlab::FaultKind::kLatencySpike: {
+        IoResult result = is_write ? base_.Write(bytes) : base_.Read(bytes);
+        result.time_us += fault->param;
+        return result;
+      }
+      case faultlab::FaultKind::kTornWrite: {
+        if (!is_write) {
+          // A torn read is just a short read: retryable.
+          throw faultlab::TransientError(site);
+        }
+        IoResult result = base_.Write(bytes);
+        result.durable_bytes = static_cast<std::size_t>(fault->param * static_cast<double>(bytes));
+        return result;
+      }
+    }
+    return is_write ? base_.Write(bytes) : base_.Read(bytes);
+  }
+
+  DiskIo& base_;
+  faultlab::Injector& injector_;
+  const std::string read_site_;
+  const std::string write_site_;
+};
+
+}  // namespace diskmod
+
+#endif  // GRAFTLAB_SRC_DISKMOD_FAULTY_DISK_H_

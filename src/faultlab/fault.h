@@ -1,0 +1,96 @@
+// faultlab: deterministic, seeded fault injection.
+//
+// The paper scores every technology on whether a misbehaving graft can
+// corrupt the kernel, but nothing in the repo could *provoke* failure on
+// demand. faultlab closes that gap the way production extension runtimes do
+// (Rex supervises and recovers failing extensions at runtime; MOAT assumes
+// extensions fail arbitrarily while the kernel stays correct): a FaultPlan
+// names injection sites and triggers, an Injector evaluates them
+// deterministically from one seed, and the subsystems under test consult
+// the injector at their named sites. Every run with the same plan and seed
+// injects the same faults at the same hits, so a crash-recovery soak test
+// is an ordinary deterministic unit test.
+//
+// This header defines the plan vocabulary and the exception types injected
+// faults surface as; the evaluator lives in injector.h.
+
+#ifndef GRAFTLAB_SRC_FAULTLAB_FAULT_H_
+#define GRAFTLAB_SRC_FAULTLAB_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace faultlab {
+
+// Base class for every injected failure, so hosts can tell "faultlab made
+// this happen" apart from genuine extension faults.
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A transient I/O error: the operation failed but retrying may succeed.
+class TransientError : public FaultError {
+ public:
+  explicit TransientError(const std::string& site)
+      : FaultError("faultlab: transient I/O error at " + site) {}
+};
+
+// A simulated machine crash: execution stops here; durable state is frozen
+// exactly as the last completed (possibly torn) device write left it.
+class CrashFault : public FaultError {
+ public:
+  explicit CrashFault(const std::string& site)
+      : FaultError("faultlab: crash at " + site) {}
+};
+
+enum class FaultKind : std::uint8_t {
+  kTransientError,  // retryable failure (surfaces as TransientError)
+  kLatencySpike,    // operation succeeds but costs `param` extra microseconds
+  kTornWrite,       // write persists only a `param` fraction of its bytes
+  kCrash,           // simulated machine crash (surfaces as CrashFault)
+};
+
+constexpr const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientError: return "transient";
+    case FaultKind::kLatencySpike: return "latency";
+    case FaultKind::kTornWrite: return "torn";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+// One rule: at hits of `site`, fire `kind` per the trigger, at most `budget`
+// times. Exactly one trigger is active: every_nth > 0 fires on every Nth
+// hit of the site (1 = every hit); otherwise `probability` is evaluated as
+// a Bernoulli draw from the plan's seeded generator.
+struct FaultSpec {
+  std::string site;
+  FaultKind kind = FaultKind::kTransientError;
+  std::uint64_t every_nth = 0;
+  double probability = 0.0;
+  std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+  // kLatencySpike: extra microseconds; kTornWrite: durable fraction in
+  // [0, 1) of the written bytes. Ignored by the other kinds.
+  double param = 0.0;
+};
+
+// A named schedule of faults plus the seed that makes it reproducible.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> specs;
+
+  FaultPlan& Add(FaultSpec spec) {
+    specs.push_back(std::move(spec));
+    return *this;
+  }
+};
+
+}  // namespace faultlab
+
+#endif  // GRAFTLAB_SRC_FAULTLAB_FAULT_H_

@@ -1,0 +1,65 @@
+#include "src/faultlab/injector.h"
+
+#include <utility>
+
+namespace faultlab {
+
+Injector::Injector(FaultPlan plan) : rng_(plan.seed) {
+  specs_.reserve(plan.specs.size());
+  for (FaultSpec& spec : plan.specs) {
+    const std::size_t index = specs_.size();
+    sites_[spec.site].specs.push_back(index);
+    specs_.push_back(SpecState{std::move(spec), 0});
+  }
+}
+
+std::optional<Injection> Injector::Hit(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), SiteState{}).first;
+  }
+  SiteState& state = it->second;
+  ++state.hits;
+  for (const std::size_t index : state.specs) {
+    SpecState& spec_state = specs_[index];
+    const FaultSpec& spec = spec_state.spec;
+    if (spec_state.injected >= spec.budget) {
+      continue;
+    }
+    bool fire = false;
+    if (spec.every_nth > 0) {
+      fire = state.hits % spec.every_nth == 0;
+    } else if (spec.probability > 0.0) {
+      fire = std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < spec.probability;
+    }
+    if (!fire) {
+      continue;
+    }
+    ++spec_state.injected;
+    ++state.injected;
+    return Injection{spec.kind, spec.param};
+  }
+  return std::nullopt;
+}
+
+std::vector<Injector::SiteCounters> Injector::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteCounters> counters;
+  counters.reserve(sites_.size());
+  for (const auto& [site, state] : sites_) {
+    counters.push_back(SiteCounters{site, state.hits, state.injected});
+  }
+  return counters;
+}
+
+std::uint64_t Injector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [site, state] : sites_) {
+    total += state.injected;
+  }
+  return total;
+}
+
+}  // namespace faultlab

@@ -1,0 +1,76 @@
+// Injector: evaluates a FaultPlan at named sites, deterministically.
+//
+// Subsystems call Hit("site") at each potential failure point; the injector
+// counts the hit, evaluates the plan's specs for that site in plan order,
+// and returns the first fault that triggers (if any). All randomness comes
+// from the plan's seed, so single-threaded runs are exactly reproducible.
+// Per-site hit/injection counters are exported for telemetry (graftd
+// renders them next to the per-graft rows).
+//
+// Thread safety: one mutex guards the counters and the generator, so an
+// injector may be shared by graftd workers; determinism then holds per
+// site-visit order, which concurrent runs do not fix. Deterministic tests
+// use one thread.
+
+#ifndef GRAFTLAB_SRC_FAULTLAB_INJECTOR_H_
+#define GRAFTLAB_SRC_FAULTLAB_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/faultlab/fault.h"
+
+namespace faultlab {
+
+// What Hit() returns when a spec triggers.
+struct Injection {
+  FaultKind kind = FaultKind::kTransientError;
+  double param = 0.0;
+};
+
+class Injector {
+ public:
+  explicit Injector(FaultPlan plan);
+
+  // Consults the plan at a named site. Returns the triggered fault, or
+  // nullopt to proceed normally. Counts the hit either way.
+  std::optional<Injection> Hit(std::string_view site);
+
+  struct SiteCounters {
+    std::string site;
+    std::uint64_t hits = 0;
+    std::uint64_t injected = 0;
+  };
+  // Per-site counters, sorted by site name. Sites appear once visited or
+  // named by a spec, so a plan's dormant sites are visible as zero rows.
+  std::vector<SiteCounters> Counters() const;
+
+  std::uint64_t total_injected() const;
+
+ private:
+  struct SpecState {
+    FaultSpec spec;
+    std::uint64_t injected = 0;  // spent against spec.budget
+  };
+  struct SiteState {
+    std::uint64_t hits = 0;
+    std::uint64_t injected = 0;
+    std::vector<std::size_t> specs;  // indices into specs_, in plan order
+  };
+
+  mutable std::mutex mu_;
+  std::mt19937_64 rng_;
+  std::vector<SpecState> specs_;
+  // std::less<> enables string_view lookup without allocating.
+  std::map<std::string, SiteState, std::less<>> sites_;
+};
+
+}  // namespace faultlab
+
+#endif  // GRAFTLAB_SRC_FAULTLAB_INJECTOR_H_

@@ -127,6 +127,12 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
       ++StatsFor(shard, id).rejected_quarantined;
       return;
     }
+    case AdmitDecision::kRejectDegraded: {
+      // Shedding: the graft's device is failing, don't feed it more writes.
+      std::lock_guard<std::mutex> lock(shard.stats_mu);
+      ++StatsFor(shard, id).rejected_degraded;
+      return;
+    }
     case AdmitDecision::kRun:
       break;
   }
@@ -190,7 +196,15 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   } else {
     const core::GraftHost::BlackBoxResult result =
         shard.host.RunLogicalDisk(*blackbox, invocation.ldisk_writes, /*validate=*/false);
-    outcome = result.faulted ? Outcome::kFault : Outcome::kOk;
+    if (!result.faulted) {
+      outcome = Outcome::kOk;
+    } else if (result.fault_class == core::GraftHost::FaultClass::kExtension) {
+      outcome = Outcome::kFault;
+    } else {
+      // DiskFull, hard I/O failure, or an injected device fault: score it
+      // against the device track so the supervisor degrades, not detaches.
+      outcome = Outcome::kDiskFault;
+    }
   }
   const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(timer.ElapsedNs());
 
@@ -203,6 +217,7 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
     case Outcome::kOk: ++stats.ok; break;
     case Outcome::kFault: ++stats.faults; break;
     case Outcome::kPreempt: ++stats.preempts; break;
+    case Outcome::kDiskFault: ++stats.disk_faults; break;
   }
   stats.fuel_used += fuel_used;
   stats.latency.Record(elapsed_ns);
@@ -222,6 +237,9 @@ TelemetrySnapshot Dispatcher::Snapshot() const {
       snapshot.grafts[id].counters.Merge(shard->stats[id]);
     }
   }
+  if (injector_ != nullptr) {
+    snapshot.injections = injector_->Counters();
+  }
   return snapshot;
 }
 
@@ -229,6 +247,14 @@ std::uint64_t Dispatcher::contained_faults() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->host.contained_faults();
+  }
+  return total;
+}
+
+std::uint64_t Dispatcher::disk_faults() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->host.disk_faults();
   }
   return total;
 }

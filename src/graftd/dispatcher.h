@@ -35,6 +35,7 @@
 
 #include "src/core/graft.h"
 #include "src/core/graft_host.h"
+#include "src/faultlab/injector.h"
 #include "src/graftd/deadline_wheel.h"
 #include "src/graftd/queue.h"
 #include "src/graftd/supervisor.h"
@@ -116,6 +117,13 @@ class Dispatcher {
   // Total contained faults across all host shards.
   std::uint64_t contained_faults() const;
 
+  // Total device faults (DiskFull, hard errors, injections) across shards.
+  std::uint64_t disk_faults() const;
+
+  // Attaches the fault injector whose per-site counters Snapshot() exports.
+  // Not synchronized against dispatch: attach before the first Submit.
+  void set_injector(const faultlab::Injector* injector) { injector_ = injector; }
+
  private:
   struct Registration {
     std::string name;
@@ -147,6 +155,7 @@ class Dispatcher {
   const DispatcherOptions options_;
   Supervisor supervisor_;
   DeadlineWheel wheel_;
+  const faultlab::Injector* injector_ = nullptr;
   std::vector<std::unique_ptr<WorkerShard>> shards_;
 
   std::mutex registry_mu_;

@@ -31,6 +31,15 @@ AdmitDecision Supervisor::Admit(GraftId id) {
       graft.consecutive_failures = 0;
       ++graft.readmissions;
       return AdmitDecision::kRun;
+    case GraftState::kDegraded:
+      if (clock_->Now() < graft.readmit_at) {
+        return AdmitDecision::kRejectDegraded;
+      }
+      // Shedding window over: probe the device again with real traffic.
+      graft.state = GraftState::kHealthy;
+      graft.consecutive_disk_faults = 0;
+      ++graft.recoveries;
+      return AdmitDecision::kRun;
   }
   throw std::logic_error("unreachable graft state");
 }
@@ -43,6 +52,21 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
   }
   if (outcome == Outcome::kOk) {
     graft.consecutive_failures = 0;
+    graft.consecutive_disk_faults = 0;
+    return;
+  }
+  if (outcome == Outcome::kDiskFault) {
+    // The device, not the graft, failed: never quarantine or detach for
+    // this; degrade to load shedding once the streak crosses the threshold.
+    ++graft.consecutive_disk_faults;
+    if (graft.state != GraftState::kHealthy) {
+      return;  // straggler after a degrade/quarantine decision
+    }
+    if (graft.consecutive_disk_faults >= policy_.disk_fault_threshold) {
+      graft.state = GraftState::kDegraded;
+      graft.readmit_at = clock_->Now() + policy_.degraded_backoff;
+      ++graft.degradations;
+    }
     return;
   }
   ++graft.consecutive_failures;

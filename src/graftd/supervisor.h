@@ -15,6 +15,17 @@
 // read through the injected Clock, so every transition is testable without
 // sleeping.
 //
+// Disk faults (DiskFull, persistent I/O failure, faultlab injections) are
+// scored on a separate track: the *device*, not the graft, misbehaved, so
+// instead of quarantining, the graft degrades —
+//
+//   healthy --(disk_fault_threshold consecutive disk faults)--> degraded
+//   degraded --(degraded_backoff elapses; next Admit)---------> healthy
+//
+// While degraded, write-shaped work is shed (AdmitDecision::kRejectDegraded)
+// rather than dispatched into a failing device; degradation never counts
+// toward quarantine history or detach.
+//
 // Thread safety: one Supervisor is shared by all dispatch workers; state is
 // guarded by a single mutex. Admission is a few loads and branches under
 // the lock — invisible next to even the cheapest (unsafe C) invocation.
@@ -34,13 +45,14 @@ namespace graftd {
 
 using GraftId = std::uint32_t;
 
-enum class GraftState : std::uint8_t { kHealthy, kQuarantined, kDetached };
+enum class GraftState : std::uint8_t { kHealthy, kQuarantined, kDetached, kDegraded };
 
 constexpr const char* GraftStateName(GraftState state) {
   switch (state) {
     case GraftState::kHealthy: return "healthy";
     case GraftState::kQuarantined: return "quarantined";
     case GraftState::kDetached: return "detached";
+    case GraftState::kDegraded: return "degraded";
   }
   return "?";
 }
@@ -48,14 +60,16 @@ constexpr const char* GraftStateName(GraftState state) {
 // What one invocation did, as the supervisor scores it.
 enum class Outcome : std::uint8_t {
   kOk,
-  kFault,    // contained extension fault
-  kPreempt,  // wall-clock budget or fuel exhausted
+  kFault,     // contained extension fault
+  kPreempt,   // wall-clock budget or fuel exhausted
+  kDiskFault, // the backing device failed (DiskFull, hard error, injected)
 };
 
 enum class AdmitDecision : std::uint8_t {
   kRun,
   kRejectQuarantined,
   kRejectDetached,
+  kRejectDegraded,  // shedding: the graft's device is failing
 };
 
 struct SupervisorPolicy {
@@ -74,6 +88,11 @@ struct SupervisorPolicy {
   // Fuel budget set on metered (interpreted) grafts per invocation
   // (-1 = unlimited).
   std::int64_t fuel_budget = -1;
+  // Consecutive disk faults before the graft degrades to shedding mode.
+  std::uint32_t disk_fault_threshold = 2;
+  // How long a degraded graft sheds load before the next Admit probes the
+  // device again.
+  std::chrono::microseconds degraded_backoff{std::chrono::milliseconds(10)};
 };
 
 class Supervisor {
@@ -101,7 +120,10 @@ class Supervisor {
     std::uint32_t consecutive_failures = 0;
     std::uint32_t quarantines = 0;    // times quarantined so far
     std::uint32_t readmissions = 0;   // times readmitted so far
-    Clock::TimePoint readmit_at{};    // valid while quarantined
+    std::uint32_t consecutive_disk_faults = 0;
+    std::uint32_t degradations = 0;   // times degraded so far
+    std::uint32_t recoveries = 0;     // times recovered from degraded
+    Clock::TimePoint readmit_at{};    // valid while quarantined or degraded
   };
   GraftStatus Status(GraftId id) const;
   std::vector<GraftStatus> StatusAll() const;

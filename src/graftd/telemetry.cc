@@ -46,20 +46,29 @@ std::string LatencyHistogram::Summary() const {
 }
 
 std::string TelemetrySnapshot::ToText() const {
-  stats::Table table({"graft", "state", "inv", "ok", "fault", "preempt", "q-rej", "d-rej",
-                      "quar", "readm", "fuel", "mean", "latency"});
+  stats::Table table({"graft", "state", "inv", "ok", "fault", "preempt", "disk", "q-rej", "d-rej",
+                      "shed", "quar", "readm", "fuel", "mean", "latency"});
   for (const Row& row : grafts) {
     const GraftCounters& c = row.counters;
     table.AddRow({row.name, GraftStateName(row.supervision.state), std::to_string(c.invocations),
                   std::to_string(c.ok), std::to_string(c.faults), std::to_string(c.preempts),
-                  std::to_string(c.rejected_quarantined), std::to_string(c.rejected_detached),
+                  std::to_string(c.disk_faults), std::to_string(c.rejected_quarantined),
+                  std::to_string(c.rejected_detached), std::to_string(c.rejected_degraded),
                   std::to_string(row.supervision.quarantines),
                   std::to_string(row.supervision.readmissions),
                   c.fuel_used == 0 ? "-" : std::to_string(c.fuel_used),
                   c.latency.count() == 0 ? "-" : FormatUs(c.latency.mean_us()),
                   c.latency.Summary()});
   }
-  return table.ToString();
+  std::string text = table.ToString();
+  if (!injections.empty()) {
+    stats::Table sites({"injection site", "hits", "injected"});
+    for (const auto& site : injections) {
+      sites.AddRow({site.site, std::to_string(site.hits), std::to_string(site.injected)});
+    }
+    text += "\n" + sites.ToString();
+  }
+  return text;
 }
 
 std::string TelemetrySnapshot::ToJson() const {
@@ -77,16 +86,37 @@ std::string TelemetrySnapshot::ToJson() const {
     AppendJsonString(out, GraftStateName(row.supervision.state));
     out << ",\"invocations\":" << c.invocations << ",\"ok\":" << c.ok
         << ",\"faults\":" << c.faults << ",\"preempts\":" << c.preempts
+        << ",\"disk_faults\":" << c.disk_faults
         << ",\"rejected_quarantined\":" << c.rejected_quarantined
         << ",\"rejected_detached\":" << c.rejected_detached
+        << ",\"rejected_degraded\":" << c.rejected_degraded
         << ",\"quarantines\":" << row.supervision.quarantines
         << ",\"readmissions\":" << row.supervision.readmissions
+        << ",\"degradations\":" << row.supervision.degradations
+        << ",\"recoveries\":" << row.supervision.recoveries
         << ",\"fuel_used\":" << c.fuel_used << ",\"latency\":{\"count\":" << c.latency.count()
         << ",\"mean_us\":" << c.latency.mean_us()
         << ",\"p50_us\":" << c.latency.PercentileUs(50)
         << ",\"p90_us\":" << c.latency.PercentileUs(90)
         << ",\"p99_us\":" << c.latency.PercentileUs(99)
         << ",\"max_us\":" << static_cast<double>(c.latency.max_ns()) / 1e3 << "}}";
+  }
+  if (!injections.empty()) {
+    if (!first) {
+      out << ",";
+    }
+    out << "\"__faultlab__\":[";
+    bool first_site = true;
+    for (const auto& site : injections) {
+      if (!first_site) {
+        out << ",";
+      }
+      first_site = false;
+      out << "{\"site\":";
+      AppendJsonString(out, site.site);
+      out << ",\"hits\":" << site.hits << ",\"injected\":" << site.injected << "}";
+    }
+    out << "]";
   }
   out << "}";
   return out.str();

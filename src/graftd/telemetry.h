@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/faultlab/injector.h"
 #include "src/graftd/histogram.h"
 #include "src/graftd/supervisor.h"
 
@@ -20,10 +21,12 @@ namespace graftd {
 struct GraftCounters {
   std::uint64_t invocations = 0;  // attempts that reached a worker
   std::uint64_t ok = 0;
-  std::uint64_t faults = 0;    // contained extension faults
-  std::uint64_t preempts = 0;  // budget/fuel exhaustion
+  std::uint64_t faults = 0;       // contained extension faults
+  std::uint64_t preempts = 0;     // budget/fuel exhaustion
+  std::uint64_t disk_faults = 0;  // device failures (DiskFull, hard, injected)
   std::uint64_t rejected_quarantined = 0;
   std::uint64_t rejected_detached = 0;
+  std::uint64_t rejected_degraded = 0;  // shed while the device was failing
   std::uint64_t fuel_used = 0;  // summed over metered invocations
   LatencyHistogram latency;     // service latency of executed invocations
 
@@ -32,8 +35,10 @@ struct GraftCounters {
     ok += other.ok;
     faults += other.faults;
     preempts += other.preempts;
+    disk_faults += other.disk_faults;
     rejected_quarantined += other.rejected_quarantined;
     rejected_detached += other.rejected_detached;
+    rejected_degraded += other.rejected_degraded;
     fuel_used += other.fuel_used;
     latency.Merge(other.latency);
   }
@@ -48,11 +53,17 @@ struct TelemetrySnapshot {
   };
   std::vector<Row> grafts;
 
+  // Fault-injection counters, present when a faultlab::Injector is attached
+  // to the dispatcher: one row per site.
+  std::vector<faultlab::Injector::SiteCounters> injections;
+
   // Column-aligned table (src/stats/table.h) with one row per graft:
-  // state, invocation outcomes, quarantine history, latency summary.
+  // state, invocation outcomes, quarantine history, latency summary —
+  // followed by the injection-site table when an injector is attached.
   std::string ToText() const;
 
-  // The same data as a JSON object keyed by graft name.
+  // The same data as a JSON object: grafts keyed by name, plus a reserved
+  // "__faultlab__" key carrying the injection counters when present.
   std::string ToJson() const;
 };
 

@@ -1,0 +1,98 @@
+#include "src/ldisk/durable_log.h"
+
+#include <utility>
+
+namespace ldisk {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvMix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint32_t Fold(std::uint64_t hash) {
+  return static_cast<std::uint32_t>(hash ^ (hash >> 32));
+}
+
+}  // namespace
+
+std::uint32_t SegmentChecksum(const SegmentHeader& header,
+                              const std::vector<BlockId>& logicals) {
+  std::uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, header.epoch);
+  hash = FnvMix(hash, header.seq);
+  hash = FnvMix(hash, header.count);
+  for (const BlockId logical : logicals) {
+    hash = FnvMix(hash, logical);
+  }
+  return Fold(hash);
+}
+
+bool ValidateRecord(const SegmentRecord& record) {
+  return record.logicals.size() == record.header.count &&
+         record.header.checksum == SegmentChecksum(record.header, record.logicals);
+}
+
+std::uint32_t CheckpointChecksum(const Checkpoint& checkpoint) {
+  std::uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, checkpoint.epoch);
+  hash = FnvMix(hash, checkpoint.seq);
+  hash = FnvMix(hash, checkpoint.map.size());
+  for (const BlockId physical : checkpoint.map) {
+    hash = FnvMix(hash, physical);
+  }
+  return Fold(hash);
+}
+
+bool ValidateCheckpoint(const Checkpoint& checkpoint) {
+  return checkpoint.checksum == CheckpointChecksum(checkpoint);
+}
+
+void DurableLog::WriteSegment(std::uint64_t segment, SegmentRecord record) {
+  segments_.at(segment) = std::move(record);
+}
+
+void DurableLog::WriteTornSegment(std::uint64_t segment, SegmentRecord record,
+                                  std::size_t durable_slots) {
+  if (durable_slots < record.logicals.size()) {
+    record.logicals.resize(durable_slots);
+  }
+  segments_.at(segment) = std::move(record);
+}
+
+void DurableLog::WriteCheckpoint(Checkpoint checkpoint) {
+  checkpoints_[next_checkpoint_slot_] = std::move(checkpoint);
+  next_checkpoint_slot_ = 1 - next_checkpoint_slot_;
+}
+
+void DurableLog::WriteTornCheckpoint(Checkpoint checkpoint) {
+  // The torn snapshot loses its map tail; the stale checksum records the
+  // damage, exactly like a torn segment.
+  if (!checkpoint.map.empty()) {
+    checkpoint.map.resize(checkpoint.map.size() / 2);
+  } else {
+    checkpoint.checksum ^= 0x1;  // even an empty snapshot must fail validation
+  }
+  checkpoints_[next_checkpoint_slot_] = std::move(checkpoint);
+  next_checkpoint_slot_ = 1 - next_checkpoint_slot_;
+}
+
+const Checkpoint* DurableLog::LatestValidCheckpoint() const {
+  const Checkpoint* best = nullptr;
+  for (const auto& slot : checkpoints_) {
+    if (slot.has_value() && ValidateCheckpoint(*slot) &&
+        (best == nullptr || slot->seq > best->seq)) {
+      best = &*slot;
+    }
+  }
+  return best;
+}
+
+}  // namespace ldisk

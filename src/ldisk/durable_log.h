@@ -1,0 +1,100 @@
+// DurableLog: the simulated durable medium behind the log-structured layer.
+//
+// The seed's LogLayer was purely volatile: the logical-to-physical map lived
+// in RAM and a crash lost the device. Real logical disks ([DEJON93],
+// [ROSE91]) survive crashes because every flushed segment carries enough
+// self-description to rebuild the map by scanning the log. DurableLog holds
+// that on-disk image: one SegmentRecord slot per physical segment
+// (rewriting a segment overwrites its record in place, as the device
+// would), plus two alternating checkpoint slots so a crash mid-checkpoint
+// can never destroy the previous good checkpoint.
+//
+// Each record's header carries the logical ids of its blocks, a mount
+// epoch, a global flush sequence number, and a checksum over all of it.
+// Torn writes — the crash landing mid-segment — persist only a prefix of
+// the block list while the header still advertises the full count, so
+// validation fails and recovery discards the tail. LogLayer::Recover()
+// (log_layer.h) implements the scan-and-replay.
+
+#ifndef GRAFTLAB_SRC_LDISK_DURABLE_LOG_H_
+#define GRAFTLAB_SRC_LDISK_DURABLE_LOG_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/ldisk/logical_disk.h"
+
+namespace ldisk {
+
+struct SegmentHeader {
+  std::uint64_t epoch = 0;    // incremented each mount/recovery
+  std::uint64_t seq = 0;      // global flush order, 1-based, never reused
+  std::uint32_t count = 0;    // slots the writer recorded (blocks_per_segment)
+  std::uint32_t checksum = 0; // over epoch, seq, count, and the block list
+};
+
+// What one segment flush persists: the header plus, per physical slot, the
+// logical block stored there (kUnmapped = the slot was dead at flush time).
+struct SegmentRecord {
+  SegmentHeader header;
+  std::vector<BlockId> logicals;
+};
+
+// FNV-1a over the header fields (checksum excluded) and the block list.
+std::uint32_t SegmentChecksum(const SegmentHeader& header,
+                              const std::vector<BlockId>& logicals);
+
+// A record is replayable when its checksum matches and the block list is
+// complete; a torn write fails both.
+bool ValidateRecord(const SegmentRecord& record);
+
+// Periodic map snapshot bounding the replay length: recovery starts from
+// the newest valid checkpoint and replays only segments with seq beyond it.
+struct Checkpoint {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;       // covers every record with header.seq <= seq
+  std::vector<BlockId> map;    // full logical -> physical snapshot
+  std::uint32_t checksum = 0;
+};
+
+std::uint32_t CheckpointChecksum(const Checkpoint& checkpoint);
+bool ValidateCheckpoint(const Checkpoint& checkpoint);
+
+class DurableLog {
+ public:
+  explicit DurableLog(std::uint64_t num_segments) : segments_(num_segments) {}
+
+  std::uint64_t num_segments() const { return segments_.size(); }
+
+  // A completed segment write: the record lands whole.
+  void WriteSegment(std::uint64_t segment, SegmentRecord record);
+
+  // A torn segment write: only the first `durable_slots` entries of the
+  // block list persist; the header (count, checksum) still describes the
+  // full write, so the record fails validation on recovery.
+  void WriteTornSegment(std::uint64_t segment, SegmentRecord record,
+                        std::size_t durable_slots);
+
+  const std::optional<SegmentRecord>& segment(std::uint64_t index) const {
+    return segments_.at(index);
+  }
+
+  // Checkpoints alternate between two slots; a torn checkpoint corrupts
+  // only the slot being written.
+  void WriteCheckpoint(Checkpoint checkpoint);
+  void WriteTornCheckpoint(Checkpoint checkpoint);
+
+  // Newest slot whose checksum validates; nullptr when none does.
+  const Checkpoint* LatestValidCheckpoint() const;
+
+ private:
+  std::vector<std::optional<SegmentRecord>> segments_;
+  std::array<std::optional<Checkpoint>, 2> checkpoints_;
+  std::size_t next_checkpoint_slot_ = 0;
+};
+
+}  // namespace ldisk
+
+#endif  // GRAFTLAB_SRC_LDISK_DURABLE_LOG_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace ldisk {
 
@@ -31,6 +33,13 @@ LogLayer::LogLayer(const Geometry& geometry, const diskmod::DiskModel& disk,
   segment_open_[open_segment_] = true;
 }
 
+void LogLayer::AttachDurableLog(DurableLog* log) {
+  if (log != nullptr && log->num_segments() != geometry_.num_segments()) {
+    throw std::invalid_argument("LogLayer: durable log geometry mismatch");
+  }
+  durable_ = log;
+}
+
 std::uint64_t LogLayer::AllocateSegment() {
   if (free_segments_.empty()) {
     throw DiskFull();
@@ -45,9 +54,18 @@ void LogLayer::Write(BlockId logical) {
   if (logical >= geometry_.num_blocks) {
     throw std::out_of_range("LogLayer: logical block beyond device");
   }
+  if (injector_ != nullptr) {
+    // The crash-point sweep: a kCrash injection here stops the machine
+    // before this write touches any state. Other kinds are device faults
+    // and belong on the DiskIo sites, so they are ignored here.
+    const auto fault = injector_->Hit("ldisk.write");
+    if (fault.has_value() && fault->kind == faultlab::FaultKind::kCrash) {
+      throw faultlab::CrashFault("ldisk.write");
+    }
+  }
   ++stats_.user_writes;
   // Baseline cost: an in-place filesystem would pay one random 4KB access.
-  stats_.baseline_disk_time_us += disk_.RandomAccessUs(4096);
+  stats_.baseline_disk_time_us += disk_.RandomAccessUs(kBlockBytes);
   Append(logical, /*user_write=*/true);
 }
 
@@ -80,12 +98,98 @@ void LogLayer::Append(BlockId logical, bool user_write) {
   ++open_fill_;
 }
 
+diskmod::IoResult LogLayer::AccessWithRetry(std::size_t bytes, bool is_write) {
+  if (io_ == nullptr) {
+    return diskmod::IoResult{disk_.RandomAccessUs(bytes), bytes};
+  }
+  double backoff = retry_.backoff_us;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      return is_write ? io_->Write(bytes) : io_->Read(bytes);
+    } catch (const faultlab::TransientError& error) {
+      ++stats_.transient_errors;
+      if (attempt >= retry_.max_attempts) {
+        ++stats_.hard_failures;
+        throw DiskHardError(std::string("ldisk: device failing persistently: ") + error.what());
+      }
+      ++stats_.retries;
+      // The backoff is modeled time on the arm, not a real sleep, so fault
+      // schedules stay deterministic.
+      stats_.retry_backoff_us += backoff;
+      stats_.disk_time_us += backoff;
+      backoff *= retry_.backoff_multiplier;
+    }
+  }
+}
+
+void LogLayer::PersistOpenSegment(const diskmod::IoResult& io, std::uint64_t seq) {
+  if (durable_ == nullptr) {
+    return;
+  }
+  const std::uint64_t bps = geometry_.blocks_per_segment;
+  SegmentRecord record;
+  record.header.epoch = epoch_;
+  record.header.seq = seq;
+  record.header.count = static_cast<std::uint32_t>(bps);
+  record.logicals.resize(bps);
+  // reverse_ holds the live-at-flush view of this segment: slots already
+  // retired by a later overwrite within the same open window persist as
+  // kUnmapped, so replay never resurrects dead intermediate copies.
+  const BlockId first = open_segment_ * bps;
+  for (std::uint64_t b = 0; b < bps; ++b) {
+    record.logicals[b] = reverse_[first + b];
+  }
+  record.header.checksum = SegmentChecksum(record.header, record.logicals);
+
+  const std::size_t durable_slots = io.durable_bytes / kBlockBytes;
+  if (durable_slots < bps) {
+    // The write tore: the prefix is on the platter under a header that
+    // promises more. In this simulation a tear is only observable across a
+    // crash, so the machine dies here; recovery will discard the record.
+    durable_->WriteTornSegment(open_segment_, std::move(record), durable_slots);
+    throw faultlab::CrashFault("ldisk.flush: torn segment write");
+  }
+  durable_->WriteSegment(open_segment_, std::move(record));
+}
+
+void LogLayer::MaybeCheckpoint() {
+  if (durable_ == nullptr || checkpoint_interval_ == 0) {
+    return;
+  }
+  if (++flushes_since_checkpoint_ < checkpoint_interval_) {
+    return;
+  }
+  flushes_since_checkpoint_ = 0;
+  Checkpoint checkpoint;
+  checkpoint.epoch = epoch_;
+  checkpoint.seq = next_seq_ - 1;  // covers every record flushed so far
+  checkpoint.map = map_;
+  checkpoint.checksum = CheckpointChecksum(checkpoint);
+
+  const std::size_t snapshot_bytes = checkpoint.map.size() * sizeof(BlockId);
+  const diskmod::IoResult io = AccessWithRetry(snapshot_bytes, /*is_write=*/true);
+  stats_.disk_time_us += io.time_us;
+  if (io.durable_bytes < snapshot_bytes) {
+    durable_->WriteTornCheckpoint(std::move(checkpoint));
+    throw faultlab::CrashFault("ldisk.checkpoint: torn checkpoint write");
+  }
+  durable_->WriteCheckpoint(std::move(checkpoint));
+  ++stats_.checkpoints_written;
+}
+
 void LogLayer::FlushOpenSegment() {
+  const std::uint64_t seq = next_seq_++;
   // One sequential access writes the whole 64KB segment.
-  stats_.disk_time_us +=
-      disk_.RandomAccessUs(geometry_.blocks_per_segment * 4096);
+  const diskmod::IoResult io =
+      AccessWithRetry(geometry_.blocks_per_segment * kBlockBytes, /*is_write=*/true);
+  stats_.disk_time_us += io.time_us;
   ++stats_.segments_written;
+  PersistOpenSegment(io, seq);  // throws CrashFault on a torn write
   segment_open_[open_segment_] = false;
+  if (flush_observer_) {
+    flush_observer_(seq);
+  }
+  MaybeCheckpoint();
 
   // Open the replacement before cleaning: the cleaner's relocations append
   // into it. The reentrancy guard keeps a relocation-triggered flush from
@@ -120,7 +224,8 @@ void LogLayer::CleanOne() {
 
   ++stats_.cleanings;
   // Read the victim segment (one sequential access)...
-  stats_.disk_time_us += disk_.RandomAccessUs(geometry_.blocks_per_segment * 4096);
+  stats_.disk_time_us +=
+      AccessWithRetry(geometry_.blocks_per_segment * kBlockBytes, /*is_write=*/false).time_us;
   // ...and relocate its live blocks into the open segment.
   const BlockId first = victim * geometry_.blocks_per_segment;
   for (std::uint64_t b = 0; b < geometry_.blocks_per_segment; ++b) {
@@ -133,6 +238,134 @@ void LogLayer::CleanOne() {
   assert(live_[victim] == 0);
   free_segments_.push_back(victim);
   segment_free_[victim] = true;
+}
+
+void LogLayer::RebuildFreeList() {
+  free_segments_.clear();
+  // Descending ids, matching the constructor, so post-recovery allocation
+  // order is deterministic.
+  for (std::uint64_t s = geometry_.num_segments(); s > 0; --s) {
+    if (segment_free_[s - 1]) {
+      free_segments_.push_back(s - 1);
+    }
+  }
+}
+
+RecoveryReport LogLayer::Recover() {
+  if (durable_ == nullptr) {
+    throw std::logic_error("LogLayer::Recover: no durable log attached");
+  }
+  RecoveryReport report;
+  const std::uint64_t bps = geometry_.blocks_per_segment;
+  const std::size_t segment_bytes = bps * kBlockBytes;
+
+  // Remount: the volatile state is gone.
+  std::fill(map_.begin(), map_.end(), kUnmapped);
+  std::fill(reverse_.begin(), reverse_.end(), kUnmapped);
+  std::fill(live_.begin(), live_.end(), 0u);
+  std::fill(segment_free_.begin(), segment_free_.end(), true);
+  std::fill(segment_open_.begin(), segment_open_.end(), false);
+  free_segments_.clear();
+  open_fill_ = 0;
+  cleaning_ = false;
+  flushes_since_checkpoint_ = 0;
+
+  std::uint64_t max_seq = 0;
+  std::uint64_t max_epoch = 0;
+  std::uint64_t floor_seq = 0;
+
+  const Checkpoint* checkpoint = durable_->LatestValidCheckpoint();
+  if (checkpoint != nullptr) {
+    report.used_checkpoint = true;
+    report.checkpoint_seq = checkpoint->seq;
+    report.last_durable_seq = checkpoint->seq;
+    floor_seq = checkpoint->seq;
+    max_seq = checkpoint->seq;
+    max_epoch = checkpoint->epoch;
+    map_ = checkpoint->map;
+    // Reading the snapshot back costs one access of its size.
+    stats_.disk_time_us += disk_.RandomAccessUs(map_.size() * sizeof(BlockId));
+    for (BlockId logical = 0; logical < map_.size(); ++logical) {
+      const BlockId physical = map_[logical];
+      if (physical == kUnmapped) {
+        continue;
+      }
+      reverse_[physical] = logical;
+      const std::uint64_t segment = geometry_.SegmentOf(physical);
+      ++live_[segment];
+      segment_free_[segment] = false;
+    }
+  }
+
+  // Log scan: examine every durable record; collect the replayable ones.
+  // Recovery I/O is assumed reliable — the injector does not cover the
+  // remount path — so the scan charges the model directly.
+  struct LogEntry {
+    std::uint64_t seq;
+    std::uint64_t segment;
+  };
+  std::vector<LogEntry> replayable;
+  for (std::uint64_t s = 0; s < geometry_.num_segments(); ++s) {
+    const auto& record = durable_->segment(s);
+    if (!record.has_value()) {
+      continue;
+    }
+    ++report.segments_scanned;
+    stats_.disk_time_us += disk_.RandomAccessUs(segment_bytes);
+    // Torn headers still carry their seq/epoch; honoring them keeps the
+    // next mount's numbering ahead of everything ever written.
+    max_epoch = std::max(max_epoch, record->header.epoch);
+    max_seq = std::max(max_seq, record->header.seq);
+    if (!ValidateRecord(*record)) {
+      ++report.torn_discarded;
+      continue;
+    }
+    if (record->header.seq <= floor_seq) {
+      continue;  // already folded into the checkpoint
+    }
+    replayable.push_back(LogEntry{record->header.seq, s});
+  }
+  std::sort(replayable.begin(), replayable.end(),
+            [](const LogEntry& a, const LogEntry& b) { return a.seq < b.seq; });
+
+  // Replay in flush order: a block's newest durable copy wins, older copies
+  // are retired exactly as the live write path would have.
+  for (const LogEntry& entry : replayable) {
+    const SegmentRecord& record = *durable_->segment(entry.segment);
+    for (std::uint64_t slot = 0; slot < bps; ++slot) {
+      const BlockId logical = record.logicals[slot];
+      if (logical == kUnmapped || logical >= geometry_.num_blocks) {
+        continue;
+      }
+      const BlockId physical = entry.segment * bps + slot;
+      const BlockId old = map_[logical];
+      if (old != kUnmapped) {
+        reverse_[old] = kUnmapped;
+        --live_[geometry_.SegmentOf(old)];
+      }
+      map_[logical] = physical;
+      reverse_[physical] = logical;
+      ++live_[entry.segment];
+    }
+    segment_free_[entry.segment] = false;
+    ++report.segments_replayed;
+    report.last_durable_seq = std::max(report.last_durable_seq, entry.seq);
+  }
+
+  // Segments whose every block was superseded are reusable again.
+  for (std::uint64_t s = 0; s < geometry_.num_segments(); ++s) {
+    if (!segment_free_[s] && live_[s] == 0) {
+      segment_free_[s] = true;
+    }
+  }
+  RebuildFreeList();
+
+  epoch_ = max_epoch + 1;
+  next_seq_ = max_seq + 1;
+  open_segment_ = AllocateSegment();
+  segment_open_[open_segment_] = true;
+  ++stats_.recoveries;
+  return report;
 }
 
 double LogLayer::Utilization() const {

@@ -1,5 +1,5 @@
-// Full log-structured layer: mapping, segment log, greedy cleaner, and disk
-// time accounting.
+// Full log-structured layer: mapping, segment log, greedy cleaner, disk
+// time accounting — and, since the faultlab PR, durability.
 //
 // The paper's Table 6 measures only the bookkeeping cost and explicitly
 // omits a cleaner ("Because our simulation does not include a cleaner, we
@@ -11,14 +11,33 @@
 // emptiest segment. bench/ablate_ldisk_cleaner sweeps disk utilization to
 // show where cleaning erodes the batching win, and examples/log_disk.cpp
 // demonstrates the end-to-end savings.
+//
+// Durability (all optional; detached, the layer behaves exactly like the
+// seed):
+//   * AttachDiskIo routes segment I/O through a diskmod::DiskIo, where a
+//     FaultyDisk can make accesses fail, stall, or tear. Transient errors
+//     are retried with exponential backoff (modeled time, no real sleeps);
+//     the retry budget spent, the write escalates to DiskHardError.
+//   * AttachDurableLog persists every flushed segment as a self-describing
+//     record (logical ids + epoch + seq + checksum) and periodic map
+//     checkpoints; Recover() rebuilds the volatile state by log scan,
+//     discarding the torn tail, with replay length bounded by the newest
+//     checkpoint.
+//   * AttachInjector lets a faultlab plan crash the machine at the
+//     "ldisk.write" site (every Nth user write), which is how the soak
+//     test sweeps crash points.
 
 #ifndef GRAFTLAB_SRC_LDISK_LOG_LAYER_H_
 #define GRAFTLAB_SRC_LDISK_LOG_LAYER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/diskmod/disk_model.h"
+#include "src/diskmod/faulty_disk.h"
+#include "src/faultlab/injector.h"
+#include "src/ldisk/durable_log.h"
 #include "src/ldisk/logical_disk.h"
 
 namespace ldisk {
@@ -30,6 +49,31 @@ struct LogLayerStats {
   std::uint64_t blocks_copied = 0;      // live blocks relocated by the cleaner
   double disk_time_us = 0.0;            // modeled time spent on the disk arm
   double baseline_disk_time_us = 0.0;   // same writes done randomly in place
+  // Fault handling (all zero without an attached DiskIo/injector):
+  std::uint64_t transient_errors = 0;   // I/O attempts that failed retryably
+  std::uint64_t retries = 0;            // attempts repeated after a failure
+  std::uint64_t hard_failures = 0;      // retry budget exhausted
+  double retry_backoff_us = 0.0;        // modeled time spent backing off
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t recoveries = 0;         // Recover() calls on this layer
+};
+
+// Bounded retry with exponential backoff for transient device errors. The
+// backoff is charged to the modeled disk time, not slept.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;   // 1 initial try + 3 retries
+  double backoff_us = 200.0;        // wait before the first retry
+  double backoff_multiplier = 2.0;  // grows per retry
+};
+
+// What Recover() found in the durable image.
+struct RecoveryReport {
+  std::uint64_t segments_scanned = 0;   // durable records examined
+  std::uint64_t segments_replayed = 0;  // valid records folded into the map
+  std::uint64_t torn_discarded = 0;     // records failing validation
+  bool used_checkpoint = false;
+  std::uint64_t checkpoint_seq = 0;     // valid when used_checkpoint
+  std::uint64_t last_durable_seq = 0;   // newest state recovered (0 = empty)
 };
 
 class LogLayer {
@@ -42,8 +86,11 @@ class LogLayer {
   // Writes a logical block through the log.
   void Write(BlockId logical);
 
-  // Read-path translation (kUnmapped when the block was never written).
-  BlockId Read(BlockId logical) const { return map_[logical]; }
+  // Read-path translation (kUnmapped when the block was never written or
+  // the id is beyond the device).
+  BlockId Read(BlockId logical) const {
+    return logical < map_.size() ? map_[logical] : kUnmapped;
+  }
 
   const LogLayerStats& stats() const { return stats_; }
   const Geometry& geometry() const { return geometry_; }
@@ -54,11 +101,55 @@ class LogLayer {
   // Invariant check for tests: map and reverse map agree, live counts match.
   bool CheckInvariants() const;
 
+  // --- Durability / fault seams ---
+
+  // Routes segment reads and writes through `io` (e.g. a FaultyDisk).
+  // nullptr restores the seed's direct cost-model accounting.
+  void AttachDiskIo(diskmod::DiskIo* io) { io_ = io; }
+
+  // Persists flushed segments (and checkpoints) into `log`. The log must
+  // cover this geometry's segments. nullptr detaches.
+  void AttachDurableLog(DurableLog* log);
+
+  // Consults `injector` at the "ldisk.write" site on every user write; a
+  // kCrash injection there throws faultlab::CrashFault before the write.
+  void AttachInjector(faultlab::Injector* injector) { injector_ = injector; }
+
+  void set_retry_policy(const RetryPolicy& retry) { retry_ = retry; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  // Writes a checkpoint every `flushes` segment flushes (0 = never).
+  void set_checkpoint_interval(std::uint64_t flushes) { checkpoint_interval_ = flushes; }
+
+  // Called after each completed (durable) segment flush with the record's
+  // sequence number, before any cleaning it triggers. At that instant the
+  // in-memory map references durable segments only, so observers may
+  // snapshot it as "state as of seq".
+  void set_flush_observer(std::function<void(std::uint64_t seq)> observer) {
+    flush_observer_ = std::move(observer);
+  }
+
+  // Rebuilds the volatile state (map, reverse map, live counts, free pool)
+  // from the attached durable log: loads the newest valid checkpoint, then
+  // replays valid segment records in seq order, discarding torn ones.
+  // Requires AttachDurableLog; the previous in-memory state is discarded,
+  // modeling a post-crash remount.
+  RecoveryReport Recover();
+
+  // Read-only view of the full logical -> physical map (tests, tools).
+  const std::vector<BlockId>& logical_map() const { return map_; }
+
  private:
+  static constexpr std::size_t kBlockBytes = 4096;
+
   void Append(BlockId logical, bool user_write);
   void FlushOpenSegment();
   void CleanOne();
   std::uint64_t AllocateSegment();
+  diskmod::IoResult AccessWithRetry(std::size_t bytes, bool is_write);
+  void PersistOpenSegment(const diskmod::IoResult& io, std::uint64_t seq);
+  void MaybeCheckpoint();
+  void RebuildFreeList();
 
   Geometry geometry_;
   diskmod::DiskModel disk_;
@@ -75,7 +166,36 @@ class LogLayer {
   std::uint64_t open_fill_ = 0;     // blocks appended to the open segment
   bool cleaning_ = false;           // reentrancy guard for the cleaner
 
+  // Durability seams; all optional.
+  diskmod::DiskIo* io_ = nullptr;
+  DurableLog* durable_ = nullptr;
+  faultlab::Injector* injector_ = nullptr;
+  RetryPolicy retry_;
+  std::uint64_t checkpoint_interval_ = 0;
+  std::uint64_t flushes_since_checkpoint_ = 0;
+  std::uint64_t epoch_ = 1;     // bumped past the durable image on Recover
+  std::uint64_t next_seq_ = 1;  // sequence number of the next flush
+  std::function<void(std::uint64_t)> flush_observer_;
+
   LogLayerStats stats_;
+};
+
+// Adapts LogLayer into the Black Box graft interface, so the durable,
+// cleaner-complete log can be driven by the replay harness and graftd like
+// any technology's bookkeeping graft.
+class LogLayerGraft : public LogicalDiskGraft {
+ public:
+  explicit LogLayerGraft(LogLayer& layer) : layer_(layer) {}
+
+  BlockId OnWrite(BlockId logical) override {
+    layer_.Write(logical);
+    return layer_.Read(logical);
+  }
+  BlockId Translate(BlockId logical) override { return layer_.Read(logical); }
+  const char* technology() const override { return "LogLayer"; }
+
+ private:
+  LogLayer& layer_;
 };
 
 }  // namespace ldisk

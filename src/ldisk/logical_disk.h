@@ -41,6 +41,15 @@ class DiskFull : public std::runtime_error {
   DiskFull() : std::runtime_error("logical disk: log reached end of device") {}
 };
 
+// Thrown when the write path exhausts its transient-error retry budget: the
+// device is persistently failing, not merely full. Like DiskFull this is a
+// hard, non-retryable failure the host must surface rather than contain as
+// an extension fault.
+class DiskHardError : public std::runtime_error {
+ public:
+  explicit DiskHardError(const std::string& what) : std::runtime_error(what) {}
+};
+
 // Kernel-side interface of a Black Box (logical disk bookkeeping) graft.
 class LogicalDiskGraft {
  public:
@@ -73,7 +82,12 @@ class SkewedWorkload {
     if (coin < hot_probability_ && hot_blocks_ > 0) {
       return rng_() % hot_blocks_;
     }
+    // hot_fraction 1.0 (or a tiny geometry rounding hot up to everything)
+    // leaves no cold region: the whole device is the hot set.
     const BlockId cold_span = total_blocks_ - hot_blocks_;
+    if (cold_span == 0) {
+      return rng_() % total_blocks_;
+    }
     return hot_blocks_ + rng_() % cold_span;
   }
 

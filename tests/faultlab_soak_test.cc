@@ -1,0 +1,288 @@
+// faultlab soak test: randomized-but-seeded fault schedules against the
+// durable log layer, checked against an independent oracle.
+//
+// The oracle: LogLayer calls the flush observer at the instant a segment
+// flush completes, when the in-memory map references durable segments only.
+// A snapshot of the map at that instant is therefore exactly the state a
+// post-crash Recover() must rebuild if the machine dies before the next
+// durable write. Every schedule below drives a fixed seeded workload,
+// snapshots the map at each flush, crashes the machine on the injector's
+// terms, remounts, and requires
+//
+//   recovered map == snapshot[report.last_durable_seq]
+//   CheckInvariants() after recovery
+//
+// with the whole run reproducible from the plan's seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/diskmod/disk_model.h"
+#include "src/diskmod/faulty_disk.h"
+#include "src/faultlab/fault.h"
+#include "src/faultlab/injector.h"
+#include "src/ldisk/durable_log.h"
+#include "src/ldisk/log_layer.h"
+#include "src/ldisk/logical_disk.h"
+
+namespace {
+
+using faultlab::FaultKind;
+using faultlab::FaultPlan;
+using faultlab::FaultSpec;
+using faultlab::Injector;
+using ldisk::BlockId;
+
+constexpr std::uint64_t kWorkloadSeed = 80204;
+constexpr std::uint64_t kMaxWrites = 4000;
+
+ldisk::Geometry SoakGeometry() {
+  ldisk::Geometry g;
+  g.num_blocks = 1024;  // 64 segments of 16 blocks
+  g.blocks_per_segment = 16;
+  return g;
+}
+
+// One crashable run: a layer over its durable log, with every flush
+// snapshotted so recovery can be checked against the oracle.
+struct Rig {
+  explicit Rig(Injector* injector = nullptr)
+      : durable(SoakGeometry().num_segments()),
+        layer(SoakGeometry(), diskmod::PaperEraDisk()) {
+    layer.AttachDurableLog(&durable);
+    if (injector != nullptr) {
+      base.emplace(diskmod::PaperEraDisk());
+      faulty.emplace(*base, *injector);
+      layer.AttachDiskIo(&*faulty);
+      layer.AttachInjector(injector);
+    }
+    layer.set_flush_observer(
+        [this](std::uint64_t seq) { snapshots[seq] = layer.logical_map(); });
+  }
+
+  // Drives the seeded workload until it completes or the machine crashes.
+  // Returns true when a crash was injected.
+  bool Run(std::uint64_t writes = kMaxWrites) {
+    ldisk::SkewedWorkload workload(SoakGeometry(), kWorkloadSeed);
+    try {
+      for (std::uint64_t i = 0; i < writes; ++i) {
+        layer.Write(workload.Next());
+      }
+    } catch (const faultlab::CrashFault&) {
+      return true;
+    }
+    return false;
+  }
+
+  // Remounts a fresh layer over the durable image and checks it against the
+  // flush-instant oracle.
+  void ExpectRecoveryMatchesOracle() {
+    ldisk::LogLayer remounted(SoakGeometry(), diskmod::PaperEraDisk());
+    remounted.AttachDurableLog(&durable);
+    const ldisk::RecoveryReport report = remounted.Recover();
+    if (report.last_durable_seq == 0) {
+      // Nothing durable survived: recovery must yield an empty device.
+      const std::vector<BlockId> empty(SoakGeometry().num_blocks, ldisk::kUnmapped);
+      EXPECT_EQ(remounted.logical_map(), empty);
+    } else {
+      ASSERT_TRUE(snapshots.count(report.last_durable_seq))
+          << "recovered to seq " << report.last_durable_seq
+          << " which no flush observer saw";
+      EXPECT_EQ(remounted.logical_map(), snapshots[report.last_durable_seq]);
+    }
+    EXPECT_TRUE(remounted.CheckInvariants());
+  }
+
+  ldisk::DurableLog durable;
+  std::optional<diskmod::ModelDiskIo> base;
+  std::optional<diskmod::FaultyDisk> faulty;
+  ldisk::LogLayer layer;
+  std::map<std::uint64_t, std::vector<BlockId>> snapshots;
+};
+
+// --- Crash-point sweep: die at every Nth user write ---
+
+TEST(FaultlabSoak, CrashAtEveryNthWriteRecoversTheDurablePrefix) {
+  for (const std::uint64_t n : {7u, 23u, 57u, 131u, 263u}) {
+    SCOPED_TRACE("crash every " + std::to_string(n) + " writes");
+    FaultPlan plan;
+    plan.seed = n;
+    plan.Add(FaultSpec{
+        .site = "ldisk.write", .kind = FaultKind::kCrash, .every_nth = n, .budget = 1});
+    Injector injector(plan);
+    Rig rig(&injector);
+    ASSERT_TRUE(rig.Run());
+    rig.ExpectRecoveryMatchesOracle();
+  }
+}
+
+TEST(FaultlabSoak, RepeatedCrashRecoverCyclesStayConsistent) {
+  // One machine, crashed and remounted in place over and over: each cycle
+  // must recover a valid state and keep accepting writes in a fresh epoch.
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.Add(FaultSpec{.site = "ldisk.write", .kind = FaultKind::kCrash, .every_nth = 157});
+  Injector injector(plan);
+  Rig rig(&injector);
+  int crashes = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    if (!rig.Run(/*writes=*/600)) {
+      break;
+    }
+    ++crashes;
+    rig.ExpectRecoveryMatchesOracle();  // fresh-remount oracle check
+    const ldisk::RecoveryReport report = rig.layer.Recover();  // then carry on in place
+    if (report.last_durable_seq > 0) {
+      EXPECT_EQ(rig.layer.logical_map(), rig.snapshots[report.last_durable_seq]);
+    }
+    EXPECT_TRUE(rig.layer.CheckInvariants());
+  }
+  EXPECT_GT(crashes, 1);
+}
+
+// --- Torn segment writes: the tail of the log is discarded ---
+
+TEST(FaultlabSoak, TornWritesAreDiscardedAcrossTearFractions) {
+  for (const double fraction : {0.0, 0.25, 0.75}) {
+    SCOPED_TRACE("tear fraction " + std::to_string(fraction));
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.Add(FaultSpec{.site = "disk.write",
+                       .kind = FaultKind::kTornWrite,
+                       .every_nth = 13,
+                       .budget = 1,
+                       .param = fraction});
+    Injector injector(plan);
+    Rig rig(&injector);
+    ASSERT_TRUE(rig.Run());  // the tear is crash-coincident
+    rig.ExpectRecoveryMatchesOracle();
+
+    ldisk::LogLayer remounted(SoakGeometry(), diskmod::PaperEraDisk());
+    remounted.AttachDurableLog(&rig.durable);
+    const ldisk::RecoveryReport report = remounted.Recover();
+    EXPECT_EQ(report.torn_discarded, 1u);
+    EXPECT_LT(report.last_durable_seq, 13u);
+  }
+}
+
+// --- Error bursts: transient failures retry without observable effect ---
+
+TEST(FaultlabSoak, TransientErrorBurstsNeverChangeTheMappingReadersSee) {
+  Rig clean;
+  ASSERT_FALSE(clean.Run());
+
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.Add(FaultSpec{.site = "disk.write",
+                     .kind = FaultKind::kTransientError,
+                     .probability = 0.25,
+                     .budget = 120});
+  plan.Add(FaultSpec{.site = "disk.read",
+                     .kind = FaultKind::kTransientError,
+                     .probability = 0.25,
+                     .budget = 40});
+  Injector injector(plan);
+  Rig bursty(&injector);
+  ASSERT_FALSE(bursty.Run());
+
+  EXPECT_EQ(bursty.layer.logical_map(), clean.layer.logical_map());
+  EXPECT_GT(bursty.layer.stats().transient_errors, 0u);
+  EXPECT_GT(bursty.layer.stats().retries, 0u);
+  EXPECT_EQ(bursty.layer.stats().hard_failures, 0u);
+  EXPECT_TRUE(bursty.layer.CheckInvariants());
+  // The durable image is also unaffected: remounting recovers the same
+  // state either way.
+  bursty.ExpectRecoveryMatchesOracle();
+}
+
+// --- Latency storms: slower, never different ---
+
+TEST(FaultlabSoak, LatencyStormsCostTimeButChangeNothing) {
+  Rig calm;
+  ASSERT_FALSE(calm.Run());
+
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.Add(FaultSpec{.site = "disk.write",
+                     .kind = FaultKind::kLatencySpike,
+                     .probability = 0.5,
+                     .param = 50000.0});
+  Injector injector(plan);
+  Rig stormy(&injector);
+  ASSERT_FALSE(stormy.Run());
+
+  EXPECT_EQ(stormy.layer.logical_map(), calm.layer.logical_map());
+  EXPECT_GT(stormy.layer.stats().disk_time_us, calm.layer.stats().disk_time_us);
+  EXPECT_EQ(stormy.layer.stats().transient_errors, 0u);
+  EXPECT_TRUE(stormy.layer.CheckInvariants());
+}
+
+// --- Checkpoint interval sweep: same recovery, bounded replay ---
+
+TEST(FaultlabSoak, CheckpointIntervalsAllRecoverTheSameState) {
+  std::vector<BlockId> reference;
+  std::uint64_t unbounded_replay = 0;
+  for (const std::uint64_t interval : {0u, 4u, 16u}) {
+    SCOPED_TRACE("checkpoint every " + std::to_string(interval) + " flushes");
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.Add(FaultSpec{
+        .site = "ldisk.write", .kind = FaultKind::kCrash, .every_nth = 997, .budget = 1});
+    Injector injector(plan);
+    Rig rig(&injector);
+    rig.layer.set_checkpoint_interval(interval);
+    ASSERT_TRUE(rig.Run());
+    rig.ExpectRecoveryMatchesOracle();
+
+    ldisk::LogLayer remounted(SoakGeometry(), diskmod::PaperEraDisk());
+    remounted.AttachDurableLog(&rig.durable);
+    const ldisk::RecoveryReport report = remounted.Recover();
+    if (interval == 0) {
+      EXPECT_FALSE(report.used_checkpoint);
+      unbounded_replay = report.segments_replayed;
+      reference = remounted.logical_map();
+    } else {
+      // Same durable history, same recovered map, strictly shorter replay.
+      EXPECT_TRUE(report.used_checkpoint);
+      EXPECT_EQ(remounted.logical_map(), reference);
+      EXPECT_LT(report.segments_replayed, unbounded_replay);
+    }
+  }
+}
+
+// --- Determinism: the same plan is the same run ---
+
+TEST(FaultlabSoak, IdenticalPlansProduceIdenticalRunsAndCounters) {
+  const auto run = [] {
+    FaultPlan plan;
+    plan.seed = 17;
+    plan.Add(FaultSpec{.site = "disk.write",
+                       .kind = FaultKind::kTransientError,
+                       .probability = 0.2,
+                       .budget = 60});
+    plan.Add(FaultSpec{
+        .site = "ldisk.write", .kind = FaultKind::kCrash, .every_nth = 1103, .budget = 1});
+    auto injector = std::make_unique<Injector>(plan);
+    auto rig = std::make_unique<Rig>(injector.get());
+    rig->Run();
+    return std::make_pair(rig->layer.logical_map(), injector->Counters());
+  };
+
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  ASSERT_EQ(first.second.size(), second.second.size());
+  for (std::size_t i = 0; i < first.second.size(); ++i) {
+    EXPECT_EQ(first.second[i].site, second.second[i].site);
+    EXPECT_EQ(first.second[i].hits, second.second[i].hits);
+    EXPECT_EQ(first.second[i].injected, second.second[i].injected);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,439 @@
+// faultlab unit tests: deterministic injector evaluation (every-Nth,
+// Bernoulli, budgets, counters), the FaultyDisk seam, the durable log's
+// record/checkpoint validation, and LogLayer's retry escalation and basic
+// crash recovery. The randomized end-to-end schedules live in
+// faultlab_soak_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/diskmod/disk_model.h"
+#include "src/diskmod/faulty_disk.h"
+#include "src/faultlab/fault.h"
+#include "src/faultlab/injector.h"
+#include "src/ldisk/durable_log.h"
+#include "src/ldisk/log_layer.h"
+#include "src/ldisk/logical_disk.h"
+
+namespace {
+
+using faultlab::FaultKind;
+using faultlab::FaultPlan;
+using faultlab::FaultSpec;
+using faultlab::Injector;
+using ldisk::BlockId;
+using ldisk::kUnmapped;
+
+// --- Injector ---
+
+TEST(Injector, EveryNthFiresOnExactlyEveryNthHit) {
+  FaultPlan plan;
+  plan.Add(FaultSpec{.site = "disk.write", .kind = FaultKind::kTransientError, .every_nth = 3});
+  Injector injector(plan);
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 12; ++i) {
+    fired.push_back(injector.Hit("disk.write").has_value());
+  }
+  const std::vector<bool> expected = {false, false, true, false, false, true,
+                                      false, false, true, false, false, true};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Injector, SitesAreIndependent) {
+  FaultPlan plan;
+  plan.Add(FaultSpec{.site = "disk.write", .kind = FaultKind::kCrash, .every_nth = 1});
+  Injector injector(plan);
+
+  EXPECT_FALSE(injector.Hit("disk.read").has_value());
+  ASSERT_TRUE(injector.Hit("disk.write").has_value());
+  EXPECT_EQ(injector.Hit("disk.write")->kind, FaultKind::kCrash);
+}
+
+TEST(Injector, BudgetCapsInjections) {
+  FaultPlan plan;
+  plan.Add(FaultSpec{
+      .site = "s", .kind = FaultKind::kTransientError, .every_nth = 1, .budget = 2});
+  Injector injector(plan);
+
+  EXPECT_TRUE(injector.Hit("s").has_value());
+  EXPECT_TRUE(injector.Hit("s").has_value());
+  EXPECT_FALSE(injector.Hit("s").has_value());  // budget spent
+  EXPECT_EQ(injector.total_injected(), 2u);
+}
+
+TEST(Injector, ProbabilityIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.Add(FaultSpec{.site = "s", .kind = FaultKind::kTransientError, .probability = 0.3});
+    Injector injector(plan);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(injector.Hit("s").has_value());
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(42), run(42));  // same seed, same schedule
+  EXPECT_NE(run(42), run(43));  // another seed, another schedule
+}
+
+TEST(Injector, FirstTriggeredSpecWinsInPlanOrder) {
+  FaultPlan plan;
+  plan.Add(FaultSpec{.site = "s", .kind = FaultKind::kLatencySpike, .every_nth = 2, .param = 5.0});
+  plan.Add(FaultSpec{.site = "s", .kind = FaultKind::kCrash, .every_nth = 1});
+  Injector injector(plan);
+
+  // Hit 1: only the crash spec triggers. Hit 2: both trigger, plan order
+  // picks the latency spike.
+  ASSERT_TRUE(injector.Hit("s").has_value());
+  EXPECT_EQ(injector.Hit("s")->kind, FaultKind::kLatencySpike);
+}
+
+TEST(Injector, CountersSeeDormantSitesAndInjections) {
+  FaultPlan plan;
+  plan.Add(FaultSpec{.site = "quiet", .kind = FaultKind::kCrash, .every_nth = 100});
+  plan.Add(FaultSpec{.site = "busy", .kind = FaultKind::kTransientError, .every_nth = 2});
+  Injector injector(plan);
+  for (int i = 0; i < 6; ++i) {
+    injector.Hit("busy");
+  }
+
+  const auto counters = injector.Counters();
+  ASSERT_EQ(counters.size(), 2u);  // sorted by name: busy, quiet
+  EXPECT_EQ(counters[0].site, "busy");
+  EXPECT_EQ(counters[0].hits, 6u);
+  EXPECT_EQ(counters[0].injected, 3u);
+  EXPECT_EQ(counters[1].site, "quiet");
+  EXPECT_EQ(counters[1].hits, 0u);
+  EXPECT_EQ(counters[1].injected, 0u);
+  EXPECT_EQ(injector.total_injected(), 3u);
+}
+
+// --- FaultyDisk ---
+
+TEST(FaultyDisk, CleanPassThroughChargesTheModel) {
+  diskmod::ModelDiskIo base;
+  Injector injector(FaultPlan{});
+  diskmod::FaultyDisk disk(base, injector);
+
+  const auto result = disk.Write(4096);
+  EXPECT_DOUBLE_EQ(result.time_us, base.model().RandomAccessUs(4096));
+  EXPECT_EQ(result.durable_bytes, 4096u);
+}
+
+TEST(FaultyDisk, InjectsEachKindAtItsSite) {
+  diskmod::ModelDiskIo base;
+  FaultPlan plan;
+  plan.Add(FaultSpec{
+      .site = "disk.write", .kind = FaultKind::kTransientError, .every_nth = 1, .budget = 1});
+  plan.Add(FaultSpec{.site = "disk.write",
+                     .kind = FaultKind::kLatencySpike,
+                     .every_nth = 1,
+                     .budget = 1,
+                     .param = 1234.5});
+  plan.Add(FaultSpec{.site = "disk.write",
+                     .kind = FaultKind::kTornWrite,
+                     .every_nth = 1,
+                     .budget = 1,
+                     .param = 0.5});
+  plan.Add(FaultSpec{
+      .site = "disk.write", .kind = FaultKind::kCrash, .every_nth = 1, .budget = 1});
+  Injector injector(plan);
+  diskmod::FaultyDisk disk(base, injector);
+
+  EXPECT_THROW(disk.Write(4096), faultlab::TransientError);
+  const auto spiked = disk.Write(4096);
+  EXPECT_DOUBLE_EQ(spiked.time_us, base.model().RandomAccessUs(4096) + 1234.5);
+  EXPECT_EQ(spiked.durable_bytes, 4096u);
+  const auto torn = disk.Write(4096);
+  EXPECT_EQ(torn.durable_bytes, 2048u);
+  EXPECT_THROW(disk.Write(4096), faultlab::CrashFault);
+  const auto clean = disk.Write(4096);  // every budget spent
+  EXPECT_EQ(clean.durable_bytes, 4096u);
+}
+
+TEST(FaultyDisk, TornReadIsATransientError) {
+  diskmod::ModelDiskIo base;
+  FaultPlan plan;
+  plan.Add(
+      FaultSpec{.site = "disk.read", .kind = FaultKind::kTornWrite, .every_nth = 1, .param = 0.5});
+  Injector injector(plan);
+  diskmod::FaultyDisk disk(base, injector);
+  EXPECT_THROW(disk.Read(4096), faultlab::TransientError);
+}
+
+// --- DurableLog ---
+
+ldisk::SegmentRecord MakeRecord(std::uint64_t seq, std::vector<BlockId> logicals) {
+  ldisk::SegmentRecord record;
+  record.header.epoch = 1;
+  record.header.seq = seq;
+  record.header.count = static_cast<std::uint32_t>(logicals.size());
+  record.logicals = std::move(logicals);
+  record.header.checksum = ldisk::SegmentChecksum(record.header, record.logicals);
+  return record;
+}
+
+TEST(DurableLog, IntactRecordValidatesTornRecordDoesNot) {
+  ldisk::DurableLog log(4);
+  log.WriteSegment(0, MakeRecord(1, {7, 8, kUnmapped, 9}));
+  log.WriteTornSegment(1, MakeRecord(2, {1, 2, 3, 4}), /*durable_slots=*/2);
+
+  ASSERT_TRUE(log.segment(0).has_value());
+  EXPECT_TRUE(ldisk::ValidateRecord(*log.segment(0)));
+  ASSERT_TRUE(log.segment(1).has_value());
+  EXPECT_FALSE(ldisk::ValidateRecord(*log.segment(1)));
+  EXPECT_FALSE(log.segment(2).has_value());
+}
+
+TEST(DurableLog, CorruptedChecksumFailsValidation) {
+  ldisk::SegmentRecord record = MakeRecord(3, {5, 6});
+  record.logicals[0] = 17;  // bit rot after the checksum was computed
+  EXPECT_FALSE(ldisk::ValidateRecord(record));
+}
+
+ldisk::Checkpoint MakeCheckpoint(std::uint64_t seq, std::vector<BlockId> map) {
+  ldisk::Checkpoint checkpoint;
+  checkpoint.epoch = 1;
+  checkpoint.seq = seq;
+  checkpoint.map = std::move(map);
+  checkpoint.checksum = ldisk::CheckpointChecksum(checkpoint);
+  return checkpoint;
+}
+
+TEST(DurableLog, CheckpointSlotsAlternateAndTornWritesCannotDestroyThePrevious) {
+  ldisk::DurableLog log(4);
+  EXPECT_EQ(log.LatestValidCheckpoint(), nullptr);
+
+  log.WriteCheckpoint(MakeCheckpoint(4, {0, 1}));
+  ASSERT_NE(log.LatestValidCheckpoint(), nullptr);
+  EXPECT_EQ(log.LatestValidCheckpoint()->seq, 4u);
+
+  log.WriteCheckpoint(MakeCheckpoint(8, {2, 3}));
+  EXPECT_EQ(log.LatestValidCheckpoint()->seq, 8u);
+
+  // A torn checkpoint corrupts only its own slot: the newest *valid*
+  // checkpoint falls back to seq 8.
+  log.WriteTornCheckpoint(MakeCheckpoint(12, {4, 5}));
+  ASSERT_NE(log.LatestValidCheckpoint(), nullptr);
+  EXPECT_EQ(log.LatestValidCheckpoint()->seq, 8u);
+
+  // The next completed checkpoint overwrites the corrupt slot.
+  log.WriteCheckpoint(MakeCheckpoint(16, {6, 7}));
+  EXPECT_EQ(log.LatestValidCheckpoint()->seq, 16u);
+}
+
+// --- LogLayer: retry, escalation, recovery ---
+
+ldisk::Geometry TinyGeometry() {
+  ldisk::Geometry g;
+  g.num_blocks = 1024;  // 64 segments of 16 blocks
+  g.blocks_per_segment = 16;
+  return g;
+}
+
+// Drives `writes` deterministic skewed writes into the layer.
+void DriveWrites(ldisk::LogLayer& layer, std::uint64_t writes, std::uint64_t seed = 99) {
+  ldisk::SkewedWorkload workload(layer.geometry(), seed);
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    layer.Write(workload.Next());
+  }
+}
+
+TEST(LogLayerRetry, TransientErrorsAreRetriedWithoutChangingTheMapping) {
+  const auto geometry = TinyGeometry();
+
+  ldisk::LogLayer clean(geometry, diskmod::PaperEraDisk());
+  DriveWrites(clean, 600);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.Add(FaultSpec{.site = "disk.write",
+                     .kind = FaultKind::kTransientError,
+                     .probability = 0.3,
+                     .budget = 40});
+  Injector injector(plan);
+  diskmod::ModelDiskIo base(diskmod::PaperEraDisk());
+  diskmod::FaultyDisk faulty(base, injector);
+  ldisk::LogLayer layer(geometry, diskmod::PaperEraDisk());
+  layer.AttachDiskIo(&faulty);
+  // A generous retry budget: this test is about retries being invisible to
+  // readers, not about escalation (PersistentErrorsEscalateToDiskHardError).
+  layer.set_retry_policy(ldisk::RetryPolicy{.max_attempts = 16});
+  DriveWrites(layer, 600);
+
+  // Readers never observe a different mapping because of retries.
+  EXPECT_EQ(layer.logical_map(), clean.logical_map());
+  EXPECT_GT(layer.stats().transient_errors, 0u);
+  EXPECT_GT(layer.stats().retries, 0u);
+  EXPECT_EQ(layer.stats().hard_failures, 0u);
+  EXPECT_GT(layer.stats().retry_backoff_us, 0.0);
+  EXPECT_TRUE(layer.CheckInvariants());
+}
+
+TEST(LogLayerRetry, PersistentErrorsEscalateToDiskHardError) {
+  FaultPlan plan;
+  plan.Add(FaultSpec{.site = "disk.write", .kind = FaultKind::kTransientError, .every_nth = 1});
+  Injector injector(plan);
+  diskmod::ModelDiskIo base;
+  diskmod::FaultyDisk faulty(base, injector);
+
+  ldisk::LogLayer layer(TinyGeometry(), diskmod::PaperEraDisk());
+  layer.AttachDiskIo(&faulty);
+  layer.set_retry_policy(ldisk::RetryPolicy{.max_attempts = 3});
+
+  EXPECT_THROW(DriveWrites(layer, 600), ldisk::DiskHardError);
+  EXPECT_EQ(layer.stats().hard_failures, 1u);
+  EXPECT_EQ(layer.stats().transient_errors, 3u);  // every attempt failed
+  EXPECT_EQ(layer.stats().retries, 2u);
+}
+
+TEST(LogLayerRetry, BackoffGrowsExponentiallyInModeledTime) {
+  FaultPlan plan;
+  plan.Add(FaultSpec{.site = "disk.write",
+                     .kind = FaultKind::kTransientError,
+                     .every_nth = 1,
+                     .budget = 2});
+  Injector injector(plan);
+  diskmod::ModelDiskIo base;
+  diskmod::FaultyDisk faulty(base, injector);
+
+  ldisk::LogLayer layer(TinyGeometry(), diskmod::PaperEraDisk());
+  layer.AttachDiskIo(&faulty);
+  layer.set_retry_policy(
+      ldisk::RetryPolicy{.max_attempts = 4, .backoff_us = 100.0, .backoff_multiplier = 2.0});
+  DriveWrites(layer, 600);
+
+  // Two failures on the first flush: backoffs 100us then 200us.
+  EXPECT_DOUBLE_EQ(layer.stats().retry_backoff_us, 300.0);
+  EXPECT_EQ(layer.stats().hard_failures, 0u);
+}
+
+TEST(LogLayerRecovery, ReplayRebuildsTheMapFromSegmentRecords) {
+  const auto geometry = TinyGeometry();
+  ldisk::DurableLog durable(geometry.num_segments());
+
+  ldisk::LogLayer layer(geometry, diskmod::PaperEraDisk());
+  layer.AttachDurableLog(&durable);
+  std::vector<BlockId> snapshot;
+  std::uint64_t snapshot_seq = 0;
+  layer.set_flush_observer([&](std::uint64_t seq) {
+    snapshot = layer.logical_map();
+    snapshot_seq = seq;
+  });
+  DriveWrites(layer, 600);
+  ASSERT_GT(snapshot_seq, 0u);
+
+  // Remount a fresh layer over the same durable image.
+  ldisk::LogLayer remounted(geometry, diskmod::PaperEraDisk());
+  remounted.AttachDurableLog(&durable);
+  const auto report = remounted.Recover();
+
+  EXPECT_EQ(report.last_durable_seq, snapshot_seq);
+  EXPECT_EQ(report.torn_discarded, 0u);
+  EXPECT_FALSE(report.used_checkpoint);
+  EXPECT_EQ(remounted.logical_map(), snapshot);
+  EXPECT_TRUE(remounted.CheckInvariants());
+  EXPECT_EQ(remounted.stats().recoveries, 1u);
+}
+
+TEST(LogLayerRecovery, RecoveredLayerKeepsWorking) {
+  const auto geometry = TinyGeometry();
+  ldisk::DurableLog durable(geometry.num_segments());
+
+  ldisk::LogLayer layer(geometry, diskmod::PaperEraDisk());
+  layer.AttachDurableLog(&durable);
+  DriveWrites(layer, 600, /*seed=*/1);
+  layer.Recover();  // in-place remount
+  DriveWrites(layer, 600, /*seed=*/2);  // the log keeps rolling
+  EXPECT_TRUE(layer.CheckInvariants());
+  for (BlockId logical = 0; logical < geometry.num_blocks; ++logical) {
+    const BlockId physical = layer.Read(logical);
+    if (physical != kUnmapped) {
+      EXPECT_LT(physical, geometry.num_blocks);
+    }
+  }
+}
+
+TEST(LogLayerRecovery, TornTailIsDiscarded) {
+  const auto geometry = TinyGeometry();
+  ldisk::DurableLog durable(geometry.num_segments());
+
+  FaultPlan plan;
+  // The 10th segment write tears at half the bytes; the machine dies there.
+  plan.Add(FaultSpec{.site = "disk.write",
+                     .kind = FaultKind::kTornWrite,
+                     .every_nth = 10,
+                     .budget = 1,
+                     .param = 0.5});
+  Injector injector(plan);
+  diskmod::ModelDiskIo base(diskmod::PaperEraDisk());
+  diskmod::FaultyDisk faulty(base, injector);
+
+  ldisk::LogLayer layer(geometry, diskmod::PaperEraDisk());
+  layer.AttachDiskIo(&faulty);
+  layer.AttachDurableLog(&durable);
+  std::map<std::uint64_t, std::vector<BlockId>> snapshots;
+  layer.set_flush_observer(
+      [&](std::uint64_t seq) { snapshots[seq] = layer.logical_map(); });
+
+  EXPECT_THROW(DriveWrites(layer, 5000), faultlab::CrashFault);
+
+  ldisk::LogLayer remounted(geometry, diskmod::PaperEraDisk());
+  remounted.AttachDurableLog(&durable);
+  const auto report = remounted.Recover();
+  EXPECT_EQ(report.torn_discarded, 1u);
+  EXPECT_EQ(report.last_durable_seq, 9u);  // seq 10 tore
+  ASSERT_TRUE(snapshots.count(report.last_durable_seq));
+  EXPECT_EQ(remounted.logical_map(), snapshots[report.last_durable_seq]);
+  EXPECT_TRUE(remounted.CheckInvariants());
+}
+
+TEST(LogLayerRecovery, CheckpointBoundsReplay) {
+  const auto geometry = TinyGeometry();
+
+  // Baseline: recover the same history without checkpoints.
+  ldisk::DurableLog plain_log(geometry.num_segments());
+  ldisk::LogLayer plain(geometry, diskmod::PaperEraDisk());
+  plain.AttachDurableLog(&plain_log);
+  DriveWrites(plain, 900);
+  ldisk::LogLayer plain_remount(geometry, diskmod::PaperEraDisk());
+  plain_remount.AttachDurableLog(&plain_log);
+  const auto plain_report = plain_remount.Recover();
+
+  ldisk::DurableLog ckpt_log(geometry.num_segments());
+  ldisk::LogLayer ckpt(geometry, diskmod::PaperEraDisk());
+  ckpt.AttachDurableLog(&ckpt_log);
+  ckpt.set_checkpoint_interval(8);
+  DriveWrites(ckpt, 900);
+  EXPECT_GT(ckpt.stats().checkpoints_written, 0u);
+  ldisk::LogLayer ckpt_remount(geometry, diskmod::PaperEraDisk());
+  ckpt_remount.AttachDurableLog(&ckpt_log);
+  const auto ckpt_report = ckpt_remount.Recover();
+
+  // Same history, same recovered state — but the checkpoint bounded replay.
+  EXPECT_TRUE(ckpt_report.used_checkpoint);
+  EXPECT_GT(ckpt_report.checkpoint_seq, 0u);
+  EXPECT_EQ(ckpt_remount.logical_map(), plain_remount.logical_map());
+  EXPECT_LT(ckpt_report.segments_replayed, plain_report.segments_replayed);
+  EXPECT_TRUE(ckpt_remount.CheckInvariants());
+}
+
+TEST(LogLayerRecovery, RecoverWithoutDurableLogIsALogicError) {
+  ldisk::LogLayer layer(TinyGeometry(), diskmod::PaperEraDisk());
+  EXPECT_THROW(layer.Recover(), std::logic_error);
+}
+
+TEST(LogLayerRecovery, GeometryMismatchIsRejected) {
+  ldisk::DurableLog wrong(7);
+  ldisk::LogLayer layer(TinyGeometry(), diskmod::PaperEraDisk());
+  EXPECT_THROW(layer.AttachDurableLog(&wrong), std::invalid_argument);
+}
+
+}  // namespace

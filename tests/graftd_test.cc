@@ -246,6 +246,75 @@ TEST(Supervisor, BackoffSaturatesAtMax) {
   }
 }
 
+// --- Supervisor: disk-fault degradation track ---
+
+TEST(Supervisor, DiskFaultsDegradeInsteadOfQuarantine) {
+  graftd::SupervisorPolicy policy = TestPolicy();
+  policy.disk_fault_threshold = 2;
+  policy.degraded_backoff = 10ms;
+  graftd::FakeClock clock;
+  graftd::Supervisor supervisor(policy, &clock);
+  const graftd::GraftId id = supervisor.Register("ldisk/C");
+
+  supervisor.OnOutcome(id, graftd::Outcome::kDiskFault);
+  EXPECT_EQ(supervisor.state(id), graftd::GraftState::kHealthy);
+  supervisor.OnOutcome(id, graftd::Outcome::kDiskFault);  // threshold crossed
+  EXPECT_EQ(supervisor.state(id), graftd::GraftState::kDegraded);
+  EXPECT_EQ(supervisor.Admit(id), graftd::AdmitDecision::kRejectDegraded);
+  // The device failing never counts toward quarantine or detach.
+  EXPECT_EQ(supervisor.Status(id).quarantines, 0u);
+  EXPECT_EQ(supervisor.Status(id).degradations, 1u);
+}
+
+TEST(Supervisor, DegradedGraftShedsThenRecoversAfterBackoff) {
+  graftd::SupervisorPolicy policy = TestPolicy();
+  policy.disk_fault_threshold = 2;
+  policy.degraded_backoff = 10ms;
+  graftd::FakeClock clock;
+  graftd::Supervisor supervisor(policy, &clock);
+  const graftd::GraftId id = supervisor.Register("ldisk/C");
+
+  supervisor.OnOutcome(id, graftd::Outcome::kDiskFault);
+  supervisor.OnOutcome(id, graftd::Outcome::kDiskFault);
+  ASSERT_EQ(supervisor.state(id), graftd::GraftState::kDegraded);
+  clock.Advance(10ms - 1us);
+  EXPECT_EQ(supervisor.Admit(id), graftd::AdmitDecision::kRejectDegraded);
+  clock.Advance(1us);  // shedding window over: probe with real traffic
+  EXPECT_EQ(supervisor.Admit(id), graftd::AdmitDecision::kRun);
+  EXPECT_EQ(supervisor.state(id), graftd::GraftState::kHealthy);
+  EXPECT_EQ(supervisor.Status(id).recoveries, 1u);
+  EXPECT_EQ(supervisor.Status(id).consecutive_disk_faults, 0u);
+}
+
+TEST(Supervisor, OkResetsTheDiskFaultStreak) {
+  graftd::SupervisorPolicy policy = TestPolicy();
+  policy.disk_fault_threshold = 2;
+  graftd::FakeClock clock;
+  graftd::Supervisor supervisor(policy, &clock);
+  const graftd::GraftId id = supervisor.Register("ldisk/C");
+
+  supervisor.OnOutcome(id, graftd::Outcome::kDiskFault);
+  supervisor.OnOutcome(id, graftd::Outcome::kOk);  // transient blip healed
+  supervisor.OnOutcome(id, graftd::Outcome::kDiskFault);
+  EXPECT_EQ(supervisor.state(id), graftd::GraftState::kHealthy);
+  EXPECT_EQ(supervisor.Status(id).degradations, 0u);
+}
+
+TEST(Supervisor, DiskFaultStreakDoesNotMixWithExtensionFaults) {
+  graftd::SupervisorPolicy policy = TestPolicy();  // fault_threshold = 3
+  policy.disk_fault_threshold = 3;
+  graftd::FakeClock clock;
+  graftd::Supervisor supervisor(policy, &clock);
+  const graftd::GraftId id = supervisor.Register("ldisk/C");
+
+  // Alternating tracks: neither streak reaches its own threshold.
+  supervisor.OnOutcome(id, graftd::Outcome::kFault);
+  supervisor.OnOutcome(id, graftd::Outcome::kDiskFault);
+  supervisor.OnOutcome(id, graftd::Outcome::kFault);
+  supervisor.OnOutcome(id, graftd::Outcome::kDiskFault);
+  EXPECT_EQ(supervisor.state(id), graftd::GraftState::kHealthy);
+}
+
 // --- DeadlineWheel ---
 
 TEST(DeadlineWheel, TripsTokenAfterDeadline) {
@@ -400,6 +469,38 @@ TEST(Telemetry, TextAndJsonCarryTheCounters) {
   EXPECT_NE(json.find("\"md5/C\""), std::string::npos);
   EXPECT_NE(json.find("\"invocations\":41"), std::string::npos);
   EXPECT_NE(json.find("\"faults\":1"), std::string::npos);
+  // No injector attached: no faultlab section.
+  EXPECT_EQ(json.find("__faultlab__"), std::string::npos);
+}
+
+TEST(Telemetry, DegradationAndInjectionCountersRender) {
+  graftd::TelemetrySnapshot snapshot;
+  graftd::TelemetrySnapshot::Row row;
+  row.name = "ldisk/C";
+  row.supervision.name = "ldisk/C";
+  row.supervision.state = graftd::GraftState::kDegraded;
+  row.supervision.degradations = 2;
+  row.supervision.recoveries = 1;
+  row.counters.invocations = 9;
+  row.counters.disk_faults = 4;
+  row.counters.rejected_degraded = 3;
+  snapshot.grafts.push_back(row);
+  snapshot.injections.push_back({"disk.write", 120, 4});
+
+  const std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("degraded"), std::string::npos);
+  EXPECT_NE(text.find("disk.write"), std::string::npos);
+  EXPECT_NE(text.find("120"), std::string::npos);
+
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"disk_faults\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_degraded\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"degradations\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"recoveries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"__faultlab__\""), std::string::npos);
+  EXPECT_NE(json.find("\"site\":\"disk.write\""), std::string::npos);
+  EXPECT_NE(json.find("\"hits\":120"), std::string::npos);
+  EXPECT_NE(json.find("\"injected\":4"), std::string::npos);
 }
 
 }  // namespace

@@ -293,7 +293,7 @@ TEST(GraftHostIntegration, LogicalDiskGraftThroughHost) {
   EXPECT_TRUE(result.replay.answers_correct);
 }
 
-TEST(GraftHostIntegration, DiskFullIsContainedByHost) {
+TEST(GraftHostIntegration, DiskFullIsADeviceFaultNotAnExtensionFault) {
   core::GraftHostOptions options;
   options.disk_geometry = SmallGeometry();
   core::GraftHost host(options);
@@ -301,8 +301,41 @@ TEST(GraftHostIntegration, DiskFullIsContainedByHost) {
   const auto result =
       host.RunLogicalDisk(*graft, options.disk_geometry.num_blocks * 2);  // overflows
   EXPECT_TRUE(result.faulted);
-  EXPECT_GT(host.contained_faults(), 0u);
+  EXPECT_EQ(result.fault_class, core::GraftHost::FaultClass::kDiskFull);
+  EXPECT_GT(host.disk_faults(), 0u);
+  // The device filling up is not the extension's misbehavior.
+  EXPECT_EQ(host.contained_faults(), 0u);
 }
+
+// Every technology's ldisk graft must surface DiskFull as the same
+// classified device fault: the host never blames the graft for the device.
+class LdiskDiskFullClassification : public ::testing::TestWithParam<Technology> {};
+
+TEST_P(LdiskDiskFullClassification, EveryTechnologyReportsDiskFull) {
+  core::GraftHostOptions options;
+  options.disk_geometry.num_blocks = 64;
+  options.disk_geometry.blocks_per_segment = 16;
+  core::GraftHost host(options);
+  auto graft = grafts::CreateLogicalDiskGraft(GetParam(), options.disk_geometry);
+  const auto result =
+      host.RunLogicalDisk(*graft, options.disk_geometry.num_blocks * 4);  // overflows
+  ASSERT_TRUE(result.faulted);
+  EXPECT_EQ(result.fault_class, core::GraftHost::FaultClass::kDiskFull);
+  EXPECT_GT(host.disk_faults(), 0u);
+  EXPECT_EQ(host.contained_faults(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechnologies, LdiskDiskFullClassification,
+                         ::testing::ValuesIn(core::kAllTechnologies),
+                         [](const ::testing::TestParamInfo<Technology>& info) {
+                           std::string name = core::TechnologyName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
 
 TEST(GraftHostIntegration, WatchdogPreemptsSpinningCompiledGraft) {
   core::GraftHost host;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <random>
 #include <vector>
@@ -54,6 +55,40 @@ TEST(SkewedWorkload, CoversColdRegionToo) {
     }
   }
   EXPECT_TRUE(saw_cold);
+}
+
+TEST(SkewedWorkload, HotFractionZeroStaysInBounds) {
+  Geometry g;
+  g.num_blocks = 64;
+  ldisk::SkewedWorkload workload(g, /*seed=*/7, /*hot_fraction=*/0.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(workload.Next(), g.num_blocks);
+  }
+}
+
+TEST(SkewedWorkload, HotFractionOneStaysInBounds) {
+  // hot_fraction 1.0 leaves no cold region; Next() must never divide by the
+  // empty cold span (the historical % 0 UB).
+  Geometry g;
+  g.num_blocks = 64;
+  ldisk::SkewedWorkload workload(g, /*seed=*/7, /*hot_fraction=*/1.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(workload.Next(), g.num_blocks);
+  }
+}
+
+TEST(SkewedWorkload, TinyGeometryRoundsHotSetSanely) {
+  // With 1-3 blocks the hot set rounds to zero or everything; both ends must
+  // still produce in-range ids.
+  for (std::uint32_t blocks = 1; blocks <= 3; ++blocks) {
+    Geometry g;
+    g.num_blocks = blocks;
+    g.blocks_per_segment = 1;
+    ldisk::SkewedWorkload workload(g, /*seed=*/blocks);
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(workload.Next(), g.num_blocks);
+    }
+  }
 }
 
 // Minimal native graft used to exercise the replay driver.
@@ -136,6 +171,16 @@ TEST(LogLayer, UnwrittenBlocksAreUnmapped) {
   LogLayer layer(TinyGeometry(), diskmod::PaperEraDisk());
   EXPECT_EQ(layer.Read(9), kUnmapped);
   EXPECT_THROW(layer.Write(TinyGeometry().num_blocks), std::out_of_range);
+}
+
+TEST(LogLayer, ReadPastGeometryIsUnmappedNotUb) {
+  // Regression: Read(logical) used to index map_[logical] unchecked, so an
+  // out-of-range logical id read past the end of the vector.
+  const Geometry g = TinyGeometry();
+  LogLayer layer(g, diskmod::PaperEraDisk());
+  EXPECT_EQ(layer.Read(g.num_blocks), kUnmapped);
+  EXPECT_EQ(layer.Read(g.num_blocks + 12345), kUnmapped);
+  EXPECT_EQ(layer.Read(std::numeric_limits<BlockId>::max()), kUnmapped);
 }
 
 TEST(LogLayer, BatchingBeatsRandomWrites) {
