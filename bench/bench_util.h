@@ -13,9 +13,11 @@
 #ifndef GRAFTLAB_BENCH_BENCH_UTIL_H_
 #define GRAFTLAB_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace bench {
 
@@ -41,6 +43,85 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
 }
 
 inline void PrintSection(const char* name) { std::printf("--- %s ---\n", name); }
+
+// Machine-readable results. Each bench binary accumulates one row per
+// measurement and writes them as a JSON array to BENCH_<name>.json in the
+// working directory (schema documented in EXPERIMENTS.md): `bench` names the
+// measurement, `iterations` how many operations the timing covered,
+// `ns_per_op` the mean cost, and `checksum` a result-derived value that must
+// be identical across configurations of the same computation — the hook CI
+// and scripts use to diff runs without parsing the human tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& bench, std::uint64_t iterations, double ns_per_op,
+           std::uint64_t checksum) {
+    rows_.push_back(Row{bench, iterations, ns_per_op, checksum});
+  }
+
+  // Convenience for measurements captured in microseconds-per-op.
+  void AddUs(const std::string& bench, std::uint64_t iterations, double us_per_op,
+             std::uint64_t checksum) {
+    Add(bench, iterations, us_per_op * 1e3, checksum);
+  }
+
+  // Writes BENCH_<name>.json and prints where it went. Returns false (after
+  // a diagnostic) if the file could not be written.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "[");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(out, "%s\n  {\"bench\":\"%s\",\"iterations\":%llu,\"ns_per_op\":%.3f,"
+                        "\"checksum\":%llu}",
+                   i == 0 ? "" : ",", Escape(row.bench).c_str(),
+                   static_cast<unsigned long long>(row.iterations), row.ns_per_op,
+                   static_cast<unsigned long long>(row.checksum));
+    }
+    std::fprintf(out, "\n]\n");
+    std::fclose(out);
+    std::printf("[bench json: %s, %zu rows]\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string bench;
+    std::uint64_t iterations;
+    double ns_per_op;
+    std::uint64_t checksum;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+// FNV-1a, for folding arbitrary result bytes into a checksum row.
+inline std::uint64_t Checksum(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash = (hash ^ bytes[i]) * 1099511628211ull;
+  }
+  return hash;
+}
 
 }  // namespace bench
 

@@ -11,6 +11,7 @@
 #include <random>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/core/technology.h"
 #include "src/grafts/factory.h"
 #include "src/ldisk/logical_disk.h"
@@ -109,6 +110,67 @@ inline double MeasureLdiskUs(core::Technology technology, std::size_t runs,
     *stddev_pct = per_run_us.stddev_percent();
   }
   return per_run_us.mean();
+}
+
+// --- Result checksums for the BENCH_*.json reports ---
+//
+// Each runs a short seeded trace of the graft shape and folds the
+// observable outputs. Two configurations computing the same semantics
+// produce the same checksum, so scripts can diff BENCH files across
+// technologies, dispatch modes and hosts without re-deriving the results.
+// The traces are deliberately tiny (they also run under Tcl).
+
+inline std::uint64_t EvictionChecksum(core::Technology technology) {
+  auto graft = grafts::CreateEvictionGraft(technology);
+  std::vector<vmsim::Frame> frames(16);
+  vmsim::LruQueue queue;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    frames[i].page = 70 + i;
+    queue.PushMru(&frames[i]);
+  }
+  std::mt19937 rng(555);
+  std::uint64_t hash = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    if (rng() % 2 == 0) {
+      graft->HotListAdd(70 + rng() % frames.size());
+    }
+    vmsim::Frame* victim = graft->ChooseVictim(queue.head());
+    const std::uint64_t page = victim != nullptr ? victim->page : ~0ull;
+    hash = Checksum(&page, sizeof(page)) ^ (hash << 1);
+  }
+  return hash;
+}
+
+inline std::uint64_t Md5Checksum(core::Technology technology) {
+  auto graft = grafts::CreateMd5Graft(technology);
+  std::vector<std::uint8_t> data(600);
+  std::mt19937 rng(555);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  for (std::size_t off = 0; off < data.size(); off += 77) {
+    graft->Consume(data.data() + off, std::min<std::size_t>(77, data.size() - off));
+  }
+  const md5::Digest digest = graft->Finish();
+  return Checksum(digest.data(), digest.size());
+}
+
+inline std::uint64_t LdiskChecksum(core::Technology technology) {
+  ldisk::Geometry geometry;
+  geometry.num_blocks = 128;
+  geometry.blocks_per_segment = 16;
+  auto graft = grafts::CreateLogicalDiskGraft(technology, geometry);
+  std::mt19937 rng(555);
+  std::uint64_t hash = 0;
+  for (int i = 0; i < 64; ++i) {
+    const ldisk::BlockId physical = graft->OnWrite(rng() % 32);
+    hash = Checksum(&physical, sizeof(physical)) ^ (hash << 1);
+  }
+  for (std::uint64_t l = 0; l < 32; ++l) {
+    const ldisk::BlockId physical = graft->Translate(l);
+    hash = Checksum(&physical, sizeof(physical)) ^ (hash << 1);
+  }
+  return hash;
 }
 
 }  // namespace bench

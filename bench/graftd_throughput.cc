@@ -27,6 +27,7 @@
 #include "src/envs/fault.h"
 #include "src/graftd/dispatcher.h"
 #include "src/grafts/factory.h"
+#include "src/grafts/minnow_grafts.h"
 #include "src/stats/harness.h"
 
 namespace {
@@ -138,6 +139,7 @@ int main(int argc, char** argv) {
 
   // --- Scaling sweep: unsafe C across worker counts ---
   bench::PrintSection("Dispatch scaling, MD5 stream graft, unsafe C");
+  bench::JsonReport report("graftd_throughput");
   double base_throughput = 0.0;
   double speedup_at_4 = 0.0;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
@@ -158,6 +160,9 @@ int main(int argc, char** argv) {
     }
     std::printf("  %zu worker%s  %7.1f MB/s   speedup %.2fx\n", workers, workers == 1 ? " " : "s",
                 throughput, speedup);
+    report.Add("scaling/md5_C/workers" + std::to_string(workers), invocations,
+               seconds * 1e9 / static_cast<double>(invocations),
+               bench::Checksum(data.data(), data.size()));
   }
   std::printf("  4-worker speedup %.2fx vs single worker -> %s (target >= 3x)\n\n", speedup_at_4,
               speedup_at_4 >= 3.0 ? "PASS" : "FAIL");
@@ -187,6 +192,15 @@ int main(int argc, char** argv) {
     ids.push_back(dispatcher.RegisterStreamGraft(
         std::string("md5/") + core::TechnologyName(technology), Md5Factory(technology)));
   }
+  // A profiled Minnow VM: its per-opcode retire counts flow through
+  // StreamGraft::ExecutionProfile into the snapshot's vm_opcodes tables —
+  // the telemetry the superinstruction fusion set was selected from.
+  const graftd::GraftId profiled = dispatcher.RegisterStreamGraft(
+      "md5/Java+profile", [](envs::PreemptToken*) {
+        grafts::MinnowConfig config;
+        config.profile_opcodes = true;
+        return std::make_unique<grafts::MinnowMd5Graft>(config);
+      });
   const graftd::GraftId faulty = dispatcher.RegisterStreamGraft(
       "faulty", [](envs::PreemptToken*) { return std::make_unique<AlwaysFaultGraft>(); });
   const graftd::GraftId runaway = dispatcher.RegisterStreamGraft(
@@ -205,6 +219,13 @@ int main(int argc, char** argv) {
       invocation.chunk = kChunk;
       dispatcher.Submit(std::move(invocation));
     }
+  }
+  for (std::size_t i = 0; i < per_tech / 2 + 1; ++i) {
+    graftd::Invocation invocation;
+    invocation.graft = profiled;
+    invocation.data = streamk::Bytes(data.data(), data.size());
+    invocation.chunk = kChunk;
+    dispatcher.Submit(std::move(invocation));
   }
   for (int i = 0; i < 8; ++i) {  // quarantined after 3
     graftd::Invocation invocation;
@@ -236,5 +257,19 @@ int main(int argc, char** argv) {
 
   bench::PrintSection("Telemetry snapshot (JSON)");
   std::printf("%s\n", snapshot.ToJson().c_str());
+
+  // One row per supervised graft: mean service latency, with the outcome
+  // counters folded into the checksum (runs that fault or preempt
+  // differently must not silently compare equal).
+  for (const auto& row : snapshot.grafts) {
+    const graftd::GraftCounters& c = row.counters;
+    if (c.invocations == 0) {
+      continue;
+    }
+    const std::uint64_t outcomes[] = {c.ok, c.faults, c.preempts, c.disk_faults};
+    report.Add("supervised/" + row.name, c.invocations, c.latency.mean_us() * 1e3,
+               bench::Checksum(outcomes, sizeof(outcomes)));
+  }
+  report.Write();
   return speedup_at_4 >= 3.0 ? 0 : 1;
 }

@@ -32,9 +32,13 @@ int main(int argc, char** argv) {
 
   const std::size_t runs = options.full ? 30 : 10;
   const std::size_t rounds = options.full ? 1000 : 200;
+  bench::JsonReport report("table1_signals");
 
   bench::PrintSection("Reproduction (this host)");
   const auto signal_result = upcall::MeasureSignalHandling(runs, rounds);
+  if (signal_result.ok) {
+    report.AddUs("signal_handling", runs * rounds, signal_result.per_signal_us, 0);
+  }
   if (signal_result.ok) {
     std::printf("Host signal handling time : %s\n",
                 stats::FormatTimeUs(signal_result.per_signal_us, signal_result.stddev_pct)
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   const auto round_trip = engine.MeasureRoundTrip(runs, options.full ? 5000 : 2000);
   std::printf("Thread-handoff upcall     : %s round trip\n",
               stats::FormatTimeUs(round_trip.mean_us, round_trip.stddev_pct).c_str());
+  report.AddUs("upcall_thread_roundtrip", runs, round_trip.mean_us, 0);
 
   // The honest hardware-protection crossing: a separate server process,
   // two kernel crossings per upcall over a socketpair.
@@ -61,6 +66,7 @@ int main(int argc, char** argv) {
         process_engine.MeasureRoundTrip(runs, options.full ? 2000 : 1000);
     std::printf("Process (socketpair) upcall: %s round trip\n",
                 stats::FormatTimeUs(process_rt.mean_us, process_rt.stddev_pct).c_str());
+    report.AddUs("upcall_process_roundtrip", runs, process_rt.mean_us, 0);
     if (signal_result.ok && signal_result.per_signal_us > 0.0) {
       std::printf("  process upcall / signal : %.2f (paper's BSD/OS upcall was 0.59x)\n",
                   process_rt.mean_us / signal_result.per_signal_us);
@@ -74,5 +80,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nThe paper argues a tuned upcall could reach ~1/4 of signal time; the Figure 1\n");
   std::printf("bench sweeps upcall cost explicitly, so this estimate is an input, not a gate.\n");
+  report.Write();
   return 0;
 }

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
 
   std::vector<stats::TechnologyResult> rows;
   std::vector<double> raw_us;
+  bench::JsonReport report("table2_eviction");
 
   for (const Technology technology : core::kAllTechnologies) {
     double stddev_pct = 0.0;
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
     row.break_even = stats::EvictionBreakEven(modeled_fault_us, us);
     rows.push_back(row);
     raw_us.push_back(us);
+    report.AddUs("eviction/" + row.name, runs, us, bench::EvictionChecksum(technology));
   }
 
   std::printf("%s\n",
@@ -109,5 +111,6 @@ int main(int argc, char** argv) {
   std::printf("\nA fast CPU against a 1996 disk makes even slow technologies look viable;\n");
   std::printf("against a modern NVMe device the paper's interpreted-technology verdict\n");
   std::printf("reasserts itself (see EXPERIMENTS.md).\n");
+  report.Write();
   return 0;
 }

@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
   bench::PrintSection("Reproduction (this host, 64KB writes + fdatasync)");
   const auto result = diskmod::MeasureWriteBandwidth(
       options.full ? (128u << 20) : (32u << 20), options.full ? 10 : 4);
+  bench::JsonReport report("table4_disk");
   if (result.bandwidth_kb_s > 0.0) {
+    report.AddUs("host_1mb_write", options.full ? 10 : 4, result.mb_access_time_us, 0);
     std::printf("Platform  Bandwidth (KB/s)  1MB access time\n");
     std::printf("Host      %.0f(%.1f%%)  %.1fms\n\n", result.bandwidth_kb_s, result.stddev_pct,
                 result.mb_access_time_us / 1000.0);
@@ -42,5 +44,8 @@ int main(int argc, char** argv) {
               "%.3fms\n",
               nvme.bandwidth_kb_s, nvme.SequentialUs(1 << 20) / 1000.0,
               nvme.RandomAccessUs(4096) / 1000.0);
+  report.AddUs("paper_model_1mb", 1, paper_disk.SequentialUs(1 << 20), 0);
+  report.AddUs("nvme_model_1mb", 1, nvme.SequentialUs(1 << 20), 0);
+  report.Write();
   return 0;
 }

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
 
   std::vector<stats::TechnologyResult> rows;
   std::vector<double> per_mb;
+  bench::JsonReport report("table5_md5");
   for (const Technology technology : core::kAllTechnologies) {
     const bool is_tcl = technology == Technology::kTcl;
     double stddev_pct = 0.0;
@@ -91,6 +92,8 @@ int main(int argc, char** argv) {
     row.ratio = stats::Md5DiskRatio(us, paper_mb_us);
     rows.push_back(row);
     per_mb.push_back(us);
+    report.AddUs(std::string("md5_1mb/") + core::TechnologyName(technology), runs, us,
+                 bench::Md5Checksum(technology));
   }
 
   std::printf("%s\n", stats::RenderTechnologyTable(
@@ -123,5 +126,6 @@ int main(int argc, char** argv) {
                   timer.ElapsedMs());
     }
   }
+  report.Write();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/graft_measures.h"
 #include "src/core/technology.h"
 #include "src/diskmod/disk_model.h"
 #include "src/grafts/factory.h"
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
   const double seek_us = disk.seek_ms * 1000.0;
 
   std::vector<stats::TechnologyResult> rows;
+  bench::JsonReport report("table6_ldisk");
   for (const Technology technology : core::kAllTechnologies) {
     if (technology == Technology::kTcl) {
       stats::TechnologyResult row;
@@ -79,6 +81,8 @@ int main(int argc, char** argv) {
     row.stddev_pct = per_run_us.stddev_percent();
     row.per_block_us = stats::PerBlockOverheadUs(per_run_us.mean(), static_cast<double>(writes));
     rows.push_back(row);
+    report.AddUs("ldisk_262144/" + row.name, runs, per_run_us.mean(),
+                 bench::LdiskChecksum(technology));
   }
 
   std::printf("%s\n", stats::RenderTechnologyTable(
@@ -99,5 +103,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(Paper: compiled technologies ~1%% of a seek; Java ~10%%, workable if one\n");
   std::printf(" seek is saved every ten writes.)\n");
+  report.Write();
   return 0;
 }

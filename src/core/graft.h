@@ -17,6 +17,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/technology.h"
 #include "src/ldisk/logical_disk.h"
@@ -51,6 +54,15 @@ class StreamGraft {
   // PreemptToken cover them instead).
   virtual void SetFuel(std::int64_t fuel) { (void)fuel; }
   virtual std::int64_t FuelRemaining() const { return -1; }
+
+  // --- Execution-profile seam (graftd telemetry) ---
+  // Technologies that count what they execute (the Minnow VM's per-opcode
+  // retire counters) report cumulative name->count rows here; graftd folds
+  // them into its telemetry snapshot, which is where the superinstruction
+  // fusion set comes from. Default: nothing to report.
+  virtual std::vector<std::pair<std::string, std::uint64_t>> ExecutionProfile() const {
+    return {};
+  }
 };
 
 // Adapts a StreamGraft into a streamk filter (passthrough + fingerprint).

@@ -221,6 +221,14 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   }
   stats.fuel_used += fuel_used;
   stats.latency.Record(elapsed_ns);
+  if (is_stream) {
+    // Profiled VMs report cumulative counts per worker instance; overwrite
+    // (not add) here, and let Snapshot's cross-shard Merge do the summing.
+    auto profile = shard.stream_instances[id]->ExecutionProfile();
+    if (!profile.empty()) {
+      stats.vm_opcodes = std::move(profile);
+    }
+  }
 }
 
 TelemetrySnapshot Dispatcher::Snapshot() const {

@@ -1,5 +1,6 @@
 #include "src/graftd/telemetry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -61,6 +62,25 @@ std::string TelemetrySnapshot::ToText() const {
                   c.latency.Summary()});
   }
   std::string text = table.ToString();
+  // Opcode-frequency profiles (profiled Minnow grafts): one table per graft,
+  // descending — the evidence trail for the superinstruction fusion set.
+  for (const Row& row : grafts) {
+    if (row.counters.vm_opcodes.empty()) {
+      continue;
+    }
+    auto sorted = row.counters.vm_opcodes;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    stats::Table ops({"vm opcode (" + row.name + ")", "retired"});
+    std::size_t shown = 0;
+    for (const auto& [name, count] : sorted) {
+      if (++shown > 12) {
+        break;
+      }
+      ops.AddRow({name, std::to_string(count)});
+    }
+    text += "\n" + ops.ToString();
+  }
   if (!injections.empty()) {
     stats::Table sites({"injection site", "hits", "injected"});
     for (const auto& site : injections) {
@@ -99,7 +119,21 @@ std::string TelemetrySnapshot::ToJson() const {
         << ",\"p50_us\":" << c.latency.PercentileUs(50)
         << ",\"p90_us\":" << c.latency.PercentileUs(90)
         << ",\"p99_us\":" << c.latency.PercentileUs(99)
-        << ",\"max_us\":" << static_cast<double>(c.latency.max_ns()) / 1e3 << "}}";
+        << ",\"max_us\":" << static_cast<double>(c.latency.max_ns()) / 1e3 << "}";
+    if (!c.vm_opcodes.empty()) {
+      out << ",\"vm_opcodes\":{";
+      bool first_op = true;
+      for (const auto& [name, count] : c.vm_opcodes) {
+        if (!first_op) {
+          out << ",";
+        }
+        first_op = false;
+        AppendJsonString(out, name);
+        out << ":" << count;
+      }
+      out << "}";
+    }
+    out << "}";
   }
   if (!injections.empty()) {
     if (!first) {

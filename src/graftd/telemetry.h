@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/faultlab/injector.h"
@@ -30,7 +31,30 @@ struct GraftCounters {
   std::uint64_t fuel_used = 0;  // summed over metered invocations
   LatencyHistogram latency;     // service latency of executed invocations
 
+  // Per-opcode retire counts reported through StreamGraft::ExecutionProfile
+  // (profiled Minnow VMs). Each worker records its instance's cumulative
+  // counts, so Merge sums across workers to a fleet-wide frequency table —
+  // the data the superinstruction fusion set is selected from.
+  std::vector<std::pair<std::string, std::uint64_t>> vm_opcodes;
+
+  void MergeOpcodes(const std::vector<std::pair<std::string, std::uint64_t>>& other) {
+    for (const auto& [name, count] : other) {
+      bool found = false;
+      for (auto& [have, total] : vm_opcodes) {
+        if (have == name) {
+          total += count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        vm_opcodes.emplace_back(name, count);
+      }
+    }
+  }
+
   void Merge(const GraftCounters& other) {
+    MergeOpcodes(other.vm_opcodes);
     invocations += other.invocations;
     ok += other.ok;
     faults += other.faults;

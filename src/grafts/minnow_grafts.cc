@@ -253,17 +253,25 @@ fn ld_write(lb: int) -> int {
 fn ld_translate(lb: int) -> int { return map[lb]; }
 )minnow";
 
-minnow::Program MaybeOptimize(minnow::Program program, bool optimize) {
-  if (optimize) {
+minnow::Program Prepare(minnow::Program program, const MinnowConfig& config) {
+  if (config.optimize) {
     minnow::Optimize(program);
     minnow::VerifyProgram(program);  // recompute max_stack after shrinking
+  }
+  // Fusion only helps (and only works) on the interpreter: the register
+  // translator refuses superinstructions because it fuses at the IR level.
+  if (config.fuse && config.engine == MinnowEngine::kInterpreter) {
+    minnow::FuseSuperinstructions(program);
+    minnow::VerifyProgram(program);
   }
   return program;
 }
 
-minnow::VmOptions GraftVmOptions() {
+minnow::VmOptions GraftVmOptions(const MinnowConfig& config) {
   minnow::VmOptions options;
   options.heap_limit = 96u << 20;  // the full-scale ldisk map needs ~12MB
+  options.dispatch = config.dispatch;
+  options.profile_opcodes = config.profile_opcodes;
   return options;
 }
 
@@ -282,8 +290,7 @@ MinnowEvictionGraft::MinnowEvictionGraft(MinnowConfig config) : engine_(config.e
   lru_page.ret = Type::Int();
 
   vm_ = std::make_unique<minnow::VM>(
-      MaybeOptimize(minnow::Compile(kEvictionSource, {lru_page}), config.optimize),
-      GraftVmOptions());
+      Prepare(minnow::Compile(kEvictionSource, {lru_page}), config), GraftVmOptions(config));
   vm_->BindHost("lru_page", [this](minnow::VM&, std::span<const Value> args) {
     const std::int64_t pos = args[0].AsInt();
     // Amortized O(1): continue from the cached cursor when the graft scans
@@ -347,7 +354,7 @@ const char* MinnowEvictionGraft::technology() const {
 
 MinnowMd5Graft::MinnowMd5Graft(MinnowConfig config) : engine_(config.engine) {
   vm_ = std::make_unique<minnow::VM>(
-      MaybeOptimize(minnow::Compile(kMd5Source), config.optimize), GraftVmOptions());
+      Prepare(minnow::Compile(kMd5Source), config), GraftVmOptions(config));
   vm_->RunInit();
   if (engine_ == MinnowEngine::kTranslated) {
     executor_ = std::make_unique<minnow::RegExecutor>(*vm_);
@@ -406,7 +413,7 @@ MinnowLogicalDiskGraft::MinnowLogicalDiskGraft(const ldisk::Geometry& geometry,
                                                MinnowConfig config)
     : engine_(config.engine) {
   vm_ = std::make_unique<minnow::VM>(
-      MaybeOptimize(minnow::Compile(kLogicalDiskSource), config.optimize), GraftVmOptions());
+      Prepare(minnow::Compile(kLogicalDiskSource), config), GraftVmOptions(config));
   vm_->RunInit();
   if (engine_ == MinnowEngine::kTranslated) {
     executor_ = std::make_unique<minnow::RegExecutor>(*vm_);

@@ -31,10 +31,17 @@ enum class MinnowEngine {
 // Per-graft VM configuration. `optimize` runs the bytecode optimizer
 // (minnow/optimizer.h) at load time — off by default so the Technology
 // rows model a plain 1995-style javac pipeline; the ablation benches turn
-// it on explicitly.
+// it on explicitly. `fuse` applies superinstruction fusion, which is a
+// load-time interpreter speedup with no semantic footprint, so it defaults
+// on (and is skipped automatically for the translated engine, whose
+// register IR does its own fusion and refuses fused bytecode). `dispatch`
+// and `profile_opcodes` pass straight through to VmOptions.
 struct MinnowConfig {
   MinnowEngine engine = MinnowEngine::kInterpreter;
   bool optimize = false;
+  bool fuse = true;
+  minnow::DispatchMode dispatch = minnow::DispatchMode::kDefault;
+  bool profile_opcodes = false;
 };
 
 // --- Prioritization ---
@@ -82,6 +89,14 @@ class MinnowMd5Graft : public core::StreamGraft {
   void SetFuel(std::int64_t fuel) override { vm_->SetFuel(fuel); }
   std::int64_t FuelRemaining() const override { return vm_->fuel(); }
 
+  // Telemetry seam: cumulative per-opcode retire counts when the config
+  // enables profile_opcodes; empty otherwise.
+  std::vector<std::pair<std::string, std::uint64_t>> ExecutionProfile() const override {
+    return vm_->OpcodeCounts();
+  }
+
+  minnow::VM& vm() { return *vm_; }
+
  private:
   minnow::Value Invoke(const std::string& fn, std::span<const minnow::Value> args);
   void EnsureBuffer(std::size_t len);
@@ -104,6 +119,8 @@ class MinnowLogicalDiskGraft : public core::BlackBoxGraft {
   ldisk::BlockId OnWrite(ldisk::BlockId logical) override;
   ldisk::BlockId Translate(ldisk::BlockId logical) override;
   const char* technology() const override;
+
+  minnow::VM& vm() { return *vm_; }
 
  private:
   minnow::Value Invoke(const std::string& fn, std::span<const minnow::Value> args);

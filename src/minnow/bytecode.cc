@@ -65,6 +65,28 @@ const char* OpName(Op op) {
     case Op::kStoreElem: return "store.elem";
     case Op::kArrayLen: return "array.len";
     case Op::kTrap: return "trap";
+    case Op::kLoadAddI: return "load+add.i";
+    case Op::kAddConstI: return "add.const.i";
+    case Op::kConstStore: return "const+store";
+    case Op::kBrEqI: return "br.eq.i";
+    case Op::kBrNeI: return "br.ne.i";
+    case Op::kBrLtI: return "br.lt.i";
+    case Op::kBrLeI: return "br.le.i";
+    case Op::kBrGtI: return "br.gt.i";
+    case Op::kBrGeI: return "br.ge.i";
+    case Op::kBrEqRef: return "br.eq.ref";
+    case Op::kBrNeRef: return "br.ne.ref";
+    case Op::kBrEqImmI: return "br.eq.imm.i";
+    case Op::kBrNeImmI: return "br.ne.imm.i";
+    case Op::kBrLtImmI: return "br.lt.imm.i";
+    case Op::kBrLeImmI: return "br.le.imm.i";
+    case Op::kBrGtImmI: return "br.gt.imm.i";
+    case Op::kBrGeImmI: return "br.ge.imm.i";
+    case Op::kLoadLocal2: return "load.local2";
+    case Op::kLoadConstI: return "load+const.i";
+    case Op::kMoveLocal: return "move.local";
+    case Op::kStoreLoad: return "store+load";
+    case Op::kLoadGlobalLocal: return "load.global+local";
   }
   return "?";
 }
@@ -93,7 +115,40 @@ std::string Disassemble(const FunctionCode& fn) {
       case Op::kLoadElem:
       case Op::kStoreElem:
       case Op::kTrap:
+      case Op::kLoadAddI:
+      case Op::kAddConstI:
+      case Op::kBrEqI:
+      case Op::kBrNeI:
+      case Op::kBrLtI:
+      case Op::kBrLeI:
+      case Op::kBrGtI:
+      case Op::kBrGeI:
+      case Op::kBrEqRef:
+      case Op::kBrNeRef:
         out << " " << fn.code[pc].operand;
+        break;
+      case Op::kConstStore:
+        out << " " << ConstStoreValue(fn.code[pc].operand) << " -> local "
+            << ConstStoreSlot(fn.code[pc].operand);
+        break;
+      case Op::kBrEqImmI:
+      case Op::kBrNeImmI:
+      case Op::kBrLtImmI:
+      case Op::kBrLeImmI:
+      case Op::kBrGtImmI:
+      case Op::kBrGeImmI:
+        out << " " << ImmBranchValue(fn.code[pc].operand) << " -> "
+            << ImmBranchTarget(fn.code[pc].operand);
+        break;
+      case Op::kLoadConstI:
+        out << " local " << ConstStoreSlot(fn.code[pc].operand) << ", "
+            << ConstStoreValue(fn.code[pc].operand);
+        break;
+      case Op::kLoadLocal2:
+      case Op::kMoveLocal:
+      case Op::kStoreLoad:
+      case Op::kLoadGlobalLocal:
+        out << " " << SlotPairA(fn.code[pc].operand) << ", " << SlotPairB(fn.code[pc].operand);
         break;
       default:
         break;

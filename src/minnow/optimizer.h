@@ -39,6 +39,25 @@ struct OptimizeStats {
 // afterwards (Program::max_stack may shrink).
 OptimizeStats Optimize(Program& program);
 
+struct FuseStats {
+  std::size_t instructions_before = 0;
+  std::size_t instructions_after = 0;
+  std::size_t pairs_fused = 0;                 // LoadAddI / AddConstI / ConstStore
+  std::size_t compare_branches_fused = 0;      // kBr*I / kBr*Ref
+  std::size_t imm_compare_branches_fused = 0;  // kBr*ImmI triples
+  std::size_t branches_inverted = 0;           // NotB + JmpIfX -> JmpIf!X
+};
+
+// Superinstruction fusion: collapses the adjacent-opcode pairs (and
+// const+compare+branch triples) that dominate graft traces — the fusion set
+// was chosen from the opcode-pair frequencies the VM profiler exports through
+// graftd telemetry (see DESIGN.md). Fusion never crosses a jump target and
+// preserves trap semantics exactly; only instruction (and therefore fuel)
+// counts change. Fused programs still pass the verifier, but the register
+// translator (regir.h) refuses them — fuse only programs headed for the
+// interpreter. The caller should re-run VerifyProgram to refresh max_stack.
+FuseStats FuseSuperinstructions(Program& program);
+
 }  // namespace minnow
 
 #endif  // GRAFTLAB_SRC_MINNOW_OPTIMIZER_H_

@@ -602,6 +602,10 @@ struct Translator {
       case Op::kTrap:
         Emit(ROp::kTrap, -1, -1, -1, insn.operand);
         break;
+      default:
+        // Superinstructions — TranslateFunction rejects them before any
+        // TranslateInsn call, so this is unreachable.
+        throw std::invalid_argument("untranslatable opcode");
     }
   }
 };
@@ -609,6 +613,15 @@ struct Translator {
 }  // namespace
 
 RFunction TranslateFunction(const Program& program, const FunctionCode& fn) {
+  // The translator does its own compare/branch and immediate fusion at the
+  // IR level; feeding it stack-level superinstructions would silently drop
+  // them, so translate before FuseSuperinstructions, never after.
+  for (const Insn& insn : fn.code) {
+    if (IsSuperinstruction(insn.op)) {
+      throw std::invalid_argument("register translation requires unfused bytecode (fn '" +
+                                  fn.name + "' contains " + OpName(insn.op) + ")");
+    }
+  }
   Translator translator(program, fn);
   return translator.Run();
 }
@@ -658,11 +671,11 @@ Value RegExecutor::Execute(int fn_index, std::span<const Value> args, int depth)
 
   // Registers live in the VM stack so the conservative GC sees them.
   const std::size_t base = vm_.sp_;
-  if (base + static_cast<std::size_t>(fn.num_regs) > vm_.stack_.size()) {
+  if (base + static_cast<std::size_t>(fn.num_regs) > vm_.stack_slots_) {
     throw Trap("VM stack overflow");
   }
   vm_.sp_ = base + static_cast<std::size_t>(fn.num_regs);
-  Value* regs = vm_.stack_.data() + base;
+  Value* regs = vm_.stack_ + base;
   for (int i = 0; i < fn.num_regs; ++i) {
     regs[i] = Value::Null();
   }

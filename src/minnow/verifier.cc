@@ -139,11 +139,65 @@ bool StackEffect(const Program& program, const Insn& insn, Effect& effect, std::
     case Op::kStoreElem:
       effect.pops = 3;
       break;
+    case Op::kLoadAddI:
+    case Op::kAddConstI:
+      effect.pops = 1;
+      effect.pushes = 1;
+      break;
+    case Op::kConstStore:
+      break;
+    case Op::kBrEqI:
+    case Op::kBrNeI:
+    case Op::kBrLtI:
+    case Op::kBrLeI:
+    case Op::kBrGtI:
+    case Op::kBrGeI:
+    case Op::kBrEqRef:
+    case Op::kBrNeRef:
+      effect.pops = 2;
+      effect.branch = true;
+      break;
+    case Op::kBrEqImmI:
+    case Op::kBrNeImmI:
+    case Op::kBrLtImmI:
+    case Op::kBrLeImmI:
+    case Op::kBrGtImmI:
+    case Op::kBrGeImmI:
+      effect.pops = 1;
+      effect.branch = true;
+      break;
+    case Op::kLoadLocal2:
+    case Op::kLoadConstI:
+    case Op::kLoadGlobalLocal:
+      effect.pushes = 2;
+      break;
+    case Op::kMoveLocal:
+      break;
+    case Op::kStoreLoad:
+      effect.pops = 1;
+      effect.pushes = 1;
+      break;
     default:
       error = "unknown opcode";
       return false;
   }
   return true;
+}
+
+// Imm-branch operands pack immediate<<32 | target; everything else branches
+// on the raw operand.
+std::int64_t BranchTargetOf(const Insn& insn) {
+  switch (insn.op) {
+    case Op::kBrEqImmI:
+    case Op::kBrNeImmI:
+    case Op::kBrLtImmI:
+    case Op::kBrLeImmI:
+    case Op::kBrGtImmI:
+    case Op::kBrGeImmI:
+      return static_cast<std::int64_t>(ImmBranchTarget(insn.operand));
+    default:
+      return insn.operand;
+  }
 }
 
 bool ValidElemKind(std::int64_t operand) {
@@ -158,8 +212,32 @@ bool CheckOperand(const Program& program, const FunctionCode& fn, const Insn& in
   switch (insn.op) {
     case Op::kLoadLocal:
     case Op::kStoreLocal:
+    case Op::kLoadAddI:
       if (insn.operand < 0 || insn.operand >= fn.num_locals) {
         error = "local slot out of range";
+        return false;
+      }
+      break;
+    case Op::kConstStore:
+    case Op::kLoadConstI:
+      if (ConstStoreSlot(insn.operand) >= static_cast<std::uint32_t>(fn.num_locals)) {
+        error = "local slot out of range";
+        return false;
+      }
+      break;
+    case Op::kLoadLocal2:
+    case Op::kMoveLocal:
+    case Op::kStoreLoad:
+      if (SlotPairA(insn.operand) >= static_cast<std::uint32_t>(fn.num_locals) ||
+          SlotPairB(insn.operand) >= static_cast<std::uint32_t>(fn.num_locals)) {
+        error = "local slot out of range";
+        return false;
+      }
+      break;
+    case Op::kLoadGlobalLocal:
+      if (SlotPairA(insn.operand) >= program.globals.size() ||
+          SlotPairB(insn.operand) >= static_cast<std::uint32_t>(fn.num_locals)) {
+        error = "global index out of range";
         return false;
       }
       break;
@@ -265,10 +343,11 @@ VerifyReport VerifyFunction(const Program& program, FunctionCode& fn, int fn_ind
     };
 
     if (effect.branch) {
-      if (insn.operand < 0 || static_cast<std::size_t>(insn.operand) >= n) {
+      const std::int64_t target = BranchTargetOf(insn);
+      if (target < 0 || static_cast<std::size_t>(target) >= n) {
         return fail(pc, "branch target out of range");
       }
-      if (!flow_to(static_cast<std::size_t>(insn.operand))) {
+      if (!flow_to(static_cast<std::size_t>(target))) {
         return fail(pc, "inconsistent stack depth at branch target");
       }
     }

@@ -1,8 +1,18 @@
 #include "src/minnow/vm.h"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+
+// The computed-goto dispatcher needs GNU labels-as-values; the CMake option
+// GRAFTLAB_THREADED_DISPATCH (on by default) injects the macro, and the
+// compiler check keeps non-GNU builds on the portable switch loop.
+#if defined(GRAFTLAB_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define GRAFTLAB_VM_COMPUTED_GOTO 1
+#else
+#define GRAFTLAB_VM_COMPUTED_GOTO 0
+#endif
 
 namespace minnow {
 
@@ -29,16 +39,50 @@ std::size_t CheckIndex(const Object* array, std::int64_t index) {
   return static_cast<std::size_t>(index);
 }
 
+// Extra frame slots beyond max_call_depth: the per-entry depth limit is
+// relative to the entry frame, so a host function that reenters the VM may
+// legitimately stack a few more frames than one entry alone could.
+constexpr std::size_t kReentrySlack = 64;
+
+std::vector<std::pair<std::string, std::uint64_t>> SortedCounts(
+    std::vector<std::pair<std::string, std::uint64_t>> counts) {
+  std::sort(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return counts;
+}
+
 }  // namespace
 
 VM::VM(Program program, const VmOptions& options)
     : program_(std::move(program)),
       options_(options),
       heap_(options.heap_limit),
-      stack_(options.stack_slots),
+      arena_(options.stack_slots * sizeof(Value) +
+             (options.max_call_depth + kReentrySlack) * sizeof(Frame) +
+             (options.profile_opcodes ? (kNumOps + 2) * kNumOps * sizeof(std::uint64_t) : 0) +
+             256),
       hosts_(program_.host_imports.size()),
       globals_(program_.globals.size()),
-      fuel_(options.fuel) {}
+      fuel_(options.fuel) {
+  stack_ = arena_.NewArray<Value>(options.stack_slots);
+  stack_slots_ = options.stack_slots;
+  frame_capacity_ = options.max_call_depth + kReentrySlack;
+  frames_ = arena_.NewArray<Frame>(frame_capacity_);
+  if (options.profile_opcodes) {
+    op_counts_ = arena_.NewArray<std::uint64_t>(kNumOps);
+    pair_counts_ = arena_.NewArray<std::uint64_t>((kNumOps + 1) * kNumOps);
+  }
+  threaded_ = options.dispatch != DispatchMode::kSwitch && ThreadedDispatchAvailable();
+}
+
+bool VM::ThreadedDispatchAvailable() {
+#if GRAFTLAB_VM_COMPUTED_GOTO
+  return true;
+#else
+  return false;
+#endif
+}
 
 void VM::BindHost(const std::string& name, HostFn fn) {
   for (std::size_t i = 0; i < program_.host_imports.size(); ++i) {
@@ -145,380 +189,165 @@ void VM::SetGlobal(const std::string& name, Value value) {
   throw std::invalid_argument("no global named '" + name + "'");
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> VM::OpcodeCounts() const {
+  std::vector<std::pair<std::string, std::uint64_t>> counts;
+  if (op_counts_ == nullptr) {
+    return counts;
+  }
+  for (std::size_t op = 0; op < kNumOps; ++op) {
+    if (op_counts_[op] > 0) {
+      counts.emplace_back(OpName(static_cast<Op>(op)), op_counts_[op]);
+    }
+  }
+  return SortedCounts(std::move(counts));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> VM::OpcodePairCounts(std::size_t top_n) const {
+  std::vector<std::pair<std::string, std::uint64_t>> counts;
+  if (pair_counts_ == nullptr) {
+    return counts;
+  }
+  // Row kNumOps is the entry sentinel (no predecessor) — not a real pair.
+  for (std::size_t prev = 0; prev < kNumOps; ++prev) {
+    for (std::size_t cur = 0; cur < kNumOps; ++cur) {
+      const std::uint64_t n = pair_counts_[prev * kNumOps + cur];
+      if (n > 0) {
+        counts.emplace_back(std::string(OpName(static_cast<Op>(prev))) + ">" +
+                                OpName(static_cast<Op>(cur)),
+                            n);
+      }
+    }
+  }
+  counts = SortedCounts(std::move(counts));
+  if (counts.size() > top_n) {
+    counts.resize(top_n);
+  }
+  return counts;
+}
+
+void VM::PushFrame(const FunctionCode& fn, std::size_t entry_frames) {
+  if (nframes_ - entry_frames >= options_.max_call_depth || nframes_ == frame_capacity_) {
+    throw Trap("call depth limit exceeded");
+  }
+  const std::size_t base = sp_ - static_cast<std::size_t>(fn.num_params);
+  const std::size_t needed =
+      static_cast<std::size_t>(fn.num_locals) + static_cast<std::size_t>(fn.max_stack);
+  if (base + needed > stack_slots_) {
+    throw Trap("VM stack overflow");
+  }
+  // The args already sit at base..base+num_params; null the rest.
+  for (std::size_t i = static_cast<std::size_t>(fn.num_params);
+       i < static_cast<std::size_t>(fn.num_locals); ++i) {
+    stack_[base + i] = Value::Null();
+  }
+  sp_ = base + static_cast<std::size_t>(fn.num_locals);
+  frames_[nframes_++] = Frame{&fn, 0, base};
+}
+
 Value VM::Execute(int fn_index, std::span<const Value> args) {
   const std::size_t entry_sp = sp_;
-  const std::size_t entry_frames = frames_.size();
-
-  auto push_frame = [&](int index, std::span<const Value> call_args) {
-    const auto& fn = program_.functions[static_cast<std::size_t>(index)];
-    if (frames_.size() - entry_frames >= options_.max_call_depth) {
-      throw Trap("call depth limit exceeded");
-    }
-    const std::size_t base = sp_;
-    const std::size_t needed =
-        static_cast<std::size_t>(fn.num_locals) + static_cast<std::size_t>(fn.max_stack);
-    if (base + needed > stack_.size()) {
+  const std::size_t entry_frames = nframes_;
+  try {
+    const auto& fn = program_.functions[static_cast<std::size_t>(fn_index)];
+    if (sp_ + args.size() > stack_slots_) {
       throw Trap("VM stack overflow");
     }
-    for (std::size_t i = 0; i < call_args.size(); ++i) {
-      stack_[base + i] = call_args[i];
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      stack_[sp_ + i] = args[i];
     }
-    for (std::size_t i = call_args.size(); i < static_cast<std::size_t>(fn.num_locals); ++i) {
-      stack_[base + i] = Value::Null();
-    }
-    sp_ = base + static_cast<std::size_t>(fn.num_locals);
-    frames_.push_back({&fn, 0, base});
-  };
-
-  try {
-    push_frame(fn_index, args);
-
-    Value result = Value::Null();
-    while (frames_.size() > entry_frames) {
-      Frame& frame = frames_.back();
-      const Insn insn = frame.fn->code[frame.pc];
-      ++frame.pc;
-      ++instructions_retired_;
-      if (fuel_ >= 0 && fuel_-- == 0) {
-        throw Trap("fuel exhausted: graft preempted");
-      }
-
-      switch (insn.op) {
-        case Op::kNop:
-          break;
-        case Op::kConstInt:
-          stack_[sp_++] = Value::Int(insn.operand);
-          break;
-        case Op::kConstNull:
-          stack_[sp_++] = Value::Null();
-          break;
-        case Op::kLoadLocal:
-          stack_[sp_++] = stack_[frame.base + static_cast<std::size_t>(insn.operand)];
-          break;
-        case Op::kStoreLocal:
-          stack_[frame.base + static_cast<std::size_t>(insn.operand)] = stack_[--sp_];
-          break;
-        case Op::kLoadGlobal:
-          stack_[sp_++] = globals_[static_cast<std::size_t>(insn.operand)];
-          break;
-        case Op::kStoreGlobal:
-          globals_[static_cast<std::size_t>(insn.operand)] = stack_[--sp_];
-          break;
-        case Op::kPop:
-          --sp_;
-          break;
-        case Op::kDup:
-          stack_[sp_] = stack_[sp_ - 1];
-          ++sp_;
-          break;
-
-#define GRAFTLAB_BIN_I(OP)                                                       \
-  {                                                                              \
-    const std::int64_t b = stack_[--sp_].AsInt();                                \
-    const std::int64_t a = stack_[sp_ - 1].AsInt();                              \
-    stack_[sp_ - 1] = Value::Int(OP);                                            \
-  }                                                                              \
-  break
-
-        case Op::kAddI:
-          GRAFTLAB_BIN_I(static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
-                                                   static_cast<std::uint64_t>(b)));
-        case Op::kSubI:
-          GRAFTLAB_BIN_I(static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
-                                                   static_cast<std::uint64_t>(b)));
-        case Op::kMulI:
-          GRAFTLAB_BIN_I(static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
-                                                   static_cast<std::uint64_t>(b)));
-        case Op::kDivI: {
-          const std::int64_t b = stack_[--sp_].AsInt();
-          const std::int64_t a = stack_[sp_ - 1].AsInt();
-          if (b == 0) {
-            throw Trap("integer division by zero");
-          }
-          if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
-            throw Trap("integer division overflow");
-          }
-          stack_[sp_ - 1] = Value::Int(a / b);
-          break;
-        }
-        case Op::kModI: {
-          const std::int64_t b = stack_[--sp_].AsInt();
-          const std::int64_t a = stack_[sp_ - 1].AsInt();
-          if (b == 0) {
-            throw Trap("integer modulo by zero");
-          }
-          if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
-            throw Trap("integer modulo overflow");
-          }
-          stack_[sp_ - 1] = Value::Int(a % b);
-          break;
-        }
-        case Op::kNegI:
-          stack_[sp_ - 1] =
-              Value::Int(static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(
-                                                           stack_[sp_ - 1].AsInt())));
-          break;
-        case Op::kAndI:
-          GRAFTLAB_BIN_I(a & b);
-        case Op::kOrI:
-          GRAFTLAB_BIN_I(a | b);
-        case Op::kXorI:
-          GRAFTLAB_BIN_I(a ^ b);
-        case Op::kShlI:
-          GRAFTLAB_BIN_I(static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
-                                                   << (static_cast<std::uint64_t>(b) & 63)));
-        case Op::kShrI:
-          GRAFTLAB_BIN_I(a >> (static_cast<std::uint64_t>(b) & 63));
-        case Op::kNotI:
-          stack_[sp_ - 1] = Value::Int(~stack_[sp_ - 1].AsInt());
-          break;
-
-#define GRAFTLAB_BIN_U(EXPR)                                  \
-  {                                                           \
-    const std::uint64_t b = stack_[--sp_].bits & kU32Mask;    \
-    const std::uint64_t a = stack_[sp_ - 1].bits & kU32Mask;  \
-    stack_[sp_ - 1].bits = (EXPR) & kU32Mask;                 \
-  }                                                           \
-  break
-
-        case Op::kAddU:
-          GRAFTLAB_BIN_U(a + b);
-        case Op::kSubU:
-          GRAFTLAB_BIN_U(a - b);
-        case Op::kMulU:
-          GRAFTLAB_BIN_U(a * b);
-        case Op::kDivU: {
-          const std::uint64_t b = stack_[--sp_].bits & kU32Mask;
-          const std::uint64_t a = stack_[sp_ - 1].bits & kU32Mask;
-          if (b == 0) {
-            throw Trap("u32 division by zero");
-          }
-          stack_[sp_ - 1].bits = a / b;
-          break;
-        }
-        case Op::kModU: {
-          const std::uint64_t b = stack_[--sp_].bits & kU32Mask;
-          const std::uint64_t a = stack_[sp_ - 1].bits & kU32Mask;
-          if (b == 0) {
-            throw Trap("u32 modulo by zero");
-          }
-          stack_[sp_ - 1].bits = a % b;
-          break;
-        }
-        case Op::kShlU:
-          GRAFTLAB_BIN_U(a << (b & 31));
-        case Op::kShrU:
-          GRAFTLAB_BIN_U(a >> (b & 31));
-        case Op::kNotU:
-          stack_[sp_ - 1].bits = (~stack_[sp_ - 1].bits) & kU32Mask;
-          break;
-
-#define GRAFTLAB_CMP(TYPE, EXPR)                   \
-  {                                                \
-    const TYPE b = static_cast<TYPE>(stack_[--sp_].bits); \
-    const TYPE a = static_cast<TYPE>(stack_[sp_ - 1].bits); \
-    stack_[sp_ - 1] = Value::Int((EXPR) ? 1 : 0);  \
-  }                                                \
-  break
-
-        case Op::kEqI:
-          GRAFTLAB_CMP(std::int64_t, a == b);
-        case Op::kNeI:
-          GRAFTLAB_CMP(std::int64_t, a != b);
-        case Op::kLtI:
-          GRAFTLAB_CMP(std::int64_t, a < b);
-        case Op::kLeI:
-          GRAFTLAB_CMP(std::int64_t, a <= b);
-        case Op::kGtI:
-          GRAFTLAB_CMP(std::int64_t, a > b);
-        case Op::kGeI:
-          GRAFTLAB_CMP(std::int64_t, a >= b);
-        case Op::kLtU:
-          GRAFTLAB_CMP(std::uint64_t, a < b);
-        case Op::kLeU:
-          GRAFTLAB_CMP(std::uint64_t, a <= b);
-        case Op::kGtU:
-          GRAFTLAB_CMP(std::uint64_t, a > b);
-        case Op::kGeU:
-          GRAFTLAB_CMP(std::uint64_t, a >= b);
-        case Op::kEqRef:
-          GRAFTLAB_CMP(std::uint64_t, a == b);
-        case Op::kNeRef:
-          GRAFTLAB_CMP(std::uint64_t, a != b);
-        case Op::kNotB:
-          stack_[sp_ - 1] = Value::Int(stack_[sp_ - 1].bits == 0 ? 1 : 0);
-          break;
-
-        case Op::kCastU32:
-          stack_[sp_ - 1].bits &= kU32Mask;
-          break;
-        case Op::kCastByte:
-          stack_[sp_ - 1].bits &= 0xFF;
-          break;
-
-        case Op::kJmp:
-          frame.pc = static_cast<std::size_t>(insn.operand);
-          break;
-        case Op::kJmpIfFalse: {
-          const Value v = stack_[--sp_];
-          if (v.bits == 0) {
-            frame.pc = static_cast<std::size_t>(insn.operand);
-          }
-          break;
-        }
-        case Op::kJmpIfTrue: {
-          const Value v = stack_[--sp_];
-          if (v.bits != 0) {
-            frame.pc = static_cast<std::size_t>(insn.operand);
-          }
-          break;
-        }
-
-        case Op::kCall: {
-          const auto& callee = program_.functions[static_cast<std::size_t>(insn.operand)];
-          const std::size_t argc = static_cast<std::size_t>(callee.num_params);
-          sp_ -= argc;
-          // Args are copied into the callee frame from the current stack top.
-          push_frame(static_cast<int>(insn.operand),
-                     std::span<const Value>(&stack_[sp_], argc));
-          break;
-        }
-        case Op::kCallHost: {
-          const auto& import = program_.host_imports[static_cast<std::size_t>(insn.operand)];
-          const auto& host = hosts_[static_cast<std::size_t>(insn.operand)];
-          if (!host) {
-            throw Trap("unbound host import '" + import.name + "'");
-          }
-          const std::size_t argc = static_cast<std::size_t>(import.arity);
-          sp_ -= argc;
-          const Value ret = host(*this, std::span<const Value>(&stack_[sp_], argc));
-          if (import.returns_value) {
-            stack_[sp_++] = ret;
-          }
-          break;
-        }
-        case Op::kRet: {
-          const Value ret = stack_[--sp_];
-          sp_ = frame.base;
-          frames_.pop_back();
-          if (frames_.size() > entry_frames) {
-            stack_[sp_++] = ret;
-          } else {
-            result = ret;
-          }
-          break;
-        }
-        case Op::kRetVoid:
-          sp_ = frame.base;
-          frames_.pop_back();
-          break;
-
-        case Op::kNewStruct: {
-          const auto& layout = program_.structs[static_cast<std::size_t>(insn.operand)];
-          MaybeCollect(static_cast<std::size_t>(layout.num_fields) * 8 + 64);
-          stack_[sp_++] = Value::Ref(heap_.NewStruct(layout, static_cast<int>(insn.operand)));
-          break;
-        }
-        case Op::kNewArray: {
-          const std::int64_t length = stack_[--sp_].AsInt();
-          if (length < 0 || length > (1 << 28)) {
-            throw Trap("bad array length " + std::to_string(length));
-          }
-          MaybeCollect(static_cast<std::size_t>(length) * 8 + 64);
-          stack_[sp_++] = Value::Ref(
-              heap_.NewArray(static_cast<TypeKind>(insn.operand),
-                             static_cast<std::size_t>(length)));
-          break;
-        }
-        case Op::kLoadField: {
-          Object* object = RequireObject(stack_[sp_ - 1], "field load");
-          const std::size_t index = static_cast<std::size_t>(insn.operand);
-          if (object->kind != Object::Kind::kStruct || index >= object->fields.size()) {
-            throw Trap("bad field access");
-          }
-          stack_[sp_ - 1] = object->fields[index];
-          break;
-        }
-        case Op::kStoreField: {
-          const Value value = stack_[--sp_];
-          Object* object = RequireObject(stack_[--sp_], "field store");
-          const std::size_t index = static_cast<std::size_t>(insn.operand);
-          if (object->kind != Object::Kind::kStruct || index >= object->fields.size()) {
-            throw Trap("bad field access");
-          }
-          object->fields[index] = value;
-          break;
-        }
-        case Op::kLoadElem: {
-          const std::int64_t raw_index = stack_[--sp_].AsInt();
-          Object* array = RequireObject(stack_[sp_ - 1], "array load");
-          if (array->kind != Object::Kind::kArray) {
-            throw Trap("element load from non-array");
-          }
-          const std::size_t index = CheckIndex(array, raw_index);
-          Value out;
-          switch (array->elem) {
-            case TypeKind::kInt:
-              out = Value::Int(array->longs[index]);
-              break;
-            case TypeKind::kU32:
-              out.bits = array->words[index];
-              break;
-            default:
-              out = Value::Int(array->bytes[index]);
-              break;
-          }
-          stack_[sp_ - 1] = out;
-          break;
-        }
-        case Op::kStoreElem: {
-          const Value value = stack_[--sp_];
-          const std::int64_t raw_index = stack_[--sp_].AsInt();
-          Object* array = RequireObject(stack_[--sp_], "array store");
-          if (array->kind != Object::Kind::kArray) {
-            throw Trap("element store to non-array");
-          }
-          const std::size_t index = CheckIndex(array, raw_index);
-          switch (array->elem) {
-            case TypeKind::kInt:
-              array->longs[index] = value.AsInt();
-              break;
-            case TypeKind::kU32:
-              array->words[index] = value.AsU32();
-              break;
-            case TypeKind::kBool:
-              array->bytes[index] = value.bits != 0 ? 1 : 0;
-              break;
-            default:
-              array->bytes[index] = static_cast<std::uint8_t>(value.bits);
-              break;
-          }
-          break;
-        }
-        case Op::kArrayLen: {
-          Object* array = RequireObject(stack_[sp_ - 1], "array length");
-          if (array->kind != Object::Kind::kArray) {
-            throw Trap("length of non-array");
-          }
-          stack_[sp_ - 1] = Value::Int(static_cast<std::int64_t>(array->array_length()));
-          break;
-        }
-        case Op::kTrap:
-          throw Trap("function fell off the end without returning a value");
-      }
-    }
-
-#undef GRAFTLAB_BIN_I
-#undef GRAFTLAB_BIN_U
-#undef GRAFTLAB_CMP
-
-    return result;
+    sp_ += args.size();
+    PushFrame(fn, entry_frames);
+    return threaded_ ? RunThreaded(entry_frames) : RunSwitch(entry_frames);
   } catch (...) {
     // Unwind to the caller's state so the VM stays usable after a trap.
-    frames_.resize(entry_frames);
+    nframes_ = entry_frames;
     sp_ = entry_sp;
     throw;
   }
 }
+
+// Shared per-instruction bookkeeping: retire, charge fuel, profile. `ip` must
+// already point at the fetched instruction.
+#define GRAFTLAB_VM_PRELUDE()                                          \
+  do {                                                                 \
+    ++instructions_retired_;                                           \
+    if (fuel_ >= 0 && fuel_-- == 0) {                                  \
+      throw Trap("fuel exhausted: graft preempted");                   \
+    }                                                                  \
+    if (op_counts_ != nullptr) {                                       \
+      const auto cur = static_cast<std::size_t>(ip->op);               \
+      ++op_counts_[cur];                                               \
+      ++pair_counts_[prev_op * kNumOps + cur];                         \
+      prev_op = cur;                                                   \
+    }                                                                  \
+  } while (0)
+
+Value VM::RunSwitch(std::size_t entry_frames) {
+  Frame* frame = &frames_[nframes_ - 1];
+  const Insn* code = frame->fn->code.data();
+  std::size_t pc = frame->pc;
+  Value* const stack = stack_;
+  std::size_t sp = sp_;
+  std::size_t prev_op = kNumOps;  // profile sentinel: no predecessor yet
+  const Insn* ip;
+
+  for (;;) {
+    ip = &code[pc++];
+    GRAFTLAB_VM_PRELUDE();
+    switch (ip->op) {
+#define GRAFTLAB_VM_OP(name) case Op::name:
+#define GRAFTLAB_VM_END_OP break;
+#include "src/minnow/vm_dispatch.inc"
+#undef GRAFTLAB_VM_OP
+#undef GRAFTLAB_VM_END_OP
+    }
+  }
+}
+
+Value VM::RunThreaded(std::size_t entry_frames) {
+#if GRAFTLAB_VM_COMPUTED_GOTO
+  // One label per opcode, generated from the same X-macro as the enum, so
+  // the table cannot drift out of order.
+  static const void* const kLabels[] = {
+#define GRAFTLAB_MINNOW_LABEL_ENTRY(name) &&Lbl_##name,
+      GRAFTLAB_MINNOW_OPS(GRAFTLAB_MINNOW_LABEL_ENTRY)
+#undef GRAFTLAB_MINNOW_LABEL_ENTRY
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumOps);
+
+  Frame* frame = &frames_[nframes_ - 1];
+  const Insn* code = frame->fn->code.data();
+  std::size_t pc = frame->pc;
+  Value* const stack = stack_;
+  std::size_t sp = sp_;
+  std::size_t prev_op = kNumOps;
+  const Insn* ip;
+
+// The dispatch is replicated at the end of every opcode body (instead of
+// jumping back to one shared site) so the branch predictor sees one indirect
+// branch per opcode — the classic win of token threading over switch.
+#define GRAFTLAB_VM_DISPATCH()                           \
+  do {                                                   \
+    ip = &code[pc++];                                    \
+    GRAFTLAB_VM_PRELUDE();                               \
+    goto* kLabels[static_cast<std::size_t>(ip->op)];     \
+  } while (0)
+
+  GRAFTLAB_VM_DISPATCH();
+
+#define GRAFTLAB_VM_OP(name) Lbl_##name:
+#define GRAFTLAB_VM_END_OP GRAFTLAB_VM_DISPATCH();
+#include "src/minnow/vm_dispatch.inc"
+#undef GRAFTLAB_VM_OP
+#undef GRAFTLAB_VM_END_OP
+#undef GRAFTLAB_VM_DISPATCH
+
+  __builtin_unreachable();
+#else
+  return RunSwitch(entry_frames);
+#endif
+}
+
+#undef GRAFTLAB_VM_PRELUDE
 
 }  // namespace minnow

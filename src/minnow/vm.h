@@ -1,5 +1,5 @@
-// The Minnow virtual machine: a switch-dispatch bytecode interpreter with a
-// garbage-collected heap, host-call bridge, and fuel-based preemption.
+// The Minnow virtual machine: a bytecode interpreter with a garbage-collected
+// heap, host-call bridge, and fuel-based preemption.
 //
 // This is the paper's "Java" technology: verified bytecode executed by an
 // in-kernel interpreter. Every array access is bounds-checked, every
@@ -8,6 +8,14 @@
 // the host. Fuel gives the kernel the preemption guarantee of §4: each
 // instruction costs one unit, and exhaustion raises a Trap the kernel
 // catches like any other extension fault.
+//
+// The hot loop is built once (vm_dispatch.inc) and compiled into two
+// dispatchers sharing every opcode body: a token-threaded computed-goto loop
+// (GCC/Clang, behind the GRAFTLAB_THREADED_DISPATCH CMake option) and a
+// portable switch loop. Which one runs is chosen per VM via
+// VmOptions::dispatch, so a single binary can differentially test and
+// benchmark both. Frames and the operand stack live in one envs::Arena
+// allocation made at construction — calls never touch the allocator.
 //
 // regir.h layers the paper's "runtime code generation" future-work variant
 // on top: the same Program translated at load time to a faster register IR.
@@ -20,8 +28,10 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/envs/arena.h"
 #include "src/minnow/bytecode.h"
 #include "src/minnow/heap.h"
 
@@ -33,11 +43,24 @@ class VM;
 // must return a Value (ignored for void imports).
 using HostFn = std::function<Value(VM&, std::span<const Value>)>;
 
+// How the interpreter's inner loop dispatches opcodes. kDefault resolves to
+// kThreaded when the build supports computed goto, else kSwitch; asking for
+// kThreaded in a switch-only build silently falls back (the two loops are
+// semantically identical — that equivalence is what tests/
+// minnow_dispatch_fuzz_test.cc enforces).
+enum class DispatchMode {
+  kDefault,
+  kSwitch,
+  kThreaded,
+};
+
 struct VmOptions {
   std::size_t stack_slots = 16 * 1024;   // operand + locals, all frames
   std::size_t heap_limit = 64u << 20;    // extension memory cap
   std::int64_t fuel = -1;                // instructions allowed; -1 = unlimited
   std::size_t max_call_depth = 256;
+  DispatchMode dispatch = DispatchMode::kDefault;
+  bool profile_opcodes = false;  // count retired opcodes and adjacent pairs
 };
 
 class VM : public Heap::RootProvider {
@@ -86,6 +109,21 @@ class VM : public Heap::RootProvider {
   // Statistics.
   std::uint64_t instructions_retired() const { return instructions_retired_; }
 
+  // True when this build carries the computed-goto loop.
+  static bool ThreadedDispatchAvailable();
+  // The dispatcher this VM actually runs (kDefault already resolved).
+  DispatchMode dispatch() const {
+    return threaded_ ? DispatchMode::kThreaded : DispatchMode::kSwitch;
+  }
+
+  // --- opcode profiling (VmOptions::profile_opcodes) ---
+  bool profiling() const { return op_counts_ != nullptr; }
+  // Retired-count per opcode name, descending. Empty unless profiling.
+  std::vector<std::pair<std::string, std::uint64_t>> OpcodeCounts() const;
+  // Adjacent-pair counts ("load.local>add.i"), descending — the data the
+  // superinstruction fusion set is chosen from. Empty unless profiling.
+  std::vector<std::pair<std::string, std::uint64_t>> OpcodePairCounts(std::size_t top_n = 16) const;
+
  private:
   friend class RegExecutor;
 
@@ -96,20 +134,34 @@ class VM : public Heap::RootProvider {
   };
 
   Value Execute(int fn_index, std::span<const Value> args);
+  Value RunSwitch(std::size_t entry_frames);
+  Value RunThreaded(std::size_t entry_frames);
+  // Moves the top num_params stack slots into a fresh callee frame.
+  void PushFrame(const FunctionCode& fn, std::size_t entry_frames);
   void MaybeCollect(std::size_t incoming_bytes);
 
   Program program_;
   VmOptions options_;
   Heap heap_;
-  std::vector<Value> stack_;
-  std::size_t sp_ = 0;  // first free slot
-  std::vector<Frame> frames_;
+  envs::Arena arena_;        // backs stack_, frames_, and the profile tables
+  Value* stack_ = nullptr;   // options_.stack_slots entries
+  std::size_t stack_slots_ = 0;
+  std::size_t sp_ = 0;       // first free slot
+  Frame* frames_ = nullptr;  // frame_capacity_ entries
+  std::size_t frame_capacity_ = 0;
+  std::size_t nframes_ = 0;
   std::vector<HostFn> hosts_;  // by import index
   std::vector<Value> globals_;
   std::vector<Object*> pinned_;
   std::int64_t fuel_ = -1;
   std::uint64_t instructions_retired_ = 0;
   bool init_ran_ = false;
+  bool threaded_ = false;
+  // Profile tables (arena-backed, null unless profiling): op_counts_[op] and
+  // pair_counts_[prev * kNumOps + op], with row kNumOps as the no-predecessor
+  // sentinel.
+  std::uint64_t* op_counts_ = nullptr;
+  std::uint64_t* pair_counts_ = nullptr;
 };
 
 }  // namespace minnow

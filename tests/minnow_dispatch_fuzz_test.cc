@@ -1,0 +1,398 @@
+// Differential fuzzing of the Minnow execution configurations.
+//
+// A seeded generator emits random well-typed Minnow programs (integer
+// arithmetic over edge-case constants, bounded loops, branches), compiles
+// each once, and runs the same bytecode through every configuration the
+// engine rewrite introduced: {switch, threaded dispatch} x {optimizer
+// on/off} x {superinstruction fusion on/off}. Every configuration must
+// produce the identical result — the same value, or the same trap message —
+// as the reference (switch dispatch, raw bytecode). kDivI/kModI edge cases
+// (division by zero, INT64_MIN / -1) get dedicated deterministic coverage,
+// and a directed section checks that the fusion pass actually emits each
+// superinstruction and that both dispatch loops agree on all of them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/minnow/bytecode.h"
+#include "src/minnow/compiler.h"
+#include "src/minnow/optimizer.h"
+#include "src/minnow/verifier.h"
+#include "src/minnow/vm.h"
+
+namespace {
+
+using minnow::Compile;
+using minnow::DispatchMode;
+using minnow::Op;
+using minnow::Program;
+using minnow::Trap;
+using minnow::Value;
+using minnow::VM;
+using minnow::VmOptions;
+
+// --- Execution matrix ---
+
+struct Config {
+  DispatchMode dispatch;
+  bool optimize;
+  bool fuse;
+
+  std::string Name() const {
+    std::string name = dispatch == DispatchMode::kThreaded ? "threaded" : "switch";
+    if (optimize) name += "+opt";
+    if (fuse) name += "+fuse";
+    return name;
+  }
+};
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> configs;
+  for (const DispatchMode dispatch : {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
+    for (const bool optimize : {false, true}) {
+      for (const bool fuse : {false, true}) {
+        configs.push_back({dispatch, optimize, fuse});
+      }
+    }
+  }
+  return configs;
+}
+
+// Result of one execution: a value, or the trap that stopped it. Trap
+// *messages* are part of the contract — an engine that traps for a
+// different reason is wrong even if it traps at the same instruction.
+struct Outcome {
+  bool trapped = false;
+  std::int64_t value = 0;
+  std::string trap;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+std::string Describe(const Outcome& outcome) {
+  return outcome.trapped ? "trap: " + outcome.trap : "value: " + std::to_string(outcome.value);
+}
+
+Outcome RunConfig(const Program& compiled, const Config& config, const char* fn,
+                  std::initializer_list<std::int64_t> args) {
+  Program program = compiled;  // each config transforms its own copy
+  if (config.optimize) {
+    minnow::Optimize(program);
+    minnow::VerifyProgram(program);
+  }
+  if (config.fuse) {
+    minnow::FuseSuperinstructions(program);
+    minnow::VerifyProgram(program);
+  }
+  VmOptions options;
+  options.dispatch = config.dispatch;
+  Outcome outcome;
+  try {
+    VM vm(program, options);
+    vm.RunInit();
+    std::vector<Value> values;
+    for (const std::int64_t a : args) {
+      values.push_back(Value::Int(a));
+    }
+    outcome.value = vm.Call(fn, values).AsInt();
+  } catch (const Trap& trap) {
+    outcome.trapped = true;
+    outcome.trap = trap.what();
+  }
+  return outcome;
+}
+
+// Runs `fn` under every configuration and asserts agreement with the
+// reference configuration (switch dispatch, raw bytecode).
+void ExpectAllConfigsAgree(const std::string& source, const char* fn,
+                           std::initializer_list<std::int64_t> args,
+                           const std::string& label) {
+  const Program compiled = Compile(source);
+  const Outcome reference =
+      RunConfig(compiled, {DispatchMode::kSwitch, false, false}, fn, args);
+  for (const Config& config : AllConfigs()) {
+    const Outcome outcome = RunConfig(compiled, config, fn, args);
+    EXPECT_EQ(outcome, reference)
+        << label << " [" << config.Name() << "]: got " << Describe(outcome)
+        << ", reference " << Describe(reference) << "\nsource:\n"
+        << source;
+  }
+}
+
+// --- Random program generator ---
+//
+// Emits well-typed straight-line-plus-structured-control programs over int
+// locals. All loops are bounded by construction (fresh counter, constant
+// trip count), so the only traps a generated program can raise are the
+// arithmetic ones — which is exactly what we want to differential-test.
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(std::uint32_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    visible_ = 3;  // the v0, v1, v2 parameters
+    counters_ = 0;
+    std::string body;
+    // All mutable locals are declared up front at function scope (each
+    // initializer sees only the variables before it), so the statement
+    // generator never has to reason about Minnow's block scoping.
+    const int extra_locals = 1 + static_cast<int>(rng_() % 3);
+    for (int i = 0; i < extra_locals; ++i) {
+      body += "  var v" + std::to_string(visible_) + ": int = " + Expr(2) + ";\n";
+      ++visible_;
+    }
+    const int statements = 2 + static_cast<int>(rng_() % 5);
+    for (int i = 0; i < statements; ++i) {
+      body += Statement(2);
+    }
+    body += "  return " + Expr(3) + ";\n";
+    return "fn f(v0: int, v1: int, v2: int) -> int {\n" + body + "}\n";
+  }
+
+ private:
+  // Constants that stress packing and overflow paths: the int32 boundary
+  // (imm-branch fusion packs 32-bit immediates), INT64 extremes (kDivI /
+  // kModI overflow, negation), small values (common-case fusion).
+  std::int64_t Constant() {
+    static constexpr std::int64_t kPool[] = {
+        0,
+        1,
+        -1,
+        2,
+        7,
+        63,
+        255,
+        -128,
+        1 << 15,
+        std::numeric_limits<std::int32_t>::max(),
+        std::numeric_limits<std::int32_t>::min(),
+        static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::max()) + 1,
+        static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::min()) - 1,
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+    };
+    return kPool[rng_() % (sizeof(kPool) / sizeof(kPool[0]))];
+  }
+
+  std::string Var() { return "v" + std::to_string(rng_() % visible_); }
+
+  std::string Expr(int depth) {
+    if (depth == 0 || rng_() % 4 == 0) {
+      return rng_() % 2 == 0 ? Var() : std::to_string(Constant());
+    }
+    // Shifts use a small masked count so behavior is defined; division and
+    // modulo stay in — their traps are part of the differential contract.
+    static constexpr const char* kOps[] = {"+", "-", "*", "/", "%", "&", "|", "^"};
+    const std::uint32_t pick = rng_() % 10;
+    if (pick == 8) {
+      return "(" + Expr(depth - 1) + " << " + std::to_string(rng_() % 8) + ")";
+    }
+    if (pick == 9) {
+      return "(" + Expr(depth - 1) + " >> " + std::to_string(rng_() % 8) + ")";
+    }
+    return "(" + Expr(depth - 1) + " " + kOps[pick] + " " + Expr(depth - 1) + ")";
+  }
+
+  std::string Cond() {
+    static constexpr const char* kCmps[] = {"==", "!=", "<", "<=", ">", ">="};
+    return Expr(1) + " " + kCmps[rng_() % 6] + " " + Expr(1);
+  }
+
+  std::string Statement(int depth) {
+    const std::uint32_t pick = rng_() % (depth > 0 ? 5 : 3);
+    switch (pick) {
+      case 0:  // const into local (feeds kConstStore fusion)
+        return "  " + Var() + " = " + std::to_string(Constant()) + ";\n";
+      case 1:
+        return "  " + Var() + " = " + Expr(2) + ";\n";
+      case 2:  // feeds kLoadAddI / kAddConstI fusion
+        return "  " + Var() + " = " + Var() + " + " + std::to_string(Constant()) + ";\n";
+      case 3:  // branch (feeds compare+branch fusion, both senses)
+        return "  if (" + Cond() + ") {\n  " + Statement(depth - 1) + "  } else {\n  " +
+               Statement(depth - 1) + "  }\n";
+      default: {  // bounded loop; the counter is private to the loop statement
+        const std::string i = "t" + std::to_string(counters_++);
+        const int trips = 1 + static_cast<int>(rng_() % 6);
+        return "  var " + i + ": int = 0;\n  while (" + i + " < " + std::to_string(trips) +
+               ") {\n  " + Statement(depth - 1) + "    " + i + " = " + i + " + 1;\n  }\n";
+      }
+    }
+  }
+
+  std::mt19937 rng_;
+  int visible_;
+  int counters_;
+};
+
+TEST(DispatchFuzz, RandomProgramsAgreeAcrossAllConfigurations) {
+  // Fixed seed: this is a regression corpus, not an open-ended fuzzer. Each
+  // program runs with several argument tuples so data-dependent paths (and
+  // data-dependent traps) get exercised.
+  constexpr int kPrograms = 60;
+  const std::initializer_list<std::int64_t> arg_sets[] = {
+      {0, 1, -1},
+      {7, -3, 1000},
+      {std::numeric_limits<std::int64_t>::min(), -1, 2},
+      {std::numeric_limits<std::int64_t>::max(), 0,
+       std::numeric_limits<std::int32_t>::min()},
+  };
+  for (int p = 0; p < kPrograms; ++p) {
+    ProgramGen gen(0xC0FFEE + p);
+    const std::string source = gen.Generate();
+    int tuple = 0;
+    for (const auto& args : arg_sets) {
+      ExpectAllConfigsAgree(source, "f", args,
+                            "program " + std::to_string(p) + " args#" + std::to_string(tuple++));
+      if (HasFailure()) {
+        return;  // first divergence is the actionable one; stop the corpus
+      }
+    }
+  }
+}
+
+// --- Directed arithmetic-trap edge cases ---
+
+TEST(DispatchFuzz, DivisionEdgeCasesTrapIdentically) {
+  const std::string div = "fn f(a: int, b: int) -> int { return a / b; }";
+  const std::string mod = "fn f(a: int, b: int) -> int { return a % b; }";
+  const std::int64_t int_min = std::numeric_limits<std::int64_t>::min();
+
+  ExpectAllConfigsAgree(div, "f", {10, 0}, "div by zero");
+  ExpectAllConfigsAgree(div, "f", {int_min, -1}, "div overflow");
+  ExpectAllConfigsAgree(div, "f", {int_min, 1}, "div INT_MIN by one");
+  ExpectAllConfigsAgree(div, "f", {-7, 2}, "div truncation sign");
+  ExpectAllConfigsAgree(mod, "f", {10, 0}, "mod by zero");
+  ExpectAllConfigsAgree(mod, "f", {int_min, -1}, "mod overflow");
+  ExpectAllConfigsAgree(mod, "f", {-7, 2}, "mod sign");
+
+  // The traps must be the *arithmetic* traps, not incidental agreement.
+  const Outcome div0 =
+      RunConfig(Compile(div), {DispatchMode::kThreaded, false, true}, "f", {1, 0});
+  ASSERT_TRUE(div0.trapped);
+  EXPECT_EQ(div0.trap, "integer division by zero");
+  const Outcome overflow =
+      RunConfig(Compile(div), {DispatchMode::kThreaded, true, true}, "f", {int_min, -1});
+  ASSERT_TRUE(overflow.trapped);
+  EXPECT_EQ(overflow.trap, "integer division overflow");
+}
+
+TEST(DispatchFuzz, TrapsInsideLoopsAgreeMidIteration) {
+  // The divisor hits zero on the fourth iteration: every configuration must
+  // have committed the same number of iterations' worth of state (checked
+  // implicitly by trapping rather than returning a wrong value).
+  const std::string source = R"(
+    fn f(n: int) -> int {
+      var total: int = 0;
+      var d: int = 3;
+      var i: int = 0;
+      while (i < n) {
+        total = total + 100 / d;
+        d = d - 1;
+        i = i + 1;
+      }
+      return total;
+    })";
+  ExpectAllConfigsAgree(source, "f", {2}, "loop stops before zero divisor");
+  ExpectAllConfigsAgree(source, "f", {10}, "loop traps on zero divisor");
+}
+
+// --- Directed superinstruction coverage ---
+//
+// Each source construct below is chosen so FuseSuperinstructions emits a
+// specific superinstruction. The test asserts the opcode is actually present
+// in the fused program (so fusion regressions can't silently pass) and that
+// both dispatch loops execute it identically.
+
+bool ProgramContains(const Program& program, Op op) {
+  for (const auto& fn : program.functions) {
+    for (const auto& insn : fn.code) {
+      if (insn.op == op) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+struct FusionCase {
+  const char* label;
+  Op op;
+  const char* source;
+  std::initializer_list<std::int64_t> args;
+};
+
+TEST(DispatchFuzz, EveryFusedOpcodeIsEmittedAndAgrees) {
+  const std::int64_t max32 = std::numeric_limits<std::int32_t>::max();
+  const FusionCase cases[] = {
+      // The constant on the left keeps kLoadLocal2/kLoadConstI from claiming
+      // the LoadLocal first.
+      {"load+add.i", Op::kLoadAddI, "fn f(a: int) -> int { return 1 + a; }", {3}},
+      {"add.const.i", Op::kAddConstI,
+       "fn f(a: int) -> int { var x: int = a; x = x + a; return x + 5; }", {10}},
+      {"const+store", Op::kConstStore,
+       "fn f(a: int) -> int { var x: int = 41; return x + a; }", {1}},
+      {"br.lt.i (JmpIfFalse inversion)", Op::kBrGeI,
+       "fn f(a: int, b: int) -> int { if (a < b) { return 1; } return 0; }", {1, 2}},
+      {"br.eq.ref", Op::kBrNeRef,
+       "fn f(a: int) -> int { var xs: int[] = null; if (xs == null) { return a; } return 0; }",
+       {9}},
+      // The mask keeps the loop counter's LoadLocal from absorbing the
+      // comparison constant, so the imm triple still forms.
+      {"br.lt.imm.i triple", Op::kBrGeImmI,
+       "fn f(a: int) -> int { var t: int = 0; var i: int = 0; while ((i & 1023) < 10)"
+       " { t = t + a; i = i + 1; } return t; }",
+       {3}},
+      {"load.local2", Op::kLoadLocal2, "fn f(a: int, b: int) -> int { return a + b; }", {3, 4}},
+      {"load+const.i", Op::kLoadConstI, "fn f(a: int) -> int { return a ^ 21; }", {9}},
+      {"move.local", Op::kMoveLocal,
+       "fn f(a: int) -> int { var x: int = a; return x * 2; }", {7}},
+      {"store+load", Op::kStoreLoad,
+       "fn f(a: int) -> int { var x: int = a + a; return x + 1; }", {6}},
+      {"load.global+local", Op::kLoadGlobalLocal,
+       "var g: int = 40;\nfn f(a: int) -> int { return g + a; }", {2}},
+  };
+  for (const FusionCase& c : cases) {
+    Program program = Compile(c.source);
+    minnow::FuseSuperinstructions(program);
+    minnow::VerifyProgram(program);
+    EXPECT_TRUE(ProgramContains(program, c.op)) << c.label;
+    ExpectAllConfigsAgree(c.source, "f", c.args, c.label);
+  }
+  // Packed-operand round trip at the extremes the fusion pass may emit.
+  ExpectAllConfigsAgree("fn f(a: int) -> int { var x: int = " + std::to_string(max32) +
+                            "; return x + a; }",
+                        "f", {-1}, "const+store int32 max");
+  ExpectAllConfigsAgree("fn f(a: int) -> int { var x: int = -2147483648; return x + a; }", "f",
+                        {1}, "const+store int32 min");
+}
+
+TEST(DispatchFuzz, FusionChangesFuelButNotResults) {
+  // Fusion's one intended observable at the supervisor level: fewer
+  // instructions retired for the same work.
+  const std::string source =
+      "fn f(n: int) -> int { var t: int = 0; var i: int = 0;"
+      " while (i < n) { t = t + i; i = i + 1; } return t; }";
+  const Program raw = Compile(source);
+  Program fused = raw;
+  const auto stats = minnow::FuseSuperinstructions(fused);
+  minnow::VerifyProgram(fused);
+  EXPECT_GT(stats.pairs_fused + stats.compare_branches_fused + stats.imm_compare_branches_fused,
+            0u);
+  EXPECT_LT(stats.instructions_after, stats.instructions_before);
+
+  VM raw_vm(raw);
+  VM fused_vm(fused);
+  raw_vm.RunInit();
+  fused_vm.RunInit();
+  EXPECT_EQ(raw_vm.Call("f", {Value::Int(100)}).AsInt(),
+            fused_vm.Call("f", {Value::Int(100)}).AsInt());
+  EXPECT_LT(fused_vm.instructions_retired(), raw_vm.instructions_retired());
+}
+
+}  // namespace
