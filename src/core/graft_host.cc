@@ -49,7 +49,9 @@ bool GraftHost::RunStream(streamk::Bytes data, std::size_t chunk, streamk::Chain
 }
 
 GraftHost::BlackBoxResult GraftHost::RunLogicalDisk(BlackBoxGraft& graft,
-                                                    std::uint64_t num_writes, bool validate) {
+                                                    std::uint64_t num_writes, bool validate,
+                                                    const tracelab::StageTrace* trace) {
+  const tracelab::StageTrace stage = trace != nullptr ? *trace : tracelab::StageTrace{};
   BlackBoxResult result;
   const auto record = [&result](FaultClass fault_class, const char* what) {
     result.faulted = true;
@@ -61,6 +63,7 @@ GraftHost::BlackBoxResult GraftHost::RunLogicalDisk(BlackBoxGraft& graft,
   // Anything that is not a runtime_error (logic errors, allocation
   // failures) is a host bug and propagates.
   try {
+    tracelab::Span body(stage.tracer, stage.body, stage.trace_id);
     result.replay =
         ldisk::ReplayWorkload(graft, options_.disk_geometry, num_writes, /*seed=*/80204, validate);
   } catch (const ldisk::DiskFull& error) {
@@ -87,8 +90,13 @@ GraftHost::BlackBoxResult GraftHost::RunLogicalDisk(BlackBoxGraft& graft,
 
 GraftHost::StreamRunResult GraftHost::RunStreamGraft(StreamGraft& graft, streamk::Bytes data,
                                                      std::size_t chunk,
-                                                     std::chrono::microseconds budget) {
+                                                     std::chrono::microseconds budget,
+                                                     const tracelab::StageTrace* trace) {
+  const tracelab::StageTrace stage = trace != nullptr ? *trace : tracelab::StageTrace{};
   StreamRunResult result;
+  // The crossing span covers the host->technology entry machinery: token
+  // reset, deadline arm, fuel metering setup done by the caller's policy.
+  tracelab::Span crossing(stage.tracer, stage.crossing, stage.trace_id);
   preempt_token_.Reset();
   // Reset on every exit path; destroyed after the deadline guards below, so
   // the order on unwind is disarm-then-reset and a late trip cannot leak.
@@ -102,7 +110,9 @@ GraftHost::StreamRunResult GraftHost::RunStreamGraft(StreamGraft& graft, streamk
       watchdog.emplace(preempt_token_, budget);
     }
   }
+  crossing.End();
   try {
+    tracelab::Span body(stage.tracer, stage.body, stage.trace_id);
     const std::size_t step = chunk == 0 ? data.size() : chunk;
     for (std::size_t off = 0; off < data.size(); off += step) {
       graft.Consume(data.data() + off, std::min(step, data.size() - off));
@@ -124,6 +134,55 @@ GraftHost::StreamRunResult GraftHost::RunStreamGraft(StreamGraft& graft, streamk
     throw;  // device state, not extension misbehavior
   } catch (const ldisk::DiskHardError&) {
     throw;
+  } catch (const std::runtime_error& error) {
+    result.preempted = IsFuelPreemption(error.what());
+    if (!result.preempted) {
+      result.fault_message = error.what();
+    }
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+GraftHost::EvictionRunResult GraftHost::RunEvictionGraft(PrioritizationGraft& graft,
+                                                         vmsim::Frame* lru_head,
+                                                         std::uint64_t lookups,
+                                                         std::chrono::microseconds budget,
+                                                         const tracelab::StageTrace* trace) {
+  const tracelab::StageTrace stage = trace != nullptr ? *trace : tracelab::StageTrace{};
+  EvictionRunResult result;
+  tracelab::Span crossing(stage.tracer, stage.crossing, stage.trace_id);
+  preempt_token_.Reset();
+  envs::TokenResetGuard reset_guard(preempt_token_);
+  std::optional<envs::ArmGuard> shared_deadline;
+  std::optional<envs::Watchdog> watchdog;
+  if (budget.count() > 0) {
+    if (deadline_timer_ != nullptr) {
+      shared_deadline.emplace(*deadline_timer_, preempt_token_, budget);
+    } else {
+      watchdog.emplace(preempt_token_, budget);
+    }
+  }
+  crossing.End();
+  try {
+    tracelab::Span body(stage.tracer, stage.body, stage.trace_id);
+    for (std::uint64_t i = 0; i < lookups; ++i) {
+      vmsim::Frame* victim = graft.ChooseVictim(lru_head);
+      result.last_victim_page = victim != nullptr ? victim->page : 0;
+      ++result.lookups;
+    }
+    result.ok = true;
+  } catch (const envs::PreemptFault&) {
+    result.preempted = true;
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const minnow::Trap& trap) {
+    result.preempted = IsFuelPreemption(trap.what());
+    if (!result.preempted) {
+      result.fault_message = trap.what();
+    }
+    contained_faults_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const faultlab::FaultError&) {
+    throw;  // injected infrastructure failure, not an extension fault
   } catch (const std::runtime_error& error) {
     result.preempted = IsFuelPreemption(error.what());
     if (!result.preempted) {

@@ -24,6 +24,7 @@
 #include "src/envs/preempt.h"
 #include "src/ldisk/logical_disk.h"
 #include "src/streamk/stream.h"
+#include "src/tracelab/trace.h"
 #include "src/vmsim/page_cache.h"
 
 namespace core {
@@ -69,8 +70,29 @@ class GraftHost {
     FaultClass fault_class = FaultClass::kNone;
     std::string fault_message;
   };
+  // `trace` (optional) stamps the replay as a body span on the active trace.
   BlackBoxResult RunLogicalDisk(BlackBoxGraft& graft, std::uint64_t num_writes,
-                                bool validate = true);
+                                bool validate = true,
+                                const tracelab::StageTrace* trace = nullptr);
+
+  // --- Prioritization hook, direct-invocation form ---
+  // Runs `lookups` ChooseVictim calls against a caller-prepared LRU chain,
+  // containing faults and enforcing an optional wall-clock budget exactly
+  // like the stream form. This is the graftd worker entry point for
+  // Prioritization grafts: the paper's Table 2 operation (one full hot-list
+  // search, cold candidate) repeated per invocation, so observed per-lookup
+  // cost is directly comparable to the offline eviction benches.
+  struct EvictionRunResult {
+    bool ok = false;
+    bool preempted = false;
+    std::uint64_t lookups = 0;            // completed before any fault
+    std::uint64_t last_victim_page = 0;   // keeps the search observable
+    std::string fault_message;            // set when !ok && !preempted
+  };
+  EvictionRunResult RunEvictionGraft(PrioritizationGraft& graft, vmsim::Frame* lru_head,
+                                     std::uint64_t lookups,
+                                     std::chrono::microseconds budget = std::chrono::microseconds{0},
+                                     const tracelab::StageTrace* trace = nullptr);
 
   // --- Stream hook, reusable-graft form ---
   // Runs one stream-graft invocation (consume `data` in `chunk` pieces,
@@ -85,8 +107,12 @@ class GraftHost {
     md5::Digest digest{};
     std::string fault_message;  // set when !ok && !preempted
   };
+  // `trace` (optional) splits the invocation into a crossing span (the
+  // host->technology entry machinery: token reset, deadline arm, fuel set)
+  // and a body span (the Consume loop plus Finish) on the active trace.
   StreamRunResult RunStreamGraft(StreamGraft& graft, streamk::Bytes data, std::size_t chunk,
-                                 std::chrono::microseconds budget = std::chrono::microseconds{0});
+                                 std::chrono::microseconds budget = std::chrono::microseconds{0},
+                                 const tracelab::StageTrace* trace = nullptr);
 
   // --- Preemption ---
   // Token handed to compiled-technology grafts at construction.

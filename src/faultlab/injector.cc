@@ -38,6 +38,14 @@ std::optional<Injection> Injector::Hit(std::string_view site) {
     }
     ++spec_state.injected;
     ++state.injected;
+    if (tracer_ != nullptr) {
+      if (!state.trace_site_interned) {
+        state.trace_site = tracer_->Intern("fault/" + std::string(site));
+        state.trace_site_interned = true;
+      }
+      tracer_->Instant(state.trace_site, tracelab::CurrentTraceId(),
+                       static_cast<std::uint64_t>(spec.kind));
+    }
     return Injection{spec.kind, spec.param};
   }
   return std::nullopt;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/faultlab/fault.h"
+#include "src/tracelab/trace.h"
 
 namespace faultlab {
 
@@ -53,6 +54,12 @@ class Injector {
 
   std::uint64_t total_injected() const;
 
+  // Attaches a tracer: every triggered injection becomes an instant event
+  // named "fault/<site>" on the trace active on the injecting thread, with
+  // the fault kind as the event argument. The tracer must outlive the
+  // injector.
+  void set_tracer(tracelab::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct SpecState {
     FaultSpec spec;
@@ -62,8 +69,12 @@ class Injector {
     std::uint64_t hits = 0;
     std::uint64_t injected = 0;
     std::vector<std::size_t> specs;  // indices into specs_, in plan order
+    // Interned "fault/<site>" id, resolved on the first injection here.
+    tracelab::SiteId trace_site = 0;
+    bool trace_site_interned = false;
   };
 
+  tracelab::Tracer* tracer_ = nullptr;
   mutable std::mutex mu_;
   std::mt19937_64 rng_;
   std::vector<SpecState> specs_;

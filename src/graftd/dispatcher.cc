@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/stats/break_even.h"
 #include "src/stats/harness.h"
+#include "src/tracelab/export.h"
 
 namespace graftd {
+
+namespace {
+
+// Mirrors bench/graft_measures.h MeasureEvictionUs: 64-entry hot list,
+// frames paged at 100000+i so none are ever hot — the graft walks the whole
+// chain, the paper's Table 2 lookup shape.
+constexpr int kEvictionHotListSize = 64;
+constexpr std::size_t kEvictionColdFrames = 64;
+
+}  // namespace
 
 Dispatcher::Dispatcher(DispatcherOptions options, const Clock* clock)
     : options_(options),
@@ -24,24 +36,73 @@ Dispatcher::Dispatcher(DispatcherOptions options, const Clock* clock)
 
 Dispatcher::~Dispatcher() { Shutdown(); }
 
-GraftId Dispatcher::RegisterStreamGraft(std::string name, StreamGraftFactory factory) {
+void Dispatcher::InternSites(Registration& registration) {
+  // Caller holds registry_mu_ (or is still single-threaded in set_tracer's
+  // documented attach window).
+  if (tracer_ == nullptr) {
+    return;
+  }
+  registration.sites.queue = tracer_->Intern("queue:" + registration.name);
+  registration.sites.dispatch = tracer_->Intern("dispatch:" + registration.name);
+  registration.sites.crossing = tracer_->Intern("crossing:" + registration.name);
+  registration.sites.body = tracer_->Intern("body:" + registration.name);
+  registration.sites.disk = tracer_->Intern("disk:" + registration.name);
+  registration.sites.ops = tracer_->Intern("ops:" + registration.name);
+}
+
+GraftId Dispatcher::Register(Registration registration) {
   std::lock_guard<std::mutex> lock(registry_mu_);
-  const GraftId id = supervisor_.Register(name);
-  registry_.push_back(Registration{std::move(name), std::move(factory), nullptr});
+  const GraftId id = supervisor_.Register(registration.name);
+  InternSites(registration);
+  registry_.push_back(std::move(registration));
   return id;
 }
 
+GraftId Dispatcher::RegisterStreamGraft(std::string name, StreamGraftFactory factory) {
+  Registration registration;
+  registration.name = std::move(name);
+  registration.shape = GraftShape::kStream;
+  registration.stream_factory = std::move(factory);
+  return Register(std::move(registration));
+}
+
 GraftId Dispatcher::RegisterBlackBoxGraft(std::string name, BlackBoxGraftFactory factory) {
+  Registration registration;
+  registration.name = std::move(name);
+  registration.shape = GraftShape::kBlackBox;
+  registration.blackbox_factory = std::move(factory);
+  return Register(std::move(registration));
+}
+
+GraftId Dispatcher::RegisterEvictionGraft(std::string name, EvictionGraftFactory factory) {
+  Registration registration;
+  registration.name = std::move(name);
+  registration.shape = GraftShape::kEviction;
+  registration.eviction_factory = std::move(factory);
+  return Register(std::move(registration));
+}
+
+void Dispatcher::set_tracer(tracelab::Tracer* tracer) {
   std::lock_guard<std::mutex> lock(registry_mu_);
-  const GraftId id = supervisor_.Register(name);
-  registry_.push_back(Registration{std::move(name), nullptr, std::move(factory)});
-  return id;
+  tracer_ = tracer;
+  supervisor_.set_tracer(tracer);
+  for (Registration& registration : registry_) {
+    InternSites(registration);
+  }
+}
+
+void Dispatcher::StampTrace(Invocation& invocation) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    invocation.trace_id = tracer_->NextTraceId();
+    invocation.submit_ns = tracer_->NowNs();
+  }
 }
 
 bool Dispatcher::Submit(Invocation invocation) {
   const std::size_t shard =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  StampTrace(invocation);
   if (shards_[shard]->queue.Push(std::move(invocation))) {
     return true;
   }
@@ -53,6 +114,7 @@ bool Dispatcher::TrySubmit(Invocation invocation) {
   const std::size_t shard =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  StampTrace(invocation);
   if (shards_[shard]->queue.TryPush(std::move(invocation))) {
     return true;
   }
@@ -116,6 +178,29 @@ GraftCounters& Dispatcher::StatsFor(WorkerShard& shard, GraftId id) {
 void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   const GraftId id = invocation.graft;
 
+  Registration registration;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    registration = registry_.at(id);
+  }
+
+  // Tracing is active only for invocations stamped at submit time while the
+  // tracer was enabled — a mid-run SetEnabled(true) starts with the next
+  // submission, never with half-traced invocations.
+  tracelab::Tracer* tracer =
+      tracer_ != nullptr && tracer_->enabled() && invocation.trace_id != 0 ? tracer_ : nullptr;
+  const tracelab::ScopedTraceId scoped_trace(tracer != nullptr ? invocation.trace_id : 0);
+  if (tracer != nullptr) {
+    // Queue wait crosses threads (begin on the producer, end here), so it is
+    // one complete event rather than a begin/end pair.
+    const std::uint64_t now = tracer->NowNs();
+    tracer->Complete(registration.sites.queue, invocation.submit_ns,
+                     now >= invocation.submit_ns ? now - invocation.submit_ns : 0,
+                     invocation.trace_id);
+  }
+  // Worker-side service span: admission through outcome accounting.
+  tracelab::Span dispatch_span(tracer, registration.sites.dispatch, invocation.trace_id);
+
   switch (supervisor_.Admit(id)) {
     case AdmitDecision::kRejectDetached: {
       std::lock_guard<std::mutex> lock(shard.stats_mu);
@@ -137,31 +222,62 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
       break;
   }
 
+  const tracelab::StageTrace stage_trace{tracer, registration.sites.crossing,
+                                         registration.sites.body, invocation.trace_id};
+
   // Worker-private instance, built on first use on this worker's thread.
-  Registration registration;
-  {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    registration = registry_.at(id);
-  }
-  const bool is_stream = registration.stream_factory != nullptr;
+  // Per-invocation construction (black-box grafts, first-use stream/eviction
+  // builds) is crossing cost — the host->technology entry machinery — so it
+  // runs under the crossing site; the host adds its own crossing span for
+  // the per-invocation entry work (token reset, deadline arm, fuel set).
   std::unique_ptr<core::BlackBoxGraft> blackbox;
-  if (is_stream) {
-    if (shard.stream_instances.size() <= id) {
-      shard.stream_instances.resize(id + 1);
+  EvictionRig* rig = nullptr;
+  switch (registration.shape) {
+    case GraftShape::kStream: {
+      if (shard.stream_instances.size() <= id) {
+        shard.stream_instances.resize(id + 1);
+      }
+      if (!shard.stream_instances[id]) {
+        tracelab::Span crossing(tracer, registration.sites.crossing, invocation.trace_id);
+        shard.stream_instances[id] = registration.stream_factory(&shard.host.preempt_token());
+      }
+      break;
     }
-    if (!shard.stream_instances[id]) {
-      shard.stream_instances[id] = registration.stream_factory(&shard.host.preempt_token());
+    case GraftShape::kBlackBox: {
+      // Fresh per invocation: the logical disk runs no cleaner (paper §5.6),
+      // so each replay must start with an empty log or the device fills up.
+      tracelab::Span crossing(tracer, registration.sites.crossing, invocation.trace_id);
+      blackbox =
+          registration.blackbox_factory(shard.host.disk_geometry(), &shard.host.preempt_token());
+      break;
     }
-  } else {
-    // Fresh per invocation: the logical disk runs no cleaner (paper §5.6),
-    // so each replay must start with an empty log or the device fills up.
-    blackbox =
-        registration.blackbox_factory(shard.host.disk_geometry(), &shard.host.preempt_token());
+    case GraftShape::kEviction: {
+      if (shard.eviction_rigs.size() <= id) {
+        shard.eviction_rigs.resize(id + 1);
+      }
+      if (!shard.eviction_rigs[id]) {
+        tracelab::Span crossing(tracer, registration.sites.crossing, invocation.trace_id);
+        auto built = std::make_unique<EvictionRig>();
+        built->graft = registration.eviction_factory(&shard.host.preempt_token());
+        built->frames.resize(kEvictionHotListSize + kEvictionColdFrames);
+        for (std::size_t i = 0; i < built->frames.size(); ++i) {
+          built->frames[i].page = 100000 + i;  // never hot
+          built->queue.PushMru(&built->frames[i]);
+        }
+        for (int p = 1; p <= kEvictionHotListSize; ++p) {
+          built->graft->HotListAdd(static_cast<vmsim::PageId>(p));
+        }
+        shard.eviction_rigs[id] = std::move(built);
+      }
+      rig = shard.eviction_rigs[id].get();
+      break;
+    }
   }
 
   // The modeled disk feed: this worker is "waiting for the transfer", so
   // siblings overlap their own transfers and compute meanwhile.
   if (invocation.simulated_io.count() > 0) {
+    tracelab::Span disk_span(tracer, registration.sites.disk, invocation.trace_id);
     std::this_thread::sleep_for(invocation.simulated_io);
   }
 
@@ -171,42 +287,64 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
 
   Outcome outcome = Outcome::kOk;
   std::uint64_t fuel_used = 0;
+  std::uint64_t ops = 0;
   stats::Timer timer;
-  if (is_stream) {
-    core::StreamGraft& graft = *shard.stream_instances[id];
-    if (policy.fuel_budget >= 0) {
-      graft.SetFuel(policy.fuel_budget);
-    }
-    const core::GraftHost::StreamRunResult result =
-        shard.host.RunStreamGraft(graft, invocation.data, invocation.chunk, budget);
-    if (policy.fuel_budget >= 0) {
-      const std::int64_t remaining = graft.FuelRemaining();
-      if (remaining >= 0 && remaining <= policy.fuel_budget) {
-        fuel_used = static_cast<std::uint64_t>(policy.fuel_budget - remaining);
-      } else if (remaining < 0) {
-        // Exhaustion leaves the counter below zero: the whole budget burned.
-        fuel_used = static_cast<std::uint64_t>(policy.fuel_budget);
+  switch (registration.shape) {
+    case GraftShape::kStream: {
+      core::StreamGraft& graft = *shard.stream_instances[id];
+      if (policy.fuel_budget >= 0) {
+        graft.SetFuel(policy.fuel_budget);
       }
-      graft.SetFuel(-1);  // do not meter the graft outside supervised runs
+      const core::GraftHost::StreamRunResult result =
+          shard.host.RunStreamGraft(graft, invocation.data, invocation.chunk, budget, &stage_trace);
+      if (policy.fuel_budget >= 0) {
+        const std::int64_t remaining = graft.FuelRemaining();
+        if (remaining >= 0 && remaining <= policy.fuel_budget) {
+          fuel_used = static_cast<std::uint64_t>(policy.fuel_budget - remaining);
+        } else if (remaining < 0) {
+          // Exhaustion leaves the counter below zero: the whole budget burned.
+          fuel_used = static_cast<std::uint64_t>(policy.fuel_budget);
+        }
+        graft.SetFuel(-1);  // do not meter the graft outside supervised runs
+      }
+      outcome =
+          result.ok ? Outcome::kOk : (result.preempted ? Outcome::kPreempt : Outcome::kFault);
+      if (invocation.on_stream_result) {
+        invocation.on_stream_result(result);
+      }
+      break;
     }
-    outcome = result.ok ? Outcome::kOk : (result.preempted ? Outcome::kPreempt : Outcome::kFault);
-    if (invocation.on_stream_result) {
-      invocation.on_stream_result(result);
+    case GraftShape::kBlackBox: {
+      const core::GraftHost::BlackBoxResult result =
+          shard.host.RunLogicalDisk(*blackbox, invocation.ldisk_writes, /*validate=*/false,
+                                    &stage_trace);
+      ops = result.replay.writes;
+      if (!result.faulted) {
+        outcome = Outcome::kOk;
+      } else if (result.fault_class == core::GraftHost::FaultClass::kExtension) {
+        outcome = Outcome::kFault;
+      } else {
+        // DiskFull, hard I/O failure, or an injected device fault: score it
+        // against the device track so the supervisor degrades, not detaches.
+        outcome = Outcome::kDiskFault;
+      }
+      break;
     }
-  } else {
-    const core::GraftHost::BlackBoxResult result =
-        shard.host.RunLogicalDisk(*blackbox, invocation.ldisk_writes, /*validate=*/false);
-    if (!result.faulted) {
-      outcome = Outcome::kOk;
-    } else if (result.fault_class == core::GraftHost::FaultClass::kExtension) {
-      outcome = Outcome::kFault;
-    } else {
-      // DiskFull, hard I/O failure, or an injected device fault: score it
-      // against the device track so the supervisor degrades, not detaches.
-      outcome = Outcome::kDiskFault;
+    case GraftShape::kEviction: {
+      const core::GraftHost::EvictionRunResult result = shard.host.RunEvictionGraft(
+          *rig->graft, rig->queue.head(), invocation.eviction_lookups, budget, &stage_trace);
+      ops = result.lookups;
+      outcome =
+          result.ok ? Outcome::kOk : (result.preempted ? Outcome::kPreempt : Outcome::kFault);
+      break;
     }
   }
   const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(timer.ElapsedNs());
+  if (tracer != nullptr && ops > 0) {
+    // Shape operations completed (eviction lookups, ldisk block writes):
+    // the denominator the break-even panel divides body time by.
+    tracer->Counter(registration.sites.ops, ops, invocation.trace_id);
+  }
 
   supervisor_.OnOutcome(id, outcome);
 
@@ -221,7 +359,7 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   }
   stats.fuel_used += fuel_used;
   stats.latency.Record(elapsed_ns);
-  if (is_stream) {
+  if (registration.shape == GraftShape::kStream) {
     // Profiled VMs report cumulative counts per worker instance; overwrite
     // (not add) here, and let Snapshot's cross-shard Merge do the summing.
     auto profile = shard.stream_instances[id]->ExecutionProfile();
@@ -247,6 +385,81 @@ TelemetrySnapshot Dispatcher::Snapshot() const {
   }
   if (injector_ != nullptr) {
     snapshot.injections = injector_->Counters();
+  }
+  if (tracer_ != nullptr) {
+    snapshot.traced = true;
+    tracelab::TraceDump dump = tracer_->Dump();
+    snapshot.trace_events = dump.event_count();
+    snapshot.trace_dropped = dump.dropped();
+    const tracelab::StageSummary summary = tracelab::Aggregate(dump);
+
+    std::vector<Registration> registry;
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      registry = registry_;
+    }
+    const auto cell = [&summary](tracelab::SiteId site) {
+      const tracelab::SpanStats& stats = summary.Span(site);
+      TelemetrySnapshot::StageCell out;
+      out.count = stats.count;
+      out.total_us = stats.total_us();
+      return out;
+    };
+    for (const Registration& registration : registry) {
+      TelemetrySnapshot::StageRow row;
+      row.graft = registration.name;
+      row.queue = cell(registration.sites.queue);
+      row.dispatch = cell(registration.sites.dispatch);
+      row.crossing = cell(registration.sites.crossing);
+      row.body = cell(registration.sites.body);
+      row.disk = cell(registration.sites.disk);
+      row.ops = summary.Counter(registration.sites.ops).sum;
+      if (row.queue.count == 0 && row.dispatch.count == 0) {
+        continue;  // never dispatched while traced
+      }
+
+      // Live break-even: feed the observed stage means into the paper's §5
+      // formulas (src/stats/break_even.h). The disk span — the modeled
+      // kernel-side transfer/fault time — is the reference every technology
+      // cost competes with.
+      TelemetrySnapshot::BreakEvenRow be;
+      be.graft = registration.name;
+      switch (registration.shape) {
+        case GraftShape::kEviction:
+          // Graft lookup cost vs the page fault it avoids: how many lookups
+          // until a saved fault pays for the grafted policy (§5.2).
+          if (row.ops > 0 && row.disk.count > 0) {
+            be.metric = "eviction_break_even";
+            be.per_op_us = row.body.total_us / static_cast<double>(row.ops);
+            be.reference_us = row.disk.mean_us();
+            be.value = stats::EvictionBreakEven(be.reference_us, be.per_op_us);
+            snapshot.break_even.push_back(be);
+          }
+          break;
+        case GraftShape::kStream:
+          // MD5 compute vs the 64KB transfer it overlaps: <1 means the
+          // fingerprint hides inside the disk read (§5.5, Table 5).
+          if (row.body.count > 0 && row.disk.count > 0) {
+            be.metric = "md5_disk_ratio";
+            be.per_op_us = row.body.mean_us();
+            be.reference_us = row.disk.mean_us();
+            be.value = stats::Md5DiskRatio(be.per_op_us, be.reference_us);
+            snapshot.break_even.push_back(be);
+          }
+          break;
+        case GraftShape::kBlackBox:
+          // Bookkeeping cost per block write (§5.6).
+          if (row.ops > 0 && row.body.count > 0) {
+            be.metric = "per_block_overhead_us";
+            be.per_op_us = stats::PerBlockOverheadUs(row.body.total_us, row.ops);
+            be.reference_us = row.disk.count > 0 ? row.disk.mean_us() : 0.0;
+            be.value = be.per_op_us;
+            snapshot.break_even.push_back(be);
+          }
+          break;
+      }
+      snapshot.stages.push_back(std::move(row));
+    }
   }
   return snapshot;
 }

@@ -40,6 +40,8 @@
 #include "src/graftd/queue.h"
 #include "src/graftd/supervisor.h"
 #include "src/graftd/telemetry.h"
+#include "src/tracelab/trace.h"
+#include "src/vmsim/frame.h"
 
 namespace graftd {
 
@@ -52,14 +54,21 @@ using StreamGraftFactory =
 using BlackBoxGraftFactory = std::function<std::unique_ptr<core::BlackBoxGraft>(
     const ldisk::Geometry& geometry, envs::PreemptToken* preempt)>;
 
+// Builds a worker-private eviction (Prioritization) graft; the worker owns
+// the LRU rig it is pointed at (see WorkerShard::EvictionRig).
+using EvictionGraftFactory =
+    std::function<std::unique_ptr<core::PrioritizationGraft>(envs::PreemptToken* preempt)>;
+
 // One unit of work. Stream invocations fingerprint `data` in `chunk`
-// pieces; black-box invocations replay `ldisk_writes` block writes. The
-// caller keeps `data` alive until the invocation completes (Drain()).
+// pieces; black-box invocations replay `ldisk_writes` block writes;
+// eviction invocations walk the worker's LRU rig `eviction_lookups` times.
+// The caller keeps `data` alive until the invocation completes (Drain()).
 struct Invocation {
   GraftId graft = 0;
   streamk::Bytes data{};
   std::size_t chunk = 64u << 10;
   std::uint64_t ldisk_writes = 0;
+  std::uint64_t eviction_lookups = 0;
   // Wall-clock budget override; 0 uses the supervisor policy default.
   std::chrono::microseconds budget{0};
   // Models the time the kernel spends feeding this stream from the disk
@@ -69,6 +78,12 @@ struct Invocation {
   std::chrono::microseconds simulated_io{0};
   // Optional completion hook, called on the worker thread.
   std::function<void(const core::GraftHost::StreamRunResult&)> on_stream_result;
+
+  // Stamped by Submit/TrySubmit when a tracer is attached and enabled:
+  // the invocation's trace id and the submit timestamp the worker turns
+  // into the cross-thread queue-wait span. Not caller fields.
+  std::uint64_t trace_id = 0;
+  std::uint64_t submit_ns = 0;
 };
 
 struct DispatcherOptions {
@@ -93,6 +108,7 @@ class Dispatcher {
   // before the first Submit.
   GraftId RegisterStreamGraft(std::string name, StreamGraftFactory factory);
   GraftId RegisterBlackBoxGraft(std::string name, BlackBoxGraftFactory factory);
+  GraftId RegisterEvictionGraft(std::string name, EvictionGraftFactory factory);
 
   // Round-robin submit. Submit blocks on a full queue (and is the fairness
   // choice for benchmarks); TrySubmit returns false instead — the
@@ -124,11 +140,46 @@ class Dispatcher {
   // Not synchronized against dispatch: attach before the first Submit.
   void set_injector(const faultlab::Injector* injector) { injector_ = injector; }
 
+  // Attaches the tracer: invocations become nested queue/dispatch/crossing/
+  // body/disk spans, supervisor transitions and injections become instants,
+  // and Snapshot() folds the aggregated stage timings plus the live
+  // break-even panel into the telemetry. The tracer must outlive the
+  // dispatcher. Not synchronized against dispatch: attach before the first
+  // Submit (and after the grafts are registered, or register after — sites
+  // are interned on both paths).
+  void set_tracer(tracelab::Tracer* tracer);
+
  private:
+  // Pre-interned per-graft stage sites ("queue:<name>", ...), resolved at
+  // registration/attach time so the hot path never touches the intern map.
+  struct StageSites {
+    tracelab::SiteId queue = 0;
+    tracelab::SiteId dispatch = 0;
+    tracelab::SiteId crossing = 0;
+    tracelab::SiteId body = 0;
+    tracelab::SiteId disk = 0;
+    tracelab::SiteId ops = 0;
+  };
+
+  enum class GraftShape { kStream, kBlackBox, kEviction };
+
   struct Registration {
     std::string name;
+    GraftShape shape = GraftShape::kStream;
     StreamGraftFactory stream_factory;
     BlackBoxGraftFactory blackbox_factory;
+    EvictionGraftFactory eviction_factory;
+    StageSites sites;
+  };
+
+  // Worker-private kernel furniture for eviction grafts: the LRU queue the
+  // graft walks, shaped like bench/graft_measures.h MeasureEvictionUs (64
+  // hot pages, 128 cold frames) so live per-lookup cost is comparable to
+  // the offline benches.
+  struct EvictionRig {
+    std::unique_ptr<core::PrioritizationGraft> graft;
+    std::vector<vmsim::Frame> frames;
+    vmsim::LruQueue queue;
   };
 
   struct WorkerShard {
@@ -141,6 +192,8 @@ class Dispatcher {
     // (Black-box grafts are built fresh per invocation: the log-structured
     // disk has no cleaner, so reuse would run the device out of segments.)
     std::vector<std::unique_ptr<core::StreamGraft>> stream_instances;
+    // Lazily built worker-private eviction rigs, indexed by GraftId.
+    std::vector<std::unique_ptr<EvictionRig>> eviction_rigs;
     // Worker-local counters; the mutex is uncontended except while a
     // Snapshot() reader is merging.
     mutable std::mutex stats_mu;
@@ -151,14 +204,18 @@ class Dispatcher {
   void WorkerLoop(WorkerShard& shard);
   void RunOne(WorkerShard& shard, const Invocation& invocation);
   GraftCounters& StatsFor(WorkerShard& shard, GraftId id);
+  GraftId Register(Registration registration);
+  void InternSites(Registration& registration);
+  void StampTrace(Invocation& invocation);
 
   const DispatcherOptions options_;
   Supervisor supervisor_;
   DeadlineWheel wheel_;
   const faultlab::Injector* injector_ = nullptr;
+  tracelab::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<WorkerShard>> shards_;
 
-  std::mutex registry_mu_;
+  mutable std::mutex registry_mu_;
   std::vector<Registration> registry_;
 
   std::atomic<std::uint64_t> submitted_{0};

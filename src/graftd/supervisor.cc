@@ -5,6 +5,18 @@
 
 namespace graftd {
 
+void Supervisor::set_tracer(tracelab::Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    site_quarantine_ = tracer_->Intern("supervisor/quarantine");
+    site_readmit_ = tracer_->Intern("supervisor/readmit");
+    site_detach_ = tracer_->Intern("supervisor/detach");
+    site_degrade_ = tracer_->Intern("supervisor/degrade");
+    site_recover_ = tracer_->Intern("supervisor/recover");
+  }
+}
+
 GraftId Supervisor::Register(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
   GraftStatus status;
@@ -30,6 +42,7 @@ AdmitDecision Supervisor::Admit(GraftId id) {
       graft.state = GraftState::kHealthy;
       graft.consecutive_failures = 0;
       ++graft.readmissions;
+      EmitTransition(site_readmit_, id);
       return AdmitDecision::kRun;
     case GraftState::kDegraded:
       if (clock_->Now() < graft.readmit_at) {
@@ -39,6 +52,7 @@ AdmitDecision Supervisor::Admit(GraftId id) {
       graft.state = GraftState::kHealthy;
       graft.consecutive_disk_faults = 0;
       ++graft.recoveries;
+      EmitTransition(site_recover_, id);
       return AdmitDecision::kRun;
   }
   throw std::logic_error("unreachable graft state");
@@ -66,6 +80,7 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
       graft.state = GraftState::kDegraded;
       graft.readmit_at = clock_->Now() + policy_.degraded_backoff;
       ++graft.degradations;
+      EmitTransition(site_degrade_, id);
     }
     return;
   }
@@ -76,11 +91,13 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
   // Threshold crossed: quarantine, or detach once the chances are used up.
   if (graft.quarantines >= policy_.max_quarantines) {
     graft.state = GraftState::kDetached;
+    EmitTransition(site_detach_, id);
     return;
   }
   ++graft.quarantines;
   graft.state = GraftState::kQuarantined;
   graft.readmit_at = clock_->Now() + BackoffFor(graft.quarantines);
+  EmitTransition(site_quarantine_, id);
 }
 
 std::chrono::microseconds Supervisor::BackoffFor(std::uint32_t quarantines) const {

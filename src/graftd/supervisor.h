@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/graftd/clock.h"
+#include "src/tracelab/trace.h"
 
 namespace graftd {
 
@@ -131,11 +132,30 @@ class Supervisor {
   const SupervisorPolicy& policy() const { return policy_; }
   std::size_t size() const;
 
+  // Attaches a tracer: every state transition (quarantine, readmit, detach,
+  // degrade, recover) is emitted as an instant event on the trace active on
+  // the deciding thread (tracelab::CurrentTraceId), with the GraftId as the
+  // event argument. Attach before dispatch begins; the tracer must outlive
+  // the supervisor.
+  void set_tracer(tracelab::Tracer* tracer);
+
  private:
   std::chrono::microseconds BackoffFor(std::uint32_t quarantines) const;
 
+  void EmitTransition(tracelab::SiteId site, GraftId id) {
+    if (tracer_ != nullptr) {
+      tracer_->Instant(site, tracelab::CurrentTraceId(), id);
+    }
+  }
+
   const SupervisorPolicy policy_;
   const Clock* clock_;
+  tracelab::Tracer* tracer_ = nullptr;
+  tracelab::SiteId site_quarantine_ = 0;
+  tracelab::SiteId site_readmit_ = 0;
+  tracelab::SiteId site_detach_ = 0;
+  tracelab::SiteId site_degrade_ = 0;
+  tracelab::SiteId site_recover_ = 0;
   mutable std::mutex mu_;
   std::vector<GraftStatus> grafts_;
 };

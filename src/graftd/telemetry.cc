@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/stats/table.h"
+#include "src/tracelab/json_util.h"
 
 namespace graftd {
 
@@ -22,17 +23,23 @@ std::string FormatUs(double us) {
   return buf;
 }
 
+// All names (grafts, opcodes, injection sites) flow through the shared
+// tracelab escaper so telemetry JSON and trace JSON agree on hostile input.
 void AppendJsonString(std::ostringstream& out, const std::string& s) {
-  out << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      default: out << c;
-    }
+  out << tracelab::JsonString(s);
+}
+
+std::string StageCellText(const TelemetrySnapshot::StageCell& cell) {
+  if (cell.count == 0) {
+    return "-";
   }
-  out << '"';
+  return FormatUs(cell.mean_us()) + " x" + std::to_string(cell.count);
+}
+
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
 }
 
 }  // namespace
@@ -88,6 +95,26 @@ std::string TelemetrySnapshot::ToText() const {
     }
     text += "\n" + sites.ToString();
   }
+  if (traced) {
+    stats::Table trace({"trace stage (mean x count)", "queue", "dispatch", "crossing", "body",
+                        "disk", "ops"});
+    for (const StageRow& row : stages) {
+      trace.AddRow({row.graft, StageCellText(row.queue), StageCellText(row.dispatch),
+                    StageCellText(row.crossing), StageCellText(row.body), StageCellText(row.disk),
+                    row.ops == 0 ? "-" : std::to_string(row.ops)});
+    }
+    text += "\n" + trace.ToString();
+    if (!break_even.empty()) {
+      stats::Table panel({"break-even (live)", "metric", "per-op", "reference", "value"});
+      for (const BreakEvenRow& row : break_even) {
+        panel.AddRow({row.graft, row.metric, FormatUs(row.per_op_us), FormatUs(row.reference_us),
+                      FormatValue(row.value)});
+      }
+      text += "\n" + panel.ToString();
+    }
+    text += "\ntrace: " + std::to_string(trace_events) + " events, " +
+            std::to_string(trace_dropped) + " dropped\n";
+  }
   return text;
 }
 
@@ -139,6 +166,7 @@ std::string TelemetrySnapshot::ToJson() const {
     if (!first) {
       out << ",";
     }
+    first = false;
     out << "\"__faultlab__\":[";
     bool first_site = true;
     for (const auto& site : injections) {
@@ -151,6 +179,51 @@ std::string TelemetrySnapshot::ToJson() const {
       out << ",\"hits\":" << site.hits << ",\"injected\":" << site.injected << "}";
     }
     out << "]";
+  }
+  if (traced) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"__tracelab__\":{\"events\":" << trace_events
+        << ",\"dropped\":" << trace_dropped << ",\"stages\":{";
+    bool first_stage = true;
+    for (const StageRow& row : stages) {
+      if (!first_stage) {
+        out << ",";
+      }
+      first_stage = false;
+      AppendJsonString(out, row.graft);
+      out << ":{";
+      const auto cell = [&out](const char* key, const StageCell& c, bool lead_comma) {
+        if (lead_comma) {
+          out << ",";
+        }
+        out << "\"" << key << "\":{\"count\":" << c.count << ",\"total_us\":" << c.total_us
+            << ",\"mean_us\":" << c.mean_us() << "}";
+      };
+      cell("queue", row.queue, false);
+      cell("dispatch", row.dispatch, true);
+      cell("crossing", row.crossing, true);
+      cell("body", row.body, true);
+      cell("disk", row.disk, true);
+      out << ",\"ops\":" << row.ops << "}";
+    }
+    out << "},\"break_even\":[";
+    bool first_be = true;
+    for (const BreakEvenRow& row : break_even) {
+      if (!first_be) {
+        out << ",";
+      }
+      first_be = false;
+      out << "{\"graft\":";
+      AppendJsonString(out, row.graft);
+      out << ",\"metric\":";
+      AppendJsonString(out, row.metric);
+      out << ",\"per_op_us\":" << row.per_op_us << ",\"reference_us\":" << row.reference_us
+          << ",\"value\":" << row.value << "}";
+    }
+    out << "]}";
   }
   out << "}";
   return out.str();

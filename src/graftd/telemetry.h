@@ -8,6 +8,7 @@
 #ifndef GRAFTLAB_SRC_GRAFTD_TELEMETRY_H_
 #define GRAFTLAB_SRC_GRAFTD_TELEMETRY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -37,20 +38,28 @@ struct GraftCounters {
   // the data the superinstruction fusion set is selected from.
   std::vector<std::pair<std::string, std::uint64_t>> vm_opcodes;
 
+  // Sort-and-fold merge: O((n+m) log (n+m)) regardless of either side's
+  // order, instead of the old O(n*m) scan-per-entry — snapshot cost stays
+  // bounded as the opcode and superinstruction-pair tables grow.
   void MergeOpcodes(const std::vector<std::pair<std::string, std::uint64_t>>& other) {
-    for (const auto& [name, count] : other) {
-      bool found = false;
-      for (auto& [have, total] : vm_opcodes) {
-        if (have == name) {
-          total += count;
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        vm_opcodes.emplace_back(name, count);
-      }
+    if (other.empty()) {
+      return;
     }
+    vm_opcodes.insert(vm_opcodes.end(), other.begin(), other.end());
+    std::sort(vm_opcodes.begin(), vm_opcodes.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < vm_opcodes.size();) {
+      std::size_t j = i;
+      std::uint64_t total = 0;
+      for (; j < vm_opcodes.size() && vm_opcodes[j].first == vm_opcodes[i].first; ++j) {
+        total += vm_opcodes[j].second;
+      }
+      vm_opcodes[out] = {std::move(vm_opcodes[i].first), total};
+      ++out;
+      i = j;
+    }
+    vm_opcodes.resize(out);
   }
 
   void Merge(const GraftCounters& other) {
@@ -81,13 +90,54 @@ struct TelemetrySnapshot {
   // to the dispatcher: one row per site.
   std::vector<faultlab::Injector::SiteCounters> injections;
 
+  // --- tracelab section, populated when a tracer is attached ---
+
+  // Per-stage timing for one graft, aggregated from the trace by
+  // tracelab::Aggregate at snapshot time. All times come from observed
+  // spans, so an empty cell means the stage never ran for this graft.
+  struct StageCell {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double mean_us() const {
+      return count == 0 ? 0.0 : total_us / static_cast<double>(count);
+    }
+  };
+  struct StageRow {
+    std::string graft;
+    StageCell queue;     // submit -> worker dequeue (cross-thread)
+    StageCell dispatch;  // worker-side service: admit -> outcome recorded
+    StageCell crossing;  // host -> technology entry machinery
+    StageCell body;      // the graft's own work
+    StageCell disk;      // simulated device time
+    std::uint64_t ops = 0;  // shape operations (eviction lookups, ldisk writes)
+  };
+
+  // Live break-even figures: the §5 formulas from src/stats/break_even.h
+  // fed with the observed per-stage means above instead of offline bench
+  // medians. `value` is the formula result; per_op/reference are its inputs.
+  struct BreakEvenRow {
+    std::string graft;
+    std::string metric;  // eviction_break_even | md5_disk_ratio | per_block_overhead_us
+    double per_op_us = 0.0;     // technology-side cost per operation
+    double reference_us = 0.0;  // the kernel/device cost it competes with
+    double value = 0.0;
+  };
+
+  bool traced = false;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  std::vector<StageRow> stages;
+  std::vector<BreakEvenRow> break_even;
+
   // Column-aligned table (src/stats/table.h) with one row per graft:
   // state, invocation outcomes, quarantine history, latency summary —
-  // followed by the injection-site table when an injector is attached.
+  // followed by the injection-site table when an injector is attached, and
+  // the per-stage timing table plus live break-even panel when traced.
   std::string ToText() const;
 
-  // The same data as a JSON object: grafts keyed by name, plus a reserved
-  // "__faultlab__" key carrying the injection counters when present.
+  // The same data as a JSON object: grafts keyed by name, plus reserved
+  // "__faultlab__" (injection counters) and "__tracelab__" (stage timings
+  // and break-even panel) keys when the respective subsystem is attached.
   std::string ToJson() const;
 };
 

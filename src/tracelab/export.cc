@@ -1,0 +1,175 @@
+#include "src/tracelab/export.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/tracelab/json_util.h"
+
+namespace tracelab {
+
+namespace {
+
+void AppendTimestampUs(std::string& out, std::uint64_t ns) {
+  // Microseconds with nanosecond resolution kept in the fraction.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+void AppendCommon(std::string& out, const TraceDump& dump, const TraceEvent& event,
+                  std::uint32_t tid, const char* ph) {
+  out += "{\"name\":";
+  const std::string name =
+      event.site < dump.sites.size() ? dump.sites[event.site] : "?";
+  AppendJsonString(out, name);
+  out += ",\"cat\":\"graftlab\",\"ph\":\"";
+  out += ph;
+  out += "\",\"ts\":";
+  AppendTimestampUs(out, event.ts_ns);
+  out += ",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+}
+
+void AppendTraceIdArgs(std::string& out, const TraceEvent& event) {
+  if (event.trace_id != 0) {
+    out += ",\"args\":{\"trace_id\":";
+    out += std::to_string(event.trace_id);
+    out += "}";
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceDump& dump) {
+  std::string out;
+  out.reserve(128 + dump.event_count() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceDump::Thread& thread : dump.threads) {
+    for (const TraceEvent& event : thread.events) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\n";
+      switch (event.kind) {
+        case EventKind::kSpanBegin:
+          AppendCommon(out, dump, event, thread.tid, "B");
+          AppendTraceIdArgs(out, event);
+          break;
+        case EventKind::kSpanEnd:
+          AppendCommon(out, dump, event, thread.tid, "E");
+          AppendTraceIdArgs(out, event);
+          break;
+        case EventKind::kComplete:
+          AppendCommon(out, dump, event, thread.tid, "X");
+          out += ",\"dur\":";
+          AppendTimestampUs(out, event.arg);
+          AppendTraceIdArgs(out, event);
+          break;
+        case EventKind::kInstant:
+          AppendCommon(out, dump, event, thread.tid, "i");
+          out += ",\"s\":\"t\"";
+          AppendTraceIdArgs(out, event);
+          break;
+        case EventKind::kCounter:
+          AppendCommon(out, dump, event, thread.tid, "C");
+          out += ",\"args\":{\"value\":";
+          out += std::to_string(event.arg);
+          out += "}";
+          break;
+      }
+      out += "}";
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
+  out += std::to_string(dump.dropped());
+  out += "}}";
+  return out;
+}
+
+bool WriteChromeTrace(const TraceDump& dump, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "tracelab: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ChromeTraceJson(dump);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  if (written != json.size()) {
+    std::fprintf(stderr, "tracelab: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+StageSummary Aggregate(const TraceDump& dump) {
+  StageSummary summary;
+  summary.sites = dump.sites;
+  summary.spans.resize(dump.sites.size());
+  summary.counters.resize(dump.sites.size());
+  summary.instants.resize(dump.sites.size(), 0);
+
+  const auto record = [&summary](SiteId site, std::uint64_t duration_ns) {
+    if (site >= summary.spans.size()) {
+      return;
+    }
+    SpanStats& stats = summary.spans[site];
+    ++stats.count;
+    stats.total_ns += duration_ns;
+    if (duration_ns > stats.max_ns) {
+      stats.max_ns = duration_ns;
+    }
+  };
+
+  struct Open {
+    SiteId site;
+    std::uint64_t ts_ns;
+  };
+  std::vector<Open> stack;
+  for (const TraceDump::Thread& thread : dump.threads) {
+    stack.clear();
+    for (const TraceEvent& event : thread.events) {
+      switch (event.kind) {
+        case EventKind::kSpanBegin:
+          stack.push_back(Open{event.site, event.ts_ns});
+          break;
+        case EventKind::kSpanEnd: {
+          // Match the innermost open span of this site; anything opened
+          // above it never saw its end (dropped, or still running when a
+          // disable raced the close) and is discarded unmeasured.
+          std::size_t i = stack.size();
+          while (i > 0 && stack[i - 1].site != event.site) {
+            --i;
+          }
+          if (i == 0) {
+            break;  // unmatched end: its begin was dropped
+          }
+          record(event.site, event.ts_ns - stack[i - 1].ts_ns);
+          stack.resize(i - 1);
+          break;
+        }
+        case EventKind::kComplete:
+          record(event.site, event.arg);
+          break;
+        case EventKind::kInstant:
+          if (event.site < summary.instants.size()) {
+            ++summary.instants[event.site];
+          }
+          break;
+        case EventKind::kCounter:
+          if (event.site < summary.counters.size()) {
+            ++summary.counters[event.site].samples;
+            summary.counters[event.site].sum += event.arg;
+          }
+          break;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace tracelab

@@ -1,0 +1,66 @@
+// Trace consumers: Chrome trace-event JSON and per-stage aggregation.
+//
+// ChromeTraceJson renders a TraceDump in the Chrome trace-event format
+// (load it in Perfetto or chrome://tracing): span begin/end become B/E
+// pairs on the recording thread's track, complete events become X events
+// with an explicit duration (they may describe another thread's past),
+// instants become i events, counters become C events. Every event carries
+// its trace id in args, so one invocation's nested spans can be followed
+// across the queue-wait handoff.
+//
+// Aggregate folds the same dump into per-site statistics: span counts and
+// total/max durations (begin/end matched per thread with a tolerant stack —
+// unmatched ends are ignored, spans left open at dump time are not
+// counted), instant counts, and counter sums. This is the input for the
+// telemetry stage table and the live break-even panel.
+
+#ifndef GRAFTLAB_SRC_TRACELAB_EXPORT_H_
+#define GRAFTLAB_SRC_TRACELAB_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tracelab/trace.h"
+
+namespace tracelab {
+
+std::string ChromeTraceJson(const TraceDump& dump);
+
+// Writes ChromeTraceJson(dump) to `path`; false (after a diagnostic) on
+// I/O failure.
+bool WriteChromeTrace(const TraceDump& dump, const std::string& path);
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  double total_us() const { return static_cast<double>(total_ns) / 1e3; }
+  double mean_us() const {
+    return count == 0 ? 0.0 : total_us() / static_cast<double>(count);
+  }
+};
+
+struct CounterStats {
+  std::uint64_t samples = 0;
+  std::uint64_t sum = 0;
+};
+
+// Indexed by SiteId (same order as TraceDump::sites).
+struct StageSummary {
+  std::vector<SpanStats> spans;
+  std::vector<CounterStats> counters;
+  std::vector<std::uint64_t> instants;
+  std::vector<std::string> sites;
+
+  const SpanStats& Span(SiteId site) const { return spans.at(site); }
+  const CounterStats& Counter(SiteId site) const { return counters.at(site); }
+  std::uint64_t Instants(SiteId site) const { return instants.at(site); }
+};
+
+StageSummary Aggregate(const TraceDump& dump);
+
+}  // namespace tracelab
+
+#endif  // GRAFTLAB_SRC_TRACELAB_EXPORT_H_

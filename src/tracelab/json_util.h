@@ -1,0 +1,57 @@
+// Shared JSON string escaping.
+//
+// Graft names, opcode names, and injection-site names are caller-supplied
+// strings that end up inside JSON output (telemetry snapshots, Chrome trace
+// events). One escaping helper serves every emitter so a hostile name
+// (embedded quote, backslash, control byte) cannot break any of them.
+
+#ifndef GRAFTLAB_SRC_TRACELAB_JSON_UTIL_H_
+#define GRAFTLAB_SRC_TRACELAB_JSON_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tracelab {
+
+// Appends `s` escaped for use inside a JSON string literal (no quotes).
+inline void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Appends `s` as a quoted, escaped JSON string literal.
+inline void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  AppendJsonEscaped(out, s);
+  out += '"';
+}
+
+inline std::string JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonString(out, s);
+  return out;
+}
+
+}  // namespace tracelab
+
+#endif  // GRAFTLAB_SRC_TRACELAB_JSON_UTIL_H_

@@ -1,0 +1,127 @@
+#include "src/tracelab/trace.h"
+
+#include <bit>
+
+namespace tracelab {
+
+namespace {
+
+std::atomic<std::uint64_t> g_tracer_epoch{1};
+
+thread_local std::uint64_t t_current_trace_id = 0;
+
+}  // namespace
+
+std::uint64_t CurrentTraceId() { return t_current_trace_id; }
+
+ScopedTraceId::ScopedTraceId(std::uint64_t id) : prev_(t_current_trace_id) {
+  t_current_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId() { t_current_trace_id = prev_; }
+
+EventRing::EventRing(std::size_t capacity)
+    : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+      mask_(slots_.size() - 1) {}
+
+Tracer::Tracer(Options options)
+    : options_(options),
+      epoch_(g_tracer_epoch.fetch_add(1, std::memory_order_relaxed)),
+      enabled_(options.enabled),
+      origin_(options.clock->Now()) {}
+
+SiteId Tracer::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i] == name) {
+      return static_cast<SiteId>(i);
+    }
+  }
+  sites_.emplace_back(name);
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+std::string Tracer::SiteName(SiteId site) const {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  return site < sites_.size() ? sites_[site] : "?";
+}
+
+std::uint64_t Tracer::NowNs() const {
+  const auto elapsed = options_.clock->Now() - origin_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+EventRing* Tracer::ThreadRing() {
+  struct Cache {
+    const Tracer* owner = nullptr;
+    std::uint64_t epoch = 0;
+    EventRing* ring = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.owner == this && cache.epoch == epoch_) {
+    return cache.ring;
+  }
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  rings_.push_back(std::make_unique<RingEntry>(static_cast<std::uint32_t>(rings_.size()),
+                                               options_.ring_capacity));
+  cache = Cache{this, epoch_, &rings_.back()->ring};
+  return cache.ring;
+}
+
+TraceDump Tracer::Dump() {
+  std::lock_guard<std::mutex> collect(collect_mu_);
+  // Snapshot the ring list first: producers may register new rings while we
+  // drain, and those will be picked up by the next Dump.
+  std::vector<RingEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    entries.reserve(rings_.size());
+    for (const auto& entry : rings_) {
+      entries.push_back(entry.get());
+    }
+  }
+  TraceDump dump;
+  dump.threads.reserve(entries.size());
+  for (RingEntry* entry : entries) {
+    entry->ring.Drain(entry->collected);
+    TraceDump::Thread thread;
+    thread.tid = entry->tid;
+    thread.dropped = entry->ring.dropped();
+    thread.events = entry->collected;
+    dump.threads.push_back(std::move(thread));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sites_mu_);
+    dump.sites = sites_;
+  }
+  return dump;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> collect(collect_mu_);
+  std::vector<RingEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& entry : rings_) {
+      entries.push_back(entry.get());
+    }
+  }
+  std::vector<TraceEvent> discard;
+  for (RingEntry* entry : entries) {
+    discard.clear();
+    entry->ring.Drain(discard);
+    entry->collected.clear();
+  }
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  std::uint64_t total = 0;
+  for (const auto& entry : rings_) {
+    total += entry->ring.dropped();
+  }
+  return total;
+}
+
+}  // namespace tracelab

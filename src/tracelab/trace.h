@@ -1,0 +1,303 @@
+// tracelab: low-overhead structured tracing for the graft dispatch path.
+//
+// The paper's central quantity is where one invocation spends its time —
+// crossing into the technology, the graft body, and the kernel work around
+// it. Aggregate counters (graftd telemetry) cannot show one invocation's
+// cost structure, so tracelab records a stream of fixed-size events:
+//
+//   * span begin/end  — a nested timed region on the recording thread;
+//   * complete        — a whole span in one event (begin timestamp +
+//                       duration), for regions that start on one thread and
+//                       end on another (queue wait: submit -> dequeue);
+//   * instant         — a point event (fault injected, supervisor
+//                       transition), stamped onto the active trace;
+//   * counter         — a sampled value (ldisk writes, eviction lookups).
+//
+// Recording model: each thread owns one lock-free SPSC ring of TraceEvents,
+// registered with the Tracer on first use. The producer side never blocks
+// and never allocates — a full ring increments a drop counter and discards
+// the event, so a stalled reader costs events, not latency. One collector
+// at a time drains the rings (Dump/Reset); draining is safe while
+// producers keep recording, which is what makes cross-thread snapshots
+// during an active run well-defined.
+//
+// Site names are interned once (registration time, mutex-protected) to a
+// dense SiteId; the hot path carries only the 4-byte id. Time is read
+// through the graftd::Clock seam, so tests drive span durations from a
+// FakeClock and assert them exactly.
+//
+// Keep one active tracer per recording thread at a time: the thread-local
+// ring cache holds a single entry, and alternating a thread between two
+// live tracers re-registers a fresh ring on each switch.
+
+#ifndef GRAFTLAB_SRC_TRACELAB_TRACE_H_
+#define GRAFTLAB_SRC_TRACELAB_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graftd/clock.h"
+
+namespace tracelab {
+
+using SiteId = std::uint32_t;
+
+enum class EventKind : std::uint8_t {
+  kSpanBegin,
+  kSpanEnd,
+  kComplete,  // arg = duration in nanoseconds
+  kInstant,
+  kCounter,  // arg = sampled value
+};
+
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;     // nanoseconds since the tracer's origin
+  std::uint64_t trace_id = 0;  // invocation correlation id; 0 = unscoped
+  std::uint64_t arg = 0;       // kComplete: duration ns; kCounter: value
+  SiteId site = 0;
+  EventKind kind = EventKind::kInstant;
+};
+
+// Single-producer single-consumer ring. The owning thread pushes; the
+// collector drains. A full ring drops (counted) instead of blocking.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+
+  // Producer side (owning thread only).
+  bool TryPush(const TraceEvent& event) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = event;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side (one collector at a time). Appends in push order.
+  std::size_t Drain(std::vector<TraceEvent>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t drained = static_cast<std::size_t>(head - tail);
+    for (; tail != head; ++tail) {
+      out.push_back(slots_[tail & mask_]);
+    }
+    tail_.store(tail, std::memory_order_release);
+    return drained;
+  }
+
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};  // producer cursor
+  std::atomic<std::uint64_t> tail_{0};  // consumer cursor
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// Everything collected so far: per-thread event streams (push order
+// preserved within a thread) plus the site-name table to decode them.
+struct TraceDump {
+  struct Thread {
+    std::uint32_t tid = 0;
+    std::uint64_t dropped = 0;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<Thread> threads;
+  std::vector<std::string> sites;  // SiteId -> name
+
+  std::size_t event_count() const {
+    std::size_t n = 0;
+    for (const Thread& t : threads) {
+      n += t.events.size();
+    }
+    return n;
+  }
+  std::uint64_t dropped() const {
+    std::uint64_t n = 0;
+    for (const Thread& t : threads) {
+      n += t.dropped;
+    }
+    return n;
+  }
+};
+
+// The per-invocation trace id active on this thread (0 when none). The
+// dispatcher scopes it around each invocation so subsystems that cannot see
+// the invocation (faultlab injector, supervisor) still stamp their instant
+// events onto the right trace.
+std::uint64_t CurrentTraceId();
+
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(std::uint64_t id);
+  ~ScopedTraceId();
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+class Tracer {
+ public:
+  struct Options {
+    std::size_t ring_capacity = 1u << 14;  // events per recording thread
+    const graftd::Clock* clock = graftd::RealClock::Instance();
+    bool enabled = true;
+  };
+
+  Tracer() : Tracer(Options{}) {}
+  explicit Tracer(Options options);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Interns `name` (idempotent); not for the hot path — intern at
+  // registration time and carry the id.
+  SiteId Intern(std::string_view name);
+  std::string SiteName(SiteId site) const;
+
+  // Cheap master switch. Disabled, every record call is a load + branch.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+
+  // Nanoseconds since the tracer's origin, on the injected clock.
+  std::uint64_t NowNs() const;
+
+  // Monotonic correlation ids, starting at 1.
+  std::uint64_t NextTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void SpanBegin(SiteId site, std::uint64_t trace_id) {
+    Emit(EventKind::kSpanBegin, site, trace_id, 0);
+  }
+  void SpanEnd(SiteId site, std::uint64_t trace_id) {
+    Emit(EventKind::kSpanEnd, site, trace_id, 0);
+  }
+  // A span recorded after the fact: began at `begin_ns`, lasted
+  // `duration_ns`. The only event shape that may describe another thread's
+  // past (queue wait begins on the producer, ends on the worker).
+  void Complete(SiteId site, std::uint64_t begin_ns, std::uint64_t duration_ns,
+                std::uint64_t trace_id) {
+    if (!enabled()) {
+      return;
+    }
+    TraceEvent event;
+    event.ts_ns = begin_ns;
+    event.trace_id = trace_id;
+    event.arg = duration_ns;
+    event.site = site;
+    event.kind = EventKind::kComplete;
+    ThreadRing()->TryPush(event);
+  }
+  void Instant(SiteId site, std::uint64_t trace_id, std::uint64_t arg = 0) {
+    Emit(EventKind::kInstant, site, trace_id, arg);
+  }
+  void Counter(SiteId site, std::uint64_t value, std::uint64_t trace_id = 0) {
+    Emit(EventKind::kCounter, site, trace_id, value);
+  }
+
+  // Drains every ring into the accumulated per-thread streams and returns a
+  // copy of everything collected since construction (or the last Reset).
+  // One collector at a time; safe against concurrent producers.
+  TraceDump Dump();
+
+  // Discards everything collected so far (drop counters stay cumulative).
+  void Reset();
+
+  std::uint64_t dropped() const;
+
+ private:
+  struct RingEntry {
+    RingEntry(std::uint32_t tid_in, std::size_t capacity) : tid(tid_in), ring(capacity) {}
+    std::uint32_t tid;
+    EventRing ring;
+    std::vector<TraceEvent> collected;  // guarded by collect_mu_
+  };
+
+  void Emit(EventKind kind, SiteId site, std::uint64_t trace_id, std::uint64_t arg) {
+    if (!enabled()) {
+      return;
+    }
+    TraceEvent event;
+    event.ts_ns = NowNs();
+    event.trace_id = trace_id;
+    event.arg = arg;
+    event.site = site;
+    event.kind = kind;
+    ThreadRing()->TryPush(event);
+  }
+
+  EventRing* ThreadRing();
+
+  const Options options_;
+  const std::uint64_t epoch_;  // globally unique per Tracer instance
+  std::atomic<bool> enabled_;
+  graftd::Clock::TimePoint origin_;
+  std::atomic<std::uint64_t> next_trace_id_{1};
+
+  mutable std::mutex sites_mu_;
+  std::vector<std::string> sites_;
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<RingEntry>> rings_;
+
+  std::mutex collect_mu_;  // serializes Dump/Reset (the single consumer)
+};
+
+// RAII span: begins on construction when the tracer is attached and
+// enabled, ends on destruction. A null tracer makes it a no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, SiteId site, std::uint64_t trace_id) {
+    if (tracer != nullptr && tracer->enabled()) {
+      tracer_ = tracer;
+      site_ = site;
+      trace_id_ = trace_id;
+      tracer_->SpanBegin(site_, trace_id_);
+    }
+  }
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void End() {
+    if (tracer_ != nullptr) {
+      tracer_->SpanEnd(site_, trace_id_);
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SiteId site_ = 0;
+  std::uint64_t trace_id_ = 0;
+};
+
+// Per-invocation handle a dispatcher passes into GraftHost so the host can
+// stamp crossing/body spans onto the active trace without knowing about the
+// dispatcher's registration table. Null tracer = untraced invocation.
+struct StageTrace {
+  Tracer* tracer = nullptr;
+  SiteId crossing = 0;
+  SiteId body = 0;
+  std::uint64_t trace_id = 0;
+};
+
+}  // namespace tracelab
+
+#endif  // GRAFTLAB_SRC_TRACELAB_TRACE_H_
