@@ -10,14 +10,26 @@
 // at 4 workers. A pure-CPU mode (--cpu, no modeled I/O) is also available
 // for multi-core hosts.
 //
-// After the scaling sweep the bench runs every technology through a
-// 4-worker dispatcher and prints the merged per-graft telemetry snapshot
+// A second section measures the crossing itself (ISSUE 5): small-body
+// invocations of a near-free "touch" graft with no modeled I/O, so the
+// harness's own submit/dispatch toll IS the measurement. The seed mutex
+// path (per-item Submit, BoundedMpscQueue, notify-per-push) is compared
+// against the lock-free lanes, batched submission, and the inline fast
+// path; the collapsed path must reach >= 2x the seed-path throughput at
+// 4 workers, and every variant must produce the identical digest checksum
+// (the lanes may reorder, never corrupt or drop).
+//
+// After the sweeps the bench runs every technology through a 4-worker
+// dispatcher and prints the merged per-graft telemetry snapshot
 // (counters + log-bucketed latency histogram), including a supervised
 // always-faulting graft and a budgeted runaway graft so the quarantine and
 // preemption columns are exercised, plus a black-box/ldisk section.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
@@ -108,6 +120,139 @@ double DriveStream(graftd::Dispatcher& dispatcher, graftd::GraftId id,
   return timer.ElapsedUs() / 1e6;
 }
 
+// Minimal stream graft for the crossing-collapse sweep: provably touches
+// its input (first/last byte of every chunk folded into the digest) but
+// costs only a few nanoseconds, so invocation throughput measures the
+// harness's own submit/dispatch toll — the paper's fixed per-invocation
+// crossing — rather than the extension body.
+class TouchGraft : public core::StreamGraft {
+ public:
+  void Consume(const std::uint8_t* data, std::size_t len) override {
+    acc_ = acc_ * 1099511628211ull + data[0] + (static_cast<std::uint64_t>(data[len - 1]) << 8) +
+           len;
+  }
+  md5::Digest Finish() override {
+    md5::Digest digest{};
+    std::memcpy(digest.data(), &acc_, sizeof(acc_));
+    acc_ = 0;
+    return digest;
+  }
+  const char* technology() const override { return "touch"; }
+
+ private:
+  std::uint64_t acc_ = 0;
+};
+
+// One crossing-collapse variant: how invocations reach the workers.
+struct CrossingVariant {
+  const char* name;
+  const char* key;  // JSON report row
+  graftd::LaneMode lane_mode;
+  std::size_t batch;  // 0 = per-item Submit
+  bool inline_path;   // register the graft reentrant-safe
+  bool eager_notify;  // kMutex only: seed-compat unconditional notifies
+  bool seed_compat;   // per-invocation registry copy + supervisor locking
+  bool is_baseline;   // the seed path the gate divides by
+};
+
+struct CrossingResult {
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;  // XOR of completed digests (order-free)
+  std::uint64_t ok = 0;
+  std::uint64_t inline_hits = 0;
+};
+
+// Drives `invocations` tiny-payload TouchGraft invocations (no modeled
+// I/O) from `producers` threads through a fresh 4-worker dispatcher
+// configured per `variant`. Invocation i fingerprints a distinct 64-byte
+// window of `data` (so digests differ), and every completed digest is
+// XOR-folded into an order-independent checksum: the lanes may reorder,
+// but a dropped, duplicated, or corrupted invocation changes the fold.
+CrossingResult DriveCrossing(const CrossingVariant& variant,
+                             const std::vector<std::uint8_t>& data, std::size_t invocations,
+                             std::size_t producers) {
+  graftd::DispatcherOptions dispatch_options;
+  dispatch_options.workers = 4;
+  dispatch_options.queue_capacity = 256;
+  dispatch_options.lane_mode = variant.lane_mode;
+  dispatch_options.inline_fast_path = variant.inline_path;
+  dispatch_options.mutex_eager_notify = variant.eager_notify;
+  dispatch_options.seed_compat = variant.seed_compat;
+  graftd::Dispatcher dispatcher(dispatch_options);
+  graftd::GraftTraits traits;
+  traits.reentrant_safe = variant.inline_path;
+  const graftd::GraftId id = dispatcher.RegisterStreamGraft(
+      "touch",
+      [](envs::PreemptToken*) -> std::unique_ptr<core::StreamGraft> {
+        return std::make_unique<TouchGraft>();
+      },
+      traits);
+
+  CrossingResult result;
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::uint64_t> ok{0};
+  const auto on_result = [&checksum, &ok](const core::GraftHost::StreamRunResult& run) {
+    if (!run.ok) {
+      return;
+    }
+    ok.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t folded = 0;
+    std::memcpy(&folded, run.digest.data(), sizeof(folded));
+    std::uint64_t hi = 0;
+    std::memcpy(&hi, run.digest.data() + sizeof(folded), sizeof(hi));
+    checksum.fetch_xor(folded ^ hi, std::memory_order_relaxed);
+  };
+  constexpr std::size_t kSmallBody = 64;
+  const std::size_t windows = data.size() - kSmallBody + 1;
+  const auto make_invocation = [&](std::size_t index) {
+    graftd::Invocation invocation;
+    invocation.graft = id;
+    invocation.data = streamk::Bytes(data.data() + index % windows, kSmallBody);
+    invocation.chunk = kChunk;
+    invocation.on_stream_result = on_result;
+    return invocation;
+  };
+
+  stats::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  const std::size_t per_producer = invocations / producers;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::size_t mine = per_producer + (p == 0 ? invocations % producers : 0);
+      const std::size_t base = p * per_producer + (p == 0 ? 0 : invocations % producers);
+      if (variant.batch == 0) {
+        for (std::size_t i = 0; i < mine; ++i) {
+          dispatcher.Submit(make_invocation(base + i));
+        }
+        return;
+      }
+      std::vector<graftd::Invocation> batch;
+      for (std::size_t done = 0; done < mine;) {
+        const std::size_t n = std::min(variant.batch, mine - done);
+        batch.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          batch.push_back(make_invocation(base + done + i));
+        }
+        const std::size_t accepted = dispatcher.SubmitBatch(batch);
+        done += accepted;
+        if (accepted == 0) {
+          break;  // dispatcher closed under us; nothing more will land
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  dispatcher.Drain();
+  result.seconds = timer.ElapsedUs() / 1e6;
+  result.checksum = checksum.load();
+  result.ok = ok.load();
+  result.inline_hits = dispatcher.Snapshot().dispatch.inline_hits;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +321,74 @@ int main(int argc, char** argv) {
   }
   std::printf("  4-worker speedup %.2fx vs single worker -> %s (target >= 3x)\n\n", speedup_at_4,
               speedup_at_4 >= 3.0 ? "PASS" : "FAIL");
+
+  // --- Crossing collapse: small bodies, the harness toll itself ---
+  bench::PrintSection("Crossing collapse: small-body touch graft, 4 workers, 4 producers");
+  // 64-byte bodies sliced from a 1KB pool through the near-free TouchGraft:
+  // the body is a few ns, so the submit/dispatch crossing is essentially
+  // all of each invocation — the quantity under test. Distinct windows
+  // keep the XOR checksum non-degenerate.
+  const auto small_data = MakeData(1u << 10);
+  const std::size_t small_invocations = options.full ? 40000 : 8000;
+  const CrossingVariant variants[] = {
+      // The seed configuration: mutex queue, notify-per-push, per-item
+      // Submit, per-invocation registry copy + supervisor locking
+      // (seed_compat). The gate divides by this row.
+      {"mutex-seed", "crossing/touch/mutex_seed", graftd::LaneMode::kMutex, 0, false, true, true,
+       true},
+      // The same mutex queue after the lock-elimination work (waiter-counted
+      // notifies, lock-free registry + supervisor) — isolates those repairs
+      // from the lane change.
+      {"mutex", "crossing/touch/mutex", graftd::LaneMode::kMutex, 0, false, false, false, false},
+      {"spsc", "crossing/touch/spsc", graftd::LaneMode::kSpsc, 0, false, false, false, false},
+      {"spsc+batch32", "crossing/touch/spsc_batch", graftd::LaneMode::kSpsc, 32, false, false,
+       false, false},
+      {"spsc+inline", "crossing/touch/spsc_inline", graftd::LaneMode::kSpsc, 0, true, false,
+       false, false},
+  };
+  double seed_rate = 0.0;
+  double best_collapsed_rate = 0.0;
+  std::uint64_t reference_checksum = 0;
+  bool checksums_agree = true;
+  for (const CrossingVariant& variant : variants) {
+    // Median of three reps, same policy for every variant: the gate is a
+    // ratio, so one lucky scheduling alignment in the baseline (or one
+    // hiccup in a collapsed run) must not flip it — a single-elimination
+    // best-of-N would let exactly that outlier through. All reps must
+    // still produce the reference checksum.
+    CrossingResult reps[3];
+    for (CrossingResult& rep : reps) {
+      rep = DriveCrossing(variant, small_data, small_invocations, producers);
+      checksums_agree = checksums_agree && rep.checksum == reps[0].checksum;
+    }
+    std::sort(std::begin(reps), std::end(reps),
+              [](const CrossingResult& a, const CrossingResult& b) {
+                return a.seconds < b.seconds;
+              });
+    const CrossingResult& run = reps[1];
+    const double rate = static_cast<double>(run.ok) / run.seconds;
+    if (variant.is_baseline) {
+      seed_rate = rate;
+      reference_checksum = run.checksum;
+    } else {
+      if (variant.lane_mode == graftd::LaneMode::kSpsc) {
+        best_collapsed_rate = std::max(best_collapsed_rate, rate);
+      }
+      checksums_agree = checksums_agree && run.checksum == reference_checksum;
+    }
+    std::printf("  %-13s %9.0f inv/s   %.2fx vs seed   checksum %016llx%s\n", variant.name,
+                rate, seed_rate > 0.0 ? rate / seed_rate : 1.0,
+                static_cast<unsigned long long>(run.checksum),
+                variant.inline_path
+                    ? ("   (" + std::to_string(run.inline_hits) + " inline hits)").c_str()
+                    : "");
+    report.Add(variant.key, run.ok, run.seconds * 1e9 / static_cast<double>(run.ok),
+               run.checksum);
+  }
+  const double crossing_speedup = seed_rate > 0.0 ? best_collapsed_rate / seed_rate : 0.0;
+  std::printf("  collapsed path %.2fx vs seed mutex path -> %s (target >= 2x); checksums %s\n\n",
+              crossing_speedup, crossing_speedup >= 2.0 ? "PASS" : "FAIL",
+              checksums_agree ? "agree" : "DISAGREE");
 
   // --- Per-technology supervised runs with telemetry ---
   const std::vector<Technology> technologies =
@@ -320,5 +533,7 @@ int main(int argc, char** argv) {
                bench::Checksum(outcomes, sizeof(outcomes)));
   }
   report.Write();
-  return speedup_at_4 >= 3.0 ? 0 : 1;
+  const bool scaling_ok = speedup_at_4 >= 3.0;
+  const bool crossing_ok = crossing_speedup >= 2.0 && checksums_agree;
+  return scaling_ok && crossing_ok ? 0 : 1;
 }

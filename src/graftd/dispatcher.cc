@@ -1,6 +1,7 @@
 #include "src/graftd/dispatcher.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "src/stats/break_even.h"
@@ -17,11 +18,49 @@ namespace {
 constexpr int kEvictionHotListSize = 64;
 constexpr std::size_t kEvictionColdFrames = 64;
 
+// Distinguishes Dispatcher instances for the thread-local lane caches
+// (same idea as tracelab's ring-cache epoch: a stale entry can never alias
+// a new dispatcher at a reused address).
+std::atomic<std::uint64_t> g_dispatcher_epoch{1};
+
+// One producer thread's claimed lane handles, indexed by shard, valid for
+// a single dispatcher epoch. A thread alternating submissions between two
+// live dispatchers thrashes this cache back to the (mutex-guarded) lane
+// registry — correct, just slower; keep one dispatcher per producer phase.
+struct ProducerLaneCache {
+  std::uint64_t epoch = 0;
+  std::vector<LaneSet<Invocation>::LaneHandle> handles;
+};
+thread_local ProducerLaneCache t_producer_lanes;
+
+// Per-item submissions round-robin through the shards with a thread-local
+// cursor: a plain increment instead of a contended global fetch_add. The
+// hashed start offset de-phases producer threads, so lockstep submitters
+// land on different shards instead of fighting for the same inline claim.
+// Batch submissions keep the global cursor (one RMW amortized per batch).
+thread_local std::uint64_t t_next_shard =
+    std::hash<std::thread::id>{}(std::this_thread::get_id());
+
+}  // namespace
+
+namespace {
+
+// seed_compat forces the supervisor back onto its mutex for every Admit /
+// OnOutcome — part of the seed cost model the bench baseline reconstructs.
+SupervisorPolicy EffectivePolicy(const DispatcherOptions& options) {
+  SupervisorPolicy policy = options.policy;
+  if (options.seed_compat) {
+    policy.lock_free_fast_path = false;
+  }
+  return policy;
+}
+
 }  // namespace
 
 Dispatcher::Dispatcher(DispatcherOptions options, const Clock* clock)
     : options_(options),
-      supervisor_(options.policy, clock),
+      epoch_(g_dispatcher_epoch.fetch_add(1, std::memory_order_relaxed)),
+      supervisor_(EffectivePolicy(options), clock),
       wheel_(DeadlineWheel::Options{options.wheel_tick, 256}) {
   const std::size_t workers = std::max<std::size_t>(1, options_.workers);
   shards_.reserve(workers);
@@ -58,26 +97,32 @@ GraftId Dispatcher::Register(Registration registration) {
   return id;
 }
 
-GraftId Dispatcher::RegisterStreamGraft(std::string name, StreamGraftFactory factory) {
+GraftId Dispatcher::RegisterStreamGraft(std::string name, StreamGraftFactory factory,
+                                        GraftTraits traits) {
   Registration registration;
   registration.name = std::move(name);
   registration.shape = GraftShape::kStream;
+  registration.traits = traits;
   registration.stream_factory = std::move(factory);
   return Register(std::move(registration));
 }
 
-GraftId Dispatcher::RegisterBlackBoxGraft(std::string name, BlackBoxGraftFactory factory) {
+GraftId Dispatcher::RegisterBlackBoxGraft(std::string name, BlackBoxGraftFactory factory,
+                                          GraftTraits traits) {
   Registration registration;
   registration.name = std::move(name);
   registration.shape = GraftShape::kBlackBox;
+  registration.traits = traits;
   registration.blackbox_factory = std::move(factory);
   return Register(std::move(registration));
 }
 
-GraftId Dispatcher::RegisterEvictionGraft(std::string name, EvictionGraftFactory factory) {
+GraftId Dispatcher::RegisterEvictionGraft(std::string name, EvictionGraftFactory factory,
+                                          GraftTraits traits) {
   Registration registration;
   registration.name = std::move(name);
   registration.shape = GraftShape::kEviction;
+  registration.traits = traits;
   registration.eviction_factory = std::move(factory);
   return Register(std::move(registration));
 }
@@ -98,36 +143,162 @@ void Dispatcher::StampTrace(Invocation& invocation) {
   }
 }
 
+LaneSet<Invocation>::LaneHandle& Dispatcher::LaneFor(std::size_t index, WorkerShard& shard) {
+  ProducerLaneCache& cache = t_producer_lanes;
+  if (cache.epoch != epoch_) {
+    cache.epoch = epoch_;
+    cache.handles.assign(shards_.size(), LaneSet<Invocation>::LaneHandle{});
+  }
+  LaneSet<Invocation>::LaneHandle& handle = cache.handles[index];
+  if (handle.lane == nullptr) {
+    handle = shard.lanes.ProducerLane();
+  }
+  return handle;
+}
+
+// The inline fast path: run the invocation on the calling thread when the
+// graft opted in (reentrant_safe) and the target shard's execution claim
+// is free. Skips the lanes, the worker wake, and the context switch — the
+// harness analogue of compiling the extension into the kernel — while
+// still passing through StampTrace before and the full supervised RunOne
+// inside, so spans, admission, and outcome scoring are path-independent.
+bool Dispatcher::TryRunInline(WorkerShard& shard, Invocation& invocation) {
+  if (!options_.inline_fast_path || invocation.graft >= registry_.size() ||
+      !registry_[invocation.graft].traits.reentrant_safe) {
+    return false;
+  }
+  bool expected = false;
+  if (!shard.busy.compare_exchange_strong(expected, true, std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+    inline_misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    // Shutdown is waiting for the claim; fall through to the lanes, which
+    // are (or are about to be) closed and will refuse cleanly.
+    shard.busy.store(false, std::memory_order_release);
+    return false;
+  }
+  // No submitted_/completed_ accounting: the invocation submits AND
+  // completes inside this call, so leaving both counters untouched keeps
+  // the drain invariant (completed == submitted) in one atomic step — a
+  // concurrent Drain() linearizes before or after the whole invocation,
+  // both valid orders for an unordered race. Two lock-prefixed RMWs and
+  // the drain-wake check stay off the fast path.
+  shard.inline_hits.store(shard.inline_hits.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
+  RunOne(shard, invocation);
+  shard.busy.store(false, std::memory_order_release);
+  return true;
+}
+
 bool Dispatcher::Submit(Invocation invocation) {
-  const std::size_t shard =
-      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t index = t_next_shard++ % shards_.size();
+  WorkerShard& shard = *shards_[index];
   StampTrace(invocation);
-  if (shards_[shard]->queue.Push(std::move(invocation))) {
+  if (TryRunInline(shard, invocation)) {
     return true;
   }
-  submitted_.fetch_sub(1, std::memory_order_relaxed);
-  return false;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const bool pushed = options_.lane_mode == LaneMode::kSpsc
+                          ? shard.lanes.Push(LaneFor(index, shard), invocation, /*block=*/true)
+                          : shard.queue.Push(std::move(invocation));
+  if (!pushed) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return pushed;
 }
 
 bool Dispatcher::TrySubmit(Invocation invocation) {
-  const std::size_t shard =
-      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t index = t_next_shard++ % shards_.size();
+  WorkerShard& shard = *shards_[index];
   StampTrace(invocation);
-  if (shards_[shard]->queue.TryPush(std::move(invocation))) {
+  if (TryRunInline(shard, invocation)) {
     return true;
   }
-  submitted_.fetch_sub(1, std::memory_order_relaxed);
-  return false;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const bool pushed = options_.lane_mode == LaneMode::kSpsc
+                          ? shard.lanes.Push(LaneFor(index, shard), invocation, /*block=*/false)
+                          : shard.queue.TryPush(std::move(invocation));
+  if (!pushed) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return pushed;
+}
+
+std::size_t Dispatcher::SubmitBatch(std::span<Invocation> batch) {
+  if (batch.empty()) {
+    return 0;
+  }
+  const std::size_t index =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  WorkerShard& shard = *shards_[index];
+  for (Invocation& invocation : batch) {
+    StampTrace(invocation);
+  }
+  submitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const std::size_t accepted =
+      options_.lane_mode == LaneMode::kSpsc
+          ? shard.lanes.PushMany(LaneFor(index, shard), batch.data(), batch.size(),
+                                 /*block=*/true)
+          : shard.queue.PushBatch(batch);
+  if (accepted < batch.size()) {
+    submitted_.fetch_sub(batch.size() - accepted, std::memory_order_relaxed);
+  }
+  return accepted;
+}
+
+std::size_t Dispatcher::TrySubmitBatch(std::span<Invocation> batch) {
+  if (batch.empty()) {
+    return 0;
+  }
+  const std::size_t index =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  WorkerShard& shard = *shards_[index];
+  for (Invocation& invocation : batch) {
+    StampTrace(invocation);
+  }
+  submitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const std::size_t accepted =
+      options_.lane_mode == LaneMode::kSpsc
+          ? shard.lanes.PushMany(LaneFor(index, shard), batch.data(), batch.size(),
+                                 /*block=*/false)
+          : shard.queue.TryPushBatch(batch);
+  if (accepted < batch.size()) {
+    submitted_.fetch_sub(batch.size() - accepted, std::memory_order_relaxed);
+  }
+  return accepted;
 }
 
 void Dispatcher::Drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [this] {
-    return completed_.load(std::memory_order_acquire) ==
-           submitted_.load(std::memory_order_acquire);
-  });
+  drain_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this] {
+      // seq_cst read: one leg of the Dekker pairing with NotifyDrain (see
+      // the proof sketch there).
+      return completed_.load(std::memory_order_seq_cst) ==
+             submitted_.load(std::memory_order_acquire);
+    });
+  }
+  drain_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// Waiter-counted drain wake: completions only touch the condvar when a
+// Drain() is actually parked. The caller's completed_ increment and the
+// load here are both seq_cst, as are the waiter's drain_waiters_ increment
+// and its predicate read of completed_ — four accesses in the single SC
+// total order, so "waiter misses the completion AND completer misses the
+// waiter" would need a cycle (inc-completed < load-waiters < inc-waiters <
+// load-completed < inc-completed) and cannot happen: the wake is never
+// lost, and the hot path pays no standalone fence.
+void Dispatcher::NotifyDrain() {
+  if (drain_waiters_.load(std::memory_order_seq_cst) > 0) {
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+    }
+    drain_cv_.notify_all();
+  }
 }
 
 void Dispatcher::Shutdown() {
@@ -138,32 +309,81 @@ void Dispatcher::Shutdown() {
     }
     shut_down_ = true;
   }
+  // Stop new inline claims, close both lane implementations (producers
+  // from here on get a clean refusal), join the workers, then wait out any
+  // inline run still holding a shard claim.
+  accepting_.store(false, std::memory_order_seq_cst);
   for (auto& shard : shards_) {
     shard->queue.Close();
+    shard->lanes.Close();
   }
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) {
       shard->thread.join();
     }
   }
+  for (auto& shard : shards_) {
+    ClaimShard(*shard);
+    shard->busy.store(false, std::memory_order_release);
+  }
+}
+
+// Takes the shard's execution claim; waits are bounded by one inline
+// invocation (the claim is never held across a blocking lane wait).
+void Dispatcher::ClaimShard(WorkerShard& shard) {
+  bool expected = false;
+  SpinBackoff backoff;
+  while (!shard.busy.compare_exchange_weak(expected, true, std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+    expected = false;
+    backoff.Pause();
+  }
 }
 
 void Dispatcher::WorkerLoop(WorkerShard& shard) {
   std::vector<Invocation> batch;
   batch.reserve(options_.max_batch);
+  const bool spsc = options_.lane_mode == LaneMode::kSpsc;
   for (;;) {
     batch.clear();
-    if (shard.queue.PopBatch(batch, options_.max_batch) == 0) {
+    const std::size_t n = spsc ? shard.lanes.PopBatch(batch, options_.max_batch)
+                               : shard.queue.PopBatch(batch, options_.max_batch);
+    if (n == 0) {
       return;  // closed and drained
+    }
+    ClaimShard(shard);
+    if (options_.seed_compat) {
+      // The seed's completion accounting: one completed_ increment per
+      // invocation and an unconditional lock + notify_all per batch.
+      for (const Invocation& invocation : batch) {
+        RunOne(shard, invocation);
+        completed_.fetch_add(1, std::memory_order_release);
+      }
+      shard.busy.store(false, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(shard.stats_mu);
+        ++shard.dispatch.batches;
+        shard.dispatch.dequeued += n;
+        shard.dispatch.batch_sizes.Record(n);
+      }
+      {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+      }
+      drain_cv_.notify_all();
+      continue;
     }
     for (const Invocation& invocation : batch) {
       RunOne(shard, invocation);
-      completed_.fetch_add(1, std::memory_order_release);
     }
+    shard.busy.store(false, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(drain_mu_);
+      std::lock_guard<std::mutex> lock(shard.stats_mu);
+      ++shard.dispatch.batches;
+      shard.dispatch.dequeued += n;
+      shard.dispatch.batch_sizes.Record(n);
     }
-    drain_cv_.notify_all();
+    completed_.fetch_add(n, std::memory_order_seq_cst);
+    NotifyDrain();
   }
 }
 
@@ -178,11 +398,16 @@ GraftCounters& Dispatcher::StatsFor(WorkerShard& shard, GraftId id) {
 void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   const GraftId id = invocation.graft;
 
-  Registration registration;
-  {
+  // Lock-free: the registry is append-only and frozen before dispatch
+  // begins (registration-before-first-Submit contract), so the hot path
+  // pays neither the mutex nor the per-invocation Registration copy the
+  // seed paid here. seed_compat re-enacts that copy for the bench baseline.
+  Registration seed_copy;
+  if (options_.seed_compat) {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    registration = registry_.at(id);
+    seed_copy = registry_.at(id);
   }
+  const Registration& registration = options_.seed_compat ? seed_copy : registry_.at(id);
 
   // Tracing is active only for invocations stamped at submit time while the
   // tracer was enabled — a mid-run SetEnabled(true) starts with the next
@@ -192,13 +417,15 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   const tracelab::ScopedTraceId scoped_trace(tracer != nullptr ? invocation.trace_id : 0);
   if (tracer != nullptr) {
     // Queue wait crosses threads (begin on the producer, end here), so it is
-    // one complete event rather than a begin/end pair.
+    // one complete event rather than a begin/end pair. On the inline fast
+    // path the "wait" is just the claim check, honestly near-zero.
     const std::uint64_t now = tracer->NowNs();
     tracer->Complete(registration.sites.queue, invocation.submit_ns,
                      now >= invocation.submit_ns ? now - invocation.submit_ns : 0,
                      invocation.trace_id);
   }
-  // Worker-side service span: admission through outcome accounting.
+  // Service span: admission through outcome accounting, on the executing
+  // thread (worker, or the submitter inline).
   tracelab::Span dispatch_span(tracer, registration.sites.dispatch, invocation.trace_id);
 
   switch (supervisor_.Admit(id)) {
@@ -225,7 +452,8 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   const tracelab::StageTrace stage_trace{tracer, registration.sites.crossing,
                                          registration.sites.body, invocation.trace_id};
 
-  // Worker-private instance, built on first use on this worker's thread.
+  // Worker-private instance, built on first use under the shard's
+  // execution claim (so the inline fast path can build it too).
   // Per-invocation construction (black-box grafts, first-use stream/eviction
   // builds) is crossing cost — the host->technology entry machinery — so it
   // runs under the crossing site; the host adds its own crossing span for
@@ -383,6 +611,39 @@ TelemetrySnapshot Dispatcher::Snapshot() const {
       snapshot.grafts[id].counters.Merge(shard->stats[id]);
     }
   }
+
+  // Dispatch-path mechanics: how invocations moved. Lane counters are
+  // atomics (or the queue's own lock) — safe against live dispatch.
+  snapshot.dispatch.lane_mode = options_.lane_mode == LaneMode::kSpsc ? "spsc" : "mutex";
+  for (const auto& shard : shards_) {
+    snapshot.dispatch.inline_hits += shard->inline_hits.load(std::memory_order_relaxed);
+  }
+  snapshot.dispatch.inline_misses = inline_misses_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const WorkerShard& shard = *shards_[i];
+    TelemetrySnapshot::WorkerLaneRow row;
+    row.worker = i;
+    {
+      std::lock_guard<std::mutex> lock(shard.stats_mu);
+      row.batches = shard.dispatch.batches;
+      row.dequeued = shard.dispatch.dequeued;
+      row.batch_sizes = shard.dispatch.batch_sizes;
+    }
+    if (options_.lane_mode == LaneMode::kSpsc) {
+      row.spin_wakeups = shard.lanes.spin_wakeups();
+      row.parks = shard.lanes.parks();
+      row.notifies_sent = shard.lanes.notifies_sent();
+      row.notifies_skipped = shard.lanes.notifies_skipped();
+      row.lanes = shard.lanes.lane_count();
+    } else {
+      const auto stats = shard.queue.wait_stats();
+      row.parks = stats.consumer_waits;
+      row.notifies_skipped = stats.notifies_skipped;
+      row.producer_waits = stats.producer_waits;
+    }
+    snapshot.dispatch.workers.push_back(std::move(row));
+  }
+
   if (injector_ != nullptr) {
     snapshot.injections = injector_->Counters();
   }

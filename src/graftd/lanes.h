@@ -1,0 +1,408 @@
+// Lock-free dispatch lanes: per-producer SPSC rings swept by one worker.
+//
+// The mutex queue (src/graftd/queue.h) costs every Submit a lock and every
+// empty->non-empty edge a condvar round-trip — harness crossings that
+// inflate the supervised numbers tracelab reports. A LaneSet removes both:
+// each producer thread owns a private single-producer single-consumer ring
+// (the proven atomic head/tail + pow2-mask design from tracelab's
+// EventRing), and the single consumer — the dispatch worker — sweeps all
+// lanes round-robin. Pushing is a store-release; popping is a load-acquire;
+// no invocation ever crosses a lock.
+//
+// Waiting is adaptive spin-then-park. The worker sweeps for a bounded
+// number of empty passes (cheap loads), then parks on a condvar. Producers
+// only touch the condvar when a sleeper exists: push (release), then a
+// seq_cst RMW of the sleeper count — the classic eventcount/Dekker shape,
+// so either the producer observes the sleeper and wakes it, or the parking
+// worker's post-increment re-sweep observes the push. Lost wakeups are
+// impossible; in steady state wakeups cost nothing at all.
+//
+// Close protocol: producers bracket every push with a per-lane `pushing`
+// flag (seq_cst). Close() publishes `closed`; a producer that read the old
+// value is still inside its bracket, so the draining worker waits for each
+// lane's bracket to clear before the final sweep. Either the producer sees
+// `closed` and fails the push, or the worker sees the bracket and drains
+// the item — submissions are never silently dropped.
+//
+// Lane registration is mutex-guarded and off the hot path: a producer
+// thread claims its lane once per (LaneSet, thread) and the dispatcher
+// caches the handle thread-locally. Lane slots are a fixed-size array of
+// atomic pointers so the sweep never races vector growth; if more producer
+// threads than slots ever show up, the overflow threads share the last
+// lane behind a spinlock (correctness keeps, SPSC-ness degrades for them
+// alone).
+
+#ifndef GRAFTLAB_SRC_GRAFTD_LANES_H_
+#define GRAFTLAB_SRC_GRAFTD_LANES_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace graftd {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Pause-then-yield backoff for bounded spin waits. Pure CpuRelax is right
+// when the other side runs on another core; on an oversubscribed (or
+// single-core) host the partner needs *this* core, and spinning a whole
+// scheduler quantum starves it. After kRelaxSpins rounds the waiter starts
+// donating its timeslice.
+class SpinBackoff {
+ public:
+  void Pause() {
+    if (rounds_ < kRelaxSpins) {
+      ++rounds_;
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void Reset() { rounds_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kRelaxSpins = 64;
+  std::uint32_t rounds_ = 0;
+};
+
+// Single-producer single-consumer ring of T. The owning producer pushes;
+// the sweeping worker pops. Capacity rounds up to a power of two.
+template <typename T>
+class SpscLane {
+ public:
+  explicit SpscLane(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity == 0 ? std::size_t{1} : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  // Producer side. False when full (never blocks).
+  bool TryPush(T& item) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) {
+      return false;
+    }
+    slots_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Appends up to `max` items to `out`; returns the count.
+  std::size_t PopInto(std::vector<T>& out, std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t popped = 0;
+    for (; tail != head && popped < max; ++tail, ++popped) {
+      out.push_back(std::move(slots_[tail & mask_]));
+    }
+    tail_.store(tail, std::memory_order_release);
+    return popped;
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Close-race bracket (see LaneSet): the producer holds `pushing` across
+  // its closed-check + push; the draining worker waits it out.
+  std::atomic<bool> pushing{false};
+  // Spinlock for overflow producers sharing the last lane (normally free).
+  std::atomic_flag shared_lock = ATOMIC_FLAG_INIT;
+
+ private:
+  std::vector<T> slots_;
+  const std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer cursor
+};
+
+// One worker's set of producer lanes plus the park/wake machinery.
+template <typename T>
+class LaneSet {
+ public:
+  static constexpr std::size_t kMaxLanes = 64;
+
+  LaneSet(std::size_t lane_capacity, std::size_t spin_sweeps)
+      : lane_capacity_(std::bit_ceil(lane_capacity == 0 ? std::size_t{1} : lane_capacity)),
+        spin_sweeps_(spin_sweeps) {}
+
+  // --- producer side ---
+
+  // A producer's claim on its lane: the lane pointer plus whether it is
+  // the shared overflow lane (then pushes take its spinlock). Decided at
+  // registration under the lock, so it can never go stale.
+  struct LaneHandle {
+    SpscLane<T>* lane = nullptr;
+    bool shared = false;
+  };
+
+  // Claims (or re-finds) the calling thread's lane. Mutex-guarded, called
+  // once per (LaneSet, thread); the dispatcher caches the result. The
+  // first kMaxLanes-1 threads get private lanes; every later thread shares
+  // the last slot, which is shared for all of its users from creation on.
+  LaneHandle ProducerLane() {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    const std::thread::id me = std::this_thread::get_id();
+    auto it = owners_.find(me);
+    if (it != owners_.end()) {
+      return LaneHandle{lanes_[it->second].get(), it->second == kMaxLanes - 1};
+    }
+    std::size_t index = lane_count_.load(std::memory_order_relaxed);
+    if (index >= kMaxLanes - 1) {
+      index = kMaxLanes - 1;
+    }
+    if (!lanes_[index]) {
+      lanes_[index] = std::make_unique<SpscLane<T>>(lane_capacity_);
+      lane_count_.store(index + 1, std::memory_order_release);
+    }
+    owners_.emplace(me, index);
+    return LaneHandle{lanes_[index].get(), index == kMaxLanes - 1};
+  }
+
+  // Pushes one item into the caller's claimed lane, waking the worker if
+  // it is parked. `block` spins until space frees (bounded by Close);
+  // non-blocking mode returns false when full. False also when closed —
+  // the item is untouched in that case.
+  bool Push(const LaneHandle& handle, T& item, bool block) {
+    PushGuard guard(handle);
+    SpinBackoff backoff;
+    for (;;) {
+      if (closed_.load(std::memory_order_seq_cst)) {
+        return false;
+      }
+      if (handle.lane->TryPush(item)) {
+        break;
+      }
+      if (!block) {
+        return false;
+      }
+      backoff.Pause();  // full lane: the worker needs cycles to drain it
+    }
+    guard.Done();
+    WakeAfterPush();
+    return true;
+  }
+
+  // Pushes up to `count` items from `items`, one wake check for the whole
+  // run. Blocking mode re-spins on a full lane; returns the number pushed
+  // (short only on close or, non-blocking, on a full lane).
+  std::size_t PushMany(const LaneHandle& handle, T* items, std::size_t count, bool block) {
+    PushGuard guard(handle);
+    SpinBackoff backoff;
+    std::size_t pushed = 0;
+    while (pushed < count) {
+      if (closed_.load(std::memory_order_seq_cst)) {
+        break;
+      }
+      if (handle.lane->TryPush(items[pushed])) {
+        ++pushed;
+        backoff.Reset();
+        continue;
+      }
+      if (!block) {
+        break;
+      }
+      backoff.Pause();  // full lane: the worker needs cycles to drain it
+    }
+    guard.Done();
+    if (pushed > 0) {
+      WakeAfterPush();
+    }
+    return pushed;
+  }
+
+  // --- consumer side (the one sweeping worker) ---
+
+  // Sweeps all lanes round-robin, appending up to `max_batch` items.
+  // Spins `spin_sweeps_` empty passes, then parks until a producer wakes
+  // it. Returns 0 only after Close() with every lane drained.
+  std::size_t PopBatch(std::vector<T>& out, std::size_t max_batch) {
+    std::size_t spins = 0;
+    SpinBackoff backoff;
+    for (;;) {
+      const std::size_t popped = Sweep(out, max_batch);
+      if (popped > 0) {
+        if (spins > 0) {
+          spin_wakeups_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return popped;
+      }
+      if (closed_.load(std::memory_order_seq_cst)) {
+        return DrainAfterClose(out, max_batch);
+      }
+      if (spins < spin_sweeps_) {
+        ++spins;
+        backoff.Pause();  // relax first, donate the timeslice past 64 sweeps
+        continue;
+      }
+      Park();
+      spins = 0;
+      backoff.Reset();
+    }
+  }
+
+  // --- lifecycle ---
+
+  // Publishes closed and wakes the parked worker; pushes fail from here on.
+  void Close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+    }
+    park_cv_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_seq_cst); }
+
+  // Telemetry: how the worker waited and how producers woke it.
+  std::uint64_t spin_wakeups() const { return spin_wakeups_.load(std::memory_order_relaxed); }
+  std::uint64_t parks() const { return parks_.load(std::memory_order_relaxed); }
+  std::uint64_t notifies_sent() const { return notifies_sent_.load(std::memory_order_relaxed); }
+  std::uint64_t notifies_skipped() const {
+    return notifies_skipped_.load(std::memory_order_relaxed);
+  }
+  std::size_t lane_count() const { return lane_count_.load(std::memory_order_acquire); }
+  std::size_t lane_capacity() const { return lane_capacity_; }
+
+ private:
+  // Holds the close-race bracket (and, for overflow producers, the shared
+  // lane's spinlock) across one push run.
+  class PushGuard {
+   public:
+    explicit PushGuard(const LaneHandle& handle)
+        : PushGuard(handle.lane, handle.shared) {}
+    PushGuard(SpscLane<T>* lane, bool shared) : lane_(lane), shared_(shared) {
+      if (shared_) {
+        while (lane_->shared_lock.test_and_set(std::memory_order_acquire)) {
+          CpuRelax();
+        }
+      }
+      lane_->pushing.store(true, std::memory_order_seq_cst);
+    }
+    ~PushGuard() { Done(); }
+    void Done() {
+      if (lane_ != nullptr) {
+        lane_->pushing.store(false, std::memory_order_seq_cst);
+        if (shared_) {
+          lane_->shared_lock.clear(std::memory_order_release);
+        }
+        lane_ = nullptr;
+      }
+    }
+
+   private:
+    SpscLane<T>* lane_;
+    bool shared_;
+  };
+
+  std::size_t Sweep(std::vector<T>& out, std::size_t max_batch) {
+    const std::size_t n = lane_count_.load(std::memory_order_acquire);
+    std::size_t popped = 0;
+    for (std::size_t i = 0; i < n && popped < max_batch; ++i) {
+      const std::size_t lane = (sweep_cursor_ + i) % n;
+      popped += lanes_[lane]->PopInto(out, max_batch - popped);
+    }
+    if (n > 0) {
+      sweep_cursor_ = (sweep_cursor_ + 1) % n;
+    }
+    return popped;
+  }
+
+  bool AnyLaneNonEmpty() const {
+    const std::size_t n = lane_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!lanes_[i]->Empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // The eventcount park: increment the sleeper count, then re-check the
+  // lanes *under the park mutex* before sleeping. Producers notify under
+  // the same mutex, so a wake can only be skipped when the re-check will
+  // see the pushed item (the seq_cst fence pairing in WakeAfterPush).
+  void Park() {
+    std::unique_lock<std::mutex> lock(park_mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (!AnyLaneNonEmpty() && !closed_.load(std::memory_order_seq_cst)) {
+      parks_.fetch_add(1, std::memory_order_relaxed);
+      park_cv_.wait(lock);
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  // The producer half of the eventcount Dekker. A seq_cst RMW (not a
+  // fence + relaxed load: GCC's ThreadSanitizer cannot model fences, and
+  // on x86 `lock xadd` costs the same as `mfence`) — Park's seq_cst
+  // increment and this RMW are totally ordered on the same variable, so
+  // either this read sees the sleeper and notifies, or the sleeper's
+  // increment reads-from (or after) this RMW, which synchronizes-with it
+  // and makes the preceding lane push visible to Park's re-check.
+  void WakeAfterPush() {
+    if (sleepers_.fetch_add(0, std::memory_order_seq_cst) > 0) {
+      {
+        std::lock_guard<std::mutex> lock(park_mu_);
+      }
+      park_cv_.notify_one();
+      notifies_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      notifies_skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // After close: wait out every lane's push bracket, then sweep whatever
+  // landed. 0 means fully drained — the worker exits.
+  std::size_t DrainAfterClose(std::vector<T>& out, std::size_t max_batch) {
+    const std::size_t n = lane_count_.load(std::memory_order_acquire);
+    SpinBackoff backoff;
+    for (std::size_t i = 0; i < n; ++i) {
+      while (lanes_[i]->pushing.load(std::memory_order_seq_cst)) {
+        backoff.Pause();
+      }
+    }
+    return Sweep(out, max_batch);
+  }
+
+  const std::size_t lane_capacity_;
+  const std::size_t spin_sweeps_;
+
+  std::mutex reg_mu_;
+  std::map<std::thread::id, std::size_t> owners_;
+  std::array<std::unique_ptr<SpscLane<T>>, kMaxLanes> lanes_{};
+  std::atomic<std::size_t> lane_count_{0};
+
+  std::atomic<bool> closed_{false};
+  std::size_t sweep_cursor_ = 0;  // worker-private
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::atomic<std::uint64_t> spin_wakeups_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> notifies_sent_{0};
+  std::atomic<std::uint64_t> notifies_skipped_{0};
+};
+
+}  // namespace graftd
+
+#endif  // GRAFTLAB_SRC_GRAFTD_LANES_H_

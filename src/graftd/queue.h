@@ -1,23 +1,37 @@
 // Bounded multi-producer single-consumer invocation queue.
 //
 // Each dispatch worker owns one of these; any number of producer threads
-// push into it. Capacity is fixed at construction: TryPush fails when the
+// push into it. Capacity is fixed at construction (rounded up to a power
+// of two so ring indexing is a mask, not a modulo): TryPush fails when the
 // queue is full (backpressure surfaces to the producer instead of memory
 // growing without bound under overload), Push blocks until space frees.
 // The consumer dequeues in batches — one lock round-trip amortized over up
-// to `max_batch` invocations, which is where the dispatch engine gets its
-// per-invocation overhead down.
+// to `max_batch` invocations — and producers can amortize the same way
+// with PushBatch/TryPushBatch: one lock, one wakeup, many items.
+//
+// Wakeups are waiter-counted: both condition variables track how many
+// threads are blocked on them (the counts only change under the queue
+// mutex), and notify is skipped entirely when nobody waits. In the common
+// fast-flowing case — producers ahead of the consumer, or the consumer
+// ahead of producers — pushes and pops are then pure lock/unlock pairs
+// with no condvar traffic at all.
 //
 // Implementation is a mutex-guarded ring over a pre-sized vector. A lock
 // per batch is far below the noise floor of even the cheapest graft
 // invocation, and it keeps the queue trivially ThreadSanitizer-clean.
+// This is graftd's selectable fallback dispatch lane
+// (DispatcherOptions::lane_mode = kMutex); the lock-free hot path lives
+// in src/graftd/lanes.h.
 
 #ifndef GRAFTLAB_SRC_GRAFTD_QUEUE_H_
 #define GRAFTLAB_SRC_GRAFTD_QUEUE_H_
 
+#include <bit>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -26,34 +40,102 @@ namespace graftd {
 template <typename T>
 class BoundedMpscQueue {
  public:
-  explicit BoundedMpscQueue(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity), ring_(capacity_) {}
+  // `eager_notify` restores the seed behavior this queue shipped with:
+  // notify_one on every push regardless of waiters. It exists so the
+  // throughput bench can measure the waiter-count fix against the exact
+  // baseline it replaced; production callers leave it false.
+  explicit BoundedMpscQueue(std::size_t capacity, bool eager_notify = false)
+      : capacity_(std::bit_ceil(capacity == 0 ? std::size_t{1} : capacity)),
+        mask_(capacity_ - 1),
+        eager_notify_(eager_notify),
+        ring_(capacity_) {}
 
   // Non-blocking push; false when full or closed (backpressure signal).
   bool TryPush(T item) {
+    bool wake = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || size_ == capacity_) {
         return false;
       }
       Enqueue(std::move(item));
+      wake = eager_notify_ || not_empty_waiters_ > 0;
+      notifies_skipped_ += wake ? 0 : 1;
     }
-    not_empty_.notify_one();
+    if (wake) {
+      not_empty_.notify_one();
+    }
     return true;
   }
 
   // Blocking push; waits for space. False only if the queue is closed.
   bool Push(T item) {
+    bool wake = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+      WaitForSpace(lock);
       if (closed_) {
         return false;
       }
       Enqueue(std::move(item));
+      wake = eager_notify_ || not_empty_waiters_ > 0;
+      notifies_skipped_ += wake ? 0 : 1;
     }
-    not_empty_.notify_one();
+    if (wake) {
+      not_empty_.notify_one();
+    }
     return true;
+  }
+
+  // Blocking batch push: one lock/wakeup episode amortized over the whole
+  // span (re-waiting for space as needed). Returns the number pushed —
+  // short only when the queue is closed mid-batch.
+  std::size_t PushBatch(std::span<T> items) {
+    std::size_t pushed = 0;
+    bool wake = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (T& item : items) {
+        WaitForSpace(lock);
+        if (closed_) {
+          break;
+        }
+        Enqueue(std::move(item));
+        ++pushed;
+      }
+      wake = pushed > 0 && not_empty_waiters_ > 0;
+      notifies_skipped_ += (pushed > 0 && !wake) ? 1 : 0;
+    }
+    if (wake) {
+      not_empty_.notify_one();
+    }
+    return pushed;
+  }
+
+  // Non-blocking batch push: pushes as many items as fit right now.
+  // Returns the number accepted (0 when full or closed).
+  std::size_t TryPushBatch(std::span<T> items) {
+    std::size_t pushed = 0;
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return 0;
+      }
+      for (T& item : items) {
+        if (size_ == capacity_) {
+          break;
+        }
+        Enqueue(std::move(item));
+        ++pushed;
+      }
+      wake = pushed > 0 && not_empty_waiters_ > 0;
+      notifies_skipped_ += (pushed > 0 && !wake) ? 1 : 0;
+    }
+    if (wake) {
+      not_empty_.notify_one();
+    }
+    return pushed;
   }
 
   // Dequeues up to `max_batch` items into `out` (appended). Blocks while
@@ -61,17 +143,25 @@ class BoundedMpscQueue {
   // Close() with the queue drained.
   std::size_t PopBatch(std::vector<T>& out, std::size_t max_batch) {
     std::size_t popped = 0;
+    bool wake = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return closed_ || size_ > 0; });
+      while (!closed_ && size_ == 0) {
+        ++not_empty_waiters_;
+        ++consumer_waits_;
+        not_empty_.wait(lock);
+        --not_empty_waiters_;
+      }
       while (popped < max_batch && size_ > 0) {
-        out.push_back(std::move(ring_[head_]));
-        head_ = (head_ + 1) % capacity_;
+        out.push_back(std::move(ring_[head_ & mask_]));
+        ++head_;
         --size_;
         ++popped;
       }
+      wake = popped > 0 && (eager_notify_ || not_full_waiters_ > 0);
+      notifies_skipped_ += (popped > 0 && !wake) ? 1 : 0;
     }
-    if (popped > 0) {
+    if (wake) {
       not_full_.notify_all();
     }
     return popped;
@@ -94,19 +184,56 @@ class BoundedMpscQueue {
 
   std::size_t capacity() const { return capacity_; }
 
+  // Wakeup accounting, for the dispatch telemetry: how often the waiter
+  // count let a push/pop skip the condvar, how often blocking waits
+  // actually slept.
+  struct WaitStats {
+    std::uint64_t notifies_skipped = 0;
+    std::uint64_t consumer_waits = 0;  // PopBatch slept on empty
+    std::uint64_t producer_waits = 0;  // Push/PushBatch slept on full
+  };
+  WaitStats wait_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return WaitStats{notifies_skipped_, consumer_waits_, producer_waits_};
+  }
+
  private:
   void Enqueue(T item) {
-    ring_[(head_ + size_) % capacity_] = std::move(item);
+    ring_[(head_ + size_) & mask_] = std::move(item);
     ++size_;
   }
 
-  const std::size_t capacity_;
+  // Caller holds `lock`; returns with space available or closed_ set.
+  // Before sleeping on full, wakes a consumer parked on empty: the batch
+  // push defers its notify to batch end, so a full ring with a parked
+  // consumer means items were queued that nobody was told about — without
+  // this handoff both sides would sleep forever.
+  void WaitForSpace(std::unique_lock<std::mutex>& lock) {
+    while (!closed_ && size_ == capacity_) {
+      if (not_empty_waiters_ > 0) {
+        not_empty_.notify_one();
+      }
+      ++not_full_waiters_;
+      ++producer_waits_;
+      not_full_.wait(lock);
+      --not_full_waiters_;
+    }
+  }
+
+  const std::size_t capacity_;  // power of two
+  const std::size_t mask_;
+  const bool eager_notify_;  // seed-compat: notify on every push/pop
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::vector<T> ring_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
+  std::size_t not_empty_waiters_ = 0;
+  std::size_t not_full_waiters_ = 0;
+  std::uint64_t notifies_skipped_ = 0;
+  std::uint64_t consumer_waits_ = 0;
+  std::uint64_t producer_waits_ = 0;
   bool closed_ = false;
 };
 

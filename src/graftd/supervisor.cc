@@ -22,10 +22,23 @@ GraftId Supervisor::Register(std::string name) {
   GraftStatus status;
   status.name = std::move(name);
   grafts_.push_back(std::move(status));
+  hot_.push_back(std::make_unique<std::atomic<bool>>(true));
   return static_cast<GraftId>(grafts_.size() - 1);
 }
 
+void Supervisor::RecomputeHot(GraftId id) {
+  const GraftStatus& graft = grafts_[id];
+  hot_[id]->store(graft.state == GraftState::kHealthy && graft.consecutive_failures == 0 &&
+                      graft.consecutive_disk_faults == 0,
+                  std::memory_order_release);
+}
+
 AdmitDecision Supervisor::Admit(GraftId id) {
+  // Steady-state fast path: healthy with no streak means kRun with nothing
+  // to update — one acquire load, no mutex.
+  if (policy_.lock_free_fast_path && hot_.at(id)->load(std::memory_order_acquire)) {
+    return AdmitDecision::kRun;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   GraftStatus& graft = grafts_.at(id);
   switch (graft.state) {
@@ -42,6 +55,7 @@ AdmitDecision Supervisor::Admit(GraftId id) {
       graft.state = GraftState::kHealthy;
       graft.consecutive_failures = 0;
       ++graft.readmissions;
+      RecomputeHot(id);
       EmitTransition(site_readmit_, id);
       return AdmitDecision::kRun;
     case GraftState::kDegraded:
@@ -52,6 +66,7 @@ AdmitDecision Supervisor::Admit(GraftId id) {
       graft.state = GraftState::kHealthy;
       graft.consecutive_disk_faults = 0;
       ++graft.recoveries;
+      RecomputeHot(id);
       EmitTransition(site_recover_, id);
       return AdmitDecision::kRun;
   }
@@ -59,6 +74,12 @@ AdmitDecision Supervisor::Admit(GraftId id) {
 }
 
 void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
+  // Steady-state fast path: an ok outcome on a streak-free healthy graft
+  // records nothing — one relaxed load, no mutex.
+  if (policy_.lock_free_fast_path && outcome == Outcome::kOk &&
+      hot_.at(id)->load(std::memory_order_relaxed)) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   GraftStatus& graft = grafts_.at(id);
   if (graft.state == GraftState::kDetached) {
@@ -67,12 +88,14 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
   if (outcome == Outcome::kOk) {
     graft.consecutive_failures = 0;
     graft.consecutive_disk_faults = 0;
+    RecomputeHot(id);
     return;
   }
   if (outcome == Outcome::kDiskFault) {
     // The device, not the graft, failed: never quarantine or detach for
     // this; degrade to load shedding once the streak crosses the threshold.
     ++graft.consecutive_disk_faults;
+    RecomputeHot(id);
     if (graft.state != GraftState::kHealthy) {
       return;  // straggler after a degrade/quarantine decision
     }
@@ -85,6 +108,7 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
     return;
   }
   ++graft.consecutive_failures;
+  RecomputeHot(id);
   if (graft.consecutive_failures < policy_.fault_threshold) {
     return;
   }

@@ -27,14 +27,22 @@
 // toward quarantine history or detach.
 //
 // Thread safety: one Supervisor is shared by all dispatch workers; state is
-// guarded by a single mutex. Admission is a few loads and branches under
-// the lock — invisible next to even the cheapest (unsafe C) invocation.
+// guarded by a single mutex, with a lock-free fast path for the steady
+// state. Each graft carries an atomic `hot` flag meaning "healthy with no
+// failure streak": Admit returns kRun on a single acquire load, and
+// OnOutcome(kOk) returns on a single relaxed load, so the shared mutex is
+// only touched when something is actually wrong (or recovering). The flag
+// is recomputed under the mutex on every slow-path mutation; a worker that
+// observes a stale `hot` admits at most the invocations that were already
+// racing the transition — the same window the mutex alone allowed.
 
 #ifndef GRAFTLAB_SRC_GRAFTD_SUPERVISOR_H_
 #define GRAFTLAB_SRC_GRAFTD_SUPERVISOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -94,6 +102,11 @@ struct SupervisorPolicy {
   // How long a degraded graft sheds load before the next Admit probes the
   // device again.
   std::chrono::microseconds degraded_backoff{std::chrono::milliseconds(10)};
+  // When false, Admit and OnOutcome always take the mutex — the seed
+  // behavior. Exists so the throughput bench's baseline row can measure
+  // the crossing collapse against the pre-fast-path supervisor; production
+  // callers leave it true.
+  bool lock_free_fast_path = true;
 };
 
 class Supervisor {
@@ -142,6 +155,9 @@ class Supervisor {
  private:
   std::chrono::microseconds BackoffFor(std::uint32_t quarantines) const;
 
+  // Recomputes grafts_[id]'s hot flag; caller holds mu_.
+  void RecomputeHot(GraftId id);
+
   void EmitTransition(tracelab::SiteId site, GraftId id) {
     if (tracer_ != nullptr) {
       tracer_->Instant(site, tracelab::CurrentTraceId(), id);
@@ -158,6 +174,11 @@ class Supervisor {
   tracelab::SiteId site_recover_ = 0;
   mutable std::mutex mu_;
   std::vector<GraftStatus> grafts_;
+  // hot_[id]: state == healthy && no failure/disk-fault streak — the
+  // steady state where Admit and OnOutcome(kOk) have nothing to decide or
+  // record. unique_ptr keeps each atomic at a stable address; the vector
+  // itself only grows during registration (before dispatch, per contract).
+  std::vector<std::unique_ptr<std::atomic<bool>>> hot_;
 };
 
 }  // namespace graftd

@@ -44,6 +44,26 @@ std::string FormatValue(double v) {
 
 }  // namespace
 
+std::string BatchHistogram::Summary() const {
+  if (batches == 0) {
+    return "-";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const std::uint64_t lo = 1ull << i;
+    const std::uint64_t hi = (1ull << (i + 1)) - 1;
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += lo == hi ? std::to_string(lo) : std::to_string(lo) + "-" + std::to_string(hi);
+    out += ":" + std::to_string(counts[i]);
+  }
+  return out;
+}
+
 std::string LatencyHistogram::Summary() const {
   if (count_ == 0) {
     return "-";
@@ -87,6 +107,23 @@ std::string TelemetrySnapshot::ToText() const {
       ops.AddRow({name, std::to_string(count)});
     }
     text += "\n" + ops.ToString();
+  }
+  if (!dispatch.workers.empty()) {
+    stats::Table lanes({"dispatch (" + dispatch.lane_mode + ")", "batches", "deq", "mean",
+                        "batch sizes", "spin", "park", "ntfy", "skip", "p-wait", "lanes"});
+    for (const WorkerLaneRow& row : dispatch.workers) {
+      char mean[32];
+      std::snprintf(mean, sizeof(mean), "%.1f", row.batch_sizes.mean());
+      lanes.AddRow({"worker" + std::to_string(row.worker), std::to_string(row.batches),
+                    std::to_string(row.dequeued), row.batches == 0 ? "-" : mean,
+                    row.batch_sizes.Summary(), std::to_string(row.spin_wakeups),
+                    std::to_string(row.parks), std::to_string(row.notifies_sent),
+                    std::to_string(row.notifies_skipped), std::to_string(row.producer_waits),
+                    std::to_string(row.lanes)});
+    }
+    text += "\n" + lanes.ToString();
+    text += "inline fast path: " + std::to_string(dispatch.inline_hits) + " hits, " +
+            std::to_string(dispatch.inline_misses) + " misses (claim lost -> queued)\n";
   }
   if (!injections.empty()) {
     stats::Table sites({"injection site", "hits", "injected"});
@@ -161,6 +198,42 @@ std::string TelemetrySnapshot::ToJson() const {
       out << "}";
     }
     out << "}";
+  }
+  if (!dispatch.workers.empty()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"__dispatch__\":{\"lane_mode\":";
+    AppendJsonString(out, dispatch.lane_mode);
+    out << ",\"inline_hits\":" << dispatch.inline_hits
+        << ",\"inline_misses\":" << dispatch.inline_misses << ",\"workers\":[";
+    bool first_worker = true;
+    for (const WorkerLaneRow& row : dispatch.workers) {
+      if (!first_worker) {
+        out << ",";
+      }
+      first_worker = false;
+      out << "{\"worker\":" << row.worker << ",\"batches\":" << row.batches
+          << ",\"dequeued\":" << row.dequeued << ",\"batch_mean\":" << row.batch_sizes.mean()
+          << ",\"batch_hist\":[";
+      bool first_bucket = true;
+      for (std::size_t i = 0; i < BatchHistogram::kBuckets; ++i) {
+        if (row.batch_sizes.counts[i] == 0) {
+          continue;
+        }
+        if (!first_bucket) {
+          out << ",";
+        }
+        first_bucket = false;
+        out << "{\"ge\":" << (1ull << i) << ",\"count\":" << row.batch_sizes.counts[i] << "}";
+      }
+      out << "],\"spin_wakeups\":" << row.spin_wakeups << ",\"parks\":" << row.parks
+          << ",\"notifies_sent\":" << row.notifies_sent
+          << ",\"notifies_skipped\":" << row.notifies_skipped
+          << ",\"producer_waits\":" << row.producer_waits << ",\"lanes\":" << row.lanes << "}";
+    }
+    out << "]}";
   }
   if (!injections.empty()) {
     if (!first) {

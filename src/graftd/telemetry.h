@@ -9,6 +9,8 @@
 #define GRAFTLAB_SRC_GRAFTD_TELEMETRY_H_
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -19,6 +21,51 @@
 #include "src/graftd/supervisor.h"
 
 namespace graftd {
+
+// Power-of-two histogram of dequeue batch sizes: bucket b counts batches
+// whose size has bit width b+1 (1, 2-3, 4-7, ...). Small and mergeable,
+// like LatencyHistogram, but labeled in invocations rather than time.
+struct BatchHistogram {
+  static constexpr std::size_t kBuckets = 12;  // 2^11 = 2048 max labeled
+
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t batches = 0;
+  std::uint64_t total = 0;
+
+  static std::size_t BucketFor(std::uint64_t n) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(n));
+    return width == 0 ? 0 : (width - 1 < kBuckets ? width - 1 : kBuckets - 1);
+  }
+
+  void Record(std::uint64_t batch_size) {
+    ++counts[BucketFor(batch_size)];
+    ++batches;
+    total += batch_size;
+  }
+
+  void Merge(const BatchHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts[i] += other.counts[i];
+    }
+    batches += other.batches;
+    total += other.total;
+  }
+
+  double mean() const {
+    return batches == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(batches);
+  }
+
+  // "1:40 2-3:12 4-7:3" — occupied buckets only; "-" when empty.
+  std::string Summary() const;
+};
+
+// Per-worker dispatch-path accounting (how invocations moved, not what
+// they did): filled by the worker under its stats lock.
+struct DispatchCounters {
+  std::uint64_t batches = 0;   // dequeue episodes that yielded work
+  std::uint64_t dequeued = 0;  // invocations that arrived via the lanes
+  BatchHistogram batch_sizes;
+};
 
 struct GraftCounters {
   std::uint64_t invocations = 0;  // attempts that reached a worker
@@ -128,6 +175,35 @@ struct TelemetrySnapshot {
   std::uint64_t trace_dropped = 0;
   std::vector<StageRow> stages;
   std::vector<BreakEvenRow> break_even;
+
+  // --- dispatch-path section: how the lanes moved the invocations ---
+
+  // One row per worker shard. Spin/park/notify fields come from the lane
+  // implementation in use: SPSC lanes report spin wakeups and producer
+  // notify decisions; the mutex queue reports condvar waits and skipped
+  // notifies (producer_waits is mutex-mode only).
+  struct WorkerLaneRow {
+    std::size_t worker = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t dequeued = 0;
+    BatchHistogram batch_sizes;
+    std::uint64_t spin_wakeups = 0;      // work arrived during the spin phase
+    std::uint64_t parks = 0;             // condvar sleeps entered
+    std::uint64_t notifies_sent = 0;     // producer wakes actually issued
+    std::uint64_t notifies_skipped = 0;  // skipped because nobody waited
+    std::uint64_t producer_waits = 0;    // pushes that slept on a full queue
+    std::size_t lanes = 0;               // producer lanes registered (SPSC)
+  };
+
+  // Submission/dispatch mechanics for the whole dispatcher; present
+  // (rendered) whenever `workers` is non-empty.
+  struct DispatchStats {
+    std::string lane_mode;  // "spsc" | "mutex"
+    std::uint64_t inline_hits = 0;    // invocations run on the caller's thread
+    std::uint64_t inline_misses = 0;  // claim lost; fell back to the lanes
+    std::vector<WorkerLaneRow> workers;
+  };
+  DispatchStats dispatch;
 
   // Column-aligned table (src/stats/table.h) with one row per graft:
   // state, invocation outcomes, quarantine history, latency summary —

@@ -217,6 +217,332 @@ TEST(Dispatcher, BlackBoxWorkloadDispatches) {
   EXPECT_EQ(snapshot.grafts[ldisk].counters.faults, 0u);
 }
 
+// --- Submission-path tests: lanes, batches, inline fast path ---
+
+// Runs the same multi-producer SubmitBatch workload through a given lane
+// implementation and checks every accepted invocation completed exactly
+// once with the right digest.
+void DriveSubmitBatch(graftd::LaneMode lane_mode) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kBatches = 8;
+  constexpr std::size_t kBatchSize = 16;
+  const auto data = MakeData(4096);
+  const md5::Digest expected = md5::Sum(std::span(data.data(), data.size()));
+
+  graftd::DispatcherOptions options;
+  options.workers = 2;
+  options.queue_capacity = 32;
+  options.lane_mode = lane_mode;
+  graftd::Dispatcher dispatcher(options);
+  const graftd::GraftId id =
+      dispatcher.RegisterStreamGraft("md5/C", Md5Factory(core::Technology::kC));
+
+  std::atomic<std::uint64_t> digests_ok{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        std::vector<graftd::Invocation> batch(kBatchSize);
+        for (auto& invocation : batch) {
+          invocation.graft = id;
+          invocation.data = streamk::Bytes(data.data(), data.size());
+          invocation.on_stream_result = [&](const core::GraftHost::StreamRunResult& result) {
+            if (result.ok && result.digest == expected) {
+              digests_ok.fetch_add(1, std::memory_order_relaxed);
+            }
+          };
+        }
+        EXPECT_EQ(dispatcher.SubmitBatch(batch), kBatchSize);
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  dispatcher.Drain();
+
+  const std::uint64_t total = kProducers * kBatches * kBatchSize;
+  const graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+  EXPECT_EQ(snapshot.grafts[id].counters.ok, total);
+  EXPECT_EQ(digests_ok.load(), total);
+  // Batches never take the inline path even when enabled (default).
+  EXPECT_EQ(snapshot.dispatch.inline_hits, 0u);
+}
+
+TEST(Dispatcher, SubmitBatchDispatchesEverythingSpscLanes) {
+  DriveSubmitBatch(graftd::LaneMode::kSpsc);
+}
+
+TEST(Dispatcher, SubmitBatchDispatchesEverythingMutexQueue) {
+  DriveSubmitBatch(graftd::LaneMode::kMutex);
+}
+
+TEST(Dispatcher, TrySubmitBatchPartialAcceptanceSignalsBackpressure) {
+  graftd::DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  graftd::Dispatcher dispatcher(options);
+  const graftd::GraftId slow =
+      dispatcher.RegisterStreamGraft("md5/C", Md5Factory(core::Technology::kC));
+
+  // Stall the single worker so the lane fills; the oversized batch must be
+  // cut short, not blocked on or dropped.
+  const auto data = MakeData(64);
+  std::vector<graftd::Invocation> batch(64);
+  for (auto& invocation : batch) {
+    invocation.graft = slow;
+    invocation.data = streamk::Bytes(data.data(), data.size());
+    invocation.simulated_io = 2ms;
+  }
+  const std::size_t accepted = dispatcher.TrySubmitBatch(batch);
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, batch.size());
+
+  dispatcher.Drain();
+  const graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+  // Exactly the accepted prefix ran: drain accounting survived the short
+  // batch (nothing leaked, nothing ran twice).
+  EXPECT_EQ(snapshot.grafts[slow].counters.invocations, accepted);
+  EXPECT_EQ(snapshot.grafts[slow].counters.ok, accepted);
+}
+
+void DriveSubmitAfterShutdown(graftd::LaneMode lane_mode) {
+  graftd::DispatcherOptions options;
+  options.workers = 2;
+  options.lane_mode = lane_mode;
+  graftd::Dispatcher dispatcher(options);
+  graftd::GraftTraits traits;
+  traits.reentrant_safe = true;  // even the inline path must refuse
+  const graftd::GraftId id =
+      dispatcher.RegisterStreamGraft("md5/C", Md5Factory(core::Technology::kC), traits);
+
+  const auto data = MakeData(64);
+  const auto make_invocation = [&] {
+    graftd::Invocation invocation;
+    invocation.graft = id;
+    invocation.data = streamk::Bytes(data.data(), data.size());
+    return invocation;
+  };
+  ASSERT_TRUE(dispatcher.Submit(make_invocation()));
+  dispatcher.Shutdown();
+
+  EXPECT_FALSE(dispatcher.Submit(make_invocation()));
+  EXPECT_FALSE(dispatcher.TrySubmit(make_invocation()));
+  std::vector<graftd::Invocation> batch(4);
+  for (auto& invocation : batch) {
+    invocation = make_invocation();
+  }
+  EXPECT_EQ(dispatcher.SubmitBatch(batch), 0u);
+  EXPECT_EQ(dispatcher.TrySubmitBatch(batch), 0u);
+  // Only the pre-shutdown invocation is accounted.
+  EXPECT_EQ(dispatcher.Snapshot().grafts[id].counters.invocations, 1u);
+}
+
+TEST(Dispatcher, SubmitAfterShutdownIsRefusedSpscLanes) {
+  DriveSubmitAfterShutdown(graftd::LaneMode::kSpsc);
+}
+
+TEST(Dispatcher, SubmitAfterShutdownIsRefusedMutexQueue) {
+  DriveSubmitAfterShutdown(graftd::LaneMode::kMutex);
+}
+
+TEST(Dispatcher, InlineFastPathRunsOnTheSubmittingThread) {
+  constexpr std::uint64_t kInvocations = 16;
+  const auto data = MakeData(1024);
+  const md5::Digest expected = md5::Sum(std::span(data.data(), data.size()));
+
+  graftd::DispatcherOptions options;
+  options.workers = 2;
+  graftd::Dispatcher dispatcher(options);
+  graftd::GraftTraits traits;
+  traits.reentrant_safe = true;
+  const graftd::GraftId id =
+      dispatcher.RegisterStreamGraft("md5/C", Md5Factory(core::Technology::kC), traits);
+
+  const std::thread::id submitter = std::this_thread::get_id();
+  std::uint64_t ran_on_submitter = 0;
+  for (std::uint64_t i = 0; i < kInvocations; ++i) {
+    graftd::Invocation invocation;
+    invocation.graft = id;
+    invocation.data = streamk::Bytes(data.data(), data.size());
+    invocation.on_stream_result = [&](const core::GraftHost::StreamRunResult& result) {
+      if (std::this_thread::get_id() == submitter && result.ok && result.digest == expected) {
+        ++ran_on_submitter;
+      }
+    };
+    ASSERT_TRUE(dispatcher.Submit(std::move(invocation)));
+  }
+  dispatcher.Drain();
+
+  // A single submitter against idle shards always wins the claim: every
+  // invocation ran inline, on this thread, with full accounting.
+  EXPECT_EQ(ran_on_submitter, kInvocations);
+  const graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+  EXPECT_EQ(snapshot.dispatch.inline_hits, kInvocations);
+  EXPECT_EQ(snapshot.grafts[id].counters.ok, kInvocations);
+  EXPECT_EQ(snapshot.grafts[id].counters.latency.count(), kInvocations);
+}
+
+TEST(Dispatcher, InlineFastPathPreservesQuarantineSemantics) {
+  graftd::DispatcherOptions options;
+  options.workers = 1;
+  options.policy.fault_threshold = 3;
+  options.policy.base_backoff = std::chrono::duration_cast<std::chrono::microseconds>(1h);
+  graftd::Dispatcher dispatcher(options);
+  graftd::GraftTraits traits;
+  traits.reentrant_safe = true;
+  const graftd::GraftId faulty = dispatcher.RegisterStreamGraft(
+      "faulty", [](envs::PreemptToken*) { return std::make_unique<AlwaysFaultGraft>(); },
+      traits);
+
+  // Single-threaded inline submission: the streak is deterministic even
+  // though no worker ever touches these invocations.
+  const auto data = MakeData(64);
+  for (int i = 0; i < 8; ++i) {
+    graftd::Invocation invocation;
+    invocation.graft = faulty;
+    invocation.data = streamk::Bytes(data.data(), data.size());
+    ASSERT_TRUE(dispatcher.Submit(std::move(invocation)));
+  }
+  dispatcher.Drain();
+
+  const graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+  EXPECT_EQ(snapshot.dispatch.inline_hits, 8u);
+  EXPECT_EQ(snapshot.grafts[faulty].counters.faults, 3u);
+  EXPECT_EQ(snapshot.grafts[faulty].counters.rejected_quarantined, 5u);
+  EXPECT_EQ(snapshot.grafts[faulty].supervision.state, graftd::GraftState::kQuarantined);
+  EXPECT_EQ(dispatcher.contained_faults(), 3u);
+}
+
+TEST(Dispatcher, InlineAndQueuedPathsProduceEquivalentTraces) {
+  constexpr std::uint64_t kInvocations = 6;
+  const auto data = MakeData(2048);
+
+  // Same workload twice: once forced through the lanes, once inline.
+  // The trace must attribute the same spans either way — stage counts are
+  // path-independent even though the executing thread differs.
+  const auto run = [&](bool inline_path) {
+    graftd::DispatcherOptions options;
+    options.workers = 1;
+    options.inline_fast_path = inline_path;
+    graftd::Dispatcher dispatcher(options);
+    tracelab::Tracer tracer;
+    dispatcher.set_tracer(&tracer);
+    graftd::GraftTraits traits;
+    traits.reentrant_safe = inline_path;
+    const graftd::GraftId id =
+        dispatcher.RegisterStreamGraft("md5/C", Md5Factory(core::Technology::kC), traits);
+    for (std::uint64_t i = 0; i < kInvocations; ++i) {
+      graftd::Invocation invocation;
+      invocation.graft = id;
+      invocation.data = streamk::Bytes(data.data(), data.size());
+      EXPECT_TRUE(dispatcher.Submit(std::move(invocation)));
+    }
+    dispatcher.Drain();
+    return dispatcher.Snapshot();
+  };
+
+  const graftd::TelemetrySnapshot queued = run(false);
+  const graftd::TelemetrySnapshot inlined = run(true);
+
+  EXPECT_EQ(queued.dispatch.inline_hits, 0u);
+  EXPECT_EQ(inlined.dispatch.inline_hits, kInvocations);
+
+  ASSERT_EQ(queued.stages.size(), 1u);
+  ASSERT_EQ(inlined.stages.size(), 1u);
+  const auto& queued_row = queued.stages[0];
+  const auto& inlined_row = inlined.stages[0];
+  EXPECT_EQ(queued_row.queue.count, kInvocations);
+  EXPECT_EQ(inlined_row.queue.count, kInvocations);
+  EXPECT_EQ(queued_row.dispatch.count, kInvocations);
+  EXPECT_EQ(inlined_row.dispatch.count, kInvocations);
+  EXPECT_EQ(queued_row.body.count, kInvocations);
+  EXPECT_EQ(inlined_row.body.count, kInvocations);
+  // Crossing: one host-entry span per invocation plus one lazy instance
+  // build on whichever thread ran first.
+  EXPECT_EQ(queued_row.crossing.count, inlined_row.crossing.count);
+  // Outcome accounting is identical.
+  EXPECT_EQ(queued.grafts[0].counters.ok, inlined.grafts[0].counters.ok);
+}
+
+// The ThreadSanitizer stress target: every submission flavor from multiple
+// threads, racing a Snapshot() poller, in both lane modes.
+void DriveConcurrentStress(graftd::LaneMode lane_mode) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kPerProducer = 48;
+  constexpr std::size_t kBatchSize = 8;
+  const auto data = MakeData(1024);
+
+  graftd::DispatcherOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  options.lane_mode = lane_mode;
+  graftd::Dispatcher dispatcher(options);
+  graftd::GraftTraits traits;
+  traits.reentrant_safe = true;  // let inline runs race worker batches
+  const graftd::GraftId id =
+      dispatcher.RegisterStreamGraft("md5/C", Md5Factory(core::Technology::kC), traits);
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+      EXPECT_LE(snapshot.grafts[id].counters.invocations,
+                kProducers * kPerProducer);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const auto make_invocation = [&] {
+        graftd::Invocation invocation;
+        invocation.graft = id;
+        invocation.data = streamk::Bytes(data.data(), data.size());
+        return invocation;
+      };
+      for (std::size_t i = 0; i < kPerProducer;) {
+        if (p == 0 && i % (2 * kBatchSize) == 0 && i + kBatchSize <= kPerProducer) {
+          // Producer 0 mixes in batched submission.
+          std::vector<graftd::Invocation> batch(kBatchSize);
+          for (auto& invocation : batch) {
+            invocation = make_invocation();
+          }
+          accepted.fetch_add(dispatcher.SubmitBatch(batch), std::memory_order_relaxed);
+          i += kBatchSize;
+          continue;
+        }
+        if (dispatcher.Submit(make_invocation())) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  dispatcher.Drain();
+  done.store(true, std::memory_order_release);
+  poller.join();
+
+  const graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+  EXPECT_EQ(snapshot.grafts[id].counters.invocations, accepted.load());
+  EXPECT_EQ(snapshot.grafts[id].counters.ok, accepted.load());
+}
+
+TEST(Dispatcher, ConcurrentSubmissionAndSnapshotStressSpscLanes) {
+  DriveConcurrentStress(graftd::LaneMode::kSpsc);
+}
+
+TEST(Dispatcher, ConcurrentSubmissionAndSnapshotStressMutexQueue) {
+  DriveConcurrentStress(graftd::LaneMode::kMutex);
+}
+
 TEST(Dispatcher, TrySubmitSignalsBackpressure) {
   graftd::DispatcherOptions options;
   options.workers = 1;
