@@ -204,7 +204,12 @@ bool Dispatcher::Submit(Invocation invocation) {
                           ? shard.lanes.Push(LaneFor(index, shard), invocation, /*block=*/true)
                           : shard.queue.Push(std::move(invocation));
   if (!pushed) {
-    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    // A Drain() may have parked against the optimistically inflated count;
+    // this rollback can be what makes its predicate true, so it needs the
+    // same seq_cst + notify pairing a completion gets (no worker completion
+    // is guaranteed to follow, e.g. rejection during shutdown).
+    submitted_.fetch_sub(1, std::memory_order_seq_cst);
+    NotifyDrain();
   }
   return pushed;
 }
@@ -221,7 +226,9 @@ bool Dispatcher::TrySubmit(Invocation invocation) {
                           ? shard.lanes.Push(LaneFor(index, shard), invocation, /*block=*/false)
                           : shard.queue.TryPush(std::move(invocation));
   if (!pushed) {
-    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    // See Submit: the rollback may complete a parked Drain's predicate.
+    submitted_.fetch_sub(1, std::memory_order_seq_cst);
+    NotifyDrain();
   }
   return pushed;
 }
@@ -243,7 +250,9 @@ std::size_t Dispatcher::SubmitBatch(std::span<Invocation> batch) {
                                  /*block=*/true)
           : shard.queue.PushBatch(batch);
   if (accepted < batch.size()) {
-    submitted_.fetch_sub(batch.size() - accepted, std::memory_order_relaxed);
+    // See Submit: the rollback may complete a parked Drain's predicate.
+    submitted_.fetch_sub(batch.size() - accepted, std::memory_order_seq_cst);
+    NotifyDrain();
   }
   return accepted;
 }
@@ -265,7 +274,9 @@ std::size_t Dispatcher::TrySubmitBatch(std::span<Invocation> batch) {
                                  /*block=*/false)
           : shard.queue.TryPushBatch(batch);
   if (accepted < batch.size()) {
-    submitted_.fetch_sub(batch.size() - accepted, std::memory_order_relaxed);
+    // See Submit: the rollback may complete a parked Drain's predicate.
+    submitted_.fetch_sub(batch.size() - accepted, std::memory_order_seq_cst);
+    NotifyDrain();
   }
   return accepted;
 }

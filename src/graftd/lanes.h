@@ -27,10 +27,18 @@
 // Lane registration is mutex-guarded and off the hot path: a producer
 // thread claims its lane once per (LaneSet, thread) and the dispatcher
 // caches the handle thread-locally. Lane slots are a fixed-size array of
-// atomic pointers so the sweep never races vector growth; if more producer
-// threads than slots ever show up, the overflow threads share the last
-// lane behind a spinlock (correctness keeps, SPSC-ness degrades for them
-// alone).
+// plain pointers written only under the registration mutex and published
+// to the lock-free sweep by the release-store of lane_count_: the sweep's
+// acquire-load of the count makes every slot below it visible, and a slot,
+// once set, is never reassigned — so the sweep needs no per-slot atomics
+// and a future change must keep the slot write ordered before the count
+// store. If more producer threads than slots ever show up, the overflow
+// threads share the last lane behind a spinlock (correctness keeps,
+// SPSC-ness degrades for them alone). Claims are per thread::id for the
+// LaneSet's lifetime and never reclaimed when a producer thread exits, so
+// under producer-thread churn (a pool recreating threads against one
+// long-lived dispatcher) each distinct thread burns a slot and the
+// kMaxLanes-th onward degrade to the shared lane.
 
 #ifndef GRAFTLAB_SRC_GRAFTD_LANES_H_
 #define GRAFTLAB_SRC_GRAFTD_LANES_H_
@@ -159,6 +167,11 @@ class LaneSet {
   // once per (LaneSet, thread); the dispatcher caches the result. The
   // first kMaxLanes-1 threads get private lanes; every later thread shares
   // the last slot, which is shared for all of its users from creation on.
+  // A claim lasts the LaneSet's lifetime: slots of exited threads are not
+  // recycled, so kMaxLanes-1 bounds distinct producer threads *ever*, not
+  // concurrent ones — past it, new producers take the shared-lane spinlock
+  // path. (A reused thread::id re-finds the dead owner's lane, which stays
+  // SPSC-safe because an id is only reused after the old thread is gone.)
   LaneHandle ProducerLane() {
     std::lock_guard<std::mutex> lock(reg_mu_);
     const std::thread::id me = std::this_thread::get_id();
@@ -221,6 +234,12 @@ class LaneSet {
       if (!block) {
         break;
       }
+      // Full lane with the wake still deferred: a worker that parked before
+      // this batch began would never drain the lane this push is blocked on
+      // (the batch-end wake below is unreachable while we spin), so wake it
+      // now. Only runs on the full-lane path, so the hot loop stays at one
+      // wake check per batch.
+      WakeAfterPush();
       backoff.Pause();  // full lane: the worker needs cycles to drain it
     }
     guard.Done();

@@ -75,9 +75,15 @@ AdmitDecision Supervisor::Admit(GraftId id) {
 
 void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
   // Steady-state fast path: an ok outcome on a streak-free healthy graft
-  // records nothing — one relaxed load, no mutex.
+  // records nothing — one acquire load (matching Admit, pairing with
+  // RecomputeHot's release), no mutex. A worker can still read hot==true
+  // published before another worker's failure started a streak and drop an
+  // Ok that would have reset consecutive_failures; that window is inherent
+  // to skipping the mutex (the same interleaving loses the reset under the
+  // lock too, just in a narrower race) and at worst quarantines a genuinely
+  // failing graft a streak early.
   if (policy_.lock_free_fast_path && outcome == Outcome::kOk &&
-      hot_.at(id)->load(std::memory_order_relaxed)) {
+      hot_.at(id)->load(std::memory_order_acquire)) {
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);

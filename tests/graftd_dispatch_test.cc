@@ -307,6 +307,44 @@ TEST(Dispatcher, TrySubmitBatchPartialAcceptanceSignalsBackpressure) {
   EXPECT_EQ(snapshot.grafts[slow].counters.ok, accepted);
 }
 
+// Regression: a blocking batch larger than the lane capacity, submitted to
+// a quiet dispatcher whose worker has parked, must wake the worker while it
+// waits for space. The batch-end wake alone never runs in that state — the
+// producer fills the lane and spins, the worker sleeps — so this deadlocked
+// before PushMany's full-lane wake.
+void DriveOversizedBatchWakesParkedWorker(graftd::LaneMode lane_mode) {
+  graftd::DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;  // far smaller than the batch below
+  options.spin_sweeps = 1;     // idle worker parks almost immediately
+  options.lane_mode = lane_mode;
+  graftd::Dispatcher dispatcher(options);
+  const graftd::GraftId id =
+      dispatcher.RegisterStreamGraft("md5/C", Md5Factory(core::Technology::kC));
+
+  // Let the worker burn its spin budget and park before the batch arrives.
+  std::this_thread::sleep_for(50ms);
+
+  const auto data = MakeData(64);
+  std::vector<graftd::Invocation> batch(64);
+  for (auto& invocation : batch) {
+    invocation.graft = id;
+    invocation.data = streamk::Bytes(data.data(), data.size());
+  }
+  ASSERT_EQ(dispatcher.SubmitBatch(batch), batch.size());
+  dispatcher.Drain();
+  const graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+  EXPECT_EQ(snapshot.grafts[id].counters.ok, batch.size());
+}
+
+TEST(Dispatcher, OversizedBatchWakesParkedWorkerSpscLanes) {
+  DriveOversizedBatchWakesParkedWorker(graftd::LaneMode::kSpsc);
+}
+
+TEST(Dispatcher, OversizedBatchWakesParkedWorkerMutexQueue) {
+  DriveOversizedBatchWakesParkedWorker(graftd::LaneMode::kMutex);
+}
+
 void DriveSubmitAfterShutdown(graftd::LaneMode lane_mode) {
   graftd::DispatcherOptions options;
   options.workers = 2;
