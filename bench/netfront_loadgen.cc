@@ -1,0 +1,398 @@
+// netfront open-loop load generator.
+//
+// Drives the epoll front-line service with N simulated client sessions
+// multiplexed over a fixed fan of loopback connections, at a fixed
+// aggregate request rate that does not slow down when the server does
+// (open loop: the latency you measure includes the queueing you caused).
+// Each request's latency is measured from its *scheduled* send instant,
+// not the actual write, so coordinated omission cannot hide a stall. The
+// 8-byte digest prefix of every reply is verified against a precomputed
+// MD5 sum of the request payload; a single mismatch fails the run.
+//
+// Defaults simulate 102,400 sessions over 128 connections; --full raises
+// that to 1,048,576 sessions (the "million simulated clients" shape).
+// Each session is a logical client with its own identity and connection
+// affinity; sessions take turns issuing on their shared socket, so all of
+// them are concurrently live across the run window.
+//
+// Exit codes (the CI gate): 0 ok; 1 p99 above --p99-gate-ms; 2 digest
+// mismatch; 3 completion shortfall (replies lost or drained too slowly).
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/technology.h"
+#include "src/graftd/dispatcher.h"
+#include "src/graftd/histogram.h"
+#include "src/graftd/telemetry.h"
+#include "src/grafts/factory.h"
+#include "src/md5/md5.h"
+#include "src/netfront/server.h"
+#include "src/netfront/wire.h"
+
+namespace {
+
+struct Flags {
+  std::uint64_t sessions = 102'400;
+  std::uint64_t conns = 128;
+  std::uint64_t rate = 25'000;  // aggregate requests/sec, open loop
+  double seconds = 5.0;
+  double p99_gate_ms = 250.0;  // 0 disables the latency gate
+  std::size_t io_threads = 2;
+  std::size_t workers = 2;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--full") == 0) {
+        flags.sessions = 1u << 20;
+        flags.rate = 60'000;
+        flags.seconds = 20.0;
+      } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
+        flags.sessions = std::strtoull(arg + 11, nullptr, 10);
+      } else if (std::strncmp(arg, "--conns=", 8) == 0) {
+        flags.conns = std::strtoull(arg + 8, nullptr, 10);
+      } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+        flags.rate = std::strtoull(arg + 7, nullptr, 10);
+      } else if (std::strncmp(arg, "--seconds=", 10) == 0) {
+        flags.seconds = std::strtod(arg + 10, nullptr);
+      } else if (std::strncmp(arg, "--p99-gate-ms=", 14) == 0) {
+        flags.p99_gate_ms = std::strtod(arg + 14, nullptr);
+      } else if (std::strncmp(arg, "--io-threads=", 13) == 0) {
+        flags.io_threads = std::strtoull(arg + 13, nullptr, 10);
+      } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+        flags.workers = std::strtoull(arg + 10, nullptr, 10);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        std::exit(64);
+      }
+    }
+    flags.sessions = std::max<std::uint64_t>(flags.sessions, 1);
+    flags.conns = std::clamp<std::uint64_t>(flags.conns, 1, 4096);
+    flags.conns = std::min(flags.conns, flags.sessions);
+    flags.rate = std::max<std::uint64_t>(flags.rate, 100);
+    return flags;
+  }
+};
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// A handful of payload shapes cycled round-robin; the expected reply
+// digest for each is precomputed once, so verification is an 8-byte
+// memcmp on the hot path.
+struct Variant {
+  std::vector<std::uint8_t> payload;
+  md5::Digest digest;
+};
+
+std::vector<Variant> MakeVariants() {
+  const std::size_t sizes[] = {64, 192, 320, 448, 704, 960, 1536, 2048};
+  std::vector<Variant> variants;
+  for (std::size_t v = 0; v < sizeof(sizes) / sizeof(sizes[0]); ++v) {
+    Variant variant;
+    variant.payload.resize(sizes[v]);
+    for (std::size_t i = 0; i < sizes[v]; ++i) {
+      variant.payload[i] = static_cast<std::uint8_t>(31 * v + 7 * i + 3);
+    }
+    variant.digest = md5::Sum({variant.payload.data(), variant.payload.size()});
+    variants.push_back(std::move(variant));
+  }
+  return variants;
+}
+
+// One loopback socket carrying many sessions' traffic.
+struct ClientConn {
+  int fd = -1;
+  netfront::FrameDecoder decoder;
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos = 0;
+};
+
+bool FlushConn(ClientConn& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t wrote = send(conn.fd, conn.out.data() + conn.out_pos,
+                               conn.out.size() - conn.out_pos, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (wrote < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;  // kernel buffer full: the open loop keeps queueing locally
+      }
+      return false;
+    }
+    conn.out_pos += static_cast<std::size_t>(wrote);
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos > (1u << 20)) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
+    conn.out_pos = 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+
+  bench::PrintHeader("netfront open-loop load generator",
+                     "service front line for graft dispatch (DESIGN.md, netfront section)");
+
+  // --- server side: dispatcher + netfront over loopback ---
+  graftd::DispatcherOptions dopts;
+  dopts.workers = flags.workers;
+  graftd::Dispatcher dispatcher(dopts);
+  const graftd::GraftId md5_id =
+      dispatcher.RegisterStreamGraft("md5", [](envs::PreemptToken* preempt) {
+        return grafts::CreateMd5Graft(core::Technology::kC, preempt);
+      });
+
+  netfront::ServerOptions sopts;
+  sopts.io_threads = flags.io_threads;
+  sopts.staging_high = 4096;  // open loop bursts; shed only on real pileups
+  netfront::Server server(dispatcher, sopts);
+  const std::uint32_t wire_md5 = server.ExposeGraft(md5_id);
+  if (!server.ListenTcp(0)) {
+    std::fprintf(stderr, "loadgen: ListenTcp failed\n");
+    return 70;
+  }
+  server.Start();
+
+  // --- client side: conns fan, each carrying sessions/conns sessions ---
+  const auto variants = MakeVariants();
+  std::vector<ClientConn> conns(flags.conns);
+  const int client_epoll = epoll_create1(0);
+  for (std::size_t c = 0; c < conns.size(); ++c) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    if (fd < 0 || connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      std::fprintf(stderr, "loadgen: connect %zu failed: %s\n", c, std::strerror(errno));
+      return 70;
+    }
+    const int flags_now = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags_now | O_NONBLOCK);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conns[c].fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = c;
+    epoll_ctl(client_epoll, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  // Every session must issue at least once for the concurrency claim to
+  // mean anything; stretch the run if the rate can't cover them in time.
+  const std::uint64_t total = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(static_cast<double>(flags.rate) * flags.seconds),
+      flags.sessions);
+  const double ns_per_req = 1e9 / static_cast<double>(flags.rate);
+
+  std::printf("sessions=%llu conns=%llu rate=%llu/s target=%llu requests "
+              "(io_threads=%zu workers=%zu)\n\n",
+              static_cast<unsigned long long>(flags.sessions),
+              static_cast<unsigned long long>(flags.conns),
+              static_cast<unsigned long long>(flags.rate),
+              static_cast<unsigned long long>(total), flags.io_threads, flags.workers);
+
+  graftd::LatencyHistogram latency;
+  std::vector<std::uint8_t> session_hit(flags.sessions, 0);
+  std::uint64_t sessions_served = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_err = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t checksum = 0;
+
+  const std::uint64_t start = NowNs();
+  // Replies must drain within a grace window after the last send; a stuck
+  // server fails the completion gate instead of hanging the bench.
+  const std::uint64_t drain_deadline =
+      start + static_cast<std::uint64_t>(ns_per_req * static_cast<double>(total)) +
+      10'000'000'000ull;
+
+  std::uint8_t rxbuf[64 << 10];
+  epoll_event events[64];
+  for (;;) {
+    const std::uint64_t now = NowNs();
+
+    // Open-loop pacing: everything scheduled before `now` is sent now,
+    // regardless of how far behind the server is.
+    if (issued < total) {
+      const std::uint64_t due = std::min<std::uint64_t>(
+          total, static_cast<std::uint64_t>(static_cast<double>(now - start) / ns_per_req) + 1);
+      for (; issued < due; ++issued) {
+        const std::uint64_t session = issued % flags.sessions;
+        ClientConn& conn = conns[session % flags.conns];
+        const Variant& variant = variants[issued % variants.size()];
+        netfront::AppendRequest(conn.out, /*tenant=*/0, wire_md5, issued,
+                                variant.payload.data(), variant.payload.size());
+      }
+    }
+    for (ClientConn& conn : conns) {
+      if (!conn.out.empty() && !FlushConn(conn)) {
+        std::fprintf(stderr, "loadgen: send failed: %s\n", std::strerror(errno));
+        return 70;
+      }
+    }
+
+    const int timeout_ms = issued < total ? 1 : 20;
+    const int ready = epoll_wait(client_epoll, events, 64, timeout_ms);
+    const std::uint64_t recv_now = NowNs();
+    for (int e = 0; e < ready; ++e) {
+      ClientConn& conn = conns[events[e].data.u64];
+      for (;;) {
+        const ssize_t got = recv(conn.fd, rxbuf, sizeof(rxbuf), MSG_DONTWAIT);
+        if (got <= 0) {
+          break;
+        }
+        conn.decoder.Feed(rxbuf, static_cast<std::size_t>(got));
+        netfront::FrameDecoder::Frame frame;
+        while (conn.decoder.Next(frame) == netfront::FrameDecoder::Result::kFrame) {
+          const std::uint64_t k = frame.header.request_id;
+          if (frame.header.type == netfront::FrameType::kResponse && frame.payload.size() == 8) {
+            const Variant& variant = variants[k % variants.size()];
+            if (std::memcmp(frame.payload.data(), variant.digest.data(), 8) != 0) {
+              ++mismatches;
+            } else {
+              ++completed_ok;
+              checksum += bench::Checksum(frame.payload.data(), frame.payload.size());
+              const std::uint64_t scheduled =
+                  start + static_cast<std::uint64_t>(static_cast<double>(k) * ns_per_req);
+              latency.Record(recv_now > scheduled ? recv_now - scheduled : 0);
+              std::uint8_t& hit = session_hit[k % flags.sessions];
+              if (hit == 0) {
+                hit = 1;
+                ++sessions_served;
+              }
+            }
+          } else {
+            ++completed_err;
+          }
+        }
+        if (conn.decoder.failed()) {
+          std::fprintf(stderr, "loadgen: reply stream poisoned: %s\n", conn.decoder.error().c_str());
+          return 70;
+        }
+      }
+    }
+
+    const std::uint64_t accounted = completed_ok + completed_err + mismatches;
+    if (issued >= total && accounted >= total) {
+      break;
+    }
+    if (NowNs() > drain_deadline) {
+      std::fprintf(stderr, "loadgen: drain timeout with %llu replies outstanding\n",
+                   static_cast<unsigned long long>(total - accounted));
+      break;
+    }
+  }
+  const std::uint64_t wall_ns = NowNs() - start;
+
+  for (ClientConn& conn : conns) {
+    close(conn.fd);
+  }
+  close(client_epoll);
+  server.Stop();
+
+  // --- report ---
+  graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+  server.FillTelemetry(snapshot.netfront);
+  std::printf("%s\n", snapshot.ToText().c_str());
+
+  const double p50_us = latency.PercentileUs(50);
+  const double p99_us = latency.PercentileUs(99);
+  const double p999_us = latency.PercentileUs(99.9);
+  const double wall_s = static_cast<double>(wall_ns) / 1e9;
+  bench::PrintSection("open-loop latency (from scheduled send)");
+  std::printf("issued %llu, ok %llu, errors %llu, mismatches %llu in %.2fs "
+              "(%.0f req/s achieved)\n",
+              static_cast<unsigned long long>(issued),
+              static_cast<unsigned long long>(completed_ok),
+              static_cast<unsigned long long>(completed_err),
+              static_cast<unsigned long long>(mismatches), wall_s,
+              static_cast<double>(completed_ok) / wall_s);
+  std::printf("sessions served: %llu / %llu\n",
+              static_cast<unsigned long long>(sessions_served),
+              static_cast<unsigned long long>(flags.sessions));
+  std::printf("p50 %.1fus  p99 %.1fus  p999 %.1fus  max %.1fus\n\n", p50_us, p99_us, p999_us,
+              static_cast<double>(latency.max_ns()) / 1e3);
+
+  bench::JsonReport report("netfront");
+  report.AddUs("netfront_open_loop_p50", completed_ok, p50_us, checksum);
+  report.AddUs("netfront_open_loop_p99", completed_ok, p99_us, checksum);
+  report.AddUs("netfront_open_loop_p999", completed_ok, p999_us, checksum);
+  report.Add("netfront_throughput", completed_ok,
+             completed_ok > 0 ? static_cast<double>(wall_ns) / static_cast<double>(completed_ok)
+                              : 0.0,
+             checksum);
+  report.Add("netfront_sessions_served", sessions_served,
+             sessions_served > 0
+                 ? static_cast<double>(wall_ns) / static_cast<double>(sessions_served)
+                 : 0.0,
+             checksum);
+  report.Write();
+
+  // --- gates ---
+  int exit_code = 0;
+  if (mismatches > 0) {
+    std::printf("GATE digest: FAIL (%llu mismatched replies)\n",
+                static_cast<unsigned long long>(mismatches));
+    exit_code = 2;
+  } else {
+    std::printf("GATE digest: PASS (all %llu replies verified)\n",
+                static_cast<unsigned long long>(completed_ok));
+  }
+  const double p99_ms = p99_us / 1e3;
+  if (flags.p99_gate_ms > 0 && p99_ms > flags.p99_gate_ms) {
+    std::printf("GATE p99 <= %.0fms: FAIL (%.2fms)\n", flags.p99_gate_ms, p99_ms);
+    if (exit_code == 0) {
+      exit_code = 1;
+    }
+  } else if (flags.p99_gate_ms > 0) {
+    std::printf("GATE p99 <= %.0fms: PASS (%.2fms)\n", flags.p99_gate_ms, p99_ms);
+  }
+  // Lost replies (or sessions that never got one) mean the front line
+  // dropped work on the floor — shed-with-an-error-frame is accounted
+  // above and does NOT trip this.
+  const std::uint64_t accounted = completed_ok + completed_err + mismatches;
+  if (accounted < total || sessions_served < flags.sessions) {
+    std::printf("GATE completion: FAIL (%llu/%llu replies, %llu/%llu sessions)\n",
+                static_cast<unsigned long long>(accounted),
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(sessions_served),
+                static_cast<unsigned long long>(flags.sessions));
+    if (exit_code == 0) {
+      exit_code = 3;
+    }
+  } else {
+    std::printf("GATE completion: PASS (%llu/%llu replies, all sessions served)\n",
+                static_cast<unsigned long long>(accounted),
+                static_cast<unsigned long long>(total));
+  }
+  return exit_code;
+}

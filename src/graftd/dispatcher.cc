@@ -439,23 +439,31 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   // thread (worker, or the submitter inline).
   tracelab::Span dispatch_span(tracer, registration.sites.dispatch, invocation.trace_id);
 
+  // A rejection is still a terminal outcome for the submitter: count it,
+  // then deliver the completion so front-ends can answer the session.
+  const auto reject = [this, &shard, &invocation, id](CompletionStatus status,
+                                                      std::uint64_t GraftCounters::*counter) {
+    {
+      std::lock_guard<std::mutex> lock(shard.stats_mu);
+      ++(StatsFor(shard, id).*counter);
+    }
+    if (invocation.on_complete) {
+      Completion completion;
+      completion.status = status;
+      invocation.on_complete(completion);
+    }
+  };
   switch (supervisor_.Admit(id)) {
-    case AdmitDecision::kRejectDetached: {
-      std::lock_guard<std::mutex> lock(shard.stats_mu);
-      ++StatsFor(shard, id).rejected_detached;
+    case AdmitDecision::kRejectDetached:
+      reject(CompletionStatus::kRejectedDetached, &GraftCounters::rejected_detached);
       return;
-    }
-    case AdmitDecision::kRejectQuarantined: {
-      std::lock_guard<std::mutex> lock(shard.stats_mu);
-      ++StatsFor(shard, id).rejected_quarantined;
+    case AdmitDecision::kRejectQuarantined:
+      reject(CompletionStatus::kRejectedQuarantined, &GraftCounters::rejected_quarantined);
       return;
-    }
-    case AdmitDecision::kRejectDegraded: {
+    case AdmitDecision::kRejectDegraded:
       // Shedding: the graft's device is failing, don't feed it more writes.
-      std::lock_guard<std::mutex> lock(shard.stats_mu);
-      ++StatsFor(shard, id).rejected_degraded;
+      reject(CompletionStatus::kRejectedDegraded, &GraftCounters::rejected_degraded);
       return;
-    }
     case AdmitDecision::kRun:
       break;
   }
@@ -527,6 +535,7 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   Outcome outcome = Outcome::kOk;
   std::uint64_t fuel_used = 0;
   std::uint64_t ops = 0;
+  md5::Digest completion_digest{};
   stats::Timer timer;
   switch (registration.shape) {
     case GraftShape::kStream: {
@@ -548,6 +557,9 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
       }
       outcome =
           result.ok ? Outcome::kOk : (result.preempted ? Outcome::kPreempt : Outcome::kFault);
+      if (result.ok) {
+        completion_digest = result.digest;
+      }
       if (invocation.on_stream_result) {
         invocation.on_stream_result(result);
       }
@@ -579,6 +591,18 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
     }
   }
   const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(timer.ElapsedNs());
+  if (invocation.on_complete) {
+    Completion completion;
+    switch (outcome) {
+      case Outcome::kOk: completion.status = CompletionStatus::kOk; break;
+      case Outcome::kFault: completion.status = CompletionStatus::kFault; break;
+      case Outcome::kPreempt: completion.status = CompletionStatus::kPreempt; break;
+      case Outcome::kDiskFault: completion.status = CompletionStatus::kDiskFault; break;
+    }
+    completion.digest = completion_digest;
+    completion.elapsed_ns = elapsed_ns;
+    invocation.on_complete(completion);
+  }
   if (tracer != nullptr && ops > 0) {
     // Shape operations completed (eviction lookups, ldisk block writes):
     // the denominator the break-even panel divides body time by.

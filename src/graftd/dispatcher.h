@@ -81,6 +81,32 @@ using BlackBoxGraftFactory = std::function<std::unique_ptr<core::BlackBoxGraft>(
 using EvictionGraftFactory =
     std::function<std::unique_ptr<core::PrioritizationGraft>(envs::PreemptToken* preempt)>;
 
+// Terminal outcome of one invocation, delivered through
+// Invocation::on_complete on the executing thread (a worker, or the
+// submitter itself on the inline fast path). Unlike on_stream_result —
+// which only fires when a stream graft actually ran — on_complete fires
+// exactly once for every invocation that was accepted by Submit/
+// SubmitBatch, including supervisor rejections: the hook a network
+// front-end needs to route a reply (or a shed notice) back to the
+// originating connection without leaking sessions.
+enum class CompletionStatus : std::uint8_t {
+  kOk,
+  kFault,      // contained extension fault
+  kPreempt,    // wall-clock budget or fuel exhausted
+  kDiskFault,  // the backing device failed
+  kRejectedQuarantined,
+  kRejectedDetached,
+  kRejectedDegraded,  // shed: the graft's device is failing
+};
+
+struct Completion {
+  CompletionStatus status = CompletionStatus::kOk;
+  // Stream grafts: the digest the graft produced (valid when kOk; zero for
+  // other shapes and for rejections).
+  md5::Digest digest{};
+  std::uint64_t elapsed_ns = 0;  // service time; 0 for rejections
+};
+
 // One unit of work. Stream invocations fingerprint `data` in `chunk`
 // pieces; black-box invocations replay `ldisk_writes` block writes;
 // eviction invocations walk the worker's LRU rig `eviction_lookups` times.
@@ -101,6 +127,9 @@ struct Invocation {
   // Optional completion hook, called on the executing thread (a worker,
   // or the submitter itself on the inline fast path).
   std::function<void(const core::GraftHost::StreamRunResult&)> on_stream_result;
+  // Optional terminal hook: fires exactly once per accepted invocation,
+  // on every RunOne path including supervisor rejections (see Completion).
+  std::function<void(const Completion&)> on_complete;
 
   // Stamped by Submit/TrySubmit when a tracer is attached and enabled:
   // the invocation's trace id and the submit timestamp the worker turns

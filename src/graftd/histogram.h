@@ -71,8 +71,9 @@ class LatencyHistogram {
     return static_cast<double>(max_ns_) / 1e3;
   }
 
-  // "p50<=82us p90<=164us p99<=328us" — upper-bound markers, compact enough
-  // for one table cell.
+  // "p50<=82us p90<=164us p99<=328us p999<=655us" — upper-bound markers,
+  // compact enough for one table cell. The p999 marker is what tail-latency
+  // gates (bench/netfront_loadgen) read.
   std::string Summary() const;
 
   static std::size_t BucketFor(std::uint64_t ns) {

@@ -29,16 +29,27 @@
 // caches the handle thread-locally. Lane slots are a fixed-size array of
 // plain pointers written only under the registration mutex and published
 // to the lock-free sweep by the release-store of lane_count_: the sweep's
-// acquire-load of the count makes every slot below it visible, and a slot,
-// once set, is never reassigned — so the sweep needs no per-slot atomics
-// and a future change must keep the slot write ordered before the count
-// store. If more producer threads than slots ever show up, the overflow
-// threads share the last lane behind a spinlock (correctness keeps,
-// SPSC-ness degrades for them alone). Claims are per thread::id for the
-// LaneSet's lifetime and never reclaimed when a producer thread exits, so
-// under producer-thread churn (a pool recreating threads against one
-// long-lived dispatcher) each distinct thread burns a slot and the
-// kMaxLanes-th onward degrade to the shared lane.
+// acquire-load of the count makes every slot below it visible, and a slot
+// object, once set, is never deallocated — so the sweep needs no per-slot
+// atomics and a future change must keep the slot write ordered before the
+// count store. If more producer threads than slots ever show up, the
+// overflow threads share the last lane behind a spinlock (correctness
+// keeps, SPSC-ness degrades for them alone).
+//
+// Slot recycling: a claim lasts until the producer thread exits, at which
+// point a thread_local destructor hands the slot back to the LaneSet's
+// free list (checking a per-T live-set registry first, so a LaneSet that
+// died before its producers never sees a dangling release). The SpscLane
+// object itself is reused, not destroyed: any items the dead producer left
+// behind stay visible to the sweeping worker, and the next claimant simply
+// continues pushing at the current head. The handoff is safe because the
+// exiting thread's final release-store to head_ happens-before its
+// thread_local destructor, which takes reg_mu_, which the new claimant
+// also takes — so under producer-thread churn (a pool recreating threads
+// against one long-lived dispatcher, or netfront IO threads coming and
+// going) distinct *concurrent* producers, not distinct threads ever, are
+// what bound slot usage; only past kMaxLanes-1 simultaneous producers do
+// claims degrade to the shared lane.
 
 #ifndef GRAFTLAB_SRC_GRAFTD_LANES_H_
 #define GRAFTLAB_SRC_GRAFTD_LANES_H_
@@ -52,6 +63,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -151,7 +163,20 @@ class LaneSet {
 
   LaneSet(std::size_t lane_capacity, std::size_t spin_sweeps)
       : lane_capacity_(std::bit_ceil(lane_capacity == 0 ? std::size_t{1} : lane_capacity)),
-        spin_sweeps_(spin_sweeps) {}
+        spin_sweeps_(spin_sweeps) {
+    std::lock_guard<std::mutex> lock(LiveMutex());
+    LiveSets().insert(this);
+  }
+
+  ~LaneSet() {
+    // Leave the live registry first: producer threads that exit later will
+    // look this LaneSet up before touching it and find nothing.
+    std::lock_guard<std::mutex> lock(LiveMutex());
+    LiveSets().erase(this);
+  }
+
+  LaneSet(const LaneSet&) = delete;
+  LaneSet& operator=(const LaneSet&) = delete;
 
   // --- producer side ---
 
@@ -164,14 +189,13 @@ class LaneSet {
   };
 
   // Claims (or re-finds) the calling thread's lane. Mutex-guarded, called
-  // once per (LaneSet, thread); the dispatcher caches the result. The
-  // first kMaxLanes-1 threads get private lanes; every later thread shares
-  // the last slot, which is shared for all of its users from creation on.
-  // A claim lasts the LaneSet's lifetime: slots of exited threads are not
-  // recycled, so kMaxLanes-1 bounds distinct producer threads *ever*, not
-  // concurrent ones — past it, new producers take the shared-lane spinlock
-  // path. (A reused thread::id re-finds the dead owner's lane, which stays
-  // SPSC-safe because an id is only reused after the old thread is gone.)
+  // once per (LaneSet, thread); the dispatcher caches the result. Each
+  // concurrent producer gets a private lane, preferring slots handed back
+  // by exited threads (see header: slot recycling); only past kMaxLanes-1
+  // simultaneous producers does a thread share the last slot, which is
+  // shared for all of its users from creation on. The claim is released
+  // automatically when the thread exits, so long-lived LaneSets survive
+  // unbounded producer-thread churn without burning slots.
   LaneHandle ProducerLane() {
     std::lock_guard<std::mutex> lock(reg_mu_);
     const std::thread::id me = std::this_thread::get_id();
@@ -179,16 +203,29 @@ class LaneSet {
     if (it != owners_.end()) {
       return LaneHandle{lanes_[it->second].get(), it->second == kMaxLanes - 1};
     }
-    std::size_t index = lane_count_.load(std::memory_order_relaxed);
-    if (index >= kMaxLanes - 1) {
-      index = kMaxLanes - 1;
-    }
-    if (!lanes_[index]) {
-      lanes_[index] = std::make_unique<SpscLane<T>>(lane_capacity_);
-      lane_count_.store(index + 1, std::memory_order_release);
+    std::size_t index;
+    if (!free_slots_.empty()) {
+      index = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      index = lane_count_.load(std::memory_order_relaxed);
+      if (index >= kMaxLanes - 1) {
+        index = kMaxLanes - 1;
+      }
+      if (!lanes_[index]) {
+        lanes_[index] = std::make_unique<SpscLane<T>>(lane_capacity_);
+        lane_count_.store(index + 1, std::memory_order_release);
+      }
     }
     owners_.emplace(me, index);
+    ThreadClaims::Current().Record(this);
     return LaneHandle{lanes_[index].get(), index == kMaxLanes - 1};
+  }
+
+  // Telemetry/testing: producer threads currently holding a lane claim.
+  std::size_t producer_count() const {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    return owners_.size();
   }
 
   // Pushes one item into the caller's claimed lane, waking the worker if
@@ -303,6 +340,63 @@ class LaneSet {
   std::size_t lane_capacity() const { return lane_capacity_; }
 
  private:
+  // --- producer slot recycling ---
+  //
+  // Every LaneSet lives in a per-T registry; every producer thread keeps a
+  // thread_local list of the LaneSets it claimed a slot in. On thread exit
+  // the list's destructor walks the claims and, for each LaneSet still in
+  // the registry, hands the slot back to its free list. Both structures
+  // are touched only at registration and thread exit — never on the push
+  // path. The single LiveMutex orders thread exits against LaneSet
+  // destruction, so a release can never race the set dying.
+
+  static std::mutex& LiveMutex() {
+    static std::mutex mu;
+    return mu;
+  }
+
+  static std::set<LaneSet*>& LiveSets() {
+    static std::set<LaneSet*> sets;
+    return sets;
+  }
+
+  struct ThreadClaims {
+    std::vector<LaneSet*> sets;
+
+    static ThreadClaims& Current() {
+      thread_local ThreadClaims claims;
+      return claims;
+    }
+
+    // Called under the claiming LaneSet's reg_mu_, once per (set, thread).
+    void Record(LaneSet* set) { sets.push_back(set); }
+
+    ~ThreadClaims() {
+      std::lock_guard<std::mutex> lock(LiveMutex());
+      for (LaneSet* set : sets) {
+        if (LiveSets().count(set) != 0) {
+          set->ReleaseProducer(std::this_thread::get_id());
+        }
+      }
+    }
+  };
+
+  // Returns `id`'s slot to the free list (the shared overflow slot is
+  // positional and never recycled). Any items the owner left in the lane
+  // stay there for the worker to drain; the next claimant resumes pushing
+  // at the current head — see the header comment for why that is safe.
+  void ReleaseProducer(std::thread::id id) {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    auto it = owners_.find(id);
+    if (it == owners_.end()) {
+      return;
+    }
+    if (it->second != kMaxLanes - 1) {
+      free_slots_.push_back(it->second);
+    }
+    owners_.erase(it);
+  }
+
   // Holds the close-race bracket (and, for overflow producers, the shared
   // lane's spinlock) across one push run.
   class PushGuard {
@@ -405,8 +499,9 @@ class LaneSet {
   const std::size_t lane_capacity_;
   const std::size_t spin_sweeps_;
 
-  std::mutex reg_mu_;
+  mutable std::mutex reg_mu_;
   std::map<std::thread::id, std::size_t> owners_;
+  std::vector<std::size_t> free_slots_;  // slots of exited producers
   std::array<std::unique_ptr<SpscLane<T>>, kMaxLanes> lanes_{};
   std::atomic<std::size_t> lane_count_{0};
 

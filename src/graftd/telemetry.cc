@@ -58,8 +58,13 @@ std::string BatchHistogram::Summary() const {
     if (!out.empty()) {
       out += " ";
     }
-    out += lo == hi ? std::to_string(lo) : std::to_string(lo) + "-" + std::to_string(hi);
-    out += ":" + std::to_string(counts[i]);
+    out += std::to_string(lo);
+    if (lo != hi) {
+      out += "-";
+      out += std::to_string(hi);
+    }
+    out += ":";
+    out += std::to_string(counts[i]);
   }
   return out;
 }
@@ -69,8 +74,8 @@ std::string LatencyHistogram::Summary() const {
     return "-";
   }
   return "p50<=" + FormatUs(PercentileUs(50)) + " p90<=" + FormatUs(PercentileUs(90)) +
-         " p99<=" + FormatUs(PercentileUs(99)) + " max=" +
-         FormatUs(static_cast<double>(max_ns_) / 1e3);
+         " p99<=" + FormatUs(PercentileUs(99)) + " p999<=" + FormatUs(PercentileUs(99.9)) +
+         " max=" + FormatUs(static_cast<double>(max_ns_) / 1e3);
 }
 
 std::string TelemetrySnapshot::ToText() const {
@@ -106,7 +111,8 @@ std::string TelemetrySnapshot::ToText() const {
       }
       ops.AddRow({name, std::to_string(count)});
     }
-    text += "\n" + ops.ToString();
+    text += "\n";
+    text += ops.ToString();
   }
   if (!dispatch.workers.empty()) {
     stats::Table lanes({"dispatch (" + dispatch.lane_mode + ")", "batches", "deq", "mean",
@@ -121,16 +127,54 @@ std::string TelemetrySnapshot::ToText() const {
                     std::to_string(row.notifies_skipped), std::to_string(row.producer_waits),
                     std::to_string(row.lanes)});
     }
-    text += "\n" + lanes.ToString();
+    text += "\n";
+    text += lanes.ToString();
     text += "inline fast path: " + std::to_string(dispatch.inline_hits) + " hits, " +
             std::to_string(dispatch.inline_misses) + " misses (claim lost -> queued)\n";
+  }
+  if (netfront.present) {
+    stats::Table tenants_table({"netfront tenant", "weight", "accepted", "ok", "err", "shed-deg",
+                                "shed-over", "quota-rej"});
+    for (const NetfrontSection::TenantRow& row : netfront.tenants) {
+      tenants_table.AddRow({row.name, std::to_string(row.weight), std::to_string(row.accepted),
+                            std::to_string(row.completed_ok), std::to_string(row.completed_error),
+                            std::to_string(row.shed_degraded), std::to_string(row.shed_overload),
+                            std::to_string(row.quota_rejected)});
+    }
+    text += "\n";
+    text += tenants_table.ToString();
+    stats::Table io_table({"netfront io", "frames", "batches", "mean", "batch sizes", "wakeups"});
+    for (const NetfrontSection::IoThreadRow& row : netfront.io_threads) {
+      char mean[32];
+      std::snprintf(mean, sizeof(mean), "%.1f", row.submit_sizes.mean());
+      io_table.AddRow({"io" + std::to_string(row.thread), std::to_string(row.decoded_frames),
+                       std::to_string(row.submit_batches),
+                       row.submit_batches == 0 ? "-" : mean, row.submit_sizes.Summary(),
+                       std::to_string(row.wakeups)});
+    }
+    text += "\n";
+    text += io_table.ToString();
+    char totals[256];
+    std::snprintf(totals, sizeof(totals),
+                  "netfront: %llu active conns (%llu opened, %llu closed), %llu frame errors, "
+                  "%llu read pauses, %llu slow-reader closes, %lluB in / %lluB out\n",
+                  static_cast<unsigned long long>(netfront.connections_active),
+                  static_cast<unsigned long long>(netfront.connections_opened),
+                  static_cast<unsigned long long>(netfront.connections_closed),
+                  static_cast<unsigned long long>(netfront.frame_errors),
+                  static_cast<unsigned long long>(netfront.read_pauses),
+                  static_cast<unsigned long long>(netfront.slow_reader_closes),
+                  static_cast<unsigned long long>(netfront.bytes_in),
+                  static_cast<unsigned long long>(netfront.bytes_out));
+    text += totals;
   }
   if (!injections.empty()) {
     stats::Table sites({"injection site", "hits", "injected"});
     for (const auto& site : injections) {
       sites.AddRow({site.site, std::to_string(site.hits), std::to_string(site.injected)});
     }
-    text += "\n" + sites.ToString();
+    text += "\n";
+    text += sites.ToString();
   }
   if (traced) {
     stats::Table trace({"trace stage (mean x count)", "queue", "dispatch", "crossing", "body",
@@ -140,14 +184,16 @@ std::string TelemetrySnapshot::ToText() const {
                     StageCellText(row.crossing), StageCellText(row.body), StageCellText(row.disk),
                     row.ops == 0 ? "-" : std::to_string(row.ops)});
     }
-    text += "\n" + trace.ToString();
+    text += "\n";
+    text += trace.ToString();
     if (!break_even.empty()) {
       stats::Table panel({"break-even (live)", "metric", "per-op", "reference", "value"});
       for (const BreakEvenRow& row : break_even) {
         panel.AddRow({row.graft, row.metric, FormatUs(row.per_op_us), FormatUs(row.reference_us),
                       FormatValue(row.value)});
       }
-      text += "\n" + panel.ToString();
+      text += "\n";
+    text += panel.ToString();
     }
     text += "\ntrace: " + std::to_string(trace_events) + " events, " +
             std::to_string(trace_dropped) + " dropped\n";
@@ -183,6 +229,7 @@ std::string TelemetrySnapshot::ToJson() const {
         << ",\"p50_us\":" << c.latency.PercentileUs(50)
         << ",\"p90_us\":" << c.latency.PercentileUs(90)
         << ",\"p99_us\":" << c.latency.PercentileUs(99)
+        << ",\"p999_us\":" << c.latency.PercentileUs(99.9)
         << ",\"max_us\":" << static_cast<double>(c.latency.max_ns()) / 1e3 << "}";
     if (!c.vm_opcodes.empty()) {
       out << ",\"vm_opcodes\":{";
@@ -232,6 +279,56 @@ std::string TelemetrySnapshot::ToJson() const {
           << ",\"notifies_sent\":" << row.notifies_sent
           << ",\"notifies_skipped\":" << row.notifies_skipped
           << ",\"producer_waits\":" << row.producer_waits << ",\"lanes\":" << row.lanes << "}";
+    }
+    out << "]}";
+  }
+  if (netfront.present) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"__netfront__\":{\"connections\":{\"opened\":" << netfront.connections_opened
+        << ",\"closed\":" << netfront.connections_closed
+        << ",\"active\":" << netfront.connections_active << "}"
+        << ",\"frame_errors\":" << netfront.frame_errors << ",\"bytes_in\":" << netfront.bytes_in
+        << ",\"bytes_out\":" << netfront.bytes_out << ",\"read_pauses\":" << netfront.read_pauses
+        << ",\"slow_reader_closes\":" << netfront.slow_reader_closes << ",\"tenants\":{";
+    bool first_tenant = true;
+    for (const NetfrontSection::TenantRow& row : netfront.tenants) {
+      if (!first_tenant) {
+        out << ",";
+      }
+      first_tenant = false;
+      AppendJsonString(out, row.name);
+      out << ":{\"weight\":" << row.weight << ",\"accepted\":" << row.accepted
+          << ",\"completed_ok\":" << row.completed_ok
+          << ",\"completed_error\":" << row.completed_error
+          << ",\"shed_degraded\":" << row.shed_degraded
+          << ",\"shed_overload\":" << row.shed_overload
+          << ",\"quota_rejected\":" << row.quota_rejected << "}";
+    }
+    out << "},\"io_threads\":[";
+    bool first_io = true;
+    for (const NetfrontSection::IoThreadRow& row : netfront.io_threads) {
+      if (!first_io) {
+        out << ",";
+      }
+      first_io = false;
+      out << "{\"thread\":" << row.thread << ",\"decoded_frames\":" << row.decoded_frames
+          << ",\"submit_batches\":" << row.submit_batches
+          << ",\"batch_mean\":" << row.submit_sizes.mean() << ",\"batch_hist\":[";
+      bool first_bucket = true;
+      for (std::size_t i = 0; i < BatchHistogram::kBuckets; ++i) {
+        if (row.submit_sizes.counts[i] == 0) {
+          continue;
+        }
+        if (!first_bucket) {
+          out << ",";
+        }
+        first_bucket = false;
+        out << "{\"ge\":" << (1ull << i) << ",\"count\":" << row.submit_sizes.counts[i] << "}";
+      }
+      out << "],\"wakeups\":" << row.wakeups << "}";
     }
     out << "]}";
   }

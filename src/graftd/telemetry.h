@@ -124,6 +124,48 @@ struct GraftCounters {
   }
 };
 
+// The network front-end's contribution to a telemetry snapshot: plain
+// data filled by netfront::Server::FillTelemetry (graftd deliberately does
+// not depend on netfront — the section struct lives here so the snapshot
+// renders it alongside everything else as "__netfront__").
+struct NetfrontSection {
+  bool present = false;
+
+  // Per-tenant admission accounting. `accepted` counts requests handed to
+  // the dispatcher; the shed/rejected counters were answered at the socket
+  // and never reached a queue.
+  struct TenantRow {
+    std::string name;
+    std::uint64_t weight = 1;        // DRR share under contention
+    std::uint64_t accepted = 0;      // submitted into dispatch lanes
+    std::uint64_t completed_ok = 0;  // replies carrying a result
+    std::uint64_t completed_error = 0;  // replies carrying a dispatch error
+    std::uint64_t shed_degraded = 0;    // kRejectDegraded state, shed at read
+    std::uint64_t shed_overload = 0;    // staging backlog full
+    std::uint64_t quota_rejected = 0;   // token bucket empty
+  };
+
+  // Per-IO-thread mechanics: how frames moved from sockets into the lanes.
+  struct IoThreadRow {
+    std::size_t thread = 0;
+    std::uint64_t decoded_frames = 0;
+    std::uint64_t submit_batches = 0;       // TrySubmitBatch episodes
+    BatchHistogram submit_sizes;            // accepted-per-batch histogram
+    std::uint64_t wakeups = 0;              // eventfd wakes received
+  };
+
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frame_errors = 0;        // hostile/desynced streams (fatal per conn)
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t read_pauses = 0;         // backpressure: EPOLLIN dropped
+  std::uint64_t slow_reader_closes = 0;  // write buffer hit the hard cap
+  std::vector<TenantRow> tenants;
+  std::vector<IoThreadRow> io_threads;
+};
+
 // Point-in-time, cross-worker view of every supervised graft.
 struct TelemetrySnapshot {
   struct Row {
@@ -205,6 +247,10 @@ struct TelemetrySnapshot {
   };
   DispatchStats dispatch;
 
+  // Network front-end section, filled by netfront::Server::FillTelemetry
+  // when a server fronts this dispatcher.
+  NetfrontSection netfront;
+
   // Column-aligned table (src/stats/table.h) with one row per graft:
   // state, invocation outcomes, quarantine history, latency summary —
   // followed by the injection-site table when an injector is attached, and
@@ -212,8 +258,9 @@ struct TelemetrySnapshot {
   std::string ToText() const;
 
   // The same data as a JSON object: grafts keyed by name, plus reserved
-  // "__faultlab__" (injection counters) and "__tracelab__" (stage timings
-  // and break-even panel) keys when the respective subsystem is attached.
+  // "__faultlab__" (injection counters), "__tracelab__" (stage timings and
+  // break-even panel), and "__netfront__" (front-end admission/connection
+  // accounting) keys when the respective subsystem is attached.
   std::string ToJson() const;
 };
 

@@ -1,0 +1,86 @@
+// Per-tenant admission controls: a DRR weight (how the staged backlog is
+// drained under contention) and a token-bucket rate limit (how fast a
+// tenant may submit at all).
+//
+// The bucket is shared by every IO thread serving the tenant, so it is
+// atomic and deliberately approximate: refill races can momentarily
+// under- or over-credit by one refill interval, which is noise against
+// the rates it polices. No locks on the per-request path.
+
+#ifndef GRAFTLAB_SRC_NETFRONT_TENANT_H_
+#define GRAFTLAB_SRC_NETFRONT_TENANT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace netfront {
+
+struct TenantConfig {
+  std::string name = "default";
+  // Deficit-weighted-round-robin share: under saturation a tenant with
+  // weight 10 completes ~10x the requests of a tenant with weight 1.
+  std::uint64_t weight = 1;
+  // Token-bucket rate in requests/second; 0 disables the quota.
+  double rate_per_sec = 0.0;
+  // Bucket capacity (burst); 0 defaults to one second of rate.
+  double burst = 0.0;
+};
+
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_per_sec_(rate_per_sec),
+        burst_milli_(static_cast<std::int64_t>(
+            (burst > 0 ? burst : rate_per_sec) * 1000.0)),
+        tokens_milli_(burst_milli_) {}
+
+  // Takes one token; false means the quota is exhausted. `now_ns` comes
+  // from the caller so tests can drive time.
+  bool TryTake(std::uint64_t now_ns) {
+    if (rate_per_sec_ <= 0.0) {
+      return true;
+    }
+    Refill(now_ns);
+    std::int64_t prev = tokens_milli_.fetch_sub(1000, std::memory_order_relaxed);
+    if (prev < 1000) {
+      tokens_milli_.fetch_add(1000, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void Refill(std::uint64_t now_ns) {
+    std::uint64_t last = last_refill_ns_.load(std::memory_order_relaxed);
+    if (now_ns <= last) {
+      return;
+    }
+    // One thread wins the CAS and credits the elapsed interval; losers
+    // just take from whatever is there.
+    if (!last_refill_ns_.compare_exchange_strong(last, now_ns, std::memory_order_relaxed)) {
+      return;
+    }
+    const double elapsed_s = static_cast<double>(now_ns - (last == 0 ? now_ns : last)) / 1e9;
+    const std::int64_t add_milli = static_cast<std::int64_t>(elapsed_s * rate_per_sec_ * 1000.0);
+    if (add_milli <= 0) {
+      return;
+    }
+    const std::int64_t after = tokens_milli_.fetch_add(add_milli, std::memory_order_relaxed) +
+                               add_milli;
+    if (after > burst_milli_) {
+      // Clamp overshoot. Racy against concurrent takers, but the error is
+      // bounded by one refill and only ever in the tenant's favor.
+      tokens_milli_.store(burst_milli_, std::memory_order_relaxed);
+    }
+  }
+
+  const double rate_per_sec_;
+  const std::int64_t burst_milli_;
+  std::atomic<std::int64_t> tokens_milli_;
+  std::atomic<std::uint64_t> last_refill_ns_{0};
+};
+
+}  // namespace netfront
+
+#endif  // GRAFTLAB_SRC_NETFRONT_TENANT_H_

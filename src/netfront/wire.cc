@@ -1,0 +1,159 @@
+#include "src/netfront/wire.h"
+
+#include <cstring>
+
+namespace netfront {
+
+namespace {
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+void AppendHeader(std::vector<std::uint8_t>& out, const FrameHeader& header) {
+  out.reserve(out.size() + kHeaderSize + header.payload_len);
+  PutU32(out, header.magic);
+  out.push_back(header.version);
+  out.push_back(static_cast<std::uint8_t>(header.type));
+  PutU16(out, header.tenant);
+  PutU32(out, header.graft);
+  PutU32(out, header.payload_len);
+  PutU64(out, header.request_id);
+}
+
+void AppendRequest(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
+                   std::uint64_t request_id, const std::uint8_t* payload, std::size_t len) {
+  FrameHeader header;
+  header.type = FrameType::kRequest;
+  header.tenant = tenant;
+  header.graft = graft;
+  header.payload_len = static_cast<std::uint32_t>(len);
+  header.request_id = request_id;
+  AppendHeader(out, header);
+  out.insert(out.end(), payload, payload + len);
+}
+
+void AppendResponse(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
+                    std::uint64_t request_id, const std::uint8_t* digest8) {
+  FrameHeader header;
+  header.type = FrameType::kResponse;
+  header.tenant = tenant;
+  header.graft = graft;
+  header.payload_len = 8;
+  header.request_id = request_id;
+  AppendHeader(out, header);
+  out.insert(out.end(), digest8, digest8 + 8);
+}
+
+void AppendError(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
+                 std::uint64_t request_id, ErrorCode code) {
+  FrameHeader header;
+  header.type = FrameType::kError;
+  header.tenant = tenant;
+  header.graft = graft;
+  header.payload_len = 2;
+  header.request_id = request_id;
+  AppendHeader(out, header);
+  PutU16(out, static_cast<std::uint16_t>(code));
+}
+
+void FrameDecoder::Feed(const std::uint8_t* data, std::size_t len) {
+  if (fatal_ || len == 0) {
+    return;
+  }
+  // Compact before growing: consumed bytes at the front are dead weight,
+  // and compacting only when they dominate keeps Feed amortized O(len).
+  if (pos_ > 0 && pos_ >= buf_.size() - pos_) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame& out) {
+  if (fatal_) {
+    return Result::kError;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kHeaderSize) {
+    return Result::kNeedMore;
+  }
+  const std::uint8_t* p = buf_.data() + pos_;
+  FrameHeader header;
+  header.magic = GetU32(p);
+  header.version = p[4];
+  header.type = static_cast<FrameType>(p[5]);
+  header.tenant = GetU16(p + 6);
+  header.graft = GetU32(p + 8);
+  header.payload_len = GetU32(p + 12);
+  header.request_id = GetU64(p + 16);
+  if (header.magic != kMagic) {
+    fatal_ = true;
+    error_ = "bad magic";
+    return Result::kError;
+  }
+  if (header.version != kVersion) {
+    fatal_ = true;
+    error_ = "unsupported version";
+    return Result::kError;
+  }
+  if (header.type != FrameType::kRequest && header.type != FrameType::kResponse &&
+      header.type != FrameType::kError) {
+    fatal_ = true;
+    error_ = "unknown frame type";
+    return Result::kError;
+  }
+  if (header.payload_len > kMaxPayload) {
+    fatal_ = true;
+    error_ = "oversized payload";
+    return Result::kError;
+  }
+  if (avail < kHeaderSize + header.payload_len) {
+    return Result::kNeedMore;
+  }
+  out.header = header;
+  out.payload.assign(p + kHeaderSize, p + kHeaderSize + header.payload_len);
+  pos_ += kHeaderSize + header.payload_len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return Result::kFrame;
+}
+
+}  // namespace netfront

@@ -1,0 +1,119 @@
+// NFT1: the length-prefixed binary wire protocol the netfront server
+// speaks.
+//
+// Every frame is a fixed 24-byte little-endian header followed by
+// `payload_len` payload bytes:
+//
+//   offset  size  field
+//   0       4     magic        0x4E465431 ("NFT1" read as a LE u32)
+//   4       1     version      1
+//   5       1     type         FrameType
+//   6       2     tenant       tenant id (server-side index)
+//   8       4     graft        wire graft id (server-side index)
+//   12      4     payload_len  <= kMaxPayload
+//   16      8     request_id   echoed verbatim in the reply
+//
+// Requests carry the bytes the graft fingerprints. Responses carry the
+// first 8 bytes of the graft's digest (enough for the client to verify
+// against a locally computed digest). Error frames carry a 2-byte
+// ErrorCode.
+//
+// The decoder is incremental: Feed() it whatever recv() produced — torn
+// headers, half payloads, many frames at once — and pull complete frames
+// with Next(). A hostile frame (bad magic, wrong version, oversized
+// payload) poisons the decoder permanently: once a length-prefixed stream
+// desyncs there is no way to find the next frame boundary, so the only
+// safe response is to drop the connection. The decoder never throws and
+// holds at most one header + one payload of buffered bytes beyond what
+// the caller fed it.
+
+#ifndef GRAFTLAB_SRC_NETFRONT_WIRE_H_
+#define GRAFTLAB_SRC_NETFRONT_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netfront {
+
+inline constexpr std::uint32_t kMagic = 0x4E465431u;  // "NFT1"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+// Carried in the 2-byte payload of an error frame. The shed codes mirror
+// the admission layers: quota (token bucket), degraded (supervisor state),
+// overload (staging backlog full).
+enum class ErrorCode : std::uint16_t {
+  kNone = 0,
+  kQuotaExceeded = 1,
+  kShedDegraded = 2,
+  kShedOverload = 3,
+  kUnknownTenant = 4,
+  kUnknownGraft = 5,
+  kRejected = 6,  // supervisor rejected (quarantined/detached)
+  kFault = 7,     // the graft ran and faulted (or was preempted)
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t version = kVersion;
+  FrameType type = FrameType::kRequest;
+  std::uint16_t tenant = 0;
+  std::uint32_t graft = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t request_id = 0;
+};
+
+// Serializers append to `out` (the connection write buffer) so one flush
+// can carry many frames.
+void AppendHeader(std::vector<std::uint8_t>& out, const FrameHeader& header);
+void AppendRequest(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
+                   std::uint64_t request_id, const std::uint8_t* payload, std::size_t len);
+// Response payload: the first 8 bytes of the digest.
+void AppendResponse(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
+                    std::uint64_t request_id, const std::uint8_t* digest8);
+void AppendError(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
+                 std::uint64_t request_id, ErrorCode code);
+
+class FrameDecoder {
+ public:
+  struct Frame {
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+  };
+
+  enum class Result : std::uint8_t {
+    kNeedMore,  // no complete frame buffered
+    kFrame,     // `out` holds the next frame
+    kError,     // stream is poisoned; see error()
+  };
+
+  // Buffers `len` bytes. Safe to call after an error (bytes are dropped).
+  void Feed(const std::uint8_t* data, std::size_t len);
+
+  // Pulls the next complete frame. kError is sticky: every subsequent
+  // call returns kError and the connection should be closed.
+  Result Next(Frame& out);
+
+  bool failed() const { return fatal_; }
+  const std::string& error() const { return error_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool fatal_ = false;
+  std::string error_;
+};
+
+}  // namespace netfront
+
+#endif  // GRAFTLAB_SRC_NETFRONT_WIRE_H_

@@ -151,13 +151,58 @@ TEST(LatencyHistogram, PercentilesAreMonotonicAndBoundedByMax) {
   const double p50 = histogram.PercentileUs(50);
   const double p90 = histogram.PercentileUs(90);
   const double p99 = histogram.PercentileUs(99);
+  const double p999 = histogram.PercentileUs(99.9);
   EXPECT_LE(p50, p90);
   EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
   // Upper-bound estimates: within 2x of the true value by bucket design,
   // and never more than one bucket above the recorded maximum.
   EXPECT_LE(p99, static_cast<double>(LatencyHistogram::BucketUpperNs(
                      LatencyHistogram::BucketFor(histogram.max_ns()))) /
                      1e3);
+}
+
+TEST(LatencyHistogram, P999OnEmptyAndSingleSampleHistograms) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.PercentileUs(99.9), 0.0);  // no samples: every rank is 0
+
+  LatencyHistogram one;
+  one.Record(5000);
+  // With a single sample every percentile lands in its bucket.
+  EXPECT_EQ(one.PercentileUs(50), one.PercentileUs(99.9));
+  EXPECT_GE(one.PercentileUs(99.9), 5.0);  // >= the recorded 5us
+}
+
+TEST(LatencyHistogram, P999SeparatesFromP99OnHeavyTail) {
+  // 1000 fast samples and 5 catastrophic stragglers: the stragglers are
+  // 0.5% of the population, invisible at p99 but dominant at p999. This
+  // is the exact shape the netfront loadgen gate exists to catch.
+  LatencyHistogram histogram;
+  for (int i = 0; i < 1000; ++i) {
+    histogram.Record(1'000);  // 1us
+  }
+  for (int i = 0; i < 5; ++i) {
+    histogram.Record(1'000'000'000);  // 1s
+  }
+  const double p99 = histogram.PercentileUs(99);
+  const double p999 = histogram.PercentileUs(99.9);
+  EXPECT_LT(p99, 100.0);          // the fast bucket's upper bound
+  EXPECT_GE(p999, 1'000'000.0);   // the straggler bucket
+}
+
+TEST(LatencyHistogram, SummaryAndJsonCarryP999) {
+  LatencyHistogram histogram;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    histogram.Record(i * 1000);
+  }
+  EXPECT_NE(histogram.Summary().find("p999<="), std::string::npos);
+
+  TelemetrySnapshot snapshot;
+  TelemetrySnapshot::Row row;
+  row.name = "g";
+  row.counters.latency = histogram;
+  snapshot.grafts.push_back(row);
+  EXPECT_NE(snapshot.ToJson().find("\"p999_us\":"), std::string::npos);
 }
 
 }  // namespace
