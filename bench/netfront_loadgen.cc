@@ -17,6 +17,19 @@
 //
 // Exit codes (the CI gate): 0 ok; 1 p99 above --p99-gate-ms; 2 digest
 // mismatch; 3 completion shortfall (replies lost or drained too slowly).
+//
+// --chaos=<seed> switches to the seeded chaos soak instead: the server
+// runs with a faultlab plan derived purely from the seed (connection
+// resets, read/write stalls, torn frames and torn reads, lost eventfd
+// wakeups, whole-IO-thread crashes), and the traffic comes from
+// self-healing netfront::Client instances (retry + reconnect + idempotent
+// resubmission against the server's dedup window). The soak asserts the
+// chaos invariants — every session exactly one terminal outcome, no
+// duplicated side effects (accepted <= sessions under dedup), every
+// verified digest correct, accepted == completed after drain, and the
+// server neither hangs nor crashes — and writes BENCH_chaos.json
+// (schema in EXPERIMENTS.md). Same seed, same fault plan, every run.
+// Chaos exit codes: 0 ok; 2 digest mismatch; 4 invariant violation.
 
 #include <errno.h>
 #include <fcntl.h>
@@ -33,15 +46,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/technology.h"
+#include "src/faultlab/fault.h"
+#include "src/faultlab/injector.h"
 #include "src/graftd/dispatcher.h"
 #include "src/graftd/histogram.h"
 #include "src/graftd/telemetry.h"
 #include "src/grafts/factory.h"
 #include "src/md5/md5.h"
+#include "src/netfront/client.h"
 #include "src/netfront/server.h"
 #include "src/netfront/wire.h"
 
@@ -55,6 +72,10 @@ struct Flags {
   double p99_gate_ms = 250.0;  // 0 disables the latency gate
   std::size_t io_threads = 2;
   std::size_t workers = 2;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
+  std::uint64_t chaos_clients = 8;  // concurrent self-healing clients
+  bool sessions_set = false;
 
   static Flags Parse(int argc, char** argv) {
     Flags flags;
@@ -64,8 +85,14 @@ struct Flags {
         flags.sessions = 1u << 20;
         flags.rate = 60'000;
         flags.seconds = 20.0;
+      } else if (std::strncmp(arg, "--chaos=", 8) == 0) {
+        flags.chaos = true;
+        flags.chaos_seed = std::strtoull(arg + 8, nullptr, 10);
+      } else if (std::strncmp(arg, "--chaos-clients=", 16) == 0) {
+        flags.chaos_clients = std::strtoull(arg + 16, nullptr, 10);
       } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
         flags.sessions = std::strtoull(arg + 11, nullptr, 10);
+        flags.sessions_set = true;
       } else if (std::strncmp(arg, "--conns=", 8) == 0) {
         flags.conns = std::strtoull(arg + 8, nullptr, 10);
       } else if (std::strncmp(arg, "--rate=", 7) == 0) {
@@ -134,6 +161,9 @@ bool FlushConn(ClientConn& conn) {
     const ssize_t wrote = send(conn.fd, conn.out.data() + conn.out_pos,
                                conn.out.size() - conn.out_pos, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;  // interrupted by a signal, not an error
+      }
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         break;  // kernel buffer full: the open loop keeps queueing locally
       }
@@ -152,10 +182,320 @@ bool FlushConn(ClientConn& conn) {
   return true;
 }
 
+// splitmix64: the chaos plan must be a pure function of the seed, so all
+// randomness in its derivation comes from this stream and nothing else.
+std::uint64_t Mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Derives the seeded fault schedule. Same seed, same specs, same order —
+// and every_nth triggers count per-site hits, so the injection *sequence*
+// at each site is the same too. Every site the server exposes gets at
+// least one spec; the trigger cadences and budgets vary with the seed.
+faultlab::FaultPlan ChaosPlan(std::uint64_t seed) {
+  std::uint64_t s = seed ^ 0xC4A05306C0C0DE5Eull;
+  faultlab::FaultPlan plan;
+  plan.seed = seed;
+  auto add = [&plan](const char* site, faultlab::FaultKind kind, std::uint64_t every_nth,
+                     std::uint64_t budget, double param) {
+    faultlab::FaultSpec spec;
+    spec.site = site;
+    spec.kind = kind;
+    spec.every_nth = every_nth;
+    spec.budget = budget;
+    spec.param = param;
+    plan.Add(std::move(spec));
+  };
+  // Connection resets on the read path: the dominant chaos (clients see
+  // mid-stream closes and must reconnect + resubmit).
+  add("netfront/read", faultlab::FaultKind::kTransientError, 13 + Mix64(s) % 24,
+      60 + Mix64(s) % 60, 0.0);
+  // Read stalls: the owning IO thread blocks for param microseconds.
+  add("netfront/read", faultlab::FaultKind::kLatencySpike, 17 + Mix64(s) % 30,
+      20 + Mix64(s) % 20, static_cast<double>(500 + Mix64(s) % 2500));
+  // Torn reads: deliver one byte, exercising resume-from-any-boundary.
+  add("netfront/read", faultlab::FaultKind::kTornWrite, 5 + Mix64(s) % 8, 200 + Mix64(s) % 200,
+      0.0);
+  // Torn frame decode: the decoder sees every byte boundary of a chunk.
+  add("netfront/frame", faultlab::FaultKind::kTornWrite, 7 + Mix64(s) % 10,
+      100 + Mix64(s) % 100, 0.0);
+  // Write-side resets: replies vanish after the body ran — the retry must
+  // be deduped, not re-executed.
+  add("netfront/write", faultlab::FaultKind::kTransientError, 19 + Mix64(s) % 30,
+      40 + Mix64(s) % 40, 0.0);
+  // Short writes: only a fraction of the reply backlog leaves per flush.
+  add("netfront/write", faultlab::FaultKind::kTornWrite, 6 + Mix64(s) % 8, 150 + Mix64(s) % 150,
+      0.25 + static_cast<double>(Mix64(s) % 50) / 100.0);
+  // Lost eventfd wakeups: completions must still drain via the loop-bottom
+  // sweep bounded by the epoll timeout.
+  add("netfront/eventfd", faultlab::FaultKind::kTransientError, 3 + Mix64(s) % 5,
+      100 + Mix64(s) % 100, 0.0);
+  // IO-thread crashes: survivors adopt the dead thread's connections.
+  add("netfront/io_thread", faultlab::FaultKind::kCrash, 400 + Mix64(s) % 400, 2, 0.0);
+  return plan;
+}
+
+// The seeded chaos soak (--chaos=<seed>). Returns the process exit code.
+int RunChaos(const Flags& flags) {
+  const std::uint64_t sessions = flags.sessions_set ? flags.sessions : 4000;
+  const std::uint64_t n_clients = std::clamp<std::uint64_t>(flags.chaos_clients, 1, 64);
+
+  bench::PrintHeader("netfront chaos soak",
+                     "seeded fault injection + self-healing clients (DESIGN.md par. 13)");
+
+  const faultlab::FaultPlan plan = ChaosPlan(flags.chaos_seed);
+  faultlab::Injector injector(plan);
+  std::printf("seed=%llu sessions=%llu clients=%llu — fault plan:\n",
+              static_cast<unsigned long long>(flags.chaos_seed),
+              static_cast<unsigned long long>(sessions),
+              static_cast<unsigned long long>(n_clients));
+  for (const faultlab::FaultSpec& spec : plan.specs) {
+    std::printf("  %-18s %-9s every_nth=%-4llu budget=%-4llu param=%.2f\n", spec.site.c_str(),
+                faultlab::FaultKindName(spec.kind),
+                static_cast<unsigned long long>(spec.every_nth),
+                static_cast<unsigned long long>(spec.budget), spec.param);
+  }
+  std::printf("\n");
+
+  graftd::DispatcherOptions dopts;
+  dopts.workers = flags.workers;
+  graftd::Dispatcher dispatcher(dopts);
+  const graftd::GraftId md5_id =
+      dispatcher.RegisterStreamGraft("md5", [](envs::PreemptToken* preempt) {
+        return grafts::CreateMd5Graft(core::Technology::kC, preempt);
+      });
+
+  netfront::ServerOptions sopts;
+  // At least 4 IO threads so the plan's 2 crash budgets always leave
+  // survivors to adopt the dead threads' connections.
+  sopts.io_threads = std::max<std::size_t>(flags.io_threads, 4);
+  sopts.staging_high = 4096;
+  sopts.injector = &injector;
+  // The dedup window is what turns client retries into exactly-once-visible
+  // work; size it past the session count so nothing hot is ever evicted.
+  sopts.dedup_window = 8192;
+  netfront::Server server(dispatcher, sopts);
+  const std::uint32_t wire_md5 = server.ExposeGraft(md5_id);
+  if (!server.ListenTcp(0)) {
+    std::fprintf(stderr, "loadgen: ListenTcp failed\n");
+    return 70;
+  }
+  server.Start();
+
+  const auto variants = MakeVariants();
+  struct ClientOutcome {
+    std::uint64_t ok = 0;
+    std::uint64_t terminal_err = 0;
+    std::uint64_t gave_up = 0;   // timed out / no server answer
+    std::uint64_t mismatches = 0;
+    std::uint64_t no_outcome = 0;  // Result violating exactly-one (bug)
+    std::uint64_t checksum = 0;
+    netfront::Client::Stats stats;
+    graftd::LatencyHistogram latency;
+  };
+  std::vector<ClientOutcome> outcomes(n_clients);
+
+  const std::uint64_t start = NowNs();
+  std::vector<std::thread> threads;
+  for (std::uint64_t t = 0; t < n_clients; ++t) {
+    threads.emplace_back([&, t]() {
+      netfront::ClientOptions copts;
+      copts.port = server.port();
+      copts.tenant = 0;
+      copts.seed = flags.chaos_seed * 0x100000001B3ull + t + 1;
+      copts.attempt_timeout = std::chrono::milliseconds(250);
+      copts.max_retries = 3;
+      netfront::Client client(copts);
+      ClientOutcome& mine = outcomes[t];
+      // Sessions are striped across clients; each is one Call().
+      for (std::uint64_t session = t; session < sessions; session += n_clients) {
+        const Variant& variant = variants[session % variants.size()];
+        const std::uint64_t t0 = NowNs();
+        const netfront::Client::Result result =
+            client.Call(wire_md5, variant.payload.data(), variant.payload.size());
+        mine.latency.Record(NowNs() - t0);
+        const int outcome_count = (result.ok ? 1 : 0) + (result.timed_out ? 1 : 0) +
+                                  (result.error != netfront::ErrorCode::kNone ? 1 : 0);
+        if (outcome_count != 1) {
+          ++mine.no_outcome;
+        } else if (result.ok) {
+          if (std::memcmp(result.digest.data(), variant.digest.data(), 8) != 0) {
+            ++mine.mismatches;
+          } else {
+            ++mine.ok;
+            mine.checksum += bench::Checksum(result.digest.data(), result.digest.size());
+          }
+        } else if (result.timed_out) {
+          ++mine.gave_up;
+        } else {
+          ++mine.terminal_err;
+        }
+      }
+      mine.stats = client.stats();
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const std::uint64_t wall_ns = NowNs() - start;
+
+  // Drain: clients are done, but requests whose connections died may still
+  // be in flight. accepted == completed must hold once the server settles;
+  // a server that cannot settle within the grace window has hung, which is
+  // itself an invariant violation.
+  bool drained = false;
+  graftd::TelemetrySnapshot snapshot;
+  const std::uint64_t drain_deadline = NowNs() + 10'000'000'000ull;
+  while (NowNs() < drain_deadline) {
+    snapshot = dispatcher.Snapshot();
+    server.FillTelemetry(snapshot.netfront);
+    std::uint64_t accepted = 0;
+    std::uint64_t completed = 0;
+    for (const auto& tenant : snapshot.netfront.tenants) {
+      accepted += tenant.accepted;
+      completed += tenant.completed_ok + tenant.completed_error;
+    }
+    if (completed >= accepted) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.Stop();
+  snapshot = dispatcher.Snapshot();
+  server.FillTelemetry(snapshot.netfront);
+  std::printf("%s\n", snapshot.ToText().c_str());
+
+  // --- fault events actually injected ---
+  bench::PrintSection("injected faults (per site)");
+  const std::uint64_t fault_events = injector.total_injected();
+  for (const auto& site : injector.Counters()) {
+    std::printf("  %-18s hits=%-8llu injected=%llu\n", site.site.c_str(),
+                static_cast<unsigned long long>(site.hits),
+                static_cast<unsigned long long>(site.injected));
+  }
+  std::printf("  total injected: %llu\n\n", static_cast<unsigned long long>(fault_events));
+
+  // --- aggregate client outcomes ---
+  ClientOutcome total;
+  graftd::LatencyHistogram latency;
+  for (const ClientOutcome& mine : outcomes) {
+    total.ok += mine.ok;
+    total.terminal_err += mine.terminal_err;
+    total.gave_up += mine.gave_up;
+    total.mismatches += mine.mismatches;
+    total.no_outcome += mine.no_outcome;
+    total.checksum += mine.checksum;
+    total.stats.calls += mine.stats.calls;
+    total.stats.retries += mine.stats.retries;
+    total.stats.reconnects += mine.stats.reconnects;
+    total.stats.timeouts += mine.stats.timeouts;
+    total.stats.shed_retries += mine.stats.shed_retries;
+    latency.Merge(mine.latency);
+  }
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deduped = 0;
+  for (const auto& tenant : snapshot.netfront.tenants) {
+    accepted += tenant.accepted;
+    completed += tenant.completed_ok + tenant.completed_error;
+    deduped += tenant.retries_deduped;
+  }
+  const double success_rate =
+      sessions > 0 ? static_cast<double>(total.ok) / static_cast<double>(sessions) : 0.0;
+  const double p99_us = latency.PercentileUs(99);
+
+  bench::PrintSection("self-healing client aggregate");
+  std::printf("sessions %llu: ok %llu, terminal errors %llu, gave up %llu "
+              "(success rate %.4f)\n",
+              static_cast<unsigned long long>(sessions),
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.terminal_err),
+              static_cast<unsigned long long>(total.gave_up), success_rate);
+  std::printf("retries %llu, reconnects %llu, timeouts %llu, shed retries %llu, "
+              "server-deduped %llu\n",
+              static_cast<unsigned long long>(total.stats.retries),
+              static_cast<unsigned long long>(total.stats.reconnects),
+              static_cast<unsigned long long>(total.stats.timeouts),
+              static_cast<unsigned long long>(total.stats.shed_retries),
+              static_cast<unsigned long long>(deduped));
+  std::printf("per-call p50 %.1fus  p99 %.1fus  max %.1fus  wall %.2fs\n\n",
+              latency.PercentileUs(50), p99_us, static_cast<double>(latency.max_ns()) / 1e3,
+              static_cast<double>(wall_ns) / 1e9);
+
+  bench::JsonReport report("chaos");
+  report.Add("chaos_sessions", sessions,
+             sessions > 0 ? static_cast<double>(wall_ns) / static_cast<double>(sessions) : 0.0,
+             total.checksum);
+  report.Add("chaos_fault_events", fault_events, 0.0, flags.chaos_seed);
+  // success rate is reported in parts-per-million in the ns_per_op slot
+  // (the schema's only double); EXPERIMENTS.md documents this.
+  report.Add("chaos_success_rate_ppm", total.ok, success_rate * 1e6, total.checksum);
+  report.AddUs("chaos_call_p99", sessions, p99_us, total.checksum);
+  report.Add("chaos_retries", total.stats.retries, 0.0, total.checksum);
+  report.Add("chaos_reconnects", total.stats.reconnects, 0.0, total.checksum);
+  report.Add("chaos_retries_deduped", deduped, 0.0, total.checksum);
+  report.Write();
+
+  // --- the chaos invariants ---
+  int exit_code = 0;
+  const std::uint64_t outcome_total = total.ok + total.terminal_err + total.gave_up;
+  if (total.no_outcome == 0 && outcome_total + total.mismatches == sessions) {
+    std::printf("INVARIANT outcomes: PASS (every session exactly one terminal outcome)\n");
+  } else {
+    std::printf("INVARIANT outcomes: FAIL (%llu/%llu accounted, %llu ill-formed)\n",
+                static_cast<unsigned long long>(outcome_total),
+                static_cast<unsigned long long>(sessions),
+                static_cast<unsigned long long>(total.no_outcome));
+    exit_code = 4;
+  }
+  if (total.mismatches == 0) {
+    std::printf("INVARIANT digests: PASS (all %llu verified replies correct)\n",
+                static_cast<unsigned long long>(total.ok));
+  } else {
+    std::printf("INVARIANT digests: FAIL (%llu mismatches)\n",
+                static_cast<unsigned long long>(total.mismatches));
+    exit_code = exit_code == 0 ? 2 : exit_code;
+  }
+  // Dedup makes retries of one call at-most-once-admitted, so admissions
+  // can never exceed distinct sessions; a duplicate admission (the seed of
+  // a duplicated side effect) trips this.
+  if (accepted <= sessions) {
+    std::printf("INVARIANT no-duplicates: PASS (%llu admissions <= %llu sessions, "
+                "%llu retries deduped)\n",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(sessions),
+                static_cast<unsigned long long>(deduped));
+  } else {
+    std::printf("INVARIANT no-duplicates: FAIL (%llu admissions > %llu sessions)\n",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(sessions));
+    exit_code = 4;
+  }
+  if (drained && completed >= accepted) {
+    std::printf("INVARIANT drain: PASS (accepted %llu == completed %llu, server settled)\n",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(completed));
+  } else {
+    std::printf("INVARIANT drain: FAIL (accepted %llu, completed %llu after grace window)\n",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(completed));
+    exit_code = 4;
+  }
+  std::printf("%s\n", exit_code == 0 ? "CHAOS SOAK: PASS" : "CHAOS SOAK: FAIL");
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  if (flags.chaos) {
+    return RunChaos(flags);
+  }
 
   bench::PrintHeader("netfront open-loop load generator",
                      "service front line for graft dispatch (DESIGN.md, netfront section)");
@@ -267,6 +607,9 @@ int main(int argc, char** argv) {
       ClientConn& conn = conns[events[e].data.u64];
       for (;;) {
         const ssize_t got = recv(conn.fd, rxbuf, sizeof(rxbuf), MSG_DONTWAIT);
+        if (got < 0 && errno == EINTR) {
+          continue;  // interrupted, not drained: try the same socket again
+        }
         if (got <= 0) {
           break;
         }

@@ -60,6 +60,7 @@ SupervisorPolicy EffectivePolicy(const DispatcherOptions& options) {
 Dispatcher::Dispatcher(DispatcherOptions options, const Clock* clock)
     : options_(options),
       epoch_(g_dispatcher_epoch.fetch_add(1, std::memory_order_relaxed)),
+      clock_(clock),
       supervisor_(EffectivePolicy(options), clock),
       wheel_(DeadlineWheel::Options{options.wheel_tick, 256}) {
   const std::size_t workers = std::max<std::size_t>(1, options_.workers);
@@ -453,6 +454,16 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
       invocation.on_complete(completion);
     }
   };
+  // Deadline shed: work whose client already gave up is dropped before the
+  // supervisor, the instance build, and the body — expiry is not the
+  // graft's fault, so no outcome is scored against it. The dispatch span
+  // still brackets the decision (trace evidence: dispatch count grows,
+  // body count does not).
+  if (invocation.deadline_ns != 0 && NowNs() >= invocation.deadline_ns) {
+    shed_expired_.fetch_add(1, std::memory_order_relaxed);
+    reject(CompletionStatus::kExpired, &GraftCounters::shed_expired);
+    return;
+  }
   switch (supervisor_.Admit(id)) {
     case AdmitDecision::kRejectDetached:
       reject(CompletionStatus::kRejectedDetached, &GraftCounters::rejected_detached);
@@ -654,6 +665,7 @@ TelemetrySnapshot Dispatcher::Snapshot() const {
     snapshot.dispatch.inline_hits += shard->inline_hits.load(std::memory_order_relaxed);
   }
   snapshot.dispatch.inline_misses = inline_misses_.load(std::memory_order_relaxed);
+  snapshot.dispatch.shed_expired = shed_expired_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const WorkerShard& shard = *shards_[i];
     TelemetrySnapshot::WorkerLaneRow row;

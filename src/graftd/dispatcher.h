@@ -97,6 +97,7 @@ enum class CompletionStatus : std::uint8_t {
   kRejectedQuarantined,
   kRejectedDetached,
   kRejectedDegraded,  // shed: the graft's device is failing
+  kExpired,           // deadline passed in queue; the body never ran
 };
 
 struct Completion {
@@ -119,6 +120,11 @@ struct Invocation {
   std::uint64_t eviction_lookups = 0;
   // Wall-clock budget override; 0 uses the supervisor policy default.
   std::chrono::microseconds budget{0};
+  // Absolute deadline in steady-clock nanoseconds (the dispatcher clock's
+  // epoch); 0 = none. Work whose deadline has passed when a worker picks it
+  // up is shed with CompletionStatus::kExpired *before* the graft body runs
+  // — the wire-to-worker propagation of a client's per-request timeout.
+  std::uint64_t deadline_ns = 0;
   // Models the time the kernel spends feeding this stream from the disk
   // (the paper's Table 5 framing: MD5 rides along with a 64KB-per-transfer
   // read). Workers wait this long before computing, so dispatch overlaps
@@ -241,6 +247,18 @@ class Dispatcher {
   DeadlineWheel& deadline_wheel() { return wheel_; }
   std::size_t workers() const { return shards_.size(); }
 
+  // The dispatcher clock as absolute nanoseconds — the timebase
+  // Invocation::deadline_ns is compared against. Front-ends stamp deadlines
+  // with this (not a raw steady_clock read) so fake-clock tests line up.
+  std::uint64_t NowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock_->Now().time_since_epoch())
+            .count());
+  }
+
+  // Invocations shed with kExpired before their body ran, across workers.
+  std::uint64_t shed_expired() const { return shed_expired_.load(std::memory_order_relaxed); }
+
   // Total contained faults across all host shards.
   std::uint64_t contained_faults() const;
 
@@ -339,6 +357,7 @@ class Dispatcher {
 
   const DispatcherOptions options_;
   const std::uint64_t epoch_;  // distinguishes dispatchers for lane caches
+  const Clock* clock_;         // deadline expiry checks in RunOne
   Supervisor supervisor_;
   DeadlineWheel wheel_;
   const faultlab::Injector* injector_ = nullptr;
@@ -354,6 +373,7 @@ class Dispatcher {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> next_shard_{0};
   std::atomic<std::uint64_t> inline_misses_{0};
+  std::atomic<std::uint64_t> shed_expired_{0};
   std::atomic<bool> accepting_{true};
   std::atomic<std::uint32_t> drain_waiters_{0};
   std::mutex drain_mu_;

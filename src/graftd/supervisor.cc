@@ -14,6 +14,9 @@ void Supervisor::set_tracer(tracelab::Tracer* tracer) {
     site_detach_ = tracer_->Intern("supervisor/detach");
     site_degrade_ = tracer_->Intern("supervisor/degrade");
     site_recover_ = tracer_->Intern("supervisor/recover");
+    site_breaker_open_ = tracer_->Intern("supervisor/breaker_open");
+    site_breaker_half_open_ = tracer_->Intern("supervisor/breaker_half_open");
+    site_breaker_close_ = tracer_->Intern("supervisor/breaker_close");
   }
 }
 
@@ -29,7 +32,8 @@ GraftId Supervisor::Register(std::string name) {
 void Supervisor::RecomputeHot(GraftId id) {
   const GraftStatus& graft = grafts_[id];
   hot_[id]->store(graft.state == GraftState::kHealthy && graft.consecutive_failures == 0 &&
-                      graft.consecutive_disk_faults == 0,
+                      graft.consecutive_disk_faults == 0 &&
+                      graft.breaker == BreakerState::kClosed,
                   std::memory_order_release);
 }
 
@@ -73,6 +77,50 @@ AdmitDecision Supervisor::Admit(GraftId id) {
   throw std::logic_error("unreachable graft state");
 }
 
+bool Supervisor::BreakerAdmit(GraftId id) {
+  if (!policy_.breaker_enabled) {
+    return true;
+  }
+  // Steady state: hot implies a closed breaker (RecomputeHot folds the
+  // breaker position into the flag) — one acquire load, no mutex.
+  if (policy_.lock_free_fast_path && hot_.at(id)->load(std::memory_order_acquire)) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  GraftStatus& graft = grafts_.at(id);
+  switch (graft.breaker) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (clock_->Now() < graft.breaker_probe_at) {
+        return false;
+      }
+      // Backoff over: this request becomes the first half-open probe.
+      graft.breaker = BreakerState::kHalfOpen;
+      graft.breaker_probe_at = clock_->Now() + policy_.breaker_probe_interval;
+      EmitTransition(site_breaker_half_open_, id);
+      return true;
+    case BreakerState::kHalfOpen:
+      // Probes are rate-limited, not counted: a probe that dies downstream
+      // (deadline shed, connection lost) never reports an outcome, so any
+      // in-flight accounting would wedge the breaker half-open forever.
+      if (clock_->Now() < graft.breaker_probe_at) {
+        return false;
+      }
+      graft.breaker_probe_at = clock_->Now() + policy_.breaker_probe_interval;
+      return true;
+  }
+  return true;
+}
+
+void Supervisor::TripBreaker(GraftStatus& graft, GraftId id) {
+  graft.breaker = BreakerState::kOpen;
+  ++graft.breaker_opens;
+  ++graft.breaker_trip_streak;
+  graft.breaker_probe_at = clock_->Now() + BreakerBackoffFor(graft.breaker_trip_streak);
+  EmitTransition(site_breaker_open_, id);
+}
+
 void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
   // Steady-state fast path: an ok outcome on a streak-free healthy graft
   // records nothing — one acquire load (matching Admit, pairing with
@@ -94,6 +142,13 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
   if (outcome == Outcome::kOk) {
     graft.consecutive_failures = 0;
     graft.consecutive_disk_faults = 0;
+    if (graft.breaker != BreakerState::kClosed) {
+      // A successful half-open probe (or a straggler ok from before the
+      // trip) closes the breaker and forgives the backoff doubling.
+      graft.breaker = BreakerState::kClosed;
+      graft.breaker_trip_streak = 0;
+      EmitTransition(site_breaker_close_, id);
+    }
     RecomputeHot(id);
     return;
   }
@@ -114,6 +169,14 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
     return;
   }
   ++graft.consecutive_failures;
+  if (policy_.breaker_enabled) {
+    if (graft.breaker == BreakerState::kHalfOpen) {
+      TripBreaker(graft, id);  // the probe failed: reopen, doubled backoff
+    } else if (graft.breaker == BreakerState::kClosed &&
+               graft.consecutive_failures >= policy_.breaker_threshold) {
+      TripBreaker(graft, id);
+    }
+  }
   RecomputeHot(id);
   if (graft.consecutive_failures < policy_.fault_threshold) {
     return;
@@ -137,6 +200,14 @@ std::chrono::microseconds Supervisor::BackoffFor(std::uint32_t quarantines) cons
     backoff *= policy_.backoff_multiplier;
   }
   return backoff < policy_.max_backoff ? backoff : policy_.max_backoff;
+}
+
+std::chrono::microseconds Supervisor::BreakerBackoffFor(std::uint32_t trips) const {
+  std::chrono::microseconds backoff = policy_.breaker_backoff;
+  for (std::uint32_t i = 1; i < trips && backoff < policy_.breaker_max_backoff; ++i) {
+    backoff *= policy_.backoff_multiplier;
+  }
+  return backoff < policy_.breaker_max_backoff ? backoff : policy_.breaker_max_backoff;
 }
 
 GraftState Supervisor::state(GraftId id) const {

@@ -26,6 +26,21 @@
 // rather than dispatched into a failing device; degradation never counts
 // toward quarantine history or detach.
 //
+// Layered on the same consecutive-failure streak is a per-graft circuit
+// breaker gating *admission* (the netfront socket layer), not dispatch:
+//
+//   closed --(breaker_threshold consecutive failures)--> open
+//   open --(breaker backoff elapses)--> half-open (probes trickle through)
+//   half-open --(probe succeeds)--> closed   (backoff streak resets)
+//   half-open --(probe fails)-----> open     (backoff doubles)
+//
+// While open, BreakerAdmit() refuses work before it is ever staged or
+// queued — the request is answered at the socket with kBreakerOpen instead
+// of riding the lanes to a worker that will reject it. Half-open probes
+// are rate-limited (breaker_probe_interval) rather than counted, so a
+// probe lost downstream (expired, connection died) can never wedge the
+// breaker half-open.
+//
 // Thread safety: one Supervisor is shared by all dispatch workers; state is
 // guarded by a single mutex, with a lock-free fast path for the steady
 // state. Each graft carries an atomic `hot` flag meaning "healthy with no
@@ -81,6 +96,18 @@ enum class AdmitDecision : std::uint8_t {
   kRejectDegraded,  // shedding: the graft's device is failing
 };
 
+// Circuit-breaker position for one graft (admission-side shedding).
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+constexpr const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
 struct SupervisorPolicy {
   // Consecutive failures (faults or preempts) before quarantine.
   std::uint32_t fault_threshold = 3;
@@ -102,6 +129,20 @@ struct SupervisorPolicy {
   // How long a degraded graft sheds load before the next Admit probes the
   // device again.
   std::chrono::microseconds degraded_backoff{std::chrono::milliseconds(10)};
+  // --- circuit breaker (admission gate; see header comment) ---
+  // Consecutive failures before the breaker opens. Defaults above the
+  // quarantine threshold so the breaker only trips on streaks that survive
+  // readmission probation — tighten it (<= fault_threshold) to shed at the
+  // socket before quarantine machinery engages.
+  std::uint32_t breaker_threshold = 5;
+  // How long the breaker stays open before half-open probing; doubles
+  // (backoff_multiplier) per reopen without an intervening close.
+  std::chrono::microseconds breaker_backoff{std::chrono::milliseconds(5)};
+  std::chrono::microseconds breaker_max_backoff{std::chrono::seconds(1)};
+  // Minimum spacing between half-open probes.
+  std::chrono::microseconds breaker_probe_interval{std::chrono::milliseconds(1)};
+  // When false, BreakerAdmit always admits and failures never trip it.
+  bool breaker_enabled = true;
   // When false, Admit and OnOutcome always take the mutex — the seed
   // behavior. Exists so the throughput bench's baseline row can measure
   // the crossing collapse against the pre-fast-path supervisor; production
@@ -126,6 +167,14 @@ class Supervisor {
   // Scorekeeping after a completed invocation.
   void OnOutcome(GraftId id, Outcome outcome);
 
+  // Admission-side circuit-breaker gate: true means the request may
+  // proceed toward staging/dispatch; false means shed it now (the breaker
+  // is open, or half-open with a probe already spent this interval). The
+  // steady state (closed breaker, healthy graft) is the same single
+  // acquire load as Admit. Callers that shed must NOT report an outcome —
+  // a shed request never reached a worker.
+  bool BreakerAdmit(GraftId id);
+
   GraftState state(GraftId id) const;
 
   struct GraftStatus {
@@ -138,6 +187,11 @@ class Supervisor {
     std::uint32_t degradations = 0;   // times degraded so far
     std::uint32_t recoveries = 0;     // times recovered from degraded
     Clock::TimePoint readmit_at{};    // valid while quarantined or degraded
+    BreakerState breaker = BreakerState::kClosed;
+    std::uint32_t breaker_opens = 0;       // times the breaker tripped open
+    std::uint32_t breaker_trip_streak = 0; // opens since the last close (backoff doubling)
+    Clock::TimePoint breaker_probe_at{};   // open: when half-open probing may begin;
+                                           // half-open: when the next probe may pass
   };
   GraftStatus Status(GraftId id) const;
   std::vector<GraftStatus> StatusAll() const;
@@ -154,6 +208,10 @@ class Supervisor {
 
  private:
   std::chrono::microseconds BackoffFor(std::uint32_t quarantines) const;
+  std::chrono::microseconds BreakerBackoffFor(std::uint32_t trips) const;
+
+  // Opens (or reopens) the breaker; caller holds mu_.
+  void TripBreaker(GraftStatus& graft, GraftId id);
 
   // Recomputes grafts_[id]'s hot flag; caller holds mu_.
   void RecomputeHot(GraftId id);
@@ -172,6 +230,9 @@ class Supervisor {
   tracelab::SiteId site_detach_ = 0;
   tracelab::SiteId site_degrade_ = 0;
   tracelab::SiteId site_recover_ = 0;
+  tracelab::SiteId site_breaker_open_ = 0;
+  tracelab::SiteId site_breaker_half_open_ = 0;
+  tracelab::SiteId site_breaker_close_ = 0;
   mutable std::mutex mu_;
   std::vector<GraftStatus> grafts_;
   // hot_[id]: state == healthy && no failure/disk-fault streak — the

@@ -80,14 +80,14 @@ std::string LatencyHistogram::Summary() const {
 
 std::string TelemetrySnapshot::ToText() const {
   stats::Table table({"graft", "state", "inv", "ok", "fault", "preempt", "disk", "q-rej", "d-rej",
-                      "shed", "quar", "readm", "fuel", "mean", "latency"});
+                      "shed", "expired", "quar", "readm", "fuel", "mean", "latency"});
   for (const Row& row : grafts) {
     const GraftCounters& c = row.counters;
     table.AddRow({row.name, GraftStateName(row.supervision.state), std::to_string(c.invocations),
                   std::to_string(c.ok), std::to_string(c.faults), std::to_string(c.preempts),
                   std::to_string(c.disk_faults), std::to_string(c.rejected_quarantined),
                   std::to_string(c.rejected_detached), std::to_string(c.rejected_degraded),
-                  std::to_string(row.supervision.quarantines),
+                  std::to_string(c.shed_expired), std::to_string(row.supervision.quarantines),
                   std::to_string(row.supervision.readmissions),
                   c.fuel_used == 0 ? "-" : std::to_string(c.fuel_used),
                   c.latency.count() == 0 ? "-" : FormatUs(c.latency.mean_us()),
@@ -131,15 +131,18 @@ std::string TelemetrySnapshot::ToText() const {
     text += lanes.ToString();
     text += "inline fast path: " + std::to_string(dispatch.inline_hits) + " hits, " +
             std::to_string(dispatch.inline_misses) + " misses (claim lost -> queued)\n";
+    text += "deadline shed: " + std::to_string(dispatch.shed_expired) +
+            " expired before the body ran\n";
   }
   if (netfront.present) {
     stats::Table tenants_table({"netfront tenant", "weight", "accepted", "ok", "err", "shed-deg",
-                                "shed-over", "quota-rej"});
+                                "shed-over", "quota-rej", "brk-open", "deduped"});
     for (const NetfrontSection::TenantRow& row : netfront.tenants) {
       tenants_table.AddRow({row.name, std::to_string(row.weight), std::to_string(row.accepted),
                             std::to_string(row.completed_ok), std::to_string(row.completed_error),
                             std::to_string(row.shed_degraded), std::to_string(row.shed_overload),
-                            std::to_string(row.quota_rejected)});
+                            std::to_string(row.quota_rejected), std::to_string(row.breaker_open),
+                            std::to_string(row.retries_deduped)});
     }
     text += "\n";
     text += tenants_table.ToString();
@@ -167,6 +170,16 @@ std::string TelemetrySnapshot::ToText() const {
                   static_cast<unsigned long long>(netfront.bytes_in),
                   static_cast<unsigned long long>(netfront.bytes_out));
     text += totals;
+    if (netfront.io_thread_crashes > 0) {
+      char chaos[160];
+      std::snprintf(chaos, sizeof(chaos),
+                    "netfront chaos: %llu io-thread crashes, %llu conns adopted, "
+                    "%llu staged orphans\n",
+                    static_cast<unsigned long long>(netfront.io_thread_crashes),
+                    static_cast<unsigned long long>(netfront.conns_adopted),
+                    static_cast<unsigned long long>(netfront.crash_orphans));
+      text += chaos;
+    }
   }
   if (!injections.empty()) {
     stats::Table sites({"injection site", "hits", "injected"});
@@ -220,10 +233,13 @@ std::string TelemetrySnapshot::ToJson() const {
         << ",\"rejected_quarantined\":" << c.rejected_quarantined
         << ",\"rejected_detached\":" << c.rejected_detached
         << ",\"rejected_degraded\":" << c.rejected_degraded
+        << ",\"shed_expired\":" << c.shed_expired
         << ",\"quarantines\":" << row.supervision.quarantines
         << ",\"readmissions\":" << row.supervision.readmissions
         << ",\"degradations\":" << row.supervision.degradations
         << ",\"recoveries\":" << row.supervision.recoveries
+        << ",\"breaker\":" << tracelab::JsonString(BreakerStateName(row.supervision.breaker))
+        << ",\"breaker_opens\":" << row.supervision.breaker_opens
         << ",\"fuel_used\":" << c.fuel_used << ",\"latency\":{\"count\":" << c.latency.count()
         << ",\"mean_us\":" << c.latency.mean_us()
         << ",\"p50_us\":" << c.latency.PercentileUs(50)
@@ -254,7 +270,8 @@ std::string TelemetrySnapshot::ToJson() const {
     out << "\"__dispatch__\":{\"lane_mode\":";
     AppendJsonString(out, dispatch.lane_mode);
     out << ",\"inline_hits\":" << dispatch.inline_hits
-        << ",\"inline_misses\":" << dispatch.inline_misses << ",\"workers\":[";
+        << ",\"inline_misses\":" << dispatch.inline_misses
+        << ",\"shed_expired\":" << dispatch.shed_expired << ",\"workers\":[";
     bool first_worker = true;
     for (const WorkerLaneRow& row : dispatch.workers) {
       if (!first_worker) {
@@ -292,7 +309,10 @@ std::string TelemetrySnapshot::ToJson() const {
         << ",\"active\":" << netfront.connections_active << "}"
         << ",\"frame_errors\":" << netfront.frame_errors << ",\"bytes_in\":" << netfront.bytes_in
         << ",\"bytes_out\":" << netfront.bytes_out << ",\"read_pauses\":" << netfront.read_pauses
-        << ",\"slow_reader_closes\":" << netfront.slow_reader_closes << ",\"tenants\":{";
+        << ",\"slow_reader_closes\":" << netfront.slow_reader_closes
+        << ",\"io_thread_crashes\":" << netfront.io_thread_crashes
+        << ",\"conns_adopted\":" << netfront.conns_adopted
+        << ",\"crash_orphans\":" << netfront.crash_orphans << ",\"tenants\":{";
     bool first_tenant = true;
     for (const NetfrontSection::TenantRow& row : netfront.tenants) {
       if (!first_tenant) {
@@ -305,7 +325,9 @@ std::string TelemetrySnapshot::ToJson() const {
           << ",\"completed_error\":" << row.completed_error
           << ",\"shed_degraded\":" << row.shed_degraded
           << ",\"shed_overload\":" << row.shed_overload
-          << ",\"quota_rejected\":" << row.quota_rejected << "}";
+          << ",\"quota_rejected\":" << row.quota_rejected
+          << ",\"breaker_open\":" << row.breaker_open
+          << ",\"retries_deduped\":" << row.retries_deduped << "}";
     }
     out << "},\"io_threads\":[";
     bool first_io = true;

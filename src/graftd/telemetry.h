@@ -76,6 +76,7 @@ struct GraftCounters {
   std::uint64_t rejected_quarantined = 0;
   std::uint64_t rejected_detached = 0;
   std::uint64_t rejected_degraded = 0;  // shed while the device was failing
+  std::uint64_t shed_expired = 0;       // deadline passed in queue; body never ran
   std::uint64_t fuel_used = 0;  // summed over metered invocations
   LatencyHistogram latency;     // service latency of executed invocations
 
@@ -119,6 +120,7 @@ struct GraftCounters {
     rejected_quarantined += other.rejected_quarantined;
     rejected_detached += other.rejected_detached;
     rejected_degraded += other.rejected_degraded;
+    shed_expired += other.shed_expired;
     fuel_used += other.fuel_used;
     latency.Merge(other.latency);
   }
@@ -143,6 +145,8 @@ struct NetfrontSection {
     std::uint64_t shed_degraded = 0;    // kRejectDegraded state, shed at read
     std::uint64_t shed_overload = 0;    // staging backlog full
     std::uint64_t quota_rejected = 0;   // token bucket empty
+    std::uint64_t breaker_open = 0;     // circuit breaker open, shed at admission
+    std::uint64_t retries_deduped = 0;  // replayed from the dedup window (no re-execution)
   };
 
   // Per-IO-thread mechanics: how frames moved from sockets into the lanes.
@@ -162,6 +166,10 @@ struct NetfrontSection {
   std::uint64_t bytes_out = 0;
   std::uint64_t read_pauses = 0;         // backpressure: EPOLLIN dropped
   std::uint64_t slow_reader_closes = 0;  // write buffer hit the hard cap
+  // chaoslab: injected IO-thread crashes and what the survivors inherited.
+  std::uint64_t io_thread_crashes = 0;   // IO threads killed by injection
+  std::uint64_t conns_adopted = 0;       // connections migrated to survivors
+  std::uint64_t crash_orphans = 0;       // staged requests lost in a crash
   std::vector<TenantRow> tenants;
   std::vector<IoThreadRow> io_threads;
 };
@@ -243,6 +251,7 @@ struct TelemetrySnapshot {
     std::string lane_mode;  // "spsc" | "mutex"
     std::uint64_t inline_hits = 0;    // invocations run on the caller's thread
     std::uint64_t inline_misses = 0;  // claim lost; fell back to the lanes
+    std::uint64_t shed_expired = 0;   // deadline passed in queue; body never ran
     std::vector<WorkerLaneRow> workers;
   };
   DispatchStats dispatch;

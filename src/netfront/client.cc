@@ -1,0 +1,285 @@
+#include "src/netfront/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace netfront {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+// Transient shed replies clear on their own (quota refills, backlog
+// drains, breaker half-opens, queues shorten); everything else re-runs
+// the same failure and is terminal.
+bool IsTransient(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kQuotaExceeded:
+    case ErrorCode::kShedDegraded:
+    case ErrorCode::kShedOverload:
+    case ErrorCode::kExpired:
+    case ErrorCode::kBreakerOpen:
+      return true;
+    case ErrorCode::kNone:
+    case ErrorCode::kUnknownTenant:
+    case ErrorCode::kUnknownGraft:
+    case ErrorCode::kRejected:
+    case ErrorCode::kFault:
+      return false;
+  }
+  return false;
+}
+
+int RemainingMs(SteadyClock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - SteadyClock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(std::min<std::int64_t>(left.count(), 60000));
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(options), rng_state_(options.seed ^ 0x9E3779B97F4A7C15ull) {}
+
+Client::~Client() { CloseSocket(); }
+
+std::uint64_t Client::Rand() {
+  // splitmix64: tiny, seedable, good enough for jitter and id draws.
+  std::uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Client::NextId() { return Rand(); }
+
+void Client::CloseSocket() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  // A dead transport may have poisoned or half-filled the decoder; the
+  // next connection starts from a clean stream.
+  decoder_ = FrameDecoder{};
+}
+
+bool Client::EnsureConnected() {
+  if (fd_ >= 0) {
+    return true;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    close(fd);
+    return false;
+  }
+  // Bounded non-blocking connect: writable means settled, SO_ERROR says how.
+  pollfd pfd{fd, POLLOUT, 0};
+  const auto deadline = SteadyClock::now() + options_.attempt_timeout;
+  for (;;) {
+    const int n = poll(&pfd, 1, std::max(1, RemainingMs(deadline)));
+    if (n > 0) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    close(fd);
+    return false;  // timeout or poll failure
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    close(fd);
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (ever_connected_) {
+    ++stats_.reconnects;
+  }
+  ever_connected_ = true;
+  fd_ = fd;
+  return true;
+}
+
+bool Client::Attempt(std::uint32_t wire_graft, const std::uint8_t* payload, std::size_t len,
+                     std::uint64_t request_id, SteadyClock::time_point deadline,
+                     Result& result) {
+  std::vector<std::uint8_t> frame;
+  if (options_.send_deadline) {
+    // The remaining attempt budget rides the wire: once this client stops
+    // waiting, the server has no reason to run the body.
+    const auto left =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - SteadyClock::now());
+    const std::uint64_t deadline_us =
+        left.count() <= 0 ? 1 : static_cast<std::uint64_t>(left.count());
+    AppendRequestDeadline(frame, options_.tenant, wire_graft, request_id, deadline_us, payload,
+                          len);
+  } else {
+    AppendRequest(frame, options_.tenant, wire_graft, request_id, payload, len);
+  }
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w = send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int remaining = RemainingMs(deadline);
+      if (remaining == 0) {
+        result.timed_out = true;  // could not even hand the kernel the frame
+        return true;
+      }
+      const int n = poll(&pfd, 1, remaining);
+      if (n < 0 && errno != EINTR) {
+        return false;
+      }
+      continue;
+    }
+    return false;  // hard send failure: transport is gone
+  }
+  // Reply wait: poll-bounded reads, skipping stale frames from abandoned
+  // earlier calls (their ids differ; this call's retries share one id).
+  std::uint8_t buf[4096];
+  FrameDecoder::Frame reply;
+  for (;;) {
+    for (;;) {
+      const FrameDecoder::Result r = decoder_.Next(reply);
+      if (r == FrameDecoder::Result::kError) {
+        return false;  // desynced stream: reconnect is the only recovery
+      }
+      if (r == FrameDecoder::Result::kNeedMore) {
+        break;
+      }
+      if (reply.header.type == FrameType::kRequest ||
+          reply.header.request_id != request_id) {
+        continue;  // structurally valid noise or a stale reply
+      }
+      if (reply.header.type == FrameType::kResponse) {
+        result.ok = true;
+        result.error = ErrorCode::kNone;
+        std::copy_n(reply.payload.data(),
+                    std::min(reply.payload.size(), result.digest.size()),
+                    result.digest.begin());
+        return true;
+      }
+      result.ok = false;
+      result.error = reply.payload.size() >= 2
+                         ? static_cast<ErrorCode>(
+                               static_cast<std::uint16_t>(reply.payload[0]) |
+                               (static_cast<std::uint16_t>(reply.payload[1]) << 8))
+                         : ErrorCode::kFault;
+      return true;
+    }
+    const int remaining = RemainingMs(deadline);
+    if (remaining == 0) {
+      result.timed_out = true;
+      return true;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int n = poll(&pfd, 1, remaining);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      result.timed_out = true;
+      return true;
+    }
+    const ssize_t r = recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      decoder_.Feed(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      return false;  // server closed mid-call
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      continue;
+    }
+    return false;
+  }
+}
+
+Client::Result Client::Call(std::uint32_t wire_graft, const std::uint8_t* payload,
+                            std::size_t len) {
+  ++stats_.calls;
+  Result result;
+  // One id for the whole call: every retry is the SAME request to the
+  // server's dedup window, so the body runs at most once even when only
+  // the reply was lost.
+  const std::uint64_t request_id = NextId();
+  ErrorCode last_transient = ErrorCode::kNone;
+  for (std::uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      // Exponential backoff, seeded jitter in [1/2, 1) of the full value —
+      // retries from a fleet of clients spread instead of thundering.
+      std::int64_t full = options_.backoff_base.count();
+      for (std::uint32_t i = 1; i < attempt && full < options_.backoff_max.count(); ++i) {
+        full *= 2;
+      }
+      full = std::min<std::int64_t>(full, options_.backoff_max.count());
+      const std::int64_t half = std::max<std::int64_t>(1, full / 2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          half + static_cast<std::int64_t>(Rand() % static_cast<std::uint64_t>(half + 1))));
+    }
+    ++result.attempts;
+    result.ok = false;
+    result.timed_out = false;
+    result.error = ErrorCode::kNone;
+    if (!EnsureConnected()) {
+      continue;  // dial failed; backoff and try again
+    }
+    const auto deadline = SteadyClock::now() + options_.attempt_timeout;
+    if (!Attempt(wire_graft, payload, len, request_id, deadline, result)) {
+      CloseSocket();  // transport died: next attempt reconnects
+      continue;
+    }
+    if (result.timed_out) {
+      // Pure timeout: keep the connection — the reply may still be in
+      // flight, and the retry's dedup hit will pick up its outcome.
+      ++stats_.timeouts;
+      continue;
+    }
+    if (result.ok || !IsTransient(result.error)) {
+      return result;  // success, or a terminal error retrying cannot fix
+    }
+    ++stats_.shed_retries;
+    last_transient = result.error;
+  }
+  // Retries exhausted. A shed code is the server's most recent answer;
+  // with no server answer at all (timeouts, dead transports, failed
+  // dials) the call simply timed out. Exactly one outcome either way.
+  result.ok = false;
+  result.timed_out = last_transient == ErrorCode::kNone;
+  result.error = last_transient;
+  return result;
+}
+
+}  // namespace netfront

@@ -1,0 +1,120 @@
+// Self-healing NFT1 client: reconnect, retry, and idempotent resubmission.
+//
+// The server side of the chaos story (seeded resets, stalls, torn frames,
+// IO-thread crashes) only proves robustness if a client can ride through
+// it. This client is the riding-through: a synchronous Call() that owns
+// one TCP connection and, per request,
+//
+//   - enforces a per-attempt timeout (poll-bounded blocking reads),
+//   - retries transport errors and shed replies up to max_retries times,
+//     with exponential backoff and seeded jitter between attempts,
+//   - reconnects transparently when the connection dies mid-call (a pure
+//     timeout keeps the connection: the reply may still be in flight),
+//   - reuses the SAME request id on every retry of one call, so the
+//     server's per-tenant dedup window (ServerOptions::dedup_window) makes
+//     the retried work exactly-once-visible — a retry after a lost reply
+//     replays the stored digest instead of running the graft again,
+//   - optionally encodes the remaining attempt budget as a v2 wire
+//     deadline, letting the server shed the attempt anywhere downstream
+//     once the client has stopped waiting for it.
+//
+// Error classification: kQuotaExceeded, kShedOverload, kShedDegraded,
+// kBreakerOpen and kExpired are transient (the condition clears; retry
+// helps). kUnknownTenant, kUnknownGraft, kRejected and kFault are terminal
+// (retrying re-runs the same failure). Request ids are drawn from a
+// splitmix64 stream seeded per client, so concurrent clients against one
+// tenant do not collide in the dedup window.
+//
+// Thread safety: none. One Client is one connection and one in-flight
+// call; use one Client per thread (the loadgen does).
+
+#ifndef GRAFTLAB_SRC_NETFRONT_CLIENT_H_
+#define GRAFTLAB_SRC_NETFRONT_CLIENT_H_
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/netfront/wire.h"
+
+namespace netfront {
+
+struct ClientOptions {
+  std::uint16_t port = 0;        // server port on 127.0.0.1
+  std::uint16_t tenant = 0;
+  // Per-attempt reply timeout. A call can take up to
+  // (max_retries + 1) * attempt_timeout plus backoff sleeps.
+  std::chrono::milliseconds attempt_timeout{250};
+  // Retries after the first attempt; 0 = fail on the first miss.
+  std::uint32_t max_retries = 3;
+  // Backoff before retry r is backoff_base * 2^(r-1), capped, then
+  // jittered to [1/2, 1) of itself from the seeded generator.
+  std::chrono::milliseconds backoff_base{2};
+  std::chrono::milliseconds backoff_max{100};
+  // Seeds request-id draws and backoff jitter; give concurrent clients
+  // distinct seeds.
+  std::uint64_t seed = 1;
+  // Encode the remaining attempt budget as a v2 wire deadline so the
+  // server sheds work this client has already given up on. Off = plain v1
+  // frames (the pre-deadline protocol, for back-compat testing).
+  bool send_deadline = true;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // One call's terminal outcome. Exactly one of these holds:
+  //   ok            — digest is the graft's reply
+  //   error != kNone— the server's terminal (or retries-exhausted) answer
+  //   timed_out     — every attempt ran out of clock with no reply at all
+  struct Result {
+    bool ok = false;
+    bool timed_out = false;
+    ErrorCode error = ErrorCode::kNone;
+    std::array<std::uint8_t, 8> digest{};
+    std::uint32_t attempts = 0;  // 1 = first try succeeded
+  };
+
+  Result Call(std::uint32_t wire_graft, const std::uint8_t* payload, std::size_t len);
+
+  // Self-healing mechanics, cumulative over the client's life.
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t retries = 0;      // attempts beyond each call's first
+    std::uint64_t reconnects = 0;   // sockets re-established mid-call
+    std::uint64_t timeouts = 0;     // attempts that ran out of clock
+    std::uint64_t shed_retries = 0; // retries provoked by a shed reply
+  };
+  const Stats& stats() const { return stats_; }
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  // One attempt: send the frame, wait (poll-bounded) for the reply with
+  // this call's request id. Returns false on transport failure (the
+  // socket is closed; the caller reconnects and retries).
+  bool Attempt(std::uint32_t wire_graft, const std::uint8_t* payload, std::size_t len,
+               std::uint64_t request_id, std::chrono::steady_clock::time_point deadline,
+               Result& result);
+  bool EnsureConnected();
+  void CloseSocket();
+  std::uint64_t NextId();
+  std::uint64_t Rand();
+
+  const ClientOptions options_;
+  int fd_ = -1;
+  bool ever_connected_ = false;  // distinguishes first dial from reconnects
+  FrameDecoder decoder_;
+  std::uint64_t rng_state_;
+  Stats stats_;
+};
+
+}  // namespace netfront
+
+#endif  // GRAFTLAB_SRC_NETFRONT_CLIENT_H_

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace netfront {
 
@@ -49,6 +50,8 @@ ErrorCode ErrorCodeFor(graftd::CompletionStatus status) {
       return ErrorCode::kRejected;
     case graftd::CompletionStatus::kRejectedDegraded:
       return ErrorCode::kShedDegraded;
+    case graftd::CompletionStatus::kExpired:
+      return ErrorCode::kExpired;
     case graftd::CompletionStatus::kFault:
     case graftd::CompletionStatus::kPreempt:
     case graftd::CompletionStatus::kDiskFault:
@@ -148,15 +151,23 @@ bool Server::AddConnection(int fd) {
   if (!running_.load(std::memory_order_acquire)) {
     return false;
   }
-  const std::size_t index =
-      next_io_.fetch_add(1, std::memory_order_relaxed) % io_threads_.size();
-  IoThread& io = *io_threads_[index];
-  {
-    std::lock_guard<std::mutex> lock(io.inbox_mu);
-    io.adopted_fds.push_back(fd);
+  // Skip IO threads an injected crash has killed; at least one stays alive
+  // (CrashIoThread refuses to kill the last one).
+  for (std::size_t attempt = 0; attempt < io_threads_.size(); ++attempt) {
+    const std::size_t index =
+        next_io_.fetch_add(1, std::memory_order_relaxed) % io_threads_.size();
+    IoThread& io = *io_threads_[index];
+    {
+      std::lock_guard<std::mutex> lock(io.inbox_mu);
+      if (io.dead.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      io.adopted_fds.push_back(fd);
+    }
+    Wake(io);
+    return true;
   }
-  Wake(io);
-  return true;
+  return false;
 }
 
 void Server::Stop() {
@@ -209,6 +220,11 @@ void Server::Stop() {
       close(fd);
     }
     io->adopted_fds.clear();
+    for (auto& conn : io->adopted_conns) {
+      close(conn->fd);
+      connections_closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    io->adopted_conns.clear();
     for (auto& deque : io->staged) {
       for (StagedRequest& staged : deque) {
         delete staged.request;
@@ -248,6 +264,9 @@ void Server::FillTelemetry(graftd::NetfrontSection& section) const {
   section.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   section.read_pauses = read_pauses_.load(std::memory_order_relaxed);
   section.slow_reader_closes = slow_reader_closes_.load(std::memory_order_relaxed);
+  section.io_thread_crashes = io_thread_crashes_.load(std::memory_order_relaxed);
+  section.conns_adopted = conns_adopted_.load(std::memory_order_relaxed);
+  section.crash_orphans = crash_orphans_.load(std::memory_order_relaxed);
   section.tenants.clear();
   for (const auto& tenant : tenants_) {
     graftd::NetfrontSection::TenantRow row;
@@ -259,6 +278,8 @@ void Server::FillTelemetry(graftd::NetfrontSection& section) const {
     row.shed_degraded = tenant->shed_degraded.load(std::memory_order_relaxed);
     row.shed_overload = tenant->shed_overload.load(std::memory_order_relaxed);
     row.quota_rejected = tenant->quota_rejected.load(std::memory_order_relaxed);
+    row.breaker_open = tenant->breaker_open.load(std::memory_order_relaxed);
+    row.retries_deduped = tenant->retries_deduped.load(std::memory_order_relaxed);
     section.tenants.push_back(std::move(row));
   }
   section.io_threads.clear();
@@ -286,6 +307,12 @@ void Server::IoLoop(std::size_t index) {
     // queued for a closed slot can never alias a new connection.
     io.free_slots.insert(io.free_slots.end(), io.dead_slots.begin(), io.dead_slots.end());
     io.dead_slots.clear();
+    if (options_.injector != nullptr) {
+      if (auto fault = options_.injector->Hit("netfront/io_thread");
+          fault && fault->kind == faultlab::FaultKind::kCrash && CrashIoThread(io)) {
+        return;  // simulated IO-thread death; survivors adopted everything
+      }
+    }
     const int timeout_ms =
         io.staged_total.load(std::memory_order_relaxed) > 0
             ? 1
@@ -307,15 +334,24 @@ void Server::IoLoop(std::size_t index) {
         continue;
       }
       if (kind == kKindEventFd) {
-        std::uint64_t drained = 0;
-        while (read(io.event_fd, &drained, sizeof(drained)) > 0) {
+        for (;;) {
+          std::uint64_t drained = 0;
+          const ssize_t r = read(io.event_fd, &drained, sizeof(drained));
+          if (r > 0) {
+            continue;  // counter swallowed; loop in case of a racing write
+          }
+          if (r < 0 && errno == EINTR) {
+            continue;
+          }
+          // EAGAIN: the eventfd is drained — benign, not an error (and an
+          // undrained counter would only re-report, never lose a wake).
+          break;
         }
         {
           std::lock_guard<std::mutex> lock(io.stats_mu);
           ++io.wakeups;
         }
-        AdoptInbox(io);
-        continue;
+        continue;  // inboxes drain at the loop bottom either way
       }
       if (slot >= io.conns.size() || !io.conns[slot]) {
         continue;  // closed earlier in this batch
@@ -331,6 +367,9 @@ void Server::IoLoop(std::size_t index) {
         HandleReadable(io, slot, rbuf);
       }
     }
+    // Drained every pass, not just on eventfd wake: a lost wake (injected
+    // or a kernel-coalesced one) delays work by at most the epoll timeout.
+    AdoptInbox(io);
     ProcessCompletions(io);
     DrainStaged(io);
   }
@@ -375,30 +414,98 @@ std::size_t Server::InstallConn(IoThread& io, int fd) {
 
 void Server::AdoptInbox(IoThread& io) {
   std::vector<int> fds;
+  std::vector<std::unique_ptr<Conn>> conns;
   {
     std::lock_guard<std::mutex> lock(io.inbox_mu);
     fds.swap(io.adopted_fds);
+    conns.swap(io.adopted_conns);
   }
   for (int fd : fds) {
     InstallConn(io, fd);
   }
+  for (auto& conn : conns) {
+    InstallAdopted(io, std::move(conn));
+  }
+}
+
+std::size_t Server::InstallAdopted(IoThread& io, std::unique_ptr<Conn> conn) {
+  std::size_t slot;
+  if (!io.free_slots.empty()) {
+    slot = io.free_slots.back();
+    io.free_slots.pop_back();
+  } else {
+    slot = io.conns.size();
+    io.conns.emplace_back();
+  }
+  // The connection keeps its generation, decoder state and write buffer;
+  // only the epoll registration moves. Replies to requests the dead thread
+  // submitted still route by the *old* (io_thread, slot, gen) triple and
+  // are accounted as orphans — the client's retry replays them from the
+  // dedup window.
+  const int fd = conn->fd;
+  conn->want_write = conn->out_pos < conn->out.size();
+  epoll_event ev{};
+  ev.events = (conn->read_paused ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+              (conn->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  ev.data.u64 = Tag(kKindConn, slot);
+  io.conns[slot] = std::move(conn);
+  epoll_ctl(io.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+  return slot;
 }
 
 void Server::HandleReadable(IoThread& io, std::size_t slot, std::vector<std::uint8_t>& buf) {
+  bool torn_read = false;
+  bool torn_frames = false;
+  if (options_.injector != nullptr) {
+    if (auto fault = options_.injector->Hit("netfront/read")) {
+      switch (fault->kind) {
+        case faultlab::FaultKind::kTransientError:
+        case faultlab::FaultKind::kCrash:
+          // Injected connection reset: the peer sees a mid-stream close.
+          CloseConn(io, slot);
+          return;
+        case faultlab::FaultKind::kLatencySpike:
+          // Read stall: this IO thread blocks, so every connection it owns
+          // lags — the whole-thread blast radius is the point.
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(static_cast<std::int64_t>(fault->param)));
+          break;
+        case faultlab::FaultKind::kTornWrite:
+          torn_read = true;  // deliver a single byte this pass
+          break;
+      }
+    }
+    if (auto fault = options_.injector->Hit("netfront/frame");
+        fault && fault->kind == faultlab::FaultKind::kTornWrite) {
+      // The decoder sees every byte boundary of this chunk — the
+      // incremental-parse sweep the proto tests do, but live on a socket.
+      torn_frames = true;
+    }
+  }
   for (;;) {
     Conn* conn = io.conns[slot].get();
     if (!conn || conn->read_paused) {
       return;
     }
-    const ssize_t r = recv(conn->fd, buf.data(), buf.size(), 0);
+    const std::size_t want = torn_read ? 1 : buf.size();
+    const ssize_t r = recv(conn->fd, buf.data(), want, 0);
     if (r > 0) {
       bytes_in_.fetch_add(static_cast<std::uint64_t>(r), std::memory_order_relaxed);
-      conn->decoder.Feed(buf.data(), static_cast<std::size_t>(r));
-      if (!DecodeFrames(io, slot)) {
-        return;  // connection closed (hostile frame or slow-reader cap)
+      if (torn_frames) {
+        for (ssize_t i = 0; i < r; ++i) {
+          conn->decoder.Feed(buf.data() + static_cast<std::size_t>(i), 1);
+          if (!DecodeFrames(io, slot)) {
+            return;  // connection closed mid-sweep
+          }
+        }
+      } else {
+        conn->decoder.Feed(buf.data(), static_cast<std::size_t>(r));
+        if (!DecodeFrames(io, slot)) {
+          return;  // connection closed (hostile frame or slow-reader cap)
+        }
       }
-      if (static_cast<std::size_t>(r) < buf.size()) {
-        return;  // short read: socket drained
+      if (static_cast<std::size_t>(r) < want || torn_read) {
+        return;  // short read: socket drained (torn: one byte was the ration)
       }
       continue;
     }
@@ -407,10 +514,10 @@ void Server::HandleReadable(IoThread& io, std::size_t slot, std::vector<std::uin
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return;
+      return;  // drained; epoll re-reports when more arrives
     }
     if (errno == EINTR) {
-      continue;
+      continue;  // interrupted before any bytes moved: retry
     }
     CloseConn(io, slot);
     return;
@@ -467,6 +574,11 @@ void Server::AdmitRequest(IoThread& io, std::size_t slot, FrameDecoder::Frame& f
     return;
   }
   const graftd::GraftId graft = wire_grafts_[header.graft];
+  // Duplicate of a request already seen (a client retry): answer from the
+  // dedup window — before quota, so a replay never burns tokens.
+  if (DedupCheck(conn, header)) {
+    return;
+  }
   // Degraded grafts shed at the front door: the request never touches a
   // queue, and the client learns immediately that the device is failing.
   if (draining_.load(std::memory_order_acquire)) {
@@ -479,6 +591,14 @@ void Server::AdmitRequest(IoThread& io, std::size_t slot, FrameDecoder::Frame& f
     tenant.shed_degraded.fetch_add(1, std::memory_order_relaxed);
     AppendError(conn->out, header.tenant, header.graft, header.request_id,
                 ErrorCode::kShedDegraded);
+    return;
+  }
+  // Circuit breaker: a graft that keeps faulting is shed here, at the
+  // socket, instead of riding the lanes to a worker that will reject it.
+  if (!dispatcher_.supervisor().BreakerAdmit(graft)) {
+    tenant.breaker_open.fetch_add(1, std::memory_order_relaxed);
+    AppendError(conn->out, header.tenant, header.graft, header.request_id,
+                ErrorCode::kBreakerOpen);
     return;
   }
   if (!tenant.bucket->TryTake(SteadyNowNs())) {
@@ -500,10 +620,89 @@ void Server::AdmitRequest(IoThread& io, std::size_t slot, FrameDecoder::Frame& f
   request->io_thread = io.index;
   request->conn_slot = slot;
   request->conn_gen = conn->gen;
+  // The wire deadline is relative to receipt (no clock sync with the
+  // peer); stamp it absolute on the dispatcher clock here so expiry means
+  // the same thing in the staging deque, the lanes, and the worker.
+  request->deadline_ns =
+      header.deadline_us == 0 ? 0 : dispatcher_.NowNs() + header.deadline_us * 1000;
   request->payload = std::move(frame.payload);
+  DedupStage(header.tenant, header.request_id);
   ++conn->in_flight;
   io.staged[header.tenant].push_back(StagedRequest{request, graft});
   io.staged_total.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Server::DedupCheck(Conn* conn, const FrameHeader& header) {
+  if (options_.dedup_window == 0) {
+    return false;
+  }
+  TenantState& tenant = *tenants_[header.tenant];
+  std::lock_guard<std::mutex> lock(tenant.dedup_mu);
+  const auto it = tenant.dedup.find(header.request_id);
+  if (it == tenant.dedup.end()) {
+    return false;
+  }
+  if (it->second.done) {
+    // Exactly-once-visible: replay the stored outcome; the graft body does
+    // not run again.
+    if (it->second.status == graftd::CompletionStatus::kOk) {
+      AppendResponse(conn->out, header.tenant, header.graft, header.request_id,
+                     it->second.digest.data());
+    } else {
+      AppendError(conn->out, header.tenant, header.graft, header.request_id,
+                  ErrorCodeFor(it->second.status));
+    }
+  }
+  // Not done: the original attempt is still in flight — swallow the retry;
+  // its reply (or the client's next timeout) covers it.
+  tenant.retries_deduped.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Server::DedupStage(std::uint16_t tenant_id, std::uint64_t request_id) {
+  if (options_.dedup_window == 0) {
+    return;
+  }
+  TenantState& tenant = *tenants_[tenant_id];
+  std::lock_guard<std::mutex> lock(tenant.dedup_mu);
+  const auto [it, inserted] = tenant.dedup.emplace(request_id, TenantState::DedupEntry{});
+  if (!inserted) {
+    return;  // already windowed (racing duplicate admitted on another thread)
+  }
+  tenant.dedup_order.push_back(request_id);
+  while (tenant.dedup_order.size() > options_.dedup_window) {
+    // FIFO eviction; erase tolerates ids DedupForget already removed.
+    tenant.dedup.erase(tenant.dedup_order.front());
+    tenant.dedup_order.pop_front();
+  }
+}
+
+void Server::DedupResolve(std::uint16_t tenant_id, std::uint64_t request_id,
+                          const graftd::Completion& completion) {
+  if (options_.dedup_window == 0) {
+    return;
+  }
+  TenantState& tenant = *tenants_[tenant_id];
+  std::lock_guard<std::mutex> lock(tenant.dedup_mu);
+  const auto it = tenant.dedup.find(request_id);
+  if (it == tenant.dedup.end()) {
+    return;  // evicted while in flight; a very late retry re-executes
+  }
+  it->second.done = true;
+  it->second.status = completion.status;
+  std::copy_n(completion.digest.data(), it->second.digest.size(), it->second.digest.begin());
+}
+
+void Server::DedupForget(std::uint16_t tenant_id, std::uint64_t request_id) {
+  if (options_.dedup_window == 0) {
+    return;
+  }
+  TenantState& tenant = *tenants_[tenant_id];
+  std::lock_guard<std::mutex> lock(tenant.dedup_mu);
+  const auto it = tenant.dedup.find(request_id);
+  if (it != tenant.dedup.end() && !it->second.done) {
+    tenant.dedup.erase(it);  // its id may linger in dedup_order; eviction copes
+  }
 }
 
 void Server::DrainStaged(IoThread& io) {
@@ -545,6 +744,7 @@ void Server::DrainStaged(IoThread& io) {
         PendingRequest* request = deque[i].request;
         graftd::Invocation invocation;
         invocation.graft = deque[i].graft;
+        invocation.deadline_ns = request->deadline_ns;
         invocation.data = streamk::Bytes(request->payload.data(), request->payload.size());
         invocation.on_complete = [this, request](const graftd::Completion& completion) {
           OnCompletion(request, completion);
@@ -584,15 +784,127 @@ void Server::DrainStaged(IoThread& io) {
 
 void Server::OnCompletion(PendingRequest* request, const graftd::Completion& completion) {
   IoThread& io = *io_threads_[request->io_thread];
-  bool was_empty;
+  bool was_empty = false;
+  bool delivered = false;
   {
     std::lock_guard<std::mutex> lock(io.inbox_mu);
-    was_empty = io.completions.empty();
-    io.completions.push_back(CompletionRecord{request, completion});
+    if (!io.dead.load(std::memory_order_relaxed)) {
+      was_empty = io.completions.empty();
+      io.completions.push_back(CompletionRecord{request, completion});
+      delivered = true;
+    }
+  }
+  if (!delivered) {
+    // The owning IO thread crashed: there is no socket to reply on, but
+    // the outcome still counts (drain invariants) and lands in the dedup
+    // window so the client's retry replays it instead of re-executing.
+    CompletionRecord record{request, completion};
+    AccountOrphan(record);
+    return;
   }
   if (was_empty) {
     Wake(io);
   }
+}
+
+void Server::AccountOrphan(CompletionRecord& record) {
+  PendingRequest* request = record.request;
+  TenantState& tenant = *tenants_[request->tenant];
+  if (record.completion.status == graftd::CompletionStatus::kOk) {
+    tenant.completed_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tenant.completed_error.fetch_add(1, std::memory_order_relaxed);
+  }
+  DedupResolve(request->tenant, request->request_id, record.completion);
+  delete request;
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+bool Server::CrashIoThread(IoThread& io) {
+  // One crash at a time: two threads crashing concurrently could each pick
+  // the other as survivor and strand every connection on a corpse.
+  std::lock_guard<std::mutex> crash_lock(crash_mu_);
+  std::vector<IoThread*> survivors;
+  for (auto& other : io_threads_) {
+    if (other.get() != &io && !other->dead.load(std::memory_order_acquire)) {
+      survivors.push_back(other.get());
+    }
+  }
+  if (survivors.empty()) {
+    return false;  // never kill the last IO thread
+  }
+  io_thread_crashes_.fetch_add(1, std::memory_order_relaxed);
+  // From here OnCompletion and AddConnection route around this thread.
+  std::vector<CompletionRecord> completions;
+  std::vector<int> fds;
+  std::vector<std::unique_ptr<Conn>> inherited;
+  {
+    std::lock_guard<std::mutex> lock(io.inbox_mu);
+    io.dead.store(true, std::memory_order_release);
+    completions.swap(io.completions);
+    fds.swap(io.adopted_fds);
+    inherited.swap(io.adopted_conns);
+  }
+  // Replies already in the inbox die with the thread; account them so
+  // accepted == completed after drain, and publish the outcome for replay.
+  for (CompletionRecord& record : completions) {
+    AccountOrphan(record);
+  }
+  // Staged-but-unsubmitted requests are simply lost. Forget their pending
+  // dedup markers so the client's retry is admitted as a fresh attempt
+  // rather than swallowed forever.
+  std::uint64_t orphans = 0;
+  for (auto& deque : io.staged) {
+    for (StagedRequest& staged : deque) {
+      DedupForget(staged.request->tenant, staged.request->request_id);
+      delete staged.request;
+      ++orphans;
+    }
+    deque.clear();
+  }
+  io.staged_total.store(0, std::memory_order_relaxed);
+  crash_orphans_.fetch_add(orphans, std::memory_order_relaxed);
+  // Hand every live connection — decoder state, unflushed replies,
+  // generation — to the survivors. Generations are globally unique, so a
+  // migrated conn can never alias a reused survivor slot.
+  std::size_t next = 0;
+  std::uint64_t adopted = 0;
+  const auto bequeath = [&](std::unique_ptr<Conn> conn) {
+    IoThread& survivor = *survivors[next++ % survivors.size()];
+    {
+      std::lock_guard<std::mutex> lock(survivor.inbox_mu);
+      survivor.adopted_conns.push_back(std::move(conn));
+    }
+    Wake(survivor);
+    ++adopted;
+  };
+  for (auto& conn : io.conns) {
+    if (!conn) {
+      continue;
+    }
+    epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    bequeath(std::move(conn));
+  }
+  for (auto& conn : inherited) {
+    bequeath(std::move(conn));  // adopted but never installed here
+  }
+  for (int fd : fds) {
+    IoThread& survivor = *survivors[next++ % survivors.size()];
+    {
+      std::lock_guard<std::mutex> lock(survivor.inbox_mu);
+      survivor.adopted_fds.push_back(fd);
+    }
+    Wake(survivor);
+  }
+  conns_adopted_.fetch_add(adopted, std::memory_order_relaxed);
+  // Detach the shared listener from this epoll; accept readiness is level
+  // triggered, so the surviving pollers keep getting it. The epoll and
+  // event fds stay open until Stop() — closing them here could race a
+  // worker's Wake() onto a recycled fd number.
+  if (listen_fd_ >= 0) {
+    epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  }
+  return true;
 }
 
 void Server::ProcessCompletions(IoThread& io) {
@@ -633,6 +945,9 @@ void Server::ProcessCompletions(IoThread& io) {
         tenant.completed_error.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    // Either way the outcome is published for replay: a retry after a lost
+    // reply must see the stored result, not a second execution.
+    DedupResolve(request->tenant, request->request_id, record.completion);
     delete request;
     in_flight_.fetch_sub(1, std::memory_order_release);
   }
@@ -658,20 +973,45 @@ void Server::FlushConn(IoThread& io, std::size_t slot) {
   }
   const bool traced = options_.tracer != nullptr && options_.tracer->enabled();
   const std::uint64_t t0 = traced ? options_.tracer->NowNs() : 0;
+  // How many reply bytes this pass may move; a torn-write injection caps
+  // it below the backlog, leaving a short write for EPOLLOUT to resume.
+  std::size_t allowance = conn->out.size() - conn->out_pos;
+  if (options_.injector != nullptr && allowance > 0) {
+    if (auto fault = options_.injector->Hit("netfront/write")) {
+      switch (fault->kind) {
+        case faultlab::FaultKind::kTransientError:
+        case faultlab::FaultKind::kCrash:
+          // Injected reset with replies pending: the peer loses them all.
+          CloseConn(io, slot);
+          return;
+        case faultlab::FaultKind::kLatencySpike:
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(static_cast<std::int64_t>(fault->param)));
+          break;
+        case faultlab::FaultKind::kTornWrite:
+          // Only a `param` fraction (at least one byte) goes out — every
+          // reader downstream must survive frames torn mid-header.
+          allowance = std::max<std::size_t>(
+              1, static_cast<std::size_t>(fault->param * static_cast<double>(allowance)));
+          break;
+      }
+    }
+  }
   std::uint64_t wrote = 0;
-  while (conn->out_pos < conn->out.size()) {
-    const ssize_t w = send(conn->fd, conn->out.data() + conn->out_pos,
-                           conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+  while (conn->out_pos < conn->out.size() && allowance > 0) {
+    const std::size_t want = std::min(conn->out.size() - conn->out_pos, allowance);
+    const ssize_t w = send(conn->fd, conn->out.data() + conn->out_pos, want, MSG_NOSIGNAL);
     if (w > 0) {
       conn->out_pos += static_cast<std::size_t>(w);
       wrote += static_cast<std::uint64_t>(w);
+      allowance -= static_cast<std::size_t>(w);
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       break;
     }
     if (errno == EINTR) {
-      continue;
+      continue;  // interrupted before any bytes moved: retry
     }
     bytes_out_.fetch_add(wrote, std::memory_order_relaxed);
     CloseConn(io, slot);
@@ -744,6 +1084,12 @@ void Server::CloseConn(IoThread& io, std::size_t slot) {
 
 void Server::Wake(IoThread& io) {
   if (io.event_fd < 0) {
+    return;
+  }
+  if (options_.injector != nullptr && options_.injector->Hit("netfront/eventfd")) {
+    // Lost wakeup: the eventfd write never lands. Recovery is structural —
+    // every IoLoop pass (bounded by the epoll timeout) drains the inboxes
+    // and staging deques whether or not a wake arrived.
     return;
   }
   const std::uint64_t one = 1;

@@ -33,10 +33,27 @@
 // past `write_buffer_high` the connection's reads pause (EPOLLIN dropped,
 // so a fast sender can't pump new requests while replies back up); past
 // `write_buffer_hard` the slow reader is closed.
+//
+// chaoslab: with ServerOptions::injector attached, the IO path consults
+// seeded fault sites —
+//   netfront/read      conn reset / read stall / 1-byte torn reads
+//   netfront/write     conn reset / write stall / short (torn) writes
+//   netfront/frame     the decoder is fed one byte at a time
+//   netfront/eventfd   a Wake() is silently dropped
+//   netfront/io_thread kCrash kills the whole IO thread; survivors adopt
+//                      its connections (decoder state, unflushed replies,
+//                      generation) through their inboxes
+// Recovery from a lost wake is structural, not event-driven: every IoLoop
+// pass (bounded by the epoll timeout) drains the inboxes and the staging
+// deques whether or not the eventfd fired. Crash orphans — staged requests
+// and in-flight replies owned by the dead thread — are accounted inline so
+// drain invariants hold; the client's retry path (request-id dedup window)
+// makes the rerun exactly-once-visible.
 
 #ifndef GRAFTLAB_SRC_NETFRONT_SERVER_H_
 #define GRAFTLAB_SRC_NETFRONT_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -44,8 +61,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "src/faultlab/injector.h"
 #include "src/graftd/dispatcher.h"
 #include "src/graftd/telemetry.h"
 #include "src/netfront/tenant.h"
@@ -73,6 +92,15 @@ struct ServerOptions {
   // Optional: network-stage spans (nf:decode, nf:drain, nf:encode,
   // nf:flush) land in this tracer. Must outlive the server.
   tracelab::Tracer* tracer = nullptr;
+  // Optional: seeded chaos. The IO path consults the netfront/* sites
+  // listed in the header comment. Must outlive the server.
+  faultlab::Injector* injector = nullptr;
+  // Per-tenant request-id dedup window (FIFO eviction). While a request id
+  // is in the window, a duplicate is swallowed (original still in flight)
+  // or answered from the stored outcome (already completed) — the graft
+  // body never runs twice, so client retries are exactly-once-visible.
+  // 0 disables dedup; retried ids then re-execute (the seed behavior).
+  std::size_t dedup_window = 0;
 };
 
 class Server {
@@ -123,6 +151,9 @@ class Server {
     std::size_t io_thread = 0;
     std::size_t conn_slot = 0;
     std::uint64_t conn_gen = 0;
+    // Absolute expiry on the dispatcher clock (0 = none), stamped at
+    // admission from the v2 frame's relative deadline_us.
+    std::uint64_t deadline_ns = 0;
     std::vector<std::uint8_t> payload;
   };
 
@@ -168,10 +199,17 @@ class Server {
     // Read by Stop()'s drain wait from another thread.
     std::atomic<std::size_t> staged_total{0};
 
-    // Cross-thread inboxes, both drained on eventfd wake.
+    // Set (under inbox_mu) when an injected crash killed this thread:
+    // OnCompletion and AddConnection route around it from then on.
+    std::atomic<bool> dead{false};
+
+    // Cross-thread inboxes, all drained on eventfd wake (and every loop
+    // pass, so a lost wake only delays them by the epoll timeout).
     std::mutex inbox_mu;
     std::vector<CompletionRecord> completions;
     std::vector<int> adopted_fds;
+    // Whole connections inherited from a crashed IO thread.
+    std::vector<std::unique_ptr<Conn>> adopted_conns;
 
     // Mechanics counters, guarded by stats_mu (uncontended except while
     // FillTelemetry merges).
@@ -192,6 +230,20 @@ class Server {
     std::atomic<std::uint64_t> shed_degraded{0};
     std::atomic<std::uint64_t> shed_overload{0};
     std::atomic<std::uint64_t> quota_rejected{0};
+    std::atomic<std::uint64_t> breaker_open{0};
+    std::atomic<std::uint64_t> retries_deduped{0};
+
+    // Request-id dedup window (see ServerOptions::dedup_window). An entry
+    // exists from staging until FIFO eviction; done=false means the
+    // original attempt is still in flight.
+    struct DedupEntry {
+      bool done = false;
+      graftd::CompletionStatus status = graftd::CompletionStatus::kOk;
+      std::array<std::uint8_t, 8> digest{};
+    };
+    std::mutex dedup_mu;
+    std::unordered_map<std::uint64_t, DedupEntry> dedup;
+    std::deque<std::uint64_t> dedup_order;  // FIFO eviction order
   };
 
   void IoLoop(std::size_t index);
@@ -212,9 +264,28 @@ class Server {
   void CloseConn(IoThread& io, std::size_t slot);
   void Rearm(IoThread& io, std::size_t slot);
   std::size_t InstallConn(IoThread& io, int fd);
+  // Re-registers a connection inherited from a crashed IO thread, keeping
+  // its generation, decoder state and write buffer.
+  std::size_t InstallAdopted(IoThread& io, std::unique_ptr<Conn> conn);
   void Wake(IoThread& io);
   // Routes a worker-side completion to the owning IO thread's inbox.
   void OnCompletion(PendingRequest* request, const graftd::Completion& completion);
+  // Accounts a completion whose IO thread is gone: tenant counters, dedup
+  // publication, in_flight — everything but the (impossible) socket reply.
+  void AccountOrphan(CompletionRecord& record);
+  // Injected whole-IO-thread crash. Returns false (and does nothing) when
+  // no other IO thread is alive to adopt the connections.
+  bool CrashIoThread(IoThread& io);
+
+  // Dedup window plumbing (all no-ops when dedup_window == 0).
+  // Returns true when the frame was answered or swallowed as a duplicate.
+  bool DedupCheck(Conn* conn, const FrameHeader& header);
+  void DedupStage(std::uint16_t tenant_id, std::uint64_t request_id);
+  void DedupResolve(std::uint16_t tenant_id, std::uint64_t request_id,
+                    const graftd::Completion& completion);
+  // Drops a pending (not-done) entry — the staged attempt died with a
+  // crashed IO thread, so a retry must be admitted as a fresh attempt.
+  void DedupForget(std::uint16_t tenant_id, std::uint64_t request_id);
 
   graftd::Dispatcher& dispatcher_;
   const ServerOptions options_;
@@ -238,6 +309,13 @@ class Server {
   std::atomic<std::uint64_t> bytes_out_{0};
   std::atomic<std::uint64_t> read_pauses_{0};
   std::atomic<std::uint64_t> slow_reader_closes_{0};
+  std::atomic<std::uint64_t> io_thread_crashes_{0};
+  std::atomic<std::uint64_t> conns_adopted_{0};
+  std::atomic<std::uint64_t> crash_orphans_{0};
+
+  // Serializes injected crashes so two threads can never pick each other
+  // as the "survivor" and strand connections on a dead thread.
+  std::mutex crash_mu_;
 
   // Interned trace sites (0 when no tracer).
   tracelab::SiteId site_decode_ = 0;

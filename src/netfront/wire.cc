@@ -46,7 +46,7 @@ std::uint64_t GetU64(const std::uint8_t* p) {
 }  // namespace
 
 void AppendHeader(std::vector<std::uint8_t>& out, const FrameHeader& header) {
-  out.reserve(out.size() + kHeaderSize + header.payload_len);
+  out.reserve(out.size() + HeaderSizeFor(header.version) + header.payload_len);
   PutU32(out, header.magic);
   out.push_back(header.version);
   out.push_back(static_cast<std::uint8_t>(header.type));
@@ -54,6 +54,9 @@ void AppendHeader(std::vector<std::uint8_t>& out, const FrameHeader& header) {
   PutU32(out, header.graft);
   PutU32(out, header.payload_len);
   PutU64(out, header.request_id);
+  if (header.version >= kVersionDeadline) {
+    PutU64(out, header.deadline_us);
+  }
 }
 
 void AppendRequest(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
@@ -64,6 +67,22 @@ void AppendRequest(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::ui
   header.graft = graft;
   header.payload_len = static_cast<std::uint32_t>(len);
   header.request_id = request_id;
+  AppendHeader(out, header);
+  out.insert(out.end(), payload, payload + len);
+}
+
+void AppendRequestDeadline(std::vector<std::uint8_t>& out, std::uint16_t tenant,
+                           std::uint32_t graft, std::uint64_t request_id,
+                           std::uint64_t deadline_us, const std::uint8_t* payload,
+                           std::size_t len) {
+  FrameHeader header;
+  header.version = kVersionDeadline;
+  header.type = FrameType::kRequest;
+  header.tenant = tenant;
+  header.graft = graft;
+  header.payload_len = static_cast<std::uint32_t>(len);
+  header.request_id = request_id;
+  header.deadline_us = deadline_us;
   AppendHeader(out, header);
   out.insert(out.end(), payload, payload + len);
 }
@@ -127,7 +146,7 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
     error_ = "bad magic";
     return Result::kError;
   }
-  if (header.version != kVersion) {
+  if (header.version != kVersion && header.version != kVersionDeadline) {
     fatal_ = true;
     error_ = "unsupported version";
     return Result::kError;
@@ -143,12 +162,22 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
     error_ = "oversized payload";
     return Result::kError;
   }
-  if (avail < kHeaderSize + header.payload_len) {
+  // Version negotiation is per frame: the fixed 24-byte prefix validates
+  // above on either version, then a v2 frame needs its 8 deadline bytes
+  // before the payload begins (a torn read inside them is just kNeedMore).
+  const std::size_t header_size = HeaderSizeFor(header.version);
+  if (avail < header_size) {
+    return Result::kNeedMore;
+  }
+  if (header.version >= kVersionDeadline) {
+    header.deadline_us = GetU64(p + 24);
+  }
+  if (avail < header_size + header.payload_len) {
     return Result::kNeedMore;
   }
   out.header = header;
-  out.payload.assign(p + kHeaderSize, p + kHeaderSize + header.payload_len);
-  pos_ += kHeaderSize + header.payload_len;
+  out.payload.assign(p + header_size, p + header_size + header.payload_len);
+  pos_ += header_size + header.payload_len;
   if (pos_ == buf_.size()) {
     buf_.clear();
     pos_ = 0;

@@ -1,17 +1,28 @@
 // NFT1: the length-prefixed binary wire protocol the netfront server
 // speaks.
 //
-// Every frame is a fixed 24-byte little-endian header followed by
-// `payload_len` payload bytes:
+// Every frame is a fixed little-endian header followed by `payload_len`
+// payload bytes. Version 1 headers are 24 bytes:
 //
 //   offset  size  field
 //   0       4     magic        0x4E465431 ("NFT1" read as a LE u32)
-//   4       1     version      1
+//   4       1     version      1 or 2
 //   5       1     type         FrameType
 //   6       2     tenant       tenant id (server-side index)
 //   8       4     graft        wire graft id (server-side index)
 //   12      4     payload_len  <= kMaxPayload
 //   16      8     request_id   echoed verbatim in the reply
+//
+// Version 2 appends one field (32-byte header total):
+//
+//   24      8     deadline_us  relative deadline in microseconds; 0 = none
+//
+// The deadline is relative to frame receipt (no clock sync between peers):
+// the server stamps arrival time and sheds the request anywhere downstream
+// once now > arrival + deadline_us, before the graft body runs. Version
+// negotiation is per frame: a decoder accepts both versions on one stream,
+// v1 frames simply carry no deadline, and replies are always encoded as v1
+// so pre-deadline clients interoperate unchanged.
 //
 // Requests carry the bytes the graft fingerprints. Responses carry the
 // first 8 bytes of the graft's digest (enough for the client to verify
@@ -39,7 +50,9 @@ namespace netfront {
 
 inline constexpr std::uint32_t kMagic = 0x4E465431u;  // "NFT1"
 inline constexpr std::uint8_t kVersion = 1;
-inline constexpr std::size_t kHeaderSize = 24;
+inline constexpr std::uint8_t kVersionDeadline = 2;
+inline constexpr std::size_t kHeaderSize = 24;            // version 1
+inline constexpr std::size_t kHeaderSizeDeadline = 32;    // version 2
 inline constexpr std::uint32_t kMaxPayload = 1u << 20;
 
 enum class FrameType : std::uint8_t {
@@ -58,8 +71,10 @@ enum class ErrorCode : std::uint16_t {
   kShedOverload = 3,
   kUnknownTenant = 4,
   kUnknownGraft = 5,
-  kRejected = 6,  // supervisor rejected (quarantined/detached)
-  kFault = 7,     // the graft ran and faulted (or was preempted)
+  kRejected = 6,     // supervisor rejected (quarantined/detached)
+  kFault = 7,        // the graft ran and faulted (or was preempted)
+  kExpired = 8,      // the request's deadline passed before the body ran
+  kBreakerOpen = 9,  // per-graft circuit breaker is open; shed at admission
 };
 
 struct FrameHeader {
@@ -70,13 +85,25 @@ struct FrameHeader {
   std::uint32_t graft = 0;
   std::uint32_t payload_len = 0;
   std::uint64_t request_id = 0;
+  // Version 2 only; always 0 when a v1 frame is decoded.
+  std::uint64_t deadline_us = 0;
 };
+
+constexpr std::size_t HeaderSizeFor(std::uint8_t version) {
+  return version >= kVersionDeadline ? kHeaderSizeDeadline : kHeaderSize;
+}
 
 // Serializers append to `out` (the connection write buffer) so one flush
 // can carry many frames.
 void AppendHeader(std::vector<std::uint8_t>& out, const FrameHeader& header);
 void AppendRequest(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
                    std::uint64_t request_id, const std::uint8_t* payload, std::size_t len);
+// Deadline-bearing request: encoded as a version-2 frame. deadline_us == 0
+// means "no deadline" but still exercises the v2 framing.
+void AppendRequestDeadline(std::vector<std::uint8_t>& out, std::uint16_t tenant,
+                           std::uint32_t graft, std::uint64_t request_id,
+                           std::uint64_t deadline_us, const std::uint8_t* payload,
+                           std::size_t len);
 // Response payload: the first 8 bytes of the digest.
 void AppendResponse(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
                     std::uint64_t request_id, const std::uint8_t* digest8);

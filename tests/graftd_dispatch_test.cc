@@ -608,4 +608,59 @@ TEST(Dispatcher, TrySubmitSignalsBackpressure) {
   EXPECT_GT(snapshot.grafts[slow].counters.ok, 0u);
 }
 
+TEST(Dispatcher, ExpiredDeadlineIsShedBeforeTheBodyRuns) {
+  graftd::FakeClock clock;
+  graftd::DispatcherOptions options;
+  options.workers = 1;
+  graftd::Dispatcher dispatcher(options, &clock);
+  tracelab::Tracer tracer;
+  dispatcher.set_tracer(&tracer);
+  const graftd::GraftId id =
+      dispatcher.RegisterStreamGraft("md5/C", Md5Factory(core::Technology::kC));
+  const auto data = MakeData(1024);
+  clock.Advance(1ms);  // NowNs() == 1'000'000
+
+  // Already past its deadline when the worker picks it up: shed with
+  // kExpired, and the graft body must never run.
+  std::atomic<int> expired{0};
+  graftd::Invocation stale;
+  stale.graft = id;
+  stale.data = streamk::Bytes(data.data(), data.size());
+  stale.deadline_ns = 1;  // long past on the fake clock
+  stale.on_complete = [&](const graftd::Completion& completion) {
+    if (completion.status == graftd::CompletionStatus::kExpired) {
+      expired.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ASSERT_TRUE(dispatcher.Submit(std::move(stale)));
+
+  // A comfortable future deadline runs normally.
+  std::atomic<int> ok{0};
+  graftd::Invocation live;
+  live.graft = id;
+  live.data = streamk::Bytes(data.data(), data.size());
+  live.deadline_ns = dispatcher.NowNs() + 1'000'000'000ull;
+  live.on_complete = [&](const graftd::Completion& completion) {
+    if (completion.status == graftd::CompletionStatus::kOk) {
+      ok.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  ASSERT_TRUE(dispatcher.Submit(std::move(live)));
+  dispatcher.Drain();
+
+  EXPECT_EQ(expired.load(), 1);
+  EXPECT_EQ(ok.load(), 1);
+  const graftd::TelemetrySnapshot snapshot = dispatcher.Snapshot();
+  EXPECT_EQ(snapshot.grafts[id].counters.shed_expired, 1u);
+  EXPECT_EQ(snapshot.grafts[id].counters.ok, 1u);
+  EXPECT_EQ(snapshot.dispatch.shed_expired, 1u);
+  // Expiry is not the graft's fault: no failure streak accrues.
+  EXPECT_EQ(snapshot.grafts[id].supervision.consecutive_failures, 0u);
+  // Trace evidence the body never started: the dispatch span bracketed
+  // both decisions, the body span only the live one.
+  ASSERT_EQ(snapshot.stages.size(), 1u);
+  EXPECT_EQ(snapshot.stages[0].dispatch.count, 2u);
+  EXPECT_EQ(snapshot.stages[0].body.count, 1u);
+}
+
 }  // namespace

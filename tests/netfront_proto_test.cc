@@ -16,13 +16,16 @@ namespace {
 using netfront::AppendError;
 using netfront::AppendHeader;
 using netfront::AppendRequest;
+using netfront::AppendRequestDeadline;
 using netfront::AppendResponse;
 using netfront::ErrorCode;
 using netfront::FrameDecoder;
 using netfront::FrameHeader;
 using netfront::FrameType;
 using netfront::kHeaderSize;
+using netfront::kHeaderSizeDeadline;
 using netfront::kMagic;
+using netfront::kVersionDeadline;
 using netfront::kMaxPayload;
 
 std::vector<std::uint8_t> Payload(std::size_t n, std::uint8_t seed = 7) {
@@ -281,6 +284,111 @@ TEST(WireFuzz, CorruptedHeadersNeverOverDecodeAndStayPoisoned) {
       EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
     }
   }
+}
+
+TEST(WireDeadline, DeadlineRequestRoundTripsAsVersion2) {
+  std::vector<std::uint8_t> stream;
+  const auto payload = Payload(48);
+  AppendRequestDeadline(stream, 2, 7, 0xABCDull, 1'500'000, payload.data(), payload.size());
+  ASSERT_EQ(stream.size(), kHeaderSizeDeadline + 48);
+  EXPECT_EQ(stream[4], kVersionDeadline);
+
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  FrameDecoder::Frame frame;
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.header.version, kVersionDeadline);
+  EXPECT_EQ(frame.header.deadline_us, 1'500'000u);
+  EXPECT_EQ(frame.header.request_id, 0xABCDull);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireDeadline, V1AndV2FramesInterleaveOnOneStream) {
+  // Version negotiation is per frame: an old client's v1 frames and a new
+  // client's v2 frames decode side by side on the same connection, in both
+  // orders, and the v1 frames always read back deadline_us == 0.
+  std::vector<std::uint8_t> stream;
+  const auto payload = Payload(16);
+  AppendRequest(stream, 1, 1, 10, payload.data(), payload.size());            // v1
+  AppendRequestDeadline(stream, 1, 1, 11, 250, payload.data(), payload.size());  // v2
+  AppendRequest(stream, 1, 1, 12, payload.data(), payload.size());            // v1 again
+  AppendRequestDeadline(stream, 1, 1, 13, 0, payload.data(), payload.size());    // v2, no deadline
+
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  FrameDecoder::Frame frame;
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.header.version, 1);
+  EXPECT_EQ(frame.header.deadline_us, 0u);
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.header.version, kVersionDeadline);
+  EXPECT_EQ(frame.header.deadline_us, 250u);
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.header.version, 1);
+  EXPECT_EQ(frame.header.deadline_us, 0u);
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.header.version, kVersionDeadline);
+  EXPECT_EQ(frame.header.deadline_us, 0u);
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kNeedMore);
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(WireDeadline, RepliesStayVersion1ForOldClients) {
+  // The back-compat contract's other direction: whatever version the
+  // request carried, replies are always v1 frames a pre-deadline decoder
+  // can parse.
+  std::vector<std::uint8_t> stream;
+  const std::uint8_t digest8[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+  AppendResponse(stream, 0, 0, 99, digest8);
+  AppendError(stream, 0, 0, 100, ErrorCode::kExpired);
+  EXPECT_EQ(stream[4], 1);                    // response header version
+  EXPECT_EQ(stream[kHeaderSize + 8 + 4], 1);  // error header version
+
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  FrameDecoder::Frame frame;
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.header.version, 1);
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.header.version, 1);
+  ASSERT_EQ(frame.payload.size(), 2u);
+  EXPECT_EQ(static_cast<ErrorCode>(frame.payload[0]), ErrorCode::kExpired);
+}
+
+TEST(WireDeadline, TornReadSweepOverEveryHeaderBoundary) {
+  // Split a v2 frame at every byte boundary — including each of the eight
+  // new deadline bytes — and assert the decoder needs more until the
+  // split, then produces exactly the frame afterwards.
+  std::vector<std::uint8_t> whole;
+  const auto payload = Payload(21);
+  AppendRequestDeadline(whole, 4, 5, 0x1122334455667788ull, 0xA1B2C3D4E5F60718ull,
+                        payload.data(), payload.size());
+  for (std::size_t split = 1; split < whole.size(); ++split) {
+    FrameDecoder decoder;
+    FrameDecoder::Frame frame;
+    decoder.Feed(whole.data(), split);
+    ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kNeedMore) << "split=" << split;
+    ASSERT_FALSE(decoder.failed()) << "split=" << split;
+    decoder.Feed(whole.data() + split, whole.size() - split);
+    ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame) << "split=" << split;
+    EXPECT_EQ(frame.header.deadline_us, 0xA1B2C3D4E5F60718ull);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kNeedMore);
+  }
+  // And the fully torn case: one byte at a time.
+  FrameDecoder decoder;
+  FrameDecoder::Frame frame;
+  std::size_t frames = 0;
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    decoder.Feed(&whole[i], 1);
+    while (decoder.Next(frame) == FrameDecoder::Result::kFrame) {
+      ++frames;
+      EXPECT_EQ(frame.header.deadline_us, 0xA1B2C3D4E5F60718ull);
+    }
+  }
+  EXPECT_EQ(frames, 1u);
+  EXPECT_FALSE(decoder.failed());
 }
 
 }  // namespace

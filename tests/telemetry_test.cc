@@ -205,4 +205,51 @@ TEST(LatencyHistogram, SummaryAndJsonCarryP999) {
   EXPECT_NE(snapshot.ToJson().find("\"p999_us\":"), std::string::npos);
 }
 
+TEST(TelemetryJson, ChaosCountersRenderInTextAndJson) {
+  // The chaoslab additions: per-graft deadline sheds and breaker state,
+  // dispatcher-wide shed_expired, per-tenant breaker/dedup counters, and
+  // the netfront crash-adoption trio — all visible in both renderings.
+  TelemetrySnapshot snapshot;
+  TelemetrySnapshot::Row row;
+  row.name = "g";
+  row.counters.invocations = 5;
+  row.counters.ok = 3;
+  row.counters.shed_expired = 2;
+  row.supervision.breaker = graftd::BreakerState::kOpen;
+  row.supervision.breaker_opens = 1;
+  snapshot.grafts.push_back(row);
+  snapshot.dispatch.shed_expired = 2;
+  snapshot.dispatch.lane_mode = "spsc";
+  snapshot.dispatch.workers.emplace_back();  // dispatch section renders
+
+  snapshot.netfront.present = true;
+  graftd::NetfrontSection::TenantRow tenant;
+  tenant.name = "t";
+  tenant.accepted = 9;
+  tenant.breaker_open = 4;
+  tenant.retries_deduped = 6;
+  snapshot.netfront.tenants.push_back(tenant);
+  snapshot.netfront.io_thread_crashes = 1;
+  snapshot.netfront.conns_adopted = 3;
+  snapshot.netfront.crash_orphans = 2;
+
+  const std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("expired"), std::string::npos);
+  EXPECT_NE(text.find("deadline shed: 2 expired before the body ran"), std::string::npos);
+  EXPECT_NE(text.find("brk-open"), std::string::npos);
+  EXPECT_NE(text.find("deduped"), std::string::npos);
+  EXPECT_NE(text.find("netfront chaos: 1 io-thread crashes, 3 conns adopted, 2 staged orphans"),
+            std::string::npos);
+
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"shed_expired\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"breaker\":\"open\""), std::string::npos);
+  EXPECT_NE(json.find("\"breaker_opens\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"breaker_open\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"retries_deduped\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"io_thread_crashes\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"conns_adopted\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"crash_orphans\":2"), std::string::npos);
+}
+
 }  // namespace
