@@ -272,6 +272,7 @@ minnow::VmOptions GraftVmOptions(const MinnowConfig& config) {
   options.heap_limit = 96u << 20;  // the full-scale ldisk map needs ~12MB
   options.dispatch = config.dispatch;
   options.profile_opcodes = config.profile_opcodes;
+  options.elide_checks = config.elide;
   return options;
 }
 

@@ -35,13 +35,16 @@ enum class MinnowEngine {
 // load-time interpreter speedup with no semantic footprint, so it defaults
 // on (and is skipped automatically for the translated engine, whose
 // register IR does its own fusion and refuses fused bytecode). `dispatch`
-// and `profile_opcodes` pass straight through to VmOptions.
+// and `profile_opcodes` pass straight through to VmOptions. `elide` runs
+// the load-time check-elision pass (minnow/elide.h): accesses whose safety
+// checks the abstract interpreter proves dead execute unchecked.
 struct MinnowConfig {
   MinnowEngine engine = MinnowEngine::kInterpreter;
   bool optimize = false;
   bool fuse = true;
   minnow::DispatchMode dispatch = minnow::DispatchMode::kDefault;
   bool profile_opcodes = false;
+  bool elide = false;
 };
 
 // --- Prioritization ---
@@ -90,9 +93,17 @@ class MinnowMd5Graft : public core::StreamGraft {
   std::int64_t FuelRemaining() const override { return vm_->fuel(); }
 
   // Telemetry seam: cumulative per-opcode retire counts when the config
-  // enables profile_opcodes; empty otherwise.
+  // enables profile_opcodes; empty otherwise. Certified (check-elided)
+  // programs additionally report their static checks_elided /
+  // checks_retained certificate counts, so graftd telemetry can surface
+  // how much of the safety tax the proof removed.
   std::vector<std::pair<std::string, std::uint64_t>> ExecutionProfile() const override {
-    return vm_->OpcodeCounts();
+    auto counts = vm_->OpcodeCounts();
+    if (vm_->program().elision.attached) {
+      counts.emplace_back("checks_elided", vm_->program().elision.checks_elided);
+      counts.emplace_back("checks_retained", vm_->program().elision.checks_retained);
+    }
+    return counts;
   }
 
   minnow::VM& vm() { return *vm_; }

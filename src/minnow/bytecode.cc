@@ -87,6 +87,13 @@ const char* OpName(Op op) {
     case Op::kMoveLocal: return "move.local";
     case Op::kStoreLoad: return "store+load";
     case Op::kLoadGlobalLocal: return "load.global+local";
+    case Op::kLoadElemNC: return "load.arr.nc";
+    case Op::kStoreElemNC: return "store.arr.nc";
+    case Op::kLoadFieldNC: return "deref.nc";
+    case Op::kStoreFieldNC: return "deref.store.nc";
+    case Op::kDivNZ: return "div.nz";
+    case Op::kModNZ: return "mod.nz";
+    case Op::kArrayLenNC: return "len.nc";
   }
   return "?";
 }
@@ -114,6 +121,10 @@ std::string Disassemble(const FunctionCode& fn) {
       case Op::kStoreField:
       case Op::kLoadElem:
       case Op::kStoreElem:
+      case Op::kLoadElemNC:
+      case Op::kStoreElemNC:
+      case Op::kLoadFieldNC:
+      case Op::kStoreFieldNC:
       case Op::kTrap:
       case Op::kLoadAddI:
       case Op::kAddConstI:

@@ -76,6 +76,19 @@
 //                  operand packs a<<32 | b)
 //   kLoadGlobalLocal  push globals[g], push locals[s]  (kLoadGlobal +
 //                  kLoadLocal; operand packs g<<32 | s)
+//
+// Unchecked variants (emitted only by elide.h's load-time check-elision
+// pass, and only when its abstract interpreter has proven the elided
+// runtime check can never fire; the verifier refuses them unless the
+// program carries a matching elision certificate — see ElisionCertificate):
+//
+//   kLoadElemNC    kLoadElem without the null, array-kind, and bounds checks
+//   kStoreElemNC   kStoreElem without the null, array-kind, and bounds checks
+//   kLoadFieldNC   kLoadField without the null check (field-index check kept)
+//   kStoreFieldNC  kStoreField without the null check (field-index check kept)
+//   kDivNZ         kDivI without the zero-divisor and INT64_MIN/-1 checks
+//   kModNZ         kModI without the zero-divisor and INT64_MIN/-1 checks
+//   kArrayLenNC    kArrayLen without the null and array-kind checks
 
 #ifndef GRAFTLAB_SRC_MINNOW_BYTECODE_H_
 #define GRAFTLAB_SRC_MINNOW_BYTECODE_H_
@@ -169,7 +182,14 @@
   X(kLoadConstI)               \
   X(kMoveLocal)                \
   X(kStoreLoad)                \
-  X(kLoadGlobalLocal)
+  X(kLoadGlobalLocal)          \
+  X(kLoadElemNC)               \
+  X(kStoreElemNC)              \
+  X(kLoadFieldNC)              \
+  X(kStoreFieldNC)             \
+  X(kDivNZ)                    \
+  X(kModNZ)                    \
+  X(kArrayLenNC)
 
 namespace minnow {
 
@@ -187,7 +207,14 @@ inline constexpr std::size_t kNumOps = 0
 
 // True for opcodes only FuseSuperinstructions may emit.
 inline constexpr bool IsSuperinstruction(Op op) {
-  return op >= Op::kLoadAddI;
+  return op >= Op::kLoadAddI && op <= Op::kLoadGlobalLocal;
+}
+
+// True for the unchecked opcode variants only the check-elision pass
+// (elide.h) may emit. The verifier rejects them unless the program's
+// elision certificate is attached and its code hash matches.
+inline constexpr bool IsUncheckedOp(Op op) {
+  return op >= Op::kLoadElemNC;
 }
 
 // kConstStore packs a 32-bit constant and a local slot into one operand.
@@ -256,12 +283,34 @@ struct GlobalSlot {
   bool is_ref = false;
 };
 
+// Proof-carrying stamp attached by the check-elision pass (elide.h). The
+// pass only rewrites an access to its unchecked variant when its abstract
+// interpreter has proven the elided check can never fire; the certificate
+// binds that proof to the exact post-rewrite opcode stream via an FNV-1a
+// hash, so the verifier and the regir translator can refuse unchecked
+// opcodes that did not come out of the elision pass (or were edited after
+// it ran).
+struct ElisionCertificate {
+  bool attached = false;
+  std::uint64_t code_hash = 0;  // ElisionCodeHash over the rewritten program
+  // Static rewrite counts, by category (each elided site is one opcode
+  // replaced 1:1, so fuel and retired-instruction counts are unchanged).
+  std::uint64_t checks_elided = 0;    // total sites rewritten
+  std::uint64_t checks_retained = 0;  // candidate sites left checked
+  std::uint64_t elem_loads_elided = 0;
+  std::uint64_t elem_stores_elided = 0;
+  std::uint64_t field_accesses_elided = 0;
+  std::uint64_t divs_elided = 0;
+  std::uint64_t array_lens_elided = 0;
+};
+
 // A compiled, shippable Minnow module.
 struct Program {
   std::vector<StructLayout> structs;
   std::vector<GlobalSlot> globals;
   std::vector<FunctionCode> functions;
   std::vector<HostImport> host_imports;
+  ElisionCertificate elision;
 
   // Index of a function by name, -1 if absent.
   int FindFunction(const std::string& name) const {

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "src/minnow/elide.h"
+
 namespace minnow {
 
 namespace {
@@ -225,6 +227,7 @@ struct Translator {
           case Op::kCastU32:
           case Op::kCastByte:
           case Op::kArrayLen:
+          case Op::kArrayLenNC:
           case Op::kNewArray:
             pops = 1;
             pushes = 1;
@@ -259,17 +262,21 @@ struct Translator {
             terminal = true;
             break;
           case Op::kLoadField:
+          case Op::kLoadFieldNC:
             pops = 1;
             pushes = 1;
             break;
           case Op::kStoreField:
+          case Op::kStoreFieldNC:
             pops = 2;
             break;
           case Op::kLoadElem:
+          case Op::kLoadElemNC:
             pops = 2;
             pushes = 1;
             break;
           case Op::kStoreElem:
+          case Op::kStoreElemNC:
             pops = 3;
             break;
           case Op::kNop:
@@ -425,8 +432,11 @@ struct Translator {
       case Op::kAddI: bin(ROp::kAddI, ROp::kAddImmI); break;
       case Op::kSubI: bin(ROp::kSubI, ROp::kSubImmI); break;
       case Op::kMulI: bin(ROp::kMulI); break;
-      case Op::kDivI: bin(ROp::kDivI); break;
-      case Op::kModI: bin(ROp::kModI); break;
+      // Unchecked variants translate to the checked IR ops: the elision
+      // certificate proves the checks never fire, so keeping them in the
+      // register IR is sound and costs nothing the proof didn't already pay.
+      case Op::kDivI: case Op::kDivNZ: bin(ROp::kDivI); break;
+      case Op::kModI: case Op::kModNZ: bin(ROp::kModI); break;
       case Op::kAndI: bin(ROp::kAndI); break;
       case Op::kOrI: bin(ROp::kOrI); break;
       case Op::kXorI: bin(ROp::kXorI); break;
@@ -559,14 +569,16 @@ struct Translator {
         Emit(ROp::kNewArray, r, a, -1, insn.operand);
         break;
       }
-      case Op::kLoadField: {
+      case Op::kLoadField:
+      case Op::kLoadFieldNC: {
         const std::int32_t r = StackReg(depth, 0);
         const std::int32_t a = Use(r);
         Define(r);
         Emit(ROp::kLoadField, r, a, -1, insn.operand);
         break;
       }
-      case Op::kStoreField: {
+      case Op::kStoreField:
+      case Op::kStoreFieldNC: {
         const std::int32_t value = Use(StackReg(depth, 0));
         const std::int32_t object = Use(StackReg(depth, 1));
         Emit(ROp::kStoreField, -1, object, value, insn.operand);
@@ -574,7 +586,8 @@ struct Translator {
         At(StackReg(depth, 1)) = Alias{};
         break;
       }
-      case Op::kLoadElem: {
+      case Op::kLoadElem:
+      case Op::kLoadElemNC: {
         const std::int32_t index = Use(StackReg(depth, 0));
         const std::int32_t array = Use(StackReg(depth, 1));
         const std::int32_t dst = StackReg(depth, 1);
@@ -582,7 +595,8 @@ struct Translator {
         Emit(ROp::kLoadElem, dst, array, index, insn.operand);
         break;
       }
-      case Op::kStoreElem: {
+      case Op::kStoreElem:
+      case Op::kStoreElemNC: {
         const std::int32_t value = Use(StackReg(depth, 0));
         const std::int32_t index = Use(StackReg(depth, 1));
         const std::int32_t array = Use(StackReg(depth, 2));
@@ -592,7 +606,8 @@ struct Translator {
         At(StackReg(depth, 2)) = Alias{};
         break;
       }
-      case Op::kArrayLen: {
+      case Op::kArrayLen:
+      case Op::kArrayLenNC: {
         const std::int32_t r = StackReg(depth, 0);
         const std::int32_t a = Use(r);
         Define(r);
@@ -620,6 +635,14 @@ RFunction TranslateFunction(const Program& program, const FunctionCode& fn) {
     if (IsSuperinstruction(insn.op)) {
       throw std::invalid_argument("register translation requires unfused bytecode (fn '" +
                                   fn.name + "' contains " + OpName(insn.op) + ")");
+    }
+    // Unchecked opcodes ride through translation (they map back onto the
+    // checked IR ops), but only with the elision pass's proof attached —
+    // otherwise the NC opcodes could smuggle unproven code past the gate.
+    if (IsUncheckedOp(insn.op) && !ElisionCertificateValid(program)) {
+      throw std::invalid_argument("register translation of " + std::string(OpName(insn.op)) +
+                                  " in fn '" + fn.name +
+                                  "' requires a valid elision certificate");
     }
   }
   Translator translator(program, fn);

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "src/minnow/elide.h"
+
 namespace minnow {
 
 namespace {
@@ -177,6 +179,27 @@ bool StackEffect(const Program& program, const Insn& insn, Effect& effect, std::
       effect.pops = 1;
       effect.pushes = 1;
       break;
+    // Unchecked variants mirror their checked originals' stack shapes.
+    case Op::kLoadElemNC:
+      effect.pops = 2;
+      effect.pushes = 1;
+      break;
+    case Op::kStoreElemNC:
+      effect.pops = 3;
+      break;
+    case Op::kLoadFieldNC:
+    case Op::kArrayLenNC:
+      effect.pops = 1;
+      effect.pushes = 1;
+      break;
+    case Op::kStoreFieldNC:
+      effect.pops = 2;
+      break;
+    case Op::kDivNZ:
+    case Op::kModNZ:
+      effect.pops = 2;
+      effect.pushes = 1;
+      break;
     default:
       error = "unknown opcode";
       return false;
@@ -251,6 +274,8 @@ bool CheckOperand(const Program& program, const FunctionCode& fn, const Insn& in
     case Op::kNewArray:
     case Op::kLoadElem:
     case Op::kStoreElem:
+    case Op::kLoadElemNC:
+    case Op::kStoreElemNC:
       if (!ValidElemKind(insn.operand)) {
         error = "invalid array element kind";
         return false;
@@ -258,6 +283,8 @@ bool CheckOperand(const Program& program, const FunctionCode& fn, const Insn& in
       break;
     case Op::kLoadField:
     case Op::kStoreField:
+    case Op::kLoadFieldNC:
+    case Op::kStoreFieldNC:
       // Field indices are checked against the receiver's layout at run time
       // (the verifier tracks no types); they must at least be non-negative
       // and within the largest layout.
@@ -368,6 +395,28 @@ VerifyReport VerifyFunction(const Program& program, FunctionCode& fn, int fn_ind
 }  // namespace
 
 VerifyReport VerifyProgram(Program& program) {
+  // Unchecked opcodes are only legal under a matching elision certificate:
+  // the proof that made them safe is bound to this exact opcode stream.
+  bool has_unchecked = false;
+  for (const auto& fn : program.functions) {
+    for (const Insn& insn : fn.code) {
+      if (IsUncheckedOp(insn.op)) {
+        has_unchecked = true;
+        break;
+      }
+    }
+    if (has_unchecked) {
+      break;
+    }
+  }
+  if (has_unchecked && !ElisionCertificateValid(program)) {
+    VerifyReport report;
+    report.ok = false;
+    report.message = program.elision.attached
+                         ? "unchecked opcodes with a stale elision certificate"
+                         : "unchecked opcodes without an elision certificate";
+    return report;
+  }
   for (std::size_t i = 0; i < program.functions.size(); ++i) {
     VerifyReport report = VerifyFunction(program, program.functions[i], static_cast<int>(i));
     if (!report.ok) {

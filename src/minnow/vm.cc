@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/minnow/elide.h"
+
 // The computed-goto dispatcher needs GNU labels-as-values; the CMake option
 // GRAFTLAB_THREADED_DISPATCH (on by default) injects the macro, and the
 // compiler check keeps non-GNU builds on the portable switch loop.
@@ -74,6 +76,13 @@ VM::VM(Program program, const VmOptions& options)
     pair_counts_ = arena_.NewArray<std::uint64_t>((kNumOps + 1) * kNumOps);
   }
   threaded_ = options.dispatch != DispatchMode::kSwitch && ThreadedDispatchAvailable();
+  if (options.elide_checks && !program_.elision.attached) {
+    ElideChecks(program_);
+  } else if (program_.elision.attached && !ElisionCertificateValid(program_)) {
+    // A stamped program whose code no longer matches its proof is refused
+    // outright — running it would execute unchecked accesses unproven.
+    throw std::invalid_argument("elision certificate does not match the code");
+  }
 }
 
 bool VM::ThreadedDispatchAvailable() {
@@ -118,6 +127,11 @@ Value VM::CallIndex(int fn_index, std::span<const Value> args) {
   if (static_cast<int>(args.size()) != fn.num_params) {
     throw std::invalid_argument("'" + fn.name + "' expects " + std::to_string(fn.num_params) +
                                 " arguments");
+  }
+  // The elision proof's global invariants assume initialized globals; a
+  // certified program may not run anything before RunInit.
+  if (program_.elision.attached && !init_ran_) {
+    throw Trap("certified program called before RunInit");
   }
   return Execute(fn_index, args);
 }
@@ -180,6 +194,11 @@ Value VM::GetGlobal(const std::string& name) const {
 }
 
 void VM::SetGlobal(const std::string& name, Value value) {
+  // Host writes bypass the dataflow that established the elision proof's
+  // global invariants, so certified programs refuse them.
+  if (program_.elision.attached) {
+    throw std::invalid_argument("SetGlobal on a certified (check-elided) program");
+  }
   for (std::size_t g = 0; g < globals_.size(); ++g) {
     if (program_.globals[g].name == name) {
       globals_[g] = value;

@@ -61,6 +61,11 @@ struct VmOptions {
   std::size_t max_call_depth = 256;
   DispatchMode dispatch = DispatchMode::kDefault;
   bool profile_opcodes = false;  // count retired opcodes and adjacent pairs
+  // Run elide.h's check-elision pass at load time: accesses whose safety
+  // checks the abstract interpreter proves dead execute as unchecked opcode
+  // variants. A certified program refuses Call before RunInit and host-side
+  // SetGlobal — both would invalidate the proof's global invariants.
+  bool elide_checks = false;
 };
 
 class VM : public Heap::RootProvider {

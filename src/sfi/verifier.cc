@@ -141,4 +141,140 @@ std::vector<Insn> RewriteWithMasks(const std::vector<Insn>& code, Protection pro
   return out;
 }
 
+std::vector<Insn> RewriteWithMasksElided(const std::vector<Insn>& code, Protection protection,
+                                         int scratch_register, MaskElisionStats* stats) {
+  for (const Insn& insn : code) {
+    if (insn.rd == scratch_register || insn.ra == scratch_register ||
+        insn.rs == scratch_register) {
+      throw std::invalid_argument("scratch register already used by input code");
+    }
+  }
+
+  const bool full = protection == Protection::kFull;
+  auto needs_mask = [&](const Insn& insn) {
+    return insn.kind == OpKind::kStore || insn.kind == OpKind::kJumpIndirect ||
+           (full && insn.kind == OpKind::kLoad);
+  };
+
+  // An indirect jump's successor set is every instruction, which would
+  // poison the whole dataflow — fall back to the plain rewriter.
+  bool has_indirect = false;
+  for (const Insn& insn : code) {
+    if (insn.kind == OpKind::kJumpIndirect) {
+      has_indirect = true;
+      break;
+    }
+  }
+  if (has_indirect) {
+    std::vector<Insn> out = RewriteWithMasks(code, protection, scratch_register);
+    if (stats != nullptr) {
+      for (const Insn& insn : code) {
+        if (needs_mask(insn)) {
+          ++stats->masks_emitted;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Forward dataflow over the *original* stream. The fact at each entry:
+  //   kUnvisited — not reached yet
+  //   kNoFact    — scratch holds nothing provable
+  //   r >= 0     — scratch holds sandbox_mask(r), and r is unchanged since
+  constexpr int kUnvisited = -2;
+  constexpr int kNoFact = -1;
+  std::vector<int> fact_at(code.size(), kUnvisited);
+  std::vector<std::size_t> worklist;
+  if (!code.empty()) {
+    fact_at[0] = kNoFact;
+    worklist.push_back(0);
+  }
+  auto flow_to = [&](std::size_t target, int fact) {
+    if (target >= code.size()) {
+      return;
+    }
+    const int merged = fact_at[target] == kUnvisited || fact_at[target] == fact
+                           ? fact
+                           : kNoFact;
+    if (merged != fact_at[target]) {
+      fact_at[target] = merged;
+      worklist.push_back(target);
+    }
+  };
+  while (!worklist.empty()) {
+    const std::size_t i = worklist.back();
+    worklist.pop_back();
+    const Insn& insn = code[i];
+    int fact = fact_at[i];
+    switch (insn.kind) {
+      case OpKind::kStore:
+      case OpKind::kLoad:
+        if (needs_mask(insn)) {
+          fact = insn.ra;  // the rewrite masks ra into scratch here
+        }
+        if (insn.kind == OpKind::kLoad && insn.rd == fact) {
+          fact = kNoFact;  // the load redefined the masked register
+        }
+        flow_to(i + 1, fact);
+        break;
+      case OpKind::kMask:
+      case OpKind::kArith:
+        if (insn.rd == fact) {
+          fact = kNoFact;
+        }
+        flow_to(i + 1, fact);
+        break;
+      case OpKind::kCallHost:
+        // The host boundary is opaque; assume scratch and every register
+        // may change.
+        flow_to(i + 1, kNoFact);
+        break;
+      case OpKind::kJumpDirect:
+        // The abstract stream has no condition bit, so treat every direct
+        // jump as conditional: both successors are reachable.
+        if (insn.target >= 0) {
+          flow_to(static_cast<std::size_t>(insn.target), fact);
+        }
+        flow_to(i + 1, fact);
+        break;
+      case OpKind::kJumpIndirect:  // excluded above
+      case OpKind::kRet:
+        break;
+    }
+  }
+
+  MaskElisionStats local;
+  std::vector<int> new_index(code.size() + 1, 0);
+  std::vector<Insn> out;
+  out.reserve(code.size() * 2);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    new_index[i] = static_cast<int>(out.size());
+    Insn insn = code[i];
+    if (needs_mask(insn)) {
+      // Elide when scratch provably already holds sandbox_mask(ra): the
+      // mask is idempotent and ra has not changed since scratch took it.
+      if (fact_at[i] == insn.ra) {
+        ++local.masks_elided;
+      } else {
+        out.push_back(Insn{OpKind::kMask, scratch_register, -1, insn.ra, -1});
+        ++local.masks_emitted;
+      }
+      insn.ra = scratch_register;
+    }
+    out.push_back(insn);
+  }
+  new_index[code.size()] = static_cast<int>(out.size());
+
+  for (Insn& insn : out) {
+    if (insn.kind == OpKind::kJumpDirect && insn.target >= 0 &&
+        static_cast<std::size_t>(insn.target) <= code.size()) {
+      insn.target = new_index[static_cast<std::size_t>(insn.target)];
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return out;
+}
+
 }  // namespace sfi

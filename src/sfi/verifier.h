@@ -83,6 +83,26 @@ class Verifier {
 std::vector<Insn> RewriteWithMasks(const std::vector<Insn>& code, Protection protection,
                                    int scratch_register);
 
+// Static rewrite counts from one RewriteWithMasksElided run.
+struct MaskElisionStats {
+  std::uint64_t masks_emitted = 0;
+  std::uint64_t masks_elided = 0;
+};
+
+// RewriteWithMasks plus the same fact engine minnow/elide.h uses, ported to
+// the SFI stream: a forward dataflow tracks, per program point, whether the
+// scratch register still holds sandbox_mask(r) for some register r that has
+// not been redefined since. A protected access whose address register is
+// proven already-masked-in-scratch reuses scratch directly — the mask is
+// dead and elided. The output still satisfies the dedicated-register
+// discipline (scratch is written only by masks), so Verifier::Verify
+// accepts it unchanged. Any kJumpIndirect in the input disables elision
+// (its unknown successor set would poison the dataflow): the result is then
+// exactly RewriteWithMasks output with all masks counted as emitted.
+std::vector<Insn> RewriteWithMasksElided(const std::vector<Insn>& code, Protection protection,
+                                         int scratch_register,
+                                         MaskElisionStats* stats = nullptr);
+
 }  // namespace sfi
 
 #endif  // GRAFTLAB_SRC_SFI_VERIFIER_H_

@@ -10,8 +10,10 @@
 // *any* observable result fails loudly.
 //
 // The second half runs the Minnow grafts across the dispatch/optimizer/
-// fusion configuration matrix: every configuration must produce the same
-// traces as the plain switch interpreter on raw bytecode.
+// fusion/check-elision configuration matrix: every configuration must
+// produce the same traces as the plain switch interpreter on raw, fully
+// checked bytecode — including the configurations where the elision pass
+// has rewritten proven-safe accesses to their unchecked variants.
 
 #include <gtest/gtest.h>
 
@@ -202,15 +204,19 @@ std::vector<MinnowCase> MinnowMatrix() {
   for (const bool threaded : {false, true}) {
     for (const bool optimize : {false, true}) {
       for (const bool fuse : {false, true}) {
-        grafts::MinnowConfig config;
-        config.engine = grafts::MinnowEngine::kInterpreter;
-        config.optimize = optimize;
-        config.fuse = fuse;
-        config.dispatch =
-            threaded ? minnow::DispatchMode::kThreaded : minnow::DispatchMode::kSwitch;
-        cases.push_back({std::string(threaded ? "threaded" : "switch") +
-                             (optimize ? "_opt" : "") + (fuse ? "_fused" : ""),
-                         config});
+        for (const bool elide : {false, true}) {
+          grafts::MinnowConfig config;
+          config.engine = grafts::MinnowEngine::kInterpreter;
+          config.optimize = optimize;
+          config.fuse = fuse;
+          config.elide = elide;
+          config.dispatch =
+              threaded ? minnow::DispatchMode::kThreaded : minnow::DispatchMode::kSwitch;
+          cases.push_back({std::string(threaded ? "threaded" : "switch") +
+                               (optimize ? "_opt" : "") + (fuse ? "_fused" : "") +
+                               (elide ? "_elided" : ""),
+                           config});
+        }
       }
     }
   }
@@ -221,6 +227,13 @@ std::vector<MinnowCase> MinnowMatrix() {
   translated_opt.engine = grafts::MinnowEngine::kTranslated;
   translated_opt.optimize = true;
   cases.push_back({"translated_opt", translated_opt});
+  // The register translator consumes certified bytecode: unchecked opcodes
+  // translate back to their checked register forms (sound — the certificate
+  // proves those checks never fire), so the traces must still be identical.
+  grafts::MinnowConfig translated_elide;
+  translated_elide.engine = grafts::MinnowEngine::kTranslated;
+  translated_elide.elide = true;
+  cases.push_back({"translated_elided", translated_elide});
   return cases;
 }
 

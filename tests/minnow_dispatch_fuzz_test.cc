@@ -1,26 +1,39 @@
 // Differential fuzzing of the Minnow execution configurations.
 //
 // A seeded generator emits random well-typed Minnow programs (integer
-// arithmetic over edge-case constants, bounded loops, branches), compiles
-// each once, and runs the same bytecode through every configuration the
-// engine rewrite introduced: {switch, threaded dispatch} x {optimizer
-// on/off} x {superinstruction fusion on/off}. Every configuration must
-// produce the identical result — the same value, or the same trap message —
-// as the reference (switch dispatch, raw bytecode). kDivI/kModI edge cases
-// (division by zero, INT64_MIN / -1) get dedicated deterministic coverage,
-// and a directed section checks that the fusion pass actually emits each
-// superinstruction and that both dispatch loops agree on all of them.
+// arithmetic over edge-case constants, bounded loops, branches, and — for
+// the elision corpus — arrays, nullable struct references, and guarded or
+// unguarded dereferences), compiles each once, and runs the same bytecode
+// through every configuration the engine rewrite introduced: {switch,
+// threaded dispatch} x {optimizer on/off} x {superinstruction fusion
+// on/off} x {check elision on/off}. Every configuration must produce the
+// identical result — the same value, or the same trap message — as the
+// reference (switch dispatch, raw bytecode, all checks retained). kDivI /
+// kModI edge cases (division by zero, INT64_MIN / -1) get dedicated
+// deterministic coverage, a directed section checks that the fusion pass
+// actually emits each superinstruction, and an adversarial section pins
+// down programs whose checks must NOT be elided (off-by-one loop bounds,
+// nil reassignment behind a guard, joined arrays of different lengths,
+// INT64_MIN / -1 behind a zero-only guard), asserted through the elision
+// certificate's counters.
+//
+// The elision soak additionally asserts instructions_retired equality
+// between the checked and elided runs of each configuration: the rewrite is
+// strictly 1:1, so fuel accounting must be bit-identical.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "src/minnow/bytecode.h"
 #include "src/minnow/compiler.h"
+#include "src/minnow/elide.h"
 #include "src/minnow/optimizer.h"
 #include "src/minnow/verifier.h"
 #include "src/minnow/vm.h"
@@ -42,11 +55,13 @@ struct Config {
   DispatchMode dispatch;
   bool optimize;
   bool fuse;
+  bool elide = false;
 
   std::string Name() const {
     std::string name = dispatch == DispatchMode::kThreaded ? "threaded" : "switch";
     if (optimize) name += "+opt";
     if (fuse) name += "+fuse";
+    if (elide) name += "+elide";
     return name;
   }
 };
@@ -56,7 +71,9 @@ std::vector<Config> AllConfigs() {
   for (const DispatchMode dispatch : {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
     for (const bool optimize : {false, true}) {
       for (const bool fuse : {false, true}) {
-        configs.push_back({dispatch, optimize, fuse});
+        for (const bool elide : {false, true}) {
+          configs.push_back({dispatch, optimize, fuse, elide});
+        }
       }
     }
   }
@@ -66,12 +83,20 @@ std::vector<Config> AllConfigs() {
 // Result of one execution: a value, or the trap that stopped it. Trap
 // *messages* are part of the contract — an engine that traps for a
 // different reason is wrong even if it traps at the same instruction.
+// `retired` carries the fuel-equivalence side of the contract: check
+// elision is a 1:1 opcode rewrite, so checked and elided runs of the same
+// {dispatch, optimize, fuse} configuration must retire the same count
+// (AgreesWith ignores it; the elision soak compares it explicitly).
 struct Outcome {
   bool trapped = false;
   std::int64_t value = 0;
   std::string trap;
+  std::uint64_t retired = 0;
 
-  bool operator==(const Outcome&) const = default;
+  bool AgreesWith(const Outcome& other) const {
+    return trapped == other.trapped && value == other.value && trap == other.trap;
+  }
+  bool operator==(const Outcome& other) const { return AgreesWith(other); }
 };
 
 std::string Describe(const Outcome& outcome) {
@@ -91,18 +116,23 @@ Outcome RunConfig(const Program& compiled, const Config& config, const char* fn,
   }
   VmOptions options;
   options.dispatch = config.dispatch;
+  options.elide_checks = config.elide;
   Outcome outcome;
+  std::unique_ptr<VM> vm;
   try {
-    VM vm(program, options);
-    vm.RunInit();
+    vm = std::make_unique<VM>(program, options);
+    vm->RunInit();
     std::vector<Value> values;
     for (const std::int64_t a : args) {
       values.push_back(Value::Int(a));
     }
-    outcome.value = vm.Call(fn, values).AsInt();
+    outcome.value = vm->Call(fn, values).AsInt();
   } catch (const Trap& trap) {
     outcome.trapped = true;
     outcome.trap = trap.what();
+  }
+  if (vm != nullptr) {
+    outcome.retired = vm->instructions_retired();
   }
   return outcome;
 }
@@ -133,11 +163,16 @@ void ExpectAllConfigsAgree(const std::string& source, const char* fn,
 
 class ProgramGen {
  public:
-  explicit ProgramGen(std::uint32_t seed) : rng_(seed) {}
+  // `heap` adds arrays, a nullable struct local, and (possibly unguarded,
+  // possibly out-of-bounds) accesses to the mix — the shapes the check
+  // eliding pass reasons about, including the ones it must refuse.
+  explicit ProgramGen(std::uint32_t seed, bool heap = false) : rng_(seed), heap_(heap) {}
 
   std::string Generate() {
     visible_ = 3;  // the v0, v1, v2 parameters
     counters_ = 0;
+    arrays_ = 0;
+    boxes_ = 0;
     std::string body;
     // All mutable locals are declared up front at function scope (each
     // initializer sees only the variables before it), so the statement
@@ -147,12 +182,26 @@ class ProgramGen {
       body += "  var v" + std::to_string(visible_) + ": int = " + Expr(2) + ";\n";
       ++visible_;
     }
+    if (heap_) {
+      // Power-of-two lengths: `idx & (len - 1)` is the provably-in-bounds
+      // access form, while raw expression indices exercise the retained
+      // (and trapping) paths.
+      arrays_ = 1 + static_cast<int>(rng_() % 2);
+      for (int i = 0; i < arrays_; ++i) {
+        array_len_[i] = 1 << (rng_() % 4);  // 1, 2, 4, or 8
+        body += "  var a" + std::to_string(i) + ": int[] = new int[" +
+                std::to_string(array_len_[i]) + "];\n";
+      }
+      boxes_ = 1;
+      body += rng_() % 2 == 0 ? "  var b0: Box = null;\n" : "  var b0: Box = new Box();\n";
+    }
     const int statements = 2 + static_cast<int>(rng_() % 5);
     for (int i = 0; i < statements; ++i) {
       body += Statement(2);
     }
     body += "  return " + Expr(3) + ";\n";
-    return "fn f(v0: int, v1: int, v2: int) -> int {\n" + body + "}\n";
+    std::string prologue = heap_ ? "struct Box { a: int; b: Box; }\n" : "";
+    return prologue + "fn f(v0: int, v1: int, v2: int) -> int {\n" + body + "}\n";
   }
 
  private:
@@ -182,7 +231,30 @@ class ProgramGen {
 
   std::string Var() { return "v" + std::to_string(rng_() % visible_); }
 
+  std::string Arr() { return "a" + std::to_string(rng_() % arrays_); }
+
+  // An int-valued heap read: an array element (masked in-bounds or raw and
+  // possibly trapping), an array length, or a struct field (possibly null).
+  std::string HeapExpr(int depth) {
+    switch (rng_() % 4) {
+      case 0: {
+        const int a = static_cast<int>(rng_() % arrays_);
+        return "a" + std::to_string(a) + "[(" + Expr(depth) + " & " +
+               std::to_string(array_len_[a] - 1) + ")]";
+      }
+      case 1:
+        return Arr() + "[" + Expr(depth) + "]";
+      case 2:
+        return Arr() + ".len";
+      default:
+        return "b0.a";
+    }
+  }
+
   std::string Expr(int depth) {
+    if (heap_ && arrays_ > 0 && depth > 0 && rng_() % 6 == 0) {
+      return HeapExpr(depth - 1);
+    }
     if (depth == 0 || rng_() % 4 == 0) {
       return rng_() % 2 == 0 ? Var() : std::to_string(Constant());
     }
@@ -204,7 +276,35 @@ class ProgramGen {
     return Expr(1) + " " + kCmps[rng_() % 6] + " " + Expr(1);
   }
 
+  // Heap-mutating statements, including the adversarial shapes: unguarded
+  // stores (null / out-of-bounds traps are part of the differential
+  // contract), guarded dereferences the elider may prove, and guard-then-
+  // reassign sequences it must not trust.
+  std::string HeapStatement(int depth) {
+    switch (rng_() % 6) {
+      case 0: {  // masked (provably in-bounds) array store
+        const int a = static_cast<int>(rng_() % arrays_);
+        return "  a" + std::to_string(a) + "[(" + Expr(1) + " & " +
+               std::to_string(array_len_[a] - 1) + ")] = " + Expr(depth) + ";\n";
+      }
+      case 1:  // raw-index store; may trap out of bounds
+        return "  " + Arr() + "[" + Expr(1) + "] = " + Expr(depth) + ";\n";
+      case 2:  // guarded field store
+        return "  if (b0 != null) { b0.a = " + Expr(depth) + "; }\n";
+      case 3:  // unguarded field store; may trap on null
+        return "  b0.a = " + Expr(depth) + ";\n";
+      case 4:
+        return "  b0 = new Box();\n";
+      default:  // guard, then sometimes reassign to null behind the guard
+        return "  if (b0 != null) { b0.a = b0.a + 1;" +
+               std::string(rng_() % 2 == 0 ? " b0 = b0.b;" : "") + " }\n";
+    }
+  }
+
   std::string Statement(int depth) {
+    if (heap_ && arrays_ > 0 && rng_() % 3 == 0) {
+      return HeapStatement(depth > 0 ? depth : 1);
+    }
     const std::uint32_t pick = rng_() % (depth > 0 ? 5 : 3);
     switch (pick) {
       case 0:  // const into local (feeds kConstStore fusion)
@@ -226,8 +326,12 @@ class ProgramGen {
   }
 
   std::mt19937 rng_;
+  bool heap_;
   int visible_;
   int counters_;
+  int arrays_ = 0;
+  int boxes_ = 0;
+  int array_len_[2] = {0, 0};
 };
 
 TEST(DispatchFuzz, RandomProgramsAgreeAcrossAllConfigurations) {
@@ -393,6 +497,167 @@ TEST(DispatchFuzz, FusionChangesFuelButNotResults) {
   EXPECT_EQ(raw_vm.Call("f", {Value::Int(100)}).AsInt(),
             fused_vm.Call("f", {Value::Int(100)}).AsInt());
   EXPECT_LT(fused_vm.instructions_retired(), raw_vm.instructions_retired());
+}
+
+// --- Differential check-elision soak ---
+//
+// Every verifier-accepted generated program (now with arrays, nullable
+// references, and guarded/unguarded/out-of-bounds accesses) runs checked
+// and elided under {switch, threaded} x {fuse on/off} (optimize alternates
+// by seed). The contract is total: same value or same trap message, and —
+// because elision replaces opcodes strictly 1:1 — the same
+// instructions_retired count, which is the supervisor's fuel ledger.
+
+TEST(ElisionFuzz, CheckedAndElidedAgreeOnResultsTrapsAndFuel) {
+  int programs = 300;  // local default; CI sets GRAFTLAB_FUZZ_PROGRAMS=10000
+  if (const char* env = std::getenv("GRAFTLAB_FUZZ_PROGRAMS")) {
+    programs = std::atoi(env);
+  }
+  const std::initializer_list<std::int64_t> arg_sets[] = {
+      {0, 1, -1},
+      {7, -3, std::numeric_limits<std::int64_t>::min()},
+  };
+  for (int p = 0; p < programs; ++p) {
+    ProgramGen gen(0xE11DE00 + p, /*heap=*/true);
+    const std::string source = gen.Generate();
+    if (std::getenv("GRAFTLAB_FUZZ_VERBOSE") != nullptr) {
+      fprintf(stderr, "=== program %d ===\n%s", p, source.c_str());
+      fflush(stderr);
+    }
+    const Program compiled = Compile(source);
+    const bool optimize = (p % 2) == 1;
+    for (const DispatchMode dispatch : {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
+      for (const bool fuse : {false, true}) {
+        const Config checked{dispatch, optimize, fuse, false};
+        const Config elided{dispatch, optimize, fuse, true};
+        for (const auto& args : arg_sets) {
+          const Outcome want = RunConfig(compiled, checked, "f", args);
+          const Outcome got = RunConfig(compiled, elided, "f", args);
+          ASSERT_TRUE(want.AgreesWith(got))
+              << "program " << p << " [" << elided.Name() << "]: got " << Describe(got)
+              << ", checked " << Describe(want) << "\nsource:\n"
+              << source;
+          ASSERT_EQ(want.retired, got.retired)
+              << "program " << p << " [" << elided.Name()
+              << "]: fuel ledger diverged\nsource:\n"
+              << source;
+        }
+      }
+    }
+  }
+}
+
+// --- Adversarial must-not-elide cases ---
+//
+// Each case is a program whose safety check LOOKS removable but is not; the
+// assertion is against the elision certificate's static counters (and the
+// absence of the unchecked opcode), then against runtime behavior: the
+// retained check must still fire, identically, in the elided build.
+
+void ExpectCheckedElidedAgree(const char* source, const char* fn,
+                              std::initializer_list<std::int64_t> args, const char* label,
+                              bool expect_trap) {
+  const Program compiled = Compile(source);
+  const Config checked{DispatchMode::kSwitch, false, false, false};
+  const Config elided{DispatchMode::kSwitch, false, false, true};
+  const Outcome want = RunConfig(compiled, checked, fn, args);
+  const Outcome got = RunConfig(compiled, elided, fn, args);
+  EXPECT_EQ(want.trapped, expect_trap) << label;
+  EXPECT_TRUE(want.AgreesWith(got)) << label << ": got " << Describe(got) << ", checked "
+                                    << Describe(want);
+  EXPECT_EQ(want.retired, got.retired) << label;
+}
+
+TEST(ElisionAdversarial, OffByOneLoopBoundKeepsTheBoundsCheck) {
+  const char* source =
+      "fn f() -> int {\n"
+      "  var a: int[] = new int[4];\n"
+      "  var i: int = 0;\n"
+      "  while (i <= 4) { a[i] = i; i = i + 1; }\n"
+      "  return a[0];\n"
+      "}\n";
+  Program program = Compile(source);
+  const auto stats = minnow::ElideChecks(program);
+  EXPECT_FALSE(ProgramContains(program, Op::kStoreElemNC));
+  EXPECT_EQ(stats.elem_stores_elided, 0u);
+  EXPECT_EQ(program.elision.elem_stores_elided, 0u);
+  EXPECT_GT(program.elision.checks_retained, 0u);
+  ExpectCheckedElidedAgree(source, "f", {}, "off-by-one loop", /*expect_trap=*/true);
+}
+
+TEST(ElisionAdversarial, NilReassignmentAfterGuardKeepsTheNullCheck) {
+  // The first b.a store is proven by the `b != null` guard; the reassignment
+  // through b.b (which is null) must invalidate that fact before the second
+  // store, whose check fires at run time.
+  const char* source =
+      "struct Box { a: int; b: Box; }\n"
+      "fn f(c: int) -> int {\n"
+      "  var b: Box = null;\n"
+      "  if (c > 0) { b = new Box(); }\n"
+      "  if (b != null) {\n"
+      "    b.a = 1;\n"
+      "    b = b.b;\n"
+      "    b.a = 2;\n"
+      "  }\n"
+      "  return c;\n"
+      "}\n";
+  Program program = Compile(source);
+  const auto stats = minnow::ElideChecks(program);
+  EXPECT_GE(stats.field_accesses_elided, 1u);  // the guarded store (and load)
+  EXPECT_TRUE(ProgramContains(program, Op::kStoreField));  // the post-reassignment store
+  EXPECT_GT(program.elision.checks_retained, 0u);
+  ExpectCheckedElidedAgree(source, "f", {1}, "guard then nil reassignment",
+                           /*expect_trap=*/true);
+  ExpectCheckedElidedAgree(source, "f", {0}, "guard not taken", /*expect_trap=*/false);
+}
+
+TEST(ElisionAdversarial, JoinedArraysOfDifferentLengthsKeepTheBoundsCheck) {
+  // Minnow arrays are fixed-length, so the "resize" hazard appears as a
+  // merge of references with different proven lengths: the join must keep
+  // only the shorter bound, and index 5 against it stays checked.
+  const char* source =
+      "fn f(c: int) -> int {\n"
+      "  var a: int[] = new int[2];\n"
+      "  var b: int[] = new int[8];\n"
+      "  var x: int[] = a;\n"
+      "  if (c > 0) { x = b; }\n"
+      "  x[5] = 1;\n"
+      "  return x.len;\n"
+      "}\n";
+  Program program = Compile(source);
+  const auto stats = minnow::ElideChecks(program);
+  EXPECT_FALSE(ProgramContains(program, Op::kStoreElemNC));
+  EXPECT_EQ(stats.elem_stores_elided, 0u);
+  // Both facts survive the join, so the length read itself is provable.
+  EXPECT_GE(stats.array_lens_elided, 1u);
+  ExpectCheckedElidedAgree(source, "f", {0}, "short arm out of bounds", /*expect_trap=*/true);
+  ExpectCheckedElidedAgree(source, "f", {1}, "long arm in bounds", /*expect_trap=*/false);
+}
+
+TEST(ElisionAdversarial, ZeroOnlyDivisorGuardKeepsTheDivisionCheck) {
+  // `b != 0` rules out the zero divisor but NOT INT64_MIN / -1 — eliding on
+  // that guard alone would turn a trap into undefined behavior.
+  const char* guarded_nonzero =
+      "fn f(a: int, b: int) -> int { if (b != 0) { return a / b; } return 0; }\n";
+  Program program = Compile(guarded_nonzero);
+  const auto stats = minnow::ElideChecks(program);
+  EXPECT_FALSE(ProgramContains(program, Op::kDivNZ));
+  EXPECT_EQ(stats.divs_elided, 0u);
+  ExpectCheckedElidedAgree(guarded_nonzero, "f",
+                           {std::numeric_limits<std::int64_t>::min(), -1},
+                           "INT64_MIN / -1 behind != 0 guard", /*expect_trap=*/true);
+
+  // A positive-divisor guard proves both halves, so the same division IS
+  // elided — the contrast pins the decision to the right predicate.
+  const char* guarded_positive =
+      "fn f(a: int, b: int) -> int { if (b > 0) { return a / b; } return 0; }\n";
+  Program positive = Compile(guarded_positive);
+  const auto positive_stats = minnow::ElideChecks(positive);
+  EXPECT_TRUE(ProgramContains(positive, Op::kDivNZ));
+  EXPECT_GE(positive_stats.divs_elided, 1u);
+  ExpectCheckedElidedAgree(guarded_positive, "f",
+                           {std::numeric_limits<std::int64_t>::min(), 1},
+                           "INT64_MIN / 1 behind > 0 guard", /*expect_trap=*/false);
 }
 
 }  // namespace

@@ -202,4 +202,178 @@ TEST(Rewriter, RejectsCodeUsingScratchRegister) {
   EXPECT_THROW(RewriteWithMasks(code, Protection::kWriteJump, kRegs - 1), std::invalid_argument);
 }
 
+// --- mask elision ---------------------------------------------------------
+//
+// RewriteWithMasksElided runs the minnow-style fact engine over the SFI
+// stream: scratch-holds-sandbox_mask(r) facts flow forward, and a protected
+// access whose address register is provably still masked in scratch reuses
+// scratch without a fresh kMask.
+
+using sfi::MaskElisionStats;
+using sfi::RewriteWithMasksElided;
+
+bool SameInsn(const Insn& a, const Insn& b) {
+  return a.kind == b.kind && a.rd == b.rd && a.ra == b.ra && a.rs == b.rs && a.target == b.target;
+}
+
+TEST(MaskElision, BackToBackStoresThroughOneRegisterShareAMask) {
+  std::vector<Insn> code{
+      {OpKind::kArith, /*rd=*/0, -1, /*rs=*/1, -1},
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/2, -1},
+      {OpKind::kRet, -1, -1, -1, -1},
+  };
+  MaskElisionStats stats;
+  const auto out = RewriteWithMasksElided(code, Protection::kWriteJump, kRegs - 1, &stats);
+  EXPECT_EQ(stats.masks_emitted, 1u);
+  EXPECT_EQ(stats.masks_elided, 1u);
+  // arith, mask, store, store, ret — both stores go through scratch.
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[1].kind, OpKind::kMask);
+  EXPECT_EQ(out[2].kind, OpKind::kStore);
+  EXPECT_EQ(out[2].ra, kRegs - 1);
+  EXPECT_EQ(out[3].kind, OpKind::kStore);
+  EXPECT_EQ(out[3].ra, kRegs - 1);
+  const auto result = MakeVerifier().Verify(out);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(MaskElision, RedefiningTheAddressRegisterForcesAFreshMask) {
+  std::vector<Insn> code{
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+      {OpKind::kArith, /*rd=*/0, -1, /*rs=*/2, -1},  // r0 changes: old mask is stale
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+  };
+  MaskElisionStats stats;
+  const auto out = RewriteWithMasksElided(code, Protection::kWriteJump, kRegs - 1, &stats);
+  EXPECT_EQ(stats.masks_emitted, 2u);
+  EXPECT_EQ(stats.masks_elided, 0u);
+  EXPECT_TRUE(MakeVerifier().Verify(out).ok);
+}
+
+TEST(MaskElision, LoadClobberingTheMaskedRegisterForcesAFreshMask) {
+  // Under write/jump protection the load itself is unchecked, but writing
+  // its result into the register scratch mirrors invalidates the fact.
+  std::vector<Insn> code{
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+      {OpKind::kLoad, /*rd=*/0, /*ra=*/2, -1, -1},
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+  };
+  MaskElisionStats stats;
+  const auto out = RewriteWithMasksElided(code, Protection::kWriteJump, kRegs - 1, &stats);
+  EXPECT_EQ(stats.masks_emitted, 2u);
+  EXPECT_EQ(stats.masks_elided, 0u);
+  EXPECT_TRUE(MakeVerifier().Verify(out).ok);
+}
+
+TEST(MaskElision, FullProtectionElidesConsecutiveLoadsThroughOneRegister) {
+  std::vector<Insn> code{
+      {OpKind::kLoad, /*rd=*/2, /*ra=*/0, -1, -1},
+      {OpKind::kLoad, /*rd=*/3, /*ra=*/0, -1, -1},
+      {OpKind::kRet, -1, -1, -1, -1},
+  };
+  MaskElisionStats stats;
+  const auto out = RewriteWithMasksElided(code, Protection::kFull, kRegs - 1, &stats);
+  EXPECT_EQ(stats.masks_emitted, 1u);
+  EXPECT_EQ(stats.masks_elided, 1u);
+  EXPECT_TRUE(MakeVerifier(Protection::kFull).Verify(out).ok);
+
+  // But a load that targets its own address register kills the fact.
+  std::vector<Insn> self{
+      {OpKind::kLoad, /*rd=*/0, /*ra=*/0, -1, -1},
+      {OpKind::kLoad, /*rd=*/3, /*ra=*/0, -1, -1},
+  };
+  MaskElisionStats self_stats;
+  const auto self_out = RewriteWithMasksElided(self, Protection::kFull, kRegs - 1, &self_stats);
+  EXPECT_EQ(self_stats.masks_emitted, 2u);
+  EXPECT_EQ(self_stats.masks_elided, 0u);
+  EXPECT_TRUE(MakeVerifier(Protection::kFull).Verify(self_out).ok);
+}
+
+TEST(MaskElision, ControlFlowJoinDropsTheFact) {
+  // The direct jump is treated as conditional, so instruction 2 merges a
+  // path that masked r0 (fall-through) with one that did not (the jump):
+  // the join is no-fact and the second store re-masks.
+  std::vector<Insn> code{
+      {OpKind::kJumpDirect, -1, -1, -1, /*target=*/2},
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/2, -1},
+  };
+  MaskElisionStats stats;
+  const auto out = RewriteWithMasksElided(code, Protection::kWriteJump, kRegs - 1, &stats);
+  EXPECT_EQ(stats.masks_emitted, 2u);
+  EXPECT_EQ(stats.masks_elided, 0u);
+  EXPECT_TRUE(MakeVerifier().Verify(out).ok);
+
+  // Straight-line contrast: without the join the second mask goes away.
+  std::vector<Insn> straight{code.begin() + 1, code.end()};
+  MaskElisionStats straight_stats;
+  const auto straight_out =
+      RewriteWithMasksElided(straight, Protection::kWriteJump, kRegs - 1, &straight_stats);
+  EXPECT_EQ(straight_stats.masks_elided, 1u);
+  EXPECT_TRUE(MakeVerifier().Verify(straight_out).ok);
+}
+
+TEST(MaskElision, HostCallBoundaryDropsTheFact) {
+  std::vector<Insn> code{
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+      {OpKind::kCallHost, -1, -1, -1, /*target=*/0},
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+  };
+  MaskElisionStats stats;
+  const auto out = RewriteWithMasksElided(code, Protection::kWriteJump, kRegs - 1, &stats);
+  EXPECT_EQ(stats.masks_emitted, 2u);
+  EXPECT_EQ(stats.masks_elided, 0u);
+  EXPECT_TRUE(MakeVerifier().Verify(out).ok);
+}
+
+TEST(MaskElision, IndirectJumpFallsBackToThePlainRewrite) {
+  std::vector<Insn> code{
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/1, -1},
+      {OpKind::kStore, -1, /*ra=*/0, /*rs=*/2, -1},
+      {OpKind::kJumpIndirect, -1, /*ra=*/3, -1, -1},
+  };
+  MaskElisionStats stats;
+  const auto out = RewriteWithMasksElided(code, Protection::kWriteJump, kRegs - 1, &stats);
+  const auto plain = RewriteWithMasks(code, Protection::kWriteJump, kRegs - 1);
+  ASSERT_EQ(out.size(), plain.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(SameInsn(out[i], plain[i])) << "insn " << i;
+  }
+  EXPECT_EQ(stats.masks_elided, 0u);
+  EXPECT_EQ(stats.masks_emitted, 3u);  // two stores + the indirect jump
+  EXPECT_TRUE(MakeVerifier().Verify(out).ok);
+}
+
+TEST(MaskElision, RejectsCodeUsingScratchRegister) {
+  std::vector<Insn> code{{OpKind::kArith, /*rd=*/kRegs - 1, -1, /*rs=*/0, -1}};
+  EXPECT_THROW(RewriteWithMasksElided(code, Protection::kWriteJump, kRegs - 1),
+               std::invalid_argument);
+}
+
+TEST(MaskElisionProperty, ElidedRewriteAlwaysVerifiesAndAccountsForEverySite) {
+  // The loader cannot tell elided output from hand-masked code: whatever the
+  // fact engine decided, the dedicated-register discipline must hold, and
+  // emitted + elided must cover exactly the protected sites.
+  std::mt19937 rng(456);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto unsafe_code = RandomUnsafeCode(rng, kRegs - 1, 40);
+    for (Protection p : {Protection::kWriteJump, Protection::kFull}) {
+      MaskElisionStats stats;
+      const auto rewritten = RewriteWithMasksElided(unsafe_code, p, kRegs - 1, &stats);
+      const auto result = Verifier(kRegs, kHostEntries, p).Verify(rewritten);
+      ASSERT_TRUE(result.ok) << "trial " << trial << ": " << result.message << " at "
+                             << result.fault_index;
+      std::uint64_t sites = 0;
+      for (const Insn& insn : unsafe_code) {
+        if (insn.kind == OpKind::kStore ||
+            (p == Protection::kFull && insn.kind == OpKind::kLoad)) {
+          ++sites;
+        }
+      }
+      EXPECT_EQ(stats.masks_emitted + stats.masks_elided, sites) << "trial " << trial;
+    }
+  }
+}
+
 }  // namespace
