@@ -41,6 +41,7 @@
 #include "src/graftd/dispatcher.h"
 #include "src/grafts/factory.h"
 #include "src/grafts/minnow_grafts.h"
+#include "src/obslab/plane.h"
 #include "src/stats/harness.h"
 #include "src/tracelab/export.h"
 #include "src/tracelab/trace.h"
@@ -259,6 +260,7 @@ int main(int argc, char** argv) {
   const auto options = bench::Options::Parse(argc, argv);
   bool cpu_only = false;
   bool trace = false;
+  bool metrics_dump = false;
   std::string trace_path = "trace_graftd.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpu") == 0) {
@@ -268,6 +270,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace = true;
       trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      metrics_dump = true;
     }
   }
 
@@ -446,6 +450,18 @@ int main(int argc, char** argv) {
         return grafts::CreateLogicalDiskGraft(Technology::kC, geometry, token);
       });
 
+  // --metrics-dump: attach the obslab plane to the supervised run and print
+  // one Prometheus scrape at the end — the one-shot equivalent of a wire
+  // kAdminMetrics scrape, for offline inspection of the same series.
+  std::unique_ptr<obslab::Plane> plane;
+  if (metrics_dump) {
+    plane = std::make_unique<obslab::Plane>();
+    plane->Attach(dispatcher);
+    if (trace) {
+      plane->AttachTracer(&tracer);
+    }
+  }
+
   // The mixed workload rides the paper's disk feeds: MD5 overlaps a 64KB
   // transfer (Table 5), eviction competes with the one-page fault it would
   // avoid (Figure 1), ldisk bookkeeping rides its own transfer (Table 6).
@@ -532,6 +548,11 @@ int main(int argc, char** argv) {
     report.Add("supervised/" + row.name, c.invocations, c.latency.mean_us() * 1e3,
                bench::Checksum(outcomes, sizeof(outcomes)));
   }
+  if (plane != nullptr) {
+    bench::PrintSection("obslab metrics dump (Prometheus text)");
+    std::printf("%s\n", plane->Exposition(obslab::kFormatPrometheus).c_str());
+  }
+
   report.Write();
   const bool scaling_ok = speedup_at_4 >= 3.0;
   const bool crossing_ok = crossing_speedup >= 2.0 && checksums_agree;

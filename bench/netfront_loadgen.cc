@@ -16,7 +16,14 @@
 // them are concurrently live across the run window.
 //
 // Exit codes (the CI gate): 0 ok; 1 p99 above --p99-gate-ms; 2 digest
-// mismatch; 3 completion shortfall (replies lost or drained too slowly).
+// mismatch; 3 completion shortfall (replies lost or drained too slowly);
+// 5 admin-scrape failure (--obs only).
+//
+// --obs attaches the obslab observability plane (metrics registry, SLO
+// watchdog, flight recorder) through the ServerOptions seams, adds an
+// admin tenant (wire tenant 1), and scrapes it over the kAdminMetrics
+// frame at the end of the run; --metrics-dump additionally prints the
+// full Prometheus exposition.
 //
 // --chaos=<seed> switches to the seeded chaos soak instead: the server
 // runs with a faultlab plan derived purely from the seed (connection
@@ -29,7 +36,12 @@
 // verified digest correct, accepted == completed after drain, and the
 // server neither hangs nor crashes — and writes BENCH_chaos.json
 // (schema in EXPERIMENTS.md). Same seed, same fault plan, every run.
-// Chaos exit codes: 0 ok; 2 digest mismatch; 4 invariant violation.
+// Chaos always runs with the obslab plane attached: injected io-thread
+// crashes land flight-recorder snapshots (flightrec_*.json), and the run
+// ends with an admin-scrape delta (faults injected vs requests shed vs
+// breaker opens vs snapshots written) read over the wire.
+// Chaos exit codes: 0 ok; 2 digest mismatch; 4 invariant violation
+// (including a failed admin scrape).
 
 #include <errno.h>
 #include <fcntl.h>
@@ -45,6 +57,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,6 +74,7 @@
 #include "src/netfront/client.h"
 #include "src/netfront/server.h"
 #include "src/netfront/wire.h"
+#include "src/obslab/plane.h"
 
 namespace {
 
@@ -76,6 +90,8 @@ struct Flags {
   std::uint64_t chaos_seed = 0;
   std::uint64_t chaos_clients = 8;  // concurrent self-healing clients
   bool sessions_set = false;
+  bool obs = false;           // attach the obslab plane + admin tenant
+  bool metrics_dump = false;  // print the final Prometheus scrape (implies --obs)
 
   static Flags Parse(int argc, char** argv) {
     Flags flags;
@@ -105,6 +121,11 @@ struct Flags {
         flags.io_threads = std::strtoull(arg + 13, nullptr, 10);
       } else if (std::strncmp(arg, "--workers=", 10) == 0) {
         flags.workers = std::strtoull(arg + 10, nullptr, 10);
+      } else if (std::strcmp(arg, "--obs") == 0) {
+        flags.obs = true;
+      } else if (std::strcmp(arg, "--metrics-dump") == 0) {
+        flags.metrics_dump = true;
+        flags.obs = true;
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg);
         std::exit(64);
@@ -180,6 +201,76 @@ bool FlushConn(ClientConn& conn) {
     conn.out_pos = 0;
   }
   return true;
+}
+
+// Sums every series value of one metric in a Prometheus text exposition
+// (all label combinations), for scrape-delta accounting.
+double MetricSum(const std::string& text, const char* name) {
+  const std::size_t name_len = std::strlen(name);
+  double sum = 0.0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const char* line = text.data() + pos;
+    const std::size_t len = eol - pos;
+    pos = eol + 1;
+    if (len == 0 || line[0] == '#' || len < name_len ||
+        std::memcmp(line, name, name_len) != 0) {
+      continue;
+    }
+    if (len > name_len && line[name_len] != '{' && line[name_len] != ' ') {
+      continue;  // a longer metric name sharing this prefix
+    }
+    std::size_t space = len;
+    while (space > 0 && line[space - 1] != ' ') {
+      --space;
+    }
+    if (space > 0) {
+      sum += std::strtod(std::string(line + space, len - space).c_str(), nullptr);
+    }
+  }
+  return sum;
+}
+
+// One admin scrape with a few attempts: under chaos the scrape connection
+// itself can eat an injected reset, and AdminScrape deliberately has no
+// internal retries.
+bool ScrapeWithRetry(netfront::Client& client, std::string& out) {
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    if (client.AdminScrape(obslab::kFormatPrometheus, out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Standard two-tenant table for --obs runs: tenant 0 is the traffic
+// tenant (the implicit default the server would create on its own, plus
+// an SLO target so the watchdog has something to watch), tenant 1 is the
+// quota-exempt scrape identity.
+std::vector<netfront::TenantConfig> ObsTenants() {
+  std::vector<netfront::TenantConfig> tenants(2);
+  tenants[0].slo_p99_us = 50'000.0;  // generous: service time, not queueing
+  tenants[1].name = "admin";
+  tenants[1].admin = true;
+  return tenants;
+}
+
+// Wires the plane's netfront seams into the server options (the server
+// never links obslab; it only sees these std::functions).
+void WirePlane(obslab::Plane& plane, netfront::ServerOptions& sopts) {
+  sopts.tenants = ObsTenants();
+  sopts.admin_metrics = [&plane](std::uint8_t format) { return plane.Exposition(format); };
+  sopts.obs_event = [&plane](const char* event) { plane.OnServerEvent(event); };
+  sopts.obs_latency = [&plane](std::uint16_t tenant, std::uint64_t elapsed_ns) {
+    plane.OnTenantLatency(tenant, elapsed_ns);
+  };
+  for (std::size_t t = 0; t < sopts.tenants.size(); ++t) {
+    plane.slo().AddTenant(t, sopts.tenants[t].name, sopts.tenants[t].slo_p99_us);
+  }
 }
 
 // splitmix64: the chaos plan must be a pure function of the seed, so all
@@ -268,6 +359,12 @@ int RunChaos(const Flags& flags) {
         return grafts::CreateMd5Graft(core::Technology::kC, preempt);
       });
 
+  // Chaos always runs with the plane attached: the soak is exactly the
+  // situation the flight recorder and admin scrape exist for.
+  obslab::Plane plane;
+  plane.Attach(dispatcher);
+  plane.AttachInjector(&injector);
+
   netfront::ServerOptions sopts;
   // At least 4 IO threads so the plan's 2 crash budgets always leave
   // survivors to adopt the dead threads' connections.
@@ -277,13 +374,25 @@ int RunChaos(const Flags& flags) {
   // The dedup window is what turns client retries into exactly-once-visible
   // work; size it past the session count so nothing hot is ever evicted.
   sopts.dedup_window = 8192;
+  WirePlane(plane, sopts);
   netfront::Server server(dispatcher, sopts);
   const std::uint32_t wire_md5 = server.ExposeGraft(md5_id);
+  plane.AddNetfrontCollector(
+      [&server](graftd::NetfrontSection& section) { server.FillTelemetry(section); });
   if (!server.ListenTcp(0)) {
     std::fprintf(stderr, "loadgen: ListenTcp failed\n");
     return 70;
   }
   server.Start();
+
+  // Baseline admin scrape, for the end-of-run delta.
+  netfront::ClientOptions admin_opts;
+  admin_opts.port = server.port();
+  admin_opts.tenant = 1;  // the admin identity in ObsTenants()
+  admin_opts.seed = flags.chaos_seed ^ 0xAD31ull;
+  netfront::Client admin(admin_opts);
+  std::string scrape_before;
+  const bool scraped_before = ScrapeWithRetry(admin, scrape_before);
 
   const auto variants = MakeVariants();
   struct ClientOutcome {
@@ -364,10 +473,49 @@ int RunChaos(const Flags& flags) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+
+  // Final admin scrape over the wire (not a local registry read: this also
+  // proves the kAdminMetrics path survived the soak), then the delta.
+  std::string scrape_after;
+  const bool scraped_after = ScrapeWithRetry(admin, scrape_after);
   server.Stop();
   snapshot = dispatcher.Snapshot();
   server.FillTelemetry(snapshot.netfront);
   std::printf("%s\n", snapshot.ToText().c_str());
+
+  bench::PrintSection("admin-scrape delta (chaos accounting over the wire)");
+  bool scrape_ok = scraped_before && scraped_after;
+  if (scrape_ok) {
+    auto delta = [&](const char* metric) {
+      return MetricSum(scrape_after, metric) - MetricSum(scrape_before, metric);
+    };
+    const double d_injections = delta("graftlab_fault_injections_total");
+    const double d_sheds = delta("graftlab_tenant_shed_degraded_total") +
+                           delta("graftlab_tenant_shed_overload_total") +
+                           delta("graftlab_tenant_quota_rejected_total");
+    const double d_breaker = delta("graftlab_breaker_opens_total");
+    const double d_snapshots = delta("graftlab_flightrec_snapshots_total");
+    const double d_crashes = delta("graftlab_net_io_thread_crashes_total");
+    std::printf("  faults injected       %8.0f\n", d_injections);
+    std::printf("  requests shed         %8.0f\n", d_sheds);
+    std::printf("  breaker opens         %8.0f\n", d_breaker);
+    std::printf("  io-thread crashes     %8.0f\n", d_crashes);
+    std::printf("  flightrec snapshots   %8.0f  (+%0.f suppressed)\n\n", d_snapshots,
+                delta("graftlab_flightrec_suppressed_total"));
+    // Every adopted crash must have produced (or rate-limited into) a
+    // flight-recorder trigger; with the 1s min interval and a fresh
+    // process the first crash always lands a file.
+    if (d_crashes > 0 && plane.recorder().snapshots_written() == 0) {
+      std::printf("  WARNING: crashes observed but no flight-recorder snapshot written\n");
+      scrape_ok = false;
+    }
+  } else {
+    std::printf("  admin scrape FAILED (before=%d after=%d)\n", scraped_before ? 1 : 0,
+                scraped_after ? 1 : 0);
+  }
+  if (flags.metrics_dump && scraped_after) {
+    std::printf("--- final scrape (Prometheus text) ---\n%s\n", scrape_after.c_str());
+  }
 
   // --- fault events actually injected ---
   bench::PrintSection("injected faults (per site)");
@@ -485,6 +633,12 @@ int RunChaos(const Flags& flags) {
                 static_cast<unsigned long long>(completed));
     exit_code = 4;
   }
+  if (scrape_ok) {
+    std::printf("INVARIANT admin-scrape: PASS (wire scrape served before and after the soak)\n");
+  } else {
+    std::printf("INVARIANT admin-scrape: FAIL\n");
+    exit_code = 4;
+  }
   std::printf("%s\n", exit_code == 0 ? "CHAOS SOAK: PASS" : "CHAOS SOAK: FAIL");
   return exit_code;
 }
@@ -509,11 +663,24 @@ int main(int argc, char** argv) {
         return grafts::CreateMd5Graft(core::Technology::kC, preempt);
       });
 
+  std::unique_ptr<obslab::Plane> plane;
+  if (flags.obs) {
+    plane = std::make_unique<obslab::Plane>();
+    plane->Attach(dispatcher);
+  }
+
   netfront::ServerOptions sopts;
   sopts.io_threads = flags.io_threads;
   sopts.staging_high = 4096;  // open loop bursts; shed only on real pileups
+  if (plane != nullptr) {
+    WirePlane(*plane, sopts);
+  }
   netfront::Server server(dispatcher, sopts);
   const std::uint32_t wire_md5 = server.ExposeGraft(md5_id);
+  if (plane != nullptr) {
+    plane->AddNetfrontCollector(
+        [&server](graftd::NetfrontSection& section) { server.FillTelemetry(section); });
+  }
   if (!server.ListenTcp(0)) {
     std::fprintf(stderr, "loadgen: ListenTcp failed\n");
     return 70;
@@ -656,6 +823,20 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t wall_ns = NowNs() - start;
 
+  // Admin scrape over the wire while the server is still up: the CI
+  // obs-smoke job greps this output for the metric schema.
+  bool scrape_ok = true;
+  std::string scrape;
+  if (plane != nullptr) {
+    netfront::ClientOptions admin_opts;
+    admin_opts.port = server.port();
+    admin_opts.tenant = 1;  // the admin identity in ObsTenants()
+    netfront::Client admin(admin_opts);
+    scrape_ok = ScrapeWithRetry(admin, scrape) &&
+                scrape.find("graftlab_graft_invocations_total") != std::string::npos &&
+                scrape.find("graftlab_tenant_accepted_total") != std::string::npos;
+  }
+
   for (ClientConn& conn : conns) {
     close(conn.fd);
   }
@@ -718,6 +899,19 @@ int main(int argc, char** argv) {
     }
   } else if (flags.p99_gate_ms > 0) {
     std::printf("GATE p99 <= %.0fms: PASS (%.2fms)\n", flags.p99_gate_ms, p99_ms);
+  }
+  if (plane != nullptr) {
+    if (scrape_ok) {
+      std::printf("GATE admin-scrape: PASS (%zu bytes, schema verified)\n", scrape.size());
+    } else {
+      std::printf("GATE admin-scrape: FAIL\n");
+      if (exit_code == 0) {
+        exit_code = 5;
+      }
+    }
+    if (flags.metrics_dump) {
+      std::printf("--- final scrape (Prometheus text) ---\n%s\n", scrape.c_str());
+    }
   }
   // Lost replies (or sessions that never got one) mean the front line
   // dropped work on the floor — shed-with-an-error-frame is accounted

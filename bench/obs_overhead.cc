@@ -1,0 +1,235 @@
+// obslab overhead gate: the observability plane must be nearly free.
+//
+// The plane is always-on by design (DESIGN.md §15): its hooks sit on the
+// dispatcher's per-invocation completion path, so any cost it adds is
+// paid by every graft invocation in the system. This bench drives
+// identical MD5/C stream workloads through graftd three ways:
+//
+//   baseline  - no plane attached (the pre-obslab configuration);
+//   disabled  - plane attached, SetEnabled(false): each completion pays
+//               one std::function call + one relaxed load + branch.
+//               Gate: <= 1% over baseline.
+//   enabled   - full recording (flight ring, SLO windows) with the
+//               sampling profiler armed at 97 Hz. Gate: <= 5%.
+//
+// Interleaved min-of-reps keeps the gates robust on noisy single-core CI
+// hosts, and the per-invocation work (256 KiB of MD5) is heavy enough
+// that the fixed per-completion hook cost is well under the gate even
+// with scheduling jitter.
+//
+// The second half scrapes the plane concurrently with a live dispatch
+// load and checks the exposition invariant the registry promises:
+// counter values are monotonically non-decreasing across scrapes, and
+// the final scrape accounts for every submitted invocation.
+//
+// Exit status is the gate: nonzero on any overhead or monotonicity
+// failure.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/technology.h"
+#include "src/graftd/dispatcher.h"
+#include "src/grafts/factory.h"
+#include "src/obslab/plane.h"
+#include "src/stats/harness.h"
+
+namespace {
+
+using core::Technology;
+
+constexpr std::size_t kChunk = 64u << 10;
+constexpr std::size_t kPayload = 256u << 10;
+
+enum class ObsMode { kBaseline, kDisabled, kEnabled };
+
+graftd::GraftId RegisterMd5(graftd::Dispatcher& dispatcher) {
+  return dispatcher.RegisterStreamGraft("md5/C", [](envs::PreemptToken* token) {
+    return grafts::CreateMd5Graft(Technology::kC, token);
+  });
+}
+
+void SubmitMd5(graftd::Dispatcher& dispatcher, graftd::GraftId id,
+               const std::vector<std::uint8_t>& data) {
+  graftd::Invocation invocation;
+  invocation.graft = id;
+  invocation.data = streamk::Bytes(data.data(), data.size());
+  invocation.chunk = kChunk;
+  dispatcher.Submit(std::move(invocation));
+}
+
+// One rep: drive `invocations` MD5/C invocations through a 1-worker
+// dispatcher and return the drain wall time in microseconds. The plane
+// (when present) is attached before the warmup submit, per the attach
+// contract.
+double RunRep(ObsMode mode, const std::vector<std::uint8_t>& data, std::size_t invocations,
+              std::uint64_t* profiler_samples) {
+  graftd::DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = invocations + 1;
+  graftd::Dispatcher dispatcher(options);
+  const graftd::GraftId id = RegisterMd5(dispatcher);
+  std::unique_ptr<obslab::Plane> plane;
+  if (mode != ObsMode::kBaseline) {
+    plane = std::make_unique<obslab::Plane>();
+    plane->Attach(dispatcher);
+    plane->SetEnabled(mode == ObsMode::kEnabled);
+    if (mode == ObsMode::kEnabled && !plane->profiler().Start()) {
+      std::fprintf(stderr, "obs_overhead: profiler failed to start\n");
+      std::exit(1);
+    }
+  }
+  // Warm the worker-private instance so the timed region measures steady
+  // state, not first-use construction.
+  SubmitMd5(dispatcher, id, data);
+  dispatcher.Drain();
+  stats::Timer timer;
+  for (std::size_t i = 0; i < invocations; ++i) {
+    SubmitMd5(dispatcher, id, data);
+  }
+  dispatcher.Drain();
+  const double us = timer.ElapsedUs();
+  if (plane != nullptr && mode == ObsMode::kEnabled) {
+    plane->profiler().Stop();
+    if (profiler_samples != nullptr) {
+      *profiler_samples += plane->profiler().samples();
+    }
+  }
+  return us;
+}
+
+// Sums every series value of one metric in a Prometheus text exposition
+// (all label combinations). Lines are `name{labels} value` or
+// `name value`; comments start with '#'.
+double MetricSum(const std::string& text, std::string_view name) {
+  double sum = 0.0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#' || line.substr(0, name.size()) != name) {
+      continue;
+    }
+    if (line.size() > name.size() && line[name.size()] != '{' && line[name.size()] != ' ') {
+      continue;  // a longer metric name sharing this prefix
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space != std::string_view::npos) {
+      sum += std::strtod(std::string(line.substr(space + 1)).c_str(), nullptr);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::Options::Parse(argc, argv);
+  bench::PrintHeader("obslab: observability plane overhead gate + scrape-under-load",
+                     "an always-on plane must not perturb the paper's microsecond-scale costs");
+
+  std::vector<std::uint8_t> data(kPayload);
+  std::mt19937_64 rng(1996);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+
+  const std::size_t invocations = options.full ? 128 : 48;
+  const std::size_t reps = options.full ? 9 : 7;
+
+  // --- Overhead gate ---
+  bench::PrintSection("Overhead: 1-worker MD5/C dispatch, interleaved min-of-reps");
+  double min_us[3] = {1e300, 1e300, 1e300};
+  std::uint64_t profiler_samples = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (const ObsMode mode : {ObsMode::kBaseline, ObsMode::kDisabled, ObsMode::kEnabled}) {
+      const double us = RunRep(mode, data, invocations, &profiler_samples);
+      double& slot = min_us[static_cast<int>(mode)];
+      slot = us < slot ? us : slot;
+    }
+  }
+  const double base = min_us[0];
+  const double disabled_pct = (min_us[1] - base) / base * 100.0;
+  const double enabled_pct = (min_us[2] - base) / base * 100.0;
+  const bool disabled_ok = disabled_pct <= 1.0;
+  const bool enabled_ok = enabled_pct <= 5.0;
+  std::printf("  baseline (no plane)        %9.1f us\n", base);
+  std::printf("  attached, disabled         %9.1f us  %+6.2f%%  (gate <= 1%%) %s\n", min_us[1],
+              disabled_pct, disabled_ok ? "PASS" : "FAIL");
+  std::printf("  enabled + profiler @ 97Hz  %9.1f us  %+6.2f%%  (gate <= 5%%) %s\n", min_us[2],
+              enabled_pct, enabled_ok ? "PASS" : "FAIL");
+  std::printf("  profiler samples across enabled reps: %llu\n\n",
+              static_cast<unsigned long long>(profiler_samples));
+
+  bench::JsonReport report("obs");
+  report.AddUs("obs_overhead/baseline", invocations, base / static_cast<double>(invocations), 0);
+  report.AddUs("obs_overhead/disabled", invocations, min_us[1] / static_cast<double>(invocations),
+               0);
+  report.AddUs("obs_overhead/enabled", invocations, min_us[2] / static_cast<double>(invocations),
+               0);
+
+  // --- Scrape under load: counters must be monotonic ---
+  bench::PrintSection("Scrape under load: concurrent scrapes see monotonic counters");
+  const std::size_t load = options.full ? 192 : 64;
+  double final_invocations = 0.0;
+  bool monotonic = true;
+  std::size_t scrape_count = 0;
+  {
+    graftd::DispatcherOptions dopts;
+    dopts.workers = 2;
+    dopts.queue_capacity = load + 1;
+    graftd::Dispatcher dispatcher(dopts);
+    const graftd::GraftId id = RegisterMd5(dispatcher);
+    obslab::Plane plane;
+    plane.Attach(dispatcher);
+    std::atomic<bool> stop{false};
+    std::vector<double> seen;
+    std::thread scraper([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string text = plane.Exposition(obslab::kFormatPrometheus);
+        seen.push_back(MetricSum(text, "graftlab_graft_invocations_total"));
+      }
+    });
+    for (std::size_t i = 0; i < load; ++i) {
+      SubmitMd5(dispatcher, id, data);
+    }
+    dispatcher.Drain();
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+    seen.push_back(MetricSum(plane.Exposition(obslab::kFormatPrometheus),
+                             "graftlab_graft_invocations_total"));
+    monotonic = std::is_sorted(seen.begin(), seen.end());
+    final_invocations = seen.back();
+    scrape_count = seen.size();
+    // The JSON exposition must cover the same series.
+    const std::string json = plane.Exposition(obslab::kFormatJson);
+    if (json.find("graftlab_graft_invocations_total") == std::string::npos) {
+      monotonic = false;
+    }
+  }
+  const bool count_ok = final_invocations >= static_cast<double>(load);
+  std::printf("  scrapes while dispatching: %zu   monotonic: %s\n", scrape_count,
+              monotonic ? "PASS" : "FAIL");
+  std::printf("  final invocations_total: %.0f (>= %zu submitted) %s\n\n", final_invocations,
+              load, count_ok ? "PASS" : "FAIL");
+  report.Add("obs_scrape/monotonic", scrape_count, 0.0, monotonic ? 1 : 0);
+  report.Write();
+
+  const bool pass = disabled_ok && enabled_ok && monotonic && count_ok;
+  std::printf("obs_overhead gate: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

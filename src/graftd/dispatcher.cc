@@ -448,6 +448,9 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
       std::lock_guard<std::mutex> lock(shard.stats_mu);
       ++(StatsFor(shard, id).*counter);
     }
+    if (outcome_hook_) {
+      outcome_hook_(id, status, 0);
+    }
     if (invocation.on_complete) {
       Completion completion;
       completion.status = status;
@@ -481,6 +484,12 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
 
   const tracelab::StageTrace stage_trace{tracer, registration.sites.crossing,
                                          registration.sites.body, invocation.trace_id};
+
+  // Profiler attribution: from here to return, SIGPROF samples landing on
+  // this thread charge to this graft. The admitted stretch opens in the
+  // crossing stage (instance builds below are crossing cost); the body and
+  // disk sections re-stamp finer stages, unwinding through the RAII slots.
+  const tracelab::ScopedProfSlot prof_crossing(id + 1, tracelab::ProfStage::kCrossing);
 
   // Worker-private instance, built on first use under the shard's
   // execution claim (so the inline fast path can build it too).
@@ -536,6 +545,7 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   // siblings overlap their own transfers and compute meanwhile.
   if (invocation.simulated_io.count() > 0) {
     tracelab::Span disk_span(tracer, registration.sites.disk, invocation.trace_id);
+    const tracelab::ScopedProfSlot prof_disk(id + 1, tracelab::ProfStage::kDisk);
     std::this_thread::sleep_for(invocation.simulated_io);
   }
 
@@ -547,6 +557,7 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
   std::uint64_t fuel_used = 0;
   std::uint64_t ops = 0;
   md5::Digest completion_digest{};
+  const tracelab::ScopedProfSlot prof_body(id + 1, tracelab::ProfStage::kBody);
   stats::Timer timer;
   switch (registration.shape) {
     case GraftShape::kStream: {
@@ -602,14 +613,19 @@ void Dispatcher::RunOne(WorkerShard& shard, const Invocation& invocation) {
     }
   }
   const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(timer.ElapsedNs());
+  CompletionStatus completion_status = CompletionStatus::kOk;
+  switch (outcome) {
+    case Outcome::kOk: completion_status = CompletionStatus::kOk; break;
+    case Outcome::kFault: completion_status = CompletionStatus::kFault; break;
+    case Outcome::kPreempt: completion_status = CompletionStatus::kPreempt; break;
+    case Outcome::kDiskFault: completion_status = CompletionStatus::kDiskFault; break;
+  }
+  if (outcome_hook_) {
+    outcome_hook_(id, completion_status, elapsed_ns);
+  }
   if (invocation.on_complete) {
     Completion completion;
-    switch (outcome) {
-      case Outcome::kOk: completion.status = CompletionStatus::kOk; break;
-      case Outcome::kFault: completion.status = CompletionStatus::kFault; break;
-      case Outcome::kPreempt: completion.status = CompletionStatus::kPreempt; break;
-      case Outcome::kDiskFault: completion.status = CompletionStatus::kDiskFault; break;
-    }
+    completion.status = completion_status;
     completion.digest = completion_digest;
     completion.elapsed_ns = elapsed_ns;
     invocation.on_complete(completion);

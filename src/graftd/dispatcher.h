@@ -269,6 +269,19 @@ class Dispatcher {
   // Not synchronized against dispatch: attach before the first Submit.
   void set_injector(const faultlab::Injector* injector) { injector_ = injector; }
 
+  // Observability seam: fires exactly once per invocation that reached
+  // RunOne, on the executing thread, with the terminal status and service
+  // time (0 for rejections/sheds). This is the obslab plane's feed — the
+  // flight-recorder ring and disk-fault snapshot triggers hang off it —
+  // but the dispatcher only sees a std::function, so the dependency
+  // direction stays graftd <- obslab. Not synchronized against dispatch:
+  // set before the first Submit. Keep the hook lock-free and cheap; it
+  // runs inside the dispatch hot path.
+  void set_outcome_hook(
+      std::function<void(GraftId, CompletionStatus, std::uint64_t elapsed_ns)> hook) {
+    outcome_hook_ = std::move(hook);
+  }
+
   // Attaches the tracer: invocations become nested queue/dispatch/crossing/
   // body/disk spans, supervisor transitions and injections become instants,
   // and Snapshot() folds the aggregated stage timings plus the live
@@ -362,6 +375,7 @@ class Dispatcher {
   DeadlineWheel wheel_;
   const faultlab::Injector* injector_ = nullptr;
   tracelab::Tracer* tracer_ = nullptr;
+  std::function<void(GraftId, CompletionStatus, std::uint64_t)> outcome_hook_;
   std::vector<std::unique_ptr<WorkerShard>> shards_;
 
   mutable std::mutex registry_mu_;

@@ -134,10 +134,21 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
       hot_.at(id)->load(std::memory_order_acquire)) {
     return;
   }
+  // The locked scorer reports the escalation it decided on (nullptr for
+  // routine outcomes); the event hook fires here, after mu_ is released,
+  // so a hook that snapshots a flight recorder (file I/O) never stalls
+  // Admit/OnOutcome on other workers.
+  const char* event = OnOutcomeLocked(id, outcome);
+  if (event != nullptr && event_hook_) {
+    event_hook_(event, id);
+  }
+}
+
+const char* Supervisor::OnOutcomeLocked(GraftId id, Outcome outcome) {
   std::lock_guard<std::mutex> lock(mu_);
   GraftStatus& graft = grafts_.at(id);
   if (graft.state == GraftState::kDetached) {
-    return;  // a straggler invocation finished after the detach decision
+    return nullptr;  // a straggler invocation finished after the detach decision
   }
   if (outcome == Outcome::kOk) {
     graft.consecutive_failures = 0;
@@ -150,7 +161,7 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
       EmitTransition(site_breaker_close_, id);
     }
     RecomputeHot(id);
-    return;
+    return nullptr;
   }
   if (outcome == Outcome::kDiskFault) {
     // The device, not the graft, failed: never quarantine or detach for
@@ -158,39 +169,45 @@ void Supervisor::OnOutcome(GraftId id, Outcome outcome) {
     ++graft.consecutive_disk_faults;
     RecomputeHot(id);
     if (graft.state != GraftState::kHealthy) {
-      return;  // straggler after a degrade/quarantine decision
+      return nullptr;  // straggler after a degrade/quarantine decision
     }
     if (graft.consecutive_disk_faults >= policy_.disk_fault_threshold) {
       graft.state = GraftState::kDegraded;
       graft.readmit_at = clock_->Now() + policy_.degraded_backoff;
       ++graft.degradations;
       EmitTransition(site_degrade_, id);
+      return "degraded";
     }
-    return;
+    return nullptr;
   }
+  const char* event = nullptr;
   ++graft.consecutive_failures;
   if (policy_.breaker_enabled) {
     if (graft.breaker == BreakerState::kHalfOpen) {
       TripBreaker(graft, id);  // the probe failed: reopen, doubled backoff
+      event = "breaker_open";
     } else if (graft.breaker == BreakerState::kClosed &&
                graft.consecutive_failures >= policy_.breaker_threshold) {
       TripBreaker(graft, id);
+      event = "breaker_open";
     }
   }
   RecomputeHot(id);
   if (graft.consecutive_failures < policy_.fault_threshold) {
-    return;
+    return event;
   }
   // Threshold crossed: quarantine, or detach once the chances are used up.
+  // The escalation outranks a same-call breaker trip in the event report.
   if (graft.quarantines >= policy_.max_quarantines) {
     graft.state = GraftState::kDetached;
     EmitTransition(site_detach_, id);
-    return;
+    return "detached";
   }
   ++graft.quarantines;
   graft.state = GraftState::kQuarantined;
   graft.readmit_at = clock_->Now() + BackoffFor(graft.quarantines);
   EmitTransition(site_quarantine_, id);
+  return "quarantined";
 }
 
 std::chrono::microseconds Supervisor::BackoffFor(std::uint32_t quarantines) const {

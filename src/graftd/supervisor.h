@@ -57,9 +57,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/graftd/clock.h"
@@ -206,7 +208,21 @@ class Supervisor {
   // the supervisor.
   void set_tracer(tracelab::Tracer* tracer);
 
+  // Observability seam: fired once per escalation decided by OnOutcome —
+  // event is one of "quarantined", "detached", "degraded", "breaker_open"
+  // (a quarantine/detach outranks a breaker trip decided in the same call).
+  // Invoked on the scoring (worker) thread AFTER mu_ is released, so the
+  // hook may do slow work (flight-recorder snapshots) without stalling
+  // admission on other workers. Set before dispatch begins.
+  void set_event_hook(std::function<void(const char* event, GraftId id)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
  private:
+  // The mutex-holding scorer; returns the escalation event name (static
+  // storage) or nullptr.
+  const char* OnOutcomeLocked(GraftId id, Outcome outcome);
+
   std::chrono::microseconds BackoffFor(std::uint32_t quarantines) const;
   std::chrono::microseconds BreakerBackoffFor(std::uint32_t trips) const;
 
@@ -225,6 +241,7 @@ class Supervisor {
   const SupervisorPolicy policy_;
   const Clock* clock_;
   tracelab::Tracer* tracer_ = nullptr;
+  std::function<void(const char*, GraftId)> event_hook_;
   tracelab::SiteId site_quarantine_ = 0;
   tracelab::SiteId site_readmit_ = 0;
   tracelab::SiteId site_detach_ = 0;

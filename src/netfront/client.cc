@@ -35,6 +35,7 @@ bool IsTransient(ErrorCode code) {
     case ErrorCode::kUnknownGraft:
     case ErrorCode::kRejected:
     case ErrorCode::kFault:
+    case ErrorCode::kAdminDenied:
       return false;
   }
   return false;
@@ -223,6 +224,75 @@ bool Client::Attempt(std::uint32_t wire_graft, const std::uint8_t* payload, std:
       continue;
     }
     return false;
+  }
+}
+
+bool Client::AdminScrape(std::uint8_t format, std::string& out) {
+  if (!EnsureConnected()) {
+    return false;
+  }
+  const std::uint64_t request_id = NextId();
+  std::vector<std::uint8_t> frame;
+  AppendAdminRequest(frame, options_.tenant, request_id, format);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w = send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      poll(&pfd, 1, 10);
+      continue;
+    }
+    CloseSocket();
+    return false;
+  }
+  const auto deadline = SteadyClock::now() + options_.attempt_timeout;
+  std::uint8_t buf[4096];
+  FrameDecoder::Frame reply;
+  for (;;) {
+    for (;;) {
+      const FrameDecoder::Result r = decoder_.Next(reply);
+      if (r == FrameDecoder::Result::kError) {
+        CloseSocket();
+        return false;
+      }
+      if (r == FrameDecoder::Result::kNeedMore) {
+        break;
+      }
+      if (reply.header.request_id != request_id) {
+        continue;  // a stale reply from an abandoned earlier call
+      }
+      if (reply.header.type != FrameType::kAdminMetrics) {
+        return false;  // kAdminDenied (or another error answer)
+      }
+      out.assign(reinterpret_cast<const char*>(reply.payload.data()), reply.payload.size());
+      return true;
+    }
+    const int remaining = RemainingMs(deadline);
+    if (remaining == 0) {
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int n = poll(&pfd, 1, remaining);
+    if (n < 0 && errno != EINTR) {
+      CloseSocket();
+      return false;
+    }
+    if (n <= 0) {
+      continue;
+    }
+    const ssize_t r = recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      decoder_.Feed(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0 || (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      CloseSocket();
+      return false;
+    }
   }
 }
 

@@ -35,6 +35,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "src/netfront/wire.h"
 
@@ -82,6 +83,13 @@ class Client {
   };
 
   Result Call(std::uint32_t wire_graft, const std::uint8_t* payload, std::size_t len);
+
+  // Admin scrape: sends one kAdminMetrics frame (format 0 = Prometheus
+  // text, 1 = JSON) and waits for the matching reply. On success `out` is
+  // the exposition body. Returns false on transport failure, timeout, or
+  // a kAdminDenied answer (the tenant lacks TenantConfig::admin). No
+  // retries: scrapes are periodic — the next one covers a miss.
+  bool AdminScrape(std::uint8_t format, std::string& out);
 
   // Self-healing mechanics, cumulative over the client's life.
   struct Stats {

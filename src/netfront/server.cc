@@ -300,6 +300,9 @@ void Server::FillTelemetry(graftd::NetfrontSection& section) const {
 
 void Server::IoLoop(std::size_t index) {
   IoThread& io = *io_threads_[index];
+  // Profiler attribution: SIGPROF samples landing on an IO thread charge
+  // to the front end's "net" stage (no graft) for the thread's lifetime.
+  const tracelab::ScopedProfSlot prof_net(0, tracelab::ProfStage::kNet);
   std::vector<std::uint8_t> rbuf(options_.read_chunk);
   std::vector<epoll_event> events(256);
   while (running_.load(std::memory_order_acquire)) {
@@ -543,8 +546,12 @@ bool Server::DecodeFrames(IoThread& io, std::size_t slot) {
     ++decoded;
     if (frame.header.type == FrameType::kRequest) {
       AdmitRequest(io, slot, frame);
+    } else if (frame.header.type == FrameType::kAdminMetrics) {
+      // Scrapes are answered inline, before quota and staging: read-only,
+      // and they must work precisely when the admission path is shedding.
+      HandleAdmin(io, slot, frame);
     }
-    // Non-request frames from a client are structurally valid noise;
+    // Other non-request frames from a client are structurally valid noise;
     // decode past them rather than desyncing the stream.
   }
   if (decoded > 0) {
@@ -557,6 +564,24 @@ bool Server::DecodeFrames(IoThread& io, std::size_t slot) {
   }
   FlushConn(io, slot);  // shed replies accumulated during admission
   return io.conns[slot] != nullptr;
+}
+
+void Server::HandleAdmin(IoThread& io, std::size_t slot, const FrameDecoder::Frame& frame) {
+  Conn* conn = io.conns[slot].get();
+  const FrameHeader& header = frame.header;
+  if (header.tenant >= tenants_.size() || !tenants_[header.tenant]->config.admin ||
+      !options_.admin_metrics) {
+    AppendError(conn->out, header.tenant, header.graft, header.request_id,
+                ErrorCode::kAdminDenied);
+    return;
+  }
+  const std::uint8_t format = frame.payload.empty() ? 0 : frame.payload[0];
+  std::string body = options_.admin_metrics(format);
+  if (body.size() > kMaxPayload) {
+    body.resize(kMaxPayload);  // a truncated scrape beats a poisoned stream
+  }
+  AppendAdminMetrics(conn->out, header.tenant, header.request_id,
+                     reinterpret_cast<const std::uint8_t*>(body.data()), body.size());
 }
 
 void Server::AdmitRequest(IoThread& io, std::size_t slot, FrameDecoder::Frame& frame) {
@@ -816,6 +841,9 @@ void Server::AccountOrphan(CompletionRecord& record) {
     tenant.completed_error.fetch_add(1, std::memory_order_relaxed);
   }
   DedupResolve(request->tenant, request->request_id, record.completion);
+  if (options_.obs_latency && record.completion.status == graftd::CompletionStatus::kOk) {
+    options_.obs_latency(request->tenant, record.completion.elapsed_ns);
+  }
   delete request;
   in_flight_.fetch_sub(1, std::memory_order_release);
 }
@@ -834,6 +862,9 @@ bool Server::CrashIoThread(IoThread& io) {
     return false;  // never kill the last IO thread
   }
   io_thread_crashes_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.obs_event) {
+    options_.obs_event("io_thread_crash");
+  }
   // From here OnCompletion and AddConnection route around this thread.
   std::vector<CompletionRecord> completions;
   std::vector<int> fds;
@@ -948,6 +979,9 @@ void Server::ProcessCompletions(IoThread& io) {
     // Either way the outcome is published for replay: a retry after a lost
     // reply must see the stored result, not a second execution.
     DedupResolve(request->tenant, request->request_id, record.completion);
+    if (options_.obs_latency && record.completion.status == graftd::CompletionStatus::kOk) {
+      options_.obs_latency(request->tenant, record.completion.elapsed_ns);
+    }
     delete request;
     in_flight_.fetch_sub(1, std::memory_order_release);
   }

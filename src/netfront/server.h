@@ -57,6 +57,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -101,6 +102,22 @@ struct ServerOptions {
   // body never runs twice, so client retries are exactly-once-visible.
   // 0 disables dedup; retried ids then re-execute (the seed behavior).
   std::size_t dedup_window = 0;
+
+  // --- observability seams (the obslab plane plugs in here; the server
+  // only ever sees std::functions, so netfront never depends on obslab) ---
+
+  // Serves kAdminMetrics frames: called with the requested exposition
+  // format byte, returns the scrape body. Unset, every admin frame is
+  // answered kAdminDenied. Admin frames bypass the token bucket (a scrape
+  // must work precisely when quotas are exhausted) but are gated on
+  // TenantConfig::admin.
+  std::function<std::string(std::uint8_t format)> admin_metrics;
+  // Front-end failure events worth a flight-recorder snapshot; currently
+  // fired with "io_thread_crash" when an injected crash is adopted.
+  std::function<void(const char* event)> obs_event;
+  // Per-tenant completion latency feed (SLO watchdog): fired once per kOk
+  // completion with the dispatcher-measured service time.
+  std::function<void(std::uint16_t tenant, std::uint64_t elapsed_ns)> obs_latency;
 };
 
 class Server {
@@ -255,6 +272,8 @@ class Server {
   bool DecodeFrames(IoThread& io, std::size_t slot);
   // Admission for one decoded request; stages it or writes a shed reply.
   void AdmitRequest(IoThread& io, std::size_t slot, FrameDecoder::Frame& frame);
+  // One kAdminMetrics scrape: admin-tenant check, format byte, reply frame.
+  void HandleAdmin(IoThread& io, std::size_t slot, const FrameDecoder::Frame& frame);
   // DRR drain of the staged backlog into the dispatcher.
   void DrainStaged(IoThread& io);
   void ProcessCompletions(IoThread& io);

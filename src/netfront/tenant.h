@@ -25,6 +25,13 @@ struct TenantConfig {
   double rate_per_sec = 0.0;
   // Bucket capacity (burst); 0 defaults to one second of rate.
   double burst = 0.0;
+  // May issue kAdminMetrics scrape frames (ServerOptions::admin_metrics).
+  // Admin frames from non-admin tenants are answered with kAdminDenied.
+  bool admin = false;
+  // SLO target for this tenant's wire-to-reply p99 latency in
+  // microseconds; 0 = unwatched. Feeds the obslab SLO watchdog through
+  // ServerOptions::obs_latency.
+  double slo_p99_us = 0.0;
 };
 
 class TokenBucket {

@@ -111,6 +111,29 @@ void AppendError(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint
   PutU16(out, static_cast<std::uint16_t>(code));
 }
 
+void AppendAdminRequest(std::vector<std::uint8_t>& out, std::uint16_t tenant,
+                        std::uint64_t request_id, std::uint8_t format) {
+  FrameHeader header;
+  header.type = FrameType::kAdminMetrics;
+  header.tenant = tenant;
+  header.payload_len = 1;
+  header.request_id = request_id;
+  AppendHeader(out, header);
+  out.push_back(format);
+}
+
+void AppendAdminMetrics(std::vector<std::uint8_t>& out, std::uint16_t tenant,
+                        std::uint64_t request_id, const std::uint8_t* body,
+                        std::size_t len) {
+  FrameHeader header;
+  header.type = FrameType::kAdminMetrics;
+  header.tenant = tenant;
+  header.payload_len = static_cast<std::uint32_t>(len);
+  header.request_id = request_id;
+  AppendHeader(out, header);
+  out.insert(out.end(), body, body + len);
+}
+
 void FrameDecoder::Feed(const std::uint8_t* data, std::size_t len) {
   if (fatal_ || len == 0) {
     return;
@@ -152,7 +175,7 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
     return Result::kError;
   }
   if (header.type != FrameType::kRequest && header.type != FrameType::kResponse &&
-      header.type != FrameType::kError) {
+      header.type != FrameType::kError && header.type != FrameType::kAdminMetrics) {
     fatal_ = true;
     error_ = "unknown frame type";
     return Result::kError;

@@ -59,6 +59,13 @@ enum class FrameType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
   kError = 3,
+  // Observability scrape. Request: payload is 0 or 1 bytes — the first
+  // byte selects the exposition format (0 = Prometheus text, 1 = JSON;
+  // empty = text). Reply: a kAdminMetrics frame whose payload is the
+  // exposition body. Admin frames are read-only, restricted to tenants
+  // configured with TenantConfig::admin, and quota-exempt (a scrape must
+  // work precisely when the plant is melting and quotas are exhausted).
+  kAdminMetrics = 4,
 };
 
 // Carried in the 2-byte payload of an error frame. The shed codes mirror
@@ -75,6 +82,7 @@ enum class ErrorCode : std::uint16_t {
   kFault = 7,        // the graft ran and faulted (or was preempted)
   kExpired = 8,      // the request's deadline passed before the body ran
   kBreakerOpen = 9,  // per-graft circuit breaker is open; shed at admission
+  kAdminDenied = 10, // kAdminMetrics from a tenant without the admin bit
 };
 
 struct FrameHeader {
@@ -109,6 +117,14 @@ void AppendResponse(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::u
                     std::uint64_t request_id, const std::uint8_t* digest8);
 void AppendError(std::vector<std::uint8_t>& out, std::uint16_t tenant, std::uint32_t graft,
                  std::uint64_t request_id, ErrorCode code);
+// Admin scrape request (client side): `format` is kFormatPrometheus/kFormatJson
+// as a single payload byte. The reply travels as a kAdminMetrics frame whose
+// payload is the exposition body (AppendAdminMetrics, server side).
+void AppendAdminRequest(std::vector<std::uint8_t>& out, std::uint16_t tenant,
+                        std::uint64_t request_id, std::uint8_t format);
+void AppendAdminMetrics(std::vector<std::uint8_t>& out, std::uint16_t tenant,
+                        std::uint64_t request_id, const std::uint8_t* body,
+                        std::size_t len);
 
 class FrameDecoder {
  public:

@@ -1,0 +1,302 @@
+#include "src/obslab/plane.h"
+
+#include <chrono>
+#include <utility>
+
+namespace obslab {
+
+namespace {
+
+// How many OnTenantLatency calls between piggybacked SLO evaluations. The
+// evaluation is one mutex + a per-tenant load when windows are still open,
+// so amortizing over a few hundred completions keeps it out of the noise
+// while still closing windows promptly under load (idle periods are
+// covered by the evaluation every scrape performs).
+constexpr std::uint64_t kEvalStride = 256;
+
+const char* OutcomeLabel(std::size_t i) {
+  // Index order matches the GraftCounters fields emitted below.
+  static constexpr const char* kNames[] = {
+      "ok",       "fault",           "preempt",          "disk_fault",
+      "rejected_quarantined", "rejected_detached", "rejected_degraded", "expired"};
+  return kNames[i];
+}
+
+void EmitGraftRow(const graftd::TelemetrySnapshot::Row& row, std::vector<Sample>& out) {
+  const Labels graft{{"graft", row.name}};
+  const graftd::GraftCounters& c = row.counters;
+  out.push_back(Sample{"graftlab_graft_invocations_total", graft,
+                       static_cast<double>(c.invocations), true});
+  const std::uint64_t outcomes[] = {c.ok,
+                                    c.faults,
+                                    c.preempts,
+                                    c.disk_faults,
+                                    c.rejected_quarantined,
+                                    c.rejected_detached,
+                                    c.rejected_degraded,
+                                    c.shed_expired};
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (outcomes[i] == 0 && i != 0) {
+      continue;  // keep the scrape lean; "ok" always present as the anchor
+    }
+    Labels labels = graft;
+    labels.emplace_back("outcome", OutcomeLabel(i));
+    out.push_back(Sample{"graftlab_graft_outcomes_total", std::move(labels),
+                         static_cast<double>(outcomes[i]), true});
+  }
+  out.push_back(Sample{"graftlab_graft_fuel_used_total", graft,
+                       static_cast<double>(c.fuel_used), true});
+  if (c.latency.count() > 0) {
+    out.push_back(
+        Sample{"graftlab_graft_latency_p50_us", graft, c.latency.PercentileUs(50.0), false});
+    out.push_back(
+        Sample{"graftlab_graft_latency_p99_us", graft, c.latency.PercentileUs(99.0), false});
+    out.push_back(Sample{"graftlab_graft_latency_p999_us", graft,
+                         c.latency.PercentileUs(99.9), false});
+  }
+  // Per-opcode retire counts ride along unchanged — this is also where the
+  // elision verifier's checks_elided / checks_retained certificates surface
+  // (minnow grafts report them through the same ExecutionProfile table).
+  for (const auto& [opcode, count] : c.vm_opcodes) {
+    out.push_back(Sample{"graftlab_vm_opcode_total",
+                         Labels{{"graft", row.name}, {"opcode", opcode}},
+                         static_cast<double>(count), true});
+  }
+
+  // Supervision: current graft state and breaker position as one-hot
+  // samples (only the active state is emitted), histories as counters.
+  const graftd::Supervisor::GraftStatus& s = row.supervision;
+  out.push_back(Sample{"graftlab_graft_state",
+                       Labels{{"graft", row.name},
+                              {"state", graftd::GraftStateName(s.state)}},
+                       1.0, false});
+  out.push_back(Sample{"graftlab_breaker_state",
+                       Labels{{"graft", row.name},
+                              {"state", graftd::BreakerStateName(s.breaker)}},
+                       1.0, false});
+  out.push_back(Sample{"graftlab_graft_quarantines_total", graft,
+                       static_cast<double>(s.quarantines), true});
+  out.push_back(Sample{"graftlab_graft_readmissions_total", graft,
+                       static_cast<double>(s.readmissions), true});
+  out.push_back(Sample{"graftlab_graft_degradations_total", graft,
+                       static_cast<double>(s.degradations), true});
+  out.push_back(Sample{"graftlab_graft_recoveries_total", graft,
+                       static_cast<double>(s.recoveries), true});
+  out.push_back(Sample{"graftlab_breaker_opens_total", graft,
+                       static_cast<double>(s.breaker_opens), true});
+}
+
+void EmitDispatch(const graftd::TelemetrySnapshot::DispatchStats& d,
+                  std::vector<Sample>& out) {
+  out.push_back(Sample{"graftlab_dispatch_inline_hits_total", {},
+                       static_cast<double>(d.inline_hits), true});
+  out.push_back(Sample{"graftlab_dispatch_inline_misses_total", {},
+                       static_cast<double>(d.inline_misses), true});
+  out.push_back(Sample{"graftlab_dispatch_shed_expired_total", {},
+                       static_cast<double>(d.shed_expired), true});
+  out.push_back(Sample{"graftlab_dispatch_workers", {},
+                       static_cast<double>(d.workers.size()), false});
+  std::uint64_t batches = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t parks = 0;
+  for (const auto& worker : d.workers) {
+    batches += worker.batches;
+    dequeued += worker.dequeued;
+    parks += worker.parks;
+  }
+  out.push_back(
+      Sample{"graftlab_dispatch_batches_total", {}, static_cast<double>(batches), true});
+  out.push_back(
+      Sample{"graftlab_dispatch_dequeued_total", {}, static_cast<double>(dequeued), true});
+  out.push_back(
+      Sample{"graftlab_dispatch_parks_total", {}, static_cast<double>(parks), true});
+}
+
+}  // namespace
+
+Plane::Plane(PlaneOptions options)
+    : enabled_(options.enabled),
+      recorder_(options.recorder),
+      profiler_(options.profiler),
+      slo_(options.slo),
+      clock_(options.recorder.clock) {
+  slo_.set_alarm_hook([this](const std::string& tenant, double p99_us) {
+    recorder_.Trigger("slo_burn", static_cast<std::uint64_t>(p99_us));
+    (void)tenant;
+  });
+  slo_.RegisterWith(registry_);
+  profiler_.RegisterWith(registry_);
+  // The plane's own health counters.
+  registry_.AddCollector([this](std::vector<Sample>& out) {
+    out.push_back(Sample{"graftlab_obs_enabled", {}, enabled() ? 1.0 : 0.0, false});
+    out.push_back(Sample{"graftlab_scrapes_total", {},
+                         static_cast<double>(scrapes_.load(std::memory_order_relaxed)),
+                         true});
+    out.push_back(Sample{"graftlab_flightrec_snapshots_total", {},
+                         static_cast<double>(recorder_.snapshots_written()), true});
+    out.push_back(Sample{"graftlab_flightrec_suppressed_total", {},
+                         static_cast<double>(recorder_.snapshots_suppressed()), true});
+    out.push_back(Sample{"graftlab_flightrec_outcomes_total", {},
+                         static_cast<double>(recorder_.outcomes_recorded()), true});
+  });
+}
+
+void Plane::Attach(graftd::Dispatcher& dispatcher) {
+  dispatcher_ = &dispatcher;
+
+  // Hot-path hooks: one enabled() load, then lock-free recording. The
+  // kDiskFault trigger rides the outcome hook (the recorder's rate limiter
+  // bounds a failing device to one snapshot per interval, not one per op).
+  dispatcher.set_outcome_hook([this](graftd::GraftId graft,
+                                     graftd::CompletionStatus status,
+                                     std::uint64_t elapsed_ns) {
+    if (!enabled()) {
+      return;
+    }
+    recorder_.RecordOutcome(graft, static_cast<std::uint8_t>(status), elapsed_ns);
+    if (status == graftd::CompletionStatus::kDiskFault) {
+      recorder_.Trigger("disk_hard_error", graft);
+    }
+  });
+  dispatcher.supervisor().set_event_hook([this](const char* event, graftd::GraftId id) {
+    if (enabled()) {
+      recorder_.Trigger(event, id);
+    }
+  });
+
+  // Graft names for profiler attribution (ids are dense from 0 and
+  // registration precedes Attach per the dispatcher contract).
+  const graftd::TelemetrySnapshot initial = dispatcher.Snapshot();
+  for (std::size_t i = 0; i < initial.grafts.size(); ++i) {
+    profiler_.SetGraftName(static_cast<std::uint32_t>(i), initial.grafts[i].name);
+  }
+
+  // The big pull source: one dispatcher snapshot per scrape, fanned out
+  // into per-graft counters, latency percentiles, supervision/breaker
+  // states, vm opcode tables and dispatch mechanics.
+  registry_.AddCollector([this](std::vector<Sample>& out) {
+    if (dispatcher_ == nullptr) {
+      return;
+    }
+    const graftd::TelemetrySnapshot snapshot = dispatcher_->Snapshot();
+    for (const auto& row : snapshot.grafts) {
+      EmitGraftRow(row, out);
+    }
+    EmitDispatch(snapshot.dispatch, out);
+  });
+}
+
+void Plane::AttachTracer(tracelab::Tracer* tracer) {
+  recorder_.set_tracer(tracer);
+  registry_.AddCollector([tracer](std::vector<Sample>& out) {
+    out.push_back(Sample{"graftlab_trace_events_dropped_total", {},
+                         static_cast<double>(tracer->dropped()), true});
+    out.push_back(Sample{"graftlab_tracelab_sites_dropped_total", {},
+                         static_cast<double>(tracer->sites_dropped()), true});
+  });
+}
+
+void Plane::AttachInjector(const faultlab::Injector* injector) {
+  registry_.AddCollector([injector](std::vector<Sample>& out) {
+    for (const auto& site : injector->Counters()) {
+      out.push_back(Sample{"graftlab_fault_site_hits_total",
+                           Labels{{"site", site.site}},
+                           static_cast<double>(site.hits), true});
+      out.push_back(Sample{"graftlab_fault_injections_total",
+                           Labels{{"site", site.site}},
+                           static_cast<double>(site.injected), true});
+    }
+  });
+}
+
+void Plane::AddNetfrontCollector(std::function<void(graftd::NetfrontSection&)> fill) {
+  registry_.AddCollector([fill = std::move(fill)](std::vector<Sample>& out) {
+    graftd::NetfrontSection section;
+    fill(section);
+    if (!section.present) {
+      return;
+    }
+    for (const auto& tenant : section.tenants) {
+      const Labels labels{{"tenant", tenant.name}};
+      out.push_back(Sample{"graftlab_tenant_accepted_total", labels,
+                           static_cast<double>(tenant.accepted), true});
+      out.push_back(Sample{"graftlab_tenant_completed_ok_total", labels,
+                           static_cast<double>(tenant.completed_ok), true});
+      out.push_back(Sample{"graftlab_tenant_completed_error_total", labels,
+                           static_cast<double>(tenant.completed_error), true});
+      out.push_back(Sample{"graftlab_tenant_shed_degraded_total", labels,
+                           static_cast<double>(tenant.shed_degraded), true});
+      out.push_back(Sample{"graftlab_tenant_shed_overload_total", labels,
+                           static_cast<double>(tenant.shed_overload), true});
+      out.push_back(Sample{"graftlab_tenant_quota_rejected_total", labels,
+                           static_cast<double>(tenant.quota_rejected), true});
+      out.push_back(Sample{"graftlab_tenant_breaker_open_total", labels,
+                           static_cast<double>(tenant.breaker_open), true});
+      out.push_back(Sample{"graftlab_tenant_retries_deduped_total", labels,
+                           static_cast<double>(tenant.retries_deduped), true});
+    }
+    out.push_back(Sample{"graftlab_net_connections_opened_total", {},
+                         static_cast<double>(section.connections_opened), true});
+    out.push_back(Sample{"graftlab_net_connections_closed_total", {},
+                         static_cast<double>(section.connections_closed), true});
+    out.push_back(Sample{"graftlab_net_connections_active", {},
+                         static_cast<double>(section.connections_active), false});
+    out.push_back(Sample{"graftlab_net_frame_errors_total", {},
+                         static_cast<double>(section.frame_errors), true});
+    out.push_back(Sample{"graftlab_net_bytes_in_total", {},
+                         static_cast<double>(section.bytes_in), true});
+    out.push_back(Sample{"graftlab_net_bytes_out_total", {},
+                         static_cast<double>(section.bytes_out), true});
+    out.push_back(Sample{"graftlab_net_read_pauses_total", {},
+                         static_cast<double>(section.read_pauses), true});
+    out.push_back(Sample{"graftlab_net_slow_reader_closes_total", {},
+                         static_cast<double>(section.slow_reader_closes), true});
+    out.push_back(Sample{"graftlab_net_io_thread_crashes_total", {},
+                         static_cast<double>(section.io_thread_crashes), true});
+    out.push_back(Sample{"graftlab_net_conns_adopted_total", {},
+                         static_cast<double>(section.conns_adopted), true});
+    out.push_back(Sample{"graftlab_net_crash_orphans_total", {},
+                         static_cast<double>(section.crash_orphans), true});
+  });
+}
+
+std::string Plane::Exposition(std::uint8_t format) {
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  // A scrape closes any due SLO windows, so burn gauges stay live even when
+  // the latency feed pauses (e.g. the tenant stopped sending).
+  slo_.Evaluate(NowNs());
+  if (format == kFormatJson) {
+    return registry_.Json();
+  }
+  return registry_.PrometheusText();
+}
+
+void Plane::OnServerEvent(const char* event) {
+  if (enabled()) {
+    recorder_.Trigger(event);
+  }
+}
+
+void Plane::OnTenantLatency(std::uint16_t tenant, std::uint64_t elapsed_ns) {
+  if (!enabled()) {
+    return;
+  }
+  slo_.Record(tenant, elapsed_ns);
+  // Piggyback evaluation on the feed itself — no watchdog thread needed.
+  if (latency_feed_.fetch_add(1, std::memory_order_relaxed) % kEvalStride ==
+      kEvalStride - 1) {
+    slo_.Evaluate(NowNs());
+  }
+}
+
+std::uint64_t Plane::NowNs() const {
+  if (dispatcher_ != nullptr) {
+    return dispatcher_->NowNs();
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock_->Now().time_since_epoch())
+          .count());
+}
+
+}  // namespace obslab

@@ -1,0 +1,157 @@
+#include "src/obslab/profiler.h"
+
+#include <signal.h>
+#include <sys/time.h>
+
+#include <cstring>
+
+namespace obslab {
+
+namespace {
+
+// The handler's route to the active profiler. Only one may run at a time.
+std::atomic<Profiler*> g_active_profiler{nullptr};
+
+}  // namespace
+
+struct Profiler::SigactionState {
+  struct sigaction previous;
+  struct itimerval previous_timer;
+};
+
+Profiler::Profiler(Options options)
+    : options_(options),
+      cells_((options.max_grafts + 1) * tracelab::kProfStages),
+      saved_(std::make_unique<SigactionState>()) {}
+
+Profiler::~Profiler() { Stop(); }
+
+void Profiler::SetGraftName(std::uint32_t graft_id, std::string name) {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  if (names_.size() <= graft_id) {
+    names_.resize(graft_id + 1);
+  }
+  names_[graft_id] = std::move(name);
+}
+
+std::size_t Profiler::CellIndex(std::uint32_t graft_tag, std::uint32_t stage) const {
+  // Tags beyond the matrix clamp into the last row rather than sampling
+  // out of bounds; stages likewise.
+  if (graft_tag > options_.max_grafts) {
+    graft_tag = static_cast<std::uint32_t>(options_.max_grafts);
+  }
+  if (stage >= tracelab::kProfStages) {
+    stage = 0;
+  }
+  return graft_tag * tracelab::kProfStages + stage;
+}
+
+void Profiler::Handler(int /*signo*/) {
+  Profiler* profiler = g_active_profiler.load(std::memory_order_acquire);
+  if (profiler == nullptr) {
+    return;
+  }
+  const tracelab::ProfSlot slot = tracelab::CurrentProfSlot();
+  profiler->cells_[profiler->CellIndex(slot.graft, slot.stage)].fetch_add(
+      1, std::memory_order_relaxed);
+  profiler->samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Profiler::Start() {
+  Profiler* expected = nullptr;
+  if (!g_active_profiler.compare_exchange_strong(expected, this,
+                                                 std::memory_order_acq_rel)) {
+    return false;  // another profiler is live
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &Profiler::Handler;
+  action.sa_flags = SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGPROF, &action, &saved_->previous) != 0) {
+    g_active_profiler.store(nullptr, std::memory_order_release);
+    return false;
+  }
+  const long interval_us = 1'000'000L / (options_.hz > 0 ? options_.hz : 97);
+  struct itimerval timer;
+  timer.it_interval.tv_sec = interval_us / 1'000'000L;
+  timer.it_interval.tv_usec = interval_us % 1'000'000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, &saved_->previous_timer) != 0) {
+    sigaction(SIGPROF, &saved_->previous, nullptr);
+    g_active_profiler.store(nullptr, std::memory_order_release);
+    return false;
+  }
+  timer_armed_ = true;
+  running_.store(true, std::memory_order_release);
+  return true;
+}
+
+void Profiler::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  if (timer_armed_) {
+    setitimer(ITIMER_PROF, &saved_->previous_timer, nullptr);
+    timer_armed_ = false;
+  }
+  sigaction(SIGPROF, &saved_->previous, nullptr);
+  g_active_profiler.store(nullptr, std::memory_order_release);
+}
+
+std::string Profiler::GraftLabel(std::size_t row) const {
+  if (row == 0) {
+    return "-";
+  }
+  std::lock_guard<std::mutex> lock(names_mu_);
+  const std::size_t id = row - 1;
+  if (id < names_.size() && !names_[id].empty()) {
+    return names_[id];
+  }
+  return "graft" + std::to_string(id);
+}
+
+std::string Profiler::FoldedStacks() const {
+  std::string out;
+  for (std::size_t row = 0; row <= options_.max_grafts; ++row) {
+    for (std::size_t stage = 0; stage < tracelab::kProfStages; ++stage) {
+      const std::uint64_t count =
+          cells_[row * tracelab::kProfStages + stage].load(std::memory_order_relaxed);
+      if (count == 0) {
+        continue;
+      }
+      out += "graftlab;";
+      out += GraftLabel(row);
+      out += ';';
+      out += tracelab::ProfStageName(static_cast<tracelab::ProfStage>(stage));
+      out += ' ';
+      out += std::to_string(count);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void Profiler::RegisterWith(MetricsRegistry& registry) {
+  registry.AddCollector([this](std::vector<Sample>& out) {
+    for (std::size_t row = 0; row <= options_.max_grafts; ++row) {
+      for (std::size_t stage = 0; stage < tracelab::kProfStages; ++stage) {
+        const std::uint64_t count =
+            cells_[row * tracelab::kProfStages + stage].load(std::memory_order_relaxed);
+        if (count == 0) {
+          continue;
+        }
+        out.push_back(Sample{
+            "graftlab_profile_samples_total",
+            Labels{{"graft", GraftLabel(row)},
+                   {"stage",
+                    tracelab::ProfStageName(static_cast<tracelab::ProfStage>(stage))}},
+            static_cast<double>(count), true});
+      }
+    }
+    out.push_back(Sample{"graftlab_profile_active", {},
+                         running_.load(std::memory_order_relaxed) ? 1.0 : 0.0, false});
+  });
+}
+
+}  // namespace obslab

@@ -1,0 +1,359 @@
+#include "src/obslab/registry.h"
+
+#include <cstdio>
+
+#include "src/tracelab/json_util.h"
+
+namespace obslab {
+
+namespace {
+
+bool NameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+}
+
+bool NameChar(char c) { return NameStartChar(c) || (c >= '0' && c <= '9'); }
+
+void AppendHelpEscaped(std::string& out, std::string_view help) {
+  for (const char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  // Integral values render without a fraction so counter scrapes are
+  // trivially parseable (and diffable) as integers.
+  if (v >= 0 && v < 9.2e18 && v == static_cast<double>(static_cast<std::uint64_t>(v))) {
+    out += std::to_string(static_cast<std::uint64_t>(v));
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+void AppendLabels(std::string& out, const Labels& labels, const char* extra_key = nullptr,
+                  const std::string& extra_value = std::string()) {
+  if (labels.empty() && extra_key == nullptr) {
+    return;
+  }
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += MetricsRegistry::SanitizeName(key);
+    out += "=\"";
+    MetricsRegistry::AppendEscapedLabelValue(out, value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) {
+      out += ',';
+    }
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;  // always a number or "+Inf"; nothing to escape
+    out += '"';
+  }
+  out += '}';
+}
+
+const char* KindName(bool monotonic) { return monotonic ? "counter" : "gauge"; }
+
+}  // namespace
+
+std::string MetricsRegistry::SanitizeName(std::string_view name) {
+  if (name.empty()) {
+    return "_";
+  }
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = i == 0 ? NameStartChar(c) : NameChar(c);
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void MetricsRegistry::AppendEscapedLabelValue(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;  // UTF-8 passes through byte-wise, per the format
+    }
+  }
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::FindOrNull(Kind kind, const std::string& name,
+                                                         const Labels& labels) {
+  for (const auto& instrument : instruments_) {
+    if (instrument->kind == kind && instrument->name == name &&
+        instrument->labels == labels) {
+      return instrument.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter MetricsRegistry::RegisterCounter(std::string name, Labels labels, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string sanitized = SanitizeName(name);
+  if (Instrument* existing = FindOrNull(Kind::kCounter, sanitized, labels)) {
+    return Counter(existing->counter.get());
+  }
+  auto instrument = std::make_unique<Instrument>();
+  instrument->kind = Kind::kCounter;
+  instrument->name = sanitized;
+  instrument->labels = std::move(labels);
+  instrument->help = std::move(help);
+  instrument->counter = std::make_unique<std::atomic<std::uint64_t>>(0);
+  Counter handle(instrument->counter.get());
+  instruments_.push_back(std::move(instrument));
+  return handle;
+}
+
+Gauge MetricsRegistry::RegisterGauge(std::string name, Labels labels, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string sanitized = SanitizeName(name);
+  if (Instrument* existing = FindOrNull(Kind::kGauge, sanitized, labels)) {
+    return Gauge(existing->gauge.get());
+  }
+  auto instrument = std::make_unique<Instrument>();
+  instrument->kind = Kind::kGauge;
+  instrument->name = sanitized;
+  instrument->labels = std::move(labels);
+  instrument->help = std::move(help);
+  instrument->gauge = std::make_unique<std::atomic<std::int64_t>>(0);
+  Gauge handle(instrument->gauge.get());
+  instruments_.push_back(std::move(instrument));
+  return handle;
+}
+
+Histogram MetricsRegistry::RegisterHistogram(std::string name, Labels labels,
+                                             std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string sanitized = SanitizeName(name);
+  if (Instrument* existing = FindOrNull(Kind::kHistogram, sanitized, labels)) {
+    return Histogram(existing->histogram.get());
+  }
+  auto instrument = std::make_unique<Instrument>();
+  instrument->kind = Kind::kHistogram;
+  instrument->name = sanitized;
+  instrument->labels = std::move(labels);
+  instrument->help = std::move(help);
+  instrument->histogram = std::make_unique<HistogramCells>();
+  Histogram handle(instrument->histogram.get());
+  instruments_.push_back(std::move(instrument));
+  return handle;
+}
+
+void MetricsRegistry::AddCollector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+void MetricsRegistry::Collect(std::vector<Sample>& out,
+                              std::vector<const Instrument*>& hists) const {
+  for (const auto& instrument : instruments_) {
+    switch (instrument->kind) {
+      case Kind::kCounter:
+        out.push_back(Sample{
+            instrument->name, instrument->labels,
+            static_cast<double>(instrument->counter->load(std::memory_order_relaxed)),
+            true});
+        break;
+      case Kind::kGauge:
+        out.push_back(Sample{
+            instrument->name, instrument->labels,
+            static_cast<double>(instrument->gauge->load(std::memory_order_relaxed)),
+            false});
+        break;
+      case Kind::kHistogram:
+        hists.push_back(instrument.get());
+        break;
+    }
+  }
+  for (const Collector& collector : collectors_) {
+    const std::size_t before = out.size();
+    collector(out);
+    // Collector-provided names arrive unsanitized.
+    for (std::size_t i = before; i < out.size(); ++i) {
+      out[i].name = SanitizeName(out[i].name);
+    }
+  }
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> samples;
+  std::vector<const Instrument*> hists;
+  Collect(samples, hists);
+
+  std::string out;
+  out.reserve(4096 + samples.size() * 64);
+
+  // One HELP/TYPE block per metric name, samples grouped under the first
+  // appearance so multi-label families stay legal exposition.
+  std::vector<std::size_t> emitted(samples.size(), 0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (emitted[i] != 0) {
+      continue;
+    }
+    const Sample& head = samples[i];
+    out += "# TYPE ";
+    out += head.name;
+    out += ' ';
+    out += KindName(head.monotonic);
+    out += '\n';
+    for (std::size_t j = i; j < samples.size(); ++j) {
+      if (emitted[j] != 0 || samples[j].name != head.name) {
+        continue;
+      }
+      emitted[j] = 1;
+      out += samples[j].name;
+      AppendLabels(out, samples[j].labels);
+      out += ' ';
+      AppendDouble(out, samples[j].value);
+      out += '\n';
+    }
+  }
+
+  for (const Instrument* hist : hists) {
+    if (!hist->help.empty()) {
+      out += "# HELP ";
+      out += hist->name;
+      out += ' ';
+      AppendHelpEscaped(out, hist->help);
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += hist->name;
+    out += " histogram\n";
+    // Snapshot buckets first: concurrent recording may advance count
+    // between loads, and `le="+Inf"` must equal _count, so _count is
+    // derived from the bucket snapshot rather than read separately.
+    std::uint64_t cumulative = 0;
+    std::array<std::uint64_t, HistogramCells::kBuckets> counts;
+    for (std::size_t b = 0; b < HistogramCells::kBuckets; ++b) {
+      counts[b] = hist->histogram->buckets[b].load(std::memory_order_relaxed);
+    }
+    for (std::size_t b = 0; b < HistogramCells::kBuckets; ++b) {
+      if (counts[b] == 0 && b + 1 != HistogramCells::kBuckets) {
+        cumulative += counts[b];
+        continue;  // keep the exposition small: only occupied buckets
+      }
+      cumulative += counts[b];
+      out += hist->name;
+      out += "_bucket";
+      AppendLabels(out, hist->labels, "le",
+                   b + 1 == HistogramCells::kBuckets
+                       ? std::string("+Inf")
+                       : std::to_string(HistogramCells::BucketUpper(b)));
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += hist->name;
+    out += "_sum";
+    AppendLabels(out, hist->labels);
+    out += ' ';
+    out += std::to_string(hist->histogram->sum.load(std::memory_order_relaxed));
+    out += '\n';
+    out += hist->name;
+    out += "_count";
+    AppendLabels(out, hist->labels);
+    out += ' ';
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> samples;
+  std::vector<const Instrument*> hists;
+  Collect(samples, hists);
+
+  std::string out;
+  out.reserve(4096 + samples.size() * 80);
+  out += "{\"metrics\":[";
+  bool first = true;
+  const auto append_labels = [&out](const Labels& labels) {
+    out += "\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : labels) {
+      if (!first_label) {
+        out += ',';
+      }
+      first_label = false;
+      tracelab::AppendJsonString(out, key);
+      out += ':';
+      tracelab::AppendJsonString(out, value);
+    }
+    out += '}';
+  };
+  for (const Sample& sample : samples) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "\n  {\"name\":";
+    tracelab::AppendJsonString(out, sample.name);
+    out += ",\"type\":\"";
+    out += KindName(sample.monotonic);
+    out += "\",";
+    append_labels(sample.labels);
+    out += ",\"value\":";
+    AppendDouble(out, sample.value);
+    out += '}';
+  }
+  for (const Instrument* hist : hists) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "\n  {\"name\":";
+    tracelab::AppendJsonString(out, hist->name);
+    out += ",\"type\":\"histogram\",";
+    append_labels(hist->labels);
+    out += ",\"count\":";
+    out += std::to_string(hist->histogram->count.load(std::memory_order_relaxed));
+    out += ",\"sum\":";
+    out += std::to_string(hist->histogram->sum.load(std::memory_order_relaxed));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < HistogramCells::kBuckets; ++b) {
+      const std::uint64_t count = hist->histogram->buckets[b].load(std::memory_order_relaxed);
+      cumulative += count;
+      if (count == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out += ',';
+      }
+      first_bucket = false;
+      out += "{\"le\":";
+      out += std::to_string(HistogramCells::BucketUpper(b));
+      out += ",\"count\":";
+      out += std::to_string(cumulative);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obslab

@@ -1,0 +1,195 @@
+// obslab metrics registry: lock-free instruments + pull collectors, with
+// Prometheus text and JSON exposition.
+//
+// Two producer models feed one scrape:
+//
+//   * Instruments (Counter/Gauge/Histogram) are registered once and held
+//     by handle; the hot path is a single relaxed atomic RMW on a cell
+//     whose address never moves (slab-allocated), so always-on counting
+//     costs what the existing telemetry counters cost — no locks, no
+//     allocation, no exposition work until someone scrapes.
+//   * Collectors are callbacks evaluated at scrape time. Everything the
+//     repo already measures (dispatcher snapshot rows, netfront tenant
+//     counters, faultlab sites, tracelab drops, breaker states) registers
+//     as a collector, so the plane unifies existing telemetry without
+//     touching its hot paths at all.
+//
+// Exposition follows the Prometheus text format: metric/label names are
+// sanitized to [a-zA-Z0-9_:] (hostile bytes become '_'), label values
+// escape backslash, double-quote and newline, HELP text escapes backslash
+// and newline. Histograms expand into cumulative `_bucket{le=...}` series
+// plus `_sum`/`_count`, with log2-nanosecond bucket bounds (the same
+// buckets as graftd::LatencyHistogram, so live and offline percentiles
+// agree). Counters are monotonic under concurrent scrape: every value is
+// one relaxed load of a cell that only ever grows.
+//
+// Metric-name schema (EXPERIMENTS.md "obslab metric names"): everything
+// this registry exports is prefixed `graftlab_`, counters end in `_total`,
+// durations are `_ns`.
+
+#ifndef GRAFTLAB_SRC_OBSLAB_REGISTRY_H_
+#define GRAFTLAB_SRC_OBSLAB_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace obslab {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Handle to a monotonic counter cell. Copyable; the registry owns the
+// storage and must outlive every handle.
+class Counter {
+ public:
+  Counter() = default;
+  void Add(std::uint64_t n = 1) {
+    if (cell_ != nullptr) {
+      cell_->fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(std::int64_t v) {
+    if (cell_ != nullptr) {
+      cell_->store(v, std::memory_order_relaxed);
+    }
+  }
+  void Add(std::int64_t n) {
+    if (cell_ != nullptr) {
+      cell_->fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  std::int64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+// Log2-nanosecond histogram, all-atomic so many threads record without
+// coordination. Bucket i counts values of bit width i (same geometry as
+// graftd::LatencyHistogram).
+struct HistogramCells {
+  static constexpr std::size_t kBuckets = 48;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+
+  static std::size_t BucketFor(std::uint64_t v) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(v));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+  static std::uint64_t BucketUpper(std::size_t i) {
+    return i >= 64 ? ~0ull : (1ull << i) - 1;
+  }
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void Record(std::uint64_t v) {
+    if (cells_ == nullptr) {
+      return;
+    }
+    cells_->buckets[HistogramCells::BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    cells_->count.fetch_add(1, std::memory_order_relaxed);
+    cells_->sum.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return cells_ == nullptr ? 0 : cells_->count.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(HistogramCells* cells) : cells_(cells) {}
+  HistogramCells* cells_ = nullptr;
+};
+
+// One scrape-time sample a collector contributes. Monotonic samples render
+// as counters, others as gauges.
+struct Sample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+  bool monotonic = false;
+};
+
+class MetricsRegistry {
+ public:
+  using Collector = std::function<void(std::vector<Sample>&)>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration is mutex-guarded and not for the hot path: register once,
+  // carry the handle. Re-registering an identical (name, labels) pair
+  // returns the existing cell, so independent subsystems can share a
+  // counter without coordinating.
+  Counter RegisterCounter(std::string name, Labels labels = {}, std::string help = "");
+  Gauge RegisterGauge(std::string name, Labels labels = {}, std::string help = "");
+  Histogram RegisterHistogram(std::string name, Labels labels = {}, std::string help = "");
+
+  // Scrape-time pull source; evaluated (under the registry mutex) on every
+  // exposition call. Keep collectors cheap and reentrant-free: a collector
+  // must not call back into this registry.
+  void AddCollector(Collector collector);
+
+  // Exposition formats. Safe to call concurrently with instrument updates;
+  // counter values are monotonically non-decreasing across scrapes.
+  std::string PrometheusText() const;
+  std::string Json() const;
+
+  // Prometheus escaping helpers (exposed for tests).
+  static std::string SanitizeName(std::string_view name);
+  static void AppendEscapedLabelValue(std::string& out, std::string_view value);
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    Kind kind = Kind::kCounter;
+    std::string name;  // sanitized
+    Labels labels;
+    std::string help;
+    // Exactly one is live, slab-owned so handle addresses never move.
+    std::unique_ptr<std::atomic<std::uint64_t>> counter;
+    std::unique_ptr<std::atomic<std::int64_t>> gauge;
+    std::unique_ptr<HistogramCells> histogram;
+  };
+
+  Instrument* FindOrNull(Kind kind, const std::string& name, const Labels& labels);
+  // Renders instruments + collector samples grouped by metric name.
+  void Collect(std::vector<Sample>& out, std::vector<const Instrument*>& hists) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Instrument>> instruments_;
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace obslab
+
+#endif  // GRAFTLAB_SRC_OBSLAB_REGISTRY_H_

@@ -22,7 +22,9 @@ void AppendCommon(std::string& out, const TraceDump& dump, const TraceEvent& eve
                   std::uint32_t tid, const char* ph) {
   out += "{\"name\":";
   const std::string name =
-      event.site < dump.sites.size() ? dump.sites[event.site] : "?";
+      event.site < dump.sites.size()
+          ? dump.sites[event.site]
+          : std::string(event.site == kOverflowSite ? "<overflow>" : "?");
   AppendJsonString(out, name);
   out += ",\"cat\":\"graftlab\",\"ph\":\"";
   out += ph;
@@ -42,11 +44,7 @@ void AppendTraceIdArgs(std::string& out, const TraceEvent& event) {
 
 }  // namespace
 
-std::string ChromeTraceJson(const TraceDump& dump) {
-  std::string out;
-  out.reserve(128 + dump.event_count() * 96);
-  out += "{\"traceEvents\":[";
-  bool first = true;
+void AppendChromeTraceEvents(std::string& out, const TraceDump& dump, bool& first) {
   for (const TraceDump::Thread& thread : dump.threads) {
     for (const TraceEvent& event : thread.events) {
       if (!first) {
@@ -84,6 +82,14 @@ std::string ChromeTraceJson(const TraceDump& dump) {
       out += "}";
     }
   }
+}
+
+std::string ChromeTraceJson(const TraceDump& dump) {
+  std::string out;
+  out.reserve(128 + dump.event_count() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  AppendChromeTraceEvents(out, dump, first);
   out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
   out += std::to_string(dump.dropped());
   out += "}}";

@@ -27,6 +27,14 @@ namespace tracelab {
 
 std::string ChromeTraceJson(const TraceDump& dump);
 
+// Appends just the trace-event array elements (comma-separated, no
+// enclosing brackets) — the shared body of ChromeTraceJson and the obslab
+// flight recorder's combined black-box file, which embeds the same array
+// under its own top-level "traceEvents" key so one file is both a valid
+// Chrome trace and a post-mortem record. `first` tracks comma placement
+// across calls.
+void AppendChromeTraceEvents(std::string& out, const TraceDump& dump, bool& first);
+
 // Writes ChromeTraceJson(dump) to `path`; false (after a diagnostic) on
 // I/O failure.
 bool WriteChromeTrace(const TraceDump& dump, const std::string& path);

@@ -10,9 +10,25 @@ std::atomic<std::uint64_t> g_tracer_epoch{1};
 
 thread_local std::uint64_t t_current_trace_id = 0;
 
+// POD with a constant initializer: access is a plain TLS read with no
+// guard variable, which is what makes CurrentProfSlot safe to call from a
+// SIGPROF handler interrupting this thread.
+thread_local ProfSlot t_prof_slot;
+
 }  // namespace
 
 std::uint64_t CurrentTraceId() { return t_current_trace_id; }
+
+ProfSlot CurrentProfSlot() { return t_prof_slot; }
+
+void SetProfSlot(ProfSlot slot) { t_prof_slot = slot; }
+
+ScopedProfSlot::ScopedProfSlot(std::uint32_t graft_plus_one, ProfStage stage)
+    : prev_(t_prof_slot) {
+  t_prof_slot = ProfSlot{graft_plus_one, static_cast<std::uint32_t>(stage)};
+}
+
+ScopedProfSlot::~ScopedProfSlot() { t_prof_slot = prev_; }
 
 ScopedTraceId::ScopedTraceId(std::uint64_t id) : prev_(t_current_trace_id) {
   t_current_trace_id = id;
@@ -37,11 +53,22 @@ SiteId Tracer::Intern(std::string_view name) {
       return static_cast<SiteId>(i);
     }
   }
+  // Full table: refuse the new name rather than grow without bound (a
+  // hostile producer of unique names would otherwise inflate both memory
+  // and this linear scan). The caller's events survive under the shared
+  // overflow sentinel.
+  if (sites_.size() >= options_.max_sites) {
+    sites_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kOverflowSite;
+  }
   sites_.emplace_back(name);
   return static_cast<SiteId>(sites_.size() - 1);
 }
 
 std::string Tracer::SiteName(SiteId site) const {
+  if (site == kOverflowSite) {
+    return "<overflow>";
+  }
   std::lock_guard<std::mutex> lock(sites_mu_);
   return site < sites_.size() ? sites_[site] : "?";
 }
@@ -89,6 +116,36 @@ TraceDump Tracer::Dump() {
     thread.tid = entry->tid;
     thread.dropped = entry->ring.dropped();
     thread.events = entry->collected;
+    dump.threads.push_back(std::move(thread));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sites_mu_);
+    dump.sites = sites_;
+  }
+  return dump;
+}
+
+TraceDump Tracer::DumpTail(std::size_t max_events_per_thread) {
+  std::lock_guard<std::mutex> collect(collect_mu_);
+  std::vector<RingEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    entries.reserve(rings_.size());
+    for (const auto& entry : rings_) {
+      entries.push_back(entry.get());
+    }
+  }
+  TraceDump dump;
+  dump.threads.reserve(entries.size());
+  for (RingEntry* entry : entries) {
+    entry->ring.Drain(entry->collected);
+    TraceDump::Thread thread;
+    thread.tid = entry->tid;
+    thread.dropped = entry->ring.dropped();
+    const std::vector<TraceEvent>& all = entry->collected;
+    const std::size_t take = all.size() < max_events_per_thread ? all.size()
+                                                                : max_events_per_thread;
+    thread.events.assign(all.end() - static_cast<std::ptrdiff_t>(take), all.end());
     dump.threads.push_back(std::move(thread));
   }
   {

@@ -47,6 +47,14 @@ namespace tracelab {
 
 using SiteId = std::uint32_t;
 
+// Returned by Intern once the site table is full (Options::max_sites): the
+// event is still recorded, but attributed to the shared overflow site so a
+// hostile producer of never-repeating names can grow neither the table nor
+// the O(sites) intern scan. SiteName maps it to "<overflow>"; consumers
+// that index dense site vectors already range-check, so the sentinel never
+// lands in an aggregate row of its own.
+inline constexpr SiteId kOverflowSite = 0xFFFFFFFFu;
+
 enum class EventKind : std::uint8_t {
   kSpanBegin,
   kSpanEnd,
@@ -149,12 +157,65 @@ class ScopedTraceId {
   std::uint64_t prev_;
 };
 
+// Profiler attribution slot: what {graft, stage} this thread is currently
+// executing, as plain thread-local stores (no atomics, no branches) cheap
+// enough to stamp around every dispatch stage. The obslab sampling profiler
+// reads the interrupted thread's own slot from its SIGPROF handler, which
+// is async-signal-safe because the slot is a trivially-constructible POD
+// thread_local (a TLS offset read, no lazy init, no locks). graft is the
+// GraftId + 1 (0 = not in a graft); stage is a ProfStage.
+enum class ProfStage : std::uint32_t {
+  kIdle = 0,
+  kQueue = 1,     // reserved for queue-side attribution
+  kCrossing = 2,  // protection/technology crossing into the graft
+  kBody = 3,      // the graft body itself
+  kDisk = 4,      // simulated device time the invocation rides
+  kNet = 5,       // network front-end work (decode/encode/flush)
+};
+inline constexpr std::size_t kProfStages = 6;
+constexpr const char* ProfStageName(ProfStage stage) {
+  switch (stage) {
+    case ProfStage::kIdle: return "idle";
+    case ProfStage::kQueue: return "queue";
+    case ProfStage::kCrossing: return "crossing";
+    case ProfStage::kBody: return "body";
+    case ProfStage::kDisk: return "disk";
+    case ProfStage::kNet: return "net";
+  }
+  return "?";
+}
+
+struct ProfSlot {
+  std::uint32_t graft = 0;  // GraftId + 1; 0 = none
+  std::uint32_t stage = 0;  // ProfStage
+};
+
+ProfSlot CurrentProfSlot();
+void SetProfSlot(ProfSlot slot);
+
+// RAII stage marker; restores the previous slot on destruction so nested
+// stages (body -> disk) unwind correctly.
+class ScopedProfSlot {
+ public:
+  ScopedProfSlot(std::uint32_t graft_plus_one, ProfStage stage);
+  ~ScopedProfSlot();
+  ScopedProfSlot(const ScopedProfSlot&) = delete;
+  ScopedProfSlot& operator=(const ScopedProfSlot&) = delete;
+
+ private:
+  ProfSlot prev_;
+};
+
 class Tracer {
  public:
   struct Options {
     std::size_t ring_capacity = 1u << 14;  // events per recording thread
     const graftd::Clock* clock = graftd::RealClock::Instance();
     bool enabled = true;
+    // Intern table cap: names beyond it collapse to kOverflowSite (counted
+    // by sites_dropped). Bounds both memory and the linear intern scan
+    // against hostile never-repeating site names.
+    std::size_t max_sites = 4096;
   };
 
   Tracer() : Tracer(Options{}) {}
@@ -214,10 +275,21 @@ class Tracer {
   // One collector at a time; safe against concurrent producers.
   TraceDump Dump();
 
+  // Flight-recorder snapshot: drains the rings like Dump but returns only
+  // the most recent `max_events_per_thread` events of each thread (the
+  // accumulated streams are kept, so a later Dump still sees everything).
+  // Safe against concurrent producers, same as Dump.
+  TraceDump DumpTail(std::size_t max_events_per_thread);
+
   // Discards everything collected so far (drop counters stay cumulative).
   void Reset();
 
   std::uint64_t dropped() const;
+
+  // Interns refused by the max_sites cap (cumulative).
+  std::uint64_t sites_dropped() const {
+    return sites_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct RingEntry {
@@ -250,6 +322,7 @@ class Tracer {
 
   mutable std::mutex sites_mu_;
   std::vector<std::string> sites_;
+  std::atomic<std::uint64_t> sites_dropped_{0};
 
   mutable std::mutex rings_mu_;
   std::vector<std::unique_ptr<RingEntry>> rings_;

@@ -424,4 +424,58 @@ TEST(TracedDispatch, UntracedDispatcherSnapshotHasNoTraceSection) {
   EXPECT_EQ(snapshot.grafts[0].counters.ok, 1u);
 }
 
+TEST(Tracer, InternCapCollapsesHostileNamesToOverflowSite) {
+  tracelab::Tracer::Options options;
+  options.max_sites = 4;
+  tracelab::Tracer tracer(options);
+  std::vector<tracelab::SiteId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(tracer.Intern("site" + std::to_string(i)));
+  }
+  // The first max_sites names get dense ids; everything past the cap
+  // collapses to the shared overflow sentinel instead of growing the table.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(ids[i], tracelab::kOverflowSite);
+  }
+  for (int i = 4; i < 10; ++i) {
+    EXPECT_EQ(ids[i], tracelab::kOverflowSite);
+  }
+  EXPECT_EQ(tracer.sites_dropped(), 6u);
+  EXPECT_EQ(tracer.SiteName(tracelab::kOverflowSite), "<overflow>");
+  // Re-interning a cached name is still a hit, not another drop.
+  EXPECT_EQ(tracer.Intern("site0"), ids[0]);
+  EXPECT_EQ(tracer.sites_dropped(), 6u);
+
+  // Events recorded against the overflow site stay well-defined: they are
+  // collected, and Aggregate's range-checked site indexing drops them
+  // rather than growing a row for the sentinel.
+  tracer.Instant(ids[9], 0);
+  tracer.Complete(ids[9], 0, 100, 0);
+  const tracelab::TraceDump dump = tracer.Dump();
+  EXPECT_EQ(dump.event_count(), 2u);
+  EXPECT_EQ(dump.sites.size(), 4u);
+  const tracelab::StageSummary summary = tracelab::Aggregate(dump);
+  EXPECT_EQ(summary.instants.size(), 4u);
+  std::uint64_t total_instants = 0;
+  for (const std::uint64_t n : summary.instants) {
+    total_instants += n;
+  }
+  EXPECT_EQ(total_instants, 0u);
+}
+
+TEST(Tracer, DumpTailReturnsOnlyTheMostRecentEventsPerThread) {
+  tracelab::Tracer tracer;
+  const tracelab::SiteId site = tracer.Intern("tail");
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    tracer.Instant(site, 0, i);
+  }
+  const tracelab::TraceDump tail = tracer.DumpTail(10);
+  ASSERT_EQ(tail.threads.size(), 1u);
+  ASSERT_EQ(tail.threads[0].events.size(), 10u);
+  EXPECT_EQ(tail.threads[0].events.front().arg, 90u);
+  EXPECT_EQ(tail.threads[0].events.back().arg, 99u);
+  // The accumulated stream is preserved: a later full Dump sees everything.
+  EXPECT_EQ(tracer.Dump().event_count(), 100u);
+}
+
 }  // namespace

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Merge BENCH_*.json emissions into a rolling history and gate regressions.
+
+Every bench binary that uses bench::JsonReport writes one BENCH_<name>.json
+next to itself: a JSON array of rows {bench, iterations, ns_per_op,
+checksum}. This tool folds the current crop of those files into an
+append-only BENCH_HISTORY.jsonl (one row per line, stamped with a
+monotonically increasing run index and a caller-supplied label), then
+compares each row's ns_per_op against the most recent previous run of the
+same bench key.
+
+Exit status is the gate: nonzero when any bench regressed by more than
+--threshold (default 25%) versus its previous appearance. Rows with
+ns_per_op <= 0 carry no timing (pass/fail benches report their verdict in
+the checksum column) and are recorded but never gated. The first run of a
+key has nothing to compare against and passes.
+
+Usage:
+  python3 tools/bench_trend.py --bench-dir build/bench \
+      [--history BENCH_HISTORY.jsonl] [--threshold 0.25] [--label sha]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_history(path):
+    """Returns (rows, next_run_index). Tolerates a missing file."""
+    rows = []
+    if not os.path.exists(path):
+        return rows, 0
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                print(f"bench_trend: {path}:{line_no}: unparseable history row: {e}",
+                      file=sys.stderr)
+                sys.exit(2)
+    next_run = 1 + max((r.get("run", -1) for r in rows), default=-1)
+    return rows, next_run
+
+
+def load_current(bench_dir):
+    """Reads every BENCH_*.json in bench_dir into a flat row list."""
+    rows = []
+    pattern = os.path.join(bench_dir, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        with open(path, "r", encoding="utf-8") as f:
+            try:
+                data = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"bench_trend: {path}: invalid JSON: {e}", file=sys.stderr)
+                sys.exit(2)
+        if not isinstance(data, list):
+            print(f"bench_trend: {path}: expected a JSON array of rows",
+                  file=sys.stderr)
+            sys.exit(2)
+        source = os.path.basename(path)
+        for row in data:
+            if "bench" not in row or "ns_per_op" not in row:
+                print(f"bench_trend: {path}: row missing bench/ns_per_op: {row}",
+                      file=sys.stderr)
+                sys.exit(2)
+            rows.append({
+                "bench": row["bench"],
+                "iterations": row.get("iterations", 0),
+                "ns_per_op": row["ns_per_op"],
+                "checksum": row.get("checksum", 0),
+                "source": source,
+            })
+    return rows
+
+
+def latest_by_key(history):
+    """Most recent historical row per bench key (highest run index wins)."""
+    latest = {}
+    for row in history:
+        key = row.get("bench")
+        if key is None:
+            continue
+        prev = latest.get(key)
+        if prev is None or row.get("run", -1) >= prev.get("run", -1):
+            latest[key] = row
+    return latest
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--bench-dir", default="build/bench",
+                        help="directory holding BENCH_*.json (default: build/bench)")
+    parser.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                        help="append-only history file (default: BENCH_HISTORY.jsonl)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed ns_per_op growth vs previous run (default 0.25)")
+    parser.add_argument("--label", default="local",
+                        help="free-form run label recorded on every row (e.g. a commit sha)")
+    parser.add_argument("--no-append", action="store_true",
+                        help="compare only; leave the history file untouched")
+    args = parser.parse_args()
+
+    current = load_current(args.bench_dir)
+    if not current:
+        print(f"bench_trend: no BENCH_*.json under {args.bench_dir}", file=sys.stderr)
+        return 2
+
+    history, run = load_history(args.history)
+    baseline = latest_by_key(history)
+
+    regressions = []
+    width = max(len(r["bench"]) for r in current)
+    print(f"bench_trend: run {run} ({args.label}), {len(current)} rows, "
+          f"gate at +{args.threshold * 100:.0f}% ns_per_op")
+    for row in current:
+        prev = baseline.get(row["bench"])
+        note = "first run"
+        if prev is not None and prev.get("ns_per_op", 0) > 0 and row["ns_per_op"] > 0:
+            delta = row["ns_per_op"] / prev["ns_per_op"] - 1.0
+            note = f"{delta:+7.1%} vs run {prev.get('run', '?')}"
+            if delta > args.threshold:
+                note += "  REGRESSION"
+                regressions.append((row["bench"], delta))
+        elif row["ns_per_op"] <= 0:
+            note = "untimed (not gated)"
+        print(f"  {row['bench']:<{width}}  {row['ns_per_op']:14.3f} ns/op  {note}")
+
+    if not args.no_append:
+        with open(args.history, "a", encoding="utf-8") as f:
+            for row in current:
+                stamped = dict(row)
+                stamped["run"] = run
+                stamped["label"] = args.label
+                f.write(json.dumps(stamped, sort_keys=True) + "\n")
+        print(f"bench_trend: appended run {run} to {args.history} "
+              f"({len(history) + len(current)} rows total)")
+
+    if regressions:
+        for bench, delta in regressions:
+            print(f"bench_trend: FAIL {bench} regressed {delta:+.1%} "
+                  f"(threshold +{args.threshold:.0%})", file=sys.stderr)
+        return 1
+    print("bench_trend: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
