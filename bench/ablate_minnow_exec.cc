@@ -12,6 +12,11 @@
 //   A1c  the interpreter's own axes: switch vs threaded dispatch, with and
 //        without superinstruction fusion — the gate is >= 1.5x on the
 //        MD5-stream graft for (threaded + fused) over the plain switch loop
+//   A1d  the load-time template JIT (verify-then-compile, minnow/jit.h) vs
+//        the best interpreter row — the gate is >= 5x on the MD5-stream
+//        graft over (threaded + fused) with identical digests, plus a
+//        normalized-cost table against SFI on all three grafts (the paper's
+//        "compiled Java lands within striking distance of SFI" claim)
 //
 // A final section prints the opcode and opcode-pair frequency profile the
 // fusion set was selected from (the same counters graftd telemetry exports).
@@ -34,9 +39,12 @@ namespace {
 
 using core::Technology;
 
-// Mean time to fingerprint `bytes` through a MinnowMd5Graft built with
+// Best-pass time to fingerprint `bytes` through a MinnowMd5Graft built with
 // `config`; folds the digest into *checksum so configurations can be
-// cross-checked in the JSON report.
+// cross-checked in the JSON report. The minimum over passes is the
+// least-interference estimate — this box's clock dips make per-config means
+// swing ~1.6x, which would dominate the cross-config ratios the section
+// gates on.
 double MeasureConfigMd5Us(const grafts::MinnowConfig& config, std::size_t runs,
                           std::size_t bytes, std::uint64_t* checksum) {
   constexpr std::size_t kChunk = 64u << 10;
@@ -64,7 +72,7 @@ double MeasureConfigMd5Us(const grafts::MinnowConfig& config, std::size_t runs,
       }
     }
   }
-  return per_pass_us.mean();
+  return per_pass_us.min();
 }
 
 // Mean time of one ChooseVictim call (64-entry hot list, cold candidate)
@@ -92,6 +100,26 @@ double MeasureConfigEvictionUs(const grafts::MinnowConfig& config, std::size_t r
     per_call_us.Add(measurement.mean_us());
   }
   return per_call_us.mean();
+}
+
+// Mean time to replay `writes` skewed block writes through a
+// MinnowLogicalDiskGraft built with `config` (fresh graft per run: the log
+// starts empty, as in the paper).
+double MeasureConfigLdiskUs(const grafts::MinnowConfig& config, std::size_t runs,
+                            std::uint64_t writes) {
+  ldisk::Geometry geometry;
+  geometry.num_blocks = writes;
+  stats::RunningStats per_run_us;
+  for (std::size_t run = 0; run < runs; ++run) {
+    grafts::MinnowLogicalDiskGraft graft(geometry, config);
+    stats::SpinWarmup();
+    stats::Timer timer;
+    const auto replay =
+        ldisk::ReplayWorkload(graft, geometry, writes, /*seed=*/80204, /*validate=*/false);
+    stats::DoNotOptimize(replay.writes);
+    per_run_us.Add(timer.ElapsedUs());
+  }
+  return per_run_us.min();  // best pass, as in MeasureConfigMd5Us
 }
 
 grafts::MinnowConfig InterpConfig(bool threaded, bool fuse, bool optimize = false) {
@@ -213,6 +241,85 @@ int main(int argc, char** argv) {
               "(target >= 1.5x on md5)\n",
               md5_speedup, evict_speedup, md5_speedup >= 1.5 ? "PASS" : "FAIL");
 
+  // --- A1d: the load-time template JIT vs the best interpreter row ---
+  bench::PrintSection("A1d: verify-then-compile template JIT");
+  bench::JsonReport jit_report("minnow_jit");
+  bool jit_gate_ok = true;
+  if (!minnow::VM::JitDispatchAvailable()) {
+    std::printf("JIT NOT COMPILED IN (built with -DGRAFTLAB_JIT=OFF or a non-x86-64/non-GNU\n");
+    std::printf("target); DispatchMode::kJit degrades to the interpreter and the >= 5x gate\n");
+    std::printf("is skipped.\n");
+  } else {
+    // The JIT row reuses the check-elision certificate (minnow/elide.h): sites
+    // the load-time proof certifies compile to the unchecked `.nc` forms, so
+    // the native code carries only the checks the proof could not discharge.
+    grafts::MinnowConfig jit_config = InterpConfig(/*threaded=*/true, /*fuse=*/true);
+    jit_config.jit = true;
+    jit_config.elide = true;
+    std::uint64_t jit_md5_checksum = 0;
+    const double jit_md5_us = MeasureConfigMd5Us(jit_config, runs, md5_bytes, &jit_md5_checksum);
+    const double jit_evict_us = MeasureConfigEvictionUs(jit_config, runs);
+    const double jit_ldisk_us = MeasureConfigLdiskUs(jit_config, runs, writes);
+    const double interp_ldisk_us =
+        MeasureConfigLdiskUs(InterpConfig(/*threaded=*/true, /*fuse=*/true), runs, writes);
+    const double sfi_md5_us = bench::MeasureMd5Us(Technology::kSfi, runs, md5_bytes);
+    const double sfi_evict_us = bench::MeasureEvictionUs(Technology::kSfi, runs);
+    const double sfi_ldisk_us = bench::MeasureLdiskUs(Technology::kSfi, runs, writes);
+
+    struct JitRow {
+      const char* name;
+      const char* slug;
+      double interp_us;
+      double jit_us;
+      double sfi_us;
+    };
+    const JitRow jit_rows[] = {
+        {"eviction (per call)", "eviction", evict_us[3], jit_evict_us, sfi_evict_us},
+        {"md5 (per buffer)", "md5", md5_us[3], jit_md5_us, sfi_md5_us},
+        {"ldisk (per workload)", "ldisk", interp_ldisk_us, jit_ldisk_us, sfi_ldisk_us},
+    };
+    std::printf("%-22s %15s %12s %9s %12s %12s\n", "graft", "interp (best)", "jit", "speedup",
+                "sfi", "jit cost/sfi");
+    for (const JitRow& row : jit_rows) {
+      std::printf("%-22s %13.2fus %10.2fus %8.2fx %10.2fus %11.2fx\n", row.name, row.interp_us,
+                  row.jit_us, row.interp_us / row.jit_us, row.sfi_us, row.jit_us / row.sfi_us);
+      jit_report.AddUs(std::string(row.slug) + "/interp_threaded_fused", runs, row.interp_us, 0);
+      jit_report.AddUs(std::string(row.slug) + "/jit", runs, row.jit_us, 0);
+      jit_report.AddUs(std::string(row.slug) + "/sfi", runs, row.sfi_us, 0);
+    }
+    // Row 0 of the md5 measurements above carries the digest checksum; repeat
+    // it with the real checksums so scripts can diff jit against the
+    // interpreter and SFI rows without rerunning.
+    jit_report.AddUs("md5/jit_checksummed", runs, jit_md5_us, jit_md5_checksum);
+    jit_report.AddUs("md5/interp_checksummed", runs, md5_us[3], md5_checksum[3]);
+    jit_report.AddUs("md5/sfi_checksummed", runs, sfi_md5_us,
+                     bench::Md5Checksum(Technology::kSfi));
+
+    // Compiled-footprint evidence: what the arena holds for the MD5 graft.
+    {
+      grafts::MinnowMd5Graft probe(jit_config);
+      if (const minnow::JitStats* stats = probe.vm().jit_stats()) {
+        std::printf("\nmd5 graft arena: %llu functions compiled, %llu bytes of code, "
+                    "%llu bailouts\n",
+                    static_cast<unsigned long long>(stats->compiled_fns),
+                    static_cast<unsigned long long>(stats->bytes),
+                    static_cast<unsigned long long>(stats->bailouts));
+      }
+    }
+
+    const double jit_speedup = md5_us[3] / jit_md5_us;
+    const bool jit_digest_ok = jit_md5_checksum == md5_checksum[3];
+    jit_gate_ok = jit_speedup >= 5.0 && jit_digest_ok;
+    std::printf("digest identical to interpreter: %s\n", jit_digest_ok ? "yes" : "NO (BUG)");
+    std::printf("jit vs threaded+fusion on md5: %.2fx -> %s (target >= 5x)\n", jit_speedup,
+                jit_gate_ok ? "PASS" : "FAIL");
+    std::printf("normalized cost vs SFI: md5 %.2fx, eviction %.2fx, ldisk %.2fx "
+                "(paper target: within 2-5x)\n",
+                jit_md5_us / sfi_md5_us, jit_evict_us / sfi_evict_us,
+                jit_ldisk_us / sfi_ldisk_us);
+  }
+  jit_report.Write();
+
   // --- Opcode frequency profile (the fusion-set evidence) ---
   bench::PrintSection("Opcode profile, MD5 graft (raw bytecode, profiled run)");
   {
@@ -239,5 +346,5 @@ int main(int argc, char** argv) {
   std::printf("tests/minnow_regir_test.cc and tests/conformance_test.cc for the\n");
   std::printf("differential-correctness evidence.\n");
   report.Write();
-  return (md5_speedup >= 1.5 && checksums_agree) ? 0 : 1;
+  return (md5_speedup >= 1.5 && checksums_agree && jit_gate_ok) ? 0 : 1;
 }

@@ -86,6 +86,19 @@ struct GraftCounters {
   // the data the superinstruction fusion set is selected from.
   std::vector<std::pair<std::string, std::uint64_t>> vm_opcodes;
 
+  // Rows of the profile that describe the loaded program or its compiled
+  // form rather than execution volume. Every worker's instance of a graft
+  // loads the same program, so these are identical per instance and summing
+  // them across shards would multiply a static fact by the worker count
+  // (checks_elided reported 8x on an 8-worker dispatcher). Merge takes the
+  // max instead, which is idempotent for identical instances and still
+  // surfaces the largest footprint if instances ever diverge. Runtime
+  // counters (opcode retires, jit_deopts) keep summing.
+  static bool IsStaticProfileRow(const std::string& name) {
+    return name == "checks_elided" || name == "checks_retained" ||
+           name == "jit_compiled_fns" || name == "jit_bytes" || name == "jit_bailouts";
+  }
+
   // Sort-and-fold merge: O((n+m) log (n+m)) regardless of either side's
   // order, instead of the old O(n*m) scan-per-entry — snapshot cost stays
   // bounded as the opcode and superinstruction-pair tables grow.
@@ -100,8 +113,9 @@ struct GraftCounters {
     for (std::size_t i = 0; i < vm_opcodes.size();) {
       std::size_t j = i;
       std::uint64_t total = 0;
+      const bool take_max = IsStaticProfileRow(vm_opcodes[i].first);
       for (; j < vm_opcodes.size() && vm_opcodes[j].first == vm_opcodes[i].first; ++j) {
-        total += vm_opcodes[j].second;
+        total = take_max ? std::max(total, vm_opcodes[j].second) : total + vm_opcodes[j].second;
       }
       vm_opcodes[out] = {std::move(vm_opcodes[i].first), total};
       ++out;

@@ -273,6 +273,12 @@ minnow::VmOptions GraftVmOptions(const MinnowConfig& config) {
   options.dispatch = config.dispatch;
   options.profile_opcodes = config.profile_opcodes;
   options.elide_checks = config.elide;
+  // The jit flag only means something on the interpreter engine: the
+  // translated engine executes through RegExecutor, so compiling the
+  // bytecode natively as well would only waste the arena.
+  if (config.jit && config.engine == MinnowEngine::kInterpreter) {
+    options.dispatch = minnow::DispatchMode::kJit;
+  }
   return options;
 }
 

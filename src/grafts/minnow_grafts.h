@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/core/graft.h"
+#include "src/minnow/jit.h"
 #include "src/minnow/regir.h"
 #include "src/minnow/vm.h"
 
@@ -37,7 +38,11 @@ enum class MinnowEngine {
 // register IR does its own fusion and refuses fused bytecode). `dispatch`
 // and `profile_opcodes` pass straight through to VmOptions. `elide` runs
 // the load-time check-elision pass (minnow/elide.h): accesses whose safety
-// checks the abstract interpreter proves dead execute unchecked.
+// checks the abstract interpreter proves dead execute unchecked. `jit`
+// selects DispatchMode::kJit — verified bytecode compiled to native code at
+// load time (minnow/jit.h) with the interpreter as the deopt fallback; it
+// applies only to the interpreter engine (the translated engine has its own
+// executor) and degrades to the interpreter in builds without JIT support.
 struct MinnowConfig {
   MinnowEngine engine = MinnowEngine::kInterpreter;
   bool optimize = false;
@@ -45,6 +50,7 @@ struct MinnowConfig {
   minnow::DispatchMode dispatch = minnow::DispatchMode::kDefault;
   bool profile_opcodes = false;
   bool elide = false;
+  bool jit = false;
 };
 
 // --- Prioritization ---
@@ -96,12 +102,19 @@ class MinnowMd5Graft : public core::StreamGraft {
   // enables profile_opcodes; empty otherwise. Certified (check-elided)
   // programs additionally report their static checks_elided /
   // checks_retained certificate counts, so graftd telemetry can surface
-  // how much of the safety tax the proof removed.
+  // how much of the safety tax the proof removed; JIT-compiled programs
+  // report the compiled footprint and the deopt/bailout counts the same way.
   std::vector<std::pair<std::string, std::uint64_t>> ExecutionProfile() const override {
     auto counts = vm_->OpcodeCounts();
     if (vm_->program().elision.attached) {
       counts.emplace_back("checks_elided", vm_->program().elision.checks_elided);
       counts.emplace_back("checks_retained", vm_->program().elision.checks_retained);
+    }
+    if (const minnow::JitStats* jit = vm_->jit_stats()) {
+      counts.emplace_back("jit_compiled_fns", jit->compiled_fns);
+      counts.emplace_back("jit_bytes", jit->bytes);
+      counts.emplace_back("jit_deopts", jit->deopts);
+      counts.emplace_back("jit_bailouts", jit->bailouts);
     }
     return counts;
   }

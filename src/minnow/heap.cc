@@ -9,6 +9,7 @@ Object* Heap::NewStruct(const StructLayout& layout, int struct_id) {
   object->kind = Object::Kind::kStruct;
   object->struct_id = struct_id;
   object->fields.resize(static_cast<std::size_t>(layout.num_fields));
+  object->RefreshJitCache();
   Object* raw = object.get();
   Register(std::move(object));
   return raw;
@@ -32,6 +33,7 @@ Object* Heap::NewArray(TypeKind elem, std::size_t length) {
     default:
       throw Trap("new array of unsupported element type");
   }
+  object->RefreshJitCache();
   Object* raw = object.get();
   Register(std::move(object));
   return raw;

@@ -55,6 +55,40 @@ class Object {
   std::vector<std::uint32_t> words;   // kU32
   std::vector<std::int64_t> longs;    // kInt
 
+  // JIT access cache (jit.cc): element storage resolved once at allocation so
+  // compiled code can reach data without knowing std::vector's layout. Legal
+  // because both shapes are fixed-size after creation: arrays never resize
+  // (kNewArray picks the length) and a struct's field count is its layout's.
+  // For structs, jit_data/jit_len describe the fields vector and jit_elem is
+  // kVoid; for arrays they describe the element vector.
+  void* jit_data = nullptr;
+  std::uint32_t jit_len = 0;
+  TypeKind jit_elem = TypeKind::kVoid;
+
+  void RefreshJitCache() {
+    if (kind == Kind::kStruct) {
+      jit_data = fields.data();
+      jit_len = static_cast<std::uint32_t>(fields.size());
+      jit_elem = TypeKind::kVoid;
+      return;
+    }
+    jit_elem = elem;
+    switch (elem) {
+      case TypeKind::kInt:
+        jit_data = longs.data();
+        jit_len = static_cast<std::uint32_t>(longs.size());
+        break;
+      case TypeKind::kU32:
+        jit_data = words.data();
+        jit_len = static_cast<std::uint32_t>(words.size());
+        break;
+      default:
+        jit_data = bytes.data();
+        jit_len = static_cast<std::uint32_t>(bytes.size());
+        break;
+    }
+  }
+
   std::size_t array_length() const {
     switch (elem) {
       case TypeKind::kInt: return longs.size();

@@ -1,0 +1,1468 @@
+#include "src/minnow/jit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/minnow/verifier.h"
+#include "src/minnow/vm.h"
+
+// The real backend needs x86-64 SysV, GNU-flavored toolchain bits, and mmap.
+// Everything else builds this translation unit with Available() == false.
+#if defined(GRAFTLAB_JIT) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__)) && defined(__linux__)
+#define GRAFTLAB_JIT_X64 1
+#else
+#define GRAFTLAB_JIT_X64 0
+#endif
+
+#if GRAFTLAB_JIT_X64
+#include <sys/mman.h>
+#endif
+
+namespace minnow {
+
+#if GRAFTLAB_JIT_X64
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Register file and instruction encoder. Just enough of x86-64 for the
+// templates below — every emitter is a thin REX/ModRM/SIB wrapper, verified
+// against the SDM encodings noted alongside.
+// ---------------------------------------------------------------------------
+
+enum Reg : std::uint8_t {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+
+// Condition codes (the low nibble of 0F 8x / 0F 9x).
+enum Cc : std::uint8_t {
+  CC_O = 0x0, CC_B = 0x2, CC_AE = 0x3, CC_E = 0x4, CC_NE = 0x5, CC_BE = 0x6,
+  CC_A = 0x7, CC_S = 0x8, CC_NS = 0x9, CC_L = 0xC, CC_GE = 0xD, CC_LE = 0xE,
+  CC_G = 0xF,
+};
+
+// /digit values for the 0x81 and 0xF7 / 0xD3 groups.
+enum AluDigit : std::uint8_t {
+  ALU_ADD = 0, ALU_OR = 1, ALU_AND = 4, ALU_SUB = 5, ALU_XOR = 6, ALU_CMP = 7,
+};
+enum GrpDigit : std::uint8_t {
+  GRP_NOT = 2, GRP_NEG = 3, GRP_DIV = 6, GRP_IDIV = 7,
+  SH_SHL = 4, SH_SHR = 5, SH_SAR = 7,
+};
+
+class Asm {
+ public:
+  std::vector<std::uint8_t> code;
+
+  std::size_t pos() const { return code.size(); }
+  void U8(std::uint8_t b) { code.push_back(b); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void PatchU32(std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) code[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  // Patches a rel32 at `at` to land on `target` (offsets within this buffer).
+  void PatchRel32(std::size_t at, std::size_t target) {
+    PatchU32(at, static_cast<std::uint32_t>(static_cast<std::int64_t>(target) -
+                                            (static_cast<std::int64_t>(at) + 4)));
+  }
+  void PatchRel8(std::size_t at, std::size_t target) {
+    code[at] = static_cast<std::uint8_t>(static_cast<std::int64_t>(target) -
+                                         (static_cast<std::int64_t>(at) + 1));
+  }
+
+  void Rex(bool w, std::uint8_t reg, std::uint8_t index, std::uint8_t base) {
+    const std::uint8_t rex = 0x40 | (w ? 8 : 0) | (((reg >> 3) & 1) << 2) |
+                             (((index >> 3) & 1) << 1) | ((base >> 3) & 1);
+    if (rex != 0x40) U8(rex);
+  }
+
+  // ModRM (+SIB) for [base + disp]. base==rsp/r12 forces a SIB byte;
+  // base==rbp/r13 forces an explicit displacement even when zero.
+  void Mem(std::uint8_t reg, std::uint8_t base, std::int32_t disp) {
+    std::uint8_t mod;
+    if (disp == 0 && (base & 7) != 5) {
+      mod = 0;
+    } else if (disp >= -128 && disp <= 127) {
+      mod = 1;
+    } else {
+      mod = 2;
+    }
+    U8(static_cast<std::uint8_t>(mod << 6 | (reg & 7) << 3 | ((base & 7) == 4 ? 4 : (base & 7))));
+    if ((base & 7) == 4) U8(0x24);  // SIB: no index, base in low bits
+    if (mod == 1) U8(static_cast<std::uint8_t>(disp));
+    if (mod == 2) U32(static_cast<std::uint32_t>(disp));
+  }
+
+  // ModRM+SIB for [base + index*2^scale + disp]. index must not be RSP.
+  void MemSib(std::uint8_t reg, std::uint8_t base, std::uint8_t index, int scale,
+              std::int32_t disp) {
+    std::uint8_t mod;
+    if (disp == 0 && (base & 7) != 5) {
+      mod = 0;
+    } else if (disp >= -128 && disp <= 127) {
+      mod = 1;
+    } else {
+      mod = 2;
+    }
+    U8(static_cast<std::uint8_t>(mod << 6 | (reg & 7) << 3 | 4));
+    U8(static_cast<std::uint8_t>(scale << 6 | (index & 7) << 3 | (base & 7)));
+    if (mod == 1) U8(static_cast<std::uint8_t>(disp));
+    if (mod == 2) U32(static_cast<std::uint32_t>(disp));
+  }
+
+  void ModReg(std::uint8_t reg, std::uint8_t rm) {
+    U8(static_cast<std::uint8_t>(0xC0 | (reg & 7) << 3 | (rm & 7)));
+  }
+
+  // --- moves ---
+  void MovRR(Reg dst, Reg src) { Rex(true, src, 0, dst); U8(0x89); ModReg(src, dst); }
+  void MovRR32(Reg dst, Reg src) { Rex(false, src, 0, dst); U8(0x89); ModReg(src, dst); }
+  void Load64(Reg dst, Reg base, std::int32_t disp) {
+    Rex(true, dst, 0, base); U8(0x8B); Mem(dst, base, disp);
+  }
+  void Store64(Reg base, std::int32_t disp, Reg src) {
+    Rex(true, src, 0, base); U8(0x89); Mem(src, base, disp);
+  }
+  void Load32(Reg dst, Reg base, std::int32_t disp) {  // zero-extends
+    Rex(false, dst, 0, base); U8(0x8B); Mem(dst, base, disp);
+  }
+  void Store32(Reg base, std::int32_t disp, Reg src) {
+    Rex(false, src, 0, base); U8(0x89); Mem(src, base, disp);
+  }
+  void Load8Zx(Reg dst, Reg base, std::int32_t disp) {  // movzx r32, byte [..]
+    Rex(false, dst, 0, base); U8(0x0F); U8(0xB6); Mem(dst, base, disp);
+  }
+  void Store8(Reg base, std::int32_t disp, Reg src) {  // src must encode sans REX: al/cl/dl/bl
+    Rex(false, src, 0, base); U8(0x88); Mem(src, base, disp);
+  }
+  void Load64Sib(Reg dst, Reg base, Reg index, int scale, std::int32_t disp) {
+    Rex(true, dst, index, base); U8(0x8B); MemSib(dst, base, index, scale, disp);
+  }
+  void Store64Sib(Reg base, Reg index, int scale, std::int32_t disp, Reg src) {
+    Rex(true, src, index, base); U8(0x89); MemSib(src, base, index, scale, disp);
+  }
+  void Load32Sib(Reg dst, Reg base, Reg index, int scale, std::int32_t disp) {
+    Rex(false, dst, index, base); U8(0x8B); MemSib(dst, base, index, scale, disp);
+  }
+  void Store32Sib(Reg base, Reg index, int scale, std::int32_t disp, Reg src) {
+    Rex(false, src, index, base); U8(0x89); MemSib(src, base, index, scale, disp);
+  }
+  void Load8ZxSib(Reg dst, Reg base, Reg index, int scale, std::int32_t disp) {
+    Rex(false, dst, index, base); U8(0x0F); U8(0xB6); MemSib(dst, base, index, scale, disp);
+  }
+  void Store8Sib(Reg base, Reg index, int scale, std::int32_t disp, Reg src) {
+    Rex(false, src, index, base); U8(0x88); MemSib(src, base, index, scale, disp);
+  }
+  void MovImm64(Reg dst, std::uint64_t imm) {
+    Rex(true, 0, 0, dst); U8(static_cast<std::uint8_t>(0xB8 | (dst & 7))); U64(imm);
+  }
+  void MovImm32Sx(Reg dst, std::int32_t imm) {  // mov r64, imm32 (sign-extends)
+    Rex(true, 0, 0, dst); U8(0xC7); ModReg(0, dst); U32(static_cast<std::uint32_t>(imm));
+  }
+  void MovImm32(Reg dst, std::uint32_t imm) {  // mov r32, imm32 (zero-extends)
+    Rex(false, 0, 0, dst); U8(static_cast<std::uint8_t>(0xB8 | (dst & 7))); U32(imm);
+  }
+  void StoreImm32Sx(Reg base, std::int32_t disp, std::int32_t imm) {  // mov qword [..], imm32
+    Rex(true, 0, 0, base); U8(0xC7); Mem(0, base, disp); U32(static_cast<std::uint32_t>(imm));
+  }
+  // Loads an int64 with the shortest usable encoding.
+  void MovImmAuto(Reg dst, std::int64_t imm) {
+    if (imm >= INT32_MIN && imm <= INT32_MAX) {
+      MovImm32Sx(dst, static_cast<std::int32_t>(imm));
+    } else {
+      MovImm64(dst, static_cast<std::uint64_t>(imm));
+    }
+  }
+
+  // --- ALU, reg ← reg/mem forms (opcode 0x03-style: reg, r/m) ---
+  void AddRM(Reg dst, Reg base, std::int32_t disp) { Rex(true, dst, 0, base); U8(0x03); Mem(dst, base, disp); }
+  void SubRM(Reg dst, Reg base, std::int32_t disp) { Rex(true, dst, 0, base); U8(0x2B); Mem(dst, base, disp); }
+  void AndRM(Reg dst, Reg base, std::int32_t disp) { Rex(true, dst, 0, base); U8(0x23); Mem(dst, base, disp); }
+  void OrRM(Reg dst, Reg base, std::int32_t disp) { Rex(true, dst, 0, base); U8(0x0B); Mem(dst, base, disp); }
+  void XorRM(Reg dst, Reg base, std::int32_t disp) { Rex(true, dst, 0, base); U8(0x33); Mem(dst, base, disp); }
+  void ImulRM(Reg dst, Reg base, std::int32_t disp) { Rex(true, dst, 0, base); U8(0x0F); U8(0xAF); Mem(dst, base, disp); }
+  void AddMR(Reg base, std::int32_t disp, Reg src) { Rex(true, src, 0, base); U8(0x01); Mem(src, base, disp); }
+  void AddRM32(Reg dst, Reg base, std::int32_t disp) { Rex(false, dst, 0, base); U8(0x03); Mem(dst, base, disp); }
+  void SubRM32(Reg dst, Reg base, std::int32_t disp) { Rex(false, dst, 0, base); U8(0x2B); Mem(dst, base, disp); }
+  void ImulRM32(Reg dst, Reg base, std::int32_t disp) { Rex(false, dst, 0, base); U8(0x0F); U8(0xAF); Mem(dst, base, disp); }
+  void ImulImm(Reg dst, Reg src, std::int32_t imm) {  // imul r64, r/m64, imm32
+    Rex(true, dst, 0, src); U8(0x69); ModReg(dst, src); U32(static_cast<std::uint32_t>(imm));
+  }
+  void AddRR(Reg dst, Reg src) { Rex(true, src, 0, dst); U8(0x01); ModReg(src, dst); }
+  void SubRR(Reg dst, Reg src) { Rex(true, src, 0, dst); U8(0x29); ModReg(src, dst); }
+  void AndRR(Reg dst, Reg src) { Rex(true, src, 0, dst); U8(0x21); ModReg(src, dst); }
+  void OrRR(Reg dst, Reg src) { Rex(true, src, 0, dst); U8(0x09); ModReg(src, dst); }
+  void XorRR(Reg dst, Reg src) { Rex(true, src, 0, dst); U8(0x31); ModReg(src, dst); }
+  void XorRR32(Reg dst, Reg src) { Rex(false, src, 0, dst); U8(0x31); ModReg(src, dst); }
+  void ImulRR(Reg dst, Reg src) { Rex(true, dst, 0, src); U8(0x0F); U8(0xAF); ModReg(dst, src); }
+  void CmpRR(Reg a, Reg b) { Rex(true, b, 0, a); U8(0x39); ModReg(b, a); }  // cmp a, b
+  void CmpRM(Reg a, Reg base, std::int32_t disp) { Rex(true, a, 0, base); U8(0x3B); Mem(a, base, disp); }
+  void TestRR(Reg a, Reg b) { Rex(true, b, 0, a); U8(0x85); ModReg(b, a); }
+  void TestRR32(Reg a, Reg b) { Rex(false, b, 0, a); U8(0x85); ModReg(b, a); }
+
+  // --- ALU with immediate (0x83 imm8 short form when it fits, else 0x81) ---
+  static bool ImmFits8(std::int32_t imm) { return imm >= -128 && imm <= 127; }
+  void AluImm(AluDigit digit, Reg rm, std::int32_t imm) {
+    Rex(true, 0, 0, rm);
+    if (ImmFits8(imm)) { U8(0x83); ModReg(digit, rm); U8(static_cast<std::uint8_t>(imm)); }
+    else { U8(0x81); ModReg(digit, rm); U32(static_cast<std::uint32_t>(imm)); }
+  }
+  void AluMemImm(AluDigit digit, Reg base, std::int32_t disp, std::int32_t imm) {
+    Rex(true, 0, 0, base);
+    if (ImmFits8(imm)) { U8(0x83); Mem(digit, base, disp); U8(static_cast<std::uint8_t>(imm)); }
+    else { U8(0x81); Mem(digit, base, disp); U32(static_cast<std::uint32_t>(imm)); }
+  }
+  void AluImm32(AluDigit digit, Reg rm, std::int32_t imm) {  // 32-bit form
+    Rex(false, 0, 0, rm);
+    if (ImmFits8(imm)) { U8(0x83); ModReg(digit, rm); U8(static_cast<std::uint8_t>(imm)); }
+    else { U8(0x81); ModReg(digit, rm); U32(static_cast<std::uint32_t>(imm)); }
+  }
+  void CmpMemImm(Reg base, std::int32_t disp, std::int32_t imm) {  // cmp qword [..], imm32
+    AluMemImm(ALU_CMP, base, disp, imm);
+  }
+  void CmpMemImm8u(Reg base, std::int32_t disp, std::uint8_t imm) {  // cmp byte [..], imm8
+    Rex(false, 0, 0, base); U8(0x80); Mem(7, base, disp); U8(imm);
+  }
+  void Cmp32MemImm(Reg base, std::int32_t disp, std::int32_t imm) {  // cmp dword [..], imm32
+    Rex(false, 0, 0, base); U8(0x81); Mem(7, base, disp); U32(static_cast<std::uint32_t>(imm));
+  }
+
+  // --- unary groups ---
+  void Grp(GrpDigit digit, Reg rm, bool w = true) {  // F7 group: not/neg/div/idiv
+    Rex(w, 0, 0, rm); U8(0xF7); ModReg(digit, rm);
+  }
+  void ShiftCl(GrpDigit digit, Reg rm, bool w = true) {  // D3 group by cl
+    Rex(w, 0, 0, rm); U8(0xD3); ModReg(digit, rm);
+  }
+  void ShiftImm(GrpDigit digit, Reg rm, std::uint8_t count, bool w = true) {  // C1 group
+    Rex(w, 0, 0, rm); U8(0xC1); ModReg(digit, rm); U8(count);
+  }
+  void NotR32(Reg rm) { Rex(false, 0, 0, rm); U8(0xF7); ModReg(GRP_NOT, rm); }
+  void DecR(Reg rm) { Rex(true, 0, 0, rm); U8(0xFF); ModReg(1, rm); }
+  void Cqo() { U8(0x48); U8(0x99); }
+  void Cdq() { U8(0x99); }
+
+  void Setcc(Cc cc, Reg rm8) {  // rm8 must be al/cl/dl/bl
+    U8(0x0F); U8(static_cast<std::uint8_t>(0x90 | cc)); ModReg(0, rm8);
+  }
+  void MovzxR32R8(Reg dst, Reg src8) {
+    Rex(false, dst, 0, src8); U8(0x0F); U8(0xB6); ModReg(dst, src8);
+  }
+
+  void Lea(Reg dst, Reg base, std::int32_t disp) {
+    Rex(true, dst, 0, base); U8(0x8D); Mem(dst, base, disp);
+  }
+  void LeaSib(Reg dst, Reg base, Reg index, int scale, std::int32_t disp) {
+    Rex(true, dst, index, base); U8(0x8D); MemSib(dst, base, index, scale, disp);
+  }
+
+  // --- control flow ---
+  // Emits jcc rel32 and returns the patch position of the rel32.
+  std::size_t Jcc(Cc cc) {
+    U8(0x0F); U8(static_cast<std::uint8_t>(0x80 | cc)); const std::size_t at = pos(); U32(0);
+    return at;
+  }
+  std::size_t Jmp() { U8(0xE9); const std::size_t at = pos(); U32(0); return at; }
+  // Short forward jumps for intra-template skips; patch with PatchRel8.
+  std::size_t Jcc8(Cc cc) { U8(static_cast<std::uint8_t>(0x70 | cc)); const std::size_t at = pos(); U8(0); return at; }
+  std::size_t Jmp8() { U8(0xEB); const std::size_t at = pos(); U8(0); return at; }
+
+  void CallR(Reg r) { Rex(false, 0, 0, r); U8(0xFF); ModReg(2, r); }
+  void CallMem(Reg base, std::int32_t disp) { Rex(false, 0, 0, base); U8(0xFF); Mem(2, base, disp); }
+  void Push(Reg r) { Rex(false, 0, 0, r); U8(static_cast<std::uint8_t>(0x50 | (r & 7))); }
+  void Pop(Reg r) { Rex(false, 0, 0, r); U8(static_cast<std::uint8_t>(0x58 | (r & 7))); }
+  void Ret() { U8(0xC3); }
+};
+
+// ---------------------------------------------------------------------------
+// Runtime layout probes. Object and VM::Frame offsets are discovered from
+// live instances instead of offsetof — Object holds std::vector members, so
+// offsetof would be conditionally-supported and -Winvalid-offsetof trips
+// -Werror builds. JitCtx is standard-layout, probed the same way for
+// uniformity.
+// ---------------------------------------------------------------------------
+
+struct Layout {
+  std::int32_t obj_kind, obj_jit_data, obj_jit_len, obj_jit_elem;
+  std::int32_t ctx_stack, ctx_globals, ctx_frames, ctx_nframes, ctx_sp, ctx_fuel,
+      ctx_retired, ctx_entry_frames, ctx_ret_bits;
+};
+
+template <typename T, typename M>
+std::int32_t OffsetIn(const T& object, const M& member) {
+  return static_cast<std::int32_t>(reinterpret_cast<const char*>(&member) -
+                                   reinterpret_cast<const char*>(&object));
+}
+
+const Layout& ProbeLayout() {
+  static const Layout layout = [] {
+    Layout l{};
+    static const Object obj{};
+    l.obj_kind = OffsetIn(obj, obj.kind);
+    l.obj_jit_data = OffsetIn(obj, obj.jit_data);
+    l.obj_jit_len = OffsetIn(obj, obj.jit_len);
+    l.obj_jit_elem = OffsetIn(obj, obj.jit_elem);
+    static const JitCtx ctx{};
+    l.ctx_stack = OffsetIn(ctx, ctx.stack);
+    l.ctx_globals = OffsetIn(ctx, ctx.globals);
+    l.ctx_frames = OffsetIn(ctx, ctx.frames);
+    l.ctx_nframes = OffsetIn(ctx, ctx.nframes);
+    l.ctx_sp = OffsetIn(ctx, ctx.sp);
+    l.ctx_fuel = OffsetIn(ctx, ctx.fuel);
+    l.ctx_retired = OffsetIn(ctx, ctx.retired);
+    l.ctx_entry_frames = OffsetIn(ctx, ctx.entry_frames);
+    l.ctx_ret_bits = OffsetIn(ctx, ctx.ret_bits);
+    return l;
+  }();
+  return layout;
+}
+
+// VM::Frame is private; Jit (a friend) probes its layout and hands the plain
+// offsets to the compiler below.
+struct FrameOffsets {
+  std::int32_t fn, pc, base, size;
+};
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-function compiler. Register roles (all callee-saved, so helper calls
+// need no spills):
+//   r14 = JitCtx*
+//   r13 = locals base  (stack + 8*frame->base; operand slot i lives at
+//                       [r13 + 8*(num_locals + i)])
+//   r12 = stack base
+//   rbx = globals base
+//   rbp = current Frame*
+// rax/rcx/rdx/rsi are template-local scratch. There is no stack-pointer
+// register: the verifier proves one operand depth per pc, so every operand
+// address is static and sp_ is materialized only at side exits and helper
+// calls (sp = frame->base + num_locals + depth).
+// ---------------------------------------------------------------------------
+
+constexpr Reg CTX = R14;
+constexpr Reg LOCALS = R13;
+constexpr Reg STK = R12;
+constexpr Reg GLB = RBX;
+constexpr Reg FRM = RBP;
+// The live fuel counter. ctx->fuel is authoritative only at sync points
+// (prologue/epilogue, call boundaries); in between, block accounting runs
+// against the register so the common path is one sub and one taken-never
+// branch. Unlimited runs (negative ctx->fuel) bias r15 to INT64_MAX — the
+// subtracts still happen but can never exhaust, and every sync skips the
+// store so the sentinel survives.
+constexpr Reg FUEL = R15;
+constexpr std::uint64_t kFuelUnlimitedBias = 0x7fffffffffffffffull;
+
+struct Eff {
+  int pops = 0;
+  int pushes = 0;
+  bool branch = false;
+  bool terminal = false;
+  std::size_t target = 0;
+};
+
+// Stack effect + control shape per opcode — mirrors verifier.cc's table (the
+// verifier already accepted this code; disagreement here means bail out).
+bool EffectOf(const Program& program, const Insn& insn, Eff& e) {
+  switch (insn.op) {
+    case Op::kNop:
+    case Op::kConstStore:
+    case Op::kMoveLocal:
+      break;
+    case Op::kConstInt:
+    case Op::kConstNull:
+    case Op::kLoadLocal:
+    case Op::kLoadGlobal:
+    case Op::kNewStruct:
+      e.pushes = 1;
+      break;
+    case Op::kStoreLocal:
+    case Op::kStoreGlobal:
+    case Op::kPop:
+      e.pops = 1;
+      break;
+    case Op::kDup:
+      e.pops = 1;
+      e.pushes = 2;
+      break;
+    case Op::kNegI:
+    case Op::kNotI:
+    case Op::kNotU:
+    case Op::kNotB:
+    case Op::kCastU32:
+    case Op::kCastByte:
+    case Op::kArrayLen:
+    case Op::kArrayLenNC:
+    case Op::kNewArray:
+    case Op::kLoadField:
+    case Op::kLoadFieldNC:
+    case Op::kLoadAddI:
+    case Op::kAddConstI:
+    case Op::kStoreLoad:
+      e.pops = 1;
+      e.pushes = 1;
+      break;
+    case Op::kAddI:
+    case Op::kSubI:
+    case Op::kMulI:
+    case Op::kDivI:
+    case Op::kModI:
+    case Op::kAndI:
+    case Op::kOrI:
+    case Op::kXorI:
+    case Op::kShlI:
+    case Op::kShrI:
+    case Op::kAddU:
+    case Op::kSubU:
+    case Op::kMulU:
+    case Op::kDivU:
+    case Op::kModU:
+    case Op::kShlU:
+    case Op::kShrU:
+    case Op::kEqI:
+    case Op::kNeI:
+    case Op::kLtI:
+    case Op::kLeI:
+    case Op::kGtI:
+    case Op::kGeI:
+    case Op::kLtU:
+    case Op::kLeU:
+    case Op::kGtU:
+    case Op::kGeU:
+    case Op::kEqRef:
+    case Op::kNeRef:
+    case Op::kLoadElem:
+    case Op::kLoadElemNC:
+    case Op::kDivNZ:
+    case Op::kModNZ:
+      e.pops = 2;
+      e.pushes = 1;
+      break;
+    case Op::kStoreField:
+    case Op::kStoreFieldNC:
+      e.pops = 2;
+      break;
+    case Op::kStoreElem:
+    case Op::kStoreElemNC:
+      e.pops = 3;
+      break;
+    case Op::kJmp:
+      e.branch = true;
+      e.terminal = true;
+      e.target = static_cast<std::size_t>(insn.operand);
+      break;
+    case Op::kJmpIfFalse:
+    case Op::kJmpIfTrue:
+      e.pops = 1;
+      e.branch = true;
+      e.target = static_cast<std::size_t>(insn.operand);
+      break;
+    case Op::kBrEqI:
+    case Op::kBrNeI:
+    case Op::kBrLtI:
+    case Op::kBrLeI:
+    case Op::kBrGtI:
+    case Op::kBrGeI:
+    case Op::kBrEqRef:
+    case Op::kBrNeRef:
+      e.pops = 2;
+      e.branch = true;
+      e.target = static_cast<std::size_t>(insn.operand);
+      break;
+    case Op::kBrEqImmI:
+    case Op::kBrNeImmI:
+    case Op::kBrLtImmI:
+    case Op::kBrLeImmI:
+    case Op::kBrGtImmI:
+    case Op::kBrGeImmI:
+      e.pops = 1;
+      e.branch = true;
+      e.target = static_cast<std::size_t>(ImmBranchTarget(insn.operand));
+      break;
+    case Op::kCall: {
+      if (insn.operand < 0 ||
+          static_cast<std::size_t>(insn.operand) >= program.functions.size()) {
+        return false;
+      }
+      const auto& callee = program.functions[static_cast<std::size_t>(insn.operand)];
+      e.pops = callee.num_params;
+      e.pushes = callee.returns_value ? 1 : 0;
+      break;
+    }
+    case Op::kCallHost: {
+      if (insn.operand < 0 ||
+          static_cast<std::size_t>(insn.operand) >= program.host_imports.size()) {
+        return false;
+      }
+      const auto& host = program.host_imports[static_cast<std::size_t>(insn.operand)];
+      e.pops = host.arity;
+      e.pushes = host.returns_value ? 1 : 0;
+      break;
+    }
+    case Op::kRet:
+      e.pops = 1;
+      e.terminal = true;
+      break;
+    case Op::kRetVoid:
+    case Op::kTrap:
+      e.terminal = true;
+      break;
+    case Op::kLoadLocal2:
+    case Op::kLoadConstI:
+    case Op::kLoadGlobalLocal:
+      e.pushes = 2;
+      break;
+    default:
+      return false;
+  }
+  return true;
+}
+
+bool IsBlockEnder(const Eff& e, Op op) {
+  return e.branch || e.terminal || op == Op::kCall || op == Op::kCallHost;
+}
+
+struct Compiler {
+  const Program& program;
+  const FunctionCode& fn;
+  const VmOptions& opts;
+  const Layout& L;
+  const FrameOffsets& F;
+  const void** entry_table;  // &entries_[0]; kCall sites load through it
+  // Out-of-line helper entry points (private Jit members, so Impl passes
+  // their addresses in rather than the compiler naming them).
+  const void* help_push_frame;
+  const void* help_call_host;
+  const void* help_new_struct;
+  const void* help_new_array;
+  // VM-lifetime capacities (fixed at construction, arena-backed, never
+  // resized) — lets kCall inline PushFrame with immediate-folded checks.
+  std::size_t frame_capacity;
+  std::size_t stack_slots;
+
+  Asm a{};
+  std::vector<int> depth{};        // per pc; -1 = unreachable
+  std::vector<char> leader{};
+  std::vector<int> blk_leader{};   // pc -> its block's leader pc
+  std::vector<int> blk_len{};      // leader pc -> instruction count
+  std::vector<std::int64_t> pc_off{};  // pc -> native offset (-1 = not emitted)
+
+  struct Fix {
+    std::size_t at;
+    std::size_t pc;
+  };
+  std::vector<Fix> fixes{};  // rel32 patches to bytecode-pc labels
+
+  struct Exit {
+    std::size_t at;      // rel32 patch position jumping to this stub
+    std::uint32_t pc;    // faulting bytecode pc (reexec only)
+    int depth;           // operand depth at the site (reexec sp commit)
+    std::int64_t give;   // retired give-back (block overcharge)
+    bool reexec;         // true: kDeopt + frame rebuild; false: exception passthrough
+    std::int64_t fuel_give;  // fuel register give-back (differs at fuel exits)
+    // Exits raised inside a spliced (inlined) callee: the stub materializes
+    // the frame the hot path skipped, so pc/depth above are callee-relative
+    // and the interpreter resumes inside the callee as if kCall had pushed.
+    const FunctionCode* inl_callee = nullptr;
+    std::int32_t inl_kk = 0;       // callee base - caller base, in slots
+    std::int32_t inl_ret_pc = 0;   // caller pc after the kCall
+  };
+  std::vector<Exit> exits{};
+  std::vector<std::size_t> epi_fixes{};  // rel32 patches to the epilogue
+  std::size_t epilogue_off = 0;
+
+  // --- slot addressing -----------------------------------------------------
+  //
+  // rax doubles as a one-entry value cache: `rax_slot_` names the operand
+  // depth (`rax_local_` the local slot, `rax_global_` the global slot) whose
+  // full 64-bit value rax is known to hold. Stack code is chains — one instruction's result is the
+  // next one's left operand — so the cache turns the store+reload at every
+  // link into a store alone, breaking the store-to-load forwarding chain
+  // that would otherwise pace every template. The discipline: loads into
+  // rax establish a claim, StoreSlot(., RAX) re-establishes one (so a raw
+  // rax clobber followed by that store is self-correcting — the store
+  // writes the clobbered value), memory writes that bypass StoreSlot kill
+  // the matching claim, and templates that clobber rax without a closing
+  // StoreSlot(., RAX) call KillRax() themselves. Block leaders always start
+  // cold: control may arrive from any predecessor.
+  int rax_slot_ = -1;
+  std::int64_t rax_local_ = -1;
+  std::int64_t rax_global_ = -1;
+  void KillRax() {
+    rax_slot_ = -1;
+    rax_local_ = -1;
+    rax_global_ = -1;
+  }
+  void KillSlot(int d) {
+    if (rax_slot_ == d) rax_slot_ = -1;
+  }
+  void KillLocal(std::int64_t s) {
+    if (inl_local_base_ >= 0) {
+      KillSlot(inl_local_base_ + static_cast<int>(s));
+      return;
+    }
+    if (rax_local_ == s) rax_local_ = -1;
+  }
+  void KillGlobal(std::int64_t g) {
+    if (rax_global_ == g) rax_global_ = -1;
+  }
+
+  // --- leaf inlining (kCall) -----------------------------------------------
+  //
+  // A short leaf callee is spliced into the caller: its locals and operand
+  // stack land exactly where its frame would have lived (local i -> caller
+  // operand slot inl_local_base_ + i, operand j -> slot inl_op_bias_ + j),
+  // so the templates — and the rax cache's claim space — work unchanged in
+  // caller coordinates. The interpreter-identical depth, capacity, and
+  // stack-overflow checks run first, but no frame is written on the hot
+  // path: an exit raised inside the spliced region jumps to a stub that
+  // materializes the callee frame (and the caller's resume pc) before
+  // deopting, so the interpreter picks up at the exact callee instruction
+  // with the state a real call would have produced.
+  const FunctionCode* inl_fn_ = nullptr;  // non-null while splicing a callee
+  std::vector<int> inl_depth_{};          // callee operand depth per pc
+  std::vector<char> inl_leader_{};
+  std::vector<int> inl_blk_leader_{};
+  std::vector<int> inl_blk_len_{};
+  std::vector<std::int64_t> inl_off_{};   // callee pc -> native offset
+  std::vector<Fix> inl_fixes_{};          // intra-splice branches; target == n means "after the splice"
+  int inl_local_base_ = -1;
+  int inl_op_bias_ = 0;
+  std::int32_t inl_kk_ = 0;
+  std::int32_t inl_ret_pc_ = 0;
+  static constexpr std::size_t kInlineMaxInsns = 48;
+
+  // Ops the splicer accepts: templates that touch only locals, globals, and
+  // the operand stack, plus intra-function control flow and kRet/kRetVoid.
+  // Exit-raising ops (division) are fine — their stubs materialize the
+  // frame. Helper calls (allocation, calls, hosts) and object accesses stay
+  // out.
+  static bool InlinableOp(Op op) {
+    switch (op) {
+      case Op::kNop: case Op::kPop: case Op::kConstInt: case Op::kConstNull:
+      case Op::kLoadLocal: case Op::kStoreLocal: case Op::kLoadGlobal:
+      case Op::kStoreGlobal: case Op::kDup:
+      case Op::kAddI: case Op::kSubI: case Op::kMulI: case Op::kAndI:
+      case Op::kOrI: case Op::kXorI: case Op::kShlI: case Op::kShrI:
+      case Op::kNegI: case Op::kNotI:
+      case Op::kDivI: case Op::kModI: case Op::kDivNZ: case Op::kModNZ:
+      case Op::kAddU: case Op::kSubU: case Op::kMulU: case Op::kShlU:
+      case Op::kShrU: case Op::kNotU: case Op::kNotB:
+      case Op::kDivU: case Op::kModU:
+      case Op::kCastU32: case Op::kCastByte:
+      case Op::kEqI: case Op::kNeI: case Op::kLtI: case Op::kLeI:
+      case Op::kGtI: case Op::kGeI: case Op::kLtU: case Op::kLeU:
+      case Op::kGtU: case Op::kGeU: case Op::kEqRef: case Op::kNeRef:
+      case Op::kJmp: case Op::kJmpIfFalse: case Op::kJmpIfTrue:
+      case Op::kBrEqI: case Op::kBrNeI: case Op::kBrLtI: case Op::kBrLeI:
+      case Op::kBrGtI: case Op::kBrGeI: case Op::kBrEqRef: case Op::kBrNeRef:
+      case Op::kBrEqImmI: case Op::kBrNeImmI: case Op::kBrLtImmI:
+      case Op::kBrLeImmI: case Op::kBrGtImmI: case Op::kBrGeImmI:
+      case Op::kRet: case Op::kRetVoid:
+      case Op::kLoadAddI: case Op::kAddConstI: case Op::kConstStore:
+      case Op::kLoadLocal2: case Op::kLoadConstI: case Op::kMoveLocal:
+      case Op::kStoreLoad: case Op::kLoadGlobalLocal:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // True when `callee` is a splice candidate: short, every reachable insn
+  // whitelisted (and not denied by the fuzzer's compile filter — those must
+  // keep their forced-deopt seam), terminals only kRet/kRetVoid. Fills the
+  // same depth/leader/block maps Analyze builds for the caller.
+  bool PlanInline(const FunctionCode& callee, std::vector<int>& dep,
+                  std::vector<char>& lead, std::vector<int>& bleader,
+                  std::vector<int>& blen) {
+    const std::size_t n = callee.code.size();
+    if (n == 0 || n > kInlineMaxInsns) return false;
+    dep.assign(n, -1);
+    std::vector<std::size_t> work;
+    dep[0] = 0;
+    work.push_back(0);
+    while (!work.empty()) {
+      const std::size_t pc = work.back();
+      work.pop_back();
+      const Insn& ci = callee.code[pc];
+      if (!InlinableOp(ci.op)) return false;
+      if (opts.jit_compile_filter && !opts.jit_compile_filter(ci.op)) return false;
+      Eff e;
+      if (!EffectOf(program, ci, e)) return false;
+      if (e.terminal && !e.branch && ci.op != Op::kRet && ci.op != Op::kRetVoid)
+        return false;
+      const int d = dep[pc];
+      if (d < e.pops) return false;
+      const int d2 = d - e.pops + e.pushes;
+      if (d2 > callee.max_stack || d2 > kMaxStack) return false;
+      const auto propagate = [&](std::size_t q, int dq) {
+        if (q >= n) return false;
+        if (dep[q] == -1) {
+          dep[q] = dq;
+          work.push_back(q);
+          return true;
+        }
+        return dep[q] == dq;
+      };
+      if (e.branch && !propagate(e.target, d - e.pops)) return false;
+      if (!e.terminal && !propagate(pc + 1, d2)) return false;
+    }
+    lead.assign(n, 0);
+    lead[0] = 1;
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      if (dep[pc] < 0) continue;
+      Eff e;
+      EffectOf(program, callee.code[pc], e);
+      if (IsBlockEnder(e, callee.code[pc].op) && pc + 1 < n) lead[pc + 1] = 1;
+      if (e.branch) lead[e.target] = 1;
+    }
+    bleader.assign(n, -1);
+    blen.assign(n, 0);
+    int lp = -1;
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      if (dep[pc] < 0) {
+        lp = -1;
+        continue;
+      }
+      if (lead[pc]) lp = static_cast<int>(pc);
+      if (lp < 0) return false;
+      bleader[pc] = lp;
+      blen[lp] = static_cast<int>(pc) - lp + 1;
+      Eff e;
+      EffectOf(program, callee.code[pc], e);
+      if (IsBlockEnder(e, callee.code[pc].op)) lp = -1;
+    }
+    return true;
+  }
+
+  std::int32_t SlotDisp(int d) const { return 8 * (fn.num_locals + d); }
+  void LoadSlot(Reg r, int d) {
+    if (r == RAX) {
+      if (rax_slot_ == d) return;
+      a.Load64(RAX, LOCALS, SlotDisp(d));
+      rax_slot_ = d;
+      rax_local_ = -1;
+      rax_global_ = -1;
+      return;
+    }
+    if (rax_slot_ == d) {
+      a.MovRR(r, RAX);  // cached: reg-reg beats a load-port round trip
+      return;
+    }
+    a.Load64(r, LOCALS, SlotDisp(d));
+  }
+  // 32-bit consult: reuse rax when it caches the slot (32-bit ops read only
+  // eax, so the upper bits are irrelevant), else load the low word. A 32-bit
+  // load establishes no claim — the slot's upper bits may differ from rax's
+  // zero extension.
+  void LoadSlot32(int d) {
+    if (rax_slot_ == d) return;
+    a.Load32(RAX, LOCALS, SlotDisp(d));
+    KillRax();
+  }
+  void StoreSlot(int d, Reg r) {
+    a.Store64(LOCALS, SlotDisp(d), r);
+    if (r == RAX) {
+      // Re-establish only the slot claim: this is the self-correcting close
+      // for templates that clobbered rax, so older claims may be stale.
+      rax_slot_ = d;
+      rax_local_ = -1;
+      rax_global_ = -1;
+    } else {
+      KillSlot(d);
+    }
+  }
+  void LoadLocalSlot(Reg r, std::int64_t s) {
+    if (inl_local_base_ >= 0) {  // spliced callee: locals are caller slots
+      LoadSlot(r, inl_local_base_ + static_cast<int>(s));
+      return;
+    }
+    if (r == RAX) {
+      if (rax_local_ == s) return;
+      a.Load64(RAX, LOCALS, static_cast<std::int32_t>(8 * s));
+      rax_local_ = s;
+      rax_slot_ = -1;
+      rax_global_ = -1;
+      return;
+    }
+    if (rax_local_ == s) {
+      a.MovRR(r, RAX);
+      return;
+    }
+    a.Load64(r, LOCALS, static_cast<std::int32_t>(8 * s));
+  }
+  // Every caller keeps rax fresh between its load and this store, so an rax
+  // store extends the claim to the local; other registers invalidate it.
+  void StoreLocalSlot(std::int64_t s, Reg r) {
+    if (inl_local_base_ >= 0) {
+      StoreSlot(inl_local_base_ + static_cast<int>(s), r);
+      return;
+    }
+    a.Store64(LOCALS, static_cast<std::int32_t>(8 * s), r);
+    if (r == RAX) {
+      rax_local_ = s;
+    } else {
+      KillLocal(s);
+    }
+  }
+  // Globals live in their own array (GLB base), disjoint from locals and the
+  // operand stack, and only kStoreGlobal writes them from jit code — calls
+  // and hosts that might write them end blocks, and leaders start cold.
+  void LoadGlobalSlot(Reg r, std::int64_t g) {
+    if (r == RAX) {
+      if (rax_global_ == g) return;
+      a.Load64(RAX, GLB, static_cast<std::int32_t>(8 * g));
+      rax_global_ = g;
+      rax_slot_ = -1;
+      rax_local_ = -1;
+      return;
+    }
+    if (rax_global_ == g) {
+      a.MovRR(r, RAX);
+      return;
+    }
+    a.Load64(r, GLB, static_cast<std::int32_t>(8 * g));
+  }
+  // Callers keep rax fresh between their load and this store (same contract
+  // as StoreLocalSlot), so an rax store extends the claim to the global.
+  void StoreGlobalSlot(std::int64_t g, Reg r) {
+    a.Store64(GLB, static_cast<std::int32_t>(8 * g), r);
+    if (r == RAX) {
+      rax_global_ = g;
+    } else {
+      KillGlobal(g);
+    }
+  }
+
+  // --- side exits ----------------------------------------------------------
+  // Every exit funnels through here so splice-mode exits pick up the frame
+  // to materialize; pc and depth are callee-relative while inl_fn_ is set.
+  void PushExit(std::size_t at, std::size_t pc, int d, std::int64_t give,
+                bool reexec, std::int64_t fuel_give) {
+    exits.push_back({at, static_cast<std::uint32_t>(pc), d, give, reexec,
+                     fuel_give, inl_fn_, inl_kk_, inl_ret_pc_});
+  }
+  void AddExit(std::size_t at, std::size_t pc, bool reexec) {
+    const bool inl = inl_fn_ != nullptr;
+    const int lp = inl ? inl_blk_leader_[pc] : blk_leader[pc];
+    const std::int64_t e = static_cast<std::int64_t>(pc) - lp;
+    const std::int64_t len = inl ? inl_blk_len_[lp] : blk_len[lp];
+    const std::int64_t give = reexec ? len - e : len - e - 1;
+    PushExit(at, pc, inl ? inl_depth_[pc] : depth[pc], give, reexec, give);
+  }
+  // Conditional/unconditional jumps into a deopt-and-reexecute stub: the
+  // interpreter resumes at `pc` and re-runs the faulting instruction, so the
+  // trap message and unwind path are the interpreter's own.
+  void JccExit(Cc cc, std::size_t pc) { AddExit(a.Jcc(cc), pc, true); }
+  void JmpExit(std::size_t pc) { AddExit(a.Jmp(), pc, true); }
+  // Exception passthrough: a helper already captured the exception and left
+  // its status in eax; the stub only fixes the ledgers.
+  void JccExcExit(Cc cc, std::size_t pc) { AddExit(a.Jcc(cc), pc, false); }
+
+  // --- branch targets ------------------------------------------------------
+  // While splicing, branch targets are callee pcs resolved against the
+  // splice's own offset table (a target equal to the callee length means
+  // "after the splice" — where kRet lands).
+  void JmpPc(std::size_t target) {
+    (inl_fn_ != nullptr ? inl_fixes_ : fixes).push_back({a.Jmp(), target});
+  }
+  void JccPc(Cc cc, std::size_t target) {
+    (inl_fn_ != nullptr ? inl_fixes_ : fixes).push_back({a.Jcc(cc), target});
+  }
+
+  // Commits sp_ = frame->base + num_locals + d into the ctx mailbox.
+  void CommitSp(int d) {
+    a.Load64(RAX, FRM, F.base);
+    const std::int32_t add = fn.num_locals + d;
+    if (add != 0) a.AluImm(ALU_ADD, RAX, add);
+    a.Store64(CTX, L.ctx_sp, RAX);
+  }
+
+  void SetFramePc(std::size_t pc) {
+    a.StoreImm32Sx(FRM, F.pc, static_cast<std::int32_t>(pc));
+  }
+
+  void CallHelper(const void* helper) {
+    a.MovImm64(RAX, reinterpret_cast<std::uint64_t>(helper));
+    a.CallR(RAX);
+  }
+
+  // --- analysis ------------------------------------------------------------
+  bool Propagate(std::size_t pc, int d, std::vector<std::size_t>& work) {
+    if (pc >= fn.code.size()) return false;
+    if (depth[pc] == -1) {
+      depth[pc] = d;
+      work.push_back(pc);
+      return true;
+    }
+    return depth[pc] == d;
+  }
+
+  bool Analyze() {
+    const auto& code = fn.code;
+    const std::size_t n = code.size();
+    if (n == 0) return false;
+    depth.assign(n, -1);
+    leader.assign(n, 0);
+    std::vector<std::size_t> work;
+    depth[0] = 0;
+    work.push_back(0);
+    while (!work.empty()) {
+      const std::size_t pc = work.back();
+      work.pop_back();
+      Eff e;
+      if (!EffectOf(program, code[pc], e)) return false;
+      const int d = depth[pc];
+      if (d < e.pops) return false;
+      const int d2 = d - e.pops + e.pushes;
+      if (d2 > fn.max_stack || d2 > kMaxStack) return false;
+      if (e.branch && !Propagate(e.target, d - e.pops, work)) return false;
+      if (!e.terminal && !Propagate(pc + 1, d2, work)) return false;
+    }
+    // Leaders: entry, branch targets, and the instruction after any ender.
+    leader[0] = 1;
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      if (depth[pc] < 0) continue;
+      Eff e;
+      EffectOf(program, code[pc], e);
+      if (IsBlockEnder(e, code[pc].op)) {
+        if (pc + 1 < n) leader[pc + 1] = 1;
+      }
+      if (e.branch) leader[e.target] = 1;
+    }
+    // Blocks: from each leader to its first ender (or the next leader, when
+    // control falls through into one).
+    blk_leader.assign(n, -1);
+    blk_len.assign(n, 0);
+    int lp = -1;
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      if (depth[pc] < 0) {
+        lp = -1;
+        continue;
+      }
+      if (leader[pc]) lp = static_cast<int>(pc);
+      if (lp < 0) return false;  // reachable code without a leader: impossible
+      blk_leader[pc] = lp;
+      blk_len[lp] = static_cast<int>(pc) - lp + 1;
+      Eff e;
+      EffectOf(program, code[pc], e);
+      if (IsBlockEnder(e, code[pc].op)) lp = -1;
+    }
+    return true;
+  }
+
+  // One fuel/retired charge per block, against the fuel register: subtract
+  // the block length and deopt to the block's first instruction if it went
+  // negative (the stub gives the charge back) — the interpreter then meters
+  // out the tail insn by insn and throws "fuel exhausted" at the exact
+  // instruction an interpreted run would. Unlimited runs carry the bias
+  // constant, which no real program can exhaust.
+  void EmitBlockAccounting(std::size_t lp) {
+    const bool inl = inl_fn_ != nullptr;
+    const std::int32_t len = inl ? inl_blk_len_[lp] : blk_len[lp];
+    a.AluImm(ALU_SUB, FUEL, len);
+    PushExit(a.Jcc(CC_S), lp, inl ? inl_depth_[lp] : depth[lp], 0, true, len);
+    a.AluMemImm(ALU_ADD, CTX, L.ctx_retired, len);
+  }
+
+  // ctx->fuel <- r15 unless unlimited (the stored sentinel stays negative).
+  // Clobbers rax and flags.
+  void EmitFuelSync() {
+    a.Load64(RAX, CTX, L.ctx_fuel);
+    a.TestRR(RAX, RAX);
+    const std::size_t unlimited = a.Jcc8(CC_S);
+    a.Store64(CTX, L.ctx_fuel, FUEL);
+    a.PatchRel8(unlimited, a.pos());
+  }
+  // r15 <- ctx->fuel, biased when unlimited. Touches only r15 and flags, so
+  // call sites may run it before testing a helper's status register.
+  void EmitFuelReload() {
+    a.Load64(FUEL, CTX, L.ctx_fuel);
+    a.TestRR(FUEL, FUEL);
+    const std::size_t limited = a.Jcc8(CC_NS);
+    a.MovImm64(FUEL, kFuelUnlimitedBias);
+    a.PatchRel8(limited, a.pos());
+  }
+
+  void EmitPrologue() {
+    a.Push(RBP);
+    a.Push(RBX);
+    a.Push(R12);
+    a.Push(R13);
+    a.Push(R14);
+    a.Push(R15);
+    a.AluImm(ALU_SUB, RSP, 8);  // keep rsp 16-aligned at helper calls
+    a.MovRR(CTX, RDI);
+    a.Load64(STK, CTX, L.ctx_stack);
+    a.Load64(GLB, CTX, L.ctx_globals);
+    a.Load64(RAX, CTX, L.ctx_nframes);
+    a.ImulImm(RAX, RAX, F.size);
+    a.AddRM(RAX, CTX, L.ctx_frames);
+    a.Lea(FRM, RAX, -F.size);  // rbp = &frames[nframes - 1]
+    a.Load64(RAX, FRM, F.base);
+    a.LeaSib(LOCALS, STK, RAX, 3, 0);  // r13 = stack + 8*frame->base
+    EmitFuelReload();
+  }
+
+  void EmitEpilogue() {
+    epilogue_off = a.pos();
+    // Every exit funnels through here, so one fuel sync covers them all.
+    // rcx is dead on all paths; rax carries the exit status and is preserved.
+    a.Load64(RCX, CTX, L.ctx_fuel);
+    a.TestRR(RCX, RCX);
+    const std::size_t unlimited = a.Jcc8(CC_S);
+    a.Store64(CTX, L.ctx_fuel, FUEL);
+    a.PatchRel8(unlimited, a.pos());
+    a.AluImm(ALU_ADD, RSP, 8);
+    a.Pop(R15);
+    a.Pop(R14);
+    a.Pop(R13);
+    a.Pop(R12);
+    a.Pop(RBX);
+    a.Pop(RBP);
+    a.Ret();
+  }
+
+  void EmitStubs() {
+    for (const Exit& e : exits) {
+      a.PatchRel32(e.at, a.pos());
+      if (e.reexec && e.inl_callee != nullptr) {
+        // The exit fired inside a spliced callee whose frame was never
+        // pushed. Materialize it now — fn/pc/base at frames[nframes], the
+        // caller's resume pc, sp inside the callee — so the interpreter
+        // resumes at callee pc `e.pc` exactly as if kCall had run. The
+        // kCall-entry checks already proved frames[nframes] is in bounds,
+        // and the splice region makes no calls, so nframes is unchanged.
+        a.Load64(RAX, FRM, F.base);
+        a.Lea(RDX, RAX, e.inl_kk);  // callee base (slot units)
+        a.Load64(RCX, CTX, L.ctx_nframes);
+        a.ImulImm(RSI, RCX, F.size);
+        a.AddRM(RSI, CTX, L.ctx_frames);
+        a.MovImm64(RDI, reinterpret_cast<std::uint64_t>(e.inl_callee));
+        a.Store64(RSI, F.fn, RDI);
+        a.StoreImm32Sx(RSI, F.pc, static_cast<std::int32_t>(e.pc));
+        a.Store64(RSI, F.base, RDX);
+        a.Lea(RCX, RCX, 1);
+        a.Store64(CTX, L.ctx_nframes, RCX);
+        a.StoreImm32Sx(FRM, F.pc, e.inl_ret_pc);
+        a.Lea(RDX, RDX, e.inl_callee->num_locals + e.depth);
+        a.Store64(CTX, L.ctx_sp, RDX);
+      } else if (e.reexec) {
+        CommitSp(e.depth);
+        SetFramePc(e.pc);
+      }
+      if (e.give > 0) {
+        a.AluMemImm(ALU_SUB, CTX, L.ctx_retired, static_cast<std::int32_t>(e.give));
+      }
+      if (e.fuel_give > 0) {
+        // Adding to the biased constant is harmless on unlimited runs; the
+        // epilogue sync drops the register either way.
+        a.AluImm(ALU_ADD, FUEL, static_cast<std::int32_t>(e.fuel_give));
+      }
+      if (e.reexec) a.MovImm32(RAX, kJitDeopt);
+      epi_fixes.push_back(a.Jmp());
+    }
+  }
+
+  bool EmitInsn(std::size_t pc);  // jit_emit_x64.inc
+  // Set by EmitInsn when it fused the following instruction(s) into one
+  // template (compare+branch peepholes); Compile skips that many insns.
+  // Fused-over insns are never block leaders, so they are never branch
+  // targets and never need a pc_off entry.
+  std::size_t fused_extra_ = 0;
+
+  bool Compile() {
+    if (!Analyze()) return false;
+    const std::size_t n = fn.code.size();
+    pc_off.assign(n, -1);
+    EmitPrologue();
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      if (depth[pc] < 0) continue;
+      pc_off[pc] = static_cast<std::int64_t>(a.pos());
+      if (leader[pc]) {
+        KillRax();  // predecessors left rax in unknown states
+        EmitBlockAccounting(pc);
+      }
+      if (opts.jit_compile_filter && !opts.jit_compile_filter(fn.code[pc].op)) {
+        // Filter-denied op (the fuzzer's forced-deopt mode): hand the rest
+        // of this function to the interpreter right here.
+        JmpExit(pc);
+        KillRax();
+        continue;
+      }
+      if (!EmitInsn(pc)) return false;
+      pc += fused_extra_;
+      fused_extra_ = 0;
+    }
+    EmitEpilogue();
+    EmitStubs();
+    for (const auto& fix : fixes) {
+      if (pc_off[fix.pc] < 0) return false;
+      a.PatchRel32(fix.at, static_cast<std::size_t>(pc_off[fix.pc]));
+    }
+    for (const std::size_t at : epi_fixes) {
+      a.PatchRel32(at, epilogue_off);
+    }
+    return true;
+  }
+};
+
+#include "src/minnow/jit_emit_x64.inc"
+
+}  // namespace
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Jit::Impl — the load-time driver. A member of Jit, so it sees VM's private
+// Frame (Jit is a friend) and the jit's own private state.
+// ---------------------------------------------------------------------------
+
+struct Jit::Impl {
+  static FrameOffsets ProbeFrame() {
+    static const VM::Frame frame{};
+    FrameOffsets f{};
+    f.fn = OffsetIn(frame, frame.fn);
+    f.pc = OffsetIn(frame, frame.pc);
+    f.base = OffsetIn(frame, frame.base);
+    f.size = static_cast<std::int32_t>(sizeof(VM::Frame));
+    return f;
+  }
+
+  static std::unique_ptr<Jit> Build(VM& vm) {
+    Program& program = vm.program_;
+    const VmOptions& opts = vm.options_;
+    // Verify-then-compile: native code is emitted only for bytecode that
+    // passed the load-time verifier in this exact form (the eBPF contract).
+    // VerifyProgram also fills max_stack, which the depth analysis bounds
+    // against.
+    const VerifyReport report = VerifyProgram(program);
+    if (!report.ok) {
+      return nullptr;
+    }
+
+    std::unique_ptr<Jit> jit(new Jit());
+    const std::size_t nfns = program.functions.size();
+    jit->compiled_.assign(nfns, false);
+    // Sized once, never resized: kCall sites bake &entries_[i] into code.
+    jit->entries_.assign(nfns, nullptr);
+
+    const Layout& layout = ProbeLayout();
+    const FrameOffsets frame_off = ProbeFrame();
+
+    // Shared deopt trampoline: an uncompiled callee "returns" kJitDeopt
+    // immediately, and the interpreter resumes at its freshly pushed frame.
+    Asm tramp;
+    tramp.MovImm32(RAX, kJitDeopt);
+    tramp.Ret();
+
+    const auto align16 = [](std::size_t n) { return (n + 15) & ~std::size_t{15}; };
+    std::size_t total = align16(tramp.code.size());
+
+    struct Unit {
+      int fn;
+      std::vector<std::uint8_t> code;
+    };
+    std::vector<Unit> units;
+    for (const int fi : CompilationOrder(program, opts.jit_pair_profile)) {
+      const FunctionCode& f = program.functions[static_cast<std::size_t>(fi)];
+      if (f.code.size() > opts.jit_max_fn_insns) {
+        ++jit->stats_.bailouts;
+        continue;
+      }
+      Compiler c{program,
+                 f,
+                 opts,
+                 layout,
+                 frame_off,
+                 jit->entries_.data(),
+                 reinterpret_cast<const void*>(&Jit::HelpPushFrame),
+                 reinterpret_cast<const void*>(&Jit::HelpCallHost),
+                 reinterpret_cast<const void*>(&Jit::HelpNewStruct),
+                 reinterpret_cast<const void*>(&Jit::HelpNewArray),
+                 vm.frame_capacity_,
+                 vm.stack_slots_};
+      if (!c.Compile()) {
+        ++jit->stats_.bailouts;
+        continue;
+      }
+      const std::size_t sz = align16(c.a.code.size());
+      if (total + sz > opts.jit_arena_max) {
+        ++jit->stats_.bailouts;  // arena budget: hottest-first order decides
+        continue;
+      }
+      total += sz;
+      units.push_back({fi, std::move(c.a.code)});
+    }
+    if (units.empty()) {
+      return nullptr;
+    }
+
+    // W^X: map writable, stitch, then flip to read+execute for good.
+    void* mem = mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) {
+      return nullptr;
+    }
+    auto* base = static_cast<std::uint8_t*>(mem);
+    std::memcpy(base, tramp.code.data(), tramp.code.size());
+    for (std::size_t i = 0; i < nfns; ++i) {
+      jit->entries_[i] = base;  // trampoline until proven compiled
+    }
+    std::size_t off = align16(tramp.code.size());
+    for (const Unit& u : units) {
+      std::memcpy(base + off, u.code.data(), u.code.size());
+      jit->entries_[static_cast<std::size_t>(u.fn)] = base + off;
+      jit->compiled_[static_cast<std::size_t>(u.fn)] = true;
+      ++jit->stats_.compiled_fns;
+      jit->stats_.bytes += u.code.size();
+      off += align16(u.code.size());
+    }
+    // Debugging seam: GRAFTLAB_JIT_DUMP=<path-prefix> writes each unit as a
+    // raw code blob (objdump -D -b binary -m i386:x86-64 disassembles it).
+    if (const char* dump = std::getenv("GRAFTLAB_JIT_DUMP")) {
+      std::size_t doff = align16(tramp.code.size());
+      for (const Unit& u : units) {
+        const std::string path =
+            std::string(dump) + ".fn" + std::to_string(u.fn) + ".bin";
+        if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+          std::fwrite(base + doff, 1, u.code.size(), f);
+          std::fclose(f);
+          std::fprintf(stderr, "jit dump: fn %d (%zu insns, %zu bytes) -> %s\n", u.fn,
+                       program.functions[static_cast<std::size_t>(u.fn)].code.size(),
+                       u.code.size(), path.c_str());
+        }
+        doff += align16(u.code.size());
+      }
+    }
+    if (mprotect(mem, total, PROT_READ | PROT_EXEC) != 0) {
+      munmap(mem, total);
+      return nullptr;
+    }
+    jit->arena_ = base;
+    jit->arena_size_ = total;
+    return jit;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Out-of-line helpers. Called from native code with the SysV ABI; every
+// exception is captured here (native frames carry no unwind tables, so C++
+// exceptions must never cross them) and rethrown by the runner.
+// ---------------------------------------------------------------------------
+
+Jit::HelperResult Jit::HelpNewStruct(JitCtx* ctx, std::uint64_t struct_idx) {
+  VM& vm = *ctx->vm;
+  vm.sp_ = ctx->sp;  // the conservative root scan reads sp_
+  try {
+    const auto& layout = vm.program_.structs[struct_idx];
+    vm.MaybeCollect(static_cast<std::size_t>(layout.num_fields) * 8 + 64);
+    Object* object = vm.heap_.NewStruct(layout, static_cast<int>(struct_idx));
+    return {0, reinterpret_cast<std::uint64_t>(object)};
+  } catch (...) {
+    vm.jit_pending_ = std::current_exception();
+    return {kJitException, 0};
+  }
+}
+
+Jit::HelperResult Jit::HelpNewArray(JitCtx* ctx, std::uint64_t elem,
+                                    std::uint64_t length) {
+  VM& vm = *ctx->vm;
+  vm.sp_ = ctx->sp;
+  try {
+    vm.MaybeCollect(static_cast<std::size_t>(length) * 8 + 64);
+    Object* object =
+        vm.heap_.NewArray(static_cast<TypeKind>(elem), static_cast<std::size_t>(length));
+    return {0, reinterpret_cast<std::uint64_t>(object)};
+  } catch (...) {
+    vm.jit_pending_ = std::current_exception();
+    return {kJitException, 0};
+  }
+}
+
+Jit::HelperResult Jit::HelpCallHost(JitCtx* ctx, std::uint64_t import_idx) {
+  VM& vm = *ctx->vm;
+  const auto& import = vm.program_.host_imports[import_idx];
+  const auto& host = vm.hosts_[import_idx];
+  if (!host) {
+    return {kJitDeopt, 0};  // unbound: deopt so the interpreter throws its trap
+  }
+  // The ledgers are exact here (kCallHost ends its block), so a host reading
+  // fuel()/instructions_retired() — or a reentrant Call — sees interpreter-
+  // identical state.
+  vm.sp_ = ctx->sp;
+  vm.nframes_ = ctx->nframes;
+  vm.fuel_ = ctx->fuel;
+  vm.instructions_retired_ = ctx->retired;
+  try {
+    const Value ret =
+        host(vm, std::span<const Value>(vm.stack_ + vm.sp_,
+                                        static_cast<std::size_t>(import.arity)));
+    ctx->fuel = vm.fuel_;  // the host may SetFuel or burn fuel via reentry
+    ctx->retired = vm.instructions_retired_;
+    return {0, ret.bits};
+  } catch (...) {
+    vm.jit_pending_ = std::current_exception();
+    ctx->fuel = vm.fuel_;
+    ctx->retired = vm.instructions_retired_;
+    return {kJitException, 0};
+  }
+}
+
+std::uint64_t Jit::HelpPushFrame(JitCtx* ctx, std::uint64_t fn_idx) {
+  VM& vm = *ctx->vm;
+  vm.sp_ = ctx->sp;
+  vm.nframes_ = ctx->nframes;
+  try {
+    vm.PushFrame(vm.program_.functions[fn_idx], ctx->entry_frames);
+  } catch (...) {
+    // PushFrame checks before it mutates, so the re-executed kCall in the
+    // interpreter hits the identical trap with identical state.
+    return 1;
+  }
+  ctx->sp = vm.sp_;
+  ctx->nframes = vm.nframes_;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Public surface (x86-64 build).
+// ---------------------------------------------------------------------------
+
+bool Jit::Available() { return true; }
+
+std::unique_ptr<Jit> Jit::Compile(VM& vm) { return Impl::Build(vm); }
+
+Jit::~Jit() {
+  if (arena_ != nullptr) {
+    munmap(arena_, arena_size_);
+  }
+}
+
+std::uint32_t Jit::Enter(JitCtx& ctx, int fn_index) const {
+  using NativeFn = std::uint32_t (*)(JitCtx*);
+  const void* entry = entries_[static_cast<std::size_t>(fn_index)];
+  return reinterpret_cast<NativeFn>(const_cast<void*>(entry))(&ctx);
+}
+
+#else  // !GRAFTLAB_JIT_X64
+
+// ---------------------------------------------------------------------------
+// Portable fallback: the header compiles everywhere, Available() reports
+// false, and VmOptions::dispatch = kJit falls back to the interpreter.
+// ---------------------------------------------------------------------------
+
+bool Jit::Available() { return false; }
+
+std::unique_ptr<Jit> Jit::Compile(VM&) { return nullptr; }
+
+Jit::~Jit() = default;
+
+std::uint32_t Jit::Enter(JitCtx&, int) const { return kJitDeopt; }
+
+Jit::HelperResult Jit::HelpNewStruct(JitCtx*, std::uint64_t) { return {kJitDeopt, 0}; }
+Jit::HelperResult Jit::HelpNewArray(JitCtx*, std::uint64_t, std::uint64_t) {
+  return {kJitDeopt, 0};
+}
+Jit::HelperResult Jit::HelpCallHost(JitCtx*, std::uint64_t) { return {kJitDeopt, 0}; }
+std::uint64_t Jit::HelpPushFrame(JitCtx*, std::uint64_t) { return 1; }
+
+#endif  // GRAFTLAB_JIT_X64
+
+// ---------------------------------------------------------------------------
+// Compilation order (portable; exposed for tests/tools). Hot first: functions
+// whose adjacent opcode pairs score high in the PR 3 fusion telemetry, then
+// by static back-edge count (loopy code pays for native speed soonest), then
+// by index for determinism.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool JumpTargetOf(const Insn& insn, std::size_t& target) {
+  switch (insn.op) {
+    case Op::kJmp:
+    case Op::kJmpIfFalse:
+    case Op::kJmpIfTrue:
+    case Op::kBrEqI:
+    case Op::kBrNeI:
+    case Op::kBrLtI:
+    case Op::kBrLeI:
+    case Op::kBrGtI:
+    case Op::kBrGeI:
+    case Op::kBrEqRef:
+    case Op::kBrNeRef:
+      target = static_cast<std::size_t>(insn.operand);
+      return true;
+    case Op::kBrEqImmI:
+    case Op::kBrNeImmI:
+    case Op::kBrLtImmI:
+    case Op::kBrLeImmI:
+    case Op::kBrGtImmI:
+    case Op::kBrGeImmI:
+      target = ImmBranchTarget(insn.operand);
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<int> Jit::CompilationOrder(
+    const Program& program,
+    const std::vector<std::pair<std::string, std::uint64_t>>& pair_profile) {
+  std::unordered_map<std::string, std::uint64_t> hot;
+  for (const auto& [pair, count] : pair_profile) {
+    hot[pair] += count;
+  }
+  struct Rank {
+    std::uint64_t score;
+    std::uint64_t back_edges;
+    int index;
+  };
+  std::vector<Rank> ranks;
+  ranks.reserve(program.functions.size());
+  for (std::size_t i = 0; i < program.functions.size(); ++i) {
+    const auto& fn = program.functions[i];
+    Rank r{0, 0, static_cast<int>(i)};
+    for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+      if (!hot.empty() && pc + 1 < fn.code.size()) {
+        const auto it = hot.find(std::string(OpName(fn.code[pc].op)) + ">" +
+                                 OpName(fn.code[pc + 1].op));
+        if (it != hot.end()) {
+          r.score += it->second;
+        }
+      }
+      std::size_t target = 0;
+      if (JumpTargetOf(fn.code[pc], target) && target <= pc) {
+        ++r.back_edges;
+      }
+    }
+    ranks.push_back(r);
+  }
+  std::sort(ranks.begin(), ranks.end(), [](const Rank& a, const Rank& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.back_edges != b.back_edges) return a.back_edges > b.back_edges;
+    return a.index < b.index;
+  });
+  std::vector<int> order;
+  order.reserve(ranks.size());
+  for (const Rank& r : ranks) {
+    order.push_back(r.index);
+  }
+  return order;
+}
+
+}  // namespace minnow

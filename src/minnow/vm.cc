@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/minnow/elide.h"
+#include "src/minnow/jit.h"
 
 // The computed-goto dispatcher needs GNU labels-as-values; the CMake option
 // GRAFTLAB_THREADED_DISPATCH (on by default) injects the macro, and the
@@ -83,6 +84,21 @@ VM::VM(Program program, const VmOptions& options)
     // outright — running it would execute unchecked accesses unproven.
     throw std::invalid_argument("elision certificate does not match the code");
   }
+  // Native compilation happens after elision so `.nc` sites the certificate
+  // proved safe are emitted without check instructions. Profiling VMs stay on
+  // the interpreter: native code does not feed the opcode/pair tables.
+  if (options.dispatch == DispatchMode::kJit && !options.profile_opcodes &&
+      Jit::Available()) {
+    jit_ = Jit::Compile(*this);
+  }
+}
+
+VM::~VM() = default;
+
+bool VM::JitDispatchAvailable() { return Jit::Available(); }
+
+const JitStats* VM::jit_stats() const {
+  return jit_ != nullptr ? &jit_->stats() : nullptr;
 }
 
 bool VM::ThreadedDispatchAvailable() {
@@ -276,6 +292,9 @@ Value VM::Execute(int fn_index, std::span<const Value> args) {
     }
     sp_ += args.size();
     PushFrame(fn, entry_frames);
+    if (jit_ != nullptr) {
+      return RunJit(fn_index, entry_frames);
+    }
     return threaded_ ? RunThreaded(entry_frames) : RunSwitch(entry_frames);
   } catch (...) {
     // Unwind to the caller's state so the VM stays usable after a trap.
@@ -283,6 +302,43 @@ Value VM::Execute(int fn_index, std::span<const Value> args) {
     sp_ = entry_sp;
     throw;
   }
+}
+
+Value VM::RunJit(int fn_index, std::size_t entry_frames) {
+  if (jit_->compiled(fn_index)) {
+    // ctx is authoritative for the mutable registers of execution while
+    // native code runs; the entry frame was already pushed by Execute.
+    JitCtx ctx;
+    ctx.vm = this;
+    ctx.stack = stack_;
+    ctx.globals = globals_.data();
+    ctx.frames = frames_;
+    ctx.nframes = nframes_;
+    ctx.sp = sp_;
+    ctx.fuel = fuel_;
+    ctx.retired = instructions_retired_;
+    ctx.entry_frames = entry_frames;
+    const std::uint32_t status = jit_->Enter(ctx, fn_index);
+    nframes_ = ctx.nframes;
+    sp_ = ctx.sp;
+    fuel_ = ctx.fuel;
+    instructions_retired_ = ctx.retired;
+    if (status == kJitEntryReturned) {
+      return Value{ctx.ret_bits};
+    }
+    if (status == kJitException) {
+      std::exception_ptr pending = std::move(jit_pending_);
+      jit_pending_ = nullptr;
+      std::rethrow_exception(pending);
+    }
+    // kJitDeopt: native code reconstructed interpreter frame state (pc at the
+    // instruction to re-execute, sp committed, ledgers corrected). Deopt is
+    // wholesale — the rest of this entry runs interpreted, which keeps the
+    // exit protocol trivial and the interpreter the single source of truth
+    // for every slow path.
+    jit_->CountDeopt();
+  }
+  return threaded_ ? RunThreaded(entry_frames) : RunSwitch(entry_frames);
 }
 
 // Shared per-instruction bookkeeping: retire, charge fuel, profile. `ip` must

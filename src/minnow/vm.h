@@ -24,7 +24,9 @@
 #define GRAFTLAB_SRC_MINNOW_VM_H_
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -38,6 +40,8 @@
 namespace minnow {
 
 class VM;
+class Jit;
+struct JitStats;
 
 // A kernel function exposed to extension code. Receives the argument slots;
 // must return a Value (ignored for void imports).
@@ -47,11 +51,16 @@ using HostFn = std::function<Value(VM&, std::span<const Value>)>;
 // kThreaded when the build supports computed goto, else kSwitch; asking for
 // kThreaded in a switch-only build silently falls back (the two loops are
 // semantically identical — that equivalence is what tests/
-// minnow_dispatch_fuzz_test.cc enforces).
+// minnow_dispatch_fuzz_test.cc enforces). kJit additionally compiles verified
+// functions to native code at load time (jit.h); anything the JIT cannot or
+// chooses not to handle deoptimizes back to the interpreter, and builds
+// without JIT support (non-x86-64, GRAFTLAB_JIT=OFF) fall back the same way
+// kThreaded does.
 enum class DispatchMode {
   kDefault,
   kSwitch,
   kThreaded,
+  kJit,
 };
 
 struct VmOptions {
@@ -66,11 +75,25 @@ struct VmOptions {
   // variants. A certified program refuses Call before RunInit and host-side
   // SetGlobal — both would invalidate the proof's global invariants.
   bool elide_checks = false;
+  // --- kJit tuning (ignored by the interpreter dispatchers) ---
+  // Functions longer than this stay interpreted (compile-time bound).
+  std::size_t jit_max_fn_insns = 16384;
+  // Total native-code budget; functions are compiled hottest-first (see
+  // Jit::CompilationOrder) until the arena is full.
+  std::size_t jit_arena_max = 8u << 20;
+  // When set, opcodes the filter rejects are compiled as unconditional deopt
+  // exits instead of native templates. Exists to force the deopt machinery in
+  // tests; production leaves it empty.
+  std::function<bool(Op)> jit_compile_filter;
+  // Adjacent-pair telemetry ("load.local>add.i" -> count) from a profiling
+  // run (VM::OpcodePairCounts), reused to order compilation hottest-first.
+  std::vector<std::pair<std::string, std::uint64_t>> jit_pair_profile;
 };
 
 class VM : public Heap::RootProvider {
  public:
   explicit VM(Program program, const VmOptions& options = VmOptions{});
+  ~VM() override;  // out of line: jit.h stays a vm.cc implementation detail
 
   // Binds a host import by name. Every import must be bound before Run/Call;
   // unbound imports trap on first use.
@@ -116,10 +139,18 @@ class VM : public Heap::RootProvider {
 
   // True when this build carries the computed-goto loop.
   static bool ThreadedDispatchAvailable();
-  // The dispatcher this VM actually runs (kDefault already resolved).
+  // True when this build can compile bytecode to native code (jit.h).
+  static bool JitDispatchAvailable();
+  // The dispatcher this VM actually runs (kDefault already resolved; kJit
+  // only when native code was actually built).
   DispatchMode dispatch() const {
+    if (jit_ != nullptr) {
+      return DispatchMode::kJit;
+    }
     return threaded_ ? DispatchMode::kThreaded : DispatchMode::kSwitch;
   }
+  // Compilation/deopt counters; null unless dispatch() == kJit.
+  const JitStats* jit_stats() const;
 
   // --- opcode profiling (VmOptions::profile_opcodes) ---
   bool profiling() const { return op_counts_ != nullptr; }
@@ -131,6 +162,7 @@ class VM : public Heap::RootProvider {
 
  private:
   friend class RegExecutor;
+  friend class Jit;  // the JIT compiles against — and deopts into — VM state
 
   struct Frame {
     const FunctionCode* fn;
@@ -141,6 +173,9 @@ class VM : public Heap::RootProvider {
   Value Execute(int fn_index, std::span<const Value> args);
   Value RunSwitch(std::size_t entry_frames);
   Value RunThreaded(std::size_t entry_frames);
+  // Runs the entry natively when compiled; on deopt the interpreter finishes
+  // the entry on the frame state native code reconstructed.
+  Value RunJit(int fn_index, std::size_t entry_frames);
   // Moves the top num_params stack slots into a fresh callee frame.
   void PushFrame(const FunctionCode& fn, std::size_t entry_frames);
   void MaybeCollect(std::size_t incoming_bytes);
@@ -162,6 +197,11 @@ class VM : public Heap::RootProvider {
   std::uint64_t instructions_retired_ = 0;
   bool init_ran_ = false;
   bool threaded_ = false;
+  // Native code (null unless kJit compiled something) and the exception a
+  // JIT helper captured for the runner to rethrow — C++ exceptions must
+  // never unwind through native frames.
+  std::unique_ptr<Jit> jit_;
+  std::exception_ptr jit_pending_;
   // Profile tables (arena-backed, null unless profiling): op_counts_[op] and
   // pair_counts_[prev * kNumOps + op], with row kNumOps as the no-predecessor
   // sentinel.

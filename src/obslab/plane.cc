@@ -1,6 +1,8 @@
 #include "src/obslab/plane.h"
 
 #include <chrono>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 namespace obslab {
@@ -22,8 +24,17 @@ const char* OutcomeLabel(std::size_t i) {
   return kNames[i];
 }
 
-void EmitGraftRow(const graftd::TelemetrySnapshot::Row& row, std::vector<Sample>& out) {
-  const Labels graft{{"graft", row.name}};
+// `registration` >= 0 adds a disambiguating label: re-registering a graft
+// name (one configuration retired, another loaded under the same name)
+// yields multiple registry rows with identical names, and emitting them
+// under identical labels would fold independent counters into one series at
+// the scrape consumer.
+void EmitGraftRow(const graftd::TelemetrySnapshot::Row& row, std::int64_t registration,
+                  std::vector<Sample>& out) {
+  Labels graft{{"graft", row.name}};
+  if (registration >= 0) {
+    graft.emplace_back("registration", std::to_string(registration));
+  }
   const graftd::GraftCounters& c = row.counters;
   out.push_back(Sample{"graftlab_graft_invocations_total", graft,
                        static_cast<double>(c.invocations), true});
@@ -58,22 +69,21 @@ void EmitGraftRow(const graftd::TelemetrySnapshot::Row& row, std::vector<Sample>
   // elision verifier's checks_elided / checks_retained certificates surface
   // (minnow grafts report them through the same ExecutionProfile table).
   for (const auto& [opcode, count] : c.vm_opcodes) {
-    out.push_back(Sample{"graftlab_vm_opcode_total",
-                         Labels{{"graft", row.name}, {"opcode", opcode}},
+    Labels labels = graft;
+    labels.emplace_back("opcode", opcode);
+    out.push_back(Sample{"graftlab_vm_opcode_total", std::move(labels),
                          static_cast<double>(count), true});
   }
 
   // Supervision: current graft state and breaker position as one-hot
   // samples (only the active state is emitted), histories as counters.
   const graftd::Supervisor::GraftStatus& s = row.supervision;
-  out.push_back(Sample{"graftlab_graft_state",
-                       Labels{{"graft", row.name},
-                              {"state", graftd::GraftStateName(s.state)}},
-                       1.0, false});
-  out.push_back(Sample{"graftlab_breaker_state",
-                       Labels{{"graft", row.name},
-                              {"state", graftd::BreakerStateName(s.breaker)}},
-                       1.0, false});
+  Labels state_labels = graft;
+  state_labels.emplace_back("state", graftd::GraftStateName(s.state));
+  out.push_back(Sample{"graftlab_graft_state", std::move(state_labels), 1.0, false});
+  Labels breaker_labels = graft;
+  breaker_labels.emplace_back("state", graftd::BreakerStateName(s.breaker));
+  out.push_back(Sample{"graftlab_breaker_state", std::move(breaker_labels), 1.0, false});
   out.push_back(Sample{"graftlab_graft_quarantines_total", graft,
                        static_cast<double>(s.quarantines), true});
   out.push_back(Sample{"graftlab_graft_readmissions_total", graft,
@@ -179,8 +189,14 @@ void Plane::Attach(graftd::Dispatcher& dispatcher) {
       return;
     }
     const graftd::TelemetrySnapshot snapshot = dispatcher_->Snapshot();
+    std::unordered_map<std::string, int> name_counts;
     for (const auto& row : snapshot.grafts) {
-      EmitGraftRow(row, out);
+      ++name_counts[row.name];
+    }
+    for (std::size_t id = 0; id < snapshot.grafts.size(); ++id) {
+      const auto& row = snapshot.grafts[id];
+      const bool duplicate = name_counts[row.name] > 1;
+      EmitGraftRow(row, duplicate ? static_cast<std::int64_t>(id) : -1, out);
     }
     EmitDispatch(snapshot.dispatch, out);
   });

@@ -190,9 +190,10 @@ INSTANTIATE_TEST_SUITE_P(AllTechnologies, LdiskTraceConformance,
 // --- Minnow configuration matrix ---
 //
 // Every VM configuration the engine rewrite introduced — switch vs threaded
-// dispatch, optimizer on/off, superinstruction fusion on/off — must produce
-// the same traces as the plain reference (switch dispatch, raw bytecode).
-// The translated engine rides along as one more configuration.
+// vs jit dispatch, optimizer on/off, superinstruction fusion on/off, check
+// elision on/off — must produce the same traces as the plain reference
+// (switch dispatch, raw bytecode). The translated engine rides along as
+// three more configurations.
 
 struct MinnowCase {
   std::string name;
@@ -217,6 +218,24 @@ std::vector<MinnowCase> MinnowMatrix() {
                                (elide ? "_elided" : ""),
                            config});
         }
+      }
+    }
+  }
+  // kJit rows: the template JIT must be trace-identical in every
+  // {optimize, fuse, elide} combination. In builds without JIT support these
+  // fall back to the interpreter and remain valid (if redundant) rows.
+  for (const bool optimize : {false, true}) {
+    for (const bool fuse : {false, true}) {
+      for (const bool elide : {false, true}) {
+        grafts::MinnowConfig config;
+        config.engine = grafts::MinnowEngine::kInterpreter;
+        config.optimize = optimize;
+        config.fuse = fuse;
+        config.elide = elide;
+        config.jit = true;
+        cases.push_back({std::string("jit") + (optimize ? "_opt" : "") +
+                             (fuse ? "_fused" : "") + (elide ? "_elided" : ""),
+                         config});
       }
     }
   }

@@ -5,10 +5,14 @@
 // the elision corpus — arrays, nullable struct references, and guarded or
 // unguarded dereferences), compiles each once, and runs the same bytecode
 // through every configuration the engine rewrite introduced: {switch,
-// threaded dispatch} x {optimizer on/off} x {superinstruction fusion
-// on/off} x {check elision on/off}. Every configuration must produce the
-// identical result — the same value, or the same trap message — as the
-// reference (switch dispatch, raw bytecode, all checks retained). kDivI /
+// threaded dispatch, jit} x {optimizer on/off} x {superinstruction fusion
+// on/off} x {check elision on/off}, plus jit variants with a compile filter
+// that turns common opcodes into forced deopts so every program ping-pongs
+// between native code and the interpreter. Every configuration must produce
+// the identical result — the same value, or the same trap message — as the
+// reference (switch dispatch, raw bytecode, all checks retained). In builds
+// without JIT support the jit configurations fall back to the interpreter
+// and remain valid (if redundant) matrix entries. kDivI /
 // kModI edge cases (division by zero, INT64_MIN / -1) get dedicated
 // deterministic coverage, a directed section checks that the fusion pass
 // actually emits each superinstruction, and an adversarial section pins
@@ -56,9 +60,16 @@ struct Config {
   bool optimize;
   bool fuse;
   bool elide = false;
+  // kJit only: compile the add family as unconditional side exits, forcing a
+  // deopt into the interpreter on virtually every program the generator can
+  // emit — the deopt path gets fuzzed as hard as the fast path.
+  bool jit_deopt = false;
 
   std::string Name() const {
-    std::string name = dispatch == DispatchMode::kThreaded ? "threaded" : "switch";
+    std::string name = dispatch == DispatchMode::kThreaded ? "threaded"
+                       : dispatch == DispatchMode::kJit    ? "jit"
+                                                           : "switch";
+    if (jit_deopt) name += "+deopt";
     if (optimize) name += "+opt";
     if (fuse) name += "+fuse";
     if (elide) name += "+elide";
@@ -68,16 +79,26 @@ struct Config {
 
 std::vector<Config> AllConfigs() {
   std::vector<Config> configs;
-  for (const DispatchMode dispatch : {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
+  for (const DispatchMode dispatch :
+       {DispatchMode::kSwitch, DispatchMode::kThreaded, DispatchMode::kJit}) {
     for (const bool optimize : {false, true}) {
       for (const bool fuse : {false, true}) {
         for (const bool elide : {false, true}) {
           configs.push_back({dispatch, optimize, fuse, elide});
+          if (dispatch == DispatchMode::kJit) {
+            configs.push_back({dispatch, optimize, fuse, elide, /*jit_deopt=*/true});
+          }
         }
       }
     }
   }
   return configs;
+}
+
+// Denies the opcodes a fused or raw add lowers to, so kJit+deopt configs
+// side-exit constantly.
+bool DenyAddFamily(Op op) {
+  return op != Op::kAddI && op != Op::kLoadAddI && op != Op::kAddConstI;
 }
 
 // Result of one execution: a value, or the trap that stopped it. Trap
@@ -117,6 +138,9 @@ Outcome RunConfig(const Program& compiled, const Config& config, const char* fn,
   VmOptions options;
   options.dispatch = config.dispatch;
   options.elide_checks = config.elide;
+  if (config.jit_deopt) {
+    options.jit_compile_filter = DenyAddFamily;
+  }
   Outcome outcome;
   std::unique_ptr<VM> vm;
   try {
@@ -526,7 +550,8 @@ TEST(ElisionFuzz, CheckedAndElidedAgreeOnResultsTrapsAndFuel) {
     }
     const Program compiled = Compile(source);
     const bool optimize = (p % 2) == 1;
-    for (const DispatchMode dispatch : {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
+    for (const DispatchMode dispatch :
+         {DispatchMode::kSwitch, DispatchMode::kThreaded, DispatchMode::kJit}) {
       for (const bool fuse : {false, true}) {
         const Config checked{dispatch, optimize, fuse, false};
         const Config elided{dispatch, optimize, fuse, true};

@@ -1,0 +1,632 @@
+// Minnow JIT tests: native execution must be observationally identical to the
+// interpreter — results, trap messages, fuel, and the retired-instruction
+// ledger, bit for bit. Every test here runs the same program under an
+// interpreter VM and a kJit VM and compares; in builds without JIT support
+// (GRAFTLAB_JIT=OFF, non-x86-64) the kJit VM silently falls back to the
+// interpreter and the comparisons become trivially true, so the suite is
+// portable.
+//
+// The forced-deopt tests use VmOptions::jit_compile_filter to compile chosen
+// opcodes as unconditional side exits, driving the deopt machinery through
+// states a healthy program would rarely hit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/minnow/compiler.h"
+#include "src/minnow/diag.h"
+#include "src/minnow/jit.h"
+#include "src/minnow/vm.h"
+
+namespace {
+
+using minnow::DispatchMode;
+using minnow::HostDecl;
+using minnow::Jit;
+using minnow::JitStats;
+using minnow::Program;
+using minnow::Trap;
+using minnow::Type;
+using minnow::Value;
+using minnow::VM;
+using minnow::VmOptions;
+
+VmOptions JitOpts() {
+  VmOptions options;
+  options.dispatch = DispatchMode::kJit;
+  return options;
+}
+
+// Everything an extension's execution can make observable.
+struct Outcome {
+  bool trapped = false;
+  std::string message;
+  std::int64_t result = 0;
+  std::uint64_t retired = 0;
+  std::int64_t fuel = 0;
+
+  bool operator==(const Outcome& other) const = default;
+};
+
+// `fuel_after_init` < -1 leaves the options' budget alone; otherwise the
+// budget is set after RunInit so sweeps measure only the call under test.
+Outcome RunOne(const Program& program, const VmOptions& options, const std::string& fn,
+               std::initializer_list<std::int64_t> args = {},
+               std::int64_t fuel_after_init = -2) {
+  VM vm(program, options);
+  vm.RunInit();
+  if (fuel_after_init >= -1) {
+    vm.SetFuel(fuel_after_init);
+  }
+  std::vector<Value> values;
+  for (const std::int64_t a : args) {
+    values.push_back(Value::Int(a));
+  }
+  Outcome out;
+  try {
+    out.result = vm.Call(fn, values).AsInt();
+  } catch (const Trap& trap) {
+    out.trapped = true;
+    out.message = trap.what();
+  }
+  out.retired = vm.instructions_retired();
+  out.fuel = vm.fuel();
+  return out;
+}
+
+// Runs `fn` under the interpreter and under the JIT with identical options
+// and asserts the outcomes match exactly. Returns the interpreter outcome
+// for additional assertions.
+Outcome ExpectSame(const std::string& source, const std::string& fn,
+                   std::initializer_list<std::int64_t> args = {},
+                   VmOptions options = VmOptions{}) {
+  const Program program = minnow::Compile(source);
+  options.dispatch = DispatchMode::kDefault;
+  const Outcome interp = RunOne(program, options, fn, args);
+  options.dispatch = DispatchMode::kJit;
+  const Outcome jit = RunOne(program, options, fn, args);
+  EXPECT_EQ(interp, jit) << "interp: trapped=" << interp.trapped << " '" << interp.message
+                         << "' result=" << interp.result << " retired=" << interp.retired
+                         << " fuel=" << interp.fuel << "\njit:    trapped=" << jit.trapped
+                         << " '" << jit.message << "' result=" << jit.result
+                         << " retired=" << jit.retired << " fuel=" << jit.fuel;
+  return interp;
+}
+
+TEST(JitBasics, ReportsDispatchModeAndStats) {
+  VM vm(minnow::Compile("fn f() -> int { return 41 + 1; }"), JitOpts());
+  vm.RunInit();
+  if (!VM::JitDispatchAvailable()) {
+    EXPECT_NE(vm.dispatch(), DispatchMode::kJit);
+    EXPECT_EQ(vm.jit_stats(), nullptr);
+    return;
+  }
+  ASSERT_EQ(vm.dispatch(), DispatchMode::kJit);
+  const JitStats* stats = vm.jit_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->compiled_fns, 0u);
+  EXPECT_GT(stats->bytes, 0u);
+  EXPECT_EQ(vm.Call("f", {}).AsInt(), 42);
+  EXPECT_EQ(stats->deopts, 0u) << "straight-line arithmetic must not deopt";
+}
+
+TEST(JitBasics, Arithmetic) {
+  ExpectSame("fn f() -> int { return 2 + 3 * 4 - 6 / 2; }", "f");
+  ExpectSame("fn f() -> int { return 17 % 5; }", "f");
+  ExpectSame("fn f() -> int { return -7 / 2; }", "f");
+  ExpectSame("fn f() -> int { return (1 << 40) >> 35; }", "f");
+  ExpectSame("fn f() -> int { return -1 >> 1; }", "f");
+  ExpectSame("fn f() -> int { return ~0; }", "f");
+  ExpectSame("fn f() -> int { return 12 & 10; }", "f");
+  ExpectSame("fn f() -> int { return 12 | 3; }", "f");
+  ExpectSame("fn f() -> int { return 12 ^ 10; }", "f");
+  ExpectSame("fn f(a: int, b: int) -> int { return a * b + a - b; }", "f", {123456789, -97});
+}
+
+TEST(JitBasics, U32Semantics) {
+  ExpectSame("fn f() -> int { return int(u32(0xFFFFFFFF) + u32(2)); }", "f");
+  ExpectSame("fn f() -> int { return int(u32(0x80000000) << 1); }", "f");
+  ExpectSame("fn f() -> int { return int(u32(0x80000000) >> 31); }", "f");
+  ExpectSame("fn f() -> int { return int(u32(7) * u32(0x90000001)); }", "f");
+  ExpectSame("fn f() -> int { return int(u32(100) / u32(7)) + int(u32(100) % u32(7)); }", "f");
+  ExpectSame("fn f(n: int) -> int { return int(u32(n) >> 33); }", "f", {512});  // count &31
+}
+
+TEST(JitBasics, ComparisonsAndBools) {
+  ExpectSame(R"(fn f(a: int, b: int) -> int {
+    var n: int = 0;
+    if (a < b) { n = n + 1; }
+    if (a <= b) { n = n + 2; }
+    if (a > b) { n = n + 4; }
+    if (a >= b) { n = n + 8; }
+    if (a == b) { n = n + 16; }
+    if (a != b) { n = n + 32; }
+    if (!(a == b)) { n = n + 64; }
+    return n;
+  })",
+             "f", {-3, 7});
+  ExpectSame("fn f(a: int, b: int) -> bool { return a < b && b < 100; }", "f", {1, 2});
+}
+
+TEST(JitBasics, LoopsAndLocals) {
+  ExpectSame(R"(fn f(n: int) -> int {
+    var total: int = 0;
+    for (var i: int = 1; i <= n; i = i + 1) { total = total + i * i; }
+    return total;
+  })",
+             "f", {1000});
+  ExpectSame(R"(fn collatz(n: int) -> int {
+    var steps: int = 0;
+    while (n != 1) {
+      if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+      steps = steps + 1;
+    }
+    return steps;
+  })",
+             "collatz", {27});
+}
+
+TEST(JitCalls, RecursionAndMultiFunction) {
+  ExpectSame(R"(
+    fn fib(n: int) -> int { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+    fn f(n: int) -> int { return fib(n); }
+  )",
+             "f", {18});
+  ExpectSame(R"(
+    fn square(x: int) -> int { return x * x; }
+    fn cube(x: int) -> int { return square(x) * x; }
+    fn f(n: int) -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < n; i = i + 1) { total = total + cube(i) - square(i); }
+      return total;
+    }
+  )",
+             "f", {200});
+}
+
+TEST(JitCalls, DepthLimitTrapMatches) {
+  const Outcome out = ExpectSame(
+      "fn down(n: int) -> int { return down(n + 1); } fn f() -> int { return down(0); }", "f");
+  EXPECT_TRUE(out.trapped);
+  EXPECT_EQ(out.message, "call depth limit exceeded");
+}
+
+TEST(JitHeap, ArraysAllKinds) {
+  ExpectSame(R"(fn f() -> int {
+    var a: int[] = new int[10];
+    var w: u32[] = new u32[4];
+    var b: byte[] = new byte[4];
+    var flags: bool[] = new bool[2];
+    a[3] = 70000000000;
+    w[1] = u32(0xFFFFFFFF);
+    b[0] = byte(300);
+    flags[1] = true;
+    var total: int = a[3] + int(w[1]) + int(b[0]);
+    if (flags[1]) { total = total + a.len + w.len + b.len + flags.len; }
+    return total;
+  })",
+             "f");
+}
+
+TEST(JitHeap, StructsAndLinkedList) {
+  ExpectSame(R"(
+    struct Node { value: int; next: Node; }
+    fn f(n: int) -> int {
+      var head: Node = null;
+      for (var i: int = 0; i < n; i = i + 1) {
+        var node: Node = new Node();
+        node.value = i;
+        node.next = head;
+        head = node;
+      }
+      var total: int = 0;
+      var cur: Node = head;
+      while (cur != null) { total = total + cur.value; cur = cur.next; }
+      return total;
+    }
+  )",
+             "f", {500});
+}
+
+TEST(JitHeap, GcRunsUnderNativeCode) {
+  // Allocation churn well past the first GC threshold; a wrong root set
+  // (stale sp) would reclaim live objects and corrupt the sums.
+  ExpectSame(R"(
+    struct Blob { data: int[]; }
+    fn f(n: int) -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < n; i = i + 1) {
+        var b: Blob = new Blob();
+        b.data = new int[1000];
+        b.data[999] = i;
+        total = total + b.data[999];
+      }
+      return total;
+    }
+  )",
+             "f", {2000});
+}
+
+TEST(JitHeap, HeapLimitTrapMatches) {
+  VmOptions options;
+  options.heap_limit = 1u << 20;
+  const Outcome out = ExpectSame(R"(
+    struct Keep { data: int[]; next: Keep; }
+    fn f() -> int {
+      var head: Keep = null;
+      for (var i: int = 0; i < 64; i = i + 1) {
+        var k: Keep = new Keep();
+        k.data = new int[8192];
+        k.next = head;
+        head = k;
+      }
+      return 0;
+    }
+  )",
+                                 "f", {}, options);
+  EXPECT_TRUE(out.trapped);
+  EXPECT_EQ(out.message, "extension heap limit exceeded");
+}
+
+TEST(JitTraps, MessagesMatchInterpreter) {
+  struct Case {
+    const char* source;
+    std::int64_t arg;
+    const char* message;
+  };
+  const Case cases[] = {
+      {"fn f(d: int) -> int { return 1 / d; }", 0, "integer division by zero"},
+      {"fn f(d: int) -> int { return 1 % d; }", 0, "integer modulo by zero"},
+      {"fn f(d: int) -> int { return (0 - 9223372036854775807 - 1) / (0 - d); }", 1,
+       "integer division overflow"},
+      {"fn f(d: int) -> int { return int(u32(1) / u32(d - 1)); }", 1, "u32 division by zero"},
+      {"fn f(d: int) -> int { var a: int[] = null; return a[d]; }", 0,
+       "null dereference in array load"},
+      {"fn f(d: int) -> int { var a: int[] = new int[4]; return a[d + 4]; }", 1,
+       "array index 5 out of bounds [0, 4)"},
+      {"fn f(d: int) -> int { var a: int[] = new int[4]; return a[0 - d]; }", 1,
+       "array index -1 out of bounds [0, 4)"},
+      {"fn f(d: int) -> int { var a: int[] = new int[d - 2]; return a.len; }", 1,
+       "bad array length -1"},
+      {"struct S { x: int; } fn f(d: int) -> int { var s: S = null; return s.x + d; }", 1,
+       "null dereference in field load"},
+  };
+  for (const auto& [source, arg, message] : cases) {
+    const Outcome out = ExpectSame(source, "f", {arg});
+    EXPECT_TRUE(out.trapped) << source;
+    EXPECT_EQ(out.message, message) << source;
+  }
+}
+
+TEST(JitTraps, VmUsableAfterNativeTrap) {
+  VM vm(minnow::Compile("fn bad(d: int) -> int { return 1 / d; }"
+                        "fn good() -> int { return 7; }"),
+        JitOpts());
+  vm.RunInit();
+  EXPECT_THROW(vm.Call("bad", {Value::Int(0)}), Trap);
+  EXPECT_EQ(vm.Call("good", {}).AsInt(), 7);
+  EXPECT_THROW(vm.Call("bad", {Value::Int(0)}), Trap);
+  EXPECT_EQ(vm.Call("bad", {Value::Int(2)}).AsInt(), 0);
+}
+
+// The strongest equivalence check in the file: for every fuel budget from 0
+// to "enough", the trap/no-trap decision, the result, the remaining fuel,
+// and the retired count must be bit-identical between interpreter and JIT.
+// This walks the fuel exit through every basic-block boundary and through
+// mid-block exhaustion at every possible pc.
+TEST(JitFuel, ExhaustionSweepIsBitIdentical) {
+  const std::string source = R"(
+    fn helper(x: int) -> int { return x * 2 + 1; }
+    fn f(n: int) -> int {
+      var a: int[] = new int[8];
+      var total: int = 0;
+      for (var i: int = 0; i < n; i = i + 1) {
+        a[i % 8] = helper(i);
+        total = total + a[i % 8];
+      }
+      return total;
+    }
+  )";
+  const Program program = minnow::Compile(source);
+  const VmOptions interp_opts;
+  const VmOptions jit_opts = JitOpts();
+  // First find the total cost, then sweep every budget below it.
+  const Outcome full = RunOne(program, interp_opts, "f", {6});
+  ASSERT_FALSE(full.trapped);
+  for (std::int64_t fuel = 0; fuel <= static_cast<std::int64_t>(full.retired) + 1; ++fuel) {
+    const Outcome interp = RunOne(program, interp_opts, "f", {6}, fuel);
+    const Outcome jit = RunOne(program, jit_opts, "f", {6}, fuel);
+    EXPECT_EQ(interp, jit) << "fuel budget " << fuel << ": interp(trapped=" << interp.trapped
+                           << " result=" << interp.result << " retired=" << interp.retired
+                           << " fuel=" << interp.fuel << ") jit(trapped=" << jit.trapped
+                           << " result=" << jit.result << " retired=" << jit.retired
+                           << " fuel=" << jit.fuel << ")";
+    if (interp.trapped) {
+      EXPECT_EQ(interp.message, "fuel exhausted: graft preempted");
+    }
+  }
+}
+
+TEST(JitHosts, CallHostFromNativeCode) {
+  HostDecl host;
+  host.name = "k_add";
+  host.params = {Type::Int(), Type::Int()};
+  host.ret = Type::Int();
+  const Program program =
+      minnow::Compile("fn f(a: int, b: int) -> int { return k_add(a, b) * 2; }", {host});
+  for (const DispatchMode mode : {DispatchMode::kDefault, DispatchMode::kJit}) {
+    VmOptions options;
+    options.dispatch = mode;
+    VM vm(program, options);
+    vm.BindHost("k_add", [](VM&, std::span<const Value> args) {
+      return Value::Int(args[0].AsInt() + args[1].AsInt());
+    });
+    vm.RunInit();
+    EXPECT_EQ(vm.Call("f", {Value::Int(3), Value::Int(4)}).AsInt(), 14);
+  }
+}
+
+TEST(JitHosts, HostSeesExactLedgersAndMaySetFuel) {
+  HostDecl host;
+  host.name = "k_probe";
+  host.ret = Type::Int();
+  const Program program = minnow::Compile(R"(
+    fn f() -> int {
+      var a: int = 1 + 2;
+      var b: int = a * a;
+      return k_probe() + b;
+    })",
+                                          {host});
+  std::uint64_t seen_interp = 0;
+  std::uint64_t seen_jit = 0;
+  for (const DispatchMode mode : {DispatchMode::kDefault, DispatchMode::kJit}) {
+    VmOptions options;
+    options.dispatch = mode;
+    options.fuel = 1000;
+    VM vm(program, options);
+    std::uint64_t* seen = mode == DispatchMode::kJit ? &seen_jit : &seen_interp;
+    vm.BindHost("k_probe", [seen](VM& inner, std::span<const Value>) {
+      *seen = inner.instructions_retired();
+      inner.SetFuel(5000);  // the JIT must pick the new budget up
+      return Value::Int(static_cast<std::int64_t>(inner.fuel()));
+    });
+    vm.RunInit();
+    EXPECT_EQ(vm.Call("f", {}).AsInt(), 5009);
+  }
+  // A host observing mid-execution state is the sharpest ledger probe there
+  // is: the batched block accounting must have charged exactly the retired
+  // prefix at the call instruction.
+  EXPECT_EQ(seen_interp, seen_jit);
+}
+
+TEST(JitHosts, ReentrantHostCallNests) {
+  HostDecl host;
+  host.name = "k_reenter";
+  host.params = {Type::Int()};
+  host.ret = Type::Int();
+  const Program program = minnow::Compile(R"(
+    fn leaf(x: int) -> int { return x * 3; }
+    fn f(n: int) -> int { return k_reenter(n) + 1; }
+  )",
+                                          {host});
+  for (const DispatchMode mode : {DispatchMode::kDefault, DispatchMode::kJit}) {
+    VmOptions options;
+    options.dispatch = mode;
+    VM vm(program, options);
+    vm.BindHost("k_reenter", [](VM& inner, std::span<const Value> args) {
+      // Host reenters the VM while a native frame is live below it.
+      return inner.Call("leaf", {Value::Int(args[0].AsInt() + 1)});
+    });
+    vm.RunInit();
+    EXPECT_EQ(vm.Call("f", {Value::Int(5)}).AsInt(), 19);
+  }
+}
+
+TEST(JitHosts, UnboundHostTrapMatchesInterpreter) {
+  HostDecl host;
+  host.name = "k_missing";
+  host.ret = Type::Int();
+  const Program program = minnow::Compile("fn f() -> int { return 1 + k_missing(); }", {host});
+  std::string messages[2];
+  int i = 0;
+  for (const DispatchMode mode : {DispatchMode::kDefault, DispatchMode::kJit}) {
+    VmOptions options;
+    options.dispatch = mode;
+    VM vm(program, options);
+    vm.RunInit();
+    try {
+      vm.Call("f", {});
+      FAIL() << "unbound host import must trap";
+    } catch (const Trap& trap) {
+      messages[i++] = trap.what();
+    }
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_NE(messages[0].find("k_missing"), std::string::npos);
+}
+
+TEST(JitElide, CertifiedProgramRunsNativelyWithoutChecks) {
+  VmOptions options;
+  options.elide_checks = true;
+  ExpectSame(R"(
+    var table: int[] = new int[64];
+    fn f(n: int) -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < table.len; i = i + 1) { table[i] = i * n; }
+      for (var i: int = 0; i < table.len; i = i + 1) { total = total + table[i]; }
+      return total;
+    }
+  )",
+             "f", {3}, options);
+}
+
+TEST(JitElide, TrapInsideElidedProgramMatches) {
+  // The elision pass proves the table accesses; the division stays checked.
+  // A trap inside a certified program must carry the interpreter's message
+  // and leave identical ledgers even when the trapping site is surrounded by
+  // `.nc` code emitted with no checks at all.
+  VmOptions options;
+  options.elide_checks = true;
+  const Outcome out = ExpectSame(R"(
+    var table: int[] = new int[8];
+    fn f(d: int) -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < table.len; i = i + 1) { table[i] = i; }
+      for (var i: int = 0; i < table.len; i = i + 1) { total = total + table[i] / d; }
+      return total;
+    }
+  )",
+                                 "f", {0}, options);
+  EXPECT_TRUE(out.trapped);
+  EXPECT_EQ(out.message, "integer division by zero");
+}
+
+TEST(JitElide, CallBeforeRunInitRefusedUnderJit) {
+  VmOptions options = JitOpts();
+  options.elide_checks = true;
+  VM vm(minnow::Compile("var g: int[] = new int[4]; fn f() -> int { return g[0]; }"), options);
+  try {
+    vm.Call("f", {});
+    FAIL() << "certified program must refuse Call before RunInit";
+  } catch (const Trap& trap) {
+    EXPECT_STREQ(trap.what(), "certified program called before RunInit");
+  }
+  vm.RunInit();
+  EXPECT_EQ(vm.Call("f", {}).AsInt(), 0);
+}
+
+// --- forced deopt: jit_compile_filter turns chosen opcodes into side exits ---
+
+TEST(JitDeopt, FilteredOpcodeDeoptsWithIdenticalState) {
+  const std::string source = R"(
+    fn f(n: int) -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < n; i = i + 1) {
+        if (i % 3 == 0) { total = total + i * i; } else { total = total - i; }
+      }
+      return total;
+    }
+  )";
+  const Program program = minnow::Compile(source);
+  const Outcome interp = RunOne(program, VmOptions{}, "f", {100});
+  // Deny a different opcode each round so the deopt pc lands at many distinct
+  // block offsets; results and ledgers must never move.
+  const minnow::Op denied[] = {minnow::Op::kMulI, minnow::Op::kModI, minnow::Op::kAddI};
+  for (const minnow::Op deny : denied) {
+    VmOptions options = JitOpts();
+    options.jit_compile_filter = [deny](minnow::Op op) { return op != deny; };
+    VM vm(program, options);
+    vm.RunInit();
+    Outcome jit;
+    jit.result = vm.Call("f", {Value::Int(100)}).AsInt();
+    jit.retired = vm.instructions_retired();
+    jit.fuel = vm.fuel();
+    EXPECT_EQ(interp, jit) << "denied opcode " << minnow::OpName(deny);
+    if (vm.dispatch() == DispatchMode::kJit) {
+      EXPECT_GT(vm.jit_stats()->deopts, 0u)
+          << "filter on " << minnow::OpName(deny) << " must force deopts";
+    }
+  }
+}
+
+TEST(JitDeopt, FuelSweepWithForcedDeopts) {
+  // Deopts interleaved with fuel accounting: budgets must stay bit-exact
+  // even when execution ping-pongs between native code and the interpreter.
+  const std::string source = R"(
+    fn f(n: int) -> int {
+      var total: int = 0;
+      for (var i: int = 1; i <= n; i = i + 1) { total = total + i * i; }
+      return total;
+    }
+  )";
+  const Program program = minnow::Compile(source);
+  const VmOptions interp_opts;
+  VmOptions jit_opts = JitOpts();
+  jit_opts.jit_compile_filter = [](minnow::Op op) { return op != minnow::Op::kMulI; };
+  const Outcome full = RunOne(program, interp_opts, "f", {5});
+  for (std::int64_t fuel = 0; fuel <= static_cast<std::int64_t>(full.retired) + 1; ++fuel) {
+    const Outcome interp = RunOne(program, interp_opts, "f", {5}, fuel);
+    const Outcome jit = RunOne(program, jit_opts, "f", {5}, fuel);
+    EXPECT_EQ(interp, jit) << "fuel budget " << fuel;
+  }
+}
+
+TEST(JitDeopt, UncompiledCalleeFallsBackPerEntry) {
+  // Filter out an opcode only `helper` uses: the helper fails to compile
+  // entirely (bailout), while `f` compiles and must deopt at the call.
+  const std::string source = R"(
+    fn helper(x: int) -> int { return x % 7; }
+    fn f(n: int) -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < n; i = i + 1) { total = total + helper(i); }
+      return total;
+    }
+  )";
+  const Program program = minnow::Compile(source);
+  const Outcome interp = RunOne(program, VmOptions{}, "f", {50});
+  VmOptions options = JitOpts();
+  options.jit_compile_filter = [](minnow::Op op) { return op != minnow::Op::kModI; };
+  const Outcome jit = RunOne(program, options, "f", {50});
+  EXPECT_EQ(interp, jit);
+}
+
+TEST(JitArena, BudgetBailsOutGracefully) {
+  VmOptions options = JitOpts();
+  options.jit_arena_max = 64;  // nothing fits alongside the trampoline
+  VM vm(minnow::Compile("fn f() -> int { return 6 * 7; }"), options);
+  vm.RunInit();
+  EXPECT_EQ(vm.Call("f", {}).AsInt(), 42);
+  EXPECT_NE(vm.dispatch(), DispatchMode::kJit) << "nothing compiled -> interpreter";
+}
+
+TEST(JitArena, FnSizeLimitBailsOut) {
+  VmOptions options = JitOpts();
+  options.jit_max_fn_insns = 1;
+  VM vm(minnow::Compile("fn f(n: int) -> int { return n * n + 1; }"), options);
+  vm.RunInit();
+  EXPECT_EQ(vm.Call("f", {Value::Int(9)}).AsInt(), 82);
+}
+
+TEST(JitOrder, PairProfileRanksHotFunctionsFirst) {
+  const Program program = minnow::Compile(R"(
+    fn cold(x: int) -> int { return x + 1; }
+    fn hot(n: int) -> int {
+      var total: int = 0;
+      for (var i: int = 0; i < n; i = i + 1) { total = total + i; }
+      return total;
+    }
+  )");
+  // With no profile the order is static (back-edges first), deterministic.
+  const std::vector<int> base = Jit::CompilationOrder(program, {});
+  ASSERT_FALSE(base.empty());
+  const std::vector<int> again = Jit::CompilationOrder(program, {});
+  EXPECT_EQ(base, again);
+  // A profile naming a pair only `cold` contains must promote it.
+  const int cold = program.FindFunction("cold");
+  ASSERT_GE(cold, 0);
+  std::vector<std::pair<std::string, std::uint64_t>> profile;
+  const auto& code = program.functions[static_cast<std::size_t>(cold)].code;
+  for (std::size_t pc = 0; pc + 1 < code.size(); ++pc) {
+    profile.emplace_back(std::string(minnow::OpName(code[pc].op)) + ">" +
+                             minnow::OpName(code[pc + 1].op),
+                         1'000'000);
+  }
+  const std::vector<int> ranked = Jit::CompilationOrder(program, profile);
+  EXPECT_EQ(ranked.front(), cold);
+}
+
+TEST(JitProfile, ProfilingVmStaysOnInterpreter) {
+  VmOptions options = JitOpts();
+  options.profile_opcodes = true;
+  VM vm(minnow::Compile("fn f() -> int { return 1 + 2; }"), options);
+  vm.RunInit();
+  EXPECT_EQ(vm.Call("f", {}).AsInt(), 3);
+  EXPECT_NE(vm.dispatch(), DispatchMode::kJit);
+  EXPECT_FALSE(vm.OpcodeCounts().empty());
+}
+
+}  // namespace

@@ -15,9 +15,16 @@ ns_per_op <= 0 carry no timing (pass/fail benches report their verdict in
 the checksum column) and are recorded but never gated. The first run of a
 key has nothing to compare against and passes.
 
+A committed reference crop lives in --baseline-dir (default bench/baseline;
+see the .gitignore negation that keeps those BENCH_*.json tracked). Its rows
+are folded into the comparison as run 0, so even a fresh checkout with no
+history file gates its first run against the blessed numbers. Baseline rows
+are never re-appended to the history.
+
 Usage:
   python3 tools/bench_trend.py --bench-dir build/bench \
-      [--history BENCH_HISTORY.jsonl] [--threshold 0.25] [--label sha]
+      [--baseline-dir bench/baseline] [--history BENCH_HISTORY.jsonl] \
+      [--threshold 0.25] [--label sha]
 """
 
 import argparse
@@ -96,6 +103,9 @@ def main():
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--bench-dir", default="build/bench",
                         help="directory holding BENCH_*.json (default: build/bench)")
+    parser.add_argument("--baseline-dir", default="bench/baseline",
+                        help="committed reference BENCH_*.json, folded in as run 0 "
+                             "(default: bench/baseline; missing dir is fine)")
     parser.add_argument("--history", default="BENCH_HISTORY.jsonl",
                         help="append-only history file (default: BENCH_HISTORY.jsonl)")
     parser.add_argument("--threshold", type=float, default=0.25,
@@ -112,6 +122,13 @@ def main():
         return 2
 
     history, run = load_history(args.history)
+    if os.path.isdir(args.baseline_dir):
+        for row in load_current(args.baseline_dir):
+            stamped = dict(row)
+            stamped["run"] = 0
+            stamped["label"] = "baseline"
+            history.insert(0, stamped)  # real history rows at run >= 0 win ties
+        run = max(run, 1)  # keep run 0 reserved for the committed baseline
     baseline = latest_by_key(history)
 
     regressions = []
